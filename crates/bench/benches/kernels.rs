@@ -1,0 +1,72 @@
+//! Criterion benches of the *real* wall-clock of the native kernels —
+//! the hand-optimized implementations the whole study is anchored on.
+//! These complement the simulator: simulated time models the paper's
+//! hardware, these numbers measure this machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphmaze_core::native::cf::{self, CfConfig};
+use graphmaze_core::native::{bfs, pagerank, triangle};
+use graphmaze_core::prelude::*;
+
+fn bench_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_pagerank");
+    for scale in [12u32, 14] {
+        let wl = Workload::rmat(scale, 16, 7);
+        let g = wl.directed.as_ref().unwrap();
+        group.throughput(Throughput::Elements(g.num_edges()));
+        group.bench_with_input(BenchmarkId::new("per_iter", scale), g, |b, g| {
+            b.iter(|| pagerank::pagerank(g, PAGERANK_R, 1, 0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_bfs");
+    for scale in [12u32, 14] {
+        let wl = Workload::rmat(scale, 16, 7);
+        let g = wl.undirected.as_ref().unwrap();
+        let src =
+            (0..g.num_vertices() as u32).max_by_key(|&v| g.adj.degree(v)).unwrap();
+        group.throughput(Throughput::Elements(g.adj.num_edges()));
+        group.bench_with_input(BenchmarkId::new("direction_opt", scale), g, |b, g| {
+            b.iter(|| bfs::bfs(g, src, 0));
+        });
+        group.bench_with_input(BenchmarkId::new("top_down_only", scale), g, |b, g| {
+            b.iter(|| bfs::bfs_with(g, src, 0, false));
+        });
+    }
+    group.finish();
+}
+
+fn bench_triangles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_triangles");
+    group.sample_size(20);
+    for scale in [11u32, 13] {
+        let wl = Workload::rmat_triangle(scale, 8, 7);
+        let g = wl.oriented.as_ref().unwrap();
+        group.throughput(Throughput::Elements(g.num_edges()));
+        group.bench_with_input(BenchmarkId::new("bitvector_hubs", scale), g, |b, g| {
+            b.iter(|| triangle::triangles_with(g, 0, true));
+        });
+        group.bench_with_input(BenchmarkId::new("merge_only", scale), g, |b, g| {
+            b.iter(|| triangle::triangles_with(g, 0, false));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("native_cf");
+    group.sample_size(15);
+    let wl = Workload::rmat_ratings(12, 256, 7);
+    let g = wl.ratings.as_ref().unwrap();
+    let cfg = CfConfig { k: 32, lambda: 0.05, gamma0: 0.01, step_decay: 0.95, seed: 7 };
+    group.throughput(Throughput::Elements(g.num_ratings()));
+    group.bench_function("sgd_epoch", |b| b.iter(|| cf::sgd(g, &cfg, 1, 0)));
+    group.bench_function("gd_epoch", |b| b.iter(|| cf::gd(g, &cfg, 1, 0)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank, bench_bfs, bench_triangles, bench_cf);
+criterion_main!(benches);

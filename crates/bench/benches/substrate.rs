@@ -1,0 +1,92 @@
+//! Criterion benches of the substrate: data generation throughput,
+//! CSR construction, compression codecs, bit-vector kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use graphmaze_core::cluster::compress::{decode, encode_best, encode_with, Encoding};
+use graphmaze_core::datagen::{er, rmat, RmatConfig, RmatParams};
+use graphmaze_core::graph::bitvec::BitVec;
+use graphmaze_core::graph::csr::Csr;
+
+fn bench_rmat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen_rmat");
+    for scale in [14u32, 16] {
+        let cfg = RmatConfig {
+            scale,
+            edge_factor: 16,
+            params: RmatParams::GRAPH500,
+            seed: 7,
+            scramble_ids: true,
+            threads: 0,
+        };
+        group.throughput(Throughput::Elements(cfg.num_edges()));
+        group.bench_with_input(BenchmarkId::new("generate", scale), &cfg, |b, cfg| {
+            b.iter(|| rmat::generate(cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_er(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen_er");
+    group.throughput(Throughput::Elements(1 << 20));
+    group.bench_function("generate_1M", |b| b.iter(|| er::generate(1 << 16, 1 << 20, 7)));
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let cfg = RmatConfig {
+        scale: 16,
+        edge_factor: 16,
+        params: RmatParams::GRAPH500,
+        seed: 7,
+        scramble_ids: true,
+        threads: 0,
+    };
+    let el = rmat::generate(&cfg);
+    let mut group = c.benchmark_group("csr");
+    group.throughput(Throughput::Elements(el.num_edges()));
+    group.bench_function("from_edges", |b| {
+        b.iter(|| Csr::from_edges(el.num_vertices(), el.edges()))
+    });
+    let csr = Csr::from_edges(el.num_vertices(), el.edges());
+    group.bench_function("transpose", |b| b.iter(|| csr.transpose()));
+    group.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let sparse: Vec<u32> = (0..1_000_000u32).filter(|v| v % 23 == 0).collect();
+    let dense: Vec<u32> = (0..1_000_000u32).filter(|v| v % 3 != 0).collect();
+    let mut group = c.benchmark_group("compression");
+    group.throughput(Throughput::Elements(sparse.len() as u64));
+    group.bench_function("delta_varint_encode", |b| {
+        b.iter(|| encode_with(&sparse, 1_000_000, Encoding::DeltaVarint))
+    });
+    group.bench_function("bitmap_encode", |b| {
+        b.iter(|| encode_with(&dense, 1_000_000, Encoding::Bitmap))
+    });
+    group.bench_function("encode_best_sparse", |b| b.iter(|| encode_best(&sparse, 1_000_000)));
+    let encoded = encode_best(&sparse, 1_000_000);
+    group.bench_function("decode", |b| b.iter(|| decode(&encoded).unwrap()));
+    group.finish();
+}
+
+fn bench_bitvec(c: &mut Criterion) {
+    let mut a = BitVec::new(1 << 20);
+    let mut bvb = BitVec::new(1 << 20);
+    for i in (0..1 << 20).step_by(3) {
+        a.set(i);
+    }
+    for i in (0..1 << 20).step_by(5) {
+        bvb.set(i);
+    }
+    let mut group = c.benchmark_group("bitvec");
+    group.throughput(Throughput::Elements(1 << 20));
+    group.bench_function("intersection_count_1M", |b| {
+        b.iter(|| a.intersection_count(&bvb))
+    });
+    group.bench_function("iter_ones_1M", |b| b.iter(|| a.iter_ones().count()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_rmat, bench_er, bench_csr_build, bench_compression, bench_bitvec);
+criterion_main!(benches);

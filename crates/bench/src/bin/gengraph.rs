@@ -1,0 +1,236 @@
+//! `gengraph` — the released data generators (§4.1.2) as a CLI:
+//! Graph500 RMAT graphs, the power-law ratings generator, and the
+//! Table 3 dataset stand-ins, written as text or binary edge lists.
+//!
+//! ```sh
+//! gengraph rmat --scale 20 --edge-factor 16 --out graph.bin
+//! gengraph rmat --scale 16 --params triangle --format text --out tc.txt
+//! gengraph ratings --scale 18 --items 17770 --out ratings.bin
+//! gengraph dataset --name livejournal --scale-down 8 --out lj.bin
+//! gengraph stats --scale 16            # degree/component analysis only
+//! ```
+
+use std::path::PathBuf;
+
+use graphmaze_core::datagen::{ratings, rmat, Dataset, RatingsGenConfig, RmatConfig, RmatParams};
+use graphmaze_core::graph::cc::connected_components;
+use graphmaze_core::graph::csr::Csr;
+use graphmaze_core::graph::degree::{DegreeHistogram, DegreeStats};
+use graphmaze_core::graph::io;
+use graphmaze_core::graph::{EdgeList, WeightedEdgeList};
+
+const USAGE: &str = "\
+usage: gengraph <command> [options]
+
+commands:
+  rmat      generate a Graph500 RMAT graph
+  ratings   generate a power-law ratings matrix (fold generator, §4.1.2)
+  dataset   generate a Table 3 real-world stand-in
+  stats     generate and print degree/component statistics only
+
+options:
+  --scale N         log2 vertex count (default 16)
+  --edge-factor N   edges per vertex (default 16)
+  --params P        rmat parameter family: graph500 | triangle | ratings
+  --seed N          generator seed (default 1)
+  --items N         number of items for `ratings` (default 4096)
+  --name NAME       dataset name for `dataset` (facebook|wikipedia|
+                    livejournal|twitter|netflix|yahoo-music)
+  --scale-down N    dataset scale-down exponent (default 8)
+  --format F        text | binary (default binary)
+  --out PATH        output file (stats printed to stdout if omitted)
+";
+
+struct Opts {
+    scale: u32,
+    edge_factor: u32,
+    params: RmatParams,
+    seed: u64,
+    items: u32,
+    name: String,
+    scale_down: u32,
+    text: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse(args: &[String]) -> Opts {
+    let mut o = Opts {
+        scale: 16,
+        edge_factor: 16,
+        params: RmatParams::GRAPH500,
+        seed: 1,
+        items: 4096,
+        name: String::new(),
+        scale_down: 8,
+        text: false,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match a.as_str() {
+            "--scale" => o.scale = next("--scale").parse().unwrap_or_else(|_| die("bad --scale")),
+            "--edge-factor" => {
+                o.edge_factor =
+                    next("--edge-factor").parse().unwrap_or_else(|_| die("bad --edge-factor"))
+            }
+            "--params" => {
+                o.params = match next("--params").as_str() {
+                    "graph500" => RmatParams::GRAPH500,
+                    "triangle" => RmatParams::TRIANGLE,
+                    "ratings" => RmatParams::RATINGS,
+                    other => die(&format!("unknown params family {other}")),
+                }
+            }
+            "--seed" => o.seed = next("--seed").parse().unwrap_or_else(|_| die("bad --seed")),
+            "--items" => o.items = next("--items").parse().unwrap_or_else(|_| die("bad --items")),
+            "--name" => o.name = next("--name"),
+            "--scale-down" => {
+                o.scale_down =
+                    next("--scale-down").parse().unwrap_or_else(|_| die("bad --scale-down"))
+            }
+            "--format" => {
+                o.text = match next("--format").as_str() {
+                    "text" => true,
+                    "binary" => false,
+                    other => die(&format!("unknown format {other}")),
+                }
+            }
+            "--out" => o.out = Some(next("--out").into()),
+            other => die(&format!("unknown option {other}")),
+        }
+    }
+    o
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let o = parse(&args[1..]);
+    match cmd.as_str() {
+        "rmat" => {
+            let cfg = RmatConfig {
+                scale: o.scale,
+                edge_factor: o.edge_factor,
+                params: o.params,
+                seed: o.seed,
+                scramble_ids: true,
+                threads: 0,
+            };
+            let el = rmat::generate(&cfg);
+            emit_graph(&el, &o);
+        }
+        "ratings" => {
+            let g = ratings::generate(&RatingsGenConfig {
+                scale: o.scale,
+                edge_factor: o.edge_factor,
+                num_items: o.items,
+                min_degree: 5,
+                seed: o.seed,
+            });
+            let mut el = WeightedEdgeList::new(u64::from(g.num_users()) + u64::from(g.num_items()));
+            for (u, v, r) in g.triples() {
+                el.push(u, g.num_users() + v, r);
+            }
+            match &o.out {
+                Some(path) => {
+                    let f = std::fs::File::create(path).unwrap_or_else(|e| die(&e.to_string()));
+                    io::write_binary_weighted(f, &el).unwrap_or_else(|e| die(&e.to_string()));
+                    println!(
+                        "wrote {} ratings ({} users x {} items) to {}",
+                        g.num_ratings(),
+                        g.num_users(),
+                        g.num_items(),
+                        path.display()
+                    );
+                }
+                None => println!(
+                    "{} ratings, {} users x {} items, mean {:.2} stars",
+                    g.num_ratings(),
+                    g.num_users(),
+                    g.num_items(),
+                    g.mean_rating()
+                ),
+            }
+        }
+        "dataset" => {
+            let ds = match o.name.as_str() {
+                "facebook" => Dataset::FacebookLike,
+                "wikipedia" => Dataset::WikipediaLike,
+                "livejournal" => Dataset::LiveJournalLike,
+                "twitter" => Dataset::TwitterLike,
+                "netflix" => Dataset::NetflixLike,
+                "yahoo-music" => Dataset::YahooMusicLike,
+                other => die(&format!("unknown dataset `{other}` (see --help)")),
+            };
+            if ds.bipartite() {
+                die("use `gengraph ratings` semantics for bipartite datasets: netflix/yahoo-music stand-ins are generated with `dataset` only for stats");
+            }
+            let el = ds.generate_graph(o.scale_down, o.seed);
+            emit_graph(&el, &o);
+        }
+        "stats" => {
+            let cfg = RmatConfig {
+                scale: o.scale,
+                edge_factor: o.edge_factor,
+                params: o.params,
+                seed: o.seed,
+                scramble_ids: true,
+                threads: 0,
+            };
+            let el = rmat::generate(&cfg);
+            print_stats(&el);
+        }
+        "-h" | "--help" => print!("{USAGE}"),
+        other => die(&format!("unknown command `{other}`")),
+    }
+}
+
+fn emit_graph(el: &EdgeList, o: &Opts) {
+    match &o.out {
+        Some(path) => {
+            let f = std::fs::File::create(path).unwrap_or_else(|e| die(&e.to_string()));
+            let res = if o.text {
+                io::write_text_edge_list(f, el)
+            } else {
+                io::write_binary_edge_list(f, el)
+            };
+            res.unwrap_or_else(|e| die(&e.to_string()));
+            println!(
+                "wrote {} vertices, {} edges to {}",
+                el.num_vertices(),
+                el.num_edges(),
+                path.display()
+            );
+        }
+        None => print_stats(el),
+    }
+}
+
+fn print_stats(el: &EdgeList) {
+    let csr = Csr::from_edges(el.num_vertices(), el.edges());
+    let stats = DegreeStats::of(&csr);
+    let hist = DegreeHistogram::of(&csr);
+    let (_, cc) = connected_components(el.num_vertices() as usize, el.edges());
+    println!("vertices            {}", stats.num_vertices);
+    println!("edges               {}", stats.num_edges);
+    println!("max degree          {}", stats.max);
+    println!("mean degree         {:.2}", stats.mean);
+    println!("isolated fraction   {:.3}", stats.isolated_fraction);
+    println!("degree gini         {:.3}", stats.gini);
+    if let Some(slope) = hist.log_log_slope() {
+        println!("log-log tail slope  {slope:.2}");
+    }
+    println!("components          {}", cc.num_components);
+    println!("largest component   {:.1}%", cc.largest_fraction * 100.0);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2)
+}

@@ -1,0 +1,136 @@
+//! `repro` — regenerates every table and figure of Satish et al.
+//! (SIGMOD 2014) on the simulated cluster.
+//!
+//! ```sh
+//! cargo run --release -p graphmaze-bench --bin repro -- all
+//! cargo run --release -p graphmaze-bench --bin repro -- fig4 --scale 15
+//! cargo run --release -p graphmaze-bench --bin repro -- table5 --no-extrapolate
+//! ```
+//!
+//! Artifacts (CSV per experiment) land in `results/` unless `--no-csv`.
+
+use graphmaze_bench::experiments::{extras, figures, tables};
+use graphmaze_bench::ReproConfig;
+
+const USAGE: &str = "\
+usage: repro <experiment>... [options]
+
+experiments:
+  table2 table3 table4 table5 table6 table7
+  fig3 fig4 fig5 fig6 fig7
+  netestimate sgdvsgd giraphsplit ablations strongscaling roadmap relatedwork
+  all         (everything above)
+
+options:
+  --scale N           target log2 vertex count for generated graphs (default 13)
+  --seed N            generator seed (default 20140622)
+  --no-extrapolate    report raw scaled-down seconds instead of paper-scale
+  --no-csv            do not write results/*.csv
+  --out DIR           CSV output directory (default results/)
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
+    let mut cfg = ReproConfig::default();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                cfg.target_scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs an integer"));
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--no-extrapolate" => cfg.extrapolate = false,
+            "--no-csv" => cfg.out_dir = None,
+            "--out" => {
+                cfg.out_dir =
+                    Some(it.next().unwrap_or_else(|| die("--out needs a directory")).into());
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return;
+            }
+            other if other.starts_with('-') => die(&format!("unknown option {other}")),
+            exp => experiments.push(exp.to_string()),
+        }
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "table2", "table3", "table4", "fig3", "table5", "fig4", "table6", "fig5", "fig6",
+            "fig7", "table7", "netestimate", "sgdvsgd", "giraphsplit", "ablations",
+            "strongscaling", "roadmap", "relatedwork",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    println!(
+        "graphmaze repro — scale 2^{}, seed {}, extrapolation {}\n",
+        cfg.target_scale,
+        cfg.seed,
+        if cfg.extrapolate { "on (paper-scale seconds)" } else { "off (raw sim seconds)" }
+    );
+    // fig3/fig4 also produce table5/table6; avoid running them twice
+    let wants = |e: &str| experiments.iter().any(|x| x == e);
+    let mut done_fig3 = false;
+    let mut done_fig4 = false;
+    for exp in &experiments {
+        let text = match exp.as_str() {
+            "table2" => tables::table2(&cfg),
+            "table3" => tables::table3(&cfg),
+            "table4" => tables::table4(&cfg),
+            "fig3" | "table5" => {
+                if done_fig3 {
+                    continue;
+                }
+                done_fig3 = true;
+                let _ = wants;
+                figures::fig3_and_table5(&cfg)
+            }
+            "fig4" | "table6" => {
+                if done_fig4 {
+                    continue;
+                }
+                done_fig4 = true;
+                figures::fig4_and_table6(&cfg)
+            }
+            "fig5" => figures::fig5(&cfg),
+            "fig6" => figures::fig6(&cfg),
+            "fig7" => figures::fig7(&cfg),
+            "table7" => tables::table7(&cfg),
+            "netestimate" => extras::net_estimate(&cfg),
+            "sgdvsgd" => extras::sgd_vs_gd(&cfg),
+            "giraphsplit" => extras::giraph_split(&cfg),
+            "ablations" => extras::ablations(&cfg),
+            "strongscaling" => extras::strong_scaling(&cfg),
+            "roadmap" => extras::roadmap(&cfg),
+            "relatedwork" => extras::related_work(&cfg),
+            other => {
+                eprintln!("unknown experiment `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        println!("{text}");
+        println!("{}", "=".repeat(72));
+    }
+    if let Some(dir) = &cfg.out_dir {
+        println!("CSV artifacts written to {}/", dir.display());
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2)
+}

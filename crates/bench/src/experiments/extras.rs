@@ -1,0 +1,457 @@
+//! The in-text experiments: §5.4 traffic-based prediction, §3.2 SGD vs
+//! GD convergence, §6.1.3 Giraph superstep splitting, and the §6.1.1
+//! design-choice ablations DESIGN.md calls out.
+
+use graphmaze_core::cluster::Partition1D;
+use graphmaze_core::native::cf::{self, CfConfig};
+use graphmaze_core::prelude::*;
+use graphmaze_core::report::{fmt_bytes, fmt_slowdown, format_table};
+
+use super::run_cell;
+use crate::{standard_params, ReproConfig};
+
+/// §5.4 — "we look at only the measured network parameters for pagerank
+/// to estimate performance differences (network bytes sent / peak network
+/// bandwidth)": the paper predicts 1.75 / 9.8 / 5.6 / 32.7× for
+/// CombBLAS / GraphLab / SociaLite / Giraph and finds the estimate within
+/// 2.5× of measured. We reproduce both columns.
+pub fn net_estimate(cfg: &ReproConfig) -> String {
+    let params = standard_params();
+    let wl = Workload::rmat(cfg.target_scale, 16, cfg.seed);
+    let factor =
+        cfg.scale_factor(128u64 << 22, wl.directed.as_ref().unwrap().num_edges());
+    let native = run_cell(Algorithm::PageRank, Framework::Native, &wl, 4, factor, &params)
+        .expect("native runs");
+    let native_est = native.traffic.bytes_sent as f64 / native.traffic.peak_bw_bps.max(1.0);
+    let mut rows = Vec::new();
+    for fw in
+        [Framework::CombBlas, Framework::GraphLab, Framework::SociaLite, Framework::Giraph]
+    {
+        let r = run_cell(Algorithm::PageRank, fw, &wl, 4, factor, &params).expect("runs");
+        let est = r.traffic.bytes_sent as f64 / r.traffic.peak_bw_bps.max(1.0);
+        let predicted = est / native_est;
+        let measured = r.sim_seconds / native.sim_seconds;
+        let ratio = if predicted > measured { predicted / measured } else { measured / predicted };
+        rows.push(vec![
+            fw.name().to_string(),
+            fmt_slowdown(predicted),
+            fmt_slowdown(measured),
+            format!("{ratio:.1}"),
+        ]);
+    }
+    let mut out = String::from(
+        "§5.4 — slowdown predicted from network traffic alone vs measured (pagerank, 4 nodes)\n\
+         (paper predicts 1.75/9.8/5.6/32.7 and is within 2.5x of measured)\n\n",
+    );
+    let headers = ["framework", "predicted", "measured", "prediction error (x)"];
+    out.push_str(&format_table(&headers, &rows));
+    cfg.write_csv("net_estimate", &headers, &rows);
+    out
+}
+
+/// §3.2/§6.1.2 — SGD vs GD convergence on the Netflix stand-in: "for the
+/// Netflix dataset, given a fixed convergence criterion, SGD converges in
+/// about 40x fewer iterations than GD", while per-iteration cost is
+/// similar in native code.
+pub fn sgd_vs_gd(cfg: &ReproConfig) -> String {
+    let wl = Workload::from_dataset(Dataset::NetflixLike, 7, cfg.seed);
+    let g = wl.ratings.as_ref().unwrap();
+    let sgd_cfg = CfConfig { k: 16, lambda: 0.05, gamma0: 0.015, step_decay: 0.95, seed: 7 };
+    let mut gd_cfg = sgd_cfg;
+    // GD sums gradients over all ratings before stepping, so stability
+    // needs a step inversely proportional to the max user/item degree —
+    // part of why its convergence is so much slower (§3.2)
+    let max_deg = (0..g.num_users())
+        .map(|u| g.user_degree(u))
+        .chain((0..g.num_items()).map(|v| g.item_degree(v)))
+        .max()
+        .unwrap_or(1);
+    gd_cfg.gamma0 = (0.5 / f64::from(max_deg)).min(0.002);
+    let epochs = 60;
+    let (_, sgd_hist) = cf::sgd(g, &sgd_cfg, 12, 0);
+    let (_, gd_hist) = cf::gd(g, &gd_cfg, epochs, 0);
+    let target = sgd_hist[1]; // what SGD reaches by epoch 2
+    let se = cf::epochs_to_reach(&sgd_hist, target).expect("sgd reaches its own rmse");
+    let ge = cf::epochs_to_reach(&gd_hist, target);
+    let mut out = String::from("§3.2 — SGD vs GD convergence (netflix stand-in)\n\n");
+    let rows = vec![
+        vec!["sgd".to_string(), format!("{se}"), format!("{:.4}", sgd_hist.last().unwrap())],
+        vec![
+            "gd".to_string(),
+            ge.map_or(format!("> {epochs}"), |g| g.to_string()),
+            format!("{:.4}", gd_hist.last().unwrap()),
+        ],
+    ];
+    let headers = ["method", &format!("epochs to rmse {target:.3}")[..], "final rmse"];
+    out.push_str(&format_table(&headers, &rows));
+    let gap = ge.map_or(epochs as f64 / se as f64, |g| f64::from(g) / f64::from(se));
+    out.push_str(&format!(
+        "\nconvergence gap ≥ {gap:.0}x fewer SGD epochs (paper: ~40x on Netflix)\n"
+    ));
+    cfg.write_csv("sgd_vs_gd", &["method", "epochs_to_target", "final_rmse"], &rows);
+    out
+}
+
+/// §6.1.3 — Giraph superstep splitting: unsplit triangle counting
+/// buffers O(Σd²) message bytes and exhausts memory at paper scale;
+/// splitting into many mini-supersteps caps the buffer at the cost of
+/// extra barriers.
+pub fn giraph_split(cfg: &ReproConfig) -> String {
+    use graphmaze_core::engines::vertex::giraph;
+    let wl = Workload::rmat_triangle(cfg.target_scale, 8, cfg.seed);
+    let oriented = wl.oriented.as_ref().unwrap();
+    let factor = cfg.scale_factor(1_468_365_182, oriented.num_edges()); // Twitter-scale
+    let mut rows = Vec::new();
+    for splits in [1u32, 10, 100] {
+        let res = crate::with_work_scale(factor, || giraph::triangles_split(oriented, 4, splits));
+        match res {
+            Ok((count, report)) => rows.push(vec![
+                splits.to_string(),
+                "ok".to_string(),
+                count.to_string(),
+                fmt_bytes(report.peak_mem_bytes as f64),
+                format!("{:.1}", report.sim_seconds),
+            ]),
+            Err(SimError::OutOfMemory(o)) => rows.push(vec![
+                splits.to_string(),
+                "OOM".to_string(),
+                "-".to_string(),
+                format!("needs {}", fmt_bytes((o.in_use + o.requested) as f64)),
+                "-".to_string(),
+            ]),
+            Err(e) => rows.push(vec![splits.to_string(), format!("{e}"), "-".into(), "-".into(), "-".into()]),
+        }
+    }
+    let mut out = String::from(
+        "§6.1.3 — Giraph triangle counting with superstep splitting (4 nodes, Twitter-scale)\n\
+         (paper: only the split version runs at all)\n\n",
+    );
+    let headers = ["splits", "status", "triangles", "peak mem/node", "sim seconds"];
+    out.push_str(&format_table(&headers, &rows));
+    cfg.write_csv("giraph_split", &headers, &rows);
+    out
+}
+
+/// §6.2 — **the roadmap, applied**: each framework re-run with the
+/// paper's recommended changes implemented as real mechanisms, showing
+/// how far the ninja gap closes. The paper's predictions: GraphLab and
+/// SociaLite "within 5× of native"; Giraph "very competitive with other
+/// frameworks" after a 10× network boost; CombBLAS triangle counting
+/// fixed by fusing A² with the mask.
+pub fn roadmap(cfg: &ReproConfig) -> String {
+    use graphmaze_core::engines::spmv::combblas;
+    use graphmaze_core::engines::vertex::{giraph, graphlab};
+    let params = standard_params();
+    let wl = Workload::rmat(cfg.target_scale, 16, cfg.seed);
+    let g = wl.directed.as_ref().unwrap();
+    let factor = cfg.scale_factor(128u64 << 22, g.num_edges());
+    let native = run_cell(Algorithm::PageRank, Framework::Native, &wl, 4, factor, &params)
+        .expect("native runs");
+    let nt = native.seconds_per_iteration();
+
+    let mut rows = Vec::new();
+    // GraphLab: sockets→MPI + prefetch + compression
+    {
+        let before = run_cell(Algorithm::PageRank, Framework::GraphLab, &wl, 4, factor, &params)
+            .expect("graphlab");
+        let after = crate::with_work_scale(factor, || {
+            graphlab::pagerank_improved(g, PAGERANK_R, params.pr_iterations, 4).expect("improved")
+        })
+        .1;
+        rows.push(vec![
+            "graphlab (pagerank)".into(),
+            "MPI + prefetch + compression".into(),
+            fmt_slowdown(before.seconds_per_iteration() / nt),
+            fmt_slowdown(after.seconds_per_iteration() / nt),
+            "within 5x".into(),
+        ]);
+    }
+    // Giraph: 10x network + 24 workers + streaming buffers + compression
+    {
+        let before = run_cell(Algorithm::PageRank, Framework::Giraph, &wl, 4, factor, &params)
+            .expect("giraph");
+        let after = crate::with_work_scale(factor, || {
+            giraph::pagerank_improved(g, PAGERANK_R, params.pr_iterations, 4).expect("improved")
+        })
+        .1;
+        rows.push(vec![
+            "giraph (pagerank)".into(),
+            "10x network + 24 workers + streaming".into(),
+            fmt_slowdown(before.seconds_per_iteration() / nt),
+            fmt_slowdown(after.seconds_per_iteration() / nt),
+            "competitive".into(),
+        ]);
+    }
+    // CombBLAS: fused masked SpGEMM for TC
+    {
+        let tc_wl = Workload::rmat_triangle(cfg.target_scale, 8, cfg.seed);
+        let tg = tc_wl.oriented.as_ref().unwrap();
+        let tc_factor = cfg.scale_factor(32u64 << 22, tg.num_edges());
+        let tc_native =
+            run_cell(Algorithm::TriangleCount, Framework::Native, &tc_wl, 4, tc_factor, &params)
+                .expect("native tc");
+        let before =
+            run_cell(Algorithm::TriangleCount, Framework::CombBlas, &tc_wl, 4, tc_factor, &params);
+        let (after_count, after) = crate::with_work_scale(tc_factor, || {
+            combblas::triangles_improved(tg, 4).expect("fused tc")
+        });
+        let (native_count, _) = crate::with_work_scale(tc_factor, || {
+            graphmaze_core::native::triangle::triangles_cluster(
+                tg,
+                NativeOptions::all(),
+                4,
+            )
+            .expect("native count")
+        });
+        assert_eq!(after_count, native_count, "fused SpGEMM must count correctly");
+        rows.push(vec![
+            "combblas (triangle)".into(),
+            "fused masked SpGEMM (no A2)".into(),
+            before.map_or("OOM".into(), |r| fmt_slowdown(r.sim_seconds / tc_native.sim_seconds)),
+            fmt_slowdown(after.sim_seconds / tc_native.sim_seconds),
+            "no OOM, overlap".into(),
+        ]);
+    }
+    // CombBLAS: bit-vector frontier compression for BFS
+    {
+        let und = wl.undirected.as_ref().unwrap();
+        let bfs_native = run_cell(Algorithm::Bfs, Framework::Native, &wl, 4, factor, &params)
+            .expect("native bfs");
+        let before = run_cell(Algorithm::Bfs, Framework::CombBlas, &wl, 4, factor, &params)
+            .expect("combblas bfs");
+        let source =
+            (0..und.num_vertices() as u32).max_by_key(|&v| und.adj.degree(v)).unwrap();
+        let after = crate::with_work_scale(factor, || {
+            combblas::bfs_improved(und, source, 4).expect("improved bfs")
+        })
+        .1;
+        rows.push(vec![
+            "combblas (bfs)".into(),
+            "bit-vector frontier compression".into(),
+            fmt_slowdown(before.sim_seconds / bfs_native.sim_seconds),
+            fmt_slowdown(after.sim_seconds / bfs_native.sim_seconds),
+            "improve BFS".into(),
+        ]);
+    }
+    // SociaLite: network fix (Table 7) is its roadmap — reference it
+    {
+        let before =
+            run_cell(Algorithm::PageRank, Framework::SociaLiteUnopt, &wl, 4, factor, &params)
+                .expect("socialite-unopt");
+        let after = run_cell(Algorithm::PageRank, Framework::SociaLite, &wl, 4, factor, &params)
+            .expect("socialite");
+        rows.push(vec![
+            "socialite (pagerank)".into(),
+            "multi-socket + batching (Table 7)".into(),
+            fmt_slowdown(before.seconds_per_iteration() / nt),
+            fmt_slowdown(after.seconds_per_iteration() / nt),
+            "within 5x".into(),
+        ]);
+    }
+    let mut out = String::from(
+        "§6.2 — the roadmap, applied: slowdown vs native before/after the\n\
+         paper's recommended changes (4 nodes)\n\n",
+    );
+    let headers = ["framework", "applied changes", "before", "after", "paper's target"];
+    out.push_str(&format_table(&headers, &rows));
+    cfg.write_csv("roadmap", &headers, &rows);
+    out
+}
+
+/// Extension beyond the paper: **strong scaling** — fixed total problem
+/// size, growing node count. The paper only weak-scales (its rationale:
+/// multi-node runs exist to fit bigger graphs); strong scaling exposes
+/// the communication-to-computation crossover per framework.
+pub fn strong_scaling(cfg: &ReproConfig) -> String {
+    let params = standard_params();
+    let wl = Workload::rmat(cfg.target_scale + 2, 16, cfg.seed);
+    let factor = cfg.scale_factor(512u64 << 20, wl.directed.as_ref().unwrap().num_edges());
+    let mut rows = Vec::new();
+    for nodes in [1usize, 2, 4, 8, 16, 32, 64] {
+        let mut row = vec![nodes.to_string()];
+        for fw in
+            [Framework::Native, Framework::CombBlas, Framework::GraphLab, Framework::Giraph]
+        {
+            match run_cell(Algorithm::PageRank, fw, &wl, nodes, factor, &params) {
+                Ok(r) => row.push(graphmaze_core::report::fmt_secs(r.seconds_per_iteration())),
+                Err(e) => row.push(e),
+            }
+        }
+        rows.push(row);
+    }
+    let mut out = String::from(
+        "Extension — PageRank strong scaling (fixed graph, s/iter)\n\
+         (not in the paper; shows where communication overtakes compute)\n\n",
+    );
+    let headers = ["nodes", "native", "combblas", "graphlab", "giraph"];
+    out.push_str(&format_table(&headers, &rows));
+    cfg.write_csv("strong_scaling", &headers, &rows);
+    out
+}
+
+/// §7 — the related-work frameworks the paper quantifies: GPS ("12X
+/// performance improvement compared to Giraph ... but much slower than
+/// native") and GraphX ("about 7X slower than GraphLab for pagerank").
+pub fn related_work(cfg: &ReproConfig) -> String {
+    use graphmaze_core::engines::vertex::{giraph, graphlab, related};
+    let params = standard_params();
+    let wl = Workload::rmat(cfg.target_scale, 16, cfg.seed);
+    let g = wl.directed.as_ref().unwrap();
+    let factor = cfg.scale_factor(128u64 << 22, g.num_edges());
+    let it = params.pr_iterations;
+    let native = run_cell(Algorithm::PageRank, Framework::Native, &wl, 4, factor, &params)
+        .expect("native");
+    let nt = native.seconds_per_iteration();
+    let run4 = |f: &dyn Fn() -> Result<graphmaze_core::metrics::RunReport, SimError>| -> f64 {
+        crate::with_work_scale(factor, f).expect("runs").seconds_per_iteration()
+    };
+    let giraph_t = run4(&|| giraph::pagerank(g, PAGERANK_R, it, 4).map(|r| r.1));
+    let graphlab_t = run4(&|| graphlab::pagerank(g, PAGERANK_R, it, 4).map(|r| r.1));
+    let gps_t = run4(&|| related::gps_pagerank(g, PAGERANK_R, it, 4).map(|r| r.1));
+    let graphx_t = run4(&|| related::graphx_pagerank(g, PAGERANK_R, it, 4).map(|r| r.1));
+    let rows = vec![
+        vec![
+            "gps".to_string(),
+            fmt_slowdown(gps_t / nt),
+            format!("{:.1}x faster than giraph (paper: 12x)", giraph_t / gps_t),
+        ],
+        vec![
+            "graphx".to_string(),
+            fmt_slowdown(graphx_t / nt),
+            format!("{:.1}x slower than graphlab (paper: ~7x)", graphx_t / graphlab_t),
+        ],
+    ];
+    let mut out = String::from(
+        "§7 — related-work frameworks (pagerank, 4 nodes, paper-scale extrapolation)\n\n",
+    );
+    let headers = ["framework", "slowdown vs native", "paper's cited relation"];
+    out.push_str(&format_table(&headers, &rows));
+    cfg.write_csv("related_work", &headers, &rows);
+    out
+}
+
+/// §6.1.1 ablations of design choices: partitioning balance, the
+/// compression codec's effect on bytes, overlap's effect on triangle-
+/// counting buffer memory, and the direction-optimizing BFS switch.
+pub fn ablations(cfg: &ReproConfig) -> String {
+    let mut out = String::from("Design-choice ablations (§6.1.1)\n\n");
+    let wl = Workload::rmat(cfg.target_scale, 16, cfg.seed);
+    let g = wl.directed.as_ref().unwrap();
+
+    // (1) 1-D partition balance: vertex-balanced vs edge-balanced
+    let by_vertex = Partition1D::balanced_by_vertices(g.num_vertices(), 4);
+    let by_edges = Partition1D::balanced_by_edges(&g.inn, 4);
+    let imbalance = |p: &Partition1D| -> f64 {
+        let loads: Vec<u64> = (0..4).map(|k| p.edges_of(&g.inn, k)).collect();
+        let max = *loads.iter().max().unwrap() as f64;
+        let avg = loads.iter().sum::<u64>() as f64 / 4.0;
+        max / avg.max(1.0)
+    };
+    let rows = vec![
+        vec!["1-D by vertex count".to_string(), format!("{:.2}", imbalance(&by_vertex))],
+        vec!["1-D by edge count".to_string(), format!("{:.2}", imbalance(&by_edges))],
+    ];
+    out.push_str("(1) partitioning — max/avg edge load per node (1.0 = perfect):\n");
+    out.push_str(&format_table(&["scheme", "imbalance"], &rows));
+    cfg.write_csv("ablation_partitioning", &["scheme", "imbalance"], &rows);
+
+    // (2) compression: wire bytes with and without
+    use graphmaze_core::native::pagerank::pagerank_cluster;
+    let on = pagerank_cluster(g, PAGERANK_R, 3, NativeOptions::all(), 4).unwrap().1;
+    let off = pagerank_cluster(
+        g,
+        PAGERANK_R,
+        3,
+        NativeOptions { compression: false, ..NativeOptions::all() },
+        4,
+    )
+    .unwrap()
+    .1;
+    out.push_str(&format!(
+        "\n(2) compression — pagerank wire bytes: {} -> {} ({:.1}x reduction; paper ~2.2x)\n",
+        fmt_bytes(off.traffic.bytes_sent as f64),
+        fmt_bytes(on.traffic.bytes_sent as f64),
+        off.traffic.bytes_sent as f64 / on.traffic.bytes_sent.max(1) as f64
+    ));
+
+    // (3) overlap: triangle-counting buffer memory
+    use graphmaze_core::native::triangle::triangles_cluster;
+    let tc_wl = Workload::rmat_triangle(cfg.target_scale, 8, cfg.seed);
+    let tg = tc_wl.oriented.as_ref().unwrap();
+    let with_overlap = triangles_cluster(tg, NativeOptions::all(), 4).unwrap().1;
+    let without_overlap = triangles_cluster(
+        tg,
+        NativeOptions { overlap: false, ..NativeOptions::all() },
+        4,
+    )
+    .unwrap()
+    .1;
+    out.push_str(&format!(
+        "(3) overlap — TC peak buffer memory: {} -> {} (blocking large messages, §6.1.1)\n",
+        fmt_bytes(without_overlap.peak_mem_bytes as f64),
+        fmt_bytes(with_overlap.peak_mem_bytes as f64),
+    ));
+
+    // (4) direction-optimizing BFS: edges examined
+    use graphmaze_core::native::bfs::bfs_with;
+    let und = wl.undirected.as_ref().unwrap();
+    let source =
+        (0..und.num_vertices() as u32).max_by_key(|&v| und.adj.degree(v)).unwrap();
+    let t0 = std::time::Instant::now();
+    let a = bfs_with(und, source, 4, true);
+    let t_opt = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let b = bfs_with(und, source, 4, false);
+    let t_plain = t0.elapsed();
+    assert_eq!(a, b);
+    out.push_str(&format!(
+        "(4) direction-optimizing BFS — real wall-clock {:?} vs top-down-only {:?} (identical results)\n",
+        t_opt, t_plain
+    ));
+
+    // (5) bit-vector triangle counting: real wall-clock
+    use graphmaze_core::native::triangle::triangles_with;
+    let t0 = std::time::Instant::now();
+    let c1 = triangles_with(tg, 4, true);
+    let t_bv = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let c2 = triangles_with(tg, 4, false);
+    let t_merge = t0.elapsed();
+    assert_eq!(c1, c2);
+    out.push_str(&format!(
+        "(5) TC bit-vector hubs — real wall-clock {:?} vs merge-only {:?} (identical counts)\n",
+        t_bv, t_merge
+    ));
+
+    // (6) GraphLab hub replication: wire traffic with/without
+    {
+        use graphmaze_core::engines::vertex::engine::run;
+        use graphmaze_core::engines::vertex::graphlab;
+        use graphmaze_core::engines::vertex::programs::PageRankProgram;
+        let with = graphlab::pagerank(g, PAGERANK_R, 3, 4).map_err(|e| e.to_string());
+        let mut cfg_no_rep = graphlab::config(5);
+        cfg_no_rep.replicate_hubs_factor = None;
+        let prog = PageRankProgram { r: PAGERANK_R, iterations: 3 };
+        let without = run(
+            &g.out,
+            None,
+            &prog,
+            vec![1.0f64; g.num_vertices()],
+            vec![],
+            true,
+            &cfg_no_rep,
+            4,
+            1,
+        )
+        .map_err(|e| e.to_string());
+        if let (Ok((_, w)), Ok((_, wo))) = (with, without) {
+            out.push_str(&format!(
+                "(6) GraphLab hub replication — pagerank wire bytes {} -> {} ({:.2}x reduction)\n",
+                fmt_bytes(wo.traffic.bytes_sent as f64),
+                fmt_bytes(w.traffic.bytes_sent as f64),
+                wo.traffic.bytes_sent as f64 / w.traffic.bytes_sent.max(1) as f64,
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,372 @@
+//! Figures 3–7 (and the Tables 5/6 geomean summaries derived from them).
+
+use graphmaze_core::prelude::*;
+use graphmaze_core::report::{fmt_secs, fmt_slowdown, format_table, geomean};
+use graphmaze_native::{bfs as nbfs, pagerank as npr, NativeOptions, PAGERANK_R};
+
+use super::{fig3_graph_datasets, fig3_ratings_datasets, reported_seconds, run_cell};
+use crate::{standard_params, ReproConfig};
+
+const FIG_FRAMEWORKS: [Framework; 6] = [
+    Framework::Native,
+    Framework::CombBlas,
+    Framework::GraphLab,
+    Framework::SociaLite,
+    Framework::Giraph,
+    Framework::Galois,
+];
+
+const MULTI_FRAMEWORKS: [Framework; 5] = [
+    Framework::Native,
+    Framework::CombBlas,
+    Framework::GraphLab,
+    Framework::SociaLite,
+    Framework::Giraph,
+];
+
+/// Figure 3a–d and Table 5: single-node runtimes per dataset per
+/// framework, plus the geometric-mean slowdown summary.
+pub fn fig3_and_table5(cfg: &ReproConfig) -> String {
+    let params = standard_params();
+    let graphs = fig3_graph_datasets(cfg);
+    let ratings = fig3_ratings_datasets(cfg);
+    let mut out = String::new();
+    // accumulated slowdowns per (framework, algorithm) for Table 5
+    let mut slowdowns: std::collections::HashMap<(Framework, Algorithm), Vec<f64>> =
+        std::collections::HashMap::new();
+
+    for alg in Algorithm::ALL {
+        let datasets: &[(String, Workload, f64)] =
+            if alg == Algorithm::CollaborativeFiltering { &ratings } else { &graphs };
+        let mut rows = Vec::new();
+        for (name, wl, factor) in datasets {
+            let mut row = vec![name.clone()];
+            let native = run_cell(alg, Framework::Native, wl, 1, *factor, &params)
+                .expect("native must run");
+            for fw in FIG_FRAMEWORKS {
+                match run_cell(alg, fw, wl, 1, *factor, &params) {
+                    Ok(r) => {
+                        row.push(fmt_secs(reported_seconds(alg, &r)));
+                        if fw != Framework::Native {
+                            slowdowns
+                                .entry((fw, alg))
+                                .or_default()
+                                .push(reported_seconds(alg, &r) / reported_seconds(alg, &native));
+                        }
+                    }
+                    Err(e) => row.push(e),
+                }
+            }
+            rows.push(row);
+        }
+        let title = match alg {
+            Algorithm::PageRank => "Figure 3(a) PageRank — seconds per iteration, single node",
+            Algorithm::Bfs => "Figure 3(b) BFS — overall seconds, single node",
+            Algorithm::CollaborativeFiltering => {
+                "Figure 3(c) Collaborative Filtering — seconds per iteration, single node"
+            }
+            Algorithm::TriangleCount => {
+                "Figure 3(d) Triangle Counting — overall seconds, single node"
+            }
+        };
+        out.push_str(title);
+        out.push_str("\n\n");
+        let headers =
+            ["dataset", "native", "combblas", "graphlab", "socialite", "giraph", "galois"];
+        out.push_str(&format_table(&headers, &rows));
+        out.push('\n');
+        cfg.write_csv(&format!("fig3_{}", alg.name()), &headers, &rows);
+    }
+
+    // Table 5
+    out.push_str(
+        "Table 5 — single-node slowdowns vs native, geomean over datasets\n\
+         (paper: PR 1.9/3.6/2.0/39/1.2; BFS 2.5/9.3/7.3/568/1.1;\n\
+          CF 3.5/5.1/5.8/54/1.1; TC 34/3.2/4.7/484/2.5)\n\n",
+    );
+    let mut rows = Vec::new();
+    for alg in Algorithm::ALL {
+        let mut row = vec![alg.name().to_string()];
+        for fw in [
+            Framework::CombBlas,
+            Framework::GraphLab,
+            Framework::SociaLite,
+            Framework::Giraph,
+            Framework::Galois,
+        ] {
+            match slowdowns.get(&(fw, alg)) {
+                Some(v) if !v.is_empty() => row.push(fmt_slowdown(geomean(v))),
+                _ => row.push("n/a".into()),
+            }
+        }
+        rows.push(row);
+    }
+    let headers = ["algorithm", "combblas", "graphlab", "socialite", "giraph", "galois"];
+    out.push_str(&format_table(&headers, &rows));
+    cfg.write_csv("table5", &headers, &rows);
+    out
+}
+
+/// Figure 4a–d and Table 6: weak scaling on synthetic graphs (constant
+/// edges per node) from 1 to 64 nodes, and the multi-node geomean
+/// summary.
+pub fn fig4_and_table6(cfg: &ReproConfig) -> String {
+    let params = standard_params();
+    let node_counts: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+    // per-node budgets, scaled down from the paper's 128M/128M/256M/32M
+    let base_scale = cfg.target_scale.saturating_sub(3).max(8);
+    let mut out = String::new();
+    let mut slowdowns: std::collections::HashMap<(Framework, Algorithm), Vec<f64>> =
+        std::collections::HashMap::new();
+
+    for alg in Algorithm::ALL {
+        let (title, paper_edges_per_node): (&str, u64) = match alg {
+            Algorithm::PageRank => ("Figure 4(a) PageRank weak scaling (s/iter)", 128 << 20),
+            Algorithm::Bfs => ("Figure 4(b) BFS weak scaling (overall s)", 128 << 20),
+            Algorithm::CollaborativeFiltering => {
+                ("Figure 4(c) Collaborative Filtering weak scaling (s/iter)", 256 << 20)
+            }
+            Algorithm::TriangleCount => {
+                ("Figure 4(d) Triangle Counting weak scaling (overall s)", 32 << 20)
+            }
+        };
+        let mut rows = Vec::new();
+        for (i, &nodes) in node_counts.iter().enumerate() {
+            let scale = base_scale + i as u32;
+            let (wl, actual) = match alg {
+                Algorithm::TriangleCount => {
+                    let wl = Workload::rmat_triangle(scale, 8, cfg.seed + i as u64);
+                    let e = wl.oriented.as_ref().unwrap().num_edges();
+                    (wl, e)
+                }
+                Algorithm::CollaborativeFiltering => {
+                    let wl =
+                        Workload::rmat_ratings(scale, 1 << (scale / 2), cfg.seed + i as u64);
+                    let e = wl.ratings.as_ref().unwrap().num_ratings();
+                    (wl, e)
+                }
+                _ => {
+                    let wl = Workload::rmat(scale, 16, cfg.seed + i as u64);
+                    let e = wl.directed.as_ref().unwrap().num_edges();
+                    (wl, e)
+                }
+            };
+            let factor =
+                cfg.scale_factor(paper_edges_per_node * nodes as u64, actual);
+            let mut row = vec![nodes.to_string()];
+            let native = run_cell(alg, Framework::Native, &wl, nodes, factor, &params)
+                .expect("native must run");
+            for fw in MULTI_FRAMEWORKS {
+                match run_cell(alg, fw, &wl, nodes, factor, &params) {
+                    Ok(r) => {
+                        row.push(fmt_secs(reported_seconds(alg, &r)));
+                        if fw != Framework::Native && nodes > 1 {
+                            slowdowns
+                                .entry((fw, alg))
+                                .or_default()
+                                .push(reported_seconds(alg, &r) / reported_seconds(alg, &native));
+                        }
+                    }
+                    Err(e) => row.push(e),
+                }
+            }
+            rows.push(row);
+        }
+        out.push_str(title);
+        out.push_str("\n\n");
+        let headers = ["nodes", "native", "combblas", "graphlab", "socialite", "giraph"];
+        out.push_str(&format_table(&headers, &rows));
+        out.push('\n');
+        cfg.write_csv(&format!("fig4_{}", alg.name()), &headers, &rows);
+    }
+
+    out.push_str(
+        "Table 6 — multi-node slowdowns vs native, geomean over scales\n\
+         (paper: PR 2.5/12.1/7.9/74; BFS 7.1/29.5/18.9/494;\n\
+          CF 3.5/7.1/7.0/88; TC 13.1/3.6/1.5/54)\n\n",
+    );
+    let mut rows = Vec::new();
+    for alg in Algorithm::ALL {
+        let mut row = vec![alg.name().to_string()];
+        for fw in
+            [Framework::CombBlas, Framework::GraphLab, Framework::SociaLite, Framework::Giraph]
+        {
+            match slowdowns.get(&(fw, alg)) {
+                Some(v) if !v.is_empty() => row.push(fmt_slowdown(geomean(v))),
+                _ => row.push("n/a".into()),
+            }
+        }
+        rows.push(row);
+    }
+    let headers = ["algorithm", "combblas", "graphlab", "socialite", "giraph"];
+    out.push_str(&format_table(&headers, &rows));
+    cfg.write_csv("table6", &headers, &rows);
+    out
+}
+
+/// Figure 5 — large real-world graphs on multiple nodes: Twitter
+/// (PageRank/BFS on 4 nodes, TC on 16) and Yahoo! Music CF on 4 nodes.
+/// The paper notes CombBLAS runs out of memory on Twitter TC.
+pub fn fig5(cfg: &ReproConfig) -> String {
+    let params = standard_params();
+    let tspec = Dataset::TwitterLike.spec();
+    let tfull = 64 - (tspec.num_vertices - 1).leading_zeros();
+    let tdown = tfull.saturating_sub(cfg.target_scale);
+    let twitter = Workload::from_dataset(Dataset::TwitterLike, tdown, cfg.seed);
+    let tfactor = cfg.scale_factor(
+        tspec.num_edges,
+        twitter.directed.as_ref().unwrap().num_edges(),
+    );
+    let yspec = Dataset::YahooMusicLike.spec();
+    let yfull = 64 - (yspec.num_vertices - 1).leading_zeros();
+    let ydown = yfull.saturating_sub(cfg.target_scale.min(yfull));
+    let yahoo = Workload::from_dataset(Dataset::YahooMusicLike, ydown, cfg.seed);
+    let yfactor = cfg.scale_factor(
+        yspec.num_edges,
+        yahoo.ratings.as_ref().unwrap().num_ratings(),
+    );
+
+    let runs: [(&str, Algorithm, &Workload, usize, f64); 4] = [
+        ("pagerank (twitter, 4 nodes)", Algorithm::PageRank, &twitter, 4, tfactor),
+        ("bfs (twitter, 4 nodes)", Algorithm::Bfs, &twitter, 4, tfactor),
+        ("cf (yahoo-music, 4 nodes)", Algorithm::CollaborativeFiltering, &yahoo, 4, yfactor),
+        ("triangle (twitter, 16 nodes)", Algorithm::TriangleCount, &twitter, 16, tfactor),
+    ];
+    let mut rows = Vec::new();
+    for (label, alg, wl, nodes, factor) in runs {
+        let mut row = vec![label.to_string()];
+        for fw in MULTI_FRAMEWORKS {
+            match run_cell(alg, fw, wl, nodes, factor, &params) {
+                Ok(r) => row.push(fmt_secs(reported_seconds(alg, &r))),
+                Err(e) => row.push(e),
+            }
+        }
+        rows.push(row);
+    }
+    let mut out = String::from(
+        "Figure 5 — large real-world graphs, multi-node\n\
+         (paper: CombBLAS OOMs on Twitter TC; Giraph BFS 96747 s)\n\n",
+    );
+    let headers = ["run", "native", "combblas", "graphlab", "socialite", "giraph"];
+    out.push_str(&format_table(&headers, &rows));
+    cfg.write_csv("fig5", &headers, &rows);
+    out
+}
+
+/// Figure 6 — system-level metrics for 4-node runs of each algorithm:
+/// CPU utilization, peak network bandwidth, memory footprint and network
+/// bytes sent, normalized exactly as in the paper's caption (100 = 100%
+/// CPU / 5.5 GB/s / 64 GB/node / Giraph's bytes for that algorithm).
+pub fn fig6(cfg: &ReproConfig) -> String {
+    let params = standard_params();
+    let graph = Workload::rmat(cfg.target_scale, 16, cfg.seed);
+    let tc = Workload::rmat_triangle(cfg.target_scale, 8, cfg.seed);
+    let ratings =
+        Workload::rmat_ratings(cfg.target_scale.saturating_sub(1), 1 << (cfg.target_scale / 2), cfg.seed);
+    let mut out = String::new();
+    for alg in Algorithm::ALL {
+        let (wl, paper_edges): (&Workload, u64) = match alg {
+            Algorithm::TriangleCount => (&tc, 32u64 << 22),
+            Algorithm::CollaborativeFiltering => (&ratings, 256u64 << 22),
+            _ => (&graph, 128u64 << 22),
+        };
+        let actual = match alg {
+            Algorithm::TriangleCount => wl.oriented.as_ref().unwrap().num_edges(),
+            Algorithm::CollaborativeFiltering => wl.ratings.as_ref().unwrap().num_ratings(),
+            _ => wl.directed.as_ref().unwrap().num_edges(),
+        };
+        let factor = cfg.scale_factor(paper_edges, actual);
+        let mut reports = Vec::new();
+        for fw in MULTI_FRAMEWORKS {
+            reports.push((fw, run_cell(alg, fw, wl, 4, factor, &params)));
+        }
+        let giraph_bytes = reports
+            .iter()
+            .find(|(fw, _)| *fw == Framework::Giraph)
+            .and_then(|(_, r)| r.as_ref().ok().map(|r| r.net_bytes_per_node()))
+            .unwrap_or(1.0)
+            .max(1.0);
+        let mut rows = Vec::new();
+        for (fw, r) in &reports {
+            match r {
+                Ok(r) => rows.push(vec![
+                    fw.name().to_string(),
+                    format!("{:.0}", r.cpu_utilization * 100.0),
+                    format!("{:.0}", r.traffic.peak_bw_bps / 5.5e9 * 100.0),
+                    format!("{:.0}", r.peak_mem_bytes as f64 / (64u64 << 30) as f64 * 100.0),
+                    format!("{:.0}", r.net_bytes_per_node() / giraph_bytes * 100.0),
+                ]),
+                Err(e) => rows.push(vec![fw.name().into(), e.clone(), e.clone(), e.clone(), e.clone()]),
+            }
+        }
+        out.push_str(&format!("Figure 6 ({}) — normalized system metrics, 4 nodes\n\n", alg.name()));
+        let headers = ["framework", "cpu util %", "peak net bw %", "memory %", "net bytes % of giraph"];
+        out.push_str(&format_table(&headers, &rows));
+        out.push('\n');
+        cfg.write_csv(&format!("fig6_{}", alg.name()), &headers, &rows);
+    }
+    out
+}
+
+/// Figure 7 — the native optimization ablation for PageRank and BFS:
+/// cumulative speedups of software prefetching, + message compression,
+/// + computation/communication overlap (BFS adds the bit-vector data
+/// structure). 4 nodes, as in §6.1.2.
+pub fn fig7(cfg: &ReproConfig) -> String {
+    let wl = Workload::rmat(cfg.target_scale, 16, cfg.seed);
+    let g = wl.directed.as_ref().unwrap();
+    let und = wl.undirected.as_ref().unwrap();
+    let factor = cfg.scale_factor(128u64 << 22, g.num_edges());
+    let source = (0..und.num_vertices() as u32).max_by_key(|&v| und.adj.degree(v)).unwrap();
+
+    let base = NativeOptions::none();
+    let pf = NativeOptions { prefetch: true, ..base };
+    let pf_c = NativeOptions { compression: true, ..pf };
+    let pf_c_o = NativeOptions { overlap: true, ..pf_c };
+    let all = NativeOptions::all(); // adds the bit-vector lever
+
+    let pr_time = |o: NativeOptions| -> f64 {
+        crate::with_work_scale(factor, || {
+            npr::pagerank_cluster(g, PAGERANK_R, 3, o, 4).expect("pr runs").1.sim_seconds
+        })
+    };
+    let bfs_time = |o: NativeOptions| -> f64 {
+        crate::with_work_scale(factor, || {
+            nbfs::bfs_cluster(und, source, o, 4).expect("bfs runs").1.sim_seconds
+        })
+    };
+
+    let pr_base = pr_time(base);
+    let bfs_base = bfs_time(base);
+    let rows = vec![
+        vec![
+            "s/w prefetching".to_string(),
+            format!("{:.1}", pr_base / pr_time(pf)),
+            format!("{:.1}", bfs_base / bfs_time(pf)),
+        ],
+        vec![
+            "+ compression".to_string(),
+            format!("{:.1}", pr_base / pr_time(pf_c)),
+            format!("{:.1}", bfs_base / bfs_time(pf_c)),
+        ],
+        vec![
+            "+ overlap comp/comm".to_string(),
+            format!("{:.1}", pr_base / pr_time(pf_c_o)),
+            format!("{:.1}", bfs_base / bfs_time(pf_c_o)),
+        ],
+        vec![
+            "+ data structure opt".to_string(),
+            format!("{:.1}", pr_base / pr_time(all)),
+            format!("{:.1}", bfs_base / bfs_time(all)),
+        ],
+    ];
+    let mut out = String::from(
+        "Figure 7 — cumulative native optimization speedups, 4 nodes\n\
+         (paper: prefetch then compression ~2-3x then overlap 1.2-2x;\n\
+          BFS bit-vectors ~2x more)\n\n",
+    );
+    let headers = ["optimization (cumulative)", "pagerank speedup", "bfs speedup"];
+    out.push_str(&format_table(&headers, &rows));
+    cfg.write_csv("fig7", &headers, &rows);
+    out
+}

@@ -1,0 +1,119 @@
+//! # graphmaze-bench
+//!
+//! The benchmark harness: [`experiments`] regenerates **every table and
+//! figure** of the paper's evaluation (run the `repro` binary), and the
+//! Criterion benches under `benches/` measure the *real* wall-clock of
+//! the real kernels and engines.
+//!
+//! ## Scale and extrapolation
+//!
+//! The paper's runs use up to 16 B edges on 64 physical nodes; the repro
+//! harness executes the same algorithms on scaled-down inputs and, for
+//! absolute numbers, applies the simulator's *work-scale extrapolation*
+//! (`GRAPHMAZE_WORK_SCALE`): every metered byte, flop, message and
+//! allocation is multiplied by `paper_size / generated_size`, which is
+//! exact for per-edge-linear algorithms (PageRank, CF) and a documented
+//! approximation for BFS/TC. Ratios between frameworks — the paper's
+//! actual findings — do not depend on the extrapolation.
+
+pub mod experiments;
+
+use graphmaze_core::prelude::*;
+
+/// Runs `f` under a simulator work-scale of `scale` (≥ 1), restoring the
+/// previous value afterwards. Not thread-safe: the repro binary is
+/// single-threaded by design.
+pub fn with_work_scale<T>(scale: f64, f: impl FnOnce() -> T) -> T {
+    let prev = std::env::var("GRAPHMAZE_WORK_SCALE").ok();
+    std::env::set_var("GRAPHMAZE_WORK_SCALE", format!("{}", scale.max(1.0)));
+    let out = f();
+    match prev {
+        Some(v) => std::env::set_var("GRAPHMAZE_WORK_SCALE", v),
+        None => std::env::remove_var("GRAPHMAZE_WORK_SCALE"),
+    }
+    out
+}
+
+/// Harness-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ReproConfig {
+    /// Target log2 vertex count for generated graphs (a knob: larger is
+    /// slower but closer to paper scale).
+    pub target_scale: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Extrapolate metered costs to paper scale (absolute seconds) —
+    /// ratios are unaffected either way.
+    pub extrapolate: bool,
+    /// Output directory for CSV artifacts (`None` disables writing).
+    pub out_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        ReproConfig {
+            target_scale: 13,
+            seed: 20140622, // SIGMOD'14 started June 22
+            extrapolate: true,
+            out_dir: Some(std::path::PathBuf::from("results")),
+        }
+    }
+}
+
+impl ReproConfig {
+    /// Extrapolation factor for a dataset with `paper_edges` at paper
+    /// scale when we generated `actual_edges` (1.0 when extrapolation is
+    /// off).
+    pub fn scale_factor(&self, paper_edges: u64, actual_edges: u64) -> f64 {
+        if self.extrapolate {
+            (paper_edges as f64 / actual_edges.max(1) as f64).max(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Writes a CSV artifact if an output directory is configured.
+    pub fn write_csv(&self, name: &str, headers: &[&str], rows: &[Vec<String>]) {
+        if let Some(dir) = &self.out_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let path = dir.join(format!("{name}.csv"));
+            let body = graphmaze_core::report::format_csv(headers, rows);
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("warning: failed to write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Standard per-algorithm benchmark parameters used across experiments.
+pub fn standard_params() -> BenchParams {
+    BenchParams {
+        pr_iterations: 5,
+        bfs_source: u32::MAX,
+        cf: CfConfig { k: 32, lambda: 0.05, gamma0: 0.005, step_decay: 0.98, seed: 42 },
+        cf_iterations: 2,
+        giraph_splits: 16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_scale_guard_restores_env() {
+        std::env::remove_var("GRAPHMAZE_WORK_SCALE");
+        let inside = with_work_scale(8.0, || std::env::var("GRAPHMAZE_WORK_SCALE").unwrap());
+        assert_eq!(inside, "8");
+        assert!(std::env::var("GRAPHMAZE_WORK_SCALE").is_err());
+    }
+
+    #[test]
+    fn scale_factor_math() {
+        let cfg = ReproConfig::default();
+        assert_eq!(cfg.scale_factor(1000, 10), 100.0);
+        assert_eq!(cfg.scale_factor(5, 10), 1.0);
+        let off = ReproConfig { extrapolate: false, ..ReproConfig::default() };
+        assert_eq!(off.scale_factor(1000, 10), 1.0);
+    }
+}

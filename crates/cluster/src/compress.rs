@@ -1,0 +1,272 @@
+//! Message compression: delta + varint coding and bitmap coding of vertex
+//! id sets.
+//!
+//! "The data communicated among nodes is the id's of destination vertices
+//! of the edges traversed. Such data has been observed to be compressible
+//! using techniques like bit-vectors and delta coding" (§6.1.1) — worth
+//! 3.2× on BFS and 2.2× on PageRank traffic in the paper's native code.
+//! Both codecs here are real encoders with exact round-trips; the
+//! simulator charges the *encoded* sizes to the network.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use graphmaze_graph::VertexId;
+
+/// Which codec a buffer used (first byte on the wire).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Encoding {
+    /// Raw little-endian u32 ids.
+    Raw,
+    /// Ascending deltas, LEB128 varints.
+    DeltaVarint,
+    /// Dense bitmap over the universe.
+    Bitmap,
+}
+
+impl Encoding {
+    fn tag(self) -> u8 {
+        match self {
+            Encoding::Raw => 0,
+            Encoding::DeltaVarint => 1,
+            Encoding::Bitmap => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Encoding> {
+        match t {
+            0 => Some(Encoding::Raw),
+            1 => Some(Encoding::DeltaVarint),
+            2 => Some(Encoding::Bitmap),
+            _ => None,
+        }
+    }
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        if !buf.has_remaining() || shift >= 64 {
+            return None;
+        }
+        let byte = buf.get_u8();
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes a **sorted, deduplicated** id list with the requested codec.
+/// Layout: `[tag u8][count varint][universe varint][payload]`.
+pub fn encode_with(ids: &[VertexId], universe: u64, enc: Encoding) -> Bytes {
+    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted unique");
+    debug_assert!(ids.iter().all(|&v| u64::from(v) < universe || universe == 0));
+    let mut buf = BytesMut::new();
+    buf.put_u8(enc.tag());
+    put_varint(&mut buf, ids.len() as u64);
+    put_varint(&mut buf, universe);
+    match enc {
+        Encoding::Raw => {
+            for &v in ids {
+                buf.put_u32_le(v);
+            }
+        }
+        Encoding::DeltaVarint => {
+            let mut prev = 0u64;
+            for &v in ids {
+                put_varint(&mut buf, u64::from(v) - prev);
+                prev = u64::from(v);
+            }
+        }
+        Encoding::Bitmap => {
+            let words = universe.div_ceil(64);
+            let mut bm = vec![0u64; words as usize];
+            for &v in ids {
+                bm[(v / 64) as usize] |= 1u64 << (v % 64);
+            }
+            for w in bm {
+                buf.put_u64_le(w);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Encodes with whichever codec is smallest for this density.
+///
+/// ```
+/// use graphmaze_cluster::compress::{decode, encode_best, raw_size};
+/// let frontier: Vec<u32> = (0..10_000).step_by(3).collect();
+/// let wire = encode_best(&frontier, 10_000);
+/// assert!(wire.len() as u64 * 2 < raw_size(frontier.len())); // >2x smaller
+/// assert_eq!(decode(&wire).unwrap(), frontier);              // lossless
+/// ```
+pub fn encode_best(ids: &[VertexId], universe: u64) -> Bytes {
+    let raw_len = 1 + 10 + 10 + ids.len() * 4;
+    let bitmap_len = 1 + 10 + 10 + (universe.div_ceil(64) * 8) as usize;
+    // delta size is data-dependent; encode it and compare against the
+    // cheap estimates, picking bitmap only when clearly denser.
+    let delta = encode_with(ids, universe, Encoding::DeltaVarint);
+    if bitmap_len < delta.len() && bitmap_len < raw_len {
+        encode_with(ids, universe, Encoding::Bitmap)
+    } else if delta.len() <= raw_len {
+        delta
+    } else {
+        encode_with(ids, universe, Encoding::Raw)
+    }
+}
+
+/// Decodes any buffer produced by [`encode_with`] / [`encode_best`].
+pub fn decode(bytes: &Bytes) -> Option<Vec<VertexId>> {
+    let mut buf = bytes.clone();
+    if !buf.has_remaining() {
+        return None;
+    }
+    let enc = Encoding::from_tag(buf.get_u8())?;
+    let count = get_varint(&mut buf)? as usize;
+    let universe = get_varint(&mut buf)?;
+    let mut out = Vec::with_capacity(count);
+    match enc {
+        Encoding::Raw => {
+            for _ in 0..count {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                out.push(buf.get_u32_le());
+            }
+        }
+        Encoding::DeltaVarint => {
+            let mut prev = 0u64;
+            for _ in 0..count {
+                prev += get_varint(&mut buf)?;
+                out.push(VertexId::try_from(prev).ok()?);
+            }
+        }
+        Encoding::Bitmap => {
+            let words = universe.div_ceil(64) as usize;
+            for w in 0..words {
+                if buf.remaining() < 8 {
+                    return None;
+                }
+                let mut word = buf.get_u64_le();
+                while word != 0 {
+                    let bit = word.trailing_zeros() as u64;
+                    out.push((w as u64 * 64 + bit) as VertexId);
+                    word &= word - 1;
+                }
+            }
+            if out.len() != count {
+                return None;
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Uncompressed wire size of `n` ids (the 4-byte-per-id baseline the
+/// paper's compression factors are measured against).
+pub fn raw_size(n: usize) -> u64 {
+    (n * 4) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ids: &[u32], universe: u64, enc: Encoding) {
+        let b = encode_with(ids, universe, enc);
+        let back = decode(&b).expect("decodes");
+        assert_eq!(back, ids, "{enc:?}");
+    }
+
+    #[test]
+    fn all_codecs_round_trip() {
+        let ids = vec![0u32, 1, 7, 63, 64, 100, 1023];
+        for enc in [Encoding::Raw, Encoding::DeltaVarint, Encoding::Bitmap] {
+            roundtrip(&ids, 1024, enc);
+        }
+    }
+
+    #[test]
+    fn empty_list_round_trips() {
+        for enc in [Encoding::Raw, Encoding::DeltaVarint, Encoding::Bitmap] {
+            roundtrip(&[], 100, enc);
+        }
+    }
+
+    #[test]
+    fn delta_beats_raw_on_dense_ascending_runs() {
+        let ids: Vec<u32> = (1000..2000).collect();
+        let raw = encode_with(&ids, 1 << 20, Encoding::Raw);
+        let delta = encode_with(&ids, 1 << 20, Encoding::DeltaVarint);
+        // deltas of 1 are single bytes: ~4x smaller than raw
+        assert!(delta.len() * 3 < raw.len(), "delta {} raw {}", delta.len(), raw.len());
+    }
+
+    #[test]
+    fn bitmap_beats_delta_on_very_dense_sets() {
+        let ids: Vec<u32> = (0..10_000).step_by(2).collect(); // 50% dense
+        let bitmap = encode_with(&ids, 10_000, Encoding::Bitmap);
+        let delta = encode_with(&ids, 10_000, Encoding::DeltaVarint);
+        assert!(bitmap.len() < delta.len());
+    }
+
+    #[test]
+    fn encode_best_picks_a_small_codec() {
+        let sparse: Vec<u32> = vec![5, 100_000, 4_000_000];
+        let best = encode_best(&sparse, 1 << 23);
+        assert!(best.len() < raw_size(3) as usize + 21);
+        assert_eq!(decode(&best).unwrap(), sparse);
+
+        let dense: Vec<u32> = (0..4096).collect();
+        let best = encode_best(&dense, 4096);
+        assert_eq!(decode(&best).unwrap(), dense);
+        assert!(best.len() <= 4096 / 8 + 24, "dense set should bitmap: {}", best.len());
+    }
+
+    #[test]
+    fn varint_edge_values() {
+        let mut buf = BytesMut::new();
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::from(u32::MAX), u64::MAX] {
+            put_varint(&mut buf, v);
+        }
+        let mut b = buf.freeze();
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::from(u32::MAX), u64::MAX] {
+            assert_eq!(get_varint(&mut b), Some(v));
+        }
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&Bytes::from_static(&[])).is_none());
+        assert!(decode(&Bytes::from_static(&[9, 1, 1])).is_none());
+        // truncated raw payload
+        let b = encode_with(&[1, 2, 3], 10, Encoding::Raw);
+        let truncated = b.slice(0..b.len() - 2);
+        assert!(decode(&truncated).is_none());
+    }
+
+    #[test]
+    fn compression_factor_on_bfs_like_traffic() {
+        // A BFS frontier: clustered ascending ids — the paper reports ~3.2x
+        // net benefit; the codec alone should compress well over 2x.
+        let ids: Vec<u32> = (0..100_000u32).filter(|v| v % 3 != 0).collect();
+        let best = encode_best(&ids, 100_000);
+        let factor = raw_size(ids.len()) as f64 / best.len() as f64;
+        assert!(factor > 2.0, "compression factor {factor}");
+    }
+}

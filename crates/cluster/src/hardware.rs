@@ -1,0 +1,123 @@
+//! Hardware model: the paper's evaluation platform as constants.
+//!
+//! §4.3: dual-socket Intel Xeon E5-2697 nodes — 24 cores / 48 threads at
+//! 2.7 GHz, 64 GB DRAM — connected by Mellanox FDR InfiniBand. Table 4 and
+//! the Figure 6 caption pin the achievable ceilings: ~85 GB/s STREAM
+//! bandwidth (PageRank reaches 78 GB/s = 92%) and 5.5 GB/s/node network.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-node hardware constants.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSpec {
+    /// Physical cores per node.
+    pub cores: u32,
+    /// Core clock, Hz.
+    pub freq_hz: f64,
+    /// Sustained arithmetic ops per core per cycle (scalar/SIMD mix).
+    pub ipc: f64,
+    /// Peak streaming memory bandwidth, bytes/sec.
+    pub mem_bw_bps: f64,
+    /// Fraction of cores needed to saturate memory bandwidth. A memory
+    /// stream from `cores * bw_saturation_fraction` cores already hits
+    /// peak; fewer cores get a proportional share.
+    pub bw_saturation_fraction: f64,
+    /// DRAM random-access latency, seconds.
+    pub rand_latency_s: f64,
+    /// Outstanding misses per core without software prefetch (dependent
+    /// pointer-chasing loads sustain very little overlap).
+    pub mlp_base: f64,
+    /// Outstanding misses per core with software prefetch hints —
+    /// Fig 7 shows prefetch is worth ~3–5× on irregular kernels.
+    pub mlp_prefetch: f64,
+    /// DRAM capacity, bytes.
+    pub mem_capacity_bytes: u64,
+}
+
+impl HardwareSpec {
+    /// The paper's node (§4.3, Table 4, Fig 6 caption).
+    pub fn paper() -> Self {
+        HardwareSpec {
+            cores: 24,
+            freq_hz: 2.7e9,
+            ipc: 2.0,
+            mem_bw_bps: 85.0e9,
+            bw_saturation_fraction: 1.0 / 3.0,
+            rand_latency_s: 90e-9,
+            mlp_base: 2.0,
+            mlp_prefetch: 16.0,
+            mem_capacity_bytes: 64 << 30,
+        }
+    }
+
+    /// Peak node arithmetic throughput, ops/sec.
+    pub fn flops_bps(&self) -> f64 {
+        f64::from(self.cores) * self.freq_hz * self.ipc
+    }
+
+    /// Effective streaming bandwidth when only `core_fraction` of cores
+    /// issue loads.
+    pub fn effective_mem_bw(&self, core_fraction: f64) -> f64 {
+        let f = (core_fraction / self.bw_saturation_fraction).min(1.0);
+        self.mem_bw_bps * f.max(0.0)
+    }
+}
+
+/// A cluster: homogeneous nodes over one interconnect.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-node hardware.
+    pub hw: HardwareSpec,
+}
+
+impl ClusterSpec {
+    /// `nodes` paper-spec nodes.
+    pub fn paper(nodes: usize) -> Self {
+        assert!(nodes >= 1, "cluster needs at least one node");
+        ClusterSpec { nodes, hw: HardwareSpec::paper() }
+    }
+
+    /// Single paper-spec node.
+    pub fn single() -> Self {
+        ClusterSpec::paper(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_match_table4_ceilings() {
+        let hw = HardwareSpec::paper();
+        assert_eq!(hw.cores, 24);
+        // PageRank reaches 78 GB/s = 92% of peak ⇒ peak ≈ 85 GB/s.
+        assert!((hw.mem_bw_bps - 85.0e9).abs() < 1.0);
+        assert_eq!(hw.mem_capacity_bytes, 64 << 30);
+    }
+
+    #[test]
+    fn flops_throughput() {
+        let hw = HardwareSpec::paper();
+        assert!((hw.flops_bps() - 24.0 * 2.7e9 * 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn mem_bw_scales_until_saturation() {
+        let hw = HardwareSpec::paper();
+        assert!((hw.effective_mem_bw(1.0) - hw.mem_bw_bps).abs() < 1.0);
+        // 1/3 of cores already saturate
+        assert!((hw.effective_mem_bw(1.0 / 3.0) - hw.mem_bw_bps).abs() < 1.0);
+        // 1/6 of cores get half
+        assert!((hw.effective_mem_bw(1.0 / 6.0) - hw.mem_bw_bps * 0.5).abs() < 1.0);
+        assert_eq!(hw.effective_mem_bw(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_cluster_rejected() {
+        ClusterSpec::paper(0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # graphmaze-cluster
+//!
+//! The simulated multi-node substrate on which all graphmaze benchmarks
+//! run. The paper's evaluation platform — up to 64 Xeon E5-2697 nodes on
+//! FDR InfiniBand (§4.3) — is reproduced as a deterministic discrete-cost
+//! simulator:
+//!
+//! * algorithms execute **for real** on real data partitioned across
+//!   simulated nodes (results are bit-checked against single-node code);
+//! * every byte streamed, random access made, flop executed and message
+//!   sent is metered ([`graphmaze_metrics::Work`]) and converted to
+//!   simulated seconds using the paper's own hardware constants
+//!   ([`HardwareSpec::paper`]);
+//! * communication layers carry the paper's measured characteristics
+//!   ([`CommLayer::mpi`], [`CommLayer::socket`], [`CommLayer::multi_socket`],
+//!   [`CommLayer::netty`] — §3, §5.4, §6.1.3);
+//! * per-framework execution behaviour (core usage, buffering, overlap,
+//!   per-superstep coordination cost) is captured by [`ExecProfile`];
+//! * partitioning schemes match §6.1.1: 1-D balanced-by-edges
+//!   ([`Partition1D`]), 2-D grid ([`Partition2D`]), and high-degree
+//!   replication ([`partition::hubs_to_replicate`]).
+
+pub mod comm;
+pub mod compress;
+pub mod hardware;
+pub mod partition;
+pub mod profile;
+pub mod sim;
+
+pub use comm::CommLayer;
+pub use hardware::{ClusterSpec, HardwareSpec};
+pub use partition::{Partition1D, Partition2D};
+pub use profile::ExecProfile;
+pub use sim::{Sim, SimError};

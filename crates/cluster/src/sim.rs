@@ -1,0 +1,449 @@
+//! The discrete-cost cluster simulator.
+//!
+//! Engines drive a [`Sim`] through a bulk-synchronous protocol:
+//!
+//! 1. [`Sim::charge`] — meter real computation done on behalf of a node;
+//! 2. [`Sim::send`] — meter real message payloads put on the wire;
+//! 3. [`Sim::alloc`]/[`Sim::free`] — account data-structure memory;
+//! 4. [`Sim::end_step`] — the BSP barrier: the step costs the *maximum*
+//!    over nodes of compute time and comm time (overlapped or summed per
+//!    the engine's [`ExecProfile`]), plus the per-step coordination cost.
+//!
+//! The final [`RunReport`] carries the simulated runtime plus exactly the
+//! system-level metrics of the paper's Figure 6.
+
+use graphmaze_metrics::{MemTracker, OutOfMemory, RunReport, TrafficStats, Work};
+use serde::{Deserialize, Serialize};
+
+use crate::hardware::ClusterSpec;
+use crate::profile::ExecProfile;
+
+/// Errors surfaced by the simulator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SimError {
+    /// A node exceeded its memory capacity — the paper's CombBLAS-TC /
+    /// Giraph failure mode.
+    OutOfMemory(OutOfMemory),
+    /// The engine asked for an impossible configuration (e.g. CombBLAS on
+    /// a non-square node count).
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::OutOfMemory(e) => write!(f, "{e}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<OutOfMemory> for SimError {
+    fn from(e: OutOfMemory) -> Self {
+        SimError::OutOfMemory(e)
+    }
+}
+
+/// The simulator state for one run.
+#[derive(Clone, Debug)]
+pub struct Sim {
+    cluster: ClusterSpec,
+    profile: ExecProfile,
+    clock: f64,
+    /// Per-node compute seconds accumulated in the current step.
+    step_compute: Vec<f64>,
+    /// Per-node wire bytes sent in the current step.
+    step_bytes: Vec<u64>,
+    /// Per-node messages sent in the current step.
+    step_msgs: Vec<u64>,
+    /// Per-node pre-compression bytes in the current step.
+    step_raw_bytes: Vec<u64>,
+    mem: Vec<MemTracker>,
+    traffic: TrafficStats,
+    busy_core_seconds: f64,
+    compute_seconds: f64,
+    comm_seconds: f64,
+    steps: u32,
+    iterations: u32,
+    work_scale: f64,
+    total_work: Work,
+}
+
+impl Sim {
+    /// A fresh simulator for `cluster` running under `profile`.
+    ///
+    /// The **work scale** defaults to 1.0 or the `GRAPHMAZE_WORK_SCALE`
+    /// environment variable: every charged work item, message and
+    /// allocation is multiplied by it, extrapolating a structurally
+    /// identical graph `scale`× larger. The repro harness uses this to
+    /// report paper-scale runtimes (and paper-scale OOM behaviour) from
+    /// scaled-down inputs; see DESIGN.md §2.
+    pub fn new(cluster: ClusterSpec, profile: ExecProfile) -> Self {
+        let work_scale = std::env::var("GRAPHMAZE_WORK_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|&s| s.is_finite() && s >= 1.0)
+            .unwrap_or(1.0);
+        let n = cluster.nodes;
+        Sim {
+            work_scale,
+            total_work: Work::ZERO,
+            cluster,
+            profile,
+            clock: 0.0,
+            step_compute: vec![0.0; n],
+            step_bytes: vec![0; n],
+            step_msgs: vec![0; n],
+            step_raw_bytes: vec![0; n],
+            mem: (0..n).map(|i| MemTracker::new(i, cluster.hw.mem_capacity_bytes)).collect(),
+            traffic: TrafficStats::default(),
+            busy_core_seconds: 0.0,
+            compute_seconds: 0.0,
+            comm_seconds: 0.0,
+            steps: 0,
+            iterations: 0,
+        }
+    }
+
+    /// Number of simulated nodes.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.cluster.nodes
+    }
+
+    /// The active execution profile.
+    #[inline]
+    pub fn profile(&self) -> &ExecProfile {
+        &self.profile
+    }
+
+    /// The cluster specification.
+    #[inline]
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Converts counted work to node-seconds under the current profile —
+    /// a roofline over the three node resources (paper §5.1: every kernel
+    /// is limited by memory bandwidth, random-access latency or
+    /// arithmetic). Each random access moves a full cache line, so heavy
+    /// gather loads consume *bandwidth* as well as latency; whichever
+    /// ceiling is hit first binds.
+    pub fn compute_seconds_for(&self, work: Work) -> f64 {
+        const CACHE_LINE: f64 = 64.0;
+        let hw = &self.cluster.hw;
+        let p = &self.profile;
+        let cf = p.core_fraction.clamp(0.0, 1.0);
+        let cores_used = (f64::from(hw.cores) * cf).max(1.0);
+        let m = p.work_multiplier;
+        let dram_bytes = work.seq_bytes as f64 + work.rand_accesses as f64 * CACHE_LINE;
+        let stream_t = dram_bytes * m / hw.effective_mem_bw(cf).max(1.0);
+        let mlp = if p.sw_prefetch { hw.mlp_prefetch } else { hw.mlp_base };
+        let rand_t = work.rand_accesses as f64 * m * hw.rand_latency_s / (mlp * cores_used);
+        let flop_t = work.flops as f64 * m / (hw.freq_hz * hw.ipc * cores_used);
+        stream_t.max(rand_t).max(flop_t)
+    }
+
+    /// Meters `work` done on behalf of `node` in the current step.
+    pub fn charge(&mut self, node: usize, work: Work) {
+        let work = work.scaled(self.work_scale);
+        self.total_work.accumulate(work);
+        self.step_compute[node] += self.compute_seconds_for(work);
+    }
+
+    /// Meters a message of `wire_bytes` (post-compression) sent by `node`.
+    /// `raw_bytes` is the pre-compression payload size; CPU-side message
+    /// handling (serialization/boxing) is charged per the comm layer.
+    pub fn send(&mut self, node: usize, wire_bytes: u64, raw_bytes: u64, msgs: u64) {
+        // Extrapolation grows message *sizes*, not message counts: a
+        // scale×-larger graph ships scale×-bigger bulk transfers over the
+        // same communication pattern.
+        let scale = self.work_scale;
+        let wire_bytes = (wire_bytes as f64 * scale) as u64;
+        let raw_bytes = (raw_bytes as f64 * scale) as u64;
+        self.step_bytes[node] += wire_bytes;
+        self.step_raw_bytes[node] += raw_bytes;
+        self.step_msgs[node] += msgs;
+        let cpu_bytes = (wire_bytes as f64 * self.profile.comm.cpu_bytes_per_wire_byte) as u64;
+        if cpu_bytes > 0 {
+            // already scaled: charge unscaled through step_compute directly
+            let w = Work::stream(cpu_bytes);
+            self.total_work.accumulate(w);
+            self.step_compute[node] += self.compute_seconds_for(w);
+        }
+    }
+
+    /// Accounts an allocation on `node`; fails when capacity is exceeded.
+    pub fn alloc(&mut self, node: usize, bytes: u64, label: &str) -> Result<(), SimError> {
+        let bytes = (bytes as f64 * self.work_scale) as u64;
+        self.mem[node].alloc(bytes, label).map_err(SimError::from)
+    }
+
+    /// Charges the same allocation on **every** node (replicated state).
+    pub fn alloc_all(&mut self, bytes: u64, label: &str) -> Result<(), SimError> {
+        for node in 0..self.nodes() {
+            self.alloc(node, bytes, label)?;
+        }
+        Ok(())
+    }
+
+    /// Releases a previously charged allocation on `node`.
+    pub fn free(&mut self, node: usize, bytes: u64) {
+        self.mem[node].free((bytes as f64 * self.work_scale) as u64);
+    }
+
+    /// Releases the same allocation on every node.
+    pub fn free_all(&mut self, bytes: u64) {
+        for node in 0..self.nodes() {
+            self.free(node, bytes);
+        }
+    }
+
+    /// Current bytes in use on `node`.
+    pub fn mem_in_use(&self, node: usize) -> u64 {
+        self.mem[node].in_use()
+    }
+
+    /// The BSP barrier: folds the current step into the clock.
+    pub fn end_step(&mut self) {
+        let p = &self.profile;
+        let compute_t = self.step_compute.iter().copied().fold(0.0, f64::max);
+        let comm_t = (0..self.nodes())
+            .map(|i| p.comm.transfer_seconds(self.step_bytes[i], self.step_msgs[i]))
+            .fold(0.0, f64::max);
+        let body = if p.overlap { compute_t.max(comm_t) } else { compute_t + comm_t };
+        let step_t = body + p.per_step_overhead_s;
+        self.clock += step_t;
+        self.compute_seconds += compute_t;
+        self.comm_seconds += comm_t;
+
+        let cores_used = f64::from(self.cluster.hw.cores) * p.core_fraction.clamp(0.0, 1.0);
+        self.busy_core_seconds +=
+            self.step_compute.iter().map(|&c| c * cores_used).sum::<f64>();
+
+        let total_bytes: u64 = self.step_bytes.iter().sum();
+        let total_msgs: u64 = self.step_msgs.iter().sum();
+        let total_raw: u64 = self.step_raw_bytes.iter().sum();
+        let max_node_bytes = self.step_bytes.iter().copied().max().unwrap_or(0);
+        if total_bytes > 0 || total_msgs > 0 {
+            self.traffic.record_step(total_bytes, total_msgs, total_raw, max_node_bytes, comm_t);
+        }
+
+        self.step_compute.fill(0.0);
+        self.step_bytes.fill(0);
+        self.step_msgs.fill(0);
+        self.step_raw_bytes.fill(0);
+        self.steps += 1;
+    }
+
+    /// Marks the end of one *algorithm* iteration (may span several BSP
+    /// steps, e.g. Giraph superstep splitting).
+    pub fn end_iteration(&mut self) {
+        self.iterations += 1;
+    }
+
+    /// Simulated seconds elapsed so far.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Finalizes the run into a report. Any metering not yet folded by an
+    /// [`Sim::end_step`] is flushed as a final step first.
+    pub fn finish(mut self) -> RunReport {
+        let pending = self.step_compute.iter().any(|&c| c > 0.0)
+            || self.step_bytes.iter().any(|&b| b > 0)
+            || self.step_msgs.iter().any(|&m| m > 0);
+        if pending {
+            self.end_step();
+        }
+        let total_core_seconds =
+            self.clock * self.cluster.nodes as f64 * f64::from(self.cluster.hw.cores);
+        let cpu_utilization = if total_core_seconds > 0.0 {
+            (self.busy_core_seconds / total_core_seconds).min(1.0)
+        } else {
+            0.0
+        };
+        RunReport {
+            sim_seconds: self.clock,
+            steps: self.steps,
+            iterations: self.iterations.max(1),
+            nodes: self.cluster.nodes,
+            cpu_utilization,
+            peak_mem_bytes: self.mem.iter().map(|m| m.peak()).max().unwrap_or(0),
+            compute_seconds: self.compute_seconds,
+            comm_seconds: self.comm_seconds,
+            traffic: self.traffic,
+            total_work: self.total_work,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::ClusterSpec;
+
+    fn sim4() -> Sim {
+        Sim::new(ClusterSpec::paper(4), ExecProfile::native())
+    }
+
+    #[test]
+    fn streaming_work_is_bandwidth_bound() {
+        let sim = Sim::new(ClusterSpec::single(), ExecProfile::native());
+        // 85 GB at 85 GB/s = 1 second
+        let t = sim.compute_seconds_for(Work::stream(85_000_000_000));
+        assert!((t - 1.0).abs() < 1e-6, "t={t}");
+    }
+
+    #[test]
+    fn random_access_depends_on_prefetch() {
+        let native = Sim::new(ClusterSpec::single(), ExecProfile::native());
+        let mut no_prefetch_profile = ExecProfile::native();
+        no_prefetch_profile.sw_prefetch = false;
+        let plain = Sim::new(ClusterSpec::single(), no_prefetch_profile);
+        let w = Work::random(1_000_000_000);
+        let fast = native.compute_seconds_for(w);
+        let slow = plain.compute_seconds_for(w);
+        // without prefetch, latency binds (MLP 2); with prefetch the
+        // roofline moves to the line-traffic bandwidth ceiling — the
+        // Fig 7 prefetch lever, worth ~2.5x on pure gathers.
+        let ratio = slow / fast;
+        assert!(ratio > 2.0 && ratio < 4.0, "ratio {ratio}");
+        // prefetched gathers are bandwidth-bound: 64 B/line at 85 GB/s
+        let bw_bound = 1_000_000_000.0 * 64.0 / 85.0e9;
+        assert!((fast - bw_bound).abs() / bw_bound < 1e-6, "fast {fast} vs {bw_bound}");
+    }
+
+    #[test]
+    fn binding_resource_wins() {
+        let sim = Sim::new(ClusterSpec::single(), ExecProfile::native());
+        let w = Work { seq_bytes: 85_000_000_000, rand_accesses: 1, flops: 1 };
+        let t = sim.compute_seconds_for(w);
+        assert!((t - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn work_multiplier_scales_time() {
+        let mut p = ExecProfile::native();
+        p.work_multiplier = 3.0;
+        let sim = Sim::new(ClusterSpec::single(), p);
+        let base = Sim::new(ClusterSpec::single(), ExecProfile::native());
+        let w = Work::stream(1 << 30);
+        assert!(
+            (sim.compute_seconds_for(w) / base.compute_seconds_for(w) - 3.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn step_takes_max_over_nodes() {
+        let mut sim = sim4();
+        sim.charge(0, Work::stream(85_000_000_000)); // 1 s
+        sim.charge(1, Work::stream(8_500_000_000)); // 0.1 s
+        sim.end_step();
+        let c = sim.clock();
+        assert!((c - 1.0).abs() < 1e-3, "clock {c}");
+    }
+
+    #[test]
+    fn overlap_hides_communication() {
+        let mut with = Sim::new(ClusterSpec::paper(2), ExecProfile::native());
+        let mut without_profile = ExecProfile::native();
+        without_profile.overlap = false;
+        let mut without = Sim::new(ClusterSpec::paper(2), without_profile);
+        for sim in [&mut with, &mut without] {
+            sim.charge(0, Work::stream(85_000_000_000)); // 1 s compute
+            sim.send(0, 5_500_000_000, 5_500_000_000, 1); // 1 s comm
+            sim.end_step();
+        }
+        assert!((with.clock() - 1.0).abs() < 1e-3, "overlap {}", with.clock());
+        assert!((without.clock() - 2.0).abs() < 1e-3, "no overlap {}", without.clock());
+    }
+
+    #[test]
+    fn per_step_overhead_accumulates() {
+        let mut p = ExecProfile::native();
+        p.per_step_overhead_s = 0.5;
+        let mut sim = Sim::new(ClusterSpec::single(), p);
+        for _ in 0..4 {
+            sim.end_step();
+        }
+        assert!((sim.clock() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_reflects_core_fraction_and_idle() {
+        // full compute with all cores → utilization ≈ 1
+        let mut sim = Sim::new(ClusterSpec::single(), ExecProfile::native());
+        sim.charge(0, Work::stream(85_000_000_000));
+        sim.end_step();
+        let r = sim.finish();
+        assert!(r.cpu_utilization > 0.9, "util {}", r.cpu_utilization);
+
+        // Giraph-style 4/24 cores cannot exceed ~16%
+        let mut p = ExecProfile::giraph();
+        p.per_step_overhead_s = 0.0;
+        let mut sim = Sim::new(ClusterSpec::single(), p);
+        sim.charge(0, Work::flops(1 << 34));
+        sim.end_step();
+        let r = sim.finish();
+        assert!(r.cpu_utilization <= 4.0 / 24.0 + 1e-9, "util {}", r.cpu_utilization);
+    }
+
+    #[test]
+    fn traffic_recorded_with_peak_bw() {
+        let mut sim = sim4();
+        sim.send(0, 5_500_000_000, 11_000_000_000, 10);
+        sim.send(1, 1_000, 1_000, 1);
+        sim.end_step();
+        let r = sim.finish();
+        assert_eq!(r.traffic.bytes_sent, 5_500_001_000);
+        assert_eq!(r.traffic.messages, 11);
+        assert!((r.traffic.compression_ratio() - 11_000_001_000.0 / 5_500_001_000.0).abs() < 1e-9);
+        // busiest node sent 5.5GB over ~1s step → ~5.5 GB/s peak
+        assert!(r.traffic.peak_bw_bps > 5.0e9, "peak {}", r.traffic.peak_bw_bps);
+    }
+
+    #[test]
+    fn oom_propagates_with_node_and_label() {
+        let mut sim = Sim::new(ClusterSpec::paper(2), ExecProfile::native());
+        let cap = ClusterSpec::paper(2).hw.mem_capacity_bytes;
+        sim.alloc(1, cap - 10, "graph").unwrap();
+        let err = sim.alloc(1, 100, "spgemm:A2").unwrap_err();
+        match err {
+            SimError::OutOfMemory(o) => {
+                assert_eq!(o.node, 1);
+                assert_eq!(o.label, "spgemm:A2");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iterations_tracked_independently_of_steps() {
+        let mut sim = sim4();
+        for i in 0..6 {
+            sim.end_step();
+            if i % 2 == 1 {
+                sim.end_iteration();
+            }
+        }
+        let r = sim.finish();
+        assert_eq!(r.steps, 6);
+        assert_eq!(r.iterations, 3);
+    }
+
+    #[test]
+    fn socket_cpu_handling_charged() {
+        let mut p = ExecProfile::graphlab();
+        p.per_step_overhead_s = 0.0;
+        p.overlap = false;
+        let mut sim = Sim::new(ClusterSpec::paper(2), p);
+        sim.send(0, 85_000_000_000, 85_000_000_000, 1);
+        sim.end_step();
+        // socket layer charges 1 stream byte per wire byte → 1 s compute
+        let r = sim.finish();
+        assert!(r.compute_seconds > 0.9, "cpu handling {}", r.compute_seconds);
+    }
+}

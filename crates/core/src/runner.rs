@@ -1,0 +1,388 @@
+//! The benchmark runner: `algorithm × framework × workload × nodes →
+//! RunReport`, the crossbar behind every figure and table of the paper.
+
+use graphmaze_cluster::SimError;
+use graphmaze_engines::datalog::socialite;
+use graphmaze_engines::spmv::combblas;
+use graphmaze_engines::taskpar::galois;
+use graphmaze_engines::vertex::{giraph, graphlab};
+use graphmaze_metrics::RunReport;
+use graphmaze_native::cf::CfConfig;
+use graphmaze_native::{bfs, cf, pagerank, triangle, NativeOptions, PAGERANK_R};
+
+use crate::workload::Workload;
+
+/// The paper's four algorithms (§2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Iterative PageRank, reported per iteration.
+    PageRank,
+    /// Breadth-first search, reported as overall time.
+    Bfs,
+    /// Triangle counting, reported as overall time.
+    TriangleCount,
+    /// Collaborative filtering, reported per iteration.
+    CollaborativeFiltering,
+}
+
+impl Algorithm {
+    /// All four algorithms.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::PageRank,
+        Algorithm::Bfs,
+        Algorithm::TriangleCount,
+        Algorithm::CollaborativeFiltering,
+    ];
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::PageRank => "pagerank",
+            Algorithm::Bfs => "bfs",
+            Algorithm::TriangleCount => "triangle",
+            Algorithm::CollaborativeFiltering => "cf",
+        }
+    }
+
+    /// Whether the paper reports time per iteration (vs overall time).
+    pub fn per_iteration(&self) -> bool {
+        matches!(self, Algorithm::PageRank | Algorithm::CollaborativeFiltering)
+    }
+}
+
+/// The six implementations compared in Figures 3–5 (§3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Framework {
+    /// Hand-optimized native code (the reference point).
+    Native,
+    /// CombBLAS — sparse-matrix semirings, 2-D partitioning, MPI.
+    CombBlas,
+    /// GraphLab — vertex programs, sockets.
+    GraphLab,
+    /// SociaLite — Datalog over sharded tables (post-§6.1.3 network fix).
+    SociaLite,
+    /// SociaLite with the pre-fix network stack (Table 7 "Before").
+    SociaLiteUnopt,
+    /// Giraph — Hadoop BSP vertex programs.
+    Giraph,
+    /// Galois — task-based, single node only.
+    Galois,
+}
+
+impl Framework {
+    /// The six headline implementations (the unoptimized SociaLite is
+    /// only used by the Table 7 experiment).
+    pub const ALL: [Framework; 6] = [
+        Framework::Native,
+        Framework::CombBlas,
+        Framework::GraphLab,
+        Framework::SociaLite,
+        Framework::Giraph,
+        Framework::Galois,
+    ];
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Framework::Native => "native",
+            Framework::CombBlas => "combblas",
+            Framework::GraphLab => "graphlab",
+            Framework::SociaLite => "socialite",
+            Framework::SociaLiteUnopt => "socialite-unopt",
+            Framework::Giraph => "giraph",
+            Framework::Galois => "galois",
+        }
+    }
+
+    /// Whether the framework has a multi-node implementation (Table 2).
+    pub fn multi_node(&self) -> bool {
+        !matches!(self, Framework::Galois)
+    }
+}
+
+/// Tunable benchmark parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchParams {
+    /// PageRank iterations (time is reported per iteration).
+    pub pr_iterations: u32,
+    /// BFS source vertex; `u32::MAX` (the default) selects the
+    /// highest-degree vertex of the workload, guaranteeing a non-trivial
+    /// traversal on scrambled RMAT graphs.
+    pub bfs_source: u32,
+    /// CF hyper-parameters.
+    pub cf: CfConfig,
+    /// CF iterations (time is reported per iteration).
+    pub cf_iterations: u32,
+    /// Giraph superstep-splitting factor for TC/CF (§6.1.3).
+    pub giraph_splits: u32,
+}
+
+impl Default for BenchParams {
+    fn default() -> Self {
+        BenchParams {
+            pr_iterations: 5,
+            bfs_source: u32::MAX,
+            cf: CfConfig { k: 16, lambda: 0.05, gamma0: 0.005, step_decay: 0.98, seed: 42 },
+            cf_iterations: 3,
+            giraph_splits: 16,
+        }
+    }
+}
+
+/// The outcome of one benchmark run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Simulated measurements.
+    pub report: RunReport,
+    /// A result digest for cross-framework sanity checks: sum of ranks
+    /// (PageRank), sum of finite distances (BFS), triangle count (TC),
+    /// training RMSE (CF).
+    pub digest: f64,
+}
+
+/// Runs `algorithm` under `framework` on `workload` over `nodes`
+/// simulated nodes. Fails with [`SimError::InvalidConfig`] when the
+/// combination is impossible (Galois multi-node, missing graph view) and
+/// propagates engine failures (e.g. out-of-memory).
+pub fn run_benchmark(
+    algorithm: Algorithm,
+    framework: Framework,
+    workload: &Workload,
+    nodes: usize,
+    params: &BenchParams,
+) -> Result<RunOutcome, SimError> {
+    match algorithm {
+        Algorithm::PageRank => {
+            let g = workload
+                .directed
+                .as_ref()
+                .ok_or_else(|| SimError::InvalidConfig("workload has no directed graph".into()))?;
+            let it = params.pr_iterations;
+            let (ranks, report) = match framework {
+                Framework::Native => pagerank::pagerank_cluster(
+                    g,
+                    PAGERANK_R,
+                    it,
+                    NativeOptions::all(),
+                    nodes,
+                )?,
+                Framework::CombBlas => combblas::pagerank(g, PAGERANK_R, it, nodes)?,
+                Framework::GraphLab => graphlab::pagerank(g, PAGERANK_R, it, nodes)?,
+                Framework::SociaLite => socialite::pagerank(g, PAGERANK_R, it, nodes, true)?,
+                Framework::SociaLiteUnopt => {
+                    socialite::pagerank(g, PAGERANK_R, it, nodes, false)?
+                }
+                Framework::Giraph => giraph::pagerank(g, PAGERANK_R, it, nodes)?,
+                Framework::Galois => galois::pagerank(g, PAGERANK_R, it, nodes)?,
+            };
+            Ok(RunOutcome { digest: ranks.iter().sum(), report })
+        }
+        Algorithm::Bfs => {
+            let g = workload.undirected.as_ref().ok_or_else(|| {
+                SimError::InvalidConfig("workload has no undirected graph".into())
+            })?;
+            let src = if params.bfs_source == u32::MAX {
+                // highest-degree vertex: a seed the paper's Graph500-style
+                // runs would accept (non-isolated, large reach)
+                (0..g.num_vertices() as u32)
+                    .max_by_key(|&v| g.adj.degree(v))
+                    .unwrap_or(0)
+            } else {
+                params.bfs_source
+            };
+            let (dist, report) = match framework {
+                Framework::Native => bfs::bfs_cluster(g, src, NativeOptions::all(), nodes)?,
+                Framework::CombBlas => combblas::bfs(g, src, nodes)?,
+                Framework::GraphLab => graphlab::bfs(g, src, nodes)?,
+                Framework::SociaLite => socialite::bfs(g, src, nodes, true)?,
+                Framework::SociaLiteUnopt => socialite::bfs(g, src, nodes, false)?,
+                Framework::Giraph => giraph::bfs(g, src, nodes)?,
+                Framework::Galois => galois::bfs(g, src, nodes)?,
+            };
+            let digest: f64 =
+                dist.iter().filter(|&&d| d != u32::MAX).map(|&d| f64::from(d)).sum();
+            Ok(RunOutcome { digest, report })
+        }
+        Algorithm::TriangleCount => {
+            let g = workload
+                .oriented
+                .as_ref()
+                .ok_or_else(|| SimError::InvalidConfig("workload has no oriented graph".into()))?;
+            let (count, report) = match framework {
+                Framework::Native => {
+                    triangle::triangles_cluster(g, NativeOptions::all(), nodes)?
+                }
+                Framework::CombBlas => combblas::triangles(g, nodes)?,
+                Framework::GraphLab => graphlab::triangles(g, nodes)?,
+                Framework::SociaLite => socialite::triangles(g, nodes, true)?,
+                Framework::SociaLiteUnopt => socialite::triangles(g, nodes, false)?,
+                Framework::Giraph => giraph::triangles_split(g, nodes, params.giraph_splits)?,
+                Framework::Galois => galois::triangles(g, nodes)?,
+            };
+            Ok(RunOutcome { digest: count as f64, report })
+        }
+        Algorithm::CollaborativeFiltering => {
+            let g = workload
+                .ratings
+                .as_ref()
+                .ok_or_else(|| SimError::InvalidConfig("workload has no ratings graph".into()))?;
+            let (k, lambda) = (params.cf.k, params.cf.lambda);
+            let gamma = params.cf.gamma0;
+            let it = params.cf_iterations;
+            let (digest, report) = match framework {
+                Framework::Native => {
+                    let (_, hist, report) =
+                        cf::sgd_cluster(g, &params.cf, it, NativeOptions::all(), nodes)?;
+                    (*hist.last().unwrap_or(&f64::NAN), report)
+                }
+                Framework::Galois => {
+                    let (_, hist, report) = galois::cf_sgd(g, &params.cf, it, nodes)?;
+                    (*hist.last().unwrap_or(&f64::NAN), report)
+                }
+                Framework::CombBlas => {
+                    let (p, q, report) = combblas::cf_gd(g, k, lambda, gamma, it, nodes)?;
+                    (cf_rmse_flat(g, &p, &q, k), report)
+                }
+                Framework::SociaLite => {
+                    let (p, q, report) =
+                        socialite::cf_gd(g, k, lambda, gamma, it, nodes, true)?;
+                    (cf_rmse_flat(g, &p, &q, k), report)
+                }
+                Framework::SociaLiteUnopt => {
+                    let (p, q, report) =
+                        socialite::cf_gd(g, k, lambda, gamma, it, nodes, false)?;
+                    (cf_rmse_flat(g, &p, &q, k), report)
+                }
+                Framework::GraphLab => {
+                    let (vals, report) = graphlab::cf_gd(g, k, lambda, gamma, it, nodes)?;
+                    (cf_rmse_rows(g, &vals, k), report)
+                }
+                Framework::Giraph => {
+                    let (vals, report) =
+                        giraph::cf_gd(g, k, lambda, gamma, it, nodes, params.giraph_splits)?;
+                    (cf_rmse_rows(g, &vals, k), report)
+                }
+            };
+            Ok(RunOutcome { digest, report })
+        }
+    }
+}
+
+fn cf_rmse_flat(
+    g: &graphmaze_graph::RatingsGraph,
+    p: &[f64],
+    q: &[f64],
+    k: usize,
+) -> f64 {
+    let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+    let mut sse = 0.0;
+    for (u, v, r) in g.triples() {
+        let e = f64::from(r)
+            - dot(&p[u as usize * k..(u as usize + 1) * k], &q[v as usize * k..(v as usize + 1) * k]);
+        sse += e * e;
+    }
+    (sse / g.num_ratings().max(1) as f64).sqrt()
+}
+
+fn cf_rmse_rows(g: &graphmaze_graph::RatingsGraph, rows: &[Vec<f64>], k: usize) -> f64 {
+    let nu = g.num_users() as usize;
+    let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+    let mut sse = 0.0;
+    for (u, v, r) in g.triples() {
+        let e = f64::from(r) - dot(&rows[u as usize], &rows[nu + v as usize]);
+        sse += e * e;
+    }
+    let _ = k;
+    (sse / g.num_ratings().max(1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_frameworks_run_pagerank_and_agree() {
+        let wl = Workload::rmat(9, 8, 71);
+        let params = BenchParams::default();
+        let native =
+            run_benchmark(Algorithm::PageRank, Framework::Native, &wl, 4, &params).unwrap();
+        for fw in [
+            Framework::CombBlas,
+            Framework::GraphLab,
+            Framework::SociaLite,
+            Framework::Giraph,
+        ] {
+            let out = run_benchmark(Algorithm::PageRank, fw, &wl, 4, &params).unwrap();
+            let rel = (out.digest - native.digest).abs() / native.digest.abs();
+            assert!(rel < 1e-9, "{fw:?} digest {} vs {}", out.digest, native.digest);
+            assert!(
+                out.report.sim_seconds >= native.report.sim_seconds,
+                "{fw:?} cannot beat native"
+            );
+        }
+    }
+
+    #[test]
+    fn galois_single_node_only() {
+        let wl = Workload::rmat(8, 4, 72);
+        let params = BenchParams::default();
+        assert!(run_benchmark(Algorithm::Bfs, Framework::Galois, &wl, 1, &params).is_ok());
+        assert!(matches!(
+            run_benchmark(Algorithm::Bfs, Framework::Galois, &wl, 2, &params),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(!Framework::Galois.multi_node());
+    }
+
+    #[test]
+    fn triangle_counts_agree_across_frameworks() {
+        let wl = Workload::rmat_triangle(9, 8, 73);
+        let params = BenchParams::default();
+        let counts: Vec<f64> = [
+            Framework::Native,
+            Framework::CombBlas,
+            Framework::GraphLab,
+            Framework::SociaLite,
+            Framework::Giraph,
+        ]
+        .iter()
+        .map(|&fw| {
+            run_benchmark(Algorithm::TriangleCount, fw, &wl, 4, &params).unwrap().digest
+        })
+        .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts {counts:?}");
+    }
+
+    #[test]
+    fn cf_runs_on_every_framework() {
+        let wl = Workload::rmat_ratings(9, 64, 74);
+        let params = BenchParams::default();
+        for fw in Framework::ALL {
+            if !fw.multi_node() {
+                continue;
+            }
+            let out =
+                run_benchmark(Algorithm::CollaborativeFiltering, fw, &wl, 4, &params).unwrap();
+            assert!(out.digest.is_finite() && out.digest > 0.0, "{fw:?} rmse {}", out.digest);
+            assert!(out.report.sim_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn ratings_workload_rejects_graph_algorithms() {
+        let wl = Workload::rmat_ratings(9, 64, 75);
+        let params = BenchParams::default();
+        assert!(matches!(
+            run_benchmark(Algorithm::PageRank, Framework::Native, &wl, 1, &params),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn per_iteration_flags_match_paper() {
+        assert!(Algorithm::PageRank.per_iteration());
+        assert!(Algorithm::CollaborativeFiltering.per_iteration());
+        assert!(!Algorithm::Bfs.per_iteration());
+        assert!(!Algorithm::TriangleCount.per_iteration());
+    }
+}

@@ -1,0 +1,161 @@
+//! Sharded tables.
+//!
+//! * [`VertexTable`] — a `vertex → value` column, horizontally sharded
+//!   over cluster nodes by a 1-D partition (SociaLite supports only 1-D,
+//!   §3/Table 2).
+//! * [`EdgeTable`] — a *tail-nested* table `[v](neighbor)`: the paper
+//!   notes this "effectively implement\[s\] a CSR format used in the
+//!   native implementation and CombBLAS".
+
+use graphmaze_cluster::Partition1D;
+use graphmaze_graph::csr::Csr;
+use graphmaze_graph::VertexId;
+
+/// A sharded single-column vertex table.
+#[derive(Clone, Debug)]
+pub struct VertexTable<T> {
+    values: Vec<T>,
+    shards: Partition1D,
+}
+
+impl<T: Clone> VertexTable<T> {
+    /// Creates a table of `n` rows initialized to `init`, sharded to
+    /// match `shards`.
+    pub fn new(n: usize, init: T, shards: Partition1D) -> Self {
+        VertexTable { values: vec![init; n], shards }
+    }
+
+    /// Creates from existing values.
+    pub fn from_values(values: Vec<T>, shards: Partition1D) -> Self {
+        VertexTable { values, shards }
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value of vertex `v`.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> &T {
+        &self.values[v as usize]
+    }
+
+    /// Mutable value of vertex `v`.
+    #[inline]
+    pub fn get_mut(&mut self, v: VertexId) -> &mut T {
+        &mut self.values[v as usize]
+    }
+
+    /// Shard (node) owning vertex `v`.
+    #[inline]
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        self.shards.owner(v)
+    }
+
+    /// The shard partition.
+    pub fn shards(&self) -> &Partition1D {
+        &self.shards
+    }
+
+    /// All values (test/inspection use).
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Consumes into the value vector.
+    pub fn into_values(self) -> Vec<T> {
+        self.values
+    }
+}
+
+/// A tail-nested edge table: `EDGE[v](n)` stored CSR-style, sharded by
+/// head vertex.
+#[derive(Clone, Debug)]
+pub struct EdgeTable {
+    csr: Csr,
+    shards: Partition1D,
+}
+
+impl EdgeTable {
+    /// Builds from a CSR, sharding by balanced edge count over `nodes`.
+    pub fn new(csr: Csr, nodes: usize) -> Self {
+        let shards = Partition1D::balanced_by_edges(&csr, nodes);
+        EdgeTable { csr, shards }
+    }
+
+    /// The nested neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.csr.neighbors(v)
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.csr.degree(v)
+    }
+
+    /// Vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    /// Edge count.
+    pub fn num_edges(&self) -> u64 {
+        self.csr.num_edges()
+    }
+
+    /// Shard (node) owning head vertex `v`.
+    #[inline]
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        self.shards.owner(v)
+    }
+
+    /// The shard partition.
+    pub fn shards(&self) -> &Partition1D {
+        &self.shards
+    }
+
+    /// The underlying CSR.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Bytes of storage for shard `node` (offsets + nested arrays).
+    pub fn shard_bytes(&self, node: usize) -> u64 {
+        self.shards.edges_of(&self.csr, node) * 4 + self.shards.len(node) as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_table_shard_lookup() {
+        let csr = Csr::from_edges(10, &[(0, 1), (5, 6), (9, 0)]);
+        let shards = Partition1D::balanced_by_edges(&csr, 2);
+        let mut t = VertexTable::new(10, 0i64, shards);
+        *t.get_mut(5) = 42;
+        assert_eq!(*t.get(5), 42);
+        assert_eq!(t.len(), 10);
+        let owner = t.shard_of(5);
+        assert!(owner < 2);
+    }
+
+    #[test]
+    fn edge_table_is_tail_nested_csr() {
+        let csr = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3)]);
+        let t = EdgeTable::new(csr, 2);
+        assert_eq!(t.neighbors(0), &[1, 2]);
+        assert_eq!(t.degree(1), 1);
+        assert_eq!(t.num_edges(), 3);
+        assert!(t.shard_bytes(0) > 0);
+    }
+}

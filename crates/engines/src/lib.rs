@@ -1,0 +1,26 @@
+//! # graphmaze-engines
+//!
+//! Re-implementations of the five graph-framework **programming models**
+//! the paper benchmarks (§3), each running the four algorithms through
+//! its own abstraction on the simulated cluster:
+//!
+//! | module | framework | model | partitioning | comm layer |
+//! |---|---|---|---|---|
+//! | [`vertex::graphlab`] | GraphLab v2.2 | vertex programs, async-ish, combiners | 1-D + hub replication | sockets |
+//! | [`vertex::giraph`]   | Giraph 1.1    | BSP vertex programs, whole-superstep buffering | 1-D | Netty |
+//! | [`spmv`]             | CombBLAS 1.3  | sparse-matrix semiring algebra | 2-D grid | MPI |
+//! | [`datalog`]          | SociaLite     | Datalog rules over sharded tables | 1-D shards | (multi-)sockets |
+//! | [`taskpar`]          | Galois 2.2    | work-item task parallelism | flexible, single node | — |
+//!
+//! Every engine executes the *real* algorithm on real data — results are
+//! tested identical to `graphmaze-native` — while the simulator meters
+//! work, traffic and memory under the framework's documented mechanisms
+//! ([`graphmaze_cluster::ExecProfile`]).
+
+pub mod datalog;
+pub mod spmv;
+pub mod taskpar;
+pub mod vertex;
+
+/// Default number of PageRank iterations used by engine convenience APIs.
+pub const DEFAULT_PR_ITERATIONS: u32 = 20;

@@ -1,0 +1,15 @@
+//! Sparse-matrix semiring algebra — the CombBLAS model (paper §3):
+//! "graphs as sparse matrices ... computations expressed as operations
+//! among sparse matrices and vectors using arbitrary user-defined
+//! semirings", with the only 2-D (edge-based) partitioning in the study.
+//!
+//! [`semiring`] defines the algebra, [`matrix`] the distributed matrix
+//! and its kernels (SpMV, SpMSpV, SpGEMM, masked reduction), and
+//! [`combblas`] the four algorithms on top.
+
+pub mod combblas;
+pub mod matrix;
+pub mod semiring;
+
+pub use matrix::DistMatrix;
+pub use semiring::Semiring;

@@ -1,0 +1,74 @@
+//! Semirings — the user-defined algebra of CombBLAS operations.
+//!
+//! A semiring supplies `(⊕, ⊗, 0)`; graph kernels differ only in the
+//! semiring: PageRank uses `(+, ×)` over reals, BFS uses a
+//! min/select algebra over levels.
+
+/// A semiring over element type `T`.
+#[derive(Clone, Copy)]
+pub struct Semiring<T: Copy> {
+    /// The additive identity (also the "no entry" value).
+    pub zero: T,
+    /// ⊕ — combines partial results.
+    pub add: fn(T, T) -> T,
+    /// ⊗ — combines a matrix entry (as `T`) with a vector entry.
+    pub mul: fn(T, T) -> T,
+}
+
+impl<T: Copy> Semiring<T> {
+    /// Folds an iterator with ⊕ starting from zero.
+    pub fn sum(&self, it: impl Iterator<Item = T>) -> T {
+        it.fold(self.zero, self.add)
+    }
+}
+
+/// The arithmetic `(+, ×)` semiring over `f64` (PageRank, CF).
+pub const PLUS_TIMES: Semiring<f64> =
+    Semiring { zero: 0.0, add: |a, b| a + b, mul: |a, b| a * b };
+
+/// The `(min, +)` tropical semiring over `u32` distances, with `u32::MAX`
+/// as zero (BFS level propagation).
+pub const MIN_PLUS: Semiring<u32> = Semiring {
+    zero: u32::MAX,
+    add: |a, b| a.min(b),
+    mul: |a, b| a.saturating_add(b),
+};
+
+/// The counting semiring over `u64` (path counting / SpGEMM for TC).
+pub const PLUS_TIMES_U64: Semiring<u64> =
+    Semiring { zero: 0, add: |a, b| a + b, mul: |a, b| a * b };
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_times_sums() {
+        assert_eq!(PLUS_TIMES.sum([1.0, 2.0, 3.5].into_iter()), 6.5);
+        assert_eq!((PLUS_TIMES.mul)(2.0, 4.0), 8.0);
+    }
+
+    #[test]
+    fn min_plus_takes_minimum_and_saturates() {
+        assert_eq!(MIN_PLUS.sum([5u32, 3, 9].into_iter()), 3);
+        assert_eq!(MIN_PLUS.sum(std::iter::empty()), u32::MAX);
+        assert_eq!((MIN_PLUS.mul)(u32::MAX, 1), u32::MAX);
+    }
+
+    #[test]
+    fn semiring_laws_hold_for_plus_times_u64() {
+        // associativity & identity on sample values
+        let s = PLUS_TIMES_U64;
+        for a in [0u64, 1, 7] {
+            assert_eq!((s.add)(a, s.zero), a);
+            for b in [2u64, 5] {
+                for c in [3u64, 11] {
+                    assert_eq!((s.add)((s.add)(a, b), c), (s.add)(a, (s.add)(b, c)));
+                    assert_eq!((s.mul)((s.mul)(a, b), c), (s.mul)(a, (s.mul)(b, c)));
+                    // distributivity
+                    assert_eq!((s.mul)(a, (s.add)(b, c)), (s.add)((s.mul)(a, b), (s.mul)(a, c)));
+                }
+            }
+        }
+    }
+}

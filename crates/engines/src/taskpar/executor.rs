@@ -1,0 +1,141 @@
+//! Galois-style executors.
+//!
+//! [`BulkSyncExecutor`] is the "bulk-synchronous parallel executor
+//! provided by Galois, which maintains the work lists for each level
+//! behind the scenes, and processes each level in parallel" (§3.2).
+//! [`for_each_parallel`] is the unordered `foreach (x) in parallel`
+//! loop of Algorithms 3 and 4.
+
+use graphmaze_graph::par::par_tasks;
+
+/// Processes rounds of work items: each round's items run (conceptually
+/// in parallel — really, deterministically in fixed order per round),
+/// pushing next-round items. The executor owns the per-level work lists.
+pub struct BulkSyncExecutor<T> {
+    current: Vec<T>,
+    next: Vec<T>,
+    rounds: u32,
+    items_processed: u64,
+}
+
+impl<T> BulkSyncExecutor<T> {
+    /// Seeds the executor with initial work items.
+    pub fn new(initial: Vec<T>) -> Self {
+        BulkSyncExecutor { current: initial, next: Vec::new(), rounds: 0, items_processed: 0 }
+    }
+
+    /// Runs until no work remains. `body(item, push)` processes one item
+    /// and may push follow-on items to the next level.
+    pub fn run(&mut self, mut body: impl FnMut(&T, &mut Vec<T>)) {
+        while !self.current.is_empty() {
+            self.rounds += 1;
+            let mut pushed = Vec::new();
+            for item in &self.current {
+                self.items_processed += 1;
+                body(item, &mut pushed);
+            }
+            self.next = pushed;
+            std::mem::swap(&mut self.current, &mut self.next);
+            self.next.clear();
+        }
+    }
+
+    /// Like [`BulkSyncExecutor::run`], but invokes `on_level_end(items)`
+    /// after every level with the number of items that level processed —
+    /// the hook the cost model uses to charge per-barrier work.
+    pub fn run_with_barrier(
+        &mut self,
+        mut body: impl FnMut(&T, &mut Vec<T>),
+        mut on_level_end: impl FnMut(u64),
+    ) {
+        while !self.current.is_empty() {
+            self.rounds += 1;
+            let mut pushed = Vec::new();
+            let level_items = self.current.len() as u64;
+            for item in &self.current {
+                self.items_processed += 1;
+                body(item, &mut pushed);
+            }
+            on_level_end(level_items);
+            self.next = pushed;
+            std::mem::swap(&mut self.current, &mut self.next);
+            self.next.clear();
+        }
+    }
+
+    /// Levels executed so far.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Total items processed.
+    pub fn items_processed(&self) -> u64 {
+        self.items_processed
+    }
+}
+
+/// Unordered parallel foreach over `0..n` with a per-thread fold,
+/// combined at the end — the shape of Galois's `numTriangles +=`
+/// reduction in Algorithm 4.
+pub fn for_each_parallel<A: Send>(
+    n: usize,
+    threads: usize,
+    init: impl Fn() -> A + Sync,
+    body: impl Fn(usize, &mut A) + Sync,
+    combine: impl Fn(A, A) -> A,
+) -> A {
+    let threads = threads.max(1);
+    let parts = par_tasks(threads, |t| {
+        let mut acc = init();
+        let chunk = n.div_ceil(threads).max(1);
+        let lo = (t * chunk).min(n);
+        let hi = ((t + 1) * chunk).min(n);
+        for i in lo..hi {
+            body(i, &mut acc);
+        }
+        acc
+    });
+    let mut it = parts.into_iter();
+    let first = it.next().expect("at least one part");
+    it.fold(first, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_processes_levels() {
+        // count down from each seed; rounds = max seed
+        let mut ex = BulkSyncExecutor::new(vec![3u32, 1]);
+        let mut seen = Vec::new();
+        ex.run(|&item, push| {
+            seen.push(item);
+            if item > 0 {
+                push.push(item - 1);
+            }
+        });
+        assert_eq!(ex.rounds(), 4);
+        assert_eq!(ex.items_processed(), 6); // 3,1 | 2,0 | 1 | 0
+        assert_eq!(seen, vec![3, 1, 2, 0, 1, 0]);
+    }
+
+    #[test]
+    fn executor_empty_start() {
+        let mut ex = BulkSyncExecutor::<u32>::new(vec![]);
+        ex.run(|_, _| panic!("no work"));
+        assert_eq!(ex.rounds(), 0);
+    }
+
+    #[test]
+    fn foreach_parallel_reduces() {
+        let total = for_each_parallel(
+            1000,
+            4,
+            || 0u64,
+            |i, acc| *acc += i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+}

@@ -1,0 +1,13 @@
+//! Task-based work-item parallelism — the Galois model (paper §3).
+//!
+//! "Galois is a work-item based parallelization framework ... provides
+//! its own schedulers and scalable data structures, but does not impose
+//! a particular partitioning scheme." It is single-node only (Table 2),
+//! runs with near-native per-operation cost (prefetch-friendly loops,
+//! §6.2), and is "the only framework that implements SGD (not just GD)"
+//! because its flexible partitioning admits the native n² chunk schedule.
+
+pub mod executor;
+pub mod galois;
+
+pub use executor::{for_each_parallel, BulkSyncExecutor};

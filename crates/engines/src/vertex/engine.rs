@@ -1,0 +1,584 @@
+//! The generic bulk-synchronous vertex-program executor.
+//!
+//! Semantics follow the paper's Giraph description (§3): supersteps in
+//! BSP fashion; each active vertex receives the messages sent to it in
+//! the previous superstep, updates its value, and sends messages;
+//! "computation halts if all vertices have voted to halt and there are
+//! no messages in flight". GraphLab's runtime differs in mechanisms
+//! (combiners/local reduction, sockets, overlap, replication-aware
+//! routing), which [`EngineConfig`] captures.
+
+use graphmaze_cluster::{ClusterSpec, Partition1D, Sim, SimError};
+use graphmaze_graph::csr::Csr;
+use graphmaze_graph::VertexId;
+use graphmaze_metrics::{RunReport, Work};
+
+/// Read-only view of the graph a vertex program may consult: its own
+/// out-edges and degrees (a vertex program "can only access local data",
+/// §3.1).
+pub struct VertexGraphView<'a> {
+    /// Out-adjacency CSR.
+    pub out: &'a Csr,
+    /// Optional edge weights aligned with `out.targets()` (ratings for
+    /// collaborative filtering).
+    pub weights: Option<&'a [f32]>,
+}
+
+impl VertexGraphView<'_> {
+    /// Out-neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.out.neighbors(v)
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.out.degree(v)
+    }
+
+    /// Vertex count.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out.num_vertices()
+    }
+
+    /// Weight of the edge `v → dst`, requiring sorted adjacency. `None`
+    /// if the graph is unweighted or the edge is absent.
+    pub fn edge_weight(&self, v: VertexId, dst: VertexId) -> Option<f32> {
+        let w = self.weights?;
+        let lo = self.out.offsets()[v as usize] as usize;
+        let hi = self.out.offsets()[v as usize + 1] as usize;
+        let idx = self.out.targets()[lo..hi].binary_search(&dst).ok()?;
+        Some(w[lo + idx])
+    }
+
+    /// `(neighbor, weight)` pairs of `v` (weight 0 when unweighted).
+    pub fn edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f32)> + '_ {
+        let lo = self.out.offsets()[v as usize] as usize;
+        let hi = self.out.offsets()[v as usize + 1] as usize;
+        (lo..hi).map(move |i| {
+            (self.out.targets()[i], self.weights.map_or(0.0, |w| w[i]))
+        })
+    }
+}
+
+/// Per-vertex execution context: message emission, halting, and the
+/// global **aggregator** (Pregel/Giraph's mechanism for convergence
+/// detection: each vertex contributes a value, the engine sums them at
+/// the barrier, and every vertex reads the previous superstep's total).
+pub struct VertexContext<M> {
+    outgoing: Vec<(VertexId, M)>,
+    halt: bool,
+    aggregate: f64,
+    prev_aggregate: f64,
+}
+
+impl<M> VertexContext<M> {
+    fn new(prev_aggregate: f64) -> Self {
+        VertexContext { outgoing: Vec::new(), halt: false, aggregate: 0.0, prev_aggregate }
+    }
+
+    /// Sends `msg` to vertex `to`, delivered next superstep.
+    #[inline]
+    pub fn send(&mut self, to: VertexId, msg: M) {
+        self.outgoing.push((to, msg));
+    }
+
+    /// Votes to halt: the vertex stays inactive until a message wakes it.
+    #[inline]
+    pub fn vote_to_halt(&mut self) {
+        self.halt = true;
+    }
+
+    /// Adds to this superstep's global aggregate (summed at the barrier).
+    #[inline]
+    pub fn aggregate(&mut self, value: f64) {
+        self.aggregate += value;
+    }
+
+    /// The global aggregate of the *previous* superstep (0.0 at start).
+    #[inline]
+    pub fn prev_aggregate(&self) -> f64 {
+        self.prev_aggregate
+    }
+}
+
+/// A vertex program — the user code of GraphLab/Giraph (paper Algorithm 1
+/// and 2 are implementations of this trait).
+pub trait VertexProgram {
+    /// Per-vertex state.
+    type Value: Clone;
+    /// Message type.
+    type Msg: Clone;
+
+    /// One `Compute` call: receive `msgs`, update `value`, send messages.
+    fn compute(
+        &self,
+        superstep: u32,
+        v: VertexId,
+        value: &mut Self::Value,
+        msgs: &[Self::Msg],
+        g: &VertexGraphView<'_>,
+        ctx: &mut VertexContext<Self::Msg>,
+    );
+
+    /// Wire size of a message, bytes (paper Table 1's "message size").
+    fn message_bytes(&self, msg: &Self::Msg) -> u64;
+
+    /// In-memory size of a vertex value, bytes.
+    fn value_bytes(&self) -> u64;
+
+    /// Optional message combiner (GraphLab's local reduction). `None`
+    /// disables combining.
+    fn combine(&self, _a: &Self::Msg, _b: &Self::Msg) -> Option<Self::Msg> {
+        None
+    }
+
+    /// Arithmetic per received message (cost model).
+    fn flops_per_msg(&self) -> u64 {
+        2
+    }
+}
+
+/// Runtime mechanisms that differ between the vertex frameworks.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Execution profile (comm layer, cores, overlap, per-step cost).
+    pub profile: graphmaze_cluster::ExecProfile,
+    /// Apply the program's combiner before messages leave a node.
+    pub use_combiner: bool,
+    /// Buffer the whole superstep's messages in memory before sending
+    /// (Giraph's failure mode, §6.1.3) instead of streaming in phases.
+    pub buffer_whole_superstep: bool,
+    /// Split each superstep into this many mini-supersteps, each
+    /// processing a slice of vertices (the paper's Giraph fix: "breaking
+    /// up each superstep into 100 smaller supersteps"). 1 = no split.
+    pub superstep_splits: u32,
+    /// Per-buffered-message heap overhead, bytes (JVM object headers for
+    /// Giraph; 0 for C++ runtimes).
+    pub per_message_overhead_bytes: u64,
+    /// Maximum supersteps before the engine gives up.
+    pub max_supersteps: u32,
+    /// High-degree replication threshold: vertices with degree ≥
+    /// `threshold × average` are mirrored on every node, so one combined
+    /// message per (hub, node) crosses the wire instead of one per edge —
+    /// GraphLab's "advanced partitioning scheme where some nodes with
+    /// large degree are duplicated in multiple nodes" (§6.1.1).
+    /// `None` disables replication.
+    pub replicate_hubs_factor: Option<f64>,
+    /// Delta/bitmap-compress destination-id payloads of batched messages
+    /// — the §6.2 roadmap recommendation ("techniques like data
+    /// compression (bitvectors) ... should also help") applied to the
+    /// vertex runtimes. Stock GraphLab/Giraph do not do this.
+    pub compress_ids: bool,
+}
+
+/// Number of streaming phases assumed when messages are *not* buffered
+/// whole (mirrors native overlap blocking).
+const STREAM_PHASES: u64 = 16;
+
+/// Runs `program` to completion (or `max_supersteps`) on the simulated
+/// cluster. `initial_msgs` seeds vertex inboxes for superstep 0; every
+/// vertex with an initial message (or `activate_all`) is active first.
+///
+/// Returns final vertex values and the run report.
+#[allow(clippy::too_many_arguments)]
+pub fn run<P: VertexProgram>(
+    out_csr: &Csr,
+    weights: Option<&[f32]>,
+    program: &P,
+    mut values: Vec<P::Value>,
+    initial_msgs: Vec<(VertexId, P::Msg)>,
+    activate_all: bool,
+    cfg: &EngineConfig,
+    nodes: usize,
+    iterations_per_superstep_group: u32,
+) -> Result<(Vec<P::Value>, RunReport), SimError> {
+    let n = out_csr.num_vertices();
+    assert_eq!(values.len(), n, "one value per vertex");
+    if let Some(w) = weights {
+        assert_eq!(w.len(), out_csr.targets().len(), "one weight per edge");
+    }
+    let mut sim = Sim::new(ClusterSpec::paper(nodes), cfg.profile);
+    let part = Partition1D::balanced_by_edges(out_csr, nodes);
+    let view = VertexGraphView { out: out_csr, weights };
+
+    // static allocations: graph slice + values
+    for node in 0..nodes {
+        let bytes =
+            part.edges_of(out_csr, node) * 4 + part.len(node) as u64 * program.value_bytes();
+        sim.alloc(node, bytes, "vertex:graph+values")?;
+    }
+
+    // replicated hubs: one combined value crosses the wire per (hub,
+    // node); mirrors scatter locally (GraphLab's replication, §6.1.1)
+    let hub_threshold = cfg.replicate_hubs_factor.map(|f| {
+        let avg = out_csr.num_edges() as f64 / n.max(1) as f64;
+        (avg * f).max(1.0) as u32
+    });
+    let is_hub = |v: VertexId| -> bool {
+        hub_threshold.is_some_and(|t| out_csr.degree(v) >= t)
+    };
+
+    let mut inbox: Vec<Vec<P::Msg>> = (0..n).map(|_| Vec::new()).collect();
+    for (v, m) in initial_msgs {
+        inbox[v as usize].push(m);
+    }
+    let mut active: Vec<bool> = if activate_all {
+        vec![true; n]
+    } else {
+        inbox.iter().map(|b| !b.is_empty()).collect()
+    };
+
+    let splits = cfg.superstep_splits.max(1);
+    let mut superstep = 0u32;
+    // Pregel-style global aggregator: summed at each superstep barrier,
+    // visible to every vertex in the next superstep (tiny allreduce —
+    // 8 bytes per node pair, charged below)
+    let mut prev_aggregate = 0.0f64;
+    while superstep < cfg.max_supersteps {
+        let any_active = active.iter().any(|&a| a);
+        if !any_active {
+            break;
+        }
+        // next inbox built as messages are routed
+        let mut next_inbox: Vec<Vec<P::Msg>> = (0..n).map(|_| Vec::new()).collect();
+        let mut any_message = false;
+        let mut aggregate_acc = 0.0f64;
+
+        // process each split slice as its own barrier
+        for split in 0..splits {
+            let mut split_alloc: Vec<u64> = vec![0; nodes];
+            for node in 0..nodes {
+                let range = part.range(node);
+                let slice_len = (range.end - range.start).div_ceil(splits);
+                let lo = range.start + split * slice_len;
+                let hi = (lo + slice_len).min(range.end);
+                let mut recv_bytes = 0u64;
+                let mut recv_msgs = 0u64;
+                let mut sent_bytes_local = 0u64;
+                // per-destination-node outgoing buffers for this slice
+                let mut out_msgs: Vec<Vec<(VertexId, P::Msg)>> =
+                    (0..nodes).map(|_| Vec::new()).collect();
+                // hub mirror syncs, batched into one bulk transfer per
+                // destination node at slice end
+                let mut hub_wire: Vec<u64> = vec![0; nodes];
+                for v in lo..hi {
+                    if !active[v as usize] {
+                        continue;
+                    }
+                    let msgs = std::mem::take(&mut inbox[v as usize]);
+                    for m in &msgs {
+                        recv_bytes += program.message_bytes(m);
+                    }
+                    recv_msgs += msgs.len() as u64;
+                    let mut ctx = VertexContext::new(prev_aggregate);
+                    program.compute(superstep, v, &mut values[v as usize], &msgs, &view, &mut ctx);
+                    aggregate_acc += ctx.aggregate;
+                    if ctx.halt {
+                        active[v as usize] = false;
+                    }
+                    if is_hub(v) && !ctx.outgoing.is_empty() {
+                        // replication: deliver everywhere, but only one
+                        // value per remote node hits the wire (mirrors
+                        // hold the hub's local edges already)
+                        let mut sent_to = vec![false; nodes];
+                        for (dst, m) in ctx.outgoing {
+                            let dest = part.owner(dst);
+                            let bytes = program.message_bytes(&m);
+                            sent_bytes_local += bytes;
+                            if dest != node && !sent_to[dest] {
+                                sent_to[dest] = true;
+                                hub_wire[dest] += 4 + bytes;
+                            }
+                            any_message = true;
+                            next_inbox[dst as usize].push(m);
+                        }
+                    } else {
+                        for (dst, m) in ctx.outgoing {
+                            out_msgs[part.owner(dst)].push((dst, m));
+                        }
+                    }
+                }
+                // combine per destination vertex (local reduction)
+                for dest_node in 0..nodes {
+                    let buf = &mut out_msgs[dest_node];
+                    if buf.is_empty() {
+                        continue;
+                    }
+                    // emission cost is paid per *original* message — the
+                    // combiner itself streams and hashes every message it
+                    // folds (local reduction is work, not magic)
+                    let pre_bytes: u64 =
+                        buf.iter().map(|(_, m)| program.message_bytes(m)).sum();
+                    let pre_count = buf.len() as u64;
+                    sent_bytes_local += pre_bytes;
+                    sim.charge(node, Work::random(pre_count));
+                    if cfg.use_combiner {
+                        buf.sort_by_key(|(d, _)| *d);
+                        let mut combined: Vec<(VertexId, P::Msg)> = Vec::with_capacity(buf.len());
+                        for (d, m) in buf.drain(..) {
+                            match combined.last_mut() {
+                                Some((ld, lm)) if *ld == d => {
+                                    if let Some(c) = program.combine(lm, &m) {
+                                        *lm = c;
+                                    } else {
+                                        combined.push((d, m));
+                                    }
+                                }
+                                _ => combined.push((d, m)),
+                            }
+                        }
+                        *buf = combined;
+                    }
+                    let payload: u64 =
+                        buf.iter().map(|(_, m)| program.message_bytes(m)).sum();
+                    let count = buf.len() as u64;
+                    let raw = payload + count * 4;
+                    let bytes = if cfg.compress_ids && dest_node != node {
+                        // really encode the destination ids (delta or
+                        // bitmap, whichever is smaller)
+                        let mut ids: Vec<VertexId> = buf.iter().map(|(d, _)| *d).collect();
+                        ids.sort_unstable();
+                        ids.dedup();
+                        let encoded =
+                            graphmaze_cluster::compress::encode_best(&ids, n as u64);
+                        // duplicate dst ids (no combiner) still need a
+                        // 1-byte run marker each
+                        payload + encoded.len() as u64 + (count - ids.len() as u64)
+                    } else {
+                        raw
+                    };
+                    if dest_node != node {
+                        // one bulk transfer per (src,dst) node pair per slice
+                        sim.send(node, bytes, raw, 1.max(count / 1024));
+                    }
+                    sent_bytes_local += count * cfg.per_message_overhead_bytes;
+                    for (d, m) in buf.drain(..) {
+                        any_message = true;
+                        next_inbox[d as usize].push(m);
+                    }
+                }
+                // flush batched hub mirror syncs, one message per dest
+                for (dest, &bytes) in hub_wire.iter().enumerate() {
+                    if bytes > 0 && dest != node {
+                        sim.send(node, bytes, bytes, 1);
+                    }
+                }
+                // compute cost for this node's slice
+                let w = Work {
+                    seq_bytes: recv_bytes + sent_bytes_local,
+                    rand_accesses: recv_msgs,
+                    flops: recv_msgs * program.flops_per_msg(),
+                };
+                sim.charge(node, w);
+                // buffering memory
+                let buffered = if cfg.buffer_whole_superstep {
+                    recv_bytes
+                        + sent_bytes_local
+                        + recv_msgs * cfg.per_message_overhead_bytes
+                } else {
+                    (recv_bytes + sent_bytes_local) / STREAM_PHASES + 1
+                };
+                split_alloc[node] = buffered;
+                sim.alloc(node, buffered, "vertex:message-buffers")?;
+            }
+            for (node, b) in split_alloc.iter().enumerate() {
+                sim.free(node, *b);
+            }
+            sim.end_step();
+        }
+
+        // aggregator allreduce: each node contributes 8 bytes
+        if nodes > 1 {
+            for node in 0..nodes {
+                sim.send(node, 8, 8, 1);
+            }
+        }
+        prev_aggregate = aggregate_acc;
+        inbox = next_inbox;
+        // wake vertices that received messages
+        for (v, buf) in inbox.iter().enumerate() {
+            if !buf.is_empty() {
+                active[v] = true;
+            }
+        }
+        superstep += 1;
+        if iterations_per_superstep_group > 0 && superstep % iterations_per_superstep_group == 0 {
+            sim.end_iteration();
+        }
+        if !any_message && active.iter().all(|&a| !a) {
+            break;
+        }
+    }
+    Ok((values, sim.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmaze_cluster::ExecProfile;
+
+    /// A toy program: every vertex floods its id once, each vertex counts
+    /// the messages it receives, then halts.
+    struct CountIncoming;
+
+    impl VertexProgram for CountIncoming {
+        type Value = u32;
+        type Msg = u32;
+
+        fn compute(
+            &self,
+            superstep: u32,
+            v: VertexId,
+            value: &mut u32,
+            msgs: &[u32],
+            g: &VertexGraphView<'_>,
+            ctx: &mut VertexContext<u32>,
+        ) {
+            if superstep == 0 {
+                for &d in g.neighbors(v) {
+                    ctx.send(d, v);
+                }
+            }
+            *value += msgs.len() as u32;
+            ctx.vote_to_halt();
+        }
+
+        fn message_bytes(&self, _: &u32) -> u64 {
+            4
+        }
+
+        fn value_bytes(&self) -> u64 {
+            4
+        }
+    }
+
+    fn engine_cfg() -> EngineConfig {
+        EngineConfig {
+            profile: ExecProfile::graphlab(),
+            use_combiner: false,
+            buffer_whole_superstep: false,
+            superstep_splits: 1,
+            per_message_overhead_bytes: 0,
+            max_supersteps: 10,
+            replicate_hubs_factor: None,
+            compress_ids: false,
+        }
+    }
+
+    #[test]
+    fn message_delivery_counts_in_degree() {
+        // Figure 2 graph: in-degrees 0,1,2,2
+        let csr = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        for nodes in [1, 2, 4] {
+            let (values, report) =
+                run(&csr, None, &CountIncoming, vec![0u32; 4], vec![], true, &engine_cfg(), nodes, 1)
+                    .unwrap();
+            assert_eq!(values, vec![0, 1, 2, 2], "nodes={nodes}");
+            assert!(report.steps >= 2);
+        }
+    }
+
+    #[test]
+    fn halting_terminates_early() {
+        let csr = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        let (_, report) =
+            run(&csr, None, &CountIncoming, vec![0u32; 3], vec![], true, &engine_cfg(), 2, 1).unwrap();
+        // flood, deliver, then quiesce well before max_supersteps
+        assert!(report.steps < 10, "steps {}", report.steps);
+    }
+
+    /// Summing program with a combiner.
+    struct SumFlood;
+
+    impl VertexProgram for SumFlood {
+        type Value = u64;
+        type Msg = u64;
+
+        fn compute(
+            &self,
+            superstep: u32,
+            v: VertexId,
+            value: &mut u64,
+            msgs: &[u64],
+            g: &VertexGraphView<'_>,
+            ctx: &mut VertexContext<u64>,
+        ) {
+            if superstep == 0 {
+                for &d in g.neighbors(v) {
+                    ctx.send(d, u64::from(v) + 1);
+                }
+            }
+            *value += msgs.iter().sum::<u64>();
+            ctx.vote_to_halt();
+        }
+
+        fn message_bytes(&self, _: &u64) -> u64 {
+            8
+        }
+
+        fn value_bytes(&self) -> u64 {
+            8
+        }
+
+        fn combine(&self, a: &u64, b: &u64) -> Option<u64> {
+            Some(a + b)
+        }
+    }
+
+    #[test]
+    fn combiner_preserves_results_and_cuts_traffic() {
+        // many parallel edges to one target across a node boundary
+        let edges: Vec<(u32, u32)> = (0..50u32).map(|i| (i, 99)).collect();
+        let csr = Csr::from_edges(100, &edges);
+        let mut with = engine_cfg();
+        with.use_combiner = true;
+        let mut without = engine_cfg();
+        without.use_combiner = false;
+        let (va, ra) = run(&csr, None, &SumFlood, vec![0u64; 100], vec![], true, &with, 4, 1).unwrap();
+        let (vb, rb) =
+            run(&csr, None, &SumFlood, vec![0u64; 100], vec![], true, &without, 4, 1).unwrap();
+        assert_eq!(va, vb);
+        assert_eq!(va[99], (1..=50).sum::<u64>());
+        assert!(
+            ra.traffic.bytes_sent < rb.traffic.bytes_sent,
+            "{} !< {}",
+            ra.traffic.bytes_sent,
+            rb.traffic.bytes_sent
+        );
+    }
+
+    #[test]
+    fn superstep_splitting_keeps_results_but_lowers_buffer() {
+        let edges: Vec<(u32, u32)> = (0..64u32).flat_map(|i| [(i, (i + 1) % 64), (i, (i + 7) % 64)]).collect();
+        let csr = Csr::from_edges(64, &edges);
+        let mut whole = engine_cfg();
+        whole.buffer_whole_superstep = true;
+        whole.per_message_overhead_bytes = 48;
+        let mut split = whole;
+        split.superstep_splits = 8;
+        let (va, ra) = run(&csr, None, &SumFlood, vec![0u64; 64], vec![], true, &whole, 2, 1).unwrap();
+        let (vb, rb) = run(&csr, None, &SumFlood, vec![0u64; 64], vec![], true, &split, 2, 1).unwrap();
+        assert_eq!(va, vb);
+        assert!(rb.steps > ra.steps, "split produces more barriers");
+        assert!(
+            rb.peak_mem_bytes <= ra.peak_mem_bytes,
+            "{} !<= {}",
+            rb.peak_mem_bytes,
+            ra.peak_mem_bytes
+        );
+    }
+
+    #[test]
+    fn initial_messages_seed_activity() {
+        let csr = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+        // only vertex 1 starts active, via an initial message
+        let (values, _) =
+            run(&csr, None, &CountIncoming, vec![0u32; 3], vec![(1, 7)], false, &engine_cfg(), 1, 1)
+                .unwrap();
+        // vertex 1 counts its initial message; vertex 2 counts the flood from 1
+        assert_eq!(values, vec![0, 1, 1]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Vertex programming — the "think like a vertex" model of GraphLab and
+//! Giraph (paper §3, Algorithms 1 and 2).
+//!
+//! [`engine`] is the generic BSP vertex-program executor; [`programs`]
+//! holds the four algorithms written against it (exactly the pseudocode
+//! of the paper); [`graphlab`] and [`giraph`] bind them to each
+//! framework's runtime behaviour.
+
+pub mod engine;
+pub mod giraph;
+pub mod graphlab;
+pub mod programs;
+pub mod related;
+
+pub use engine::{run, EngineConfig, VertexContext, VertexGraphView, VertexProgram};

@@ -1,0 +1,176 @@
+//! Bipartite ratings graphs for collaborative filtering.
+//!
+//! A ratings matrix `R` (users × items) is the edge-weight matrix of a
+//! bipartite graph (paper Figure 1). We keep both orientations as weighted
+//! CSRs so SGD/GD can stream either by-user or by-item.
+
+use crate::csr::WeightedCsr;
+use crate::{VertexId, Weight};
+
+/// A bipartite, edge-weighted ratings graph.
+///
+/// Users and items have independent id spaces `0..num_users` and
+/// `0..num_items`.
+#[derive(Clone, Debug)]
+pub struct RatingsGraph {
+    num_users: u32,
+    num_items: u32,
+    /// user → (item, rating)
+    by_user: WeightedCsr,
+    /// item → (user, rating)
+    by_item: WeightedCsr,
+}
+
+impl RatingsGraph {
+    /// Builds from `(user, item, rating)` triples.
+    ///
+    /// Panics (debug) if any user/item id is out of range.
+    pub fn from_ratings(
+        num_users: u32,
+        num_items: u32,
+        ratings: &[(VertexId, VertexId, Weight)],
+    ) -> Self {
+        debug_assert!(ratings
+            .iter()
+            .all(|&(u, v, _)| u < num_users && v < num_items));
+        let by_user = WeightedCsr::from_edges(u64::from(num_users), ratings);
+        let flipped: Vec<_> = ratings.iter().map(|&(u, v, w)| (v, u, w)).collect();
+        let by_item = WeightedCsr::from_edges(u64::from(num_items), &flipped);
+        RatingsGraph { num_users, num_items, by_user, by_item }
+    }
+
+    /// Number of users.
+    #[inline]
+    pub fn num_users(&self) -> u32 {
+        self.num_users
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// Number of ratings (edges).
+    #[inline]
+    pub fn num_ratings(&self) -> u64 {
+        self.by_user.num_edges()
+    }
+
+    /// `(item, rating)` pairs of a user.
+    pub fn ratings_of_user(&self, u: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.by_user.edges_of(u)
+    }
+
+    /// `(user, rating)` pairs of an item.
+    pub fn ratings_of_item(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.by_item.edges_of(v)
+    }
+
+    /// The user-oriented weighted CSR.
+    #[inline]
+    pub fn by_user(&self) -> &WeightedCsr {
+        &self.by_user
+    }
+
+    /// The item-oriented weighted CSR.
+    #[inline]
+    pub fn by_item(&self) -> &WeightedCsr {
+        &self.by_item
+    }
+
+    /// Number of ratings by user `u`.
+    #[inline]
+    pub fn user_degree(&self, u: VertexId) -> u32 {
+        self.by_user.structure().degree(u)
+    }
+
+    /// Number of ratings of item `v`.
+    #[inline]
+    pub fn item_degree(&self, v: VertexId) -> u32 {
+        self.by_item.structure().degree(v)
+    }
+
+    /// Mean of all ratings (0 if empty).
+    pub fn mean_rating(&self) -> f64 {
+        if self.num_ratings() == 0 {
+            return 0.0;
+        }
+        let sum: f64 = (0..self.num_users)
+            .flat_map(|u| self.by_user.weights_of(u))
+            .map(|&w| f64::from(w))
+            .sum();
+        sum / self.num_ratings() as f64
+    }
+
+    /// Flat `(user, item, rating)` triples in user-major order.
+    pub fn triples(&self) -> Vec<(VertexId, VertexId, Weight)> {
+        let mut out = Vec::with_capacity(self.num_ratings() as usize);
+        for u in 0..self.num_users {
+            for (v, w) in self.ratings_of_user(u) {
+                out.push((u, v, w));
+            }
+        }
+        out
+    }
+
+    /// Bytes of backing storage (both orientations).
+    pub fn byte_size(&self) -> u64 {
+        self.by_user.byte_size() + self.by_item.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RatingsGraph {
+        // 3 users, 2 items
+        RatingsGraph::from_ratings(
+            3,
+            2,
+            &[(0, 0, 5.0), (0, 1, 3.0), (1, 1, 4.0), (2, 0, 1.0)],
+        )
+    }
+
+    #[test]
+    fn dimensions_and_counts() {
+        let g = sample();
+        assert_eq!(g.num_users(), 3);
+        assert_eq!(g.num_items(), 2);
+        assert_eq!(g.num_ratings(), 4);
+        assert_eq!(g.user_degree(0), 2);
+        assert_eq!(g.item_degree(1), 2);
+    }
+
+    #[test]
+    fn both_orientations_agree() {
+        let g = sample();
+        let by_user: Vec<_> = g.ratings_of_user(0).collect();
+        assert_eq!(by_user, vec![(0, 5.0), (1, 3.0)]);
+        let mut by_item: Vec<_> = g.ratings_of_item(1).collect();
+        by_item.sort_by_key(|p| p.0);
+        assert_eq!(by_item, vec![(0, 3.0), (1, 4.0)]);
+    }
+
+    #[test]
+    fn mean_rating_correct() {
+        let g = sample();
+        assert!((g.mean_rating() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triples_round_trip() {
+        let g = sample();
+        let t = g.triples();
+        let g2 = RatingsGraph::from_ratings(3, 2, &t);
+        assert_eq!(g2.triples(), t);
+    }
+
+    #[test]
+    fn empty_graph_mean_is_zero() {
+        let g = RatingsGraph::from_ratings(2, 2, &[]);
+        assert_eq!(g.mean_rating(), 0.0);
+        assert_eq!(g.num_ratings(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Connected components via union-find.
+//!
+//! Used by the dataset analysis tooling (real-world stand-ins should be
+//! dominated by one giant component, as social graphs are) and by
+//! examples that need reachability structure.
+
+use crate::VertexId;
+
+/// Weighted quick-union with path halving.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton components.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
+    }
+
+    /// Representative of `v`'s component.
+    pub fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            // path halving
+            self.parent[v as usize] = self.parent[self.parent[v as usize] as usize];
+            v = self.parent[v as usize];
+        }
+        v
+    }
+
+    /// Merges the components of `a` and `b`; returns true if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are connected.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of `v`'s component.
+    pub fn component_size(&mut self, v: u32) -> u32 {
+        let r = self.find(v);
+        self.size[r as usize]
+    }
+}
+
+/// Summary of a graph's (weak) connectivity structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComponentStats {
+    /// Number of connected components (isolated vertices count).
+    pub num_components: usize,
+    /// Vertices in the largest component.
+    pub largest: usize,
+    /// Largest component as a fraction of all vertices.
+    pub largest_fraction: f64,
+}
+
+/// Computes weakly-connected components over an edge set (direction
+/// ignored).
+pub fn connected_components(
+    num_vertices: usize,
+    edges: &[(VertexId, VertexId)],
+) -> (UnionFind, ComponentStats) {
+    let mut uf = UnionFind::new(num_vertices);
+    for &(s, d) in edges {
+        uf.union(s, d);
+    }
+    let mut largest = 0usize;
+    for v in 0..num_vertices as u32 {
+        largest = largest.max(uf.component_size(v) as usize);
+    }
+    let stats = ComponentStats {
+        num_components: uf.num_components(),
+        largest,
+        largest_fraction: if num_vertices == 0 {
+            0.0
+        } else {
+            largest as f64 / num_vertices as f64
+        },
+    };
+    (uf, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0), "already merged");
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.component_size(3), 4);
+    }
+
+    #[test]
+    fn component_stats_on_two_islands() {
+        let edges = vec![(0u32, 1u32), (1, 2), (3, 4)];
+        let (_, stats) = connected_components(6, &edges);
+        assert_eq!(stats.num_components, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(stats.largest, 3);
+        assert!((stats.largest_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (_, stats) = connected_components(0, &[]);
+        assert_eq!(stats.num_components, 0);
+        assert_eq!(stats.largest_fraction, 0.0);
+    }
+
+    #[test]
+    fn fully_connected_chain() {
+        let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
+        let (mut uf, stats) = connected_components(100, &edges);
+        assert_eq!(stats.num_components, 1);
+        assert_eq!(stats.largest, 100);
+        assert!(uf.connected(0, 99));
+    }
+
+    #[test]
+    fn cc_agrees_with_bfs_reachability() {
+        // deterministic pseudo-random edges
+        let mut edges = Vec::new();
+        let mut x = 12345u64;
+        for _ in 0..60 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let s = ((x >> 33) % 40) as u32;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let d = ((x >> 33) % 40) as u32;
+            edges.push((s, d));
+        }
+        let (mut uf, _) = connected_components(40, &edges);
+        let g = crate::csr::UndirectedGraph::from_edges(40, &edges);
+        // BFS from 0: exactly the vertices connected to 0
+        let mut dist = vec![u32::MAX; 40];
+        dist[0] = 0;
+        let mut queue = std::collections::VecDeque::from([0u32]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.adj.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        for v in 0..40u32 {
+            assert_eq!(dist[v as usize] != u32::MAX, uf.connected(0, v), "vertex {v}");
+        }
+    }
+}

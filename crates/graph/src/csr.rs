@@ -1,0 +1,433 @@
+//! Compressed Sparse Row graph storage.
+//!
+//! CSR "allows for the edges to be stored as a single, contiguous array"
+//! so that edge streams hit hardware prefetchers (paper §3.1). PageRank
+//! stores **incoming** edges in CSR (each vertex pulls the ranks of its
+//! in-neighbors); BFS and triangle counting use outgoing adjacency.
+
+use crate::{EdgeList, VertexId, Weight, WeightedEdgeList};
+
+/// A CSR adjacency structure: `targets[offsets[v]..offsets[v+1]]` are the
+/// neighbors of vertex `v`.
+///
+/// ```
+/// use graphmaze_graph::csr::Csr;
+/// // the paper's Figure 2 graph
+/// let g = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+/// assert_eq!(g.neighbors(1), &[2, 3]);
+/// assert_eq!(g.transpose().neighbors(3), &[1, 2]); // in-edges of 3
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR from directed edge tuples using a two-pass counting
+    /// sort: one pass to histogram out-degrees, one to scatter targets.
+    pub fn from_edges(num_vertices: u64, edges: &[(VertexId, VertexId)]) -> Self {
+        let n = usize::try_from(num_vertices).expect("vertex count fits usize");
+        let mut offsets = vec![0u64; n + 1];
+        for &(s, _) in edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; edges.len()];
+        for &(s, d) in edges {
+            let c = &mut cursor[s as usize];
+            targets[*c as usize] = d;
+            *c += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Builds a CSR from an [`EdgeList`] (interpreting tuples as directed).
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        Csr::from_edges(el.num_vertices(), el.edges())
+    }
+
+    /// Rebuilds a CSR from raw parts (deserialization). Panics (debug) on
+    /// violated invariants; use `graphmaze_graph::io::read_binary_csr`
+    /// for validated input.
+    pub fn from_parts(offsets: Vec<u64>, targets: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().expect("non-empty") as usize, targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// Neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// The offsets array (length `num_vertices + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The flat targets array.
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Returns the transposed graph (in-edges become out-edges).
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut offsets = vec![0u64; n + 1];
+        for &d in &self.targets {
+            offsets[d as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; self.targets.len()];
+        for v in 0..n {
+            for &d in self.neighbors(v as VertexId) {
+                let c = &mut cursor[d as usize];
+                targets[*c as usize] = v as VertexId;
+                *c += 1;
+            }
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Sorts every adjacency list ascending. Sorted adjacency enables the
+    /// linear-time set intersections Galois and native triangle counting
+    /// rely on (paper §3.2).
+    pub fn sort_neighbors(&mut self) {
+        for v in 0..self.num_vertices() {
+            let (a, b) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+            self.targets[a..b].sort_unstable();
+        }
+    }
+
+    /// True if every adjacency list is sorted ascending.
+    pub fn neighbors_sorted(&self) -> bool {
+        (0..self.num_vertices()).all(|v| self.neighbors(v as VertexId).windows(2).all(|w| w[0] <= w[1]))
+    }
+
+    /// Binary-searches `v`'s (sorted) adjacency list for `target`.
+    #[inline]
+    pub fn has_edge_sorted(&self, v: VertexId, target: VertexId) -> bool {
+        self.neighbors(v).binary_search(&target).is_ok()
+    }
+
+    /// Bytes of backing storage (offsets + targets).
+    pub fn byte_size(&self) -> u64 {
+        (self.offsets.len() * 8 + self.targets.len() * 4) as u64
+    }
+
+    /// Total degree histogram convenience: max out-degree.
+    pub fn max_degree(&self) -> u32 {
+        (0..self.num_vertices()).map(|v| self.degree(v as VertexId)).max().unwrap_or(0)
+    }
+}
+
+/// A CSR with a parallel weight per target (for ratings graphs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedCsr {
+    csr: Csr,
+    weights: Vec<Weight>,
+}
+
+impl WeightedCsr {
+    /// Builds a weighted CSR from weighted directed edges.
+    pub fn from_edges(num_vertices: u64, edges: &[(VertexId, VertexId, Weight)]) -> Self {
+        let n = usize::try_from(num_vertices).expect("vertex count fits usize");
+        let mut offsets = vec![0u64; n + 1];
+        for &(s, _, _) in edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; edges.len()];
+        let mut weights = vec![0.0 as Weight; edges.len()];
+        for &(s, d, w) in edges {
+            let c = &mut cursor[s as usize];
+            targets[*c as usize] = d;
+            weights[*c as usize] = w;
+            *c += 1;
+        }
+        WeightedCsr { csr: Csr { offsets, targets }, weights }
+    }
+
+    /// Builds from a [`WeightedEdgeList`].
+    pub fn from_edge_list(el: &WeightedEdgeList) -> Self {
+        WeightedCsr::from_edges(el.num_vertices(), el.edges())
+    }
+
+    /// The unweighted structure.
+    #[inline]
+    pub fn structure(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.csr.num_vertices()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.csr.num_edges()
+    }
+
+    /// Neighbor ids of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.csr.neighbors(v)
+    }
+
+    /// Weights parallel to [`WeightedCsr::neighbors`].
+    #[inline]
+    pub fn weights_of(&self, v: VertexId) -> &[Weight] {
+        &self.weights
+            [self.csr.offsets[v as usize] as usize..self.csr.offsets[v as usize + 1] as usize]
+    }
+
+    /// `(neighbor, weight)` pairs of `v`.
+    pub fn edges_of(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.neighbors(v).iter().copied().zip(self.weights_of(v).iter().copied())
+    }
+
+    /// Bytes of backing storage.
+    pub fn byte_size(&self) -> u64 {
+        self.csr.byte_size() + (self.weights.len() * std::mem::size_of::<Weight>()) as u64
+    }
+
+    /// Returns the transpose with weights carried along.
+    pub fn transpose(&self) -> WeightedCsr {
+        let n = self.num_vertices();
+        let mut edges = Vec::with_capacity(self.weights.len());
+        for v in 0..n {
+            for (d, w) in self.edges_of(v as VertexId) {
+                edges.push((d, v as VertexId, w));
+            }
+        }
+        WeightedCsr::from_edges(n as u64, &edges)
+    }
+}
+
+/// A directed graph holding both orientations: `out` (forward) and `inn`
+/// (transpose). PageRank streams `inn`; traversals stream `out`.
+#[derive(Clone, Debug)]
+pub struct DirectedGraph {
+    /// Forward adjacency (out-edges).
+    pub out: Csr,
+    /// Reverse adjacency (in-edges).
+    pub inn: Csr,
+}
+
+impl DirectedGraph {
+    /// Builds both orientations from directed edge tuples.
+    pub fn from_edges(num_vertices: u64, edges: &[(VertexId, VertexId)]) -> Self {
+        let out = Csr::from_edges(num_vertices, edges);
+        let inn = out.transpose();
+        DirectedGraph { out, inn }
+    }
+
+    /// Builds from an [`EdgeList`].
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        DirectedGraph::from_edges(el.num_vertices(), el.edges())
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out.num_vertices()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.out.num_edges()
+    }
+
+    /// Bytes of backing storage (both orientations).
+    pub fn byte_size(&self) -> u64 {
+        self.out.byte_size() + self.inn.byte_size()
+    }
+}
+
+/// An undirected graph stored as a symmetric CSR (each undirected edge
+/// appears in both adjacency lists).
+#[derive(Clone, Debug)]
+pub struct UndirectedGraph {
+    /// Symmetric adjacency.
+    pub adj: Csr,
+}
+
+impl UndirectedGraph {
+    /// Builds from undirected edge tuples: each `(u, v)` contributes both
+    /// `u → v` and `v → u` (self-loops contribute once).
+    pub fn from_edges(num_vertices: u64, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut sym = Vec::with_capacity(edges.len() * 2);
+        for &(s, d) in edges {
+            sym.push((s, d));
+            if s != d {
+                sym.push((d, s));
+            }
+        }
+        UndirectedGraph { adj: Csr::from_edges(num_vertices, &sym) }
+    }
+
+    /// Builds from an already-symmetrized [`EdgeList`] without duplicating.
+    pub fn from_symmetric_edge_list(el: &EdgeList) -> Self {
+        UndirectedGraph { adj: Csr::from_edge_list(el) }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.num_vertices()
+    }
+
+    /// Number of undirected edges (half the stored directed count, plus
+    /// self-loops counted once).
+    #[inline]
+    pub fn num_directed_edges(&self) -> u64 {
+        self.adj.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 4-vertex example graph of the paper's Figure 2:
+    /// 0→1, 0→2, 1→2, 1→3, 2→3.
+    fn fig2() -> Vec<(VertexId, VertexId)> {
+        vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]
+    }
+
+    #[test]
+    fn csr_matches_fig2_adjacency() {
+        let g = Csr::from_edges(4, &fig2());
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[2, 3]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn transpose_matches_fig2_in_edges() {
+        let g = Csr::from_edges(4, &fig2());
+        let t = g.transpose();
+        assert_eq!(t.neighbors(0), &[] as &[u32]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        // double transpose is identity
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn csr_preserves_insertion_order_within_vertex() {
+        let g = Csr::from_edges(3, &[(0, 2), (0, 1)]);
+        assert_eq!(g.neighbors(0), &[2, 1]);
+        let mut g = g;
+        g.sort_neighbors();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert!(g.neighbors_sorted());
+        assert!(g.has_edge_sorted(0, 2));
+        assert!(!g.has_edge_sorted(0, 0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn vertices_with_no_edges() {
+        let g = Csr::from_edges(5, &[(2, 3)]);
+        assert_eq!(g.neighbors(0), &[] as &[u32]);
+        assert_eq!(g.neighbors(4), &[] as &[u32]);
+        assert_eq!(g.max_degree(), 1);
+    }
+
+    #[test]
+    fn weighted_csr_carries_weights() {
+        let w = WeightedCsr::from_edges(3, &[(0, 1, 5.0), (0, 2, 2.5), (2, 0, 1.0)]);
+        assert_eq!(w.neighbors(0), &[1, 2]);
+        assert_eq!(w.weights_of(0), &[5.0, 2.5]);
+        let pairs: Vec<_> = w.edges_of(0).collect();
+        assert_eq!(pairs, vec![(1, 5.0), (2, 2.5)]);
+        assert_eq!(w.num_edges(), 3);
+    }
+
+    #[test]
+    fn weighted_transpose_preserves_weights() {
+        let w = WeightedCsr::from_edges(3, &[(0, 1, 5.0), (2, 1, 7.0)]);
+        let t = w.transpose();
+        let mut pairs: Vec<_> = t.edges_of(1).collect();
+        pairs.sort_by_key(|p| p.0);
+        assert_eq!(pairs, vec![(0, 5.0), (2, 7.0)]);
+    }
+
+    #[test]
+    fn directed_graph_both_orientations() {
+        let g = DirectedGraph::from_edges(4, &fig2());
+        assert_eq!(g.out.neighbors(0), &[1, 2]);
+        assert_eq!(g.inn.neighbors(3), &[1, 2]);
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn undirected_graph_symmetric() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.adj.neighbors(1), &[0, 2]);
+        assert_eq!(g.num_directed_edges(), 4);
+    }
+
+    #[test]
+    fn undirected_self_loop_counted_once() {
+        let g = UndirectedGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        assert_eq!(g.adj.neighbors(0), &[0, 1]);
+        assert_eq!(g.num_directed_edges(), 3);
+    }
+
+    #[test]
+    fn byte_size_accounts_offsets_and_targets() {
+        let g = Csr::from_edges(4, &fig2());
+        assert_eq!(g.byte_size(), 5 * 8 + 5 * 4);
+    }
+}

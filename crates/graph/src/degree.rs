@@ -1,0 +1,231 @@
+//! Degree statistics and distribution analysis.
+//!
+//! Used to validate that generated graphs follow the skewed power-law
+//! (Zipf) shape the paper requires of its synthetic data (§4.1), and to
+//! drive degree-aware partitioning / high-degree replication.
+
+use crate::csr::Csr;
+use crate::VertexId;
+
+/// Summary statistics of a degree sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of (directed) edges.
+    pub num_edges: u64,
+    /// Minimum degree.
+    pub min: u32,
+    /// Maximum degree.
+    pub max: u32,
+    /// Mean degree.
+    pub mean: f64,
+    /// Fraction of vertices with degree 0.
+    pub isolated_fraction: f64,
+    /// Gini coefficient of the degree sequence — 0 for uniform degrees,
+    /// → 1 for extreme skew. Real-world power-law graphs land ≳ 0.5.
+    pub gini: f64,
+}
+
+impl DegreeStats {
+    /// Computes statistics over the out-degrees of `g`.
+    pub fn of(g: &Csr) -> Self {
+        let n = g.num_vertices();
+        let mut degrees: Vec<u32> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+        Self::of_degrees(&mut degrees, g.num_edges())
+    }
+
+    /// Computes statistics from a raw degree sequence (sorted in place).
+    pub fn of_degrees(degrees: &mut [u32], num_edges: u64) -> Self {
+        let n = degrees.len();
+        if n == 0 {
+            return DegreeStats {
+                num_vertices: 0,
+                num_edges: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                isolated_fraction: 0.0,
+                gini: 0.0,
+            };
+        }
+        degrees.sort_unstable();
+        let min = degrees[0];
+        let max = degrees[n - 1];
+        let total: u64 = degrees.iter().map(|&d| u64::from(d)).sum();
+        let mean = total as f64 / n as f64;
+        let isolated = degrees.iter().take_while(|&&d| d == 0).count();
+        // Gini over the sorted sequence: G = (2*sum(i*x_i)/(n*sum(x)) - (n+1)/n)
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let weighted: f64 = degrees
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as f64 + 1.0) * f64::from(d))
+                .sum();
+            (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+        };
+        DegreeStats {
+            num_vertices: n,
+            num_edges,
+            min,
+            max,
+            mean,
+            isolated_fraction: isolated as f64 / n as f64,
+            gini,
+        }
+    }
+}
+
+/// Log2-bucketed degree histogram: `buckets[k]` counts vertices with
+/// degree in `[2^k, 2^(k+1))`; degree-0 vertices are counted separately.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    /// Count of degree-0 vertices.
+    pub zero: u64,
+    /// `buckets[k]` = number of vertices with `floor(log2(degree)) == k`.
+    pub buckets: Vec<u64>,
+}
+
+impl DegreeHistogram {
+    /// Histogram of out-degrees of `g`.
+    pub fn of(g: &Csr) -> Self {
+        let mut h = DegreeHistogram::default();
+        for v in 0..g.num_vertices() {
+            let d = g.degree(v as VertexId);
+            if d == 0 {
+                h.zero += 1;
+            } else {
+                let k = (31 - d.leading_zeros()) as usize;
+                if h.buckets.len() <= k {
+                    h.buckets.resize(k + 1, 0);
+                }
+                h.buckets[k] += 1;
+            }
+        }
+        h
+    }
+
+    /// Least-squares slope of `log2(count)` vs bucket index over non-empty
+    /// buckets. Power-law graphs give a clearly negative slope; uniform
+    /// (Erdős–Rényi) graphs concentrate around the mean instead.
+    pub fn log_log_slope(&self) -> Option<f64> {
+        let pts: Vec<(f64, f64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (k as f64, (c as f64).log2()))
+            .collect();
+        if pts.len() < 2 {
+            return None;
+        }
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            None
+        } else {
+            Some((n * sxy - sx * sy) / denom)
+        }
+    }
+}
+
+/// Returns vertex ids sorted by descending degree — the "hubs first" order
+/// used for high-degree replication partitioning.
+pub fn vertices_by_degree_desc(g: &Csr) -> Vec<VertexId> {
+    let mut ids: Vec<VertexId> = (0..g.num_vertices() as u32).collect();
+    ids.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(n: u32) -> Csr {
+        // vertex 0 points to everyone else
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        Csr::from_edges(u64::from(n), &edges)
+    }
+
+    #[test]
+    fn stats_of_star_graph() {
+        let g = star(11);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.num_vertices, 11);
+        assert_eq!(s.num_edges, 10);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 10);
+        assert!((s.mean - 10.0 / 11.0).abs() < 1e-12);
+        assert!((s.isolated_fraction - 10.0 / 11.0).abs() < 1e-12);
+        // One vertex owns all degree: near-maximal skew.
+        assert!(s.gini > 0.9, "gini {} should be near 1", s.gini);
+    }
+
+    #[test]
+    fn gini_zero_for_uniform_degrees() {
+        let mut degs = vec![4u32; 100];
+        let s = DegreeStats::of_degrees(&mut degs, 400);
+        assert!(s.gini.abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_degree_stats() {
+        let s = DegreeStats::of_degrees(&mut [], 0);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // degrees: 0, 1, 2, 3, 8
+        let edges = vec![
+            (1, 0),
+            (2, 0),
+            (2, 1),
+            (3, 0),
+            (3, 1),
+            (3, 2),
+            (4, 0),
+            (4, 1),
+            (4, 2),
+            (4, 3),
+            (4, 5),
+            (4, 6),
+            (4, 7),
+            (4, 8),
+        ];
+        let g = Csr::from_edges(9, &edges);
+        let h = DegreeHistogram::of(&g);
+        assert_eq!(h.zero, 5); // vertices 0,5,6,7,8
+        assert_eq!(h.buckets[0], 1); // degree 1
+        assert_eq!(h.buckets[1], 2); // degrees 2,3
+        assert_eq!(h.buckets[3], 1); // degree 8
+    }
+
+    #[test]
+    fn slope_negative_for_skewed() {
+        // counts 8,4,2,1 across buckets → slope -1 in log2 space
+        let h = DegreeHistogram { zero: 0, buckets: vec![8, 4, 2, 1] };
+        let s = h.log_log_slope().expect("slope");
+        assert!((s + 1.0).abs() < 1e-9, "slope {s}");
+    }
+
+    #[test]
+    fn slope_none_when_degenerate() {
+        let h = DegreeHistogram { zero: 0, buckets: vec![5] };
+        assert!(h.log_log_slope().is_none());
+    }
+
+    #[test]
+    fn hubs_first_ordering() {
+        let g = star(5);
+        let order = vertices_by_degree_desc(&g);
+        assert_eq!(order[0], 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Edge-list representations and normalization passes.
+//!
+//! Generators (RMAT in particular) emit raw edge tuples "with possible
+//! duplicates" (paper §4.1.2). The passes here — dedup, self-loop removal,
+//! symmetrization, acyclic orientation — are exactly the post-processing
+//! the paper applies before handing graphs to the frameworks.
+
+use crate::{GraphError, VertexId, Weight};
+
+/// An unweighted directed edge list over `num_vertices` vertices.
+///
+/// The interpretation of each `(src, dst)` pair (directed vs undirected)
+/// is decided by the conversion used ([`crate::Csr::from_edges`] /
+/// [`EdgeList::symmetrize`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    num_vertices: u64,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: u64) -> Self {
+        assert!(num_vertices <= u64::from(u32::MAX) + 1, "vertex ids must fit u32");
+        EdgeList { num_vertices, edges: Vec::new() }
+    }
+
+    /// Creates an edge list from parts, validating endpoint ranges.
+    pub fn from_edges(
+        num_vertices: u64,
+        edges: Vec<(VertexId, VertexId)>,
+    ) -> Result<Self, GraphError> {
+        for &(s, d) in &edges {
+            if u64::from(s) >= num_vertices || u64::from(d) >= num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u64::from(s.max(d)),
+                    num_vertices,
+                });
+            }
+        }
+        Ok(EdgeList { num_vertices, edges })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Number of edge tuples currently stored (duplicates included).
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Appends an edge. Panics if an endpoint is out of range.
+    #[inline]
+    pub fn push(&mut self, src: VertexId, dst: VertexId) {
+        debug_assert!(
+            u64::from(src) < self.num_vertices && u64::from(dst) < self.num_vertices,
+            "edge ({src},{dst}) out of range {}",
+            self.num_vertices
+        );
+        self.edges.push((src, dst));
+    }
+
+    /// Reserves space for `n` additional edges.
+    pub fn reserve(&mut self, n: usize) {
+        self.edges.reserve(n);
+    }
+
+    /// The raw edge tuples.
+    #[inline]
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Sorts edges and removes exact duplicates.
+    pub fn dedup(&mut self) {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// Removes self-loops `(v, v)`.
+    pub fn remove_self_loops(&mut self) {
+        self.edges.retain(|&(s, d)| s != d);
+    }
+
+    /// Adds the reverse of every edge, then dedups — producing the
+    /// "2 edges in both directions" form the paper uses for BFS (§4.1.2).
+    pub fn symmetrize(&mut self) {
+        let rev: Vec<(VertexId, VertexId)> = self.edges.iter().map(|&(s, d)| (d, s)).collect();
+        self.edges.extend(rev);
+        self.dedup();
+    }
+
+    /// Orients every edge from the smaller to the larger endpoint id and
+    /// dedups, yielding an acyclic (DAG) orientation. The paper uses this
+    /// for triangle counting "to avoid cycles" (§4.1.2). Self-loops are
+    /// dropped.
+    pub fn orient_by_id(&mut self) {
+        self.edges.retain(|&(s, d)| s != d);
+        for e in &mut self.edges {
+            if e.0 > e.1 {
+                *e = (e.1, e.0);
+            }
+        }
+        self.dedup();
+    }
+
+    /// Consumes the list, returning the edge vector.
+    pub fn into_edges(self) -> Vec<(VertexId, VertexId)> {
+        self.edges
+    }
+}
+
+/// A weighted edge list; used to carry ratings for collaborative filtering.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WeightedEdgeList {
+    num_vertices: u64,
+    edges: Vec<(VertexId, VertexId, Weight)>,
+}
+
+impl WeightedEdgeList {
+    /// Creates an empty weighted edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: u64) -> Self {
+        assert!(num_vertices <= u64::from(u32::MAX) + 1, "vertex ids must fit u32");
+        WeightedEdgeList { num_vertices, edges: Vec::new() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Appends a weighted edge.
+    #[inline]
+    pub fn push(&mut self, src: VertexId, dst: VertexId, w: Weight) {
+        debug_assert!(
+            u64::from(src) < self.num_vertices && u64::from(dst) < self.num_vertices,
+            "edge ({src},{dst}) out of range {}",
+            self.num_vertices
+        );
+        self.edges.push((src, dst, w));
+    }
+
+    /// The raw weighted edge tuples.
+    #[inline]
+    pub fn edges(&self) -> &[(VertexId, VertexId, Weight)] {
+        &self.edges
+    }
+
+    /// Sorts by endpoints and keeps the **first** weight seen for each
+    /// duplicated endpoint pair.
+    pub fn dedup_keep_first(&mut self) {
+        self.edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.edges.dedup_by(|next, prev| (next.0, next.1) == (prev.0, prev.1));
+    }
+
+    /// Consumes the list, returning the edge vector.
+    pub fn into_edges(self) -> Vec<(VertexId, VertexId, Weight)> {
+        self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn el(edges: &[(u32, u32)]) -> EdgeList {
+        EdgeList::from_edges(10, edges.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn from_edges_validates_range() {
+        assert!(EdgeList::from_edges(3, vec![(0, 2)]).is_ok());
+        let err = EdgeList::from_edges(3, vec![(0, 3)]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 3, num_vertices: 3 }));
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_and_sorts() {
+        let mut e = el(&[(2, 1), (0, 1), (2, 1), (0, 1)]);
+        e.dedup();
+        assert_eq!(e.edges(), &[(0, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn remove_self_loops_only_drops_loops() {
+        let mut e = el(&[(1, 1), (1, 2), (3, 3)]);
+        e.remove_self_loops();
+        assert_eq!(e.edges(), &[(1, 2)]);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverses_once() {
+        let mut e = el(&[(0, 1), (1, 0), (2, 3)]);
+        e.symmetrize();
+        assert_eq!(e.edges(), &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+    }
+
+    #[test]
+    fn orient_by_id_yields_dag_edges() {
+        let mut e = el(&[(3, 1), (1, 3), (2, 2), (0, 4)]);
+        e.orient_by_id();
+        assert_eq!(e.edges(), &[(0, 4), (1, 3)]);
+        assert!(e.edges().iter().all(|&(s, d)| s < d));
+    }
+
+    #[test]
+    fn weighted_dedup_keeps_first_weight() {
+        let mut w = WeightedEdgeList::new(5);
+        w.push(1, 2, 5.0);
+        w.push(0, 1, 3.0);
+        w.push(1, 2, 9.0);
+        w.dedup_keep_first();
+        assert_eq!(w.num_edges(), 2);
+        // sorted order: (0,1) then (1,2); (1,2) keeps whichever sorted first,
+        // which after a stable sort by endpoints is the first inserted (5.0).
+        assert_eq!(w.edges()[1], (1, 2, 5.0));
+    }
+
+    #[test]
+    fn push_and_counts() {
+        let mut e = EdgeList::new(4);
+        assert_eq!(e.num_edges(), 0);
+        e.push(0, 1);
+        e.push(1, 2);
+        assert_eq!(e.num_edges(), 2);
+        assert_eq!(e.num_vertices(), 4);
+    }
+}

@@ -1,0 +1,144 @@
+//! BFS frontiers with sparse/dense duality.
+//!
+//! Direction-optimizing BFS (Satish et al.'s native implementation follows
+//! \[28\]) needs the current frontier both as a queue (top-down expansion)
+//! and as a bit-vector (bottom-up membership tests). [`Frontier`] keeps a
+//! vertex list plus an optional dense bit-vector, and decides representation
+//! by occupancy.
+
+use crate::bitvec::BitVec;
+use crate::VertexId;
+
+/// A set of active vertices for one BFS/traversal level.
+#[derive(Clone, Debug)]
+pub struct Frontier {
+    num_vertices: usize,
+    vertices: Vec<VertexId>,
+    dense: Option<BitVec>,
+}
+
+impl Frontier {
+    /// An empty frontier over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Frontier { num_vertices, vertices: Vec::new(), dense: None }
+    }
+
+    /// A frontier containing exactly `v`.
+    pub fn singleton(num_vertices: usize, v: VertexId) -> Self {
+        let mut f = Frontier::new(num_vertices);
+        f.push(v);
+        f
+    }
+
+    /// Builds a frontier from a vertex list (deduplicated by the caller).
+    pub fn from_vertices(num_vertices: usize, vertices: Vec<VertexId>) -> Self {
+        debug_assert!(vertices.iter().all(|&v| (v as usize) < num_vertices));
+        Frontier { num_vertices, vertices, dense: None }
+    }
+
+    /// Adds a vertex (caller guarantees no duplicates).
+    #[inline]
+    pub fn push(&mut self, v: VertexId) {
+        debug_assert!((v as usize) < self.num_vertices);
+        self.vertices.push(v);
+        if let Some(d) = &mut self.dense {
+            d.set(v as usize);
+        }
+    }
+
+    /// Number of active vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True if no vertices are active.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Active vertices as a slice (sparse view).
+    #[inline]
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Occupancy in `[0, 1]`: `len / num_vertices`.
+    pub fn occupancy(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.vertices.len() as f64 / self.num_vertices as f64
+        }
+    }
+
+    /// Materializes (and caches) the dense bit-vector view.
+    pub fn dense(&mut self) -> &BitVec {
+        if self.dense.is_none() {
+            let mut bv = BitVec::new(self.num_vertices);
+            for &v in &self.vertices {
+                bv.set(v as usize);
+            }
+            self.dense = Some(bv);
+        }
+        self.dense.as_ref().expect("just materialized")
+    }
+
+    /// Membership test; uses the dense view if materialized, else scans.
+    pub fn contains(&self, v: VertexId) -> bool {
+        match &self.dense {
+            Some(d) => d.get(v as usize),
+            None => self.vertices.contains(&v),
+        }
+    }
+
+    /// Whether bottom-up traversal should be preferred, per the
+    /// direction-optimizing heuristic: switch when the frontier's edge
+    /// volume exceeds `1/alpha` of the remaining edge volume. We use the
+    /// simpler occupancy form: switch bottom-up when more than `threshold`
+    /// of all vertices are active.
+    pub fn prefer_bottom_up(&self, threshold: f64) -> bool {
+        self.occupancy() > threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_contains_only_that_vertex() {
+        let f = Frontier::singleton(10, 3);
+        assert_eq!(f.len(), 1);
+        assert!(f.contains(3));
+        assert!(!f.contains(4));
+    }
+
+    #[test]
+    fn dense_view_matches_sparse() {
+        let mut f = Frontier::from_vertices(100, vec![1, 50, 99]);
+        let d = f.dense().clone();
+        assert_eq!(d.count_ones(), 3);
+        assert!(d.get(1) && d.get(50) && d.get(99));
+        // pushes after materialization keep views consistent
+        f.push(7);
+        assert!(f.dense().get(7));
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn occupancy_and_direction_heuristic() {
+        let f = Frontier::from_vertices(10, vec![0, 1, 2]);
+        assert!((f.occupancy() - 0.3).abs() < 1e-12);
+        assert!(f.prefer_bottom_up(0.1));
+        assert!(!f.prefer_bottom_up(0.5));
+    }
+
+    #[test]
+    fn empty_frontier() {
+        let f = Frontier::new(0);
+        assert!(f.is_empty());
+        assert_eq!(f.occupancy(), 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Edge-list IO: whitespace-separated text and a compact binary format.
+//!
+//! Text format: one `src dst [weight]` per line; lines starting with `#`
+//! or `%` are comments (SNAP / Matrix-Market-adjacent conventions).
+//! Binary format: `GMZE` magic, version, counts, then little-endian
+//! `u32` pairs (and `f32` weights for the weighted variant).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{EdgeList, GraphError, WeightedEdgeList};
+
+const MAGIC: &[u8; 4] = b"GMZE";
+const VERSION_UNWEIGHTED: u8 = 1;
+const VERSION_WEIGHTED: u8 = 2;
+
+/// Reads a text edge list. `num_vertices` is inferred as `max id + 1`
+/// unless a larger `min_vertices` is given.
+pub fn read_text_edge_list<R: Read>(reader: R, min_vertices: u64) -> Result<EdgeList, GraphError> {
+    let mut edges = Vec::new();
+    let mut max_id: u64 = 0;
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, lineno: usize| -> Result<u32, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse { line: lineno + 1, msg: "missing field".into() })?
+                .parse::<u32>()
+                .map_err(|e| GraphError::Parse { line: lineno + 1, msg: e.to_string() })
+        };
+        let s = parse(it.next(), lineno)?;
+        let d = parse(it.next(), lineno)?;
+        max_id = max_id.max(u64::from(s)).max(u64::from(d));
+        edges.push((s, d));
+    }
+    let n = if edges.is_empty() { min_vertices } else { (max_id + 1).max(min_vertices) };
+    EdgeList::from_edges(n, edges)
+}
+
+/// Writes a text edge list (`src dst` per line).
+pub fn write_text_edge_list<W: Write>(w: W, el: &EdgeList) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# graphmaze edge list: {} vertices {} edges", el.num_vertices(), el.num_edges())?;
+    for &(s, d) in el.edges() {
+        writeln!(w, "{s} {d}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the compact binary format.
+pub fn write_binary_edge_list<W: Write>(w: W, el: &EdgeList) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION_UNWEIGHTED])?;
+    w.write_all(&el.num_vertices().to_le_bytes())?;
+    w.write_all(&el.num_edges().to_le_bytes())?;
+    for &(s, d) in el.edges() {
+        w.write_all(&s.to_le_bytes())?;
+        w.write_all(&d.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads the compact binary format.
+pub fn read_binary_edge_list<R: Read>(r: R) -> Result<EdgeList, GraphError> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Parse { line: 0, msg: "bad magic".into() });
+    }
+    let mut ver = [0u8; 1];
+    r.read_exact(&mut ver)?;
+    if ver[0] != VERSION_UNWEIGHTED {
+        return Err(GraphError::Parse { line: 0, msg: format!("bad version {}", ver[0]) });
+    }
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let n = u64::from_le_bytes(b8);
+    r.read_exact(&mut b8)?;
+    let m = u64::from_le_bytes(b8);
+    let mut edges = Vec::with_capacity(m as usize);
+    let mut b4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut b4)?;
+        let s = u32::from_le_bytes(b4);
+        r.read_exact(&mut b4)?;
+        let d = u32::from_le_bytes(b4);
+        edges.push((s, d));
+    }
+    EdgeList::from_edges(n, edges)
+}
+
+/// Writes a weighted binary edge list.
+pub fn write_binary_weighted<W: Write>(w: W, el: &WeightedEdgeList) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION_WEIGHTED])?;
+    w.write_all(&el.num_vertices().to_le_bytes())?;
+    w.write_all(&el.num_edges().to_le_bytes())?;
+    for &(s, d, wt) in el.edges() {
+        w.write_all(&s.to_le_bytes())?;
+        w.write_all(&d.to_le_bytes())?;
+        w.write_all(&wt.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a weighted binary edge list.
+pub fn read_binary_weighted<R: Read>(r: R) -> Result<WeightedEdgeList, GraphError> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Parse { line: 0, msg: "bad magic".into() });
+    }
+    let mut ver = [0u8; 1];
+    r.read_exact(&mut ver)?;
+    if ver[0] != VERSION_WEIGHTED {
+        return Err(GraphError::Parse { line: 0, msg: format!("bad version {}", ver[0]) });
+    }
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let n = u64::from_le_bytes(b8);
+    r.read_exact(&mut b8)?;
+    let m = u64::from_le_bytes(b8);
+    let mut el = WeightedEdgeList::new(n);
+    let mut b4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut b4)?;
+        let s = u32::from_le_bytes(b4);
+        r.read_exact(&mut b4)?;
+        let d = u32::from_le_bytes(b4);
+        r.read_exact(&mut b4)?;
+        let wt = f32::from_le_bytes(b4);
+        el.push(s, d, wt);
+    }
+    Ok(el)
+}
+
+const CSR_VERSION: u8 = 3;
+
+/// Serializes a prebuilt CSR (offsets + targets) — loading this is a
+/// straight buffer read, skipping the counting-sort rebuild entirely.
+/// This is the on-disk cache format for large generated graphs.
+pub fn write_binary_csr<W: Write>(w: W, csr: &crate::csr::Csr) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&[CSR_VERSION])?;
+    w.write_all(&(csr.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&csr.num_edges().to_le_bytes())?;
+    for &o in csr.offsets() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &t in csr.targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a CSR written by [`write_binary_csr`], validating the
+/// offsets invariant (monotone, final offset = edge count).
+pub fn read_binary_csr<R: Read>(r: R) -> Result<crate::csr::Csr, GraphError> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Parse { line: 0, msg: "bad magic".into() });
+    }
+    let mut ver = [0u8; 1];
+    r.read_exact(&mut ver)?;
+    if ver[0] != CSR_VERSION {
+        return Err(GraphError::Parse { line: 0, msg: format!("bad version {}", ver[0]) });
+    }
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let n = u64::from_le_bytes(b8) as usize;
+    r.read_exact(&mut b8)?;
+    let m = u64::from_le_bytes(b8);
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        r.read_exact(&mut b8)?;
+        offsets.push(u64::from_le_bytes(b8));
+    }
+    if offsets.first() != Some(&0)
+        || offsets.last() != Some(&m)
+        || offsets.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(GraphError::Parse { line: 0, msg: "corrupt CSR offsets".into() });
+    }
+    let mut targets = Vec::with_capacity(m as usize);
+    let mut b4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut b4)?;
+        let t = u32::from_le_bytes(b4);
+        if u64::from(t) >= n as u64 {
+            return Err(GraphError::VertexOutOfRange { vertex: u64::from(t), num_vertices: n as u64 });
+        }
+        targets.push(t);
+    }
+    Ok(crate::csr::Csr::from_parts(offsets, targets))
+}
+
+/// Convenience: round-trips through a file path (binary format).
+pub fn save_binary(path: &Path, el: &EdgeList) -> Result<(), GraphError> {
+    write_binary_edge_list(std::fs::File::create(path)?, el)
+}
+
+/// Convenience: loads from a file path (binary format).
+pub fn load_binary(path: &Path) -> Result<EdgeList, GraphError> {
+    read_binary_edge_list(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip() {
+        let el = EdgeList::from_edges(5, vec![(0, 1), (3, 4), (2, 2)]).unwrap();
+        let mut buf = Vec::new();
+        write_text_edge_list(&mut buf, &el).unwrap();
+        let back = read_text_edge_list(&buf[..], 0).unwrap();
+        assert_eq!(back.edges(), el.edges());
+        assert_eq!(back.num_vertices(), 5);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blank_lines() {
+        let text = "# comment\n% another\n\n1 2\n3 4 0.5\n";
+        let el = read_text_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(el.edges(), &[(1, 2), (3, 4)]);
+        assert_eq!(el.num_vertices(), 5);
+    }
+
+    #[test]
+    fn text_parse_error_reports_line() {
+        let text = "1 2\nfoo bar\n";
+        let err = read_text_edge_list(text.as_bytes(), 0).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_vertices_respected() {
+        let el = read_text_edge_list("0 1\n".as_bytes(), 100).unwrap();
+        assert_eq!(el.num_vertices(), 100);
+        let empty = read_text_edge_list("".as_bytes(), 7).unwrap();
+        assert_eq!(empty.num_vertices(), 7);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let el = EdgeList::from_edges(10, vec![(0, 9), (5, 5), (9, 0)]).unwrap();
+        let mut buf = Vec::new();
+        write_binary_edge_list(&mut buf, &el).unwrap();
+        let back = read_binary_edge_list(&buf[..]).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary_edge_list(&b"NOPE\x01"[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn weighted_binary_round_trip() {
+        let mut el = WeightedEdgeList::new(4);
+        el.push(0, 1, 4.5);
+        el.push(2, 3, -1.25);
+        let mut buf = Vec::new();
+        write_binary_weighted(&mut buf, &el).unwrap();
+        let back = read_binary_weighted(&buf[..]).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let el = EdgeList::from_edges(6, vec![(0, 5), (2, 1), (2, 3), (5, 0)]).unwrap();
+        let csr = crate::csr::Csr::from_edge_list(&el);
+        let mut buf = Vec::new();
+        write_binary_csr(&mut buf, &csr).unwrap();
+        let back = read_binary_csr(&buf[..]).unwrap();
+        assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn csr_reader_rejects_corrupt_offsets() {
+        let el = EdgeList::from_edges(3, vec![(0, 1), (1, 2)]).unwrap();
+        let csr = crate::csr::Csr::from_edge_list(&el);
+        let mut buf = Vec::new();
+        write_binary_csr(&mut buf, &csr).unwrap();
+        // corrupt an offsets byte (non-monotone)
+        buf[21 + 8] = 0xff;
+        assert!(read_binary_csr(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn csr_reader_rejects_out_of_range_target() {
+        let el = EdgeList::from_edges(3, vec![(0, 1)]).unwrap();
+        let csr = crate::csr::Csr::from_edge_list(&el);
+        let mut buf = Vec::new();
+        write_binary_csr(&mut buf, &csr).unwrap();
+        let tlen = buf.len();
+        buf[tlen - 4..].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            read_binary_csr(&buf[..]),
+            Err(GraphError::VertexOutOfRange { vertex: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_reader_rejects_unweighted_stream() {
+        let el = EdgeList::from_edges(2, vec![(0, 1)]).unwrap();
+        let mut buf = Vec::new();
+        write_binary_edge_list(&mut buf, &el).unwrap();
+        assert!(read_binary_weighted(&buf[..]).is_err());
+    }
+}

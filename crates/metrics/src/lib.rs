@@ -1,0 +1,23 @@
+//! # graphmaze-metrics
+//!
+//! Metering primitives for the cluster simulator: counted work
+//! ([`Work`]), per-node memory accounting ([`MemTracker`]), network
+//! traffic statistics ([`TrafficStats`]) and the final run report
+//! ([`RunReport`]) corresponding to the paper's `sar`/`sysstat`
+//! measurements (§5.4, Figure 6).
+//!
+//! Everything here is *measured on real executions* — the algorithms in
+//! `graphmaze-native` and `graphmaze-engines` really run, and these
+//! counters record exactly what they did. Only the conversion of counts
+//! to seconds (done in `graphmaze-cluster`) uses the paper's hardware
+//! constants.
+
+pub mod memory;
+pub mod report;
+pub mod traffic;
+pub mod work;
+
+pub use memory::{MemTracker, OutOfMemory};
+pub use report::RunReport;
+pub use traffic::TrafficStats;
+pub use work::Work;

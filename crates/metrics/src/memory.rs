@@ -1,0 +1,127 @@
+//! Per-node memory accounting.
+//!
+//! The paper's Figure 6 shows memory footprint as a first-class metric, and
+//! two of its headline findings are out-of-memory failures: CombBLAS
+//! triangle counting ("ran out of memory for real-world inputs while
+//! computing the A² matrix product") and Giraph's whole-superstep message
+//! buffering. [`MemTracker`] reproduces both as typed [`OutOfMemory`]
+//! errors when charged allocations exceed node capacity.
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when a charged allocation exceeds node capacity.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutOfMemory {
+    /// The node that failed.
+    pub node: usize,
+    /// Bytes in use before the failing allocation.
+    pub in_use: u64,
+    /// Size of the failing allocation.
+    pub requested: u64,
+    /// Node capacity.
+    pub capacity: u64,
+    /// Label of the failing allocation (e.g. `"spgemm:A2"`).
+    pub label: String,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "node {} out of memory: {} in use + {} requested ({}) > capacity {}",
+            self.node, self.in_use, self.requested, self.label, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Tracks charged allocations on one simulated node.
+#[derive(Clone, Debug)]
+pub struct MemTracker {
+    node: usize,
+    capacity: u64,
+    in_use: u64,
+    peak: u64,
+}
+
+impl MemTracker {
+    /// A tracker for `node` with the given byte capacity.
+    pub fn new(node: usize, capacity: u64) -> Self {
+        MemTracker { node, capacity, in_use: 0, peak: 0 }
+    }
+
+    /// Charges an allocation; fails if it would exceed capacity.
+    pub fn alloc(&mut self, bytes: u64, label: &str) -> Result<(), OutOfMemory> {
+        if self.in_use.saturating_add(bytes) > self.capacity {
+            return Err(OutOfMemory {
+                node: self.node,
+                in_use: self.in_use,
+                requested: bytes,
+                capacity: self.capacity,
+                label: label.to_string(),
+            });
+        }
+        self.in_use += bytes;
+        self.peak = self.peak.max(self.in_use);
+        Ok(())
+    }
+
+    /// Releases a previously charged allocation (clamped at zero).
+    pub fn free(&mut self, bytes: u64) {
+        self.in_use = self.in_use.saturating_sub(bytes);
+    }
+
+    /// Bytes currently in use.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Highest in-use watermark seen.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Node capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_and_peak() {
+        let mut m = MemTracker::new(0, 100);
+        m.alloc(40, "a").unwrap();
+        m.alloc(50, "b").unwrap();
+        assert_eq!(m.in_use(), 90);
+        m.free(60);
+        assert_eq!(m.in_use(), 30);
+        assert_eq!(m.peak(), 90);
+    }
+
+    #[test]
+    fn oom_is_typed_and_informative() {
+        let mut m = MemTracker::new(3, 100);
+        m.alloc(80, "graph").unwrap();
+        let err = m.alloc(30, "spgemm:A2").unwrap_err();
+        assert_eq!(err.node, 3);
+        assert_eq!(err.in_use, 80);
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.label, "spgemm:A2");
+        assert!(err.to_string().contains("spgemm:A2"));
+        // failed alloc does not change state
+        assert_eq!(m.in_use(), 80);
+    }
+
+    #[test]
+    fn free_clamps_at_zero() {
+        let mut m = MemTracker::new(0, 10);
+        m.alloc(5, "x").unwrap();
+        m.free(100);
+        assert_eq!(m.in_use(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Run reports — the simulator's answer to the paper's measurements.
+
+use serde::{Deserialize, Serialize};
+
+use crate::traffic::TrafficStats;
+use crate::work::Work;
+
+/// Everything measured about one benchmark run. Field-for-field, this is
+/// the data behind the paper's Figures 3–6 and Tables 4–7.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Simulated wall-clock of the whole run, seconds.
+    pub sim_seconds: f64,
+    /// Number of BSP steps / iterations executed.
+    pub steps: u32,
+    /// Algorithm iterations (for per-iteration reporting; equals `steps`
+    /// unless an engine splits supersteps).
+    pub iterations: u32,
+    /// Node count the run used.
+    pub nodes: usize,
+    /// Fraction of total core-seconds spent computing, `[0, 1]` —
+    /// the paper's "CPU utilization".
+    pub cpu_utilization: f64,
+    /// Maximum per-node peak memory, bytes.
+    pub peak_mem_bytes: u64,
+    /// Simulated seconds spent in (non-overlapped) computation.
+    pub compute_seconds: f64,
+    /// Simulated seconds spent in (non-overlapped) communication.
+    pub comm_seconds: f64,
+    /// Network traffic statistics.
+    pub traffic: TrafficStats,
+    /// Total metered work, summed over nodes (Table 4's achieved
+    /// bandwidths divide this by runtime).
+    pub total_work: Work,
+}
+
+impl RunReport {
+    /// Seconds per iteration (`sim_seconds` if `iterations == 0`).
+    pub fn seconds_per_iteration(&self) -> f64 {
+        if self.iterations == 0 {
+            self.sim_seconds
+        } else {
+            self.sim_seconds / f64::from(self.iterations)
+        }
+    }
+
+    /// Average network bytes sent per node.
+    pub fn net_bytes_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.traffic.bytes_sent as f64 / self.nodes as f64
+        }
+    }
+
+    /// Achieved DRAM bandwidth per node, bytes/sec (streaming bytes plus
+    /// one 64-byte line per random access) — the quantity Table 4
+    /// compares against the hardware limit.
+    pub fn achieved_mem_bw_per_node(&self) -> f64 {
+        if self.sim_seconds == 0.0 || self.nodes == 0 {
+            0.0
+        } else {
+            let bytes =
+                self.total_work.seq_bytes as f64 + self.total_work.rand_accesses as f64 * 64.0;
+            bytes / self.sim_seconds / self.nodes as f64
+        }
+    }
+
+    /// Achieved network bandwidth per node, bytes/sec.
+    pub fn achieved_net_bw_per_node(&self) -> f64 {
+        if self.sim_seconds == 0.0 || self.nodes == 0 {
+            0.0
+        } else {
+            self.traffic.bytes_sent as f64 / self.sim_seconds / self.nodes as f64
+        }
+    }
+
+    /// Slowdown of `self` relative to a baseline (native) report.
+    pub fn slowdown_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.sim_seconds == 0.0 {
+            f64::INFINITY
+        } else {
+            self.sim_seconds / baseline.sim_seconds
+        }
+    }
+}
+
+/// Geometric mean of a slice of positive values (`NaN` propagates; empty
+/// slice → 1.0). Used for the paper's Table 5/6 cross-dataset summaries.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_iteration_division() {
+        let r = RunReport { sim_seconds: 10.0, iterations: 4, ..Default::default() };
+        assert!((r.seconds_per_iteration() - 2.5).abs() < 1e-12);
+        let r0 = RunReport { sim_seconds: 10.0, iterations: 0, ..Default::default() };
+        assert_eq!(r0.seconds_per_iteration(), 10.0);
+    }
+
+    #[test]
+    fn slowdown_ratio() {
+        let base = RunReport { sim_seconds: 2.0, ..Default::default() };
+        let slow = RunReport { sim_seconds: 9.0, ..Default::default() };
+        assert!((slow.slowdown_vs(&base) - 4.5).abs() < 1e-12);
+        let zero = RunReport::default();
+        assert!(slow.slowdown_vs(&zero).is_infinite());
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn net_bytes_per_node_averages() {
+        let mut r = RunReport { nodes: 4, ..Default::default() };
+        r.traffic.bytes_sent = 400;
+        assert!((r.net_bytes_per_node() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clone_eq() {
+        let r = RunReport { sim_seconds: 1.5, nodes: 2, ..Default::default() };
+        let r2 = r.clone();
+        assert_eq!(r, r2);
+    }
+}

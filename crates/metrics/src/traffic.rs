@@ -1,0 +1,86 @@
+//! Network traffic statistics.
+//!
+//! Figure 6 reports two traffic metrics per framework: total **network
+//! bytes sent** per node and **peak achieved network bandwidth**. The
+//! cluster simulator records both here, per step, as engines exchange
+//! real message payloads.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated traffic over a run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Total bytes put on the wire (post-compression), summed over nodes.
+    pub bytes_sent: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Bytes before compression (equal to `bytes_sent` when uncompressed).
+    pub bytes_uncompressed: u64,
+    /// Peak per-node bandwidth achieved in any step, bytes/sec.
+    pub peak_bw_bps: f64,
+    /// Number of communication steps recorded.
+    pub steps: u32,
+}
+
+impl TrafficStats {
+    /// Records one communication step: the busiest node sent
+    /// `max_node_bytes` over `step_comm_seconds`.
+    pub fn record_step(
+        &mut self,
+        total_bytes: u64,
+        total_msgs: u64,
+        uncompressed_bytes: u64,
+        max_node_bytes: u64,
+        step_comm_seconds: f64,
+    ) {
+        self.bytes_sent += total_bytes;
+        self.messages += total_msgs;
+        self.bytes_uncompressed += uncompressed_bytes;
+        self.steps += 1;
+        if step_comm_seconds > 0.0 {
+            let bw = max_node_bytes as f64 / step_comm_seconds;
+            if bw > self.peak_bw_bps {
+                self.peak_bw_bps = bw;
+            }
+        }
+    }
+
+    /// Effective compression ratio, `uncompressed / sent` (1.0 if nothing
+    /// was sent).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.bytes_sent == 0 {
+            1.0
+        } else {
+            self.bytes_uncompressed as f64 / self.bytes_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut t = TrafficStats::default();
+        t.record_step(1000, 10, 2000, 600, 0.001);
+        t.record_step(500, 5, 500, 500, 0.01);
+        assert_eq!(t.bytes_sent, 1500);
+        assert_eq!(t.messages, 15);
+        assert_eq!(t.steps, 2);
+        assert!((t.peak_bw_bps - 600_000.0).abs() < 1e-6);
+        assert!((t.compression_ratio() - 2500.0 / 1500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_step_ignored_for_peak() {
+        let mut t = TrafficStats::default();
+        t.record_step(100, 1, 100, 100, 0.0);
+        assert_eq!(t.peak_bw_bps, 0.0);
+    }
+
+    #[test]
+    fn empty_compression_ratio_is_one() {
+        assert_eq!(TrafficStats::default().compression_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Counted computational work.
+//!
+//! Graph kernels are bound by one of three node resources (paper §5.1,
+//! Table 4): streaming memory bandwidth, random-access latency, or — rarely
+//! — arithmetic. [`Work`] counts all three so the cost model can take the
+//! binding maximum.
+
+use serde::{Deserialize, Serialize};
+
+/// Work performed by a metered region, in hardware-neutral units.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Work {
+    /// Bytes read/written with streaming (prefetchable) access.
+    pub seq_bytes: u64,
+    /// Cache-missing random accesses (irregular gathers/scatters).
+    pub rand_accesses: u64,
+    /// Arithmetic operations (multiply-add counts as 2).
+    pub flops: u64,
+}
+
+impl Work {
+    /// No work.
+    pub const ZERO: Work = Work { seq_bytes: 0, rand_accesses: 0, flops: 0 };
+
+    /// Pure streaming work of `bytes`.
+    pub fn stream(bytes: u64) -> Work {
+        Work { seq_bytes: bytes, ..Work::ZERO }
+    }
+
+    /// Pure random-access work of `n` accesses.
+    pub fn random(n: u64) -> Work {
+        Work { rand_accesses: n, ..Work::ZERO }
+    }
+
+    /// Pure arithmetic work of `n` flops.
+    pub fn flops(n: u64) -> Work {
+        Work { flops: n, ..Work::ZERO }
+    }
+
+    /// Component-wise accumulation.
+    #[inline]
+    pub fn accumulate(&mut self, other: Work) {
+        self.seq_bytes += other.seq_bytes;
+        self.rand_accesses += other.rand_accesses;
+        self.flops += other.flops;
+    }
+
+    /// Scales every component by an integer factor (framework per-op
+    /// overhead multipliers).
+    pub fn scaled(self, factor: f64) -> Work {
+        debug_assert!(factor >= 0.0);
+        Work {
+            seq_bytes: (self.seq_bytes as f64 * factor) as u64,
+            rand_accesses: (self.rand_accesses as f64 * factor) as u64,
+            flops: (self.flops as f64 * factor) as u64,
+        }
+    }
+
+    /// True if all components are zero.
+    pub fn is_zero(&self) -> bool {
+        *self == Work::ZERO
+    }
+}
+
+impl std::ops::Add for Work {
+    type Output = Work;
+
+    fn add(self, rhs: Work) -> Work {
+        let mut w = self;
+        w.accumulate(rhs);
+        w
+    }
+}
+
+impl std::iter::Sum for Work {
+    fn sum<I: Iterator<Item = Work>>(iter: I) -> Work {
+        iter.fold(Work::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Work::stream(10).seq_bytes, 10);
+        assert_eq!(Work::random(5).rand_accesses, 5);
+        assert_eq!(Work::flops(3).flops, 3);
+        assert!(Work::ZERO.is_zero());
+    }
+
+    #[test]
+    fn add_and_sum() {
+        let w = Work::stream(10) + Work::random(5) + Work::flops(2);
+        assert_eq!(w, Work { seq_bytes: 10, rand_accesses: 5, flops: 2 });
+        let total: Work = [Work::stream(1), Work::stream(2)].into_iter().sum();
+        assert_eq!(total.seq_bytes, 3);
+    }
+
+    #[test]
+    fn scaled_applies_factor() {
+        let w = Work { seq_bytes: 100, rand_accesses: 10, flops: 4 }.scaled(2.5);
+        assert_eq!(w, Work { seq_bytes: 250, rand_accesses: 25, flops: 10 });
+        assert_eq!(Work::stream(7).scaled(0.0), Work::ZERO);
+    }
+}

@@ -1,0 +1,353 @@
+//! Hand-optimized PageRank (paper §2 eq. (1), §3.1, §6.1).
+//!
+//! The native design, straight from the paper: the graph is stored as an
+//! **incoming-edge CSR** so each destination vertex streams the ranks of
+//! its sources; the multi-node version partitions vertices 1-D "so that
+//! each node has roughly the same number of edges", computes local
+//! updates, then "packages the pagerank values to be sent to the other
+//! nodes" — one value per boundary vertex per consumer node, with ids
+//! delta/bitmap-compressed when the compression lever is on.
+
+use graphmaze_cluster::{ClusterSpec, Partition1D, Sim, SimError};
+use graphmaze_graph::csr::DirectedGraph;
+use graphmaze_graph::par::par_tasks;
+use graphmaze_graph::VertexId;
+use graphmaze_metrics::{RunReport, Work};
+
+use crate::common::{edge_stream_work, gather_work, send_ids_with_values, NativeOptions};
+
+/// One full PageRank iteration into `next` from `scaled` (already divided
+/// by out-degree), over destination vertices `range`.
+fn iterate_range(
+    g: &DirectedGraph,
+    scaled: &[f64],
+    next: &mut [f64],
+    lo: usize,
+    hi: usize,
+    r: f64,
+) {
+    for i in lo..hi {
+        let mut acc = 0.0;
+        for &j in g.inn.neighbors(i as VertexId) {
+            acc += scaled[j as usize];
+        }
+        next[i] = r + (1.0 - r) * acc;
+    }
+}
+
+/// Divides ranks by out-degree (dangling vertices contribute nothing, as
+/// in the paper's unnormalized formulation).
+fn rescale(g: &DirectedGraph, ranks: &[f64], scaled: &mut [f64]) {
+    for i in 0..ranks.len() {
+        let d = g.out.degree(i as VertexId);
+        scaled[i] = if d == 0 { 0.0 } else { ranks[i] / f64::from(d) };
+    }
+}
+
+/// Single-node parallel PageRank: `iterations` synchronous iterations of
+/// eq. (1) with random-jump probability `r`. Returns the (unnormalized)
+/// rank per vertex.
+///
+/// ```
+/// use graphmaze_graph::DirectedGraph;
+/// use graphmaze_native::{pagerank::pagerank, PAGERANK_R};
+/// let g = DirectedGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+/// let pr = pagerank(&g, PAGERANK_R, 1, 1);
+/// assert!((pr[3] - 1.35).abs() < 1e-12); // Figure 2, one iteration by hand
+/// ```
+pub fn pagerank(g: &DirectedGraph, r: f64, iterations: u32, threads: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut ranks = vec![1.0f64; n];
+    let mut scaled = vec![0.0f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        rescale(g, &ranks, &mut scaled);
+        // parallel over destination chunks — writes are disjoint
+        let chunks: Vec<(usize, usize)> = chunk_bounds(n, threads.max(1));
+        let scaled_ref = &scaled;
+        let results: Vec<Vec<f64>> = par_tasks(chunks.len(), |t| {
+            let (lo, hi) = chunks[t];
+            let mut out = vec![0.0f64; hi - lo];
+            for i in lo..hi {
+                let mut acc = 0.0;
+                for &j in g.inn.neighbors(i as VertexId) {
+                    acc += scaled_ref[j as usize];
+                }
+                out[i - lo] = r + (1.0 - r) * acc;
+            }
+            out
+        });
+        for (t, part) in results.into_iter().enumerate() {
+            let (lo, hi) = chunks[t];
+            next[lo..hi].copy_from_slice(&part);
+        }
+        std::mem::swap(&mut ranks, &mut next);
+    }
+    ranks
+}
+
+/// Runs until the L1 delta between iterations drops below `tol` (or
+/// `max_iterations`). Returns `(ranks, iterations_run)`.
+pub fn pagerank_until(
+    g: &DirectedGraph,
+    r: f64,
+    tol: f64,
+    max_iterations: u32,
+    _threads: usize,
+) -> (Vec<f64>, u32) {
+    let n = g.num_vertices();
+    let mut ranks = vec![1.0f64; n];
+    let mut scaled = vec![0.0f64; n];
+    for it in 1..=max_iterations {
+        rescale(g, &ranks, &mut scaled);
+        let mut next = vec![0.0f64; n];
+        iterate_range(g, &scaled, &mut next, 0, n, r);
+        let delta: f64 = ranks.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        ranks = next;
+        if delta < tol {
+            return (ranks, it);
+        }
+    }
+    (ranks, max_iterations)
+}
+
+fn chunk_bounds(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.min(n.max(1));
+    let per = n.div_ceil(parts.max(1));
+    (0..parts).map(|t| (t * per, ((t + 1) * per).min(n))).filter(|(lo, hi)| lo < hi).collect()
+}
+
+/// Per-node boundary structure: for each (owner, consumer) pair, the
+/// sorted source vertices owned by `owner` that `consumer`'s in-edges
+/// reference.
+fn boundary_sets(g: &DirectedGraph, part: &Partition1D) -> Vec<Vec<Vec<VertexId>>> {
+    let nodes = part.nodes();
+    let mut sets: Vec<Vec<Vec<VertexId>>> = vec![vec![Vec::new(); nodes]; nodes];
+    for consumer in 0..nodes {
+        let range = part.range(consumer);
+        let mut needed: Vec<VertexId> = Vec::new();
+        for i in range.start..range.end {
+            for &j in g.inn.neighbors(i) {
+                let owner = part.owner(j);
+                if owner != consumer {
+                    needed.push(j);
+                }
+            }
+        }
+        needed.sort_unstable();
+        needed.dedup();
+        for j in needed {
+            sets[part.owner(j)][consumer].push(j);
+        }
+    }
+    sets
+}
+
+/// Distributed PageRank on the simulated cluster. Executes the real
+/// computation partitioned per node and meters compute, traffic and
+/// memory. Returns the ranks (identical to [`pagerank`]) and the report.
+pub fn pagerank_cluster(
+    g: &DirectedGraph,
+    r: f64,
+    iterations: u32,
+    opts: NativeOptions,
+    nodes: usize,
+) -> Result<(Vec<f64>, RunReport), SimError> {
+    let mut sim = Sim::new(ClusterSpec::paper(nodes), opts.profile());
+    let n = g.num_vertices();
+    let part = Partition1D::balanced_by_edges(&g.inn, nodes);
+    let boundary = boundary_sets(g, &part);
+
+    // Memory: each node holds its in-edge CSR slice plus rank arrays for
+    // owned vertices and ghost values for boundary sources.
+    for node in 0..nodes {
+        let local_edges = part.edges_of(&g.inn, node);
+        let local_vertices = part.len(node) as u64;
+        let ghosts: u64 = (0..nodes).map(|o| boundary[o][node].len() as u64).sum();
+        sim.alloc(
+            node,
+            local_edges * 4 + local_vertices * (8 + 8 + 8) + ghosts * 8,
+            "pagerank:graph+ranks",
+        )?;
+    }
+
+    let mut ranks = vec![1.0f64; n];
+    let mut scaled = vec![0.0f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        for i in 0..n {
+            let d = g.out.degree(i as VertexId);
+            scaled[i] = if d == 0 { 0.0 } else { ranks[i] / f64::from(d) };
+        }
+        for node in 0..nodes {
+            let range = part.range(node);
+            iterate_range(g, &scaled, &mut next, range.start as usize, range.end as usize, r);
+            // Work: stream the local edge array, gather source ranks
+            // (irregular), stream the rank arrays, 2 flops/edge.
+            let local_edges = part.edges_of(&g.inn, node);
+            let local_vertices = part.len(node) as u64;
+            let mut w = edge_stream_work(local_edges, 2);
+            w.accumulate(gather_work(local_edges, 8));
+            w.accumulate(Work::stream(local_vertices * 24));
+            sim.charge(node, w);
+            // Messages: updated boundary values to each consumer.
+            for consumer in 0..nodes {
+                if consumer != node && !boundary[node][consumer].is_empty() {
+                    send_ids_with_values(
+                        &mut sim,
+                        node,
+                        &boundary[node][consumer],
+                        n as u64,
+                        8,
+                        opts.compression,
+                        true,
+                    );
+                }
+            }
+        }
+        std::mem::swap(&mut ranks, &mut next);
+        sim.end_step();
+        sim.end_iteration();
+    }
+    Ok((ranks, sim.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGERANK_R;
+
+    /// Figure 2's example graph.
+    fn fig2() -> DirectedGraph {
+        DirectedGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    }
+
+    /// Sequential oracle, straight from eq. (1).
+    fn oracle(g: &DirectedGraph, r: f64, iterations: u32) -> Vec<f64> {
+        let n = g.num_vertices();
+        let mut pr = vec![1.0f64; n];
+        for _ in 0..iterations {
+            let mut next = vec![r; n];
+            for i in 0..n {
+                let d = g.out.degree(i as u32);
+                if d == 0 {
+                    continue;
+                }
+                let share = (1.0 - r) * pr[i] / f64::from(d);
+                for &dst in g.out.neighbors(i as u32) {
+                    next[dst as usize] += share;
+                }
+            }
+            pr = next;
+        }
+        pr
+    }
+
+    #[test]
+    fn matches_sequential_oracle_on_fig2() {
+        let g = fig2();
+        let got = pagerank(&g, PAGERANK_R, 10, 4);
+        let want = oracle(&g, PAGERANK_R, 10);
+        for (a, b) in got.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn one_iteration_by_hand() {
+        // After 1 iteration from pr=1: pr(0)=0.3 (no in-edges);
+        // pr(1)=0.3+0.7*(1/2)=0.65; pr(2)=0.3+0.7*(1/2+1/2)=1.0;
+        // pr(3)=0.3+0.7*(1/2+1/1)=1.35
+        let g = fig2();
+        let pr = pagerank(&g, 0.3, 1, 1);
+        let want = [0.3, 0.65, 1.0, 1.35];
+        for (a, b) in pr.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let g = fig2();
+        let a = pagerank(&g, 0.3, 5, 1);
+        let b = pagerank(&g, 0.3, 5, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dangling_vertices_do_not_leak_rank() {
+        // vertex 1 is a sink; its rank must stay r + contribution,
+        // and vertex 0 gets exactly r every iteration.
+        let g = DirectedGraph::from_edges(2, &[(0, 1)]);
+        let pr = pagerank(&g, 0.3, 3, 1);
+        assert!((pr[0] - 0.3).abs() < 1e-12);
+        assert!((pr[1] - (0.3 + 0.7 * 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn until_converges_and_stops_early() {
+        let g = fig2();
+        let (_, iters) = pagerank_until(&g, 0.3, 1e-12, 200, 2);
+        assert!(iters < 200, "should converge, ran {iters}");
+        let (ranks_a, _) = pagerank_until(&g, 0.3, 1e-12, 200, 2);
+        let ranks_b = pagerank(&g, 0.3, iters, 2);
+        for (a, b) in ranks_a.iter().zip(&ranks_b) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    fn rmat_graph(scale: u32, edge_factor: u32, seed: u64) -> DirectedGraph {
+        let cfg = graphmaze_datagen::RmatConfig {
+            scale,
+            edge_factor,
+            params: graphmaze_datagen::RmatParams::GRAPH500,
+            seed,
+            scramble_ids: false,
+            threads: 1,
+        };
+        let el = graphmaze_datagen::rmat::generate(&cfg);
+        DirectedGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn cluster_matches_single_node() {
+        let g = rmat_graph(10, 8, 7);
+        let single = pagerank(&g, 0.3, 5, 2);
+        for nodes in [1, 2, 4] {
+            let (dist, report) =
+                pagerank_cluster(&g, 0.3, 5, NativeOptions::all(), nodes).unwrap();
+            for (a, b) in single.iter().zip(&dist) {
+                assert!((a - b).abs() < 1e-9, "nodes={nodes}");
+            }
+            assert_eq!(report.iterations, 5);
+            assert_eq!(report.nodes, nodes);
+            assert!(report.sim_seconds > 0.0);
+            if nodes > 1 {
+                assert!(report.traffic.bytes_sent > 0, "multi-node must communicate");
+            } else {
+                assert_eq!(report.traffic.bytes_sent, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn compression_reduces_wire_bytes() {
+        let g = rmat_graph(10, 8, 3);
+        let mut with = NativeOptions::all();
+        with.compression = true;
+        let mut without = NativeOptions::all();
+        without.compression = false;
+        let (_, rep_c) = pagerank_cluster(&g, 0.3, 3, with, 4).unwrap();
+        let (_, rep_u) = pagerank_cluster(&g, 0.3, 3, without, 4).unwrap();
+        assert!(
+            rep_c.traffic.bytes_sent < rep_u.traffic.bytes_sent,
+            "{} !< {}",
+            rep_c.traffic.bytes_sent,
+            rep_u.traffic.bytes_sent
+        );
+        // the paper reports ~2.2x for pagerank traffic
+        let factor = rep_u.traffic.bytes_sent as f64 / rep_c.traffic.bytes_sent as f64;
+        assert!(factor > 1.5, "compression factor {factor}");
+    }
+
+}

@@ -1,0 +1,349 @@
+//! Hand-optimized triangle counting (paper §2 eq. (3), §3.2, §6.1).
+//!
+//! Native algorithm per the paper: every vertex "shares its neighborhood
+//! list with each of its neighbors", each vertex intersects received
+//! lists with its own. Edges are pre-oriented into a DAG (smaller id →
+//! larger id, §4.1.2) so each triangle is counted exactly once. Adjacency
+//! lists are sorted for linear-time merge intersection; the bit-vector
+//! lever (§6.1.1, worth ~2.2×) switches hub vertices to constant-time
+//! membership probes.
+
+use graphmaze_cluster::compress::encode_best;
+use graphmaze_cluster::{ClusterSpec, Partition1D, Sim, SimError};
+use graphmaze_graph::csr::Csr;
+use graphmaze_graph::par::par_reduce;
+use graphmaze_graph::{BitVec, EdgeList, VertexId};
+use graphmaze_metrics::{RunReport, Work};
+
+use crate::common::{edge_stream_work, NativeOptions};
+
+/// Degree above which the bit-vector membership strategy is used for a
+/// vertex's neighbor set.
+const BITVEC_DEGREE_THRESHOLD: u32 = 256;
+
+/// Orients edges from smaller to larger vertex id (dropping self-loops
+/// and duplicates) and returns a sorted-adjacency CSR — the preprocessing
+/// the paper applies to make "the implementations efficient on all
+/// frameworks" (§4.1.2).
+pub fn orient_and_sort(el: &EdgeList) -> Csr {
+    let mut oriented = el.clone();
+    oriented.orient_by_id();
+    let mut csr = Csr::from_edge_list(&oriented);
+    csr.sort_neighbors();
+    csr
+}
+
+/// Counts the triangles of a DAG-oriented, sorted-adjacency CSR by merge
+/// intersection of `N+(u)` and `N+(v)` for every edge `(u, v)`.
+pub fn triangles(g: &Csr, threads: usize) -> u64 {
+    triangles_with(g, threads, true)
+}
+
+/// Triangle counting with the bit-vector lever controllable.
+pub fn triangles_with(g: &Csr, threads: usize, use_bitvector: bool) -> u64 {
+    debug_assert!(g.neighbors_sorted(), "adjacency must be sorted");
+    let n = g.num_vertices();
+    par_reduce(
+        n,
+        threads,
+        || 0u64,
+        |acc, u| {
+            let nu = g.neighbors(u as VertexId);
+            if nu.is_empty() {
+                return acc;
+            }
+            let mut local = 0u64;
+            if use_bitvector && nu.len() as u32 >= BITVEC_DEGREE_THRESHOLD {
+                // hub: constant-time probes against a bitmap of N+(u)
+                let mut bv = BitVec::new(n);
+                for &w in nu {
+                    bv.set(w as usize);
+                }
+                for &v in nu {
+                    for &w in g.neighbors(v) {
+                        if bv.get(w as usize) {
+                            local += 1;
+                        }
+                    }
+                }
+            } else {
+                for &v in nu {
+                    local += merge_intersect_count(nu, g.neighbors(v));
+                }
+            }
+            acc + local
+        },
+        |a, b| a + b,
+    )
+}
+
+/// Counts common elements of two sorted slices.
+#[inline]
+fn merge_intersect_count(a: &[VertexId], b: &[VertexId]) -> u64 {
+    let (mut i, mut j, mut count) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Brute-force triangle count over all vertex triples — the O(n³) oracle
+/// for tests.
+pub fn triangles_brute_force(edges: &[(VertexId, VertexId)], n: usize) -> u64 {
+    let mut adj = vec![BitVec::new(n); n];
+    for &(s, d) in edges {
+        if s != d {
+            adj[s as usize].set(d as usize);
+            adj[d as usize].set(s as usize);
+        }
+    }
+    let mut count = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !adj[i].get(j) {
+                continue;
+            }
+            for k in (j + 1)..n {
+                if adj[i].get(k) && adj[j].get(k) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// The number of BSP phases the native code splits the neighbor-list
+/// exchange into when overlap is enabled (bounds buffer memory, §6.1.1).
+const EXCHANGE_PHASES: usize = 16;
+
+/// Distributed triangle counting on the simulated cluster. Returns the
+/// exact count (equal to [`triangles`]) and the run report. Fails with
+/// [`SimError::OutOfMemory`] if message buffering exceeds node capacity —
+/// which is precisely what the paper reports for naive whole-exchange
+/// implementations on large graphs.
+pub fn triangles_cluster(
+    g: &Csr,
+    opts: NativeOptions,
+    nodes: usize,
+) -> Result<(u64, RunReport), SimError> {
+    debug_assert!(g.neighbors_sorted(), "adjacency must be sorted");
+    let mut sim = Sim::new(ClusterSpec::paper(nodes), opts.profile());
+    let n = g.num_vertices();
+    let part = Partition1D::balanced_by_edges(g, nodes);
+
+    for node in 0..nodes {
+        let local_edges = part.edges_of(g, node);
+        sim.alloc(node, local_edges * 4 + part.len(node) as u64 * 8, "tc:graph")?;
+    }
+
+    // Which remote adjacency lists does each node need? v is needed by
+    // node c when v ∈ N+(u) for some u owned by c.
+    let mut needed: Vec<Vec<VertexId>> = vec![Vec::new(); nodes];
+    for node in 0..nodes {
+        let r = part.range(node);
+        let mut ids: Vec<VertexId> = (r.start..r.end)
+            .flat_map(|u| g.neighbors(u).iter().copied())
+            .filter(|&v| part.owner(v) != node)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        needed[node] = ids;
+    }
+
+    // Exchange: owners ship each requested adjacency list once per
+    // consumer. Buffer memory is the whole inbound volume, unless overlap
+    // is on and the exchange is phased (§6.1.1 "blocking of a very large
+    // message into multiple smaller ones").
+    for consumer in 0..nodes {
+        let mut inbound_bytes = 0u64;
+        // batch all lists from one owner into a single bulk message
+        let mut per_owner: Vec<(u64, u64)> = vec![(0, 0); nodes]; // (wire, raw)
+        for &v in &needed[consumer] {
+            let owner = part.owner(v);
+            let deg = g.degree(v) as u64;
+            let raw = 4 + deg * 4;
+            let wire = if opts.compression {
+                4 + encode_best(g.neighbors(v), n as u64).len() as u64
+            } else {
+                raw
+            };
+            per_owner[owner].0 += wire;
+            per_owner[owner].1 += raw;
+            inbound_bytes += raw;
+        }
+        for (owner, &(wire, raw)) in per_owner.iter().enumerate() {
+            if wire > 0 {
+                sim.send(owner, wire, raw, 1 + wire / (1 << 20));
+            }
+        }
+        let buffer = if opts.overlap {
+            inbound_bytes / EXCHANGE_PHASES as u64 + 1
+        } else {
+            inbound_bytes
+        };
+        sim.alloc(consumer, buffer, "tc:inbound-lists")?;
+    }
+
+    // Local counting (the real computation, charged per owner node).
+    let mut total = 0u64;
+    for node in 0..nodes {
+        let r = part.range(node);
+        let mut count = 0u64;
+        let mut stream_edges = 0u64;
+        let mut probes = 0u64;
+        for u in r.start..r.end {
+            let nu = g.neighbors(u);
+            if nu.is_empty() {
+                continue;
+            }
+            let hub = opts.bitvector && nu.len() as u32 >= BITVEC_DEGREE_THRESHOLD;
+            if hub {
+                let mut bv = BitVec::new(n);
+                for &w in nu {
+                    bv.set(w as usize);
+                }
+                for &v in nu {
+                    for &w in g.neighbors(v) {
+                        probes += 1;
+                        if bv.get(w as usize) {
+                            count += 1;
+                        }
+                    }
+                }
+            } else {
+                for &v in nu {
+                    let nv = g.neighbors(v);
+                    stream_edges += (nu.len() + nv.len()) as u64;
+                    count += merge_intersect_count(nu, nv);
+                }
+            }
+        }
+        total += count;
+        // Merge scans stream both lists; probe strategy costs one random
+        // access per probe; without the bit-vector lever probes double
+        // (word-sized flags, worse cache behaviour).
+        let probe_factor = if opts.bitvector { 1 } else { 2 };
+        let mut w = edge_stream_work(stream_edges, 1);
+        w.accumulate(Work::random(probes * probe_factor));
+        sim.charge(node, w);
+    }
+    sim.end_step();
+    sim.end_iteration();
+    Ok((total, sim.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmaze_datagen::{rmat, RmatConfig, RmatParams};
+
+    fn k4() -> EdgeList {
+        // complete graph on 4 vertices: 4 triangles
+        EdgeList::from_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    fn rmat_el(scale: u32, seed: u64) -> EdgeList {
+        let cfg = RmatConfig {
+            scale,
+            edge_factor: 8,
+            params: RmatParams::TRIANGLE,
+            seed,
+            scramble_ids: false,
+            threads: 1,
+        };
+        rmat::generate(&cfg)
+    }
+
+    #[test]
+    fn paper_fig2_example_has_two_triangles() {
+        // §3.2: the CombBLAS example counts nnz(A ∩ A²) = 2 for Figure 2.
+        let el = EdgeList::from_edges(4, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let g = orient_and_sort(&el);
+        assert_eq!(triangles(&g, 1), 2);
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let g = orient_and_sort(&k4());
+        assert_eq!(triangles(&g, 2), 4);
+    }
+
+    #[test]
+    fn triangle_free_graph_counts_zero() {
+        // a star has no triangles
+        let el = EdgeList::from_edges(6, vec![(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+        let g = orient_and_sort(&el);
+        assert_eq!(triangles(&g, 2), 0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_rmat() {
+        let el = rmat_el(8, 5);
+        let g = orient_and_sort(&el);
+        let fast = triangles(&g, 4);
+        let brute = triangles_brute_force(el.edges(), el.num_vertices() as usize);
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn bitvector_lever_does_not_change_count() {
+        let el = rmat_el(10, 9);
+        let g = orient_and_sort(&el);
+        assert_eq!(triangles_with(&g, 4, true), triangles_with(&g, 4, false));
+    }
+
+    #[test]
+    fn orientation_handles_duplicates_and_loops() {
+        let el =
+            EdgeList::from_edges(3, vec![(0, 1), (1, 0), (1, 1), (1, 2), (2, 0), (0, 2)]).unwrap();
+        let g = orient_and_sort(&el);
+        assert_eq!(triangles(&g, 1), 1);
+    }
+
+    #[test]
+    fn cluster_matches_single_node() {
+        let el = rmat_el(10, 3);
+        let g = orient_and_sort(&el);
+        let single = triangles(&g, 2);
+        let mut traffic = Vec::new();
+        for nodes in [1, 2, 4] {
+            let (count, report) = triangles_cluster(&g, NativeOptions::all(), nodes).unwrap();
+            assert_eq!(count, single, "nodes={nodes}");
+            if nodes > 1 {
+                assert!(report.traffic.bytes_sent > 0);
+            }
+            traffic.push(report.traffic.bytes_uncompressed);
+        }
+        // neighbor-list traffic grows with node count (§2.1: total message
+        // size for TC is much larger than the graph itself at scale)
+        assert_eq!(traffic[0], 0);
+        assert!(traffic[2] > traffic[1], "traffic {traffic:?}");
+    }
+
+    #[test]
+    fn overlap_bounds_buffer_memory() {
+        let el = rmat_el(11, 17);
+        let g = orient_and_sort(&el);
+        let mut on = NativeOptions::all();
+        on.overlap = true;
+        let mut off = NativeOptions::all();
+        off.overlap = false;
+        let (_, rep_on) = triangles_cluster(&g, on, 4).unwrap();
+        let (_, rep_off) = triangles_cluster(&g, off, 4).unwrap();
+        assert!(
+            rep_on.peak_mem_bytes < rep_off.peak_mem_bytes,
+            "{} !< {}",
+            rep_on.peak_mem_bytes,
+            rep_off.peak_mem_bytes
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: generate a Graph500 RMAT graph, run all four paper
+//! algorithms natively, and print what the paper's Table 1 calls their
+//! "diverse characteristics" in action.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use graphmaze_core::prelude::*;
+
+fn main() {
+    // A scale-14 RMAT graph (16 K vertices, ~260 K edges) — §4.1.2's
+    // generator with Graph500 default parameters A=0.57, B=C=0.19.
+    let wl = Workload::rmat(14, 16, 42);
+    let directed = wl.directed.as_ref().expect("graph workload");
+    println!(
+        "graph `{}`: {} vertices, {} edges",
+        wl.name,
+        directed.num_vertices(),
+        directed.num_edges()
+    );
+
+    // PageRank (eq. 1, r = 0.3), 10 iterations.
+    let ranks = graphmaze_core::native::pagerank::pagerank(directed, PAGERANK_R, 10, 0);
+    let (top_v, top_r) = ranks
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty");
+    println!("pagerank : highest-rank vertex {top_v} with rank {top_r:.2}");
+
+    // BFS (eq. 2) from the highest-degree vertex (ids are scrambled, so
+    // vertex 0 may be isolated).
+    let undirected = wl.undirected.as_ref().expect("graph workload");
+    let source = (0..undirected.num_vertices() as u32)
+        .max_by_key(|&v| undirected.adj.degree(v))
+        .unwrap();
+    let dist = graphmaze_core::native::bfs::bfs(undirected, source, 0);
+    let reached = dist.iter().filter(|&&d| d != u32::MAX).count();
+    let diameter = dist.iter().filter(|&&d| d != u32::MAX).max().unwrap();
+    println!("bfs      : reached {reached} vertices, max distance {diameter}");
+
+    // Triangle counting (eq. 3) on the DAG orientation.
+    let oriented = wl.oriented.as_ref().expect("graph workload");
+    let triangles = graphmaze_core::native::triangle::triangles(oriented, 0);
+    println!("triangles: {triangles}");
+
+    // Collaborative filtering (eq. 4–8): SGD on a synthetic power-law
+    // ratings matrix from the paper's fold generator.
+    let cf_wl = Workload::rmat_ratings(12, 256, 42);
+    let ratings = cf_wl.ratings.as_ref().expect("ratings workload");
+    let cfg = CfConfig { k: 16, lambda: 0.05, gamma0: 0.01, step_decay: 0.95, seed: 42 };
+    let (_, history) = graphmaze_core::native::cf::sgd(ratings, &cfg, 5, 0);
+    println!(
+        "cf (sgd) : {} users x {} items, {} ratings; rmse {:.3} -> {:.3} in 5 epochs",
+        ratings.num_users(),
+        ratings.num_items(),
+        ratings.num_ratings(),
+        history[0],
+        history[4],
+    );
+
+    // And the headline of the paper: the same algorithm, same data, on a
+    // simulated 4-node cluster under two frameworks.
+    let params = BenchParams::default();
+    let native = run_benchmark(Algorithm::PageRank, Framework::Native, &wl, 4, &params)
+        .expect("native run");
+    let giraph = run_benchmark(Algorithm::PageRank, Framework::Giraph, &wl, 4, &params)
+        .expect("giraph run");
+    println!(
+        "ninja gap: pagerank/iter native {:.4}s vs giraph {:.2}s  ({:.0}x)",
+        native.report.seconds_per_iteration(),
+        giraph.report.seconds_per_iteration(),
+        giraph.report.slowdown_vs(&native.report),
+    );
+}

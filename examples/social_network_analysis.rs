@@ -1,0 +1,79 @@
+//! Social-network analysis on a LiveJournal-like graph — the workload
+//! mix the paper's introduction motivates: influence ranking (PageRank),
+//! degrees of separation (BFS) and community cohesion (triangles),
+//! then a framework comparison on a simulated 4-node cluster.
+//!
+//! ```sh
+//! cargo run --release --example social_network_analysis
+//! ```
+
+use graphmaze_core::prelude::*;
+use graphmaze_core::report::{fmt_secs, fmt_slowdown};
+
+fn main() {
+    // The Table 3 LiveJournal stand-in, scaled down 2^9 for a laptop.
+    let wl = Workload::from_dataset(Dataset::LiveJournalLike, 9, 2024);
+    let g = wl.directed.as_ref().expect("graph");
+    println!(
+        "livejournal-like follower graph: {} users, {} follow edges\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // --- influence ranking ---------------------------------------------
+    let ranks = graphmaze_core::native::pagerank::pagerank(g, PAGERANK_R, 20, 0);
+    let mut order: Vec<usize> = (0..ranks.len()).collect();
+    order.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]));
+    println!("top 5 influencers by pagerank:");
+    for &v in order.iter().take(5) {
+        println!(
+            "  user {v:>8}  rank {:>8.2}  followers {:>6}",
+            ranks[v],
+            g.inn.degree(v as u32)
+        );
+    }
+
+    // --- degrees of separation ------------------------------------------
+    let und = wl.undirected.as_ref().expect("graph");
+    let src = order[0] as u32; // start from the top influencer
+    let dist = graphmaze_core::native::bfs::bfs(und, src, 0);
+    let mut histogram = std::collections::BTreeMap::new();
+    for &d in dist.iter().filter(|&&d| d != u32::MAX) {
+        *histogram.entry(d).or_insert(0u64) += 1;
+    }
+    println!("\ndegrees of separation from user {src}:");
+    for (d, count) in &histogram {
+        println!("  {d} hop(s): {count} users");
+    }
+
+    // --- community cohesion ----------------------------------------------
+    let oriented = wl.oriented.as_ref().expect("graph");
+    let tri = graphmaze_core::native::triangle::triangles(oriented, 0);
+    let wedges: u64 = (0..und.num_vertices() as u32)
+        .map(|v| {
+            let d = u64::from(und.adj.degree(v));
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    println!(
+        "\ntriangles: {tri} (global clustering coefficient {:.4})",
+        if wedges > 0 { 3.0 * tri as f64 / wedges as f64 } else { 0.0 }
+    );
+
+    // --- the maze: same job, five frameworks, 4 nodes ---------------------
+    println!("\npagerank time/iteration on a simulated 4-node cluster:");
+    let params = BenchParams::default();
+    let native = run_benchmark(Algorithm::PageRank, Framework::Native, &wl, 4, &params)
+        .expect("native");
+    for fw in Framework::ALL {
+        let line = match run_benchmark(Algorithm::PageRank, fw, &wl, 4, &params) {
+            Ok(out) => format!(
+                "{}s/iter  ({}x native)",
+                fmt_secs(out.report.seconds_per_iteration()),
+                fmt_slowdown(out.report.slowdown_vs(&native.report))
+            ),
+            Err(e) => format!("n/a ({e})"),
+        };
+        println!("  {:<10} {line}", fw.name());
+    }
+}

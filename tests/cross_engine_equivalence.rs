@@ -1,0 +1,141 @@
+//! Cross-engine equivalence: every framework must compute the same
+//! answers as the hand-optimized native code, on multiple graphs and
+//! node counts — the correctness backbone of the whole study. (The paper
+//! compares *performance*; these tests pin down that our five engines
+//! really run the same algorithms.)
+
+use graphmaze_core::prelude::*;
+
+const MULTI_NODE_FRAMEWORKS: [Framework; 5] = [
+    Framework::CombBlas,
+    Framework::GraphLab,
+    Framework::SociaLite,
+    Framework::SociaLiteUnopt,
+    Framework::Giraph,
+];
+
+fn graph_workloads() -> Vec<Workload> {
+    vec![
+        Workload::rmat(9, 8, 101),
+        Workload::rmat_triangle(9, 8, 102),
+        Workload::from_dataset(Dataset::FacebookLike, 13, 103),
+    ]
+}
+
+#[test]
+fn pagerank_identical_across_engines_and_node_counts() {
+    let params = BenchParams::default();
+    for wl in graph_workloads() {
+        let reference = run_benchmark(Algorithm::PageRank, Framework::Native, &wl, 1, &params)
+            .expect("native single node");
+        for nodes in [1usize, 2, 4, 8] {
+            let native = run_benchmark(Algorithm::PageRank, Framework::Native, &wl, nodes, &params)
+                .expect("native");
+            assert!(
+                (native.digest - reference.digest).abs() / reference.digest.abs() < 1e-9,
+                "native digest varies with node count on {}",
+                wl.name
+            );
+            for fw in MULTI_NODE_FRAMEWORKS {
+                let out = run_benchmark(Algorithm::PageRank, fw, &wl, nodes, &params)
+                    .unwrap_or_else(|e| panic!("{fw:?} on {} x{nodes}: {e}", wl.name));
+                let rel = (out.digest - reference.digest).abs() / reference.digest.abs();
+                assert!(rel < 1e-9, "{fw:?} on {} x{nodes}: rel err {rel}", wl.name);
+            }
+        }
+        // Galois, single node
+        let out = run_benchmark(Algorithm::PageRank, Framework::Galois, &wl, 1, &params)
+            .expect("galois");
+        assert!((out.digest - reference.digest).abs() / reference.digest.abs() < 1e-9);
+    }
+}
+
+#[test]
+fn bfs_distances_identical_across_engines() {
+    let params = BenchParams::default();
+    for wl in graph_workloads() {
+        let reference =
+            run_benchmark(Algorithm::Bfs, Framework::Native, &wl, 1, &params).expect("native");
+        for nodes in [2usize, 4] {
+            for fw in MULTI_NODE_FRAMEWORKS {
+                let out = run_benchmark(Algorithm::Bfs, fw, &wl, nodes, &params)
+                    .unwrap_or_else(|e| panic!("{fw:?} on {}: {e}", wl.name));
+                assert_eq!(out.digest, reference.digest, "{fw:?} on {} x{nodes}", wl.name);
+            }
+        }
+        let galois =
+            run_benchmark(Algorithm::Bfs, Framework::Galois, &wl, 1, &params).expect("galois");
+        assert_eq!(galois.digest, reference.digest, "galois on {}", wl.name);
+    }
+}
+
+#[test]
+fn triangle_counts_identical_across_engines() {
+    let params = BenchParams::default();
+    for wl in graph_workloads() {
+        let reference = run_benchmark(Algorithm::TriangleCount, Framework::Native, &wl, 1, &params)
+            .expect("native");
+        assert!(reference.digest >= 0.0);
+        for nodes in [2usize, 4] {
+            for fw in MULTI_NODE_FRAMEWORKS {
+                let out = run_benchmark(Algorithm::TriangleCount, fw, &wl, nodes, &params)
+                    .unwrap_or_else(|e| panic!("{fw:?} on {}: {e}", wl.name));
+                assert_eq!(out.digest, reference.digest, "{fw:?} on {} x{nodes}", wl.name);
+            }
+        }
+        let galois = run_benchmark(Algorithm::TriangleCount, Framework::Galois, &wl, 1, &params)
+            .expect("galois");
+        assert_eq!(galois.digest, reference.digest);
+    }
+}
+
+#[test]
+fn cf_training_error_drops_under_every_engine() {
+    let params = BenchParams { cf_iterations: 5, ..BenchParams::default() };
+    let wl = Workload::rmat_ratings(9, 64, 104);
+    let g = wl.ratings.as_ref().unwrap();
+    // untrained rmse baseline: tiny random factors predict ~0 stars
+    let untrained = {
+        let mut sse = 0.0;
+        for (_, _, r) in g.triples() {
+            sse += f64::from(r) * f64::from(r);
+        }
+        (sse / g.num_ratings() as f64).sqrt()
+    };
+    for fw in Framework::ALL {
+        let nodes = if fw.multi_node() { 4 } else { 1 };
+        let out = run_benchmark(Algorithm::CollaborativeFiltering, fw, &wl, nodes, &params)
+            .unwrap_or_else(|e| panic!("{fw:?}: {e}"));
+        assert!(
+            out.digest < untrained,
+            "{fw:?}: trained rmse {} !< untrained {untrained}",
+            out.digest
+        );
+    }
+}
+
+#[test]
+fn native_is_never_slower_than_any_framework() {
+    let params = BenchParams::default();
+    let graph = Workload::rmat(10, 8, 105);
+    let ratings = Workload::rmat_ratings(9, 64, 105);
+    for alg in Algorithm::ALL {
+        let wl = if alg == Algorithm::CollaborativeFiltering { &ratings } else { &graph };
+        for nodes in [1usize, 4] {
+            let native = run_benchmark(alg, Framework::Native, wl, nodes, &params).unwrap();
+            for fw in Framework::ALL {
+                if fw == Framework::Native || (!fw.multi_node() && nodes > 1) {
+                    continue;
+                }
+                let out = run_benchmark(alg, fw, wl, nodes, &params)
+                    .unwrap_or_else(|e| panic!("{fw:?}/{alg:?} x{nodes}: {e}"));
+                assert!(
+                    out.report.sim_seconds >= native.report.sim_seconds * 0.99,
+                    "{fw:?} beat native on {alg:?} x{nodes}: {} < {}",
+                    out.report.sim_seconds,
+                    native.report.sim_seconds
+                );
+            }
+        }
+    }
+}

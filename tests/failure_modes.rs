@@ -1,0 +1,152 @@
+//! Failure injection: the paper's out-of-memory and expressibility
+//! failure modes must reproduce as *typed errors*, not crashes.
+
+use graphmaze_core::cluster::{ClusterSpec, HardwareSpec, SimError};
+use graphmaze_core::engines::spmv::combblas;
+use graphmaze_core::engines::vertex::giraph;
+use graphmaze_core::prelude::*;
+
+fn tiny_memory_spec(nodes: usize, bytes: u64) -> ClusterSpec {
+    let mut spec = ClusterSpec::paper(nodes);
+    spec.hw = HardwareSpec { mem_capacity_bytes: bytes, ..spec.hw };
+    spec
+}
+
+#[test]
+fn combblas_triangle_counting_ooms_like_the_paper() {
+    // §5.2: CombBLAS "ran out of memory for real-world inputs while
+    // computing the A² matrix product".
+    let wl = Workload::rmat_triangle(11, 8, 301);
+    let oriented = wl.oriented.as_ref().unwrap();
+    let err = combblas::triangles_on(oriented, 4, tiny_memory_spec(4, 64 << 10)).unwrap_err();
+    match err {
+        SimError::OutOfMemory(o) => {
+            assert!(o.node < 4);
+            assert!(o.requested > 0);
+        }
+        other => panic!("expected OOM, got {other:?}"),
+    }
+    // and with paper-spec memory the same input succeeds
+    assert!(combblas::triangles(oriented, 4).is_ok());
+}
+
+#[test]
+fn giraph_whole_superstep_buffering_ooms_without_splitting() {
+    // §6.1.3: "It was only using this optimization [superstep splitting]
+    // that we were able to run Triangle Counting on Giraph."
+    let wl = Workload::rmat_triangle(12, 12, 302);
+    let oriented = wl.oriented.as_ref().unwrap();
+    // find a memory budget where the unsplit run fails...
+    let mut failed_unsplit = false;
+    for budget_mb in [1u64, 2, 4, 8, 16, 32] {
+        let budget = budget_mb << 20;
+        let unsplit = giraph_tc_with_memory(oriented, 1, budget);
+        let split = giraph_tc_with_memory(oriented, 64, budget);
+        if unsplit.is_err() && split.is_ok() {
+            failed_unsplit = true;
+            break;
+        }
+    }
+    assert!(
+        failed_unsplit,
+        "expected a memory budget where splitting saves Giraph TC"
+    );
+}
+
+/// Giraph TC under an artificial memory budget (splitting factor
+/// `splits`). Uses the engine directly so the cluster spec can be shrunk.
+fn giraph_tc_with_memory(
+    oriented: &graphmaze_core::graph::csr::Csr,
+    splits: u32,
+    mem_bytes: u64,
+) -> Result<u64, SimError> {
+    use graphmaze_core::engines::vertex::engine::{run, EngineConfig};
+    use graphmaze_core::engines::vertex::programs::TriangleProgram;
+    let cfg = EngineConfig {
+        profile: ExecProfile::giraph(),
+        use_combiner: false,
+        buffer_whole_superstep: true,
+        superstep_splits: splits,
+        per_message_overhead_bytes: giraph::MESSAGE_OBJECT_OVERHEAD,
+        max_supersteps: 4,
+        replicate_hubs_factor: None,
+            compress_ids: false,
+    };
+    let n = oriented.num_vertices();
+    let (values, report) = run(
+        oriented,
+        None,
+        &TriangleProgram,
+        vec![0u64; n],
+        vec![],
+        true,
+        &cfg,
+        4,
+        2,
+    )?;
+    // The engine runs on paper-spec (64 GB) nodes; this helper checks the
+    // peak against an artificial budget, which is what a memory-limited
+    // JVM heap would have enforced mid-superstep.
+    if report.peak_mem_bytes > mem_bytes {
+        return Err(SimError::OutOfMemory(graphmaze_core::metrics::OutOfMemory {
+            node: 0,
+            in_use: report.peak_mem_bytes,
+            requested: 0,
+            capacity: mem_bytes,
+            label: "giraph:message-buffers".into(),
+        }));
+    }
+    Ok(values.iter().sum())
+}
+
+#[test]
+fn galois_multi_node_is_invalid_config() {
+    let wl = Workload::rmat(8, 4, 303);
+    let params = BenchParams::default();
+    for alg in Algorithm::ALL {
+        if alg == Algorithm::CollaborativeFiltering {
+            continue;
+        }
+        match run_benchmark(alg, Framework::Galois, &wl, 4, &params) {
+            Err(SimError::InvalidConfig(msg)) => assert!(msg.contains("single-node")),
+            other => panic!("{alg:?}: expected InvalidConfig, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn missing_workload_views_are_invalid_config() {
+    let ratings = Workload::rmat_ratings(8, 32, 304);
+    let graph = Workload::rmat(8, 4, 304);
+    let params = BenchParams::default();
+    assert!(matches!(
+        run_benchmark(Algorithm::Bfs, Framework::Native, &ratings, 1, &params),
+        Err(SimError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        run_benchmark(Algorithm::CollaborativeFiltering, Framework::Native, &graph, 1, &params),
+        Err(SimError::InvalidConfig(_))
+    ));
+}
+
+#[test]
+fn native_pagerank_oom_reports_node_and_label() {
+    use graphmaze_core::native::pagerank::pagerank_cluster;
+    // paper-spec nodes hold 64 GB; a graph cannot exceed that at test
+    // scale, so exercise the path via the memory tracker directly.
+    let mut tracker = graphmaze_core::metrics::MemTracker::new(2, 1000);
+    tracker.alloc(900, "pagerank:graph+ranks").unwrap();
+    let err = tracker.alloc(200, "pagerank:ghosts").unwrap_err();
+    assert_eq!(err.node, 2);
+    assert!(err.to_string().contains("pagerank:ghosts"));
+    // and the real API succeeds at paper capacity
+    let wl = Workload::rmat(9, 8, 305);
+    assert!(pagerank_cluster(
+        wl.directed.as_ref().unwrap(),
+        PAGERANK_R,
+        2,
+        NativeOptions::all(),
+        4
+    )
+    .is_ok());
+}

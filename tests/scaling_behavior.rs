@@ -1,0 +1,161 @@
+//! Scaling-shape tests: the qualitative findings of §5 must emerge from
+//! the simulator — Giraph orders of magnitude off, Galois near native,
+//! network traffic growing with node count, Giraph's CPU ceiling, the
+//! SociaLite network fix, native's compression wins.
+
+use graphmaze_core::prelude::*;
+
+#[test]
+fn single_node_ninja_gap_ordering() {
+    // Table 5's qualitative ordering for pagerank on one node:
+    // native < galois < combblas/socialite/graphlab << giraph
+    let wl = Workload::rmat(12, 16, 201);
+    let params = BenchParams::default();
+    let t = |fw: Framework| -> f64 {
+        run_benchmark(Algorithm::PageRank, fw, &wl, 1, &params).unwrap().report.sim_seconds
+    };
+    let native = t(Framework::Native);
+    let galois = t(Framework::Galois);
+    let combblas = t(Framework::CombBlas);
+    let graphlab = t(Framework::GraphLab);
+    let giraph = t(Framework::Giraph);
+    assert!(native <= galois, "native {native} <= galois {galois}");
+    assert!(galois < giraph);
+    assert!(combblas < giraph);
+    assert!(graphlab < giraph);
+    let gap = giraph / native;
+    assert!(gap > 30.0, "giraph single-node gap only {gap}x (paper: 39x geomean)");
+    let galois_gap = galois / native;
+    assert!(galois_gap < 3.0, "galois should be near native, got {galois_gap}x");
+}
+
+#[test]
+fn weak_scaling_native_stays_flat_while_traffic_grows() {
+    // Fig 4a: native weak scaling is near-flat; traffic per node grows.
+    let params = BenchParams::default();
+    let mut times = Vec::new();
+    let mut traffic = Vec::new();
+    for (nodes, scale) in [(1usize, 10u32), (2, 11), (4, 12), (8, 13)] {
+        let wl = Workload::rmat(scale, 8, 202); // constant edges/node
+        let out = run_benchmark(Algorithm::PageRank, Framework::Native, &wl, nodes, &params)
+            .unwrap();
+        times.push(out.report.seconds_per_iteration());
+        traffic.push(out.report.net_bytes_per_node());
+    }
+    // growth from 1 to 8 nodes bounded (perfect scaling would be 1.0x;
+    // allow the communication ramp the paper also shows)
+    let growth = times[3] / times[0];
+    assert!(growth < 8.0, "weak scaling blow-up {growth}x: {times:?}");
+    assert!(traffic[0] == 0.0 && traffic[3] > 0.0);
+    assert!(traffic[3] > traffic[1], "per-node traffic should grow: {traffic:?}");
+}
+
+#[test]
+fn giraph_cpu_utilization_is_capped_and_native_is_not() {
+    let wl = Workload::rmat(16, 16, 203);
+    let params = BenchParams::default();
+    let giraph = run_benchmark(Algorithm::PageRank, Framework::Giraph, &wl, 4, &params)
+        .unwrap()
+        .report;
+    assert!(giraph.cpu_utilization <= 4.0 / 24.0 + 1e-9, "giraph util {}", giraph.cpu_utilization);
+    let native = run_benchmark(Algorithm::PageRank, Framework::Native, &wl, 1, &params)
+        .unwrap()
+        .report;
+    assert!(native.cpu_utilization > 0.5, "native single-node util {}", native.cpu_utilization);
+}
+
+#[test]
+fn socialite_network_fix_matches_table7_direction() {
+    let wl = Workload::rmat(13, 16, 204);
+    let params = BenchParams::default();
+    let before = run_benchmark(Algorithm::PageRank, Framework::SociaLiteUnopt, &wl, 4, &params)
+        .unwrap()
+        .report;
+    let after = run_benchmark(Algorithm::PageRank, Framework::SociaLite, &wl, 4, &params)
+        .unwrap()
+        .report;
+    let speedup = before.sim_seconds / after.sim_seconds;
+    assert!(
+        speedup > 1.3 && speedup < 8.0,
+        "Table 7 PageRank speedup out of band: {speedup} (paper: 2.4)"
+    );
+    assert!(after.traffic.peak_bw_bps > before.traffic.peak_bw_bps);
+}
+
+#[test]
+fn peak_network_bandwidth_ordering_matches_fig6() {
+    // Fig 6: native/CombBLAS (MPI) achieve the highest peak BW,
+    // SociaLite about 2x GraphLab, Giraph the lowest.
+    let wl = Workload::rmat(15, 16, 205);
+    let params = BenchParams::default();
+    let peak = |fw: Framework| -> f64 {
+        run_benchmark(Algorithm::PageRank, fw, &wl, 4, &params)
+            .unwrap()
+            .report
+            .traffic
+            .peak_bw_bps
+    };
+    let native = peak(Framework::Native);
+    let graphlab = peak(Framework::GraphLab);
+    let socialite = peak(Framework::SociaLite);
+    let giraph = peak(Framework::Giraph);
+    assert!(native > socialite, "native {native} > socialite {socialite}");
+    assert!(socialite > graphlab, "socialite {socialite} > graphlab {graphlab}");
+    assert!(graphlab > giraph, "graphlab {graphlab} > giraph {giraph}");
+}
+
+#[test]
+fn triangle_counting_message_volume_explodes_relative_to_graph() {
+    // §2.1/Table 1: TC total message size is much larger than the graph.
+    let wl = Workload::rmat_triangle(11, 8, 206);
+    let params = BenchParams::default();
+    let out = run_benchmark(Algorithm::TriangleCount, Framework::Giraph, &wl, 4, &params)
+        .unwrap()
+        .report;
+    let graph_bytes = wl.oriented.as_ref().unwrap().num_edges() * 4;
+    assert!(
+        out.traffic.bytes_uncompressed > graph_bytes,
+        "TC traffic {} should exceed graph size {graph_bytes}",
+        out.traffic.bytes_uncompressed
+    );
+}
+
+#[test]
+fn native_optimization_levers_all_help_pagerank() {
+    // Fig 7's direction: each lever off must not make native faster.
+    use graphmaze_core::native::pagerank::pagerank_cluster;
+    let wl = Workload::rmat(12, 16, 207);
+    let g = wl.directed.as_ref().unwrap();
+    let all = pagerank_cluster(g, PAGERANK_R, 3, NativeOptions::all(), 4).unwrap().1;
+    for (name, opts) in [
+        ("no-prefetch", NativeOptions { prefetch: false, ..NativeOptions::all() }),
+        ("no-compression", NativeOptions { compression: false, ..NativeOptions::all() }),
+        ("no-overlap", NativeOptions { overlap: false, ..NativeOptions::all() }),
+    ] {
+        let out = pagerank_cluster(g, PAGERANK_R, 3, opts, 4).unwrap().1;
+        assert!(
+            out.sim_seconds >= all.sim_seconds * 0.999,
+            "{name} made pagerank faster: {} < {}",
+            out.sim_seconds,
+            all.sim_seconds
+        );
+    }
+}
+
+#[test]
+fn multi_node_gap_larger_than_single_node_for_graphlab() {
+    // §5.3: "GraphLab performance drops off significantly for multi node
+    // runs (especially for Pagerank) due to network bottlenecks."
+    let wl = Workload::rmat(12, 16, 208);
+    let params = BenchParams::default();
+    let gap = |nodes: usize| -> f64 {
+        let native =
+            run_benchmark(Algorithm::PageRank, Framework::Native, &wl, nodes, &params).unwrap();
+        let gl =
+            run_benchmark(Algorithm::PageRank, Framework::GraphLab, &wl, nodes, &params).unwrap();
+        gl.report.slowdown_vs(&native.report)
+    };
+    let single = gap(1);
+    let multi = gap(4);
+    assert!(multi > single, "multi-node gap {multi} should exceed single-node {single}");
+}
