@@ -47,11 +47,15 @@ fn bench_triangle_models(c: &mut Criterion) {
     group.bench_function("vertex_graphlab", |b| {
         b.iter(|| graphlab::triangles(g, 1).unwrap())
     });
-    group.bench_function("spmv_combblas", |b| b.iter(|| combblas::triangles(g, 1).unwrap()));
+    group.bench_function("spmv_combblas", |b| {
+        b.iter(|| combblas::triangles(g, 1).unwrap())
+    });
     group.bench_function("datalog_socialite", |b| {
         b.iter(|| socialite::triangles(g, 1, true).unwrap())
     });
-    group.bench_function("taskpar_galois", |b| b.iter(|| galois::triangles(g, 1).unwrap()));
+    group.bench_function("taskpar_galois", |b| {
+        b.iter(|| galois::triangles(g, 1).unwrap())
+    });
     group.finish();
 }
 
@@ -63,21 +67,30 @@ fn bench_cluster_sim_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("cluster_sim_overhead");
     group.sample_size(15);
     for nodes in [1usize, 4, 16] {
-        group.bench_with_input(BenchmarkId::new("native_pagerank", nodes), &nodes, |b, &n| {
-            b.iter(|| {
-                graphmaze_core::native::pagerank::pagerank_cluster(
-                    g,
-                    PAGERANK_R,
-                    3,
-                    NativeOptions::all(),
-                    n,
-                )
-                .unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("native_pagerank", nodes),
+            &nodes,
+            |b, &n| {
+                b.iter(|| {
+                    graphmaze_core::native::pagerank::pagerank_cluster(
+                        g,
+                        PAGERANK_R,
+                        3,
+                        NativeOptions::all(),
+                        n,
+                    )
+                    .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_pagerank_models, bench_triangle_models, bench_cluster_sim_overhead);
+criterion_group!(
+    benches,
+    bench_pagerank_models,
+    bench_triangle_models,
+    bench_cluster_sim_overhead
+);
 criterion_main!(benches);

@@ -26,8 +26,9 @@ fn bench_bfs(c: &mut Criterion) {
     for scale in [12u32, 14] {
         let wl = Workload::rmat(scale, 16, 7);
         let g = wl.undirected.as_ref().unwrap();
-        let src =
-            (0..g.num_vertices() as u32).max_by_key(|&v| g.adj.degree(v)).unwrap();
+        let src = (0..g.num_vertices() as u32)
+            .max_by_key(|&v| g.adj.degree(v))
+            .unwrap();
         group.throughput(Throughput::Elements(g.adj.num_edges()));
         group.bench_with_input(BenchmarkId::new("direction_opt", scale), g, |b, g| {
             b.iter(|| bfs::bfs(g, src, 0));
@@ -61,12 +62,24 @@ fn bench_cf(c: &mut Criterion) {
     group.sample_size(15);
     let wl = Workload::rmat_ratings(12, 256, 7);
     let g = wl.ratings.as_ref().unwrap();
-    let cfg = CfConfig { k: 32, lambda: 0.05, gamma0: 0.01, step_decay: 0.95, seed: 7 };
+    let cfg = CfConfig {
+        k: 32,
+        lambda: 0.05,
+        gamma0: 0.01,
+        step_decay: 0.95,
+        seed: 7,
+    };
     group.throughput(Throughput::Elements(g.num_ratings()));
     group.bench_function("sgd_epoch", |b| b.iter(|| cf::sgd(g, &cfg, 1, 0)));
     group.bench_function("gd_epoch", |b| b.iter(|| cf::gd(g, &cfg, 1, 0)));
     group.finish();
 }
 
-criterion_group!(benches, bench_pagerank, bench_bfs, bench_triangles, bench_cf);
+criterion_group!(
+    benches,
+    bench_pagerank,
+    bench_bfs,
+    bench_triangles,
+    bench_cf
+);
 criterion_main!(benches);

@@ -29,7 +29,9 @@ fn bench_rmat(c: &mut Criterion) {
 fn bench_er(c: &mut Criterion) {
     let mut group = c.benchmark_group("datagen_er");
     group.throughput(Throughput::Elements(1 << 20));
-    group.bench_function("generate_1M", |b| b.iter(|| er::generate(1 << 16, 1 << 20, 7)));
+    group.bench_function("generate_1M", |b| {
+        b.iter(|| er::generate(1 << 16, 1 << 20, 7))
+    });
     group.finish();
 }
 
@@ -64,7 +66,9 @@ fn bench_compression(c: &mut Criterion) {
     group.bench_function("bitmap_encode", |b| {
         b.iter(|| encode_with(&dense, 1_000_000, Encoding::Bitmap))
     });
-    group.bench_function("encode_best_sparse", |b| b.iter(|| encode_best(&sparse, 1_000_000)));
+    group.bench_function("encode_best_sparse", |b| {
+        b.iter(|| encode_best(&sparse, 1_000_000))
+    });
     let encoded = encode_best(&sparse, 1_000_000);
     group.bench_function("decode", |b| b.iter(|| decode(&encoded).unwrap()));
     group.finish();
@@ -88,5 +92,12 @@ fn bench_bitvec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rmat, bench_er, bench_csr_build, bench_compression, bench_bitvec);
+criterion_group!(
+    benches,
+    bench_rmat,
+    bench_er,
+    bench_csr_build,
+    bench_compression,
+    bench_bitvec
+);
 criterion_main!(benches);

@@ -68,13 +68,20 @@ fn parse(args: &[String]) -> Opts {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |what: &str| -> String {
-            it.next().cloned().unwrap_or_else(|| die(&format!("{what} needs a value")))
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
         };
         match a.as_str() {
-            "--scale" => o.scale = next("--scale").parse().unwrap_or_else(|_| die("bad --scale")),
+            "--scale" => {
+                o.scale = next("--scale")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --scale"))
+            }
             "--edge-factor" => {
-                o.edge_factor =
-                    next("--edge-factor").parse().unwrap_or_else(|_| die("bad --edge-factor"))
+                o.edge_factor = next("--edge-factor")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --edge-factor"))
             }
             "--params" => {
                 o.params = match next("--params").as_str() {
@@ -85,11 +92,16 @@ fn parse(args: &[String]) -> Opts {
                 }
             }
             "--seed" => o.seed = next("--seed").parse().unwrap_or_else(|_| die("bad --seed")),
-            "--items" => o.items = next("--items").parse().unwrap_or_else(|_| die("bad --items")),
+            "--items" => {
+                o.items = next("--items")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --items"))
+            }
             "--name" => o.name = next("--name"),
             "--scale-down" => {
-                o.scale_down =
-                    next("--scale-down").parse().unwrap_or_else(|_| die("bad --scale-down"))
+                o.scale_down = next("--scale-down")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --scale-down"))
             }
             "--format" => {
                 o.text = match next("--format").as_str() {

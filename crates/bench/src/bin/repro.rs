@@ -3,11 +3,16 @@
 //!
 //! ```sh
 //! cargo run --release -p graphmaze-bench --bin repro -- all
+//! cargo run --release -p graphmaze-bench --bin repro -- all --jobs 8
 //! cargo run --release -p graphmaze-bench --bin repro -- fig4 --scale 15
-//! cargo run --release -p graphmaze-bench --bin repro -- table5 --no-extrapolate
+//! cargo run --release -p graphmaze-bench --bin repro -- all --resume   # after a kill
 //! ```
 //!
-//! Artifacts (CSV per experiment) land in `results/` unless `--no-csv`.
+//! Artifacts (CSV per experiment) land in `results/` unless `--no-csv`,
+//! next to the sweep journal (`results/journal.jsonl`) that `--resume`
+//! reads to skip already-measured cells.
+
+use std::sync::atomic::Ordering;
 
 use graphmaze_bench::experiments::{extras, figures, tables};
 use graphmaze_bench::ReproConfig;
@@ -24,10 +29,36 @@ experiments:
 options:
   --scale N           target log2 vertex count for generated graphs (default 13)
   --seed N            generator seed (default 20140622)
+  --jobs N            sweep worker threads (default 1; results are
+                      byte-identical to a serial run)
+  --resume            skip cells already recorded in the sweep journal
+                      (results/journal.jsonl) from an interrupted run
   --no-extrapolate    report raw scaled-down seconds instead of paper-scale
-  --no-csv            do not write results/*.csv
+  --no-csv            do not write results/*.csv (also disables the journal)
   --out DIR           CSV output directory (default results/)
 ";
+
+/// Every dispatchable experiment name, in `all` execution order.
+const EXPERIMENTS: [&str; 18] = [
+    "table2",
+    "table3",
+    "table4",
+    "fig3",
+    "table5",
+    "fig4",
+    "table6",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table7",
+    "netestimate",
+    "sgdvsgd",
+    "giraphsplit",
+    "ablations",
+    "strongscaling",
+    "roadmap",
+    "relatedwork",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,11 +83,22 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--jobs" => {
+                cfg.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
+            }
+            "--resume" => cfg.resume = true,
             "--no-extrapolate" => cfg.extrapolate = false,
             "--no-csv" => cfg.out_dir = None,
             "--out" => {
-                cfg.out_dir =
-                    Some(it.next().unwrap_or_else(|| die("--out needs a directory")).into());
+                cfg.out_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--out needs a directory"))
+                        .into(),
+                );
             }
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -66,24 +108,40 @@ fn main() {
             exp => experiments.push(exp.to_string()),
         }
     }
+    // validate every experiment name up front: a typo must fail the whole
+    // invocation immediately, not hours into `repro all`
+    for exp in &experiments {
+        if exp != "all" && !EXPERIMENTS.contains(&exp.as_str()) {
+            die(&format!("unknown experiment `{exp}`"));
+        }
+    }
     if experiments.iter().any(|e| e == "all") {
-        experiments = [
-            "table2", "table3", "table4", "fig3", "table5", "fig4", "table6", "fig5", "fig6",
-            "fig7", "table7", "netestimate", "sgdvsgd", "giraphsplit", "ablations",
-            "strongscaling", "roadmap", "relatedwork",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        experiments = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    // a fresh (non-resume) run must not inherit stale journal entries
+    if !cfg.resume {
+        if let Some(journal) = cfg.journal_path() {
+            let _ = std::fs::remove_file(journal);
+        }
     }
     println!(
-        "graphmaze repro — scale 2^{}, seed {}, extrapolation {}\n",
+        "graphmaze repro — scale 2^{}, seed {}, extrapolation {}, {} job{}{}\n",
         cfg.target_scale,
         cfg.seed,
-        if cfg.extrapolate { "on (paper-scale seconds)" } else { "off (raw sim seconds)" }
+        if cfg.extrapolate {
+            "on (paper-scale seconds)"
+        } else {
+            "off (raw sim seconds)"
+        },
+        cfg.jobs,
+        if cfg.jobs == 1 { "" } else { "s" },
+        if cfg.resume {
+            ", resuming from journal"
+        } else {
+            ""
+        },
     );
     // fig3/fig4 also produce table5/table6; avoid running them twice
-    let wants = |e: &str| experiments.iter().any(|x| x == e);
     let mut done_fig3 = false;
     let mut done_fig4 = false;
     for exp in &experiments {
@@ -96,7 +154,6 @@ fn main() {
                     continue;
                 }
                 done_fig3 = true;
-                let _ = wants;
                 figures::fig3_and_table5(&cfg)
             }
             "fig4" | "table6" => {
@@ -117,16 +174,31 @@ fn main() {
             "strongscaling" => extras::strong_scaling(&cfg),
             "roadmap" => extras::roadmap(&cfg),
             "relatedwork" => extras::related_work(&cfg),
-            other => {
-                eprintln!("unknown experiment `{other}`\n{USAGE}");
-                std::process::exit(2);
-            }
+            other => unreachable!("`{other}` passed validation"),
         };
         println!("{text}");
         println!("{}", "=".repeat(72));
     }
+    let cells = cfg.stats.cells.load(Ordering::Relaxed);
+    if cells > 0 {
+        println!(
+            "sweep summary: {cells} cells — {} run, {} resumed, {} failed; \
+             workload cache: {} built, {} reused",
+            cfg.stats.ran.load(Ordering::Relaxed),
+            cfg.stats.resumed.load(Ordering::Relaxed),
+            cfg.stats.failed.load(Ordering::Relaxed),
+            cfg.cache.misses(),
+            cfg.cache.hits(),
+        );
+    }
     if let Some(dir) = &cfg.out_dir {
         println!("CSV artifacts written to {}/", dir.display());
+        if cells > 0 {
+            println!(
+                "sweep journal at {}/journal.jsonl (re-run with --resume to skip completed cells)",
+                dir.display()
+            );
+        }
     }
 }
 

@@ -7,7 +7,7 @@ use graphmaze_core::native::cf::{self, CfConfig};
 use graphmaze_core::prelude::*;
 use graphmaze_core::report::{fmt_bytes, fmt_slowdown, format_table};
 
-use super::run_cell;
+use super::{cell_report, run_cell};
 use crate::{standard_params, ReproConfig};
 
 /// §5.4 — "we look at only the measured network parameters for pagerank
@@ -17,21 +17,50 @@ use crate::{standard_params, ReproConfig};
 /// 2.5× of measured. We reproduce both columns.
 pub fn net_estimate(cfg: &ReproConfig) -> String {
     let params = standard_params();
-    let wl = Workload::rmat(cfg.target_scale, 16, cfg.seed);
-    let factor =
-        cfg.scale_factor(128u64 << 22, wl.directed.as_ref().unwrap().num_edges());
-    let native = run_cell(Algorithm::PageRank, Framework::Native, &wl, 4, factor, &params)
-        .expect("native runs");
+    let spec = WorkloadSpec::Rmat {
+        scale: cfg.target_scale,
+        edge_factor: 16,
+        seed: cfg.seed,
+    };
+    let factor = cfg.scale_factor(
+        128u64 << 22,
+        cfg.workload(&spec).directed().expect("graph").num_edges(),
+    );
+    let frameworks = [
+        Framework::CombBlas,
+        Framework::GraphLab,
+        Framework::SociaLite,
+        Framework::Giraph,
+    ];
+    let mut sweep = Sweep::new("netestimate");
+    for fw in std::iter::once(Framework::Native).chain(frameworks) {
+        sweep.push(SweepCell {
+            label: "synthetic".into(),
+            algorithm: Algorithm::PageRank,
+            framework: fw,
+            spec: spec.clone(),
+            nodes: 4,
+            factor,
+            params,
+        });
+    }
+    let report = crate::run_sweep(cfg, &sweep);
+    let mut results = report.results.iter();
+    let native = cell_report(results.next().expect("result"))
+        .expect("native runs")
+        .clone();
     let native_est = native.traffic.bytes_sent as f64 / native.traffic.peak_bw_bps.max(1.0);
     let mut rows = Vec::new();
-    for fw in
-        [Framework::CombBlas, Framework::GraphLab, Framework::SociaLite, Framework::Giraph]
-    {
-        let r = run_cell(Algorithm::PageRank, fw, &wl, 4, factor, &params).expect("runs");
+    for fw in frameworks {
+        let r = cell_report(results.next().expect("result")).expect("runs");
         let est = r.traffic.bytes_sent as f64 / r.traffic.peak_bw_bps.max(1.0);
         let predicted = est / native_est;
         let measured = r.sim_seconds / native.sim_seconds;
-        let ratio = if predicted > measured { predicted / measured } else { measured / predicted };
+        let ratio = if predicted > measured {
+            predicted / measured
+        } else {
+            measured / predicted
+        };
         rows.push(vec![
             fw.name().to_string(),
             fmt_slowdown(predicted),
@@ -54,9 +83,19 @@ pub fn net_estimate(cfg: &ReproConfig) -> String {
 /// about 40x fewer iterations than GD", while per-iteration cost is
 /// similar in native code.
 pub fn sgd_vs_gd(cfg: &ReproConfig) -> String {
-    let wl = Workload::from_dataset(Dataset::NetflixLike, 7, cfg.seed);
-    let g = wl.ratings.as_ref().unwrap();
-    let sgd_cfg = CfConfig { k: 16, lambda: 0.05, gamma0: 0.015, step_decay: 0.95, seed: 7 };
+    let wl = cfg.workload(&WorkloadSpec::Dataset {
+        ds: Dataset::NetflixLike,
+        scale_down: 7,
+        seed: cfg.seed,
+    });
+    let g = wl.ratings().expect("ratings");
+    let sgd_cfg = CfConfig {
+        k: 16,
+        lambda: 0.05,
+        gamma0: 0.015,
+        step_decay: 0.95,
+        seed: 7,
+    };
     let mut gd_cfg = sgd_cfg;
     // GD sums gradients over all ratings before stepping, so stability
     // needs a step inversely proportional to the max user/item degree —
@@ -75,20 +114,32 @@ pub fn sgd_vs_gd(cfg: &ReproConfig) -> String {
     let ge = cf::epochs_to_reach(&gd_hist, target);
     let mut out = String::from("§3.2 — SGD vs GD convergence (netflix stand-in)\n\n");
     let rows = vec![
-        vec!["sgd".to_string(), format!("{se}"), format!("{:.4}", sgd_hist.last().unwrap())],
+        vec![
+            "sgd".to_string(),
+            format!("{se}"),
+            format!("{:.4}", sgd_hist.last().unwrap()),
+        ],
         vec![
             "gd".to_string(),
             ge.map_or(format!("> {epochs}"), |g| g.to_string()),
             format!("{:.4}", gd_hist.last().unwrap()),
         ],
     ];
-    let headers = ["method", &format!("epochs to rmse {target:.3}")[..], "final rmse"];
+    let headers = [
+        "method",
+        &format!("epochs to rmse {target:.3}")[..],
+        "final rmse",
+    ];
     out.push_str(&format_table(&headers, &rows));
     let gap = ge.map_or(epochs as f64 / se as f64, |g| f64::from(g) / f64::from(se));
     out.push_str(&format!(
         "\nconvergence gap ≥ {gap:.0}x fewer SGD epochs (paper: ~40x on Netflix)\n"
     ));
-    cfg.write_csv("sgd_vs_gd", &["method", "epochs_to_target", "final_rmse"], &rows);
+    cfg.write_csv(
+        "sgd_vs_gd",
+        &["method", "epochs_to_target", "final_rmse"],
+        &rows,
+    );
     out
 }
 
@@ -98,8 +149,12 @@ pub fn sgd_vs_gd(cfg: &ReproConfig) -> String {
 /// extra barriers.
 pub fn giraph_split(cfg: &ReproConfig) -> String {
     use graphmaze_core::engines::vertex::giraph;
-    let wl = Workload::rmat_triangle(cfg.target_scale, 8, cfg.seed);
-    let oriented = wl.oriented.as_ref().unwrap();
+    let wl = cfg.workload(&WorkloadSpec::RmatTriangle {
+        scale: cfg.target_scale,
+        edge_factor: 8,
+        seed: cfg.seed,
+    });
+    let oriented = wl.oriented().expect("oriented");
     let factor = cfg.scale_factor(1_468_365_182, oriented.num_edges()); // Twitter-scale
     let mut rows = Vec::new();
     for splits in [1u32, 10, 100] {
@@ -119,14 +174,26 @@ pub fn giraph_split(cfg: &ReproConfig) -> String {
                 format!("needs {}", fmt_bytes((o.in_use + o.requested) as f64)),
                 "-".to_string(),
             ]),
-            Err(e) => rows.push(vec![splits.to_string(), format!("{e}"), "-".into(), "-".into(), "-".into()]),
+            Err(e) => rows.push(vec![
+                splits.to_string(),
+                format!("{e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     let mut out = String::from(
         "§6.1.3 — Giraph triangle counting with superstep splitting (4 nodes, Twitter-scale)\n\
          (paper: only the split version runs at all)\n\n",
     );
-    let headers = ["splits", "status", "triangles", "peak mem/node", "sim seconds"];
+    let headers = [
+        "splits",
+        "status",
+        "triangles",
+        "peak mem/node",
+        "sim seconds",
+    ];
     out.push_str(&format_table(&headers, &rows));
     cfg.write_csv("giraph_split", &headers, &rows);
     out
@@ -142,18 +209,36 @@ pub fn roadmap(cfg: &ReproConfig) -> String {
     use graphmaze_core::engines::spmv::combblas;
     use graphmaze_core::engines::vertex::{giraph, graphlab};
     let params = standard_params();
-    let wl = Workload::rmat(cfg.target_scale, 16, cfg.seed);
-    let g = wl.directed.as_ref().unwrap();
+    let wl = cfg.workload(&WorkloadSpec::Rmat {
+        scale: cfg.target_scale,
+        edge_factor: 16,
+        seed: cfg.seed,
+    });
+    let g = wl.directed().expect("directed");
     let factor = cfg.scale_factor(128u64 << 22, g.num_edges());
-    let native = run_cell(Algorithm::PageRank, Framework::Native, &wl, 4, factor, &params)
-        .expect("native runs");
+    let native = run_cell(
+        Algorithm::PageRank,
+        Framework::Native,
+        &wl,
+        4,
+        factor,
+        &params,
+    )
+    .expect("native runs");
     let nt = native.seconds_per_iteration();
 
     let mut rows = Vec::new();
     // GraphLab: sockets→MPI + prefetch + compression
     {
-        let before = run_cell(Algorithm::PageRank, Framework::GraphLab, &wl, 4, factor, &params)
-            .expect("graphlab");
+        let before = run_cell(
+            Algorithm::PageRank,
+            Framework::GraphLab,
+            &wl,
+            4,
+            factor,
+            &params,
+        )
+        .expect("graphlab");
         let after = crate::with_work_scale(factor, || {
             graphlab::pagerank_improved(g, PAGERANK_R, params.pr_iterations, 4).expect("improved")
         })
@@ -168,8 +253,15 @@ pub fn roadmap(cfg: &ReproConfig) -> String {
     }
     // Giraph: 10x network + 24 workers + streaming buffers + compression
     {
-        let before = run_cell(Algorithm::PageRank, Framework::Giraph, &wl, 4, factor, &params)
-            .expect("giraph");
+        let before = run_cell(
+            Algorithm::PageRank,
+            Framework::Giraph,
+            &wl,
+            4,
+            factor,
+            &params,
+        )
+        .expect("giraph");
         let after = crate::with_work_scale(factor, || {
             giraph::pagerank_improved(g, PAGERANK_R, params.pr_iterations, 4).expect("improved")
         })
@@ -184,43 +276,61 @@ pub fn roadmap(cfg: &ReproConfig) -> String {
     }
     // CombBLAS: fused masked SpGEMM for TC
     {
-        let tc_wl = Workload::rmat_triangle(cfg.target_scale, 8, cfg.seed);
-        let tg = tc_wl.oriented.as_ref().unwrap();
+        let tc_wl = cfg.workload(&WorkloadSpec::RmatTriangle {
+            scale: cfg.target_scale,
+            edge_factor: 8,
+            seed: cfg.seed,
+        });
+        let tg = tc_wl.oriented().expect("oriented");
         let tc_factor = cfg.scale_factor(32u64 << 22, tg.num_edges());
-        let tc_native =
-            run_cell(Algorithm::TriangleCount, Framework::Native, &tc_wl, 4, tc_factor, &params)
-                .expect("native tc");
-        let before =
-            run_cell(Algorithm::TriangleCount, Framework::CombBlas, &tc_wl, 4, tc_factor, &params);
+        let tc_native = run_cell(
+            Algorithm::TriangleCount,
+            Framework::Native,
+            &tc_wl,
+            4,
+            tc_factor,
+            &params,
+        )
+        .expect("native tc");
+        let before = run_cell(
+            Algorithm::TriangleCount,
+            Framework::CombBlas,
+            &tc_wl,
+            4,
+            tc_factor,
+            &params,
+        );
         let (after_count, after) = crate::with_work_scale(tc_factor, || {
             combblas::triangles_improved(tg, 4).expect("fused tc")
         });
         let (native_count, _) = crate::with_work_scale(tc_factor, || {
-            graphmaze_core::native::triangle::triangles_cluster(
-                tg,
-                NativeOptions::all(),
-                4,
-            )
-            .expect("native count")
+            graphmaze_core::native::triangle::triangles_cluster(tg, NativeOptions::all(), 4)
+                .expect("native count")
         });
-        assert_eq!(after_count, native_count, "fused SpGEMM must count correctly");
+        assert_eq!(
+            after_count, native_count,
+            "fused SpGEMM must count correctly"
+        );
         rows.push(vec![
             "combblas (triangle)".into(),
             "fused masked SpGEMM (no A2)".into(),
-            before.map_or("OOM".into(), |r| fmt_slowdown(r.sim_seconds / tc_native.sim_seconds)),
+            before.map_or("OOM".into(), |r| {
+                fmt_slowdown(r.sim_seconds / tc_native.sim_seconds)
+            }),
             fmt_slowdown(after.sim_seconds / tc_native.sim_seconds),
             "no OOM, overlap".into(),
         ]);
     }
     // CombBLAS: bit-vector frontier compression for BFS
     {
-        let und = wl.undirected.as_ref().unwrap();
+        let und = wl.undirected().expect("undirected");
         let bfs_native = run_cell(Algorithm::Bfs, Framework::Native, &wl, 4, factor, &params)
             .expect("native bfs");
         let before = run_cell(Algorithm::Bfs, Framework::CombBlas, &wl, 4, factor, &params)
             .expect("combblas bfs");
-        let source =
-            (0..und.num_vertices() as u32).max_by_key(|&v| und.adj.degree(v)).unwrap();
+        let source = (0..und.num_vertices() as u32)
+            .max_by_key(|&v| und.adj.degree(v))
+            .unwrap();
         let after = crate::with_work_scale(factor, || {
             combblas::bfs_improved(und, source, 4).expect("improved bfs")
         })
@@ -235,11 +345,24 @@ pub fn roadmap(cfg: &ReproConfig) -> String {
     }
     // SociaLite: network fix (Table 7) is its roadmap — reference it
     {
-        let before =
-            run_cell(Algorithm::PageRank, Framework::SociaLiteUnopt, &wl, 4, factor, &params)
-                .expect("socialite-unopt");
-        let after = run_cell(Algorithm::PageRank, Framework::SociaLite, &wl, 4, factor, &params)
-            .expect("socialite");
+        let before = run_cell(
+            Algorithm::PageRank,
+            Framework::SociaLiteUnopt,
+            &wl,
+            4,
+            factor,
+            &params,
+        )
+        .expect("socialite-unopt");
+        let after = run_cell(
+            Algorithm::PageRank,
+            Framework::SociaLite,
+            &wl,
+            4,
+            factor,
+            &params,
+        )
+        .expect("socialite");
         rows.push(vec![
             "socialite (pagerank)".into(),
             "multi-socket + batching (Table 7)".into(),
@@ -252,7 +375,13 @@ pub fn roadmap(cfg: &ReproConfig) -> String {
         "§6.2 — the roadmap, applied: slowdown vs native before/after the\n\
          paper's recommended changes (4 nodes)\n\n",
     );
-    let headers = ["framework", "applied changes", "before", "after", "paper's target"];
+    let headers = [
+        "framework",
+        "applied changes",
+        "before",
+        "after",
+        "paper's target",
+    ];
     out.push_str(&format_table(&headers, &rows));
     cfg.write_csv("roadmap", &headers, &rows);
     out
@@ -264,15 +393,43 @@ pub fn roadmap(cfg: &ReproConfig) -> String {
 /// the communication-to-computation crossover per framework.
 pub fn strong_scaling(cfg: &ReproConfig) -> String {
     let params = standard_params();
-    let wl = Workload::rmat(cfg.target_scale + 2, 16, cfg.seed);
-    let factor = cfg.scale_factor(512u64 << 20, wl.directed.as_ref().unwrap().num_edges());
+    let spec = WorkloadSpec::Rmat {
+        scale: cfg.target_scale + 2,
+        edge_factor: 16,
+        seed: cfg.seed,
+    };
+    let factor = cfg.scale_factor(
+        512u64 << 20,
+        cfg.workload(&spec).directed().expect("graph").num_edges(),
+    );
+    let node_counts = [1usize, 2, 4, 8, 16, 32, 64];
+    let frameworks = [
+        Framework::Native,
+        Framework::CombBlas,
+        Framework::GraphLab,
+        Framework::Giraph,
+    ];
+    let mut sweep = Sweep::new("strongscaling");
+    for nodes in node_counts {
+        for fw in frameworks {
+            sweep.push(SweepCell {
+                label: format!("{nodes} nodes"),
+                algorithm: Algorithm::PageRank,
+                framework: fw,
+                spec: spec.clone(),
+                nodes,
+                factor,
+                params,
+            });
+        }
+    }
+    let report = crate::run_sweep(cfg, &sweep);
+    let mut results = report.results.iter();
     let mut rows = Vec::new();
-    for nodes in [1usize, 2, 4, 8, 16, 32, 64] {
+    for nodes in node_counts {
         let mut row = vec![nodes.to_string()];
-        for fw in
-            [Framework::Native, Framework::CombBlas, Framework::GraphLab, Framework::Giraph]
-        {
-            match run_cell(Algorithm::PageRank, fw, &wl, nodes, factor, &params) {
+        for _ in frameworks {
+            match cell_report(results.next().expect("result")) {
                 Ok(r) => row.push(graphmaze_core::report::fmt_secs(r.seconds_per_iteration())),
                 Err(e) => row.push(e),
             }
@@ -295,15 +452,28 @@ pub fn strong_scaling(cfg: &ReproConfig) -> String {
 pub fn related_work(cfg: &ReproConfig) -> String {
     use graphmaze_core::engines::vertex::{giraph, graphlab, related};
     let params = standard_params();
-    let wl = Workload::rmat(cfg.target_scale, 16, cfg.seed);
-    let g = wl.directed.as_ref().unwrap();
+    let wl = cfg.workload(&WorkloadSpec::Rmat {
+        scale: cfg.target_scale,
+        edge_factor: 16,
+        seed: cfg.seed,
+    });
+    let g = wl.directed().expect("directed");
     let factor = cfg.scale_factor(128u64 << 22, g.num_edges());
     let it = params.pr_iterations;
-    let native = run_cell(Algorithm::PageRank, Framework::Native, &wl, 4, factor, &params)
-        .expect("native");
+    let native = run_cell(
+        Algorithm::PageRank,
+        Framework::Native,
+        &wl,
+        4,
+        factor,
+        &params,
+    )
+    .expect("native");
     let nt = native.seconds_per_iteration();
     let run4 = |f: &dyn Fn() -> Result<graphmaze_core::metrics::RunReport, SimError>| -> f64 {
-        crate::with_work_scale(factor, f).expect("runs").seconds_per_iteration()
+        crate::with_work_scale(factor, f)
+            .expect("runs")
+            .seconds_per_iteration()
     };
     let giraph_t = run4(&|| giraph::pagerank(g, PAGERANK_R, it, 4).map(|r| r.1));
     let graphlab_t = run4(&|| graphlab::pagerank(g, PAGERANK_R, it, 4).map(|r| r.1));
@@ -318,7 +488,10 @@ pub fn related_work(cfg: &ReproConfig) -> String {
         vec![
             "graphx".to_string(),
             fmt_slowdown(graphx_t / nt),
-            format!("{:.1}x slower than graphlab (paper: ~7x)", graphx_t / graphlab_t),
+            format!(
+                "{:.1}x slower than graphlab (paper: ~7x)",
+                graphx_t / graphlab_t
+            ),
         ],
     ];
     let mut out = String::from(
@@ -335,8 +508,12 @@ pub fn related_work(cfg: &ReproConfig) -> String {
 /// counting buffer memory, and the direction-optimizing BFS switch.
 pub fn ablations(cfg: &ReproConfig) -> String {
     let mut out = String::from("Design-choice ablations (§6.1.1)\n\n");
-    let wl = Workload::rmat(cfg.target_scale, 16, cfg.seed);
-    let g = wl.directed.as_ref().unwrap();
+    let wl = cfg.workload(&WorkloadSpec::Rmat {
+        scale: cfg.target_scale,
+        edge_factor: 16,
+        seed: cfg.seed,
+    });
+    let g = wl.directed().expect("directed");
 
     // (1) 1-D partition balance: vertex-balanced vs edge-balanced
     let by_vertex = Partition1D::balanced_by_vertices(g.num_vertices(), 4);
@@ -348,8 +525,14 @@ pub fn ablations(cfg: &ReproConfig) -> String {
         max / avg.max(1.0)
     };
     let rows = vec![
-        vec!["1-D by vertex count".to_string(), format!("{:.2}", imbalance(&by_vertex))],
-        vec!["1-D by edge count".to_string(), format!("{:.2}", imbalance(&by_edges))],
+        vec![
+            "1-D by vertex count".to_string(),
+            format!("{:.2}", imbalance(&by_vertex)),
+        ],
+        vec![
+            "1-D by edge count".to_string(),
+            format!("{:.2}", imbalance(&by_edges)),
+        ],
     ];
     out.push_str("(1) partitioning — max/avg edge load per node (1.0 = perfect):\n");
     out.push_str(&format_table(&["scheme", "imbalance"], &rows));
@@ -357,12 +540,17 @@ pub fn ablations(cfg: &ReproConfig) -> String {
 
     // (2) compression: wire bytes with and without
     use graphmaze_core::native::pagerank::pagerank_cluster;
-    let on = pagerank_cluster(g, PAGERANK_R, 3, NativeOptions::all(), 4).unwrap().1;
+    let on = pagerank_cluster(g, PAGERANK_R, 3, NativeOptions::all(), 4)
+        .unwrap()
+        .1;
     let off = pagerank_cluster(
         g,
         PAGERANK_R,
         3,
-        NativeOptions { compression: false, ..NativeOptions::all() },
+        NativeOptions {
+            compression: false,
+            ..NativeOptions::all()
+        },
         4,
     )
     .unwrap()
@@ -376,12 +564,19 @@ pub fn ablations(cfg: &ReproConfig) -> String {
 
     // (3) overlap: triangle-counting buffer memory
     use graphmaze_core::native::triangle::triangles_cluster;
-    let tc_wl = Workload::rmat_triangle(cfg.target_scale, 8, cfg.seed);
-    let tg = tc_wl.oriented.as_ref().unwrap();
+    let tc_wl = cfg.workload(&WorkloadSpec::RmatTriangle {
+        scale: cfg.target_scale,
+        edge_factor: 8,
+        seed: cfg.seed,
+    });
+    let tg = tc_wl.oriented().expect("oriented");
     let with_overlap = triangles_cluster(tg, NativeOptions::all(), 4).unwrap().1;
     let without_overlap = triangles_cluster(
         tg,
-        NativeOptions { overlap: false, ..NativeOptions::all() },
+        NativeOptions {
+            overlap: false,
+            ..NativeOptions::all()
+        },
         4,
     )
     .unwrap()
@@ -394,9 +589,10 @@ pub fn ablations(cfg: &ReproConfig) -> String {
 
     // (4) direction-optimizing BFS: edges examined
     use graphmaze_core::native::bfs::bfs_with;
-    let und = wl.undirected.as_ref().unwrap();
-    let source =
-        (0..und.num_vertices() as u32).max_by_key(|&v| und.adj.degree(v)).unwrap();
+    let und = wl.undirected().expect("undirected");
+    let source = (0..und.num_vertices() as u32)
+        .max_by_key(|&v| und.adj.degree(v))
+        .unwrap();
     let t0 = std::time::Instant::now();
     let a = bfs_with(und, source, 4, true);
     let t_opt = t0.elapsed();
@@ -431,7 +627,10 @@ pub fn ablations(cfg: &ReproConfig) -> String {
         let with = graphlab::pagerank(g, PAGERANK_R, 3, 4).map_err(|e| e.to_string());
         let mut cfg_no_rep = graphlab::config(5);
         cfg_no_rep.replicate_hubs_factor = None;
-        let prog = PageRankProgram { r: PAGERANK_R, iterations: 3 };
+        let prog = PageRankProgram {
+            r: PAGERANK_R,
+            iterations: 3,
+        };
         let without = run(
             &g.out,
             None,

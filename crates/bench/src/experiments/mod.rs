@@ -2,6 +2,14 @@
 //! report text (also printed by the `repro` binary) and writes CSV
 //! artifacts through [`ReproConfig::write_csv`].
 //!
+//! The crossbar experiments (Fig 3–6, Tables 4/5/6/7, the §5.4 estimate
+//! and the strong-scaling extension) declare their cells as a
+//! `Sweep` and execute through [`crate::run_sweep`] — parallel across
+//! `--jobs` workers, journaled for `--resume`, with workloads shared via
+//! the process-wide cache. The remaining experiments call engine
+//! internals directly (ablations, roadmap mechanisms, convergence
+//! studies) but still pull their workloads from the same cache.
+//!
 //! | function | paper artifact |
 //! |---|---|
 //! | [`tables::table3`] | Table 3 — dataset inventory |
@@ -22,56 +30,92 @@ pub mod figures;
 pub mod tables;
 
 use graphmaze_core::prelude::*;
+use graphmaze_core::sweep::CellResult;
 
 use crate::ReproConfig;
 
-/// The Fig 3 graph datasets (real-world stand-ins + one synthetic), with
-/// per-dataset scale-downs that bring them near `cfg.target_scale`.
-pub fn fig3_graph_datasets(cfg: &ReproConfig) -> Vec<(String, Workload, f64)> {
+/// The Fig 3 graph datasets (real-world stand-ins + one synthetic) as
+/// workload specs, with per-dataset scale-downs that bring them near
+/// `cfg.target_scale`. Building through the cache here (to size the
+/// extrapolation factor) means the sweep executor gets cache hits.
+pub fn fig3_graph_specs(cfg: &ReproConfig) -> Vec<(String, WorkloadSpec, f64)> {
     let mut out = Vec::new();
-    for ds in [Dataset::LiveJournalLike, Dataset::FacebookLike, Dataset::WikipediaLike] {
-        let spec = ds.spec();
-        let full = 64 - (spec.num_vertices.max(1) - 1).leading_zeros();
+    for ds in [
+        Dataset::LiveJournalLike,
+        Dataset::FacebookLike,
+        Dataset::WikipediaLike,
+    ] {
+        let info = ds.spec();
+        let full = 64 - (info.num_vertices.max(1) - 1).leading_zeros();
         let scale_down = full.saturating_sub(cfg.target_scale);
-        let wl = Workload::from_dataset(ds, scale_down, cfg.seed);
-        let actual = wl.directed.as_ref().expect("graph").num_edges();
-        let factor = cfg.scale_factor(spec.num_edges, actual);
-        out.push((spec.name.to_string(), wl, factor));
+        let spec = WorkloadSpec::Dataset {
+            ds,
+            scale_down,
+            seed: cfg.seed,
+        };
+        let actual = cfg.workload(&spec).directed().expect("graph").num_edges();
+        let factor = cfg.scale_factor(info.num_edges, actual);
+        out.push((info.name.to_string(), spec, factor));
     }
     // the synthetic RMAT dataset of Fig 3. The paper picks sizes "so
     // that all frameworks could complete without running out of memory"
     // (§5.3); scale 24 keeps even Giraph's whole-superstep buffers under
     // 64 GB on one node.
-    let wl = Workload::rmat(cfg.target_scale, 16, cfg.seed);
-    let actual = wl.directed.as_ref().expect("graph").num_edges();
+    let spec = WorkloadSpec::Rmat {
+        scale: cfg.target_scale,
+        edge_factor: 16,
+        seed: cfg.seed,
+    };
+    let actual = cfg.workload(&spec).directed().expect("graph").num_edges();
     let paper = Dataset::Graph500 { scale: 24 }.spec().num_edges;
-    let factor = cfg.scale_factor(paper, actual);
-    out.push(("synthetic".into(), wl, factor));
+    out.push(("synthetic".into(), spec, cfg.scale_factor(paper, actual)));
     out
 }
 
-/// The Fig 3 ratings datasets (Netflix stand-in + synthetic).
-pub fn fig3_ratings_datasets(cfg: &ReproConfig) -> Vec<(String, Workload, f64)> {
+/// The Fig 3 ratings datasets (Netflix stand-in + synthetic) as specs.
+pub fn fig3_ratings_specs(cfg: &ReproConfig) -> Vec<(String, WorkloadSpec, f64)> {
     let mut out = Vec::new();
-    let spec = Dataset::NetflixLike.spec();
-    let full = 64 - (spec.num_vertices.max(1) - 1).leading_zeros();
+    let info = Dataset::NetflixLike.spec();
+    let full = 64 - (info.num_vertices.max(1) - 1).leading_zeros();
     let scale_down = full.saturating_sub(cfg.target_scale.min(full));
-    let wl = Workload::from_dataset(Dataset::NetflixLike, scale_down, cfg.seed);
-    let actual = wl.ratings.as_ref().expect("ratings").num_ratings();
+    let spec = WorkloadSpec::Dataset {
+        ds: Dataset::NetflixLike,
+        scale_down,
+        seed: cfg.seed,
+    };
+    let actual = cfg
+        .workload(&spec)
+        .ratings()
+        .expect("ratings")
+        .num_ratings();
     // K substitution (paper ≈1024, ours 32) is documented in DESIGN.md;
     // the factor scales only the rating count so memory stays faithful.
-    let factor = cfg.scale_factor(spec.num_edges, actual);
-    out.push(("netflix".into(), wl, factor));
-    let wl = Workload::rmat_ratings(cfg.target_scale, 1 << (cfg.target_scale / 2), cfg.seed);
-    let actual = wl.ratings.as_ref().expect("ratings").num_ratings();
-    let factor = cfg.scale_factor(500_000_000, actual);
-    out.push(("synthetic".into(), wl, factor));
+    out.push((
+        "netflix".into(),
+        spec,
+        cfg.scale_factor(info.num_edges, actual),
+    ));
+    let spec = WorkloadSpec::RmatRatings {
+        scale: cfg.target_scale,
+        num_items: 1 << (cfg.target_scale / 2),
+        seed: cfg.seed,
+    };
+    let actual = cfg
+        .workload(&spec)
+        .ratings()
+        .expect("ratings")
+        .num_ratings();
+    out.push((
+        "synthetic".into(),
+        spec,
+        cfg.scale_factor(500_000_000, actual),
+    ));
     out
 }
 
 /// Runs one cell of the benchmark crossbar under `factor` extrapolation,
 /// returning the report or the error string the paper's figures annotate
-/// (OOM / single-node-only).
+/// (OOM / single-node-only). Direct (non-sweep) experiments use this.
 pub fn run_cell(
     alg: Algorithm,
     fw: Framework,
@@ -88,6 +132,15 @@ pub fn run_cell(
                 SimError::InvalidConfig(_) => "n/a".to_string(),
             })
     })
+}
+
+/// The report of a sweep cell, or the annotation string its failure mode
+/// carries in the paper's figures (OOM / n/a / fail).
+pub fn cell_report(result: &CellResult) -> Result<&RunReport, String> {
+    match &result.outcome {
+        Ok(o) => Ok(&o.report),
+        Err(e) => Err(e.annotation().to_string()),
+    }
 }
 
 /// Reported time for an algorithm: per-iteration where the paper uses

@@ -4,7 +4,7 @@ use graphmaze_core::graph::degree::DegreeStats;
 use graphmaze_core::prelude::*;
 use graphmaze_core::report::{fmt_secs, format_table};
 
-use super::{reported_seconds, run_cell};
+use super::{cell_report, reported_seconds};
 use crate::{standard_params, ReproConfig};
 
 /// Table 3 — the dataset inventory: paper-scale dimensions next to the
@@ -20,7 +20,11 @@ pub fn table3(cfg: &ReproConfig) -> String {
             let g = ds.generate_ratings(scale_down, cfg.seed);
             let mut degs: Vec<u32> = (0..g.num_users()).map(|u| g.user_degree(u)).collect();
             let stats = DegreeStats::of_degrees(&mut degs, g.num_ratings());
-            (u64::from(g.num_users()) + u64::from(g.num_items()), g.num_ratings(), stats.gini)
+            (
+                u64::from(g.num_users()) + u64::from(g.num_items()),
+                g.num_ratings(),
+                stats.gini,
+            )
         } else {
             let el = ds.generate_graph(scale_down, cfg.seed);
             let csr = graphmaze_core::graph::csr::Csr::from_edges(el.num_vertices(), el.edges());
@@ -39,12 +43,28 @@ pub fn table3(cfg: &ReproConfig) -> String {
     }
     let mut out = String::from("Table 3 — real-world datasets and generated stand-ins\n\n");
     out.push_str(&format_table(
-        &["dataset", "paper V", "paper E", "scale-down", "gen V", "gen E", "deg gini"],
+        &[
+            "dataset",
+            "paper V",
+            "paper E",
+            "scale-down",
+            "gen V",
+            "gen E",
+            "deg gini",
+        ],
         &rows,
     ));
     cfg.write_csv(
         "table3",
-        &["dataset", "paper_vertices", "paper_edges", "scale_down", "gen_vertices", "gen_edges", "degree_gini"],
+        &[
+            "dataset",
+            "paper_vertices",
+            "paper_edges",
+            "scale_down",
+            "gen_vertices",
+            "gen_edges",
+            "degree_gini",
+        ],
         &rows,
     );
     out
@@ -56,12 +76,48 @@ pub fn table3(cfg: &ReproConfig) -> String {
 pub fn table2(cfg: &ReproConfig) -> String {
     use graphmaze_core::cluster::ExecProfile;
     let rows: Vec<Vec<String>> = [
-        ("native", "n/a (hand-coded)", "yes", "1-D", ExecProfile::native()),
-        ("graphlab", "vertex programs", "yes", "1-D + hub replication", ExecProfile::graphlab()),
-        ("combblas", "sparse matrix semirings", "yes", "2-D", ExecProfile::combblas()),
-        ("socialite", "datalog rules", "yes", "1-D shards", ExecProfile::socialite()),
-        ("galois", "task-based work items", "no", "flexible", ExecProfile::galois()),
-        ("giraph", "vertex programs (BSP)", "yes", "1-D", ExecProfile::giraph()),
+        (
+            "native",
+            "n/a (hand-coded)",
+            "yes",
+            "1-D",
+            ExecProfile::native(),
+        ),
+        (
+            "graphlab",
+            "vertex programs",
+            "yes",
+            "1-D + hub replication",
+            ExecProfile::graphlab(),
+        ),
+        (
+            "combblas",
+            "sparse matrix semirings",
+            "yes",
+            "2-D",
+            ExecProfile::combblas(),
+        ),
+        (
+            "socialite",
+            "datalog rules",
+            "yes",
+            "1-D shards",
+            ExecProfile::socialite(),
+        ),
+        (
+            "galois",
+            "task-based work items",
+            "no",
+            "flexible",
+            ExecProfile::galois(),
+        ),
+        (
+            "giraph",
+            "vertex programs (BSP)",
+            "yes",
+            "1-D",
+            ExecProfile::giraph(),
+        ),
     ]
     .into_iter()
     .map(|(name, model, multi, part, profile)| {
@@ -70,14 +126,24 @@ pub fn table2(cfg: &ReproConfig) -> String {
             model.to_string(),
             multi.to_string(),
             part.to_string(),
-            if name == "galois" { "-".into() } else { profile.comm.name.to_string() },
+            if name == "galois" {
+                "-".into()
+            } else {
+                profile.comm.name.to_string()
+            },
             format!("{:.0}%", profile.core_fraction * 100.0),
         ]
     })
     .collect();
     let mut out = String::from("Table 2 - high-level comparison of the frameworks (from code)\n\n");
-    let headers =
-        ["framework", "programming model", "multi node", "partitioning", "comm layer", "cores used"];
+    let headers = [
+        "framework",
+        "programming model",
+        "multi node",
+        "partitioning",
+        "comm layer",
+        "cores used",
+    ];
     out.push_str(&format_table(&headers, &rows));
     cfg.write_csv("table2", &headers, &rows);
     out
@@ -89,28 +155,64 @@ pub fn table2(cfg: &ReproConfig) -> String {
 /// CF 47 (54%) / 35 (41%); TC 45 (52%) / net 2.2 (40%).
 pub fn table4(cfg: &ReproConfig) -> String {
     let params = standard_params();
-    let graph = Workload::rmat(cfg.target_scale, 16, cfg.seed);
-    let ratings = Workload::rmat_ratings(
-        cfg.target_scale.saturating_sub(1),
-        1 << (cfg.target_scale / 2),
-        cfg.seed,
-    );
-    let g_edges = graph.directed.as_ref().unwrap().num_edges();
+    let graph = WorkloadSpec::Rmat {
+        scale: cfg.target_scale,
+        edge_factor: 16,
+        seed: cfg.seed,
+    };
+    let ratings = WorkloadSpec::RmatRatings {
+        scale: cfg.target_scale.saturating_sub(1),
+        num_items: 1 << (cfg.target_scale / 2),
+        seed: cfg.seed,
+    };
+    let g_edges = cfg
+        .workload(&graph)
+        .directed()
+        .expect("directed")
+        .num_edges();
     let factor = cfg.scale_factor(16u64 << 27, g_edges);
     let cf_factor = cfg.scale_factor(
         99_072_112, // Netflix-sized single-node CF run
-        ratings.ratings.as_ref().unwrap().num_ratings(),
+        cfg.workload(&ratings)
+            .ratings()
+            .expect("ratings")
+            .num_ratings(),
     );
     let mem_limit = 85.0e9;
     let net_limit = 5.5e9;
 
+    let mut sweep = Sweep::new("table4");
+    for alg in Algorithm::ALL {
+        let spec = if alg == Algorithm::CollaborativeFiltering {
+            &ratings
+        } else {
+            &graph
+        };
+        let f = if alg == Algorithm::CollaborativeFiltering {
+            cf_factor
+        } else {
+            factor
+        };
+        for nodes in [1usize, 4] {
+            sweep.push(SweepCell {
+                label: alg.name().to_string(),
+                algorithm: alg,
+                framework: Framework::Native,
+                spec: spec.clone(),
+                nodes,
+                factor: f,
+                params,
+            });
+        }
+    }
+    let report = crate::run_sweep(cfg, &sweep);
+    let mut results = report.results.iter();
+
     let mut rows = Vec::new();
     for alg in Algorithm::ALL {
-        let wl = if alg == Algorithm::CollaborativeFiltering { &ratings } else { &graph };
-        let f = if alg == Algorithm::CollaborativeFiltering { cf_factor } else { factor };
         let mut cells = vec![alg.name().to_string()];
         for nodes in [1usize, 4] {
-            match run_cell(alg, Framework::Native, wl, nodes, f, &params) {
+            match cell_report(results.next().expect("one result per cell")) {
                 Ok(r) => {
                     let mem_bw = r.achieved_mem_bw_per_node();
                     let net_bw = r.achieved_net_bw_per_node();
@@ -118,9 +220,15 @@ pub fn table4(cfg: &ReproConfig) -> String {
                     let net_pct = net_bw / net_limit * 100.0;
                     // the binding resource is whichever is closer to its limit
                     if nodes == 1 || mem_pct >= net_pct {
-                        cells.push(format!("Memory BW {:.0} GB/s ({mem_pct:.0}%)", mem_bw / 1e9));
+                        cells.push(format!(
+                            "Memory BW {:.0} GB/s ({mem_pct:.0}%)",
+                            mem_bw / 1e9
+                        ));
                     } else {
-                        cells.push(format!("Network BW {:.1} GB/s ({net_pct:.0}%)", net_bw / 1e9));
+                        cells.push(format!(
+                            "Network BW {:.1} GB/s ({net_pct:.0}%)",
+                            net_bw / 1e9
+                        ));
                     }
                 }
                 Err(e) => cells.push(e),
@@ -132,7 +240,10 @@ pub fn table4(cfg: &ReproConfig) -> String {
         "Table 4 — native implementation efficiency vs hardware limits\n\
          (paper: PR 92%/42%net, BFS 74%/63%, CF 54%/41%, TC 52%/40%net)\n\n",
     );
-    out.push_str(&format_table(&["algorithm", "single node", "4 nodes"], &rows));
+    out.push_str(&format_table(
+        &["algorithm", "single node", "4 nodes"],
+        &rows,
+    ));
     cfg.write_csv("table4", &["algorithm", "single_node", "four_nodes"], &rows);
     out
 }
@@ -142,19 +253,56 @@ pub fn table4(cfg: &ReproConfig) -> String {
 /// 4.6 s → 1.9 s (2.4×), Triangle Counting 7.6 s → 4.9 s (1.6×).
 pub fn table7(cfg: &ReproConfig) -> String {
     let params = standard_params();
-    let pr_wl = Workload::rmat(cfg.target_scale, 16, cfg.seed);
-    let tc_wl = Workload::rmat_triangle(cfg.target_scale, 16, cfg.seed);
+    let pr_spec = WorkloadSpec::Rmat {
+        scale: cfg.target_scale,
+        edge_factor: 16,
+        seed: cfg.seed,
+    };
+    let tc_spec = WorkloadSpec::RmatTriangle {
+        scale: cfg.target_scale,
+        edge_factor: 16,
+        seed: cfg.seed,
+    };
     let factor = cfg.scale_factor(
         128u64 << 20,
-        pr_wl.directed.as_ref().unwrap().num_edges(),
+        cfg.workload(&pr_spec)
+            .directed()
+            .expect("directed")
+            .num_edges(),
     );
+    let series = [
+        (Algorithm::PageRank, &pr_spec),
+        (Algorithm::TriangleCount, &tc_spec),
+    ];
+    let mut sweep = Sweep::new("table7");
+    for (alg, spec) in series {
+        for fw in [Framework::SociaLiteUnopt, Framework::SociaLite] {
+            sweep.push(SweepCell {
+                label: alg.name().to_string(),
+                algorithm: alg,
+                framework: fw,
+                spec: spec.clone(),
+                nodes: 4,
+                factor,
+                params,
+            });
+        }
+    }
+    let report = crate::run_sweep(cfg, &sweep);
+    let mut results = report.results.iter();
+
     let mut rows = Vec::new();
-    for (alg, wl) in [(Algorithm::PageRank, &pr_wl), (Algorithm::TriangleCount, &tc_wl)] {
-        let before = run_cell(alg, Framework::SociaLiteUnopt, wl, 4, factor, &params)
-            .expect("socialite-unopt runs");
-        let after =
-            run_cell(alg, Framework::SociaLite, wl, 4, factor, &params).expect("socialite runs");
-        let (tb, ta) = (reported_seconds(alg, &before), reported_seconds(alg, &after));
+    for (alg, _) in series {
+        let before = cell_report(results.next().expect("result"))
+            .expect("socialite-unopt runs")
+            .clone();
+        let after = cell_report(results.next().expect("result"))
+            .expect("socialite runs")
+            .clone();
+        let (tb, ta) = (
+            reported_seconds(alg, &before),
+            reported_seconds(alg, &after),
+        );
         rows.push(vec![
             alg.name().to_string(),
             fmt_secs(tb),
@@ -166,7 +314,14 @@ pub fn table7(cfg: &ReproConfig) -> String {
         "Table 7 — SociaLite network optimization (4 nodes)\n\
          (paper: pagerank 2.4x, triangle counting 1.6x)\n\n",
     );
-    out.push_str(&format_table(&["algorithm", "before (s)", "after (s)", "speedup"], &rows));
-    cfg.write_csv("table7", &["algorithm", "before_s", "after_s", "speedup"], &rows);
+    out.push_str(&format_table(
+        &["algorithm", "before (s)", "after (s)", "speedup"],
+        &rows,
+    ));
+    cfg.write_csv(
+        "table7",
+        &["algorithm", "before_s", "after_s", "speedup"],
+        &rows,
+    );
     out
 }

@@ -15,23 +15,43 @@
 //! exact for per-edge-linear algorithms (PageRank, CF) and a documented
 //! approximation for BFS/TC. Ratios between frameworks — the paper's
 //! actual findings — do not depend on the extrapolation.
+//!
+//! ## Sweeps
+//!
+//! The crossbar experiments declare their cells as a
+//! [`Sweep`] and execute through [`run_sweep`]: workloads are built once
+//! per process through the shared [`WorkloadCache`], cells run across
+//! `--jobs N` worker threads, and completed cells append to
+//! `results/journal.jsonl` so a killed run restarted with `--resume`
+//! skips everything already measured.
 
 pub mod experiments;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use graphmaze_core::prelude::*;
 
 /// Runs `f` under a simulator work-scale of `scale` (≥ 1), restoring the
-/// previous value afterwards. Not thread-safe: the repro binary is
-/// single-threaded by design.
+/// previous value afterwards. The override is **thread-local** (see
+/// `graphmaze_cluster::work_scale`), so sweep cells running concurrently
+/// on the executor's worker threads each see only their own scale.
 pub fn with_work_scale<T>(scale: f64, f: impl FnOnce() -> T) -> T {
-    let prev = std::env::var("GRAPHMAZE_WORK_SCALE").ok();
-    std::env::set_var("GRAPHMAZE_WORK_SCALE", format!("{}", scale.max(1.0)));
-    let out = f();
-    match prev {
-        Some(v) => std::env::set_var("GRAPHMAZE_WORK_SCALE", v),
-        None => std::env::remove_var("GRAPHMAZE_WORK_SCALE"),
-    }
-    out
+    graphmaze_core::cluster::with_work_scale(scale, f)
+}
+
+/// Cell counters accumulated across every sweep of a `repro` invocation,
+/// for the end-of-run summary.
+#[derive(Debug, Default)]
+pub struct RunStats {
+    /// Total cells dispatched.
+    pub cells: AtomicUsize,
+    /// Cells executed in this process.
+    pub ran: AtomicUsize,
+    /// Cells reconstructed from the journal.
+    pub resumed: AtomicUsize,
+    /// Cells that ended in an error (OOM / n/a / panic).
+    pub failed: AtomicUsize,
 }
 
 /// Harness-wide configuration.
@@ -47,6 +67,15 @@ pub struct ReproConfig {
     pub extrapolate: bool,
     /// Output directory for CSV artifacts (`None` disables writing).
     pub out_dir: Option<std::path::PathBuf>,
+    /// Sweep worker threads (`--jobs`).
+    pub jobs: usize,
+    /// Skip cells already recorded in the journal (`--resume`).
+    pub resume: bool,
+    /// Workloads built so far, shared by every experiment in this
+    /// process.
+    pub cache: Arc<WorkloadCache>,
+    /// Cross-sweep cell counters for the final summary.
+    pub stats: Arc<RunStats>,
 }
 
 impl Default for ReproConfig {
@@ -56,6 +85,10 @@ impl Default for ReproConfig {
             seed: 20140622, // SIGMOD'14 started June 22
             extrapolate: true,
             out_dir: Some(std::path::PathBuf::from("results")),
+            jobs: 1,
+            resume: false,
+            cache: Arc::new(WorkloadCache::new()),
+            stats: Arc::new(RunStats::default()),
         }
     }
 }
@@ -72,6 +105,26 @@ impl ReproConfig {
         }
     }
 
+    /// The cached workload for `spec`, building it on first use.
+    pub fn workload(&self, spec: &WorkloadSpec) -> Arc<Workload> {
+        self.cache.get(spec)
+    }
+
+    /// Where the sweep journal lives (`journal.jsonl` next to the CSVs;
+    /// disabled together with CSV output).
+    pub fn journal_path(&self) -> Option<std::path::PathBuf> {
+        self.out_dir.as_ref().map(|d| d.join("journal.jsonl"))
+    }
+
+    /// The executor options this configuration implies.
+    pub fn sweep_options(&self) -> SweepOptions {
+        SweepOptions {
+            jobs: self.jobs,
+            journal: self.journal_path(),
+            resume: self.resume,
+        }
+    }
+
     /// Writes a CSV artifact if an output directory is configured.
     pub fn write_csv(&self, name: &str, headers: &[&str], rows: &[Vec<String>]) {
         if let Some(dir) = &self.out_dir {
@@ -85,12 +138,55 @@ impl ReproConfig {
     }
 }
 
+/// Executes a sweep under `cfg`, printing live per-cell progress and a
+/// completion summary to stderr (stdout is reserved for the rendered
+/// tables and CSVs).
+pub fn run_sweep(cfg: &ReproConfig, sweep: &Sweep) -> SweepReport {
+    let total = sweep.len();
+    let done = AtomicUsize::new(0);
+    let report = sweep.run_with_progress(&cfg.sweep_options(), &cfg.cache, |_, cell, r| {
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        let outcome = match (r.status, &r.outcome) {
+            (CellStatus::Resumed, Ok(_)) => "resumed".to_string(),
+            (CellStatus::Resumed, Err(e)) => format!("resumed ({})", e.annotation()),
+            (CellStatus::Ran, Ok(_)) => format!("ok in {:.2}s", r.wall_secs),
+            (CellStatus::Ran, Err(e)) => format!("{} in {:.2}s", e.annotation(), r.wall_secs),
+        };
+        eprintln!(
+            "  [{}] {n:>3}/{total} {}×{} @ {}, {} node{} — {outcome}",
+            sweep.experiment,
+            cell.algorithm.name(),
+            cell.framework.name(),
+            cell.label,
+            cell.nodes,
+            if cell.nodes == 1 { "" } else { "s" },
+        );
+    });
+    eprintln!(
+        "  [{}] {} cells in {:.1}s — {} run, {} resumed, {} failed",
+        sweep.experiment, total, report.wall_secs, report.ran, report.resumed, report.failed
+    );
+    cfg.stats.cells.fetch_add(total, Ordering::Relaxed);
+    cfg.stats.ran.fetch_add(report.ran, Ordering::Relaxed);
+    cfg.stats
+        .resumed
+        .fetch_add(report.resumed, Ordering::Relaxed);
+    cfg.stats.failed.fetch_add(report.failed, Ordering::Relaxed);
+    report
+}
+
 /// Standard per-algorithm benchmark parameters used across experiments.
 pub fn standard_params() -> BenchParams {
     BenchParams {
         pr_iterations: 5,
         bfs_source: u32::MAX,
-        cf: CfConfig { k: 32, lambda: 0.05, gamma0: 0.005, step_decay: 0.98, seed: 42 },
+        cf: CfConfig {
+            k: 32,
+            lambda: 0.05,
+            gamma0: 0.005,
+            step_decay: 0.98,
+            seed: 42,
+        },
         cf_iterations: 2,
         giraph_splits: 16,
     }
@@ -101,11 +197,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn work_scale_guard_restores_env() {
-        std::env::remove_var("GRAPHMAZE_WORK_SCALE");
-        let inside = with_work_scale(8.0, || std::env::var("GRAPHMAZE_WORK_SCALE").unwrap());
-        assert_eq!(inside, "8");
-        assert!(std::env::var("GRAPHMAZE_WORK_SCALE").is_err());
+    fn work_scale_guard_restores_scale() {
+        use graphmaze_core::cluster::current_work_scale;
+        let before = current_work_scale();
+        let inside = with_work_scale(8.0, current_work_scale);
+        assert_eq!(inside, 8.0);
+        assert_eq!(current_work_scale(), before);
     }
 
     #[test]
@@ -113,7 +210,42 @@ mod tests {
         let cfg = ReproConfig::default();
         assert_eq!(cfg.scale_factor(1000, 10), 100.0);
         assert_eq!(cfg.scale_factor(5, 10), 1.0);
-        let off = ReproConfig { extrapolate: false, ..ReproConfig::default() };
+        let off = ReproConfig {
+            extrapolate: false,
+            ..ReproConfig::default()
+        };
         assert_eq!(off.scale_factor(1000, 10), 1.0);
+    }
+
+    #[test]
+    fn config_workloads_are_cached() {
+        let cfg = ReproConfig {
+            out_dir: None,
+            ..ReproConfig::default()
+        };
+        let spec = WorkloadSpec::Rmat {
+            scale: 7,
+            edge_factor: 4,
+            seed: 5,
+        };
+        let a = cfg.workload(&spec);
+        let b = cfg.workload(&spec);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cfg.cache.misses(), 1);
+    }
+
+    #[test]
+    fn journal_path_follows_out_dir() {
+        let cfg = ReproConfig::default();
+        assert_eq!(
+            cfg.journal_path(),
+            Some(std::path::PathBuf::from("results").join("journal.jsonl"))
+        );
+        let off = ReproConfig {
+            out_dir: None,
+            ..ReproConfig::default()
+        };
+        assert_eq!(off.journal_path(), None);
+        assert!(off.sweep_options().journal.is_none());
     }
 }

@@ -6,10 +6,8 @@
 //! sockets per node pair regain ~2× of that (optimized SociaLite, §6.1.3);
 //! Netty/Hadoop-class transports stay below 0.5 GB/s (Giraph).
 
-use serde::{Deserialize, Serialize};
-
 /// A point-to-point transport with measured characteristics.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CommLayer {
     /// Short name for reports.
     pub name: &'static str,
@@ -25,7 +23,12 @@ pub struct CommLayer {
 impl CommLayer {
     /// MPI over FDR InfiniBand — native code and CombBLAS.
     pub fn mpi() -> Self {
-        CommLayer { name: "mpi", peak_bw_bps: 5.5e9, latency_s: 2e-6, cpu_bytes_per_wire_byte: 0.0 }
+        CommLayer {
+            name: "mpi",
+            peak_bw_bps: 5.5e9,
+            latency_s: 2e-6,
+            cpu_bytes_per_wire_byte: 0.0,
+        }
     }
 
     /// A single TCP socket (IP-over-IB) per node pair — GraphLab,
@@ -85,8 +88,12 @@ mod tests {
 
     #[test]
     fn layer_ordering_matches_paper() {
-        let (m, s, ms, n) =
-            (CommLayer::mpi(), CommLayer::socket(), CommLayer::multi_socket(), CommLayer::netty());
+        let (m, s, ms, n) = (
+            CommLayer::mpi(),
+            CommLayer::socket(),
+            CommLayer::multi_socket(),
+            CommLayer::netty(),
+        );
         assert!(m.peak_bw_bps > ms.peak_bw_bps);
         assert!(ms.peak_bw_bps > s.peak_bw_bps);
         assert!(s.peak_bw_bps > n.peak_bw_bps);
@@ -95,7 +102,10 @@ mod tests {
         assert!((2.5..=3.0).contains(&ratio), "mpi/socket ratio {ratio}");
         // multi-socket regains ~2x
         let regain = ms.peak_bw_bps / s.peak_bw_bps;
-        assert!((1.5..=2.0).contains(&regain), "multi-socket regain {regain}");
+        assert!(
+            (1.5..=2.0).contains(&regain),
+            "multi-socket regain {regain}"
+        );
     }
 
     #[test]

@@ -72,8 +72,13 @@ fn get_varint(buf: &mut Bytes) -> Option<u64> {
 /// Encodes a **sorted, deduplicated** id list with the requested codec.
 /// Layout: `[tag u8][count varint][universe varint][payload]`.
 pub fn encode_with(ids: &[VertexId], universe: u64, enc: Encoding) -> Bytes {
-    debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted unique");
-    debug_assert!(ids.iter().all(|&v| u64::from(v) < universe || universe == 0));
+    debug_assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "ids must be sorted unique"
+    );
+    debug_assert!(ids
+        .iter()
+        .all(|&v| u64::from(v) < universe || universe == 0));
     let mut buf = BytesMut::new();
     buf.put_u8(enc.tag());
     put_varint(&mut buf, ids.len() as u64);
@@ -213,7 +218,12 @@ mod tests {
         let raw = encode_with(&ids, 1 << 20, Encoding::Raw);
         let delta = encode_with(&ids, 1 << 20, Encoding::DeltaVarint);
         // deltas of 1 are single bytes: ~4x smaller than raw
-        assert!(delta.len() * 3 < raw.len(), "delta {} raw {}", delta.len(), raw.len());
+        assert!(
+            delta.len() * 3 < raw.len(),
+            "delta {} raw {}",
+            delta.len(),
+            raw.len()
+        );
     }
 
     #[test]
@@ -234,17 +244,39 @@ mod tests {
         let dense: Vec<u32> = (0..4096).collect();
         let best = encode_best(&dense, 4096);
         assert_eq!(decode(&best).unwrap(), dense);
-        assert!(best.len() <= 4096 / 8 + 24, "dense set should bitmap: {}", best.len());
+        assert!(
+            best.len() <= 4096 / 8 + 24,
+            "dense set should bitmap: {}",
+            best.len()
+        );
     }
 
     #[test]
     fn varint_edge_values() {
         let mut buf = BytesMut::new();
-        for v in [0u64, 1, 127, 128, 16383, 16384, u64::from(u32::MAX), u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
             put_varint(&mut buf, v);
         }
         let mut b = buf.freeze();
-        for v in [0u64, 1, 127, 128, 16383, 16384, u64::from(u32::MAX), u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
             assert_eq!(get_varint(&mut b), Some(v));
         }
         assert!(!b.has_remaining());

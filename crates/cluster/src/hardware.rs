@@ -5,10 +5,8 @@
 //! the Figure 6 caption pin the achievable ceilings: ~85 GB/s STREAM
 //! bandwidth (PageRank reaches 78 GB/s = 92%) and 5.5 GB/s/node network.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-node hardware constants.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HardwareSpec {
     /// Physical cores per node.
     pub cores: u32,
@@ -64,7 +62,7 @@ impl HardwareSpec {
 }
 
 /// A cluster: homogeneous nodes over one interconnect.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClusterSpec {
     /// Number of nodes.
     pub nodes: usize,
@@ -76,7 +74,10 @@ impl ClusterSpec {
     /// `nodes` paper-spec nodes.
     pub fn paper(nodes: usize) -> Self {
         assert!(nodes >= 1, "cluster needs at least one node");
-        ClusterSpec { nodes, hw: HardwareSpec::paper() }
+        ClusterSpec {
+            nodes,
+            hw: HardwareSpec::paper(),
+        }
     }
 
     /// Single paper-spec node.

@@ -26,9 +26,11 @@ pub mod hardware;
 pub mod partition;
 pub mod profile;
 pub mod sim;
+pub mod work_scale;
 
 pub use comm::CommLayer;
 pub use hardware::{ClusterSpec, HardwareSpec};
 pub use partition::{Partition1D, Partition2D};
 pub use profile::ExecProfile;
 pub use sim::{Sim, SimError};
+pub use work_scale::{current_work_scale, with_work_scale};

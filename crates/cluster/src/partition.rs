@@ -11,10 +11,9 @@
 
 use graphmaze_graph::csr::Csr;
 use graphmaze_graph::VertexId;
-use serde::{Deserialize, Serialize};
 
 /// 1-D contiguous vertex partition balanced by edge count.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Partition1D {
     /// `bounds[i]..bounds[i+1]` are the vertices of node `i`.
     bounds: Vec<VertexId>,
@@ -101,7 +100,7 @@ impl Partition1D {
 }
 
 /// 2-D block partition over a `pr × pc` process grid (CombBLAS).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Partition2D {
     /// Grid rows.
     pub pr: usize,
@@ -118,9 +117,15 @@ impl Partition2D {
     pub fn square(nodes: usize, num_vertices: u64) -> Result<Self, String> {
         let side = (nodes as f64).sqrt().round() as usize;
         if side * side != nodes {
-            return Err(format!("CombBLAS requires a square process count, got {nodes}"));
+            return Err(format!(
+                "CombBLAS requires a square process count, got {nodes}"
+            ));
         }
-        Ok(Partition2D { pr: side, pc: side, n: num_vertices })
+        Ok(Partition2D {
+            pr: side,
+            pc: side,
+            n: num_vertices,
+        })
     }
 
     /// The most-square `pr × pc` grid with `pr · pc == nodes`
@@ -130,10 +135,14 @@ impl Partition2D {
     pub fn nearly_square(nodes: usize, num_vertices: u64) -> Self {
         assert!(nodes >= 1, "need at least one process");
         let mut pr = (nodes as f64).sqrt().floor() as usize;
-        while pr > 1 && nodes % pr != 0 {
+        while pr > 1 && !nodes.is_multiple_of(pr) {
             pr -= 1;
         }
-        Partition2D { pr, pc: nodes / pr, n: num_vertices }
+        Partition2D {
+            pr,
+            pc: nodes / pr,
+            n: num_vertices,
+        }
     }
 
     /// Rows per block (ceiling).
@@ -178,7 +187,9 @@ pub fn hubs_to_replicate(csr: &Csr, factor: f64) -> Vec<VertexId> {
     }
     let avg = csr.num_edges() as f64 / n as f64;
     let threshold = (avg * factor).max(1.0);
-    (0..n as u32).filter(|&v| f64::from(csr.degree(v)) >= threshold).collect()
+    (0..n as u32)
+        .filter(|&v| f64::from(csr.degree(v)) >= threshold)
+        .collect()
 }
 
 #[cfg(test)]
@@ -204,7 +215,11 @@ mod tests {
         assert_eq!(seen, 100);
         for v in 0..100u32 {
             let o = p.owner(v);
-            assert!(p.range(o).contains(&v), "owner({v})={o} range {:?}", p.range(o));
+            assert!(
+                p.range(o).contains(&v),
+                "owner({v})={o} range {:?}",
+                p.range(o)
+            );
         }
     }
 
@@ -217,7 +232,7 @@ mod tests {
         let p = Partition1D::balanced_by_edges(&g, 4);
         // node 0 should hold ~the hub only; its edge share near 1/4 of 2000
         let e0 = p.edges_of(&g, 0);
-        assert!(e0 >= 500 && e0 <= 1100, "hub node edges {e0}");
+        assert!((500..=1100).contains(&e0), "hub node edges {e0}");
         // remaining nodes share the rest roughly evenly
         let total: u64 = (0..4).map(|k| p.edges_of(&g, k)).sum();
         assert_eq!(total, 2000);

@@ -17,12 +17,10 @@
 //! * `per_step_overhead_s` — per-superstep coordination cost: Hadoop-level
 //!   barrier + worker scheduling for Giraph, master barrier for the rest.
 
-use serde::{Deserialize, Serialize};
-
 use crate::comm::CommLayer;
 
 /// How an engine executes on a node and communicates across nodes.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ExecProfile {
     /// Engine name for reports.
     pub name: &'static str,
@@ -146,7 +144,7 @@ impl ExecProfile {
                 latency_s: 50e-6,
                 cpu_bytes_per_wire_byte: 1.0,
             },
-            core_fraction: 1.0, // 24 workers once buffers shrink
+            core_fraction: 1.0,       // 24 workers once buffers shrink
             per_step_overhead_s: 0.1, // barrier without per-superstep Hadoop setup
             ..ExecProfile::giraph()
         }
@@ -156,7 +154,10 @@ impl ExecProfile {
     /// [`ExecProfile::socialite`]) plus message compression "will help
     /// SociaLite to achieve performance within 5× of native".
     pub fn socialite_improved() -> Self {
-        ExecProfile { name: "socialite+roadmap", ..ExecProfile::socialite() }
+        ExecProfile {
+            name: "socialite+roadmap",
+            ..ExecProfile::socialite()
+        }
     }
 
     /// GPS (related work, §7): a Giraph-class JVM vertex runtime with
@@ -253,6 +254,9 @@ mod tests {
     #[test]
     fn overhead_ordering() {
         // Giraph pays orders of magnitude more per superstep than native.
-        assert!(ExecProfile::giraph().per_step_overhead_s / ExecProfile::native().per_step_overhead_s > 1e3);
+        assert!(
+            ExecProfile::giraph().per_step_overhead_s / ExecProfile::native().per_step_overhead_s
+                > 1e3
+        );
     }
 }

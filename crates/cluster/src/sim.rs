@@ -13,13 +13,12 @@
 //! system-level metrics of the paper's Figure 6.
 
 use graphmaze_metrics::{MemTracker, OutOfMemory, RunReport, TrafficStats, Work};
-use serde::{Deserialize, Serialize};
 
 use crate::hardware::ClusterSpec;
 use crate::profile::ExecProfile;
 
 /// Errors surfaced by the simulator.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum SimError {
     /// A node exceeded its memory capacity — the paper's CombBLAS-TC /
     /// Giraph failure mode.
@@ -74,18 +73,15 @@ pub struct Sim {
 impl Sim {
     /// A fresh simulator for `cluster` running under `profile`.
     ///
-    /// The **work scale** defaults to 1.0 or the `GRAPHMAZE_WORK_SCALE`
-    /// environment variable: every charged work item, message and
-    /// allocation is multiplied by it, extrapolating a structurally
-    /// identical graph `scale`× larger. The repro harness uses this to
-    /// report paper-scale runtimes (and paper-scale OOM behaviour) from
-    /// scaled-down inputs; see DESIGN.md §2.
+    /// The **work scale** comes from [`crate::work_scale::current_work_scale`]:
+    /// the calling thread's `with_work_scale` override if any, else the
+    /// `GRAPHMAZE_WORK_SCALE` environment variable, else 1.0. Every
+    /// charged work item, message and allocation is multiplied by it,
+    /// extrapolating a structurally identical graph `scale`× larger. The
+    /// repro harness uses this to report paper-scale runtimes (and
+    /// paper-scale OOM behaviour) from scaled-down inputs; see DESIGN.md §2.
     pub fn new(cluster: ClusterSpec, profile: ExecProfile) -> Self {
-        let work_scale = std::env::var("GRAPHMAZE_WORK_SCALE")
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .filter(|&s| s.is_finite() && s >= 1.0)
-            .unwrap_or(1.0);
+        let work_scale = crate::work_scale::current_work_scale();
         let n = cluster.nodes;
         Sim {
             work_scale,
@@ -97,7 +93,9 @@ impl Sim {
             step_bytes: vec![0; n],
             step_msgs: vec![0; n],
             step_raw_bytes: vec![0; n],
-            mem: (0..n).map(|i| MemTracker::new(i, cluster.hw.mem_capacity_bytes)).collect(),
+            mem: (0..n)
+                .map(|i| MemTracker::new(i, cluster.hw.mem_capacity_bytes))
+                .collect(),
             traffic: TrafficStats::default(),
             busy_core_seconds: 0.0,
             compute_seconds: 0.0,
@@ -140,7 +138,11 @@ impl Sim {
         let m = p.work_multiplier;
         let dram_bytes = work.seq_bytes as f64 + work.rand_accesses as f64 * CACHE_LINE;
         let stream_t = dram_bytes * m / hw.effective_mem_bw(cf).max(1.0);
-        let mlp = if p.sw_prefetch { hw.mlp_prefetch } else { hw.mlp_base };
+        let mlp = if p.sw_prefetch {
+            hw.mlp_prefetch
+        } else {
+            hw.mlp_base
+        };
         let rand_t = work.rand_accesses as f64 * m * hw.rand_latency_s / (mlp * cores_used);
         let flop_t = work.flops as f64 * m / (hw.freq_hz * hw.ipc * cores_used);
         stream_t.max(rand_t).max(flop_t)
@@ -211,24 +213,35 @@ impl Sim {
         let p = &self.profile;
         let compute_t = self.step_compute.iter().copied().fold(0.0, f64::max);
         let comm_t = (0..self.nodes())
-            .map(|i| p.comm.transfer_seconds(self.step_bytes[i], self.step_msgs[i]))
+            .map(|i| {
+                p.comm
+                    .transfer_seconds(self.step_bytes[i], self.step_msgs[i])
+            })
             .fold(0.0, f64::max);
-        let body = if p.overlap { compute_t.max(comm_t) } else { compute_t + comm_t };
+        let body = if p.overlap {
+            compute_t.max(comm_t)
+        } else {
+            compute_t + comm_t
+        };
         let step_t = body + p.per_step_overhead_s;
         self.clock += step_t;
         self.compute_seconds += compute_t;
         self.comm_seconds += comm_t;
 
         let cores_used = f64::from(self.cluster.hw.cores) * p.core_fraction.clamp(0.0, 1.0);
-        self.busy_core_seconds +=
-            self.step_compute.iter().map(|&c| c * cores_used).sum::<f64>();
+        self.busy_core_seconds += self
+            .step_compute
+            .iter()
+            .map(|&c| c * cores_used)
+            .sum::<f64>();
 
         let total_bytes: u64 = self.step_bytes.iter().sum();
         let total_msgs: u64 = self.step_msgs.iter().sum();
         let total_raw: u64 = self.step_raw_bytes.iter().sum();
         let max_node_bytes = self.step_bytes.iter().copied().max().unwrap_or(0);
         if total_bytes > 0 || total_msgs > 0 {
-            self.traffic.record_step(total_bytes, total_msgs, total_raw, max_node_bytes, comm_t);
+            self.traffic
+                .record_step(total_bytes, total_msgs, total_raw, max_node_bytes, comm_t);
         }
 
         self.step_compute.fill(0.0);
@@ -313,13 +326,20 @@ mod tests {
         assert!(ratio > 2.0 && ratio < 4.0, "ratio {ratio}");
         // prefetched gathers are bandwidth-bound: 64 B/line at 85 GB/s
         let bw_bound = 1_000_000_000.0 * 64.0 / 85.0e9;
-        assert!((fast - bw_bound).abs() / bw_bound < 1e-6, "fast {fast} vs {bw_bound}");
+        assert!(
+            (fast - bw_bound).abs() / bw_bound < 1e-6,
+            "fast {fast} vs {bw_bound}"
+        );
     }
 
     #[test]
     fn binding_resource_wins() {
         let sim = Sim::new(ClusterSpec::single(), ExecProfile::native());
-        let w = Work { seq_bytes: 85_000_000_000, rand_accesses: 1, flops: 1 };
+        let w = Work {
+            seq_bytes: 85_000_000_000,
+            rand_accesses: 1,
+            flops: 1,
+        };
         let t = sim.compute_seconds_for(w);
         assert!((t - 1.0).abs() < 1e-3);
     }
@@ -331,9 +351,7 @@ mod tests {
         let sim = Sim::new(ClusterSpec::single(), p);
         let base = Sim::new(ClusterSpec::single(), ExecProfile::native());
         let w = Work::stream(1 << 30);
-        assert!(
-            (sim.compute_seconds_for(w) / base.compute_seconds_for(w) - 3.0).abs() < 1e-9
-        );
+        assert!((sim.compute_seconds_for(w) / base.compute_seconds_for(w) - 3.0).abs() < 1e-9);
     }
 
     #[test]
@@ -357,8 +375,16 @@ mod tests {
             sim.send(0, 5_500_000_000, 5_500_000_000, 1); // 1 s comm
             sim.end_step();
         }
-        assert!((with.clock() - 1.0).abs() < 1e-3, "overlap {}", with.clock());
-        assert!((without.clock() - 2.0).abs() < 1e-3, "no overlap {}", without.clock());
+        assert!(
+            (with.clock() - 1.0).abs() < 1e-3,
+            "overlap {}",
+            with.clock()
+        );
+        assert!(
+            (without.clock() - 2.0).abs() < 1e-3,
+            "no overlap {}",
+            without.clock()
+        );
     }
 
     #[test]
@@ -388,7 +414,11 @@ mod tests {
         sim.charge(0, Work::flops(1 << 34));
         sim.end_step();
         let r = sim.finish();
-        assert!(r.cpu_utilization <= 4.0 / 24.0 + 1e-9, "util {}", r.cpu_utilization);
+        assert!(
+            r.cpu_utilization <= 4.0 / 24.0 + 1e-9,
+            "util {}",
+            r.cpu_utilization
+        );
     }
 
     #[test]
@@ -402,7 +432,11 @@ mod tests {
         assert_eq!(r.traffic.messages, 11);
         assert!((r.traffic.compression_ratio() - 11_000_001_000.0 / 5_500_001_000.0).abs() < 1e-9);
         // busiest node sent 5.5GB over ~1s step → ~5.5 GB/s peak
-        assert!(r.traffic.peak_bw_bps > 5.0e9, "peak {}", r.traffic.peak_bw_bps);
+        assert!(
+            r.traffic.peak_bw_bps > 5.0e9,
+            "peak {}",
+            r.traffic.peak_bw_bps
+        );
     }
 
     #[test]
@@ -444,6 +478,10 @@ mod tests {
         sim.end_step();
         // socket layer charges 1 stream byte per wire byte → 1 s compute
         let r = sim.finish();
-        assert!(r.compute_seconds > 0.9, "cpu handling {}", r.compute_seconds);
+        assert!(
+            r.compute_seconds > 0.9,
+            "cpu handling {}",
+            r.compute_seconds
+        );
     }
 }

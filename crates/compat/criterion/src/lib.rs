@@ -1,0 +1,252 @@
+//! A minimal, dependency-free drop-in for the subset of the
+//! [`criterion`] benchmarking API this workspace uses
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`/`criterion_main!`).
+//! Vendored so the workspace builds offline. It measures real wall
+//! clock with a warmup pass and a fixed sample loop and prints
+//! `median / throughput` lines — simpler statistics than criterion
+//! proper, same bench source code.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value barrier, re-exported for bench bodies.
+pub fn black_box<T>(v: T) -> T {
+    std_black_box(v)
+}
+
+/// Work-unit annotation for per-element throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark name with a parameter suffix (`name/param`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new<P: Display>(name: &str, param: P) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            full: s.to_string(),
+        }
+    }
+}
+
+/// Runs one benchmark body repeatedly and records per-iteration times.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over warmup + `sample_size` measured runs.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // warmup: one run, plus enough to know roughly how long a run takes
+        let warm_start = Instant::now();
+        std_black_box(routine());
+        let one = warm_start.elapsed();
+        // batch very fast routines so timer resolution doesn't dominate
+        let batch = if one < Duration::from_micros(5) {
+            100
+        } else {
+            1
+        };
+        self.samples.clear();
+        let budget = Duration::from_millis(300);
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch);
+            if run_start.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort();
+        s.get(s.len() / 2).copied().unwrap_or_default()
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named group of related benchmarks sharing throughput/sample config.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many measured samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let med = b.median();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if med > Duration::ZERO => {
+                format!("  {:.2} Melem/s", n as f64 / med.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if med > Duration::ZERO => {
+                format!("  {:.2} MB/s", n as f64 / med.as_secs_f64() / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<32} {:>12}{}  ({} samples)",
+            self.name,
+            label,
+            fmt_duration(med),
+            rate,
+            b.samples.len()
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        self.run_one(&id.full.clone(), |b| f(b));
+    }
+
+    /// Benchmarks `f(b, input)` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.full.clone(), |b| f(b, input));
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            sample_size: 30,
+            _criterion: self,
+        }
+    }
+
+    /// Registers and immediately runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group(name.to_string());
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+/// Bundles bench functions under one group entry point, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+        };
+        b.iter(|| std::hint::black_box(2u64 + 2));
+        assert!(!b.samples.is_empty());
+        assert!(b.median() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_test");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &41, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

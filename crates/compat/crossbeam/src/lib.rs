@@ -1,0 +1,112 @@
+//! A minimal, dependency-free drop-in for the subset of the
+//! [`crossbeam`] scoped-thread API this workspace uses:
+//! `crossbeam::scope(|s| ...)`, `s.spawn(move |_| ...)`, and
+//! `handle.join()`. Vendored so the workspace builds offline; backed by
+//! `std::thread::scope` (stable since Rust 1.63), with panics from
+//! unjoined child threads surfaced as `Err` from [`scope`] to match
+//! crossbeam's contract.
+//!
+//! [`crossbeam`]: https://crates.io/crates/crossbeam
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped-thread primitives (`crossbeam::thread` layout).
+pub mod thread {
+    use super::*;
+
+    /// A handle into the scope, passed to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        pub(crate) inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result; `Err` carries the
+        /// panic payload if the thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// again so nested spawns are possible (call sites here ignore it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns. A panic in the closure or in any *unjoined* spawned
+    /// thread is caught and returned as `Err` (crossbeam's contract —
+    /// explicitly joined threads deliver panics via their own `join`).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_run_and_join() {
+        let count = AtomicUsize::new(0);
+        let sum = scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let count = &count;
+                    s.spawn(move |_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                        i * 2
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+        assert_eq!(sum, (0..8).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn unjoined_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("child boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn borrows_from_enclosing_stack_work() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<u64>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

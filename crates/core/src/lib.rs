@@ -26,8 +26,10 @@
 //! }
 //! ```
 
+pub mod engine;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 pub mod workload;
 
 pub use graphmaze_cluster as cluster;
@@ -37,13 +39,21 @@ pub use graphmaze_graph as graph;
 pub use graphmaze_metrics as metrics;
 pub use graphmaze_native as native;
 
+pub use engine::Engine;
 pub use runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
+pub use sweep::{
+    CellStatus, Sweep, SweepCell, SweepOptions, SweepReport, WorkloadCache, WorkloadSpec,
+};
 pub use workload::Workload;
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
+    pub use crate::engine::Engine;
     pub use crate::report::{format_table, geomean};
     pub use crate::runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
+    pub use crate::sweep::{
+        CellStatus, Sweep, SweepCell, SweepOptions, SweepReport, WorkloadCache, WorkloadSpec,
+    };
     pub use crate::workload::Workload;
     pub use graphmaze_cluster::{ClusterSpec, ExecProfile, SimError};
     pub use graphmaze_datagen::{Dataset, RatingsGenConfig, RmatConfig, RmatParams};

@@ -27,7 +27,9 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             .join("|")
     };
     let mut out = String::new();
-    out.push_str(&fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     out.push_str(&sep);
     out.push('\n');

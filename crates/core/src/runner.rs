@@ -1,14 +1,13 @@
 //! The benchmark runner: `algorithm × framework × workload × nodes →
 //! RunReport`, the crossbar behind every figure and table of the paper.
+//!
+//! Per-framework behaviour lives in the [`crate::engine::Engine`] impls;
+//! this module only selects the workload view (and BFS source) per
+//! algorithm and dispatches through [`Framework::engine`].
 
 use graphmaze_cluster::SimError;
-use graphmaze_engines::datalog::socialite;
-use graphmaze_engines::spmv::combblas;
-use graphmaze_engines::taskpar::galois;
-use graphmaze_engines::vertex::{giraph, graphlab};
 use graphmaze_metrics::RunReport;
 use graphmaze_native::cf::CfConfig;
-use graphmaze_native::{bfs, cf, pagerank, triangle, NativeOptions, PAGERANK_R};
 
 use crate::workload::Workload;
 
@@ -46,7 +45,10 @@ impl Algorithm {
 
     /// Whether the paper reports time per iteration (vs overall time).
     pub fn per_iteration(&self) -> bool {
-        matches!(self, Algorithm::PageRank | Algorithm::CollaborativeFiltering)
+        matches!(
+            self,
+            Algorithm::PageRank | Algorithm::CollaborativeFiltering
+        )
     }
 }
 
@@ -122,7 +124,13 @@ impl Default for BenchParams {
         BenchParams {
             pr_iterations: 5,
             bfs_source: u32::MAX,
-            cf: CfConfig { k: 16, lambda: 0.05, gamma0: 0.005, step_decay: 0.98, seed: 42 },
+            cf: CfConfig {
+                k: 16,
+                lambda: 0.05,
+                gamma0: 0.005,
+                step_decay: 0.98,
+                seed: 42,
+            },
             cf_iterations: 3,
             giraph_splits: 16,
         }
@@ -130,7 +138,7 @@ impl Default for BenchParams {
 }
 
 /// The outcome of one benchmark run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunOutcome {
     /// Simulated measurements.
     pub report: RunReport,
@@ -151,36 +159,11 @@ pub fn run_benchmark(
     nodes: usize,
     params: &BenchParams,
 ) -> Result<RunOutcome, SimError> {
-    match algorithm {
-        Algorithm::PageRank => {
-            let g = workload
-                .directed
-                .as_ref()
-                .ok_or_else(|| SimError::InvalidConfig("workload has no directed graph".into()))?;
-            let it = params.pr_iterations;
-            let (ranks, report) = match framework {
-                Framework::Native => pagerank::pagerank_cluster(
-                    g,
-                    PAGERANK_R,
-                    it,
-                    NativeOptions::all(),
-                    nodes,
-                )?,
-                Framework::CombBlas => combblas::pagerank(g, PAGERANK_R, it, nodes)?,
-                Framework::GraphLab => graphlab::pagerank(g, PAGERANK_R, it, nodes)?,
-                Framework::SociaLite => socialite::pagerank(g, PAGERANK_R, it, nodes, true)?,
-                Framework::SociaLiteUnopt => {
-                    socialite::pagerank(g, PAGERANK_R, it, nodes, false)?
-                }
-                Framework::Giraph => giraph::pagerank(g, PAGERANK_R, it, nodes)?,
-                Framework::Galois => galois::pagerank(g, PAGERANK_R, it, nodes)?,
-            };
-            Ok(RunOutcome { digest: ranks.iter().sum(), report })
-        }
+    let engine = framework.engine();
+    let (digest, report) = match algorithm {
+        Algorithm::PageRank => engine.pagerank(workload.directed()?, nodes, params)?,
         Algorithm::Bfs => {
-            let g = workload.undirected.as_ref().ok_or_else(|| {
-                SimError::InvalidConfig("workload has no undirected graph".into())
-            })?;
+            let g = workload.undirected()?;
             let src = if params.bfs_source == u32::MAX {
                 // highest-degree vertex: a seed the paper's Graph500-style
                 // runs would accept (non-isolated, large reach)
@@ -190,110 +173,12 @@ pub fn run_benchmark(
             } else {
                 params.bfs_source
             };
-            let (dist, report) = match framework {
-                Framework::Native => bfs::bfs_cluster(g, src, NativeOptions::all(), nodes)?,
-                Framework::CombBlas => combblas::bfs(g, src, nodes)?,
-                Framework::GraphLab => graphlab::bfs(g, src, nodes)?,
-                Framework::SociaLite => socialite::bfs(g, src, nodes, true)?,
-                Framework::SociaLiteUnopt => socialite::bfs(g, src, nodes, false)?,
-                Framework::Giraph => giraph::bfs(g, src, nodes)?,
-                Framework::Galois => galois::bfs(g, src, nodes)?,
-            };
-            let digest: f64 =
-                dist.iter().filter(|&&d| d != u32::MAX).map(|&d| f64::from(d)).sum();
-            Ok(RunOutcome { digest, report })
+            engine.bfs(g, src, nodes, params)?
         }
-        Algorithm::TriangleCount => {
-            let g = workload
-                .oriented
-                .as_ref()
-                .ok_or_else(|| SimError::InvalidConfig("workload has no oriented graph".into()))?;
-            let (count, report) = match framework {
-                Framework::Native => {
-                    triangle::triangles_cluster(g, NativeOptions::all(), nodes)?
-                }
-                Framework::CombBlas => combblas::triangles(g, nodes)?,
-                Framework::GraphLab => graphlab::triangles(g, nodes)?,
-                Framework::SociaLite => socialite::triangles(g, nodes, true)?,
-                Framework::SociaLiteUnopt => socialite::triangles(g, nodes, false)?,
-                Framework::Giraph => giraph::triangles_split(g, nodes, params.giraph_splits)?,
-                Framework::Galois => galois::triangles(g, nodes)?,
-            };
-            Ok(RunOutcome { digest: count as f64, report })
-        }
-        Algorithm::CollaborativeFiltering => {
-            let g = workload
-                .ratings
-                .as_ref()
-                .ok_or_else(|| SimError::InvalidConfig("workload has no ratings graph".into()))?;
-            let (k, lambda) = (params.cf.k, params.cf.lambda);
-            let gamma = params.cf.gamma0;
-            let it = params.cf_iterations;
-            let (digest, report) = match framework {
-                Framework::Native => {
-                    let (_, hist, report) =
-                        cf::sgd_cluster(g, &params.cf, it, NativeOptions::all(), nodes)?;
-                    (*hist.last().unwrap_or(&f64::NAN), report)
-                }
-                Framework::Galois => {
-                    let (_, hist, report) = galois::cf_sgd(g, &params.cf, it, nodes)?;
-                    (*hist.last().unwrap_or(&f64::NAN), report)
-                }
-                Framework::CombBlas => {
-                    let (p, q, report) = combblas::cf_gd(g, k, lambda, gamma, it, nodes)?;
-                    (cf_rmse_flat(g, &p, &q, k), report)
-                }
-                Framework::SociaLite => {
-                    let (p, q, report) =
-                        socialite::cf_gd(g, k, lambda, gamma, it, nodes, true)?;
-                    (cf_rmse_flat(g, &p, &q, k), report)
-                }
-                Framework::SociaLiteUnopt => {
-                    let (p, q, report) =
-                        socialite::cf_gd(g, k, lambda, gamma, it, nodes, false)?;
-                    (cf_rmse_flat(g, &p, &q, k), report)
-                }
-                Framework::GraphLab => {
-                    let (vals, report) = graphlab::cf_gd(g, k, lambda, gamma, it, nodes)?;
-                    (cf_rmse_rows(g, &vals, k), report)
-                }
-                Framework::Giraph => {
-                    let (vals, report) =
-                        giraph::cf_gd(g, k, lambda, gamma, it, nodes, params.giraph_splits)?;
-                    (cf_rmse_rows(g, &vals, k), report)
-                }
-            };
-            Ok(RunOutcome { digest, report })
-        }
-    }
-}
-
-fn cf_rmse_flat(
-    g: &graphmaze_graph::RatingsGraph,
-    p: &[f64],
-    q: &[f64],
-    k: usize,
-) -> f64 {
-    let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
-    let mut sse = 0.0;
-    for (u, v, r) in g.triples() {
-        let e = f64::from(r)
-            - dot(&p[u as usize * k..(u as usize + 1) * k], &q[v as usize * k..(v as usize + 1) * k]);
-        sse += e * e;
-    }
-    (sse / g.num_ratings().max(1) as f64).sqrt()
-}
-
-fn cf_rmse_rows(g: &graphmaze_graph::RatingsGraph, rows: &[Vec<f64>], k: usize) -> f64 {
-    let nu = g.num_users() as usize;
-    let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
-    let mut sse = 0.0;
-    for (u, v, r) in g.triples() {
-        let e = f64::from(r) - dot(&rows[u as usize], &rows[nu + v as usize]);
-        sse += e * e;
-    }
-    let _ = k;
-    (sse / g.num_ratings().max(1) as f64).sqrt()
+        Algorithm::TriangleCount => engine.triangles(workload.oriented()?, nodes, params)?,
+        Algorithm::CollaborativeFiltering => engine.cf(workload.ratings()?, nodes, params)?,
+    };
+    Ok(RunOutcome { digest, report })
 }
 
 #[cfg(test)]
@@ -314,7 +199,12 @@ mod tests {
         ] {
             let out = run_benchmark(Algorithm::PageRank, fw, &wl, 4, &params).unwrap();
             let rel = (out.digest - native.digest).abs() / native.digest.abs();
-            assert!(rel < 1e-9, "{fw:?} digest {} vs {}", out.digest, native.digest);
+            assert!(
+                rel < 1e-9,
+                "{fw:?} digest {} vs {}",
+                out.digest,
+                native.digest
+            );
             assert!(
                 out.report.sim_seconds >= native.report.sim_seconds,
                 "{fw:?} cannot beat native"
@@ -347,7 +237,9 @@ mod tests {
         ]
         .iter()
         .map(|&fw| {
-            run_benchmark(Algorithm::TriangleCount, fw, &wl, 4, &params).unwrap().digest
+            run_benchmark(Algorithm::TriangleCount, fw, &wl, 4, &params)
+                .unwrap()
+                .digest
         })
         .collect();
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts {counts:?}");
@@ -363,7 +255,11 @@ mod tests {
             }
             let out =
                 run_benchmark(Algorithm::CollaborativeFiltering, fw, &wl, 4, &params).unwrap();
-            assert!(out.digest.is_finite() && out.digest > 0.0, "{fw:?} rmse {}", out.digest);
+            assert!(
+                out.digest.is_finite() && out.digest > 0.0,
+                "{fw:?} rmse {}",
+                out.digest
+            );
             assert!(out.report.sim_seconds > 0.0);
         }
     }

@@ -1,0 +1,932 @@
+//! The sweep subsystem: declarative, parallel, resumable execution of
+//! `algorithm × framework × workload × nodes` crossbars.
+//!
+//! Every paper artifact (Fig 3–7, Tables 4–7) is a sweep over the same
+//! crossbar. A [`Sweep`] describes its cells declaratively
+//! ([`SweepCell`]: algorithm, framework, [`WorkloadSpec`], node count,
+//! extrapolation factor, parameters); the executor then runs them across
+//! a thread pool with per-cell `catch_unwind` isolation, so one engine
+//! panic marks that cell [`CellError::Panicked`] instead of aborting the
+//! whole `repro all` run.
+//!
+//! Three properties the experiments rely on:
+//!
+//! * **Shared workload cache** — workload construction (generation +
+//!   CSR + orientation) dominates wall-clock across fig3/fig4/fig5/fig6,
+//!   which historically each rebuilt the same graphs. A [`WorkloadCache`]
+//!   keyed by canonical [`WorkloadSpec`] builds each workload once per
+//!   process and hands out `Arc<Workload>` clones.
+//! * **Determinism under parallelism** — results are collected by cell
+//!   index, engines are deterministic, and the work scale is a
+//!   thread-local override (`graphmaze_cluster::work_scale`), so `--jobs
+//!   N` produces byte-identical CSVs to a serial run.
+//! * **Resumability** — completed cells (successes *and* deterministic
+//!   failures like OOM) append a JSONL record carrying the cell's params
+//!   hash, digest and full [`RunReport`] to a journal; a re-run with
+//!   `resume` skips journaled cells and reconstructs their results
+//!   exactly, so an interrupted `repro all` finishes where it left off.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use graphmaze_cluster::{with_work_scale, SimError};
+use graphmaze_datagen::Dataset;
+use graphmaze_metrics::{RunReport, TrafficStats, Work};
+
+use crate::runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
+use crate::workload::Workload;
+
+/// Canonical description of how to construct a [`Workload`] — the cache
+/// key. Two spec values compare equal iff they build identical workloads.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum WorkloadSpec {
+    /// Graph500-parameter RMAT graph ([`Workload::rmat`]).
+    Rmat {
+        scale: u32,
+        edge_factor: u32,
+        seed: u64,
+    },
+    /// Triangle-tuned RMAT graph ([`Workload::rmat_triangle`]).
+    RmatTriangle {
+        scale: u32,
+        edge_factor: u32,
+        seed: u64,
+    },
+    /// Synthetic bipartite ratings ([`Workload::rmat_ratings`]).
+    RmatRatings {
+        scale: u32,
+        num_items: u32,
+        seed: u64,
+    },
+    /// A Table 3 dataset stand-in ([`Workload::from_dataset`]).
+    Dataset {
+        ds: Dataset,
+        scale_down: u32,
+        seed: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Builds the workload this spec describes (use [`WorkloadCache::get`]
+    /// to share the result).
+    pub fn build(&self) -> Workload {
+        match *self {
+            WorkloadSpec::Rmat {
+                scale,
+                edge_factor,
+                seed,
+            } => Workload::rmat(scale, edge_factor, seed),
+            WorkloadSpec::RmatTriangle {
+                scale,
+                edge_factor,
+                seed,
+            } => Workload::rmat_triangle(scale, edge_factor, seed),
+            WorkloadSpec::RmatRatings {
+                scale,
+                num_items,
+                seed,
+            } => Workload::rmat_ratings(scale, num_items, seed),
+            WorkloadSpec::Dataset {
+                ds,
+                scale_down,
+                seed,
+            } => Workload::from_dataset(ds, scale_down, seed),
+        }
+    }
+
+    /// Canonical string form, used in the cell hash and the journal.
+    pub fn key(&self) -> String {
+        match *self {
+            WorkloadSpec::Rmat {
+                scale,
+                edge_factor,
+                seed,
+            } => {
+                format!("rmat/s{scale}/e{edge_factor}/x{seed}")
+            }
+            WorkloadSpec::RmatTriangle {
+                scale,
+                edge_factor,
+                seed,
+            } => {
+                format!("rmat-tc/s{scale}/e{edge_factor}/x{seed}")
+            }
+            WorkloadSpec::RmatRatings {
+                scale,
+                num_items,
+                seed,
+            } => {
+                format!("cf/s{scale}/i{num_items}/x{seed}")
+            }
+            WorkloadSpec::Dataset {
+                ds,
+                scale_down,
+                seed,
+            } => {
+                format!("ds/{ds:?}/d{scale_down}/x{seed}")
+            }
+        }
+    }
+}
+
+/// Process-wide cache of built workloads, keyed by [`WorkloadSpec`].
+/// Concurrent requests for the same spec build it exactly once (the
+/// losers block on the builder); every other caller gets an `Arc` clone.
+#[derive(Default)]
+pub struct WorkloadCache {
+    map: Mutex<HashMap<WorkloadSpec, Arc<OnceLock<Arc<Workload>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for WorkloadCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadCache")
+            .field("entries", &self.map.lock().unwrap().len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl WorkloadCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The workload for `spec`, building it on first request.
+    pub fn get(&self, spec: &WorkloadSpec) -> Arc<Workload> {
+        let slot = {
+            let mut map = self.map.lock().unwrap();
+            map.entry(spec.clone()).or_default().clone()
+        };
+        let mut built = false;
+        let wl = slot
+            .get_or_init(|| {
+                built = true;
+                Arc::new(spec.build())
+            })
+            .clone();
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        wl
+    }
+
+    /// Requests served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to build the workload.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// One cell of a sweep: a single `run_benchmark` invocation plus the
+/// metadata the experiment needs to render its row.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Row label in the experiment's table (e.g. the dataset name).
+    pub label: String,
+    /// Algorithm under test.
+    pub algorithm: Algorithm,
+    /// Framework under test.
+    pub framework: Framework,
+    /// Workload to run on (resolved through the cache).
+    pub spec: WorkloadSpec,
+    /// Simulated node count.
+    pub nodes: usize,
+    /// Work-scale extrapolation factor (≥ 1; see DESIGN.md §2).
+    pub factor: f64,
+    /// Benchmark parameters.
+    pub params: BenchParams,
+}
+
+impl SweepCell {
+    /// The cell's 64-bit params hash (FNV-1a over the canonical string of
+    /// every field), used as the journal key.
+    pub fn key(&self, experiment: &str) -> u64 {
+        let p = &self.params;
+        let canonical = format!(
+            "{experiment}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{:016x}\x1f{}\x1f{}\x1f{}\x1f{:016x}\x1f{:016x}\x1f{:016x}\x1f{}\x1f{}\x1f{}",
+            self.label,
+            self.algorithm.name(),
+            self.framework.name(),
+            self.spec.key(),
+            self.nodes,
+            self.factor.to_bits(),
+            p.pr_iterations,
+            p.bfs_source,
+            p.cf.k,
+            p.cf.lambda.to_bits(),
+            p.cf.gamma0.to_bits(),
+            p.cf.step_decay.to_bits(),
+            p.cf.seed,
+            p.cf_iterations,
+            p.giraph_splits,
+        );
+        fnv1a64(&canonical)
+    }
+}
+
+/// Why a cell failed. Unlike [`SimError`], this includes panics (caught
+/// per-cell) and survives the journal round-trip as kind + message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellError {
+    /// A node exceeded its memory capacity (the paper's "OOM" cells).
+    OutOfMemory(String),
+    /// Impossible combination (e.g. Galois multi-node) — rendered "n/a".
+    InvalidConfig(String),
+    /// The engine panicked; the cell is marked failed instead of taking
+    /// down the run.
+    Panicked(String),
+}
+
+impl CellError {
+    /// Stable kind tag for the journal.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CellError::OutOfMemory(_) => "oom",
+            CellError::InvalidConfig(_) => "invalid",
+            CellError::Panicked(_) => "panic",
+        }
+    }
+
+    /// Human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            CellError::OutOfMemory(m) | CellError::InvalidConfig(m) | CellError::Panicked(m) => m,
+        }
+    }
+
+    /// The annotation the paper's figures use for this failure mode.
+    pub fn annotation(&self) -> &'static str {
+        match self {
+            CellError::OutOfMemory(_) => "OOM",
+            CellError::InvalidConfig(_) => "n/a",
+            CellError::Panicked(_) => "fail",
+        }
+    }
+
+    fn from_kind(kind: &str, message: String) -> CellError {
+        match kind {
+            "oom" => CellError::OutOfMemory(message),
+            "invalid" => CellError::InvalidConfig(message),
+            _ => CellError::Panicked(message),
+        }
+    }
+}
+
+impl From<SimError> for CellError {
+    fn from(e: SimError) -> CellError {
+        match e {
+            SimError::OutOfMemory(oom) => CellError::OutOfMemory(oom.to_string()),
+            SimError::InvalidConfig(m) => CellError::InvalidConfig(m),
+        }
+    }
+}
+
+/// How a cell's result was obtained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Executed in this process.
+    Ran,
+    /// Reconstructed from the journal by `resume` without re-running.
+    Resumed,
+}
+
+/// The result of one cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Executed now vs reconstructed from the journal.
+    pub status: CellStatus,
+    /// The benchmark outcome, or why the cell failed.
+    pub outcome: Result<RunOutcome, CellError>,
+    /// Real wall-clock spent executing the cell (0 when resumed).
+    pub wall_secs: f64,
+}
+
+/// Executor configuration.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOptions {
+    /// Worker threads (values ≤ 1 run serially on the caller's thread
+    /// count of one worker).
+    pub jobs: usize,
+    /// JSONL journal to append completed cells to (`None` disables).
+    pub journal: Option<PathBuf>,
+    /// Skip cells already present in the journal.
+    pub resume: bool,
+}
+
+/// Aggregate result of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Per-cell results, in the same order as [`Sweep::cells`].
+    pub results: Vec<CellResult>,
+    /// Cells executed in this process.
+    pub ran: usize,
+    /// Cells reconstructed from the journal.
+    pub resumed: usize,
+    /// Cells whose outcome is an error (including panics).
+    pub failed: usize,
+    /// Real wall-clock of the whole sweep, seconds.
+    pub wall_secs: f64,
+}
+
+/// A declarative crossbar sweep: an experiment name plus its cells.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// Experiment name (namespaces cell keys in the journal).
+    pub experiment: String,
+    /// The cells, in presentation order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl Sweep {
+    /// An empty sweep for `experiment`.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        Sweep {
+            experiment: experiment.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Appends a cell.
+    pub fn push(&mut self, cell: SweepCell) {
+        self.cells.push(cell);
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the sweep has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Runs the sweep (see [`Sweep::run_with_progress`]).
+    pub fn run(&self, opts: &SweepOptions, cache: &WorkloadCache) -> SweepReport {
+        self.run_with_progress(opts, cache, |_, _, _| {})
+    }
+
+    /// Runs every cell across `opts.jobs` worker threads, journaling and
+    /// resuming per `opts`, invoking `progress(index, cell, result)` as
+    /// each cell completes (from worker threads, unordered). Results come
+    /// back in cell order regardless of scheduling.
+    pub fn run_with_progress(
+        &self,
+        opts: &SweepOptions,
+        cache: &WorkloadCache,
+        progress: impl Fn(usize, &SweepCell, &CellResult) + Sync,
+    ) -> SweepReport {
+        let t0 = Instant::now();
+        let journaled = match (&opts.journal, opts.resume) {
+            (Some(path), true) => load_journal(path),
+            _ => HashMap::new(),
+        };
+
+        let mut results: Vec<Option<CellResult>> = vec![None; self.cells.len()];
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            match journaled.get(&cell.key(&self.experiment)) {
+                Some(outcome) => {
+                    let r = CellResult {
+                        status: CellStatus::Resumed,
+                        outcome: outcome.clone(),
+                        wall_secs: 0.0,
+                    };
+                    progress(i, cell, &r);
+                    results[i] = Some(r);
+                }
+                None => pending.push(i),
+            }
+        }
+
+        let writer = opts.journal.as_ref().and_then(|path| {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                Ok(f) => Some(Mutex::new(f)),
+                Err(e) => {
+                    eprintln!("warning: cannot open journal {}: {e}", path.display());
+                    None
+                }
+            }
+        });
+
+        let results = Mutex::new(results);
+        if !pending.is_empty() {
+            let cursor = AtomicUsize::new(0);
+            let workers = opts.jobs.max(1).min(pending.len());
+            let (pending, progress, results, writer) = (&pending, &progress, &results, &writer);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let n = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = pending.get(n) else { break };
+                        let cell = &self.cells[i];
+                        let t = Instant::now();
+                        let outcome = execute_cell(cell, cache);
+                        let r = CellResult {
+                            status: CellStatus::Ran,
+                            outcome,
+                            wall_secs: t.elapsed().as_secs_f64(),
+                        };
+                        if let Some(w) = writer {
+                            let line = journal_line(&self.experiment, cell, &r);
+                            let mut f = w.lock().unwrap();
+                            // line-buffered with an immediate flush so a
+                            // killed run loses at most the in-flight cell
+                            let _ = f.write_all(line.as_bytes()).and_then(|_| f.flush());
+                        }
+                        progress(i, cell, &r);
+                        results.lock().unwrap()[i] = Some(r);
+                    });
+                }
+            });
+        }
+
+        let results: Vec<CellResult> = results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every cell produced a result"))
+            .collect();
+        let ran = results
+            .iter()
+            .filter(|r| r.status == CellStatus::Ran)
+            .count();
+        let resumed = results.len() - ran;
+        let failed = results.iter().filter(|r| r.outcome.is_err()).count();
+        SweepReport {
+            results,
+            ran,
+            resumed,
+            failed,
+            wall_secs: t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Runs one cell with panic isolation and the cell's work scale.
+fn execute_cell(cell: &SweepCell, cache: &WorkloadCache) -> Result<RunOutcome, CellError> {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let wl = cache.get(&cell.spec);
+        with_work_scale(cell.factor, || {
+            run_benchmark(
+                cell.algorithm,
+                cell.framework,
+                &wl,
+                cell.nodes,
+                &cell.params,
+            )
+        })
+    }));
+    match caught {
+        Ok(Ok(outcome)) => Ok(outcome),
+        Ok(Err(sim_err)) => Err(sim_err.into()),
+        Err(payload) => Err(CellError::Panicked(panic_message(&payload))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "engine panicked".to_string()
+    }
+}
+
+fn fnv1a64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// JSONL journal
+//
+// One flat JSON object per line. Successful cells carry the digest and
+// the *complete* RunReport (fig6 consumes utilization/traffic/memory,
+// not just seconds), with f64s in shortest-round-trip form so resumed
+// CSVs are byte-identical. Failed cells carry kind + message so resumed
+// runs reproduce the paper's OOM / n/a annotations without re-failing.
+// ---------------------------------------------------------------------
+
+fn esc_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `{:?}` on finite f64 is shortest-round-trip; non-finite values are
+/// quoted so every line stays valid JSON.
+fn f64_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        format!("\"{v:?}\"")
+    }
+}
+
+fn journal_line(experiment: &str, cell: &SweepCell, result: &CellResult) -> String {
+    let mut s = format!(
+        "{{\"key\":\"{:016x}\",\"experiment\":\"{}\",\"label\":\"{}\",\"algorithm\":\"{}\",\"framework\":\"{}\",\"spec\":\"{}\",\"nodes\":{},\"factor\":{}",
+        cell.key(experiment),
+        esc_json(experiment),
+        esc_json(&cell.label),
+        cell.algorithm.name(),
+        cell.framework.name(),
+        esc_json(&cell.spec.key()),
+        cell.nodes,
+        f64_json(cell.factor),
+    );
+    match &result.outcome {
+        Ok(out) => {
+            let r = &out.report;
+            s.push_str(&format!(
+                ",\"status\":\"done\",\"digest\":{},\"sim_seconds\":{},\"steps\":{},\"iterations\":{},\"run_nodes\":{},\"cpu_utilization\":{},\"peak_mem_bytes\":{},\"compute_seconds\":{},\"comm_seconds\":{},\"bytes_sent\":{},\"messages\":{},\"bytes_uncompressed\":{},\"peak_bw_bps\":{},\"traffic_steps\":{},\"seq_bytes\":{},\"rand_accesses\":{},\"flops\":{}",
+                f64_json(out.digest),
+                f64_json(r.sim_seconds),
+                r.steps,
+                r.iterations,
+                r.nodes,
+                f64_json(r.cpu_utilization),
+                r.peak_mem_bytes,
+                f64_json(r.compute_seconds),
+                f64_json(r.comm_seconds),
+                r.traffic.bytes_sent,
+                r.traffic.messages,
+                r.traffic.bytes_uncompressed,
+                f64_json(r.traffic.peak_bw_bps),
+                r.traffic.steps,
+                r.total_work.seq_bytes,
+                r.total_work.rand_accesses,
+                r.total_work.flops,
+            ));
+        }
+        Err(e) => {
+            s.push_str(&format!(
+                ",\"status\":\"failed\",\"error_kind\":\"{}\",\"error\":\"{}\"",
+                e.kind(),
+                esc_json(e.message()),
+            ));
+        }
+    }
+    s.push_str(&format!(
+        ",\"wall_secs\":{}}}\n",
+        f64_json(result.wall_secs)
+    ));
+    s
+}
+
+/// Parses one flat JSON object into raw key → value strings (string
+/// values unescaped, numbers/barewords verbatim). Returns `None` on any
+/// malformed input — a torn final line from a killed run is skipped, not
+/// fatal.
+fn parse_flat_json(line: &str) -> Option<HashMap<String, String>> {
+    let b = line.trim().as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |b: &[u8], i: &mut usize| {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let parse_string = |b: &[u8], i: &mut usize| -> Option<String> {
+        if b.get(*i) != Some(&b'"') {
+            return None;
+        }
+        *i += 1;
+        let mut out = String::new();
+        while *i < b.len() {
+            match b[*i] {
+                b'"' => {
+                    *i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    *i += 1;
+                    match b.get(*i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(b.get(*i + 1..*i + 5)?).ok()?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            *i += 4;
+                        }
+                        _ => return None,
+                    }
+                    *i += 1;
+                }
+                c if c < 0x80 => {
+                    out.push(c as char);
+                    *i += 1;
+                }
+                _ => {
+                    // multi-byte UTF-8: copy the full scalar
+                    let s = std::str::from_utf8(&b[*i..]).ok()?;
+                    let ch = s.chars().next()?;
+                    out.push(ch);
+                    *i += ch.len_utf8();
+                }
+            }
+        }
+        None
+    };
+    let parse_bare = |b: &[u8], i: &mut usize| -> String {
+        let start = *i;
+        while *i < b.len() && !matches!(b[*i], b',' | b'}') && !b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+        String::from_utf8_lossy(&b[start..*i]).into_owned()
+    };
+
+    skip_ws(b, &mut i);
+    if b.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    let mut map = HashMap::new();
+    loop {
+        skip_ws(b, &mut i);
+        if b.get(i) == Some(&b'}') {
+            return Some(map);
+        }
+        let key = parse_string(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if b.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        skip_ws(b, &mut i);
+        let value = if b.get(i) == Some(&b'"') {
+            parse_string(b, &mut i)?
+        } else {
+            parse_bare(b, &mut i)
+        };
+        map.insert(key, value);
+        skip_ws(b, &mut i);
+        match b.get(i) {
+            Some(&b',') => i += 1,
+            Some(&b'}') => return Some(map),
+            _ => return None,
+        }
+    }
+}
+
+fn entry_outcome(m: &HashMap<String, String>) -> Option<Result<RunOutcome, CellError>> {
+    let f = |k: &str| -> Option<f64> { m.get(k)?.parse::<f64>().ok() };
+    let u = |k: &str| -> Option<u64> { m.get(k)?.parse::<u64>().ok() };
+    match m.get("status")?.as_str() {
+        "done" => {
+            let report = RunReport {
+                sim_seconds: f("sim_seconds")?,
+                steps: u("steps")? as u32,
+                iterations: u("iterations")? as u32,
+                nodes: u("run_nodes")? as usize,
+                cpu_utilization: f("cpu_utilization")?,
+                peak_mem_bytes: u("peak_mem_bytes")?,
+                compute_seconds: f("compute_seconds")?,
+                comm_seconds: f("comm_seconds")?,
+                traffic: TrafficStats {
+                    bytes_sent: u("bytes_sent")?,
+                    messages: u("messages")?,
+                    bytes_uncompressed: u("bytes_uncompressed")?,
+                    peak_bw_bps: f("peak_bw_bps")?,
+                    steps: u("traffic_steps")? as u32,
+                },
+                total_work: Work {
+                    seq_bytes: u("seq_bytes")?,
+                    rand_accesses: u("rand_accesses")?,
+                    flops: u("flops")?,
+                },
+            };
+            Some(Ok(RunOutcome {
+                digest: f("digest")?,
+                report,
+            }))
+        }
+        "failed" => Some(Err(CellError::from_kind(
+            m.get("error_kind")?,
+            m.get("error")?.clone(),
+        ))),
+        _ => None,
+    }
+}
+
+/// Loads a journal into `key → outcome`, silently skipping malformed
+/// lines (e.g. the torn last line of a killed run). A missing file is an
+/// empty journal.
+fn load_journal(path: &Path) -> HashMap<u64, Result<RunOutcome, CellError>> {
+    let mut out = HashMap::new();
+    let Ok(body) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    for line in body.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(m) = parse_flat_json(line) else {
+            continue;
+        };
+        let Some(key) = m.get("key").and_then(|k| u64::from_str_radix(k, 16).ok()) else {
+            continue;
+        };
+        if let Some(outcome) = entry_outcome(&m) {
+            out.insert(key, outcome);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cell(fw: Framework, nodes: usize) -> SweepCell {
+        SweepCell {
+            label: "t".into(),
+            algorithm: Algorithm::PageRank,
+            framework: fw,
+            spec: WorkloadSpec::Rmat {
+                scale: 7,
+                edge_factor: 4,
+                seed: 11,
+            },
+            nodes,
+            factor: 1.0,
+            params: BenchParams::default(),
+        }
+    }
+
+    #[test]
+    fn cache_builds_once_and_counts() {
+        let cache = WorkloadCache::new();
+        let spec = WorkloadSpec::Rmat {
+            scale: 6,
+            edge_factor: 4,
+            seed: 1,
+        };
+        let a = cache.get(&spec);
+        let b = cache.get(&spec);
+        assert!(Arc::ptr_eq(&a, &b), "same built workload");
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        cache.get(&WorkloadSpec::Rmat {
+            scale: 6,
+            edge_factor: 4,
+            seed: 2,
+        });
+        assert_eq!(cache.misses(), 2, "different seed is a different workload");
+    }
+
+    #[test]
+    fn cell_keys_are_stable_and_distinguish_params() {
+        let c = small_cell(Framework::Native, 2);
+        assert_eq!(c.key("fig3"), c.key("fig3"), "deterministic");
+        assert_ne!(c.key("fig3"), c.key("fig4"), "experiment namespaces");
+        let mut c2 = c.clone();
+        c2.nodes = 4;
+        assert_ne!(c.key("fig3"), c2.key("fig3"));
+        let mut c3 = c.clone();
+        c3.params.pr_iterations += 1;
+        assert_ne!(c.key("fig3"), c3.key("fig3"));
+        let mut c4 = c.clone();
+        c4.factor = 2.0;
+        assert_ne!(c.key("fig3"), c4.key("fig3"));
+    }
+
+    #[test]
+    fn journal_line_round_trips_success_exactly() {
+        let cell = small_cell(Framework::Native, 2);
+        let outcome = RunOutcome {
+            digest: 1234.567890123,
+            report: RunReport {
+                sim_seconds: 0.1234567890123456,
+                steps: 7,
+                iterations: 5,
+                nodes: 2,
+                cpu_utilization: 0.875,
+                peak_mem_bytes: 123_456_789,
+                compute_seconds: 0.1,
+                comm_seconds: 0.023456789,
+                traffic: TrafficStats {
+                    bytes_sent: 999,
+                    messages: 55,
+                    bytes_uncompressed: 2000,
+                    peak_bw_bps: 1.5e9,
+                    steps: 7,
+                },
+                total_work: Work {
+                    seq_bytes: 1,
+                    rand_accesses: 2,
+                    flops: 3,
+                },
+            },
+        };
+        let r = CellResult {
+            status: CellStatus::Ran,
+            outcome: Ok(outcome.clone()),
+            wall_secs: 0.5,
+        };
+        let line = journal_line("fig9", &cell, &r);
+        let m = parse_flat_json(&line).expect("parses");
+        assert_eq!(m["framework"], "native");
+        let back = entry_outcome(&m).expect("entry").expect("success");
+        assert_eq!(back.digest, outcome.digest);
+        assert_eq!(
+            back.report, outcome.report,
+            "full report round-trips bit-exactly"
+        );
+    }
+
+    #[test]
+    fn journal_line_round_trips_failure() {
+        let cell = small_cell(Framework::Giraph, 4);
+        let err = CellError::OutOfMemory("node 3: wanted 5 GB \"extra\"".into());
+        let r = CellResult {
+            status: CellStatus::Ran,
+            outcome: Err(err.clone()),
+            wall_secs: 0.1,
+        };
+        let line = journal_line("fig9", &cell, &r);
+        let m = parse_flat_json(&line).expect("parses");
+        let back = entry_outcome(&m).expect("entry").expect_err("failure");
+        assert_eq!(back, err);
+    }
+
+    #[test]
+    fn non_finite_floats_survive_the_journal() {
+        let mut outcome = RunOutcome {
+            digest: f64::NAN,
+            report: RunReport::default(),
+        };
+        outcome.report.sim_seconds = f64::INFINITY;
+        let cell = small_cell(Framework::Native, 1);
+        let r = CellResult {
+            status: CellStatus::Ran,
+            outcome: Ok(outcome),
+            wall_secs: 0.0,
+        };
+        let m = parse_flat_json(&journal_line("x", &cell, &r)).expect("parses");
+        let back = entry_outcome(&m).expect("entry").expect("success");
+        assert!(back.digest.is_nan());
+        assert_eq!(back.report.sim_seconds, f64::INFINITY);
+    }
+
+    #[test]
+    fn malformed_journal_lines_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("gm-sweep-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("torn.jsonl");
+        let cell = small_cell(Framework::Native, 1);
+        let good = CellResult {
+            status: CellStatus::Ran,
+            outcome: Err(CellError::InvalidConfig("x".into())),
+            wall_secs: 0.0,
+        };
+        let mut body = journal_line("e", &cell, &good);
+        body.push_str("{\"key\":\"00ff\",\"status\":\"done\",\"digest\":1"); // torn line
+        std::fs::write(&path, body).unwrap();
+        let loaded = load_journal(&path);
+        assert_eq!(loaded.len(), 1);
+        assert!(loaded.contains_key(&cell.key("e")));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -6,6 +6,7 @@
 //! counting, bipartite ratings for CF. A [`Workload`] bundles all the
 //! views so the runner can hand each engine the right one.
 
+use graphmaze_cluster::SimError;
 use graphmaze_datagen::{ratings, rmat, Dataset, RatingsGenConfig, RmatConfig, RmatParams};
 use graphmaze_graph::csr::Csr;
 use graphmaze_graph::{DirectedGraph, EdgeList, RatingsGraph, UndirectedGraph};
@@ -109,6 +110,40 @@ impl Workload {
     pub fn is_ratings(&self) -> bool {
         self.ratings.is_some()
     }
+
+    /// The directed view (PageRank), or [`SimError::InvalidConfig`] when
+    /// this workload doesn't carry one.
+    pub fn directed(&self) -> Result<&DirectedGraph, SimError> {
+        self.directed
+            .as_ref()
+            .ok_or_else(|| self.missing_view("directed"))
+    }
+
+    /// The symmetrized view (BFS), or [`SimError::InvalidConfig`].
+    pub fn undirected(&self) -> Result<&UndirectedGraph, SimError> {
+        self.undirected
+            .as_ref()
+            .ok_or_else(|| self.missing_view("undirected"))
+    }
+
+    /// The DAG-oriented view (triangle counting), or
+    /// [`SimError::InvalidConfig`].
+    pub fn oriented(&self) -> Result<&Csr, SimError> {
+        self.oriented
+            .as_ref()
+            .ok_or_else(|| self.missing_view("oriented"))
+    }
+
+    /// The bipartite ratings (CF), or [`SimError::InvalidConfig`].
+    pub fn ratings(&self) -> Result<&RatingsGraph, SimError> {
+        self.ratings
+            .as_ref()
+            .ok_or_else(|| self.missing_view("ratings"))
+    }
+
+    fn missing_view(&self, view: &str) -> SimError {
+        SimError::InvalidConfig(format!("workload '{}' has no {view} graph", self.name))
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +168,22 @@ mod tests {
         assert!(wl.is_ratings());
         assert!(wl.directed.is_none());
         assert!(wl.ratings.as_ref().unwrap().num_ratings() > 0);
+    }
+
+    #[test]
+    fn fallible_accessors_mirror_the_option_fields() {
+        let wl = Workload::rmat(8, 4, 3);
+        assert!(wl.directed().is_ok());
+        assert!(wl.undirected().is_ok());
+        assert!(wl.oriented().is_ok());
+        let err = wl.ratings().unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+        assert!(err.to_string().contains("ratings"), "{err}");
+        assert!(err.to_string().contains(&wl.name), "{err}");
+
+        let wl = Workload::rmat_ratings(9, 64, 3);
+        assert!(wl.ratings().is_ok());
+        assert!(matches!(wl.directed(), Err(SimError::InvalidConfig(_))));
     }
 
     #[test]

@@ -16,7 +16,10 @@ use crate::rmat::splitmix64_pub as splitmix64;
 /// [`EdgeList`] passes). Deterministic for a given seed.
 pub fn generate(num_vertices: u64, num_edges: u64, seed: u64) -> EdgeList {
     assert!(num_vertices > 0, "need at least one vertex");
-    assert!(num_vertices <= u64::from(u32::MAX), "vertex ids must fit u32");
+    assert!(
+        num_vertices <= u64::from(u32::MAX),
+        "vertex ids must fit u32"
+    );
     let mut rng = SmallRng::seed_from_u64(splitmix64(seed));
     let mut edges = Vec::with_capacity(num_edges as usize);
     for _ in 0..num_edges {

@@ -148,12 +148,7 @@ impl Dataset {
 
     /// Generates the graph stand-in scaled down by `2^scale_down` with the
     /// given RMAT parameter family. Panics for bipartite datasets.
-    pub fn generate_graph_with(
-        &self,
-        scale_down: u32,
-        params: RmatParams,
-        seed: u64,
-    ) -> EdgeList {
+    pub fn generate_graph_with(&self, scale_down: u32, params: RmatParams, seed: u64) -> EdgeList {
         assert!(!self.bipartite(), "{:?} is a ratings dataset", self);
         let cfg = RmatConfig {
             scale: self.scaled_scale(scale_down),
@@ -199,9 +194,15 @@ mod tests {
         assert_eq!(Dataset::FacebookLike.spec().num_edges, 41_919_708);
         assert_eq!(Dataset::TwitterLike.spec().num_vertices, 61_578_415);
         assert_eq!(Dataset::NetflixLike.spec().num_items, 17_770);
-        assert_eq!(Dataset::Graph500 { scale: 29 }.spec().num_vertices, 536_870_912);
+        assert_eq!(
+            Dataset::Graph500 { scale: 29 }.spec().num_vertices,
+            536_870_912
+        );
         // paper: 8,589,926,431 edges ≈ 16 * 2^29 (raw RMAT before dedup)
-        assert_eq!(Dataset::Graph500 { scale: 29 }.spec().num_edges, 8_589_934_592);
+        assert_eq!(
+            Dataset::Graph500 { scale: 29 }.spec().num_edges,
+            8_589_934_592
+        );
     }
 
     #[test]

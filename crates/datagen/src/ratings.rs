@@ -37,7 +37,13 @@ pub struct RatingsGenConfig {
 impl RatingsGenConfig {
     /// A config following the paper's defaults for a given scale.
     pub fn paper_defaults(scale: u32, num_items: u32, seed: u64) -> Self {
-        RatingsGenConfig { scale, edge_factor: 16, num_items, min_degree: 5, seed }
+        RatingsGenConfig {
+            scale,
+            edge_factor: 16,
+            num_items,
+            min_degree: 5,
+            seed,
+        }
     }
 }
 
@@ -132,7 +138,13 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> RatingsGenConfig {
-        RatingsGenConfig { scale: 12, edge_factor: 16, num_items: 256, min_degree: 5, seed: 99 }
+        RatingsGenConfig {
+            scale: 12,
+            edge_factor: 16,
+            num_items: 256,
+            min_degree: 5,
+            seed: 99,
+        }
     }
 
     #[test]
@@ -148,7 +160,11 @@ mod tests {
             );
         }
         for v in 0..g.num_items() {
-            assert!(g.item_degree(v) >= 5, "item {v} kept with degree {}", g.item_degree(v));
+            assert!(
+                g.item_degree(v) >= 5,
+                "item {v} kept with degree {}",
+                g.item_degree(v)
+            );
         }
     }
 
@@ -164,7 +180,10 @@ mod tests {
     fn mean_rating_netflix_shaped() {
         let g = generate(&small_cfg());
         let mean = g.mean_rating();
-        assert!((3.2..4.1).contains(&mean), "mean rating {mean} outside Netflix-like band");
+        assert!(
+            (3.2..4.1).contains(&mean),
+            "mean rating {mean} outside Netflix-like band"
+        );
     }
 
     #[test]
@@ -187,10 +206,18 @@ mod tests {
         let g = generate(&small_cfg());
         let mut udegs: Vec<u32> = (0..g.num_users()).map(|u| g.user_degree(u)).collect();
         let ustats = graphmaze_graph::degree::DegreeStats::of_degrees(&mut udegs, g.num_ratings());
-        assert!(ustats.gini > 0.25, "user degree gini {} too uniform", ustats.gini);
+        assert!(
+            ustats.gini > 0.25,
+            "user degree gini {} too uniform",
+            ustats.gini
+        );
         let mut idegs: Vec<u32> = (0..g.num_items()).map(|v| g.item_degree(v)).collect();
         let istats = graphmaze_graph::degree::DegreeStats::of_degrees(&mut idegs, g.num_ratings());
-        assert!(istats.gini > 0.05, "item degree gini {} too uniform", istats.gini);
+        assert!(
+            istats.gini > 0.05,
+            "item degree gini {} too uniform",
+            istats.gini
+        );
     }
 
     #[test]

@@ -29,15 +29,27 @@ pub struct RmatParams {
 impl RmatParams {
     /// The Graph500 defaults used by the paper for PageRank/BFS graphs:
     /// `A = 0.57, B = C = 0.19` (§4.1.2).
-    pub const GRAPH500: RmatParams = RmatParams { a: 0.57, b: 0.19, c: 0.19 };
+    pub const GRAPH500: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+    };
 
     /// The paper's triangle-counting parameters, chosen "to reduce the
     /// number of triangles": `A = 0.45, B = C = 0.15`.
-    pub const TRIANGLE: RmatParams = RmatParams { a: 0.45, b: 0.15, c: 0.15 };
+    pub const TRIANGLE: RmatParams = RmatParams {
+        a: 0.45,
+        b: 0.15,
+        c: 0.15,
+    };
 
     /// The paper's ratings-matrix parameters whose degree tail matches the
     /// Netflix dataset: `A = 0.40, B = C = 0.22`.
-    pub const RATINGS: RmatParams = RmatParams { a: 0.40, b: 0.22, c: 0.22 };
+    pub const RATINGS: RmatParams = RmatParams {
+        a: 0.40,
+        b: 0.22,
+        c: 0.22,
+    };
 
     /// The implied bottom-right probability `D = 1 - A - B - C`.
     #[inline]
@@ -185,8 +197,10 @@ pub fn generate(cfg: &RmatConfig) -> EdgeList {
     let nblocks = m.div_ceil(BLOCK);
     {
         let edges_slices: Vec<&mut [(VertexId, VertexId)]> = edges.chunks_mut(BLOCK).collect();
-        let edges_cells: Vec<parking_slot::SliceCell<'_>> =
-            edges_slices.into_iter().map(parking_slot::SliceCell::new).collect();
+        let edges_cells: Vec<parking_slot::SliceCell<'_>> = edges_slices
+            .into_iter()
+            .map(parking_slot::SliceCell::new)
+            .collect();
         par_for_chunks(nblocks, threads, |_, range| {
             for b in range {
                 let mut rng = SmallRng::seed_from_u64(splitmix64(cfg.seed ^ (b as u64) << 1));
@@ -194,7 +208,10 @@ pub fn generate(cfg: &RmatConfig) -> EdgeList {
                 for e in out.iter_mut() {
                     let (s, d) = gen_edge(&mut rng, cfg.scale, cfg.params);
                     let (s, d) = if cfg.scramble_ids {
-                        (scramble(s, cfg.scale, cfg.seed), scramble(d, cfg.scale, cfg.seed))
+                        (
+                            scramble(s, cfg.scale, cfg.seed),
+                            scramble(d, cfg.scale, cfg.seed),
+                        )
                     } else {
                         (s, d)
                     };
@@ -238,12 +255,23 @@ mod tests {
     use graphmaze_graph::degree::{DegreeHistogram, DegreeStats};
 
     fn cfg(scale: u32) -> RmatConfig {
-        RmatConfig { scale, edge_factor: 8, params: RmatParams::GRAPH500, seed: 42, scramble_ids: false, threads: 2 }
+        RmatConfig {
+            scale,
+            edge_factor: 8,
+            params: RmatParams::GRAPH500,
+            seed: 42,
+            scramble_ids: false,
+            threads: 2,
+        }
     }
 
     #[test]
     fn params_presets_are_valid_distributions() {
-        for p in [RmatParams::GRAPH500, RmatParams::TRIANGLE, RmatParams::RATINGS] {
+        for p in [
+            RmatParams::GRAPH500,
+            RmatParams::TRIANGLE,
+            RmatParams::RATINGS,
+        ] {
             p.validate().unwrap();
             assert!((p.a + p.b + p.c + p.d() - 1.0).abs() < 1e-12);
         }
@@ -251,8 +279,20 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        assert!(RmatParams { a: 0.9, b: 0.9, c: 0.9 }.validate().is_err());
-        assert!(RmatParams { a: -0.1, b: 0.5, c: 0.5 }.validate().is_err());
+        assert!(RmatParams {
+            a: 0.9,
+            b: 0.9,
+            c: 0.9
+        }
+        .validate()
+        .is_err());
+        assert!(RmatParams {
+            a: -0.1,
+            b: 0.5,
+            c: 0.5
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

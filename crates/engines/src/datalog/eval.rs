@@ -42,7 +42,10 @@ impl SocialiteRuntime {
         } else {
             ExecProfile::socialite_unoptimized()
         };
-        SocialiteRuntime { sim: Sim::new(ClusterSpec::paper(nodes), profile), nodes }
+        SocialiteRuntime {
+            sim: Sim::new(ClusterSpec::paper(nodes), profile),
+            nodes,
+        }
     }
 
     /// Number of shards/nodes.
@@ -69,7 +72,11 @@ impl SocialiteRuntime {
         agg: Agg,
         tuple_bytes: u64,
     ) -> Vec<VertexId> {
-        assert_eq!(contribs.len(), self.nodes, "one contribution list per shard");
+        assert_eq!(
+            contribs.len(),
+            self.nodes,
+            "one contribution list per shard"
+        );
         let mut delta = Vec::new();
         // meter shipping: per (src shard, dst shard) batch
         for (src, tuples) in contribs.iter().enumerate() {
@@ -140,7 +147,10 @@ mod tests {
     fn runtime_and_table(nodes: usize) -> (SocialiteRuntime, VertexTable<f64>) {
         let csr = Csr::from_edges(8, &[(0, 1), (2, 3), (4, 5), (6, 7)]);
         let shards = Partition1D::balanced_by_edges(&csr, nodes);
-        (SocialiteRuntime::new(nodes, true), VertexTable::new(8, 0.0, shards))
+        (
+            SocialiteRuntime::new(nodes, true),
+            VertexTable::new(8, 0.0, shards),
+        )
     }
 
     #[test]

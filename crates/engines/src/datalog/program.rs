@@ -135,7 +135,10 @@ mod tests {
     use graphmaze_graph::csr::Csr;
 
     fn fig2_edges(nodes: usize) -> EdgeTable {
-        EdgeTable::new(Csr::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]), nodes)
+        EdgeTable::new(
+            Csr::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]),
+            nodes,
+        )
     }
 
     #[test]
@@ -170,7 +173,10 @@ mod tests {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
         let rep = rt.finish();
-        assert!(rep.traffic.bytes_sent > 0, "cross-shard head updates must ship");
+        assert!(
+            rep.traffic.bytes_sent > 0,
+            "cross-shard head updates must ship"
+        );
     }
 
     #[test]
@@ -182,7 +188,11 @@ mod tests {
         let mut rt = SocialiteRuntime::new(2, true);
         let mut head = VertexTable::from_values(vec![f64::INFINITY; 5], shards);
         *head.get_mut(0) = 0.0;
-        let rule = Rule { agg: Agg::Min, expr: ValueExpr::SrcPlus(1.0), tuple_bytes: 12 };
+        let rule = Rule {
+            agg: Agg::Min,
+            expr: ValueExpr::SrcPlus(1.0),
+            tuple_bytes: 12,
+        };
         let rounds = eval_recursive(&mut rt, &rule, &edges, &mut head, vec![0]);
         assert_eq!(rounds, 4, "3 propagation rounds + 1 empty check round");
         assert_eq!(head.values(), &[0.0, 1.0, 2.0, 3.0, f64::INFINITY]);
@@ -197,7 +207,11 @@ mod tests {
         let mut rt = SocialiteRuntime::new(1, true);
         let mut head = VertexTable::from_values(vec![f64::INFINITY; 3], shards);
         *head.get_mut(0) = 0.0;
-        let rule = Rule { agg: Agg::Min, expr: ValueExpr::SrcPlus(1.0), tuple_bytes: 12 };
+        let rule = Rule {
+            agg: Agg::Min,
+            expr: ValueExpr::SrcPlus(1.0),
+            tuple_bytes: 12,
+        };
         let rounds = eval_recursive(&mut rt, &rule, &edges, &mut head, vec![0]);
         assert!(rounds <= 4);
         assert_eq!(head.values(), &[0.0, 1.0, 2.0]);

@@ -65,7 +65,8 @@ pub fn pagerank(
         let mut next = VertexTable::from_values(vec![r; n], shards.clone());
         // scanning RANK + OUTDEG columns
         for node in 0..nodes {
-            rt.sim().charge(node, Work::stream(shards.len(node) as u64 * 16));
+            rt.sim()
+                .charge(node, Work::stream(shards.len(node) as u64 * 16));
         }
         rt.apply_rule_f64(contribs, &mut next, Agg::Sum, 12);
         rank = next;
@@ -142,7 +143,8 @@ pub fn triangles(
     let mut rt = SocialiteRuntime::new(nodes, optimized);
     let edge = EdgeTable::new(oriented.clone(), nodes);
     for node in 0..nodes {
-        rt.sim().alloc(node, edge.shard_bytes(node), "socialite:tables")?;
+        rt.sim()
+            .alloc(node, edge.shard_bytes(node), "socialite:tables")?;
     }
     let shards = edge.shards().clone();
     // ship EDGE[y] lists needed by each shard (dedup per shard)
@@ -194,7 +196,14 @@ pub fn triangles(
             }
         }
         count += local;
-        rt.sim().charge(node, Work { seq_bytes: stream, rand_accesses: 0, flops: stream / 4 });
+        rt.sim().charge(
+            node,
+            Work {
+                seq_bytes: stream,
+                rand_accesses: 0,
+                flops: stream / 4,
+            },
+        );
         // TRIANGLE(0, $INC(1)) head updates reduce to one counter per shard
         if node != 0 {
             rt.sim().send(node, 8, 8, 1);
@@ -304,7 +313,8 @@ pub fn cf_gd(
         // ship aggregated Q-gradients back to item shards
         for node in 0..nodes {
             if q_needed_bytes[node] > 0 {
-                rt.sim().send(node, q_needed_bytes[node], q_needed_bytes[node], 1);
+                rt.sim()
+                    .send(node, q_needed_bytes[node], q_needed_bytes[node], 1);
             }
         }
         for (qi, gi) in q.iter_mut().zip(&grad_q) {

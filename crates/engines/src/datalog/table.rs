@@ -22,7 +22,10 @@ impl<T: Clone> VertexTable<T> {
     /// Creates a table of `n` rows initialized to `init`, sharded to
     /// match `shards`.
     pub fn new(n: usize, init: T, shards: Partition1D) -> Self {
-        VertexTable { values: vec![init; n], shards }
+        VertexTable {
+            values: vec![init; n],
+            shards,
+        }
     }
 
     /// Creates from existing values.

@@ -1,3 +1,5 @@
+#![allow(clippy::needless_range_loop)] // per-node kernels index several parallel arrays by the same id
+
 //! # graphmaze-engines
 //!
 //! Re-implementations of the five graph-framework **programming models**

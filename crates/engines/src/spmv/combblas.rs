@@ -184,7 +184,10 @@ pub fn cf_gd(
     let mut sim = new_sim(nodes);
     alloc_matrix(&mut sim, &m, "combblas:R")?;
     // dense factor vectors (K per side)
-    sim.alloc_all(((nu + nv) * k * 8) as u64 / nodes as u64 + 1, "combblas:factors")?;
+    sim.alloc_all(
+        ((nu + nv) * k * 8) as u64 / nodes as u64 + 1,
+        "combblas:factors",
+    )?;
 
     let init = |i: usize, j: usize, salt: u64| -> f64 {
         let x = (i as u64 * 131 + j as u64 + salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -255,9 +258,19 @@ fn charge_k_spmv_passes(sim: &mut Sim, m: &DistMatrix<'_>, k: usize, nnz: u64, n
         for p in 0..nodes {
             let (r, c) = grid.coords(p);
             if r == c {
-                sim.send(p, x_seg * (grid.pr as u64 - 1), x_seg * (grid.pr as u64 - 1), k as u64);
+                sim.send(
+                    p,
+                    x_seg * (grid.pr as u64 - 1),
+                    x_seg * (grid.pr as u64 - 1),
+                    k as u64,
+                );
             } else {
-                sim.send(p, grid.rows_per_block() * 8 * k as u64, grid.rows_per_block() * 8 * k as u64, k as u64);
+                sim.send(
+                    p,
+                    grid.rows_per_block() * 8 * k as u64,
+                    grid.rows_per_block() * 8 * k as u64,
+                    k as u64,
+                );
             }
         }
     }
@@ -359,7 +372,10 @@ mod tests {
         let el = rmat_el(10, 45);
         let oriented = orient_and_sort(&el);
         let mut spec = ClusterSpec::paper(4);
-        spec.hw = HardwareSpec { mem_capacity_bytes: 16 << 10, ..spec.hw };
+        spec.hw = HardwareSpec {
+            mem_capacity_bytes: 16 << 10,
+            ..spec.hw
+        };
         match triangles_on(&oriented, 4, spec) {
             Err(SimError::OutOfMemory(o)) => {
                 assert!(o.label.contains("A2") || o.label.contains("combblas"));

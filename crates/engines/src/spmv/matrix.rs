@@ -37,7 +37,10 @@ impl<'a> DistMatrix<'a> {
     /// counts per node (§4.3); this is the equivalent placement for node
     /// counts like 2, 8, 32.
     pub fn new_nearly_square(csr: &'a Csr, nodes: usize) -> Self {
-        Self::on_grid(csr, Partition2D::nearly_square(nodes, csr.num_vertices() as u64))
+        Self::on_grid(
+            csr,
+            Partition2D::nearly_square(nodes, csr.num_vertices() as u64),
+        )
     }
 
     fn on_grid(csr: &'a Csr, grid: Partition2D) -> Self {
@@ -47,7 +50,11 @@ impl<'a> DistMatrix<'a> {
                 block_nnz[grid.owner(u, v)] += 1;
             }
         }
-        DistMatrix { csr, grid, block_nnz }
+        DistMatrix {
+            csr,
+            grid,
+            block_nnz,
+        }
     }
 
     /// The underlying CSR.
@@ -94,7 +101,12 @@ impl<'a> DistMatrix<'a> {
             let (r, c) = self.grid.coords(p);
             // column broadcast originates at the diagonal process
             if r == c {
-                sim.send(p, x_seg * (pr as u64 - 1), x_seg * (pr as u64 - 1), (pr - 1) as u64);
+                sim.send(
+                    p,
+                    x_seg * (pr as u64 - 1),
+                    x_seg * (pr as u64 - 1),
+                    (pr - 1) as u64,
+                );
             }
             // row reduction: off-diagonal processes send partial y
             if r != c {
@@ -177,7 +189,11 @@ impl<'a> DistMatrix<'a> {
         for (p, &e) in per_block_edges.iter().enumerate() {
             sim.charge(
                 p,
-                Work { seq_bytes: e * (4 + elem_bytes), rand_accesses: e, flops: e * 2 },
+                Work {
+                    seq_bytes: e * (4 + elem_bytes),
+                    rand_accesses: e,
+                    flops: e * 2,
+                },
             );
         }
         // frontier broadcast + sparse result exchange
@@ -243,7 +259,14 @@ impl<'a> DistMatrix<'a> {
             }
         }
         for (p, &stream) in per_block_stream.iter().enumerate() {
-            sim.charge(p, Work { seq_bytes: stream, rand_accesses: 0, flops: stream / 4 });
+            sim.charge(
+                p,
+                Work {
+                    seq_bytes: stream,
+                    rand_accesses: 0,
+                    flops: stream / 4,
+                },
+            );
             // SUMMA block circulation still happens, overlapped with the
             // intersection work (charged as traffic only)
             if self.grid.nodes() > 1 {

@@ -23,8 +23,11 @@ impl<T: Copy> Semiring<T> {
 }
 
 /// The arithmetic `(+, ×)` semiring over `f64` (PageRank, CF).
-pub const PLUS_TIMES: Semiring<f64> =
-    Semiring { zero: 0.0, add: |a, b| a + b, mul: |a, b| a * b };
+pub const PLUS_TIMES: Semiring<f64> = Semiring {
+    zero: 0.0,
+    add: |a, b| a + b,
+    mul: |a, b| a * b,
+};
 
 /// The `(min, +)` tropical semiring over `u32` distances, with `u32::MAX`
 /// as zero (BFS level propagation).
@@ -35,8 +38,11 @@ pub const MIN_PLUS: Semiring<u32> = Semiring {
 };
 
 /// The counting semiring over `u64` (path counting / SpGEMM for TC).
-pub const PLUS_TIMES_U64: Semiring<u64> =
-    Semiring { zero: 0, add: |a, b| a + b, mul: |a, b| a * b };
+pub const PLUS_TIMES_U64: Semiring<u64> = Semiring {
+    zero: 0,
+    add: |a, b| a + b,
+    mul: |a, b| a * b,
+};
 
 #[cfg(test)]
 mod tests {
@@ -66,7 +72,10 @@ mod tests {
                     assert_eq!((s.add)((s.add)(a, b), c), (s.add)(a, (s.add)(b, c)));
                     assert_eq!((s.mul)((s.mul)(a, b), c), (s.mul)(a, (s.mul)(b, c)));
                     // distributivity
-                    assert_eq!((s.mul)(a, (s.add)(b, c)), (s.add)((s.mul)(a, b), (s.mul)(a, c)));
+                    assert_eq!(
+                        (s.mul)(a, (s.add)(b, c)),
+                        (s.add)((s.mul)(a, b), (s.mul)(a, c))
+                    );
                 }
             }
         }

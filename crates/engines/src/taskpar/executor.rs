@@ -21,7 +21,12 @@ pub struct BulkSyncExecutor<T> {
 impl<T> BulkSyncExecutor<T> {
     /// Seeds the executor with initial work items.
     pub fn new(initial: Vec<T>) -> Self {
-        BulkSyncExecutor { current: initial, next: Vec::new(), rounds: 0, items_processed: 0 }
+        BulkSyncExecutor {
+            current: initial,
+            next: Vec::new(),
+            rounds: 0,
+            items_processed: 0,
+        }
     }
 
     /// Runs until no work remains. `body(item, push)` processes one item
@@ -129,13 +134,7 @@ mod tests {
 
     #[test]
     fn foreach_parallel_reduces() {
-        let total = for_each_parallel(
-            1000,
-            4,
-            || 0u64,
-            |i, acc| *acc += i as u64,
-            |a, b| a + b,
-        );
+        let total = for_each_parallel(1000, 4, || 0u64, |i, acc| *acc += i as u64, |a, b| a + b);
         assert_eq!(total, 999 * 1000 / 2);
     }
 }

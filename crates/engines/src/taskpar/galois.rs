@@ -42,8 +42,12 @@ pub fn pagerank(
         let scaled_ref = &scaled;
         let next: Vec<f64> = (0..n)
             .map(|i| {
-                let acc: f64 =
-                    g.inn.neighbors(i as VertexId).iter().map(|&j| scaled_ref[j as usize]).sum();
+                let acc: f64 = g
+                    .inn
+                    .neighbors(i as VertexId)
+                    .iter()
+                    .map(|&j| scaled_ref[j as usize])
+                    .sum();
                 r + (1.0 - r) * acc
             })
             .collect();
@@ -301,7 +305,13 @@ mod tests {
             min_degree: 3,
             seed: 65,
         });
-        let cfg = CfConfig { k: 4, lambda: 0.05, gamma0: 0.02, step_decay: 0.98, seed: 9 };
+        let cfg = CfConfig {
+            k: 4,
+            lambda: 0.05,
+            gamma0: 0.02,
+            step_decay: 0.98,
+            seed: 9,
+        };
         let (_, hist, rep) = cf_sgd(&g, &cfg, 5, 1).unwrap();
         assert!(hist[4] < hist[0]);
         assert_eq!(rep.iterations, 5);
@@ -319,7 +329,13 @@ mod tests {
             min_degree: 3,
             seed: 66,
         });
-        let cfg = CfConfig { k: 4, lambda: 0.05, gamma0: 0.02, step_decay: 0.98, seed: 9 };
+        let cfg = CfConfig {
+            k: 4,
+            lambda: 0.05,
+            gamma0: 0.02,
+            step_decay: 0.98,
+            seed: 9,
+        };
         let p_blocks = graphmaze_graph::par::default_threads().clamp(2, 8);
         let (native_f, _) = graphmaze_native::cf::sgd(&g, &cfg, 3, p_blocks);
         let (galois_f, _, _) = cf_sgd(&g, &cfg, 3, 1).unwrap();
@@ -341,6 +357,9 @@ mod tests {
         .unwrap();
         let (_, galois_rep) = pagerank(&g, PAGERANK_R, 5, 1).unwrap();
         let slowdown = galois_rep.slowdown_vs(&native_rep);
-        assert!(slowdown > 1.0 && slowdown < 3.0, "Galois slowdown {slowdown}");
+        assert!(
+            slowdown > 1.0 && slowdown < 3.0,
+            "Galois slowdown {slowdown}"
+        );
     }
 }

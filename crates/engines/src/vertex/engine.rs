@@ -57,9 +57,7 @@ impl VertexGraphView<'_> {
     pub fn edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f32)> + '_ {
         let lo = self.out.offsets()[v as usize] as usize;
         let hi = self.out.offsets()[v as usize + 1] as usize;
-        (lo..hi).map(move |i| {
-            (self.out.targets()[i], self.weights.map_or(0.0, |w| w[i]))
-        })
+        (lo..hi).map(move |i| (self.out.targets()[i], self.weights.map_or(0.0, |w| w[i])))
     }
 }
 
@@ -76,7 +74,12 @@ pub struct VertexContext<M> {
 
 impl<M> VertexContext<M> {
     fn new(prev_aggregate: f64) -> Self {
-        VertexContext { outgoing: Vec::new(), halt: false, aggregate: 0.0, prev_aggregate }
+        VertexContext {
+            outgoing: Vec::new(),
+            halt: false,
+            aggregate: 0.0,
+            prev_aggregate,
+        }
     }
 
     /// Sends `msg` to vertex `to`, delivered next superstep.
@@ -202,7 +205,10 @@ pub fn run<P: VertexProgram>(
     }
     let mut sim = Sim::new(ClusterSpec::paper(nodes), cfg.profile);
     let part = Partition1D::balanced_by_edges(out_csr, nodes);
-    let view = VertexGraphView { out: out_csr, weights };
+    let view = VertexGraphView {
+        out: out_csr,
+        weights,
+    };
 
     // static allocations: graph slice + values
     for node in 0..nodes {
@@ -217,9 +223,7 @@ pub fn run<P: VertexProgram>(
         let avg = out_csr.num_edges() as f64 / n.max(1) as f64;
         (avg * f).max(1.0) as u32
     });
-    let is_hub = |v: VertexId| -> bool {
-        hub_threshold.is_some_and(|t| out_csr.degree(v) >= t)
-    };
+    let is_hub = |v: VertexId| -> bool { hub_threshold.is_some_and(|t| out_csr.degree(v) >= t) };
 
     let mut inbox: Vec<Vec<P::Msg>> = (0..n).map(|_| Vec::new()).collect();
     for (v, m) in initial_msgs {
@@ -274,7 +278,14 @@ pub fn run<P: VertexProgram>(
                     }
                     recv_msgs += msgs.len() as u64;
                     let mut ctx = VertexContext::new(prev_aggregate);
-                    program.compute(superstep, v, &mut values[v as usize], &msgs, &view, &mut ctx);
+                    program.compute(
+                        superstep,
+                        v,
+                        &mut values[v as usize],
+                        &msgs,
+                        &view,
+                        &mut ctx,
+                    );
                     aggregate_acc += ctx.aggregate;
                     if ctx.halt {
                         active[v as usize] = false;
@@ -310,8 +321,7 @@ pub fn run<P: VertexProgram>(
                     // emission cost is paid per *original* message — the
                     // combiner itself streams and hashes every message it
                     // folds (local reduction is work, not magic)
-                    let pre_bytes: u64 =
-                        buf.iter().map(|(_, m)| program.message_bytes(m)).sum();
+                    let pre_bytes: u64 = buf.iter().map(|(_, m)| program.message_bytes(m)).sum();
                     let pre_count = buf.len() as u64;
                     sent_bytes_local += pre_bytes;
                     sim.charge(node, Work::random(pre_count));
@@ -332,8 +342,7 @@ pub fn run<P: VertexProgram>(
                         }
                         *buf = combined;
                     }
-                    let payload: u64 =
-                        buf.iter().map(|(_, m)| program.message_bytes(m)).sum();
+                    let payload: u64 = buf.iter().map(|(_, m)| program.message_bytes(m)).sum();
                     let count = buf.len() as u64;
                     let raw = payload + count * 4;
                     let bytes = if cfg.compress_ids && dest_node != node {
@@ -342,8 +351,7 @@ pub fn run<P: VertexProgram>(
                         let mut ids: Vec<VertexId> = buf.iter().map(|(d, _)| *d).collect();
                         ids.sort_unstable();
                         ids.dedup();
-                        let encoded =
-                            graphmaze_cluster::compress::encode_best(&ids, n as u64);
+                        let encoded = graphmaze_cluster::compress::encode_best(&ids, n as u64);
                         // duplicate dst ids (no combiner) still need a
                         // 1-byte run marker each
                         payload + encoded.len() as u64 + (count - ids.len() as u64)
@@ -375,9 +383,7 @@ pub fn run<P: VertexProgram>(
                 sim.charge(node, w);
                 // buffering memory
                 let buffered = if cfg.buffer_whole_superstep {
-                    recv_bytes
-                        + sent_bytes_local
-                        + recv_msgs * cfg.per_message_overhead_bytes
+                    recv_bytes + sent_bytes_local + recv_msgs * cfg.per_message_overhead_bytes
                 } else {
                     (recv_bytes + sent_bytes_local) / STREAM_PHASES + 1
                 };
@@ -405,7 +411,9 @@ pub fn run<P: VertexProgram>(
             }
         }
         superstep += 1;
-        if iterations_per_superstep_group > 0 && superstep % iterations_per_superstep_group == 0 {
+        if iterations_per_superstep_group > 0
+            && superstep.is_multiple_of(iterations_per_superstep_group)
+        {
             sim.end_iteration();
         }
         if !any_message && active.iter().all(|&a| !a) {
@@ -473,9 +481,18 @@ mod tests {
         // Figure 2 graph: in-degrees 0,1,2,2
         let csr = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
         for nodes in [1, 2, 4] {
-            let (values, report) =
-                run(&csr, None, &CountIncoming, vec![0u32; 4], vec![], true, &engine_cfg(), nodes, 1)
-                    .unwrap();
+            let (values, report) = run(
+                &csr,
+                None,
+                &CountIncoming,
+                vec![0u32; 4],
+                vec![],
+                true,
+                &engine_cfg(),
+                nodes,
+                1,
+            )
+            .unwrap();
             assert_eq!(values, vec![0, 1, 2, 2], "nodes={nodes}");
             assert!(report.steps >= 2);
         }
@@ -484,8 +501,18 @@ mod tests {
     #[test]
     fn halting_terminates_early() {
         let csr = Csr::from_edges(3, &[(0, 1), (1, 2)]);
-        let (_, report) =
-            run(&csr, None, &CountIncoming, vec![0u32; 3], vec![], true, &engine_cfg(), 2, 1).unwrap();
+        let (_, report) = run(
+            &csr,
+            None,
+            &CountIncoming,
+            vec![0u32; 3],
+            vec![],
+            true,
+            &engine_cfg(),
+            2,
+            1,
+        )
+        .unwrap();
         // flood, deliver, then quiesce well before max_supersteps
         assert!(report.steps < 10, "steps {}", report.steps);
     }
@@ -537,9 +564,30 @@ mod tests {
         with.use_combiner = true;
         let mut without = engine_cfg();
         without.use_combiner = false;
-        let (va, ra) = run(&csr, None, &SumFlood, vec![0u64; 100], vec![], true, &with, 4, 1).unwrap();
-        let (vb, rb) =
-            run(&csr, None, &SumFlood, vec![0u64; 100], vec![], true, &without, 4, 1).unwrap();
+        let (va, ra) = run(
+            &csr,
+            None,
+            &SumFlood,
+            vec![0u64; 100],
+            vec![],
+            true,
+            &with,
+            4,
+            1,
+        )
+        .unwrap();
+        let (vb, rb) = run(
+            &csr,
+            None,
+            &SumFlood,
+            vec![0u64; 100],
+            vec![],
+            true,
+            &without,
+            4,
+            1,
+        )
+        .unwrap();
         assert_eq!(va, vb);
         assert_eq!(va[99], (1..=50).sum::<u64>());
         assert!(
@@ -552,15 +600,39 @@ mod tests {
 
     #[test]
     fn superstep_splitting_keeps_results_but_lowers_buffer() {
-        let edges: Vec<(u32, u32)> = (0..64u32).flat_map(|i| [(i, (i + 1) % 64), (i, (i + 7) % 64)]).collect();
+        let edges: Vec<(u32, u32)> = (0..64u32)
+            .flat_map(|i| [(i, (i + 1) % 64), (i, (i + 7) % 64)])
+            .collect();
         let csr = Csr::from_edges(64, &edges);
         let mut whole = engine_cfg();
         whole.buffer_whole_superstep = true;
         whole.per_message_overhead_bytes = 48;
         let mut split = whole;
         split.superstep_splits = 8;
-        let (va, ra) = run(&csr, None, &SumFlood, vec![0u64; 64], vec![], true, &whole, 2, 1).unwrap();
-        let (vb, rb) = run(&csr, None, &SumFlood, vec![0u64; 64], vec![], true, &split, 2, 1).unwrap();
+        let (va, ra) = run(
+            &csr,
+            None,
+            &SumFlood,
+            vec![0u64; 64],
+            vec![],
+            true,
+            &whole,
+            2,
+            1,
+        )
+        .unwrap();
+        let (vb, rb) = run(
+            &csr,
+            None,
+            &SumFlood,
+            vec![0u64; 64],
+            vec![],
+            true,
+            &split,
+            2,
+            1,
+        )
+        .unwrap();
         assert_eq!(va, vb);
         assert!(rb.steps > ra.steps, "split produces more barriers");
         assert!(
@@ -575,9 +647,18 @@ mod tests {
     fn initial_messages_seed_activity() {
         let csr = Csr::from_edges(3, &[(0, 1), (1, 2)]);
         // only vertex 1 starts active, via an initial message
-        let (values, _) =
-            run(&csr, None, &CountIncoming, vec![0u32; 3], vec![(1, 7)], false, &engine_cfg(), 1, 1)
-                .unwrap();
+        let (values, _) = run(
+            &csr,
+            None,
+            &CountIncoming,
+            vec![0u32; 3],
+            vec![(1, 7)],
+            false,
+            &engine_cfg(),
+            1,
+            1,
+        )
+        .unwrap();
         // vertex 1 counts its initial message; vertex 2 counts the flood from 1
         assert_eq!(values, vec![0, 1, 1]);
     }

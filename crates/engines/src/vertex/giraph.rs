@@ -33,7 +33,7 @@ pub fn config(max_supersteps: u32, splits: u32) -> EngineConfig {
         per_message_overhead_bytes: MESSAGE_OBJECT_OVERHEAD,
         max_supersteps,
         replicate_hubs_factor: None,
-            compress_ids: false, // plain 1-D vertex partitioning
+        compress_ids: false, // plain 1-D vertex partitioning
     }
 }
 
@@ -60,7 +60,17 @@ pub fn pagerank_improved(
 ) -> Result<(Vec<f64>, RunReport), SimError> {
     let prog = PageRankProgram { r, iterations };
     let init = vec![1.0f64; g.num_vertices()];
-    run(&g.out, None, &prog, init, vec![], true, &config_improved(iterations + 2, 1), nodes, 1)
+    run(
+        &g.out,
+        None,
+        &prog,
+        init,
+        vec![],
+        true,
+        &config_improved(iterations + 2, 1),
+        nodes,
+        1,
+    )
 }
 
 /// PageRank on Giraph.
@@ -72,7 +82,17 @@ pub fn pagerank(
 ) -> Result<(Vec<f64>, RunReport), SimError> {
     let prog = PageRankProgram { r, iterations };
     let init = vec![1.0f64; g.num_vertices()];
-    run(&g.out, None, &prog, init, vec![], true, &config(iterations + 2, 1), nodes, 1)
+    run(
+        &g.out,
+        None,
+        &prog,
+        init,
+        vec![],
+        true,
+        &config(iterations + 2, 1),
+        nodes,
+        1,
+    )
 }
 
 /// BFS on Giraph.
@@ -84,7 +104,17 @@ pub fn bfs(
     let mut init = vec![BFS_UNREACHED; g.num_vertices()];
     init[source as usize] = 0;
     let max = g.num_vertices() as u32 + 2;
-    run(&g.adj, None, &BfsProgram, init, vec![(source, 0)], false, &config(max, 1), nodes, 1)
+    run(
+        &g.adj,
+        None,
+        &BfsProgram,
+        init,
+        vec![(source, 0)],
+        false,
+        &config(max, 1),
+        nodes,
+        1,
+    )
 }
 
 /// Triangle counting on Giraph with superstep splitting. `splits = 1`
@@ -127,7 +157,13 @@ pub fn cf_gd(
     splits: u32,
 ) -> Result<(Vec<Vec<f64>>, RunReport), SimError> {
     let (csr, weights) = pack_bipartite(g);
-    let prog = CfGdProgram { num_users: g.num_users(), k, lambda, gamma, iterations };
+    let prog = CfGdProgram {
+        num_users: g.num_users(),
+        k,
+        lambda,
+        gamma,
+        iterations,
+    };
     let init: Vec<Vec<f64>> = (0..csr.num_vertices())
         .map(|i| {
             (0..k)
@@ -197,7 +233,11 @@ mod tests {
         let el = rmat_el(9, 32);
         let g = DirectedGraph::from_edge_list(&el);
         let (_, rep) = pagerank(&g, PAGERANK_R, 5, 4).unwrap();
-        assert!(rep.cpu_utilization <= 4.0 / 24.0 + 1e-9, "util {}", rep.cpu_utilization);
+        assert!(
+            rep.cpu_utilization <= 4.0 / 24.0 + 1e-9,
+            "util {}",
+            rep.cpu_utilization
+        );
     }
 
     #[test]

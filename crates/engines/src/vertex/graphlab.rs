@@ -53,7 +53,17 @@ pub fn pagerank_improved(
 ) -> Result<(Vec<f64>, RunReport), SimError> {
     let prog = PageRankProgram { r, iterations };
     let init = vec![1.0f64; g.num_vertices()];
-    run(&g.out, None, &prog, init, vec![], true, &config_improved(iterations + 2), nodes, 1)
+    run(
+        &g.out,
+        None,
+        &prog,
+        init,
+        vec![],
+        true,
+        &config_improved(iterations + 2),
+        nodes,
+        1,
+    )
 }
 
 /// PageRank as a GraphLab vertex program. Returns ranks (matching the
@@ -66,7 +76,17 @@ pub fn pagerank(
 ) -> Result<(Vec<f64>, RunReport), SimError> {
     let prog = PageRankProgram { r, iterations };
     let init = vec![1.0f64; g.num_vertices()];
-    run(&g.out, None, &prog, init, vec![], true, &config(iterations + 2), nodes, 1)
+    run(
+        &g.out,
+        None,
+        &prog,
+        init,
+        vec![],
+        true,
+        &config(iterations + 2),
+        nodes,
+        1,
+    )
 }
 
 /// BFS as a GraphLab vertex program.
@@ -78,7 +98,17 @@ pub fn bfs(
     let mut init = vec![BFS_UNREACHED; g.num_vertices()];
     init[source as usize] = 0;
     let max = g.num_vertices() as u32 + 2;
-    run(&g.adj, None, &BfsProgram, init, vec![(source, 0)], false, &config(max), nodes, 1)
+    run(
+        &g.adj,
+        None,
+        &BfsProgram,
+        init,
+        vec![(source, 0)],
+        false,
+        &config(max),
+        nodes,
+        1,
+    )
 }
 
 /// Triangle counting as a GraphLab vertex program over a DAG-oriented,
@@ -110,7 +140,13 @@ pub fn cf_gd(
     nodes: usize,
 ) -> Result<(Vec<Vec<f64>>, RunReport), SimError> {
     let (csr, weights) = pack_bipartite(g);
-    let prog = CfGdProgram { num_users: g.num_users(), k, lambda, gamma, iterations };
+    let prog = CfGdProgram {
+        num_users: g.num_users(),
+        k,
+        lambda,
+        gamma,
+        iterations,
+    };
     let init: Vec<Vec<f64>> = (0..csr.num_vertices())
         .map(|i| {
             (0..k)
@@ -194,7 +230,10 @@ mod tests {
         let with = pagerank(&g, PAGERANK_R, 3, 4).unwrap();
         let mut cfg_no_rep = config(5);
         cfg_no_rep.replicate_hubs_factor = None;
-        let prog = PageRankProgram { r: PAGERANK_R, iterations: 3 };
+        let prog = PageRankProgram {
+            r: PAGERANK_R,
+            iterations: 3,
+        };
         let without = run(
             &g.out,
             None,

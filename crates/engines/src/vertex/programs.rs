@@ -290,7 +290,11 @@ impl VertexProgram for CfGdProgram {
         ctx: &mut VertexContext<FactorMsg>,
     ) {
         let is_user = v < self.num_users;
-        let my_turn_to_update = if is_user { superstep % 2 == 0 } else { superstep % 2 == 1 };
+        let my_turn_to_update = if is_user {
+            superstep.is_multiple_of(2)
+        } else {
+            superstep % 2 == 1
+        };
         if my_turn_to_update && superstep > 0 {
             // aggregate gradient from received factor vectors (eq. 11/12)
             let mut grad = vec![0.0; self.k];
@@ -310,9 +314,16 @@ impl VertexProgram for CfGdProgram {
             ctx.vote_to_halt();
             return;
         }
-        let my_turn_to_send = if is_user { superstep % 2 == 0 } else { superstep % 2 == 1 };
+        let my_turn_to_send = if is_user {
+            superstep.is_multiple_of(2)
+        } else {
+            superstep % 2 == 1
+        };
         if my_turn_to_send {
-            let msg = FactorMsg { from: v, vec: value.clone() };
+            let msg = FactorMsg {
+                from: v,
+                vec: value.clone(),
+            };
             for &dst in g.neighbors(v) {
                 ctx.send(dst, msg.clone());
             }
@@ -391,7 +402,11 @@ mod tests {
             threads: 1,
         });
         let g = graphmaze_graph::DirectedGraph::from_edge_list(&el);
-        let prog = PageRankConvergentProgram { r: 0.3, tolerance: 1e-7, max_iterations: 500 };
+        let prog = PageRankConvergentProgram {
+            r: 0.3,
+            tolerance: 1e-7,
+            max_iterations: 500,
+        };
         let (values, report) = run(
             &g.out,
             None,
@@ -404,10 +419,13 @@ mod tests {
             1,
         )
         .unwrap();
-        assert!(report.steps < 500, "should converge early, ran {} steps", report.steps);
+        assert!(
+            report.steps < 500,
+            "should converge early, ran {} steps",
+            report.steps
+        );
         // agrees with the native convergence-detecting run
-        let (want, iters) =
-            graphmaze_native::pagerank::pagerank_until(&g, 0.3, 1e-7, 500, 1);
+        let (want, iters) = graphmaze_native::pagerank::pagerank_until(&g, 0.3, 1e-7, 500, 1);
         assert!(iters < 500);
         for (a, b) in values.iter().zip(&want) {
             assert!((a - b).abs() < 1e-5, "{a} vs {b}");
@@ -418,9 +436,22 @@ mod tests {
     fn pagerank_program_matches_hand_computation() {
         // Figure 2 graph, 1 iteration: [0.3, 0.65, 1.0, 1.35]
         let csr = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
-        let prog = PageRankProgram { r: 0.3, iterations: 1 };
-        let (values, _) =
-            run(&csr, None, &prog, vec![1.0f64; 4], vec![], true, &cfg(10), 2, 1).unwrap();
+        let prog = PageRankProgram {
+            r: 0.3,
+            iterations: 1,
+        };
+        let (values, _) = run(
+            &csr,
+            None,
+            &prog,
+            vec![1.0f64; 4],
+            vec![],
+            true,
+            &cfg(10),
+            2,
+            1,
+        )
+        .unwrap();
         let want = [0.3, 0.65, 1.0, 1.35];
         for (a, b) in values.iter().zip(&want) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
@@ -444,9 +475,18 @@ mod tests {
         // oriented Figure 2 graph has 2 triangles
         let mut csr = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
         csr.sort_neighbors();
-        let (values, _) =
-            run(&csr, None, &TriangleProgram, vec![0u64; 4], vec![], true, &cfg(5), 2, 1)
-                .unwrap();
+        let (values, _) = run(
+            &csr,
+            None,
+            &TriangleProgram,
+            vec![0u64; 4],
+            vec![],
+            true,
+            &cfg(5),
+            2,
+            1,
+        )
+        .unwrap();
         assert_eq!(values.iter().sum::<u64>(), 2);
     }
 
@@ -466,7 +506,13 @@ mod tests {
         let plain: Vec<(u32, u32)> = sorted.iter().map(|&(s, d, _)| (s, d)).collect();
         let csr = Csr::from_edges(4, &plain);
         let weights: Vec<f32> = sorted.iter().map(|&(_, _, w)| w).collect();
-        let prog = CfGdProgram { num_users: 2, k: 4, lambda: 0.01, gamma: 0.05, iterations: 30 };
+        let prog = CfGdProgram {
+            num_users: 2,
+            k: 4,
+            lambda: 0.01,
+            gamma: 0.05,
+            iterations: 30,
+        };
         let init: Vec<Vec<f64>> = (0..4).map(|i| vec![0.1 + 0.01 * i as f64; 4]).collect();
         let err = |vals: &[Vec<f64>]| -> f64 {
             let pairs = [(0usize, 2usize, 5.0f64), (0, 3, 1.0), (1, 2, 3.0)];
@@ -477,8 +523,18 @@ mod tests {
                 .sqrt()
         };
         let before = err(&init);
-        let (values, report) =
-            run(&csr, Some(&weights), &prog, init, vec![], true, &cfg(100), 1, 2).unwrap();
+        let (values, report) = run(
+            &csr,
+            Some(&weights),
+            &prog,
+            init,
+            vec![],
+            true,
+            &cfg(100),
+            1,
+            2,
+        )
+        .unwrap();
         let after = err(&values);
         assert!(after < before * 0.5, "error {before} -> {after}");
         assert!(report.steps >= 60);

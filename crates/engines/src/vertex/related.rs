@@ -55,7 +55,17 @@ pub fn gps_pagerank(
 ) -> Result<(Vec<f64>, RunReport), SimError> {
     let prog = PageRankProgram { r, iterations };
     let init = vec![1.0f64; g.num_vertices()];
-    run(&g.out, None, &prog, init, vec![], true, &gps_config(iterations + 2), nodes, 1)
+    run(
+        &g.out,
+        None,
+        &prog,
+        init,
+        vec![],
+        true,
+        &gps_config(iterations + 2),
+        nodes,
+        1,
+    )
 }
 
 /// PageRank on GraphX.
@@ -67,7 +77,17 @@ pub fn graphx_pagerank(
 ) -> Result<(Vec<f64>, RunReport), SimError> {
     let prog = PageRankProgram { r, iterations };
     let init = vec![1.0f64; g.num_vertices()];
-    run(&g.out, None, &prog, init, vec![], true, &graphx_config(iterations + 2), nodes, 1)
+    run(
+        &g.out,
+        None,
+        &prog,
+        init,
+        vec![],
+        true,
+        &graphx_config(iterations + 2),
+        nodes,
+        1,
+    )
 }
 
 /// BFS on GPS.
@@ -79,7 +99,17 @@ pub fn gps_bfs(
     let mut init = vec![BFS_UNREACHED; g.num_vertices()];
     init[source as usize] = 0;
     let max = g.num_vertices() as u32 + 2;
-    run(&g.adj, None, &BfsProgram, init, vec![(source, 0)], false, &gps_config(max), nodes, 1)
+    run(
+        &g.adj,
+        None,
+        &BfsProgram,
+        init,
+        vec![(source, 0)],
+        false,
+        &gps_config(max),
+        nodes,
+        1,
+    )
 }
 
 #[cfg(test)]
@@ -130,8 +160,14 @@ mod tests {
         )
         .unwrap();
         let vs_giraph = giraph.sim_seconds / gps.sim_seconds;
-        assert!(vs_giraph > 4.0, "GPS should be much faster than Giraph, got {vs_giraph}x");
-        assert!(gps.sim_seconds > native.sim_seconds * 2.0, "but much slower than native");
+        assert!(
+            vs_giraph > 4.0,
+            "GPS should be much faster than Giraph, got {vs_giraph}x"
+        );
+        assert!(
+            gps.sim_seconds > native.sim_seconds * 2.0,
+            "but much slower than native"
+        );
     }
 
     #[test]
@@ -144,7 +180,10 @@ mod tests {
         // only the ordering is asserted here; the `repro relatedwork`
         // artifact checks the ~7x band at extrapolated paper scale
         let ratio = graphx.sim_seconds / graphlab.sim_seconds;
-        assert!(ratio > 2.0, "GraphX should be well behind GraphLab, got {ratio}x");
+        assert!(
+            ratio > 2.0,
+            "GraphX should be well behind GraphLab, got {ratio}x"
+        );
     }
 
     #[test]

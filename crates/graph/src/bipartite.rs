@@ -36,7 +36,12 @@ impl RatingsGraph {
         let by_user = WeightedCsr::from_edges(u64::from(num_users), ratings);
         let flipped: Vec<_> = ratings.iter().map(|&(u, v, w)| (v, u, w)).collect();
         let by_item = WeightedCsr::from_edges(u64::from(num_items), &flipped);
-        RatingsGraph { num_users, num_items, by_user, by_item }
+        RatingsGraph {
+            num_users,
+            num_items,
+            by_user,
+            by_item,
+        }
     }
 
     /// Number of users.
@@ -126,11 +131,7 @@ mod tests {
 
     fn sample() -> RatingsGraph {
         // 3 users, 2 items
-        RatingsGraph::from_ratings(
-            3,
-            2,
-            &[(0, 0, 5.0), (0, 1, 3.0), (1, 1, 4.0), (2, 0, 1.0)],
-        )
+        RatingsGraph::from_ratings(3, 2, &[(0, 0, 5.0), (0, 1, 3.0), (1, 1, 4.0), (2, 0, 1.0)])
     }
 
     #[test]

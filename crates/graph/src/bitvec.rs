@@ -28,7 +28,10 @@ pub struct BitVec {
 impl BitVec {
     /// Creates a bit-vector of `len` bits, all cleared.
     pub fn new(len: usize) -> Self {
-        BitVec { words: vec![0u64; len.div_ceil(WORD_BITS)], len }
+        BitVec {
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+            len,
+        }
     }
 
     /// Number of bits.
@@ -94,7 +97,12 @@ impl BitVec {
 
     /// Iterator over the indices of set bits, ascending.
     pub fn iter_ones(&self) -> IterOnes<'_> {
-        IterOnes { words: &self.words, len: self.len, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        IterOnes {
+            words: &self.words,
+            len: self.len,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// In-place union. Panics on length mismatch.
@@ -109,7 +117,11 @@ impl BitVec {
     /// This is the hot loop of bit-vector triangle counting.
     pub fn intersection_count(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "bitvec length mismatch");
-        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
     }
 
     /// Raw words, for serialization / compression.
@@ -119,7 +131,10 @@ impl BitVec {
 
     /// Rebuilds a bit-vector from raw words produced by [`BitVec::words`].
     pub fn from_words(words: Vec<u64>, len: usize) -> Self {
-        assert!(words.len() == len.div_ceil(WORD_BITS), "word count mismatch");
+        assert!(
+            words.len() == len.div_ceil(WORD_BITS),
+            "word count mismatch"
+        );
         BitVec { words, len }
     }
 }
@@ -206,14 +221,20 @@ impl AtomicBitVec {
     /// Snapshots the current contents into a plain [`BitVec`].
     pub fn snapshot(&self) -> BitVec {
         BitVec::from_words(
-            self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+            self.words
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
             self.len,
         )
     }
 
     /// Number of set bits (relaxed; exact only at quiescence).
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
     }
 
     /// Clears all bits. Requires `&mut`, i.e. exclusive access.

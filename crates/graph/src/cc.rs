@@ -17,7 +17,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton components.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
     }
 
     /// Representative of `v`'s component.
@@ -37,8 +41,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (big, small) =
-            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
         self.components -= 1;
@@ -149,16 +156,20 @@ mod tests {
         let mut edges = Vec::new();
         let mut x = 12345u64;
         for _ in 0..60 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let s = ((x >> 33) % 40) as u32;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let d = ((x >> 33) % 40) as u32;
             edges.push((s, d));
         }
         let (mut uf, _) = connected_components(40, &edges);
         let g = crate::csr::UndirectedGraph::from_edges(40, &edges);
         // BFS from 0: exactly the vertices connected to 0
-        let mut dist = vec![u32::MAX; 40];
+        let mut dist = [u32::MAX; 40];
         dist[0] = 0;
         let mut queue = std::collections::VecDeque::from([0u32]);
         while let Some(u) = queue.pop_front() {
@@ -170,7 +181,11 @@ mod tests {
             }
         }
         for v in 0..40u32 {
-            assert_eq!(dist[v as usize] != u32::MAX, uf.connected(0, v), "vertex {v}");
+            assert_eq!(
+                dist[v as usize] != u32::MAX,
+                uf.connected(0, v),
+                "vertex {v}"
+            );
         }
     }
 }

@@ -130,7 +130,11 @@ impl Csr {
 
     /// True if every adjacency list is sorted ascending.
     pub fn neighbors_sorted(&self) -> bool {
-        (0..self.num_vertices()).all(|v| self.neighbors(v as VertexId).windows(2).all(|w| w[0] <= w[1]))
+        (0..self.num_vertices()).all(|v| {
+            self.neighbors(v as VertexId)
+                .windows(2)
+                .all(|w| w[0] <= w[1])
+        })
     }
 
     /// Binary-searches `v`'s (sorted) adjacency list for `target`.
@@ -146,7 +150,10 @@ impl Csr {
 
     /// Total degree histogram convenience: max out-degree.
     pub fn max_degree(&self) -> u32 {
-        (0..self.num_vertices()).map(|v| self.degree(v as VertexId)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -177,7 +184,10 @@ impl WeightedCsr {
             weights[*c as usize] = w;
             *c += 1;
         }
-        WeightedCsr { csr: Csr { offsets, targets }, weights }
+        WeightedCsr {
+            csr: Csr { offsets, targets },
+            weights,
+        }
     }
 
     /// Builds from a [`WeightedEdgeList`].
@@ -218,7 +228,10 @@ impl WeightedCsr {
 
     /// `(neighbor, weight)` pairs of `v`.
     pub fn edges_of(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
-        self.neighbors(v).iter().copied().zip(self.weights_of(v).iter().copied())
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.weights_of(v).iter().copied())
     }
 
     /// Bytes of backing storage.
@@ -299,12 +312,16 @@ impl UndirectedGraph {
                 sym.push((d, s));
             }
         }
-        UndirectedGraph { adj: Csr::from_edges(num_vertices, &sym) }
+        UndirectedGraph {
+            adj: Csr::from_edges(num_vertices, &sym),
+        }
     }
 
     /// Builds from an already-symmetrized [`EdgeList`] without duplicating.
     pub fn from_symmetric_edge_list(el: &EdgeList) -> Self {
-        UndirectedGraph { adj: Csr::from_edge_list(el) }
+        UndirectedGraph {
+            adj: Csr::from_edge_list(el),
+        }
     }
 
     /// Number of vertices.

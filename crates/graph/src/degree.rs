@@ -211,14 +211,20 @@ mod tests {
     #[test]
     fn slope_negative_for_skewed() {
         // counts 8,4,2,1 across buckets → slope -1 in log2 space
-        let h = DegreeHistogram { zero: 0, buckets: vec![8, 4, 2, 1] };
+        let h = DegreeHistogram {
+            zero: 0,
+            buckets: vec![8, 4, 2, 1],
+        };
         let s = h.log_log_slope().expect("slope");
         assert!((s + 1.0).abs() < 1e-9, "slope {s}");
     }
 
     #[test]
     fn slope_none_when_degenerate() {
-        let h = DegreeHistogram { zero: 0, buckets: vec![5] };
+        let h = DegreeHistogram {
+            zero: 0,
+            buckets: vec![5],
+        };
         assert!(h.log_log_slope().is_none());
     }
 

@@ -21,8 +21,14 @@ pub struct EdgeList {
 impl EdgeList {
     /// Creates an empty edge list over `num_vertices` vertices.
     pub fn new(num_vertices: u64) -> Self {
-        assert!(num_vertices <= u64::from(u32::MAX) + 1, "vertex ids must fit u32");
-        EdgeList { num_vertices, edges: Vec::new() }
+        assert!(
+            num_vertices <= u64::from(u32::MAX) + 1,
+            "vertex ids must fit u32"
+        );
+        EdgeList {
+            num_vertices,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates an edge list from parts, validating endpoint ranges.
@@ -38,7 +44,10 @@ impl EdgeList {
                 });
             }
         }
-        Ok(EdgeList { num_vertices, edges })
+        Ok(EdgeList {
+            num_vertices,
+            edges,
+        })
     }
 
     /// Number of vertices.
@@ -124,8 +133,14 @@ pub struct WeightedEdgeList {
 impl WeightedEdgeList {
     /// Creates an empty weighted edge list over `num_vertices` vertices.
     pub fn new(num_vertices: u64) -> Self {
-        assert!(num_vertices <= u64::from(u32::MAX) + 1, "vertex ids must fit u32");
-        WeightedEdgeList { num_vertices, edges: Vec::new() }
+        assert!(
+            num_vertices <= u64::from(u32::MAX) + 1,
+            "vertex ids must fit u32"
+        );
+        WeightedEdgeList {
+            num_vertices,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -160,8 +175,9 @@ impl WeightedEdgeList {
     /// Sorts by endpoints and keeps the **first** weight seen for each
     /// duplicated endpoint pair.
     pub fn dedup_keep_first(&mut self) {
-        self.edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
-        self.edges.dedup_by(|next, prev| (next.0, next.1) == (prev.0, prev.1));
+        self.edges.sort_by_key(|a| (a.0, a.1));
+        self.edges
+            .dedup_by(|next, prev| (next.0, next.1) == (prev.0, prev.1));
     }
 
     /// Consumes the list, returning the edge vector.
@@ -182,7 +198,13 @@ mod tests {
     fn from_edges_validates_range() {
         assert!(EdgeList::from_edges(3, vec![(0, 2)]).is_ok());
         let err = EdgeList::from_edges(3, vec![(0, 3)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 3, num_vertices: 3 }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange {
+                vertex: 3,
+                num_vertices: 3
+            }
+        ));
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct Frontier {
 impl Frontier {
     /// An empty frontier over `num_vertices` vertices.
     pub fn new(num_vertices: usize) -> Self {
-        Frontier { num_vertices, vertices: Vec::new(), dense: None }
+        Frontier {
+            num_vertices,
+            vertices: Vec::new(),
+            dense: None,
+        }
     }
 
     /// A frontier containing exactly `v`.
@@ -33,7 +37,11 @@ impl Frontier {
     /// Builds a frontier from a vertex list (deduplicated by the caller).
     pub fn from_vertices(num_vertices: usize, vertices: Vec<VertexId>) -> Self {
         debug_assert!(vertices.iter().all(|&v| (v as usize) < num_vertices));
-        Frontier { num_vertices, vertices, dense: None }
+        Frontier {
+            num_vertices,
+            vertices,
+            dense: None,
+        }
     }
 
     /// Adds a vertex (caller guarantees no duplicates).

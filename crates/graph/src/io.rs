@@ -27,23 +27,38 @@ pub fn read_text_edge_list<R: Read>(reader: R, min_vertices: u64) -> Result<Edge
         }
         let mut it = line.split_whitespace();
         let parse = |tok: Option<&str>, lineno: usize| -> Result<u32, GraphError> {
-            tok.ok_or_else(|| GraphError::Parse { line: lineno + 1, msg: "missing field".into() })?
-                .parse::<u32>()
-                .map_err(|e| GraphError::Parse { line: lineno + 1, msg: e.to_string() })
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                msg: "missing field".into(),
+            })?
+            .parse::<u32>()
+            .map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                msg: e.to_string(),
+            })
         };
         let s = parse(it.next(), lineno)?;
         let d = parse(it.next(), lineno)?;
         max_id = max_id.max(u64::from(s)).max(u64::from(d));
         edges.push((s, d));
     }
-    let n = if edges.is_empty() { min_vertices } else { (max_id + 1).max(min_vertices) };
+    let n = if edges.is_empty() {
+        min_vertices
+    } else {
+        (max_id + 1).max(min_vertices)
+    };
     EdgeList::from_edges(n, edges)
 }
 
 /// Writes a text edge list (`src dst` per line).
 pub fn write_text_edge_list<W: Write>(w: W, el: &EdgeList) -> Result<(), GraphError> {
     let mut w = BufWriter::new(w);
-    writeln!(w, "# graphmaze edge list: {} vertices {} edges", el.num_vertices(), el.num_edges())?;
+    writeln!(
+        w,
+        "# graphmaze edge list: {} vertices {} edges",
+        el.num_vertices(),
+        el.num_edges()
+    )?;
     for &(s, d) in el.edges() {
         writeln!(w, "{s} {d}")?;
     }
@@ -72,12 +87,18 @@ pub fn read_binary_edge_list<R: Read>(r: R) -> Result<EdgeList, GraphError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(GraphError::Parse { line: 0, msg: "bad magic".into() });
+        return Err(GraphError::Parse {
+            line: 0,
+            msg: "bad magic".into(),
+        });
     }
     let mut ver = [0u8; 1];
     r.read_exact(&mut ver)?;
     if ver[0] != VERSION_UNWEIGHTED {
-        return Err(GraphError::Parse { line: 0, msg: format!("bad version {}", ver[0]) });
+        return Err(GraphError::Parse {
+            line: 0,
+            msg: format!("bad version {}", ver[0]),
+        });
     }
     let mut b8 = [0u8; 8];
     r.read_exact(&mut b8)?;
@@ -118,12 +139,18 @@ pub fn read_binary_weighted<R: Read>(r: R) -> Result<WeightedEdgeList, GraphErro
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(GraphError::Parse { line: 0, msg: "bad magic".into() });
+        return Err(GraphError::Parse {
+            line: 0,
+            msg: "bad magic".into(),
+        });
     }
     let mut ver = [0u8; 1];
     r.read_exact(&mut ver)?;
     if ver[0] != VERSION_WEIGHTED {
-        return Err(GraphError::Parse { line: 0, msg: format!("bad version {}", ver[0]) });
+        return Err(GraphError::Parse {
+            line: 0,
+            msg: format!("bad version {}", ver[0]),
+        });
     }
     let mut b8 = [0u8; 8];
     r.read_exact(&mut b8)?;
@@ -172,12 +199,18 @@ pub fn read_binary_csr<R: Read>(r: R) -> Result<crate::csr::Csr, GraphError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(GraphError::Parse { line: 0, msg: "bad magic".into() });
+        return Err(GraphError::Parse {
+            line: 0,
+            msg: "bad magic".into(),
+        });
     }
     let mut ver = [0u8; 1];
     r.read_exact(&mut ver)?;
     if ver[0] != CSR_VERSION {
-        return Err(GraphError::Parse { line: 0, msg: format!("bad version {}", ver[0]) });
+        return Err(GraphError::Parse {
+            line: 0,
+            msg: format!("bad version {}", ver[0]),
+        });
     }
     let mut b8 = [0u8; 8];
     r.read_exact(&mut b8)?;
@@ -193,7 +226,10 @@ pub fn read_binary_csr<R: Read>(r: R) -> Result<crate::csr::Csr, GraphError> {
         || offsets.last() != Some(&m)
         || offsets.windows(2).any(|w| w[0] > w[1])
     {
-        return Err(GraphError::Parse { line: 0, msg: "corrupt CSR offsets".into() });
+        return Err(GraphError::Parse {
+            line: 0,
+            msg: "corrupt CSR offsets".into(),
+        });
     }
     let mut targets = Vec::with_capacity(m as usize);
     let mut b4 = [0u8; 4];
@@ -201,7 +237,10 @@ pub fn read_binary_csr<R: Read>(r: R) -> Result<crate::csr::Csr, GraphError> {
         r.read_exact(&mut b4)?;
         let t = u32::from_le_bytes(b4);
         if u64::from(t) >= n as u64 {
-            return Err(GraphError::VertexOutOfRange { vertex: u64::from(t), num_vertices: n as u64 });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u64::from(t),
+                num_vertices: n as u64,
+            });
         }
         targets.push(t);
     }

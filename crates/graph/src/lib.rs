@@ -22,8 +22,8 @@
 //! Vertex ids are `u32` ([`VertexId`]): the paper's largest graphs have
 //! ~537 M vertices, within `u32` range; edge counts use `u64`.
 
-pub mod bitvec;
 pub mod bipartite;
+pub mod bitvec;
 pub mod cc;
 pub mod csr;
 pub mod degree;
@@ -62,8 +62,14 @@ pub enum GraphError {
 impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => {
-                write!(f, "vertex {vertex} out of range (num_vertices={num_vertices})")
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range (num_vertices={num_vertices})"
+                )
             }
             GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             GraphError::Io(e) => write!(f, "io error: {e}"),

@@ -18,7 +18,9 @@ pub fn default_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Splits `0..len` into `threads` nearly equal chunks and runs `f(chunk_idx,
@@ -112,7 +114,10 @@ where
                 handles.push(s.spawn(move |_| (lo..hi).fold(init(), fold)));
             }
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("worker thread panicked");
     let mut iter = partials.into_iter();
@@ -137,7 +142,10 @@ where
                 s.spawn(move |_| f(t))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("worker thread panicked")
 }

@@ -26,7 +26,10 @@ pub fn relabel_edges(
     edges: &[(VertexId, VertexId)],
     perm: &[VertexId],
 ) -> Vec<(VertexId, VertexId)> {
-    edges.iter().map(|&(s, d)| (perm[s as usize], perm[d as usize])).collect()
+    edges
+        .iter()
+        .map(|&(s, d)| (perm[s as usize], perm[d as usize]))
+        .collect()
 }
 
 /// Orients each undirected edge from the lower-degree endpoint to the
@@ -72,7 +75,7 @@ mod tests {
         let g = Csr::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
         let perm = degree_desc_permutation(&g);
         assert_eq!(perm[0], 0); // hub keeps id 0
-        // vertex 1 (degree 1) comes before 2,3 (degree 0)
+                                // vertex 1 (degree 1) comes before 2,3 (degree 0)
         assert_eq!(perm[1], 1);
     }
 

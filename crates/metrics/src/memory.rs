@@ -7,10 +7,8 @@
 //! buffering. [`MemTracker`] reproduces both as typed [`OutOfMemory`]
 //! errors when charged allocations exceed node capacity.
 
-use serde::{Deserialize, Serialize};
-
 /// Error returned when a charged allocation exceeds node capacity.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OutOfMemory {
     /// The node that failed.
     pub node: usize,
@@ -48,7 +46,12 @@ pub struct MemTracker {
 impl MemTracker {
     /// A tracker for `node` with the given byte capacity.
     pub fn new(node: usize, capacity: u64) -> Self {
-        MemTracker { node, capacity, in_use: 0, peak: 0 }
+        MemTracker {
+            node,
+            capacity,
+            in_use: 0,
+            peak: 0,
+        }
     }
 
     /// Charges an allocation; fails if it would exceed capacity.

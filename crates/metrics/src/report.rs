@@ -1,13 +1,11 @@
 //! Run reports — the simulator's answer to the paper's measurements.
 
-use serde::{Deserialize, Serialize};
-
 use crate::traffic::TrafficStats;
 use crate::work::Work;
 
 /// Everything measured about one benchmark run. Field-for-field, this is
 /// the data behind the paper's Figures 3–6 and Tables 4–7.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
     /// Simulated wall-clock of the whole run, seconds.
     pub sim_seconds: f64,
@@ -101,16 +99,30 @@ mod tests {
 
     #[test]
     fn per_iteration_division() {
-        let r = RunReport { sim_seconds: 10.0, iterations: 4, ..Default::default() };
+        let r = RunReport {
+            sim_seconds: 10.0,
+            iterations: 4,
+            ..Default::default()
+        };
         assert!((r.seconds_per_iteration() - 2.5).abs() < 1e-12);
-        let r0 = RunReport { sim_seconds: 10.0, iterations: 0, ..Default::default() };
+        let r0 = RunReport {
+            sim_seconds: 10.0,
+            iterations: 0,
+            ..Default::default()
+        };
         assert_eq!(r0.seconds_per_iteration(), 10.0);
     }
 
     #[test]
     fn slowdown_ratio() {
-        let base = RunReport { sim_seconds: 2.0, ..Default::default() };
-        let slow = RunReport { sim_seconds: 9.0, ..Default::default() };
+        let base = RunReport {
+            sim_seconds: 2.0,
+            ..Default::default()
+        };
+        let slow = RunReport {
+            sim_seconds: 9.0,
+            ..Default::default()
+        };
         assert!((slow.slowdown_vs(&base) - 4.5).abs() < 1e-12);
         let zero = RunReport::default();
         assert!(slow.slowdown_vs(&zero).is_infinite());
@@ -125,14 +137,21 @@ mod tests {
 
     #[test]
     fn net_bytes_per_node_averages() {
-        let mut r = RunReport { nodes: 4, ..Default::default() };
+        let mut r = RunReport {
+            nodes: 4,
+            ..Default::default()
+        };
         r.traffic.bytes_sent = 400;
         assert!((r.net_bytes_per_node() - 100.0).abs() < 1e-12);
     }
 
     #[test]
     fn clone_eq() {
-        let r = RunReport { sim_seconds: 1.5, nodes: 2, ..Default::default() };
+        let r = RunReport {
+            sim_seconds: 1.5,
+            nodes: 2,
+            ..Default::default()
+        };
         let r2 = r.clone();
         assert_eq!(r, r2);
     }

@@ -5,10 +5,8 @@
 //! cluster simulator records both here, per step, as engines exchange
 //! real message payloads.
 
-use serde::{Deserialize, Serialize};
-
 /// Aggregated traffic over a run.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TrafficStats {
     /// Total bytes put on the wire (post-compression), summed over nodes.
     pub bytes_sent: u64,

@@ -5,10 +5,8 @@
 //! — arithmetic. [`Work`] counts all three so the cost model can take the
 //! binding maximum.
 
-use serde::{Deserialize, Serialize};
-
 /// Work performed by a metered region, in hardware-neutral units.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Work {
     /// Bytes read/written with streaming (prefetchable) access.
     pub seq_bytes: u64,
@@ -20,21 +18,34 @@ pub struct Work {
 
 impl Work {
     /// No work.
-    pub const ZERO: Work = Work { seq_bytes: 0, rand_accesses: 0, flops: 0 };
+    pub const ZERO: Work = Work {
+        seq_bytes: 0,
+        rand_accesses: 0,
+        flops: 0,
+    };
 
     /// Pure streaming work of `bytes`.
     pub fn stream(bytes: u64) -> Work {
-        Work { seq_bytes: bytes, ..Work::ZERO }
+        Work {
+            seq_bytes: bytes,
+            ..Work::ZERO
+        }
     }
 
     /// Pure random-access work of `n` accesses.
     pub fn random(n: u64) -> Work {
-        Work { rand_accesses: n, ..Work::ZERO }
+        Work {
+            rand_accesses: n,
+            ..Work::ZERO
+        }
     }
 
     /// Pure arithmetic work of `n` flops.
     pub fn flops(n: u64) -> Work {
-        Work { flops: n, ..Work::ZERO }
+        Work {
+            flops: n,
+            ..Work::ZERO
+        }
     }
 
     /// Component-wise accumulation.
@@ -93,15 +104,34 @@ mod tests {
     #[test]
     fn add_and_sum() {
         let w = Work::stream(10) + Work::random(5) + Work::flops(2);
-        assert_eq!(w, Work { seq_bytes: 10, rand_accesses: 5, flops: 2 });
+        assert_eq!(
+            w,
+            Work {
+                seq_bytes: 10,
+                rand_accesses: 5,
+                flops: 2
+            }
+        );
         let total: Work = [Work::stream(1), Work::stream(2)].into_iter().sum();
         assert_eq!(total.seq_bytes, 3);
     }
 
     #[test]
     fn scaled_applies_factor() {
-        let w = Work { seq_bytes: 100, rand_accesses: 10, flops: 4 }.scaled(2.5);
-        assert_eq!(w, Work { seq_bytes: 250, rand_accesses: 25, flops: 10 });
+        let w = Work {
+            seq_bytes: 100,
+            rand_accesses: 10,
+            flops: 4,
+        }
+        .scaled(2.5);
+        assert_eq!(
+            w,
+            Work {
+                seq_bytes: 250,
+                rand_accesses: 25,
+                flops: 10
+            }
+        );
         assert_eq!(Work::stream(7).scaled(0.0), Work::ZERO);
     }
 }

@@ -203,7 +203,11 @@ pub fn validate_distances(g: &UndirectedGraph, source: VertexId, dist: &[u32]) -
     for v in 0..g.num_vertices() as u32 {
         let dv = dist[v as usize];
         if dv == UNREACHED {
-            if g.adj.neighbors(v).iter().any(|&u| dist[u as usize] != UNREACHED) {
+            if g.adj
+                .neighbors(v)
+                .iter()
+                .any(|&u| dist[u as usize] != UNREACHED)
+            {
                 return false;
             }
             continue;
@@ -245,8 +249,16 @@ pub fn bfs_cluster(
         let local_vertices = part.len(node) as u64;
         // CSR slice + distance array + visited bit-vector (or u32 flags
         // when the bit-vector lever is off)
-        let visited_bytes = if opts.bitvector { local_vertices / 8 + 8 } else { local_vertices * 4 };
-        sim.alloc(node, local_edges * 4 + local_vertices * 4 + visited_bytes, "bfs:graph+state")?;
+        let visited_bytes = if opts.bitvector {
+            local_vertices / 8 + 8
+        } else {
+            local_vertices * 4
+        };
+        sim.alloc(
+            node,
+            local_edges * 4 + local_vertices * 4 + visited_bytes,
+            "bfs:graph+state",
+        )?;
     }
 
     let mut dist = vec![UNREACHED; n];

@@ -37,7 +37,13 @@ pub struct CfConfig {
 impl CfConfig {
     /// Sensible defaults for tests and examples.
     pub fn defaults(k: usize) -> Self {
-        CfConfig { k, lambda: 0.05, gamma0: 0.01, step_decay: 0.95, seed: 42 }
+        CfConfig {
+            k,
+            lambda: 0.05,
+            gamma0: 0.01,
+            step_decay: 0.95,
+            seed: 42,
+        }
     }
 }
 
@@ -64,7 +70,9 @@ impl Factors {
             (x >> 11) as f64 / (1u64 << 53) as f64 * 0.1
         };
         let p = (0..num_users as u64 * cfg.k as u64).map(gen).collect();
-        let q = (0..num_items as u64 * cfg.k as u64).map(|i| gen(i + (1 << 40))).collect();
+        let q = (0..num_items as u64 * cfg.k as u64)
+            .map(|i| gen(i + (1 << 40)))
+            .collect();
         Factors { p, q, k: cfg.k }
     }
 
@@ -134,10 +142,12 @@ impl DiagonalBlocks {
         let p_blocks = p_blocks.max(1);
         let ub_size = (g.num_users() as usize).div_ceil(p_blocks).max(1);
         let ib_size = (g.num_items() as usize).div_ceil(p_blocks).max(1);
-        let user_block_of: Vec<usize> =
-            (0..g.num_users() as usize).map(|u| (u / ub_size).min(p_blocks - 1)).collect();
-        let item_block_of: Vec<usize> =
-            (0..g.num_items() as usize).map(|v| (v / ib_size).min(p_blocks - 1)).collect();
+        let user_block_of: Vec<usize> = (0..g.num_users() as usize)
+            .map(|u| (u / ub_size).min(p_blocks - 1))
+            .collect();
+        let item_block_of: Vec<usize> = (0..g.num_items() as usize)
+            .map(|v| (v / ib_size).min(p_blocks - 1))
+            .collect();
         let mut buckets = vec![Vec::new(); p_blocks * p_blocks];
         for (u, v, r) in g.triples() {
             let ub = user_block_of[u as usize];
@@ -148,7 +158,12 @@ impl DiagonalBlocks {
     }
 
     /// The ratings of block `(user_block, item_block)`.
-    pub fn bucket(&self, user_block: usize, item_block: usize, p_blocks: usize) -> &[(VertexId, VertexId, f64)] {
+    pub fn bucket(
+        &self,
+        user_block: usize,
+        item_block: usize,
+        p_blocks: usize,
+    ) -> &[(VertexId, VertexId, f64)] {
         &self.buckets[user_block * p_blocks + item_block]
     }
 }
@@ -185,12 +200,7 @@ impl FactorCell {
 
 /// Parallel SGD with `P = threads` diagonal blocking. Returns the factors
 /// and the RMSE after each epoch. Deterministic for fixed `threads`.
-pub fn sgd(
-    g: &RatingsGraph,
-    cfg: &CfConfig,
-    epochs: u32,
-    threads: usize,
-) -> (Factors, Vec<f64>) {
+pub fn sgd(g: &RatingsGraph, cfg: &CfConfig, epochs: u32, threads: usize) -> (Factors, Vec<f64>) {
     let p_blocks = threads.max(1);
     let blocks = DiagonalBlocks::build(g, p_blocks);
     let mut f = Factors::init(g.num_users(), g.num_items(), cfg);
@@ -198,7 +208,11 @@ pub fn sgd(
     let mut gamma = cfg.gamma0;
     for _ in 0..epochs {
         for s in 0..p_blocks {
-            let cell = FactorCell { p: f.p.as_mut_ptr(), q: f.q.as_mut_ptr(), k: cfg.k };
+            let cell = FactorCell {
+                p: f.p.as_mut_ptr(),
+                q: f.q.as_mut_ptr(),
+                k: cfg.k,
+            };
             let blocks_ref = &blocks;
             let cell_ref = &cell;
             par_tasks(p_blocks, move |w| {
@@ -287,7 +301,10 @@ pub fn gd(g: &RatingsGraph, cfg: &CfConfig, epochs: u32, threads: usize) -> (Fac
 
 /// Epochs needed to reach `target` RMSE, or `None` within `max_epochs`.
 pub fn epochs_to_reach(history: &[f64], target: f64) -> Option<u32> {
-    history.iter().position(|&r| r <= target).map(|i| i as u32 + 1)
+    history
+        .iter()
+        .position(|&r| r <= target)
+        .map(|i| i as u32 + 1)
 }
 
 /// Distributed SGD on the simulated cluster: `P = nodes` diagonal
@@ -377,7 +394,13 @@ mod tests {
     }
 
     fn cfg() -> CfConfig {
-        CfConfig { k: 8, lambda: 0.05, gamma0: 0.02, step_decay: 0.98, seed: 7 }
+        CfConfig {
+            k: 8,
+            lambda: 0.05,
+            gamma0: 0.02,
+            step_decay: 0.98,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -467,7 +490,11 @@ mod tests {
     #[test]
     fn predict_and_rmse_consistency() {
         let g = RatingsGraph::from_ratings(2, 2, &[(0, 0, 4.0), (1, 1, 2.0)]);
-        let f = Factors { p: vec![1.0, 0.0, 0.0, 1.0], q: vec![4.0, 0.0, 0.0, 2.0], k: 2 };
+        let f = Factors {
+            p: vec![1.0, 0.0, 0.0, 1.0],
+            q: vec![4.0, 0.0, 0.0, 2.0],
+            k: 2,
+        };
         assert!((f.predict(0, 0) - 4.0).abs() < 1e-12);
         assert!((f.predict(1, 1) - 2.0).abs() < 1e-12);
         assert!(rmse(&g, &f).abs() < 1e-12);

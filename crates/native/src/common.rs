@@ -23,12 +23,22 @@ pub struct NativeOptions {
 impl NativeOptions {
     /// Everything on — the configuration behind the headline results.
     pub fn all() -> Self {
-        NativeOptions { prefetch: true, compression: true, overlap: true, bitvector: true }
+        NativeOptions {
+            prefetch: true,
+            compression: true,
+            overlap: true,
+            bitvector: true,
+        }
     }
 
     /// Everything off — Fig 7's baseline bar.
     pub fn none() -> Self {
-        NativeOptions { prefetch: false, compression: false, overlap: false, bitvector: false }
+        NativeOptions {
+            prefetch: false,
+            compression: false,
+            overlap: false,
+            bitvector: false,
+        }
     }
 
     /// The [`ExecProfile`] for native code under these options.
@@ -65,7 +75,11 @@ pub fn send_ids_with_values(
     let raw = raw_size(ids.len()) + ids.len() as u64 * value_bytes;
     let wire = if compress {
         let encoded = encode_best(ids, universe);
-        let vb = if narrow_values && value_bytes >= 8 { value_bytes / 2 } else { value_bytes };
+        let vb = if narrow_values && value_bytes >= 8 {
+            value_bytes / 2
+        } else {
+            value_bytes
+        };
         encoded.len() as u64 + ids.len() as u64 * vb
     } else {
         raw
@@ -77,7 +91,11 @@ pub fn send_ids_with_values(
 /// Work of streaming an adjacency segment of `edges` edges: the 4-byte
 /// target array plus per-edge arithmetic.
 pub fn edge_stream_work(edges: u64, flops_per_edge: u64) -> Work {
-    Work { seq_bytes: edges * 4, rand_accesses: 0, flops: edges * flops_per_edge }
+    Work {
+        seq_bytes: edges * 4,
+        rand_accesses: 0,
+        flops: edges * flops_per_edge,
+    }
 }
 
 /// Work of `n` random gathers: each touches one cache line, which the
@@ -85,7 +103,11 @@ pub fn edge_stream_work(edges: u64, flops_per_edge: u64) -> Work {
 /// (the `bytes_each` payload rides inside that line).
 pub fn gather_work(n: u64, bytes_each: u64) -> Work {
     debug_assert!(bytes_each <= 64, "multi-line gathers should be streamed");
-    Work { seq_bytes: 0, rand_accesses: n, flops: 0 }
+    Work {
+        seq_bytes: 0,
+        rand_accesses: n,
+        flops: 0,
+    }
 }
 
 #[cfg(test)]

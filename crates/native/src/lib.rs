@@ -1,3 +1,5 @@
+#![allow(clippy::needless_range_loop)] // per-node kernels index several parallel arrays by the same id
+
 //! # graphmaze-native
 //!
 //! The paper's hand-optimized "native" implementations — the reference

@@ -114,7 +114,10 @@ pub fn pagerank_until(
 fn chunk_bounds(n: usize, parts: usize) -> Vec<(usize, usize)> {
     let parts = parts.min(n.max(1));
     let per = n.div_ceil(parts.max(1));
-    (0..parts).map(|t| (t * per, ((t + 1) * per).min(n))).filter(|(lo, hi)| lo < hi).collect()
+    (0..parts)
+        .map(|t| (t * per, ((t + 1) * per).min(n)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
 }
 
 /// Per-node boundary structure: for each (owner, consumer) pair, the
@@ -181,7 +184,14 @@ pub fn pagerank_cluster(
         }
         for node in 0..nodes {
             let range = part.range(node);
-            iterate_range(g, &scaled, &mut next, range.start as usize, range.end as usize, r);
+            iterate_range(
+                g,
+                &scaled,
+                &mut next,
+                range.start as usize,
+                range.end as usize,
+                r,
+            );
             // Work: stream the local edge array, gather source ranks
             // (irregular), stream the rank arrays, 2 flops/edge.
             let local_edges = part.edges_of(&g.inn, node);
@@ -314,8 +324,7 @@ mod tests {
         let g = rmat_graph(10, 8, 7);
         let single = pagerank(&g, 0.3, 5, 2);
         for nodes in [1, 2, 4] {
-            let (dist, report) =
-                pagerank_cluster(&g, 0.3, 5, NativeOptions::all(), nodes).unwrap();
+            let (dist, report) = pagerank_cluster(&g, 0.3, 5, NativeOptions::all(), nodes).unwrap();
             for (a, b) in single.iter().zip(&dist) {
                 assert!((a - b).abs() < 1e-9, "nodes={nodes}");
             }
@@ -349,5 +358,4 @@ mod tests {
         let factor = rep_u.traffic.bytes_sent as f64 / rep_c.traffic.bytes_sent as f64;
         assert!(factor > 1.5, "compression factor {factor}");
     }
-
 }

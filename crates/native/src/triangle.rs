@@ -142,7 +142,11 @@ pub fn triangles_cluster(
 
     for node in 0..nodes {
         let local_edges = part.edges_of(g, node);
-        sim.alloc(node, local_edges * 4 + part.len(node) as u64 * 8, "tc:graph")?;
+        sim.alloc(
+            node,
+            local_edges * 4 + part.len(node) as u64 * 8,
+            "tc:graph",
+        )?;
     }
 
     // Which remote adjacency lists does each node need? v is needed by

@@ -13,11 +13,18 @@ fn shootout(nodes: usize, graph: &Workload, ratings: &Workload, params: &BenchPa
     println!("=== {nodes} node(s): slowdown vs native (lower is better) ===");
     let mut rows = Vec::new();
     for alg in Algorithm::ALL {
-        let wl = if alg == Algorithm::CollaborativeFiltering { ratings } else { graph };
-        let native = run_benchmark(alg, Framework::Native, wl, nodes, params)
-            .expect("native must run");
+        let wl = if alg == Algorithm::CollaborativeFiltering {
+            ratings
+        } else {
+            graph
+        };
+        let native =
+            run_benchmark(alg, Framework::Native, wl, nodes, params).expect("native must run");
         let mut row = vec![alg.name().to_string()];
-        for fw in Framework::ALL.into_iter().filter(|f| *f != Framework::Native) {
+        for fw in Framework::ALL
+            .into_iter()
+            .filter(|f| *f != Framework::Native)
+        {
             row.push(match run_benchmark(alg, fw, wl, nodes, params) {
                 Ok(out) => fmt_slowdown(out.report.slowdown_vs(&native.report)),
                 Err(_) => "n/a".to_string(),
@@ -25,7 +32,14 @@ fn shootout(nodes: usize, graph: &Workload, ratings: &Workload, params: &BenchPa
         }
         rows.push(row);
     }
-    let headers = ["algorithm", "combblas", "graphlab", "socialite", "giraph", "galois"];
+    let headers = [
+        "algorithm",
+        "combblas",
+        "graphlab",
+        "socialite",
+        "giraph",
+        "galois",
+    ];
     println!("{}", format_table(&headers, &rows));
 }
 

@@ -49,7 +49,13 @@ fn main() {
     // ratings matrix from the paper's fold generator.
     let cf_wl = Workload::rmat_ratings(12, 256, 42);
     let ratings = cf_wl.ratings.as_ref().expect("ratings workload");
-    let cfg = CfConfig { k: 16, lambda: 0.05, gamma0: 0.01, step_decay: 0.95, seed: 42 };
+    let cfg = CfConfig {
+        k: 16,
+        lambda: 0.05,
+        gamma0: 0.01,
+        step_decay: 0.95,
+        seed: 42,
+    };
     let (_, history) = graphmaze_core::native::cf::sgd(ratings, &cfg, 5, 0);
     println!(
         "cf (sgd) : {} users x {} items, {} ratings; rmse {:.3} -> {:.3} in 5 epochs",
@@ -63,10 +69,10 @@ fn main() {
     // And the headline of the paper: the same algorithm, same data, on a
     // simulated 4-node cluster under two frameworks.
     let params = BenchParams::default();
-    let native = run_benchmark(Algorithm::PageRank, Framework::Native, &wl, 4, &params)
-        .expect("native run");
-    let giraph = run_benchmark(Algorithm::PageRank, Framework::Giraph, &wl, 4, &params)
-        .expect("giraph run");
+    let native =
+        run_benchmark(Algorithm::PageRank, Framework::Native, &wl, 4, &params).expect("native run");
+    let giraph =
+        run_benchmark(Algorithm::PageRank, Framework::Giraph, &wl, 4, &params).expect("giraph run");
     println!(
         "ninja gap: pagerank/iter native {:.4}s vs giraph {:.2}s  ({:.0}x)",
         native.report.seconds_per_iteration(),

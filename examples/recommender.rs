@@ -24,7 +24,13 @@ fn main() {
     );
 
     // --- train with SGD ---------------------------------------------------
-    let cfg = CfConfig { k: 32, lambda: 0.05, gamma0: 0.015, step_decay: 0.95, seed: 7 };
+    let cfg = CfConfig {
+        k: 32,
+        lambda: 0.05,
+        gamma0: 0.015,
+        step_decay: 0.95,
+        seed: 7,
+    };
     let epochs = 12;
     let (factors, sgd_hist) = cf::sgd(ratings, &cfg, epochs, 0);
     println!("sgd training rmse per epoch:");
@@ -68,19 +74,35 @@ fn main() {
         .map(|v| (v, factors.predict(user, v)))
         .collect();
     predictions.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("\ntop 5 recommendations for the most active user (user {user}, {} ratings):",
-        ratings.user_degree(user));
+    println!(
+        "\ntop 5 recommendations for the most active user (user {user}, {} ratings):",
+        ratings.user_degree(user)
+    );
     for (v, score) in predictions.iter().take(5) {
         println!("  movie {v:>6}  predicted {score:.2} stars");
     }
 
     // --- and the framework angle -------------------------------------------
-    let params = BenchParams { cf: cfg, cf_iterations: 1, ..Default::default() };
+    let params = BenchParams {
+        cf: cfg,
+        cf_iterations: 1,
+        ..Default::default()
+    };
     println!("\ncf time/iteration on a simulated 4-node cluster:");
-    let native =
-        run_benchmark(Algorithm::CollaborativeFiltering, Framework::Native, &wl, 4, &params)
-            .expect("native");
-    for fw in [Framework::Native, Framework::CombBlas, Framework::GraphLab, Framework::Giraph] {
+    let native = run_benchmark(
+        Algorithm::CollaborativeFiltering,
+        Framework::Native,
+        &wl,
+        4,
+        &params,
+    )
+    .expect("native");
+    for fw in [
+        Framework::Native,
+        Framework::CombBlas,
+        Framework::GraphLab,
+        Framework::Giraph,
+    ] {
         match run_benchmark(Algorithm::CollaborativeFiltering, fw, &wl, 4, &params) {
             Ok(out) => println!(
                 "  {:<10} {:>10.4}s/iter ({:.1}x)",

@@ -57,14 +57,18 @@ fn main() {
         .sum();
     println!(
         "\ntriangles: {tri} (global clustering coefficient {:.4})",
-        if wedges > 0 { 3.0 * tri as f64 / wedges as f64 } else { 0.0 }
+        if wedges > 0 {
+            3.0 * tri as f64 / wedges as f64
+        } else {
+            0.0
+        }
     );
 
     // --- the maze: same job, five frameworks, 4 nodes ---------------------
     println!("\npagerank time/iteration on a simulated 4-node cluster:");
     let params = BenchParams::default();
-    let native = run_benchmark(Algorithm::PageRank, Framework::Native, &wl, 4, &params)
-        .expect("native");
+    let native =
+        run_benchmark(Algorithm::PageRank, Framework::Native, &wl, 4, &params).expect("native");
     for fw in Framework::ALL {
         let line = match run_benchmark(Algorithm::PageRank, fw, &wl, 4, &params) {
             Ok(out) => format!(

@@ -44,8 +44,8 @@ fn pagerank_identical_across_engines_and_node_counts() {
             }
         }
         // Galois, single node
-        let out = run_benchmark(Algorithm::PageRank, Framework::Galois, &wl, 1, &params)
-            .expect("galois");
+        let out =
+            run_benchmark(Algorithm::PageRank, Framework::Galois, &wl, 1, &params).expect("galois");
         assert!((out.digest - reference.digest).abs() / reference.digest.abs() < 1e-9);
     }
 }
@@ -60,7 +60,11 @@ fn bfs_distances_identical_across_engines() {
             for fw in MULTI_NODE_FRAMEWORKS {
                 let out = run_benchmark(Algorithm::Bfs, fw, &wl, nodes, &params)
                     .unwrap_or_else(|e| panic!("{fw:?} on {}: {e}", wl.name));
-                assert_eq!(out.digest, reference.digest, "{fw:?} on {} x{nodes}", wl.name);
+                assert_eq!(
+                    out.digest, reference.digest,
+                    "{fw:?} on {} x{nodes}",
+                    wl.name
+                );
             }
         }
         let galois =
@@ -80,7 +84,11 @@ fn triangle_counts_identical_across_engines() {
             for fw in MULTI_NODE_FRAMEWORKS {
                 let out = run_benchmark(Algorithm::TriangleCount, fw, &wl, nodes, &params)
                     .unwrap_or_else(|e| panic!("{fw:?} on {}: {e}", wl.name));
-                assert_eq!(out.digest, reference.digest, "{fw:?} on {} x{nodes}", wl.name);
+                assert_eq!(
+                    out.digest, reference.digest,
+                    "{fw:?} on {} x{nodes}",
+                    wl.name
+                );
             }
         }
         let galois = run_benchmark(Algorithm::TriangleCount, Framework::Galois, &wl, 1, &params)
@@ -91,7 +99,10 @@ fn triangle_counts_identical_across_engines() {
 
 #[test]
 fn cf_training_error_drops_under_every_engine() {
-    let params = BenchParams { cf_iterations: 5, ..BenchParams::default() };
+    let params = BenchParams {
+        cf_iterations: 5,
+        ..BenchParams::default()
+    };
     let wl = Workload::rmat_ratings(9, 64, 104);
     let g = wl.ratings.as_ref().unwrap();
     // untrained rmse baseline: tiny random factors predict ~0 stars
@@ -120,7 +131,11 @@ fn native_is_never_slower_than_any_framework() {
     let graph = Workload::rmat(10, 8, 105);
     let ratings = Workload::rmat_ratings(9, 64, 105);
     for alg in Algorithm::ALL {
-        let wl = if alg == Algorithm::CollaborativeFiltering { &ratings } else { &graph };
+        let wl = if alg == Algorithm::CollaborativeFiltering {
+            &ratings
+        } else {
+            &graph
+        };
         for nodes in [1usize, 4] {
             let native = run_benchmark(alg, Framework::Native, wl, nodes, &params).unwrap();
             for fw in Framework::ALL {

@@ -8,7 +8,10 @@ use graphmaze_core::prelude::*;
 
 fn tiny_memory_spec(nodes: usize, bytes: u64) -> ClusterSpec {
     let mut spec = ClusterSpec::paper(nodes);
-    spec.hw = HardwareSpec { mem_capacity_bytes: bytes, ..spec.hw };
+    spec.hw = HardwareSpec {
+        mem_capacity_bytes: bytes,
+        ..spec.hw
+    };
     spec
 }
 
@@ -70,7 +73,7 @@ fn giraph_tc_with_memory(
         per_message_overhead_bytes: giraph::MESSAGE_OBJECT_OVERHEAD,
         max_supersteps: 4,
         replicate_hubs_factor: None,
-            compress_ids: false,
+        compress_ids: false,
     };
     let n = oriented.num_vertices();
     let (values, report) = run(
@@ -88,13 +91,15 @@ fn giraph_tc_with_memory(
     // peak against an artificial budget, which is what a memory-limited
     // JVM heap would have enforced mid-superstep.
     if report.peak_mem_bytes > mem_bytes {
-        return Err(SimError::OutOfMemory(graphmaze_core::metrics::OutOfMemory {
-            node: 0,
-            in_use: report.peak_mem_bytes,
-            requested: 0,
-            capacity: mem_bytes,
-            label: "giraph:message-buffers".into(),
-        }));
+        return Err(SimError::OutOfMemory(
+            graphmaze_core::metrics::OutOfMemory {
+                node: 0,
+                in_use: report.peak_mem_bytes,
+                requested: 0,
+                capacity: mem_bytes,
+                label: "giraph:message-buffers".into(),
+            },
+        ));
     }
     Ok(values.iter().sum())
 }
@@ -124,7 +129,13 @@ fn missing_workload_views_are_invalid_config() {
         Err(SimError::InvalidConfig(_))
     ));
     assert!(matches!(
-        run_benchmark(Algorithm::CollaborativeFiltering, Framework::Native, &graph, 1, &params),
+        run_benchmark(
+            Algorithm::CollaborativeFiltering,
+            Framework::Native,
+            &graph,
+            1,
+            &params
+        ),
         Err(SimError::InvalidConfig(_))
     ));
 }

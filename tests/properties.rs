@@ -1,5 +1,7 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants of the substrate crates.
+//! Property-style tests on the core data structures and invariants of the
+//! substrate crates. Each property is exercised over many pseudo-random
+//! cases drawn from a deterministic in-test generator (fixed seeds, so
+//! failures reproduce exactly; no external fuzzing dependency).
 
 use graphmaze_core::cluster::compress::{decode, encode_best, encode_with, Encoding};
 use graphmaze_core::cluster::{Partition1D, Partition2D};
@@ -10,25 +12,56 @@ use graphmaze_core::native::bfs::{bfs, validate_distances, UNREACHED};
 use graphmaze_core::native::pagerank::pagerank;
 use graphmaze_core::native::triangle::{orient_and_sort, triangles, triangles_brute_force};
 use graphmaze_core::prelude::*;
-use proptest::prelude::*;
 
-/// Arbitrary edge list over up to 64 vertices.
-fn arb_edges(max_v: u32, max_e: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
-    (2..=max_v).prop_flat_map(move |n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..n), 0..max_e),
-        )
-    })
+/// SplitMix64: tiny deterministic generator for test-case sampling.
+struct TestRng(u64);
+
+impl TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Random edge list: `2..=max_v` vertices, `0..max_e` edges (self-loops and
+/// duplicates allowed, like the proptest strategy this replaces).
+fn arb_edges(rng: &mut TestRng, max_v: u32, max_e: usize) -> (u32, Vec<(u32, u32)>) {
+    let n = 2 + rng.below(u64::from(max_v) - 1) as u32;
+    let e = rng.below(max_e as u64) as usize;
+    let edges = (0..e)
+        .map(|_| {
+            (
+                rng.below(u64::from(n)) as u32,
+                rng.below(u64::from(n)) as u32,
+            )
+        })
+        .collect();
+    (n, edges)
+}
 
-    #[test]
-    fn csr_round_trips_edge_multiset((n, edges) in arb_edges(64, 200)) {
+const CASES: u64 = 64;
+const CASES_SLOW: u64 = 32;
+
+#[test]
+fn csr_round_trips_edge_multiset() {
+    for seed in 0..CASES {
+        let mut rng = TestRng(seed);
+        let (n, edges) = arb_edges(&mut rng, 64, 200);
         let csr = Csr::from_edges(u64::from(n), &edges);
-        prop_assert_eq!(csr.num_edges(), edges.len() as u64);
+        assert_eq!(csr.num_edges(), edges.len() as u64);
         // reconstruct and compare as sorted multisets
         let mut rebuilt: Vec<(u32, u32)> = (0..n)
             .flat_map(|v| csr.neighbors(v).iter().map(move |&d| (v, d)))
@@ -36,26 +69,35 @@ proptest! {
         let mut orig = edges.clone();
         rebuilt.sort_unstable();
         orig.sort_unstable();
-        prop_assert_eq!(rebuilt, orig);
+        assert_eq!(rebuilt, orig, "seed {seed}");
     }
+}
 
-    #[test]
-    fn transpose_is_involutive_up_to_adjacency_order((n, edges) in arb_edges(48, 150)) {
+#[test]
+fn transpose_is_involutive_up_to_adjacency_order() {
+    for seed in 0..CASES {
+        let mut rng = TestRng(seed);
+        let (n, edges) = arb_edges(&mut rng, 48, 150);
         // double transpose preserves the edge multiset (adjacency order
         // within a vertex may differ from insertion order)
         let mut csr = Csr::from_edges(u64::from(n), &edges);
         let mut back = csr.transpose().transpose();
         csr.sort_neighbors();
         back.sort_neighbors();
-        prop_assert_eq!(back, csr);
+        assert_eq!(back, csr, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bitvec_matches_hashset_model(ops in proptest::collection::vec((0usize..200, any::<bool>()), 1..100)) {
+#[test]
+fn bitvec_matches_hashset_model() {
+    for seed in 0..CASES {
+        let mut rng = TestRng(seed);
         let mut bv = BitVec::new(200);
         let mut model = std::collections::HashSet::new();
-        for (idx, set) in ops {
-            if set {
+        let ops = 1 + rng.below(99);
+        for _ in 0..ops {
+            let idx = rng.below(200) as usize;
+            if rng.bool() {
                 bv.set(idx);
                 model.insert(idx);
             } else {
@@ -63,31 +105,41 @@ proptest! {
                 model.remove(&idx);
             }
         }
-        prop_assert_eq!(bv.count_ones(), model.len());
+        assert_eq!(bv.count_ones(), model.len());
         for i in 0..200 {
-            prop_assert_eq!(bv.get(i), model.contains(&i), "bit {}", i);
+            assert_eq!(bv.get(i), model.contains(&i), "seed {seed} bit {i}");
         }
         let ones: Vec<usize> = bv.iter_ones().collect();
         let mut want: Vec<usize> = model.into_iter().collect();
         want.sort_unstable();
-        prop_assert_eq!(ones, want);
+        assert_eq!(ones, want, "seed {seed}");
     }
+}
 
-    #[test]
-    fn compression_round_trips(mut ids in proptest::collection::vec(0u32..100_000, 0..500)) {
+#[test]
+fn compression_round_trips() {
+    for seed in 0..CASES {
+        let mut rng = TestRng(seed);
+        let len = rng.below(500) as usize;
+        let mut ids: Vec<u32> = (0..len).map(|_| rng.below(100_000) as u32).collect();
         ids.sort_unstable();
         ids.dedup();
         let universe = 100_000u64;
         for enc in [Encoding::Raw, Encoding::DeltaVarint, Encoding::Bitmap] {
             let buf = encode_with(&ids, universe, enc);
-            prop_assert_eq!(decode(&buf).unwrap(), ids.clone());
+            assert_eq!(decode(&buf).unwrap(), ids, "seed {seed} {enc:?}");
         }
         let best = encode_best(&ids, universe);
-        prop_assert_eq!(decode(&best).unwrap(), ids);
+        assert_eq!(decode(&best).unwrap(), ids, "seed {seed}");
     }
+}
 
-    #[test]
-    fn partition1d_covers_disjointly((n, edges) in arb_edges(64, 200), nodes in 1usize..8) {
+#[test]
+fn partition1d_covers_disjointly() {
+    for seed in 0..CASES {
+        let mut rng = TestRng(seed);
+        let (n, edges) = arb_edges(&mut rng, 64, 200);
+        let nodes = 1 + rng.below(7) as usize;
         let csr = Csr::from_edges(u64::from(n), &edges);
         let p = Partition1D::balanced_by_edges(&csr, nodes);
         let mut covered = 0u64;
@@ -95,93 +147,132 @@ proptest! {
             let r = p.range(node);
             covered += u64::from(r.end - r.start);
             for v in r.start..r.end {
-                prop_assert_eq!(p.owner(v), node, "owner({}) in range of {}", v, node);
+                assert_eq!(
+                    p.owner(v),
+                    node,
+                    "seed {seed} owner({v}) in range of {node}"
+                );
             }
         }
-        prop_assert_eq!(covered, u64::from(n));
+        assert_eq!(covered, u64::from(n), "seed {seed}");
         let total_edges: u64 = (0..nodes).map(|k| p.edges_of(&csr, k)).sum();
-        prop_assert_eq!(total_edges, csr.num_edges());
+        assert_eq!(total_edges, csr.num_edges(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn partition2d_owner_is_total(nodes in prop_oneof![Just(1usize), Just(4), Just(9), Just(16)],
-                                  n in 1u64..200) {
+#[test]
+fn partition2d_owner_is_total() {
+    for seed in 0..CASES {
+        let mut rng = TestRng(seed);
+        let nodes = [1usize, 4, 9, 16][rng.below(4) as usize];
+        let n = 1 + rng.below(199);
         let p = Partition2D::square(nodes, n).unwrap();
         for u in 0..n.min(40) {
             for v in 0..n.min(40) {
                 let o = p.owner(u as u32, v as u32);
-                prop_assert!(o < nodes);
+                assert!(o < nodes, "seed {seed} owner({u},{v}) = {o}");
             }
         }
     }
+}
 
-    #[test]
-    fn triangle_count_matches_brute_force((n, edges) in arb_edges(24, 80)) {
+#[test]
+fn triangle_count_matches_brute_force() {
+    for seed in 0..CASES {
+        let mut rng = TestRng(seed);
+        let (n, edges) = arb_edges(&mut rng, 24, 80);
         let el = EdgeList::from_edges(u64::from(n), edges.clone()).unwrap();
         let g = orient_and_sort(&el);
         let fast = triangles(&g, 2);
         let brute = triangles_brute_force(&edges, n as usize);
-        prop_assert_eq!(fast, brute);
+        assert_eq!(fast, brute, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bfs_distances_validate((n, edges) in arb_edges(48, 150), src in 0u32..48) {
-        let src = src % n;
+#[test]
+fn bfs_distances_validate() {
+    for seed in 0..CASES {
+        let mut rng = TestRng(seed);
+        let (n, edges) = arb_edges(&mut rng, 48, 150);
+        let src = rng.below(u64::from(n)) as u32;
         let g = UndirectedGraph::from_edges(u64::from(n), &edges);
         let d = bfs(&g, src, 2);
-        prop_assert!(validate_distances(&g, src, &d));
-        prop_assert_eq!(d[src as usize], 0);
+        assert!(validate_distances(&g, src, &d), "seed {seed}");
+        assert_eq!(d[src as usize], 0, "seed {seed}");
         // triangle inequality along edges
         for v in 0..n {
             for &u in g.adj.neighbors(v) {
                 let (dv, du) = (d[v as usize], d[u as usize]);
                 if dv != UNREACHED && du != UNREACHED {
-                    prop_assert!(dv.abs_diff(du) <= 1);
+                    assert!(dv.abs_diff(du) <= 1, "seed {seed} edge ({v},{u})");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn pagerank_values_bounded_below_by_r((n, edges) in arb_edges(48, 150)) {
+#[test]
+fn pagerank_values_bounded_below_by_r() {
+    for seed in 0..CASES {
+        let mut rng = TestRng(seed);
+        let (n, edges) = arb_edges(&mut rng, 48, 150);
         let g = DirectedGraph::from_edges(u64::from(n), &edges);
         let pr = pagerank(&g, 0.3, 5, 2);
         for &v in &pr {
-            prop_assert!(v >= 0.3 - 1e-12, "rank {} below r", v);
-            prop_assert!(v.is_finite());
+            assert!(v >= 0.3 - 1e-12, "seed {seed} rank {v} below r");
+            assert!(v.is_finite(), "seed {seed}");
         }
-    }
-
-    #[test]
-    fn rmat_deterministic_and_in_range(scale in 4u32..9, ef in 1u32..8, seed in any::<u64>()) {
-        let cfg = RmatConfig {
-            scale, edge_factor: ef, params: RmatParams::GRAPH500,
-            seed, scramble_ids: true, threads: 2,
-        };
-        let a = rmat::generate(&cfg);
-        let b = rmat::generate(&cfg);
-        prop_assert_eq!(a.edges(), b.edges());
-        prop_assert_eq!(a.num_edges(), u64::from(ef) << scale);
-        let n = 1u64 << scale;
-        prop_assert!(a.edges().iter().all(|&(s, d)| u64::from(s) < n && u64::from(d) < n));
-    }
-
-    #[test]
-    fn orient_by_id_produces_dag((n, edges) in arb_edges(32, 100)) {
-        let mut el = EdgeList::from_edges(u64::from(n), edges).unwrap();
-        el.orient_by_id();
-        prop_assert!(el.edges().iter().all(|&(s, d)| s < d));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn rmat_deterministic_and_in_range() {
+    for case in 0..CASES_SLOW {
+        let mut rng = TestRng(case);
+        let scale = 4 + rng.below(5) as u32;
+        let ef = 1 + rng.below(7) as u32;
+        let seed = rng.next_u64();
+        let cfg = RmatConfig {
+            scale,
+            edge_factor: ef,
+            params: RmatParams::GRAPH500,
+            seed,
+            scramble_ids: true,
+            threads: 2,
+        };
+        let a = rmat::generate(&cfg);
+        let b = rmat::generate(&cfg);
+        assert_eq!(a.edges(), b.edges(), "case {case}");
+        assert_eq!(a.num_edges(), u64::from(ef) << scale, "case {case}");
+        let n = 1u64 << scale;
+        assert!(
+            a.edges()
+                .iter()
+                .all(|&(s, d)| u64::from(s) < n && u64::from(d) < n),
+            "case {case}"
+        );
+    }
+}
 
-    #[test]
-    fn spmv_matches_dense_reference((n, edges) in arb_edges(24, 80)) {
-        use graphmaze_core::cluster::ClusterSpec;
-        use graphmaze_core::engines::spmv::matrix::DistMatrix;
-        use graphmaze_core::engines::spmv::semiring::PLUS_TIMES;
+#[test]
+fn orient_by_id_produces_dag() {
+    for seed in 0..CASES {
+        let mut rng = TestRng(seed);
+        let (n, edges) = arb_edges(&mut rng, 32, 100);
+        let mut el = EdgeList::from_edges(u64::from(n), edges).unwrap();
+        el.orient_by_id();
+        assert!(el.edges().iter().all(|&(s, d)| s < d), "seed {seed}");
+    }
+}
+
+#[test]
+fn spmv_matches_dense_reference() {
+    use graphmaze_core::cluster::ClusterSpec;
+    use graphmaze_core::engines::spmv::matrix::DistMatrix;
+    use graphmaze_core::engines::spmv::semiring::PLUS_TIMES;
+    for seed in 0..CASES_SLOW {
+        let mut rng = TestRng(seed);
+        let (n, edges) = arb_edges(&mut rng, 24, 80);
         let mut csr = Csr::from_edges(u64::from(n), &edges);
         csr.sort_neighbors();
         let m = DistMatrix::new(&csr, 1).unwrap();
@@ -197,14 +288,18 @@ proptest! {
             want[v as usize] += x[u as usize];
         }
         for (a, b) in y.iter().zip(&want) {
-            prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+            assert!((a - b).abs() < 1e-9, "seed {seed}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn spgemm_masked_count_matches_triangles((n, edges) in arb_edges(20, 60)) {
-        use graphmaze_core::cluster::ClusterSpec;
-        use graphmaze_core::engines::spmv::matrix::DistMatrix;
+#[test]
+fn spgemm_masked_count_matches_triangles() {
+    use graphmaze_core::cluster::ClusterSpec;
+    use graphmaze_core::engines::spmv::matrix::DistMatrix;
+    for seed in 0..CASES_SLOW {
+        let mut rng = TestRng(seed);
+        let (n, edges) = arb_edges(&mut rng, 20, 60);
         // on a DAG orientation, Σ_{(i,j)∈A} A²_ij counts each triangle once
         let el = EdgeList::from_edges(u64::from(n), edges.clone()).unwrap();
         let g = orient_and_sort(&el);
@@ -214,38 +309,54 @@ proptest! {
             graphmaze_core::cluster::ExecProfile::combblas(),
         );
         let (count, _) = m.spgemm_masked_count(&mut sim).unwrap();
-        prop_assert_eq!(count, triangles_brute_force(&edges, n as usize));
+        assert_eq!(
+            count,
+            triangles_brute_force(&edges, n as usize),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn csr_binary_serialization_round_trips((n, edges) in arb_edges(48, 150)) {
-        use graphmaze_core::graph::io::{read_binary_csr, write_binary_csr};
+#[test]
+fn csr_binary_serialization_round_trips() {
+    use graphmaze_core::graph::io::{read_binary_csr, write_binary_csr};
+    for seed in 0..CASES_SLOW {
+        let mut rng = TestRng(seed);
+        let (n, edges) = arb_edges(&mut rng, 48, 150);
         let csr = Csr::from_edges(u64::from(n), &edges);
         let mut buf = Vec::new();
         write_binary_csr(&mut buf, &csr).unwrap();
-        prop_assert_eq!(read_binary_csr(&buf[..]).unwrap(), csr);
+        assert_eq!(read_binary_csr(&buf[..]).unwrap(), csr, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bfs_parents_always_validate((n, edges) in arb_edges(40, 120), src in 0u32..40) {
-        use graphmaze_core::native::bfs::{bfs_with_parents, validate_parents};
-        let src = src % n;
+#[test]
+fn bfs_parents_always_validate() {
+    use graphmaze_core::native::bfs::{bfs_with_parents, validate_parents};
+    for seed in 0..CASES_SLOW {
+        let mut rng = TestRng(seed);
+        let (n, edges) = arb_edges(&mut rng, 40, 120);
+        let src = rng.below(u64::from(n)) as u32;
         let g = UndirectedGraph::from_edges(u64::from(n), &edges);
         let (dist, parent) = bfs_with_parents(&g, src);
-        prop_assert!(validate_parents(&g, src, &dist, &parent));
+        assert!(validate_parents(&g, src, &dist, &parent), "seed {seed}");
     }
 }
 
 #[test]
 fn pagerank_engine_agreement_on_random_graphs() {
-    // a deterministic mini-fuzz across engines (proptest shrinking on the
-    // full crossbar is too slow; fixed seeds suffice here)
+    // a deterministic mini-fuzz across engines (full-crossbar fuzzing is
+    // too slow; fixed seeds suffice here)
     let params = BenchParams::default();
     for seed in [1u64, 2, 3] {
         let wl = Workload::rmat(8, 6, seed);
         let native =
             run_benchmark(Algorithm::PageRank, Framework::Native, &wl, 2, &params).unwrap();
-        for fw in [Framework::CombBlas, Framework::GraphLab, Framework::SociaLite] {
+        for fw in [
+            Framework::CombBlas,
+            Framework::GraphLab,
+            Framework::SociaLite,
+        ] {
             let out = run_benchmark(Algorithm::PageRank, fw, &wl, 2, &params).unwrap();
             assert!(
                 (out.digest - native.digest).abs() / native.digest.abs() < 1e-9,

@@ -12,7 +12,10 @@ fn single_node_ninja_gap_ordering() {
     let wl = Workload::rmat(12, 16, 201);
     let params = BenchParams::default();
     let t = |fw: Framework| -> f64 {
-        run_benchmark(Algorithm::PageRank, fw, &wl, 1, &params).unwrap().report.sim_seconds
+        run_benchmark(Algorithm::PageRank, fw, &wl, 1, &params)
+            .unwrap()
+            .report
+            .sim_seconds
     };
     let native = t(Framework::Native);
     let galois = t(Framework::Galois);
@@ -24,9 +27,15 @@ fn single_node_ninja_gap_ordering() {
     assert!(combblas < giraph);
     assert!(graphlab < giraph);
     let gap = giraph / native;
-    assert!(gap > 30.0, "giraph single-node gap only {gap}x (paper: 39x geomean)");
+    assert!(
+        gap > 30.0,
+        "giraph single-node gap only {gap}x (paper: 39x geomean)"
+    );
     let galois_gap = galois / native;
-    assert!(galois_gap < 3.0, "galois should be near native, got {galois_gap}x");
+    assert!(
+        galois_gap < 3.0,
+        "galois should be near native, got {galois_gap}x"
+    );
 }
 
 #[test]
@@ -37,8 +46,8 @@ fn weak_scaling_native_stays_flat_while_traffic_grows() {
     let mut traffic = Vec::new();
     for (nodes, scale) in [(1usize, 10u32), (2, 11), (4, 12), (8, 13)] {
         let wl = Workload::rmat(scale, 8, 202); // constant edges/node
-        let out = run_benchmark(Algorithm::PageRank, Framework::Native, &wl, nodes, &params)
-            .unwrap();
+        let out =
+            run_benchmark(Algorithm::PageRank, Framework::Native, &wl, nodes, &params).unwrap();
         times.push(out.report.seconds_per_iteration());
         traffic.push(out.report.net_bytes_per_node());
     }
@@ -47,7 +56,10 @@ fn weak_scaling_native_stays_flat_while_traffic_grows() {
     let growth = times[3] / times[0];
     assert!(growth < 8.0, "weak scaling blow-up {growth}x: {times:?}");
     assert!(traffic[0] == 0.0 && traffic[3] > 0.0);
-    assert!(traffic[3] > traffic[1], "per-node traffic should grow: {traffic:?}");
+    assert!(
+        traffic[3] > traffic[1],
+        "per-node traffic should grow: {traffic:?}"
+    );
 }
 
 #[test]
@@ -57,20 +69,34 @@ fn giraph_cpu_utilization_is_capped_and_native_is_not() {
     let giraph = run_benchmark(Algorithm::PageRank, Framework::Giraph, &wl, 4, &params)
         .unwrap()
         .report;
-    assert!(giraph.cpu_utilization <= 4.0 / 24.0 + 1e-9, "giraph util {}", giraph.cpu_utilization);
+    assert!(
+        giraph.cpu_utilization <= 4.0 / 24.0 + 1e-9,
+        "giraph util {}",
+        giraph.cpu_utilization
+    );
     let native = run_benchmark(Algorithm::PageRank, Framework::Native, &wl, 1, &params)
         .unwrap()
         .report;
-    assert!(native.cpu_utilization > 0.5, "native single-node util {}", native.cpu_utilization);
+    assert!(
+        native.cpu_utilization > 0.5,
+        "native single-node util {}",
+        native.cpu_utilization
+    );
 }
 
 #[test]
 fn socialite_network_fix_matches_table7_direction() {
     let wl = Workload::rmat(13, 16, 204);
     let params = BenchParams::default();
-    let before = run_benchmark(Algorithm::PageRank, Framework::SociaLiteUnopt, &wl, 4, &params)
-        .unwrap()
-        .report;
+    let before = run_benchmark(
+        Algorithm::PageRank,
+        Framework::SociaLiteUnopt,
+        &wl,
+        4,
+        &params,
+    )
+    .unwrap()
+    .report;
     let after = run_benchmark(Algorithm::PageRank, Framework::SociaLite, &wl, 4, &params)
         .unwrap()
         .report;
@@ -99,8 +125,14 @@ fn peak_network_bandwidth_ordering_matches_fig6() {
     let graphlab = peak(Framework::GraphLab);
     let socialite = peak(Framework::SociaLite);
     let giraph = peak(Framework::Giraph);
-    assert!(native > socialite, "native {native} > socialite {socialite}");
-    assert!(socialite > graphlab, "socialite {socialite} > graphlab {graphlab}");
+    assert!(
+        native > socialite,
+        "native {native} > socialite {socialite}"
+    );
+    assert!(
+        socialite > graphlab,
+        "socialite {socialite} > graphlab {graphlab}"
+    );
     assert!(graphlab > giraph, "graphlab {graphlab} > giraph {giraph}");
 }
 
@@ -126,11 +158,31 @@ fn native_optimization_levers_all_help_pagerank() {
     use graphmaze_core::native::pagerank::pagerank_cluster;
     let wl = Workload::rmat(12, 16, 207);
     let g = wl.directed.as_ref().unwrap();
-    let all = pagerank_cluster(g, PAGERANK_R, 3, NativeOptions::all(), 4).unwrap().1;
+    let all = pagerank_cluster(g, PAGERANK_R, 3, NativeOptions::all(), 4)
+        .unwrap()
+        .1;
     for (name, opts) in [
-        ("no-prefetch", NativeOptions { prefetch: false, ..NativeOptions::all() }),
-        ("no-compression", NativeOptions { compression: false, ..NativeOptions::all() }),
-        ("no-overlap", NativeOptions { overlap: false, ..NativeOptions::all() }),
+        (
+            "no-prefetch",
+            NativeOptions {
+                prefetch: false,
+                ..NativeOptions::all()
+            },
+        ),
+        (
+            "no-compression",
+            NativeOptions {
+                compression: false,
+                ..NativeOptions::all()
+            },
+        ),
+        (
+            "no-overlap",
+            NativeOptions {
+                overlap: false,
+                ..NativeOptions::all()
+            },
+        ),
     ] {
         let out = pagerank_cluster(g, PAGERANK_R, 3, opts, 4).unwrap().1;
         assert!(
@@ -151,11 +203,20 @@ fn multi_node_gap_larger_than_single_node_for_graphlab() {
     let gap = |nodes: usize| -> f64 {
         let native =
             run_benchmark(Algorithm::PageRank, Framework::Native, &wl, nodes, &params).unwrap();
-        let gl =
-            run_benchmark(Algorithm::PageRank, Framework::GraphLab, &wl, nodes, &params).unwrap();
+        let gl = run_benchmark(
+            Algorithm::PageRank,
+            Framework::GraphLab,
+            &wl,
+            nodes,
+            &params,
+        )
+        .unwrap();
         gl.report.slowdown_vs(&native.report)
     };
     let single = gap(1);
     let multi = gap(4);
-    assert!(multi > single, "multi-node gap {multi} should exceed single-node {single}");
+    assert!(
+        multi > single,
+        "multi-node gap {multi} should exceed single-node {single}"
+    );
 }
