@@ -33,10 +33,67 @@ options:
                       byte-identical to a serial run)
   --resume            skip cells already recorded in the sweep journal
                       (results/journal.jsonl) from an interrupted run
+  --progress, -v      print live per-cell progress events (started/finished/
+                      failed, cells remaining, elapsed) to stderr
+  --trace DIR         write a Chrome trace-event JSON (Perfetto-loadable) and
+                      per-step CSVs for every sweep under DIR
+  --list              list every experiment with its sweep-cell count and exit
   --no-extrapolate    report raw scaled-down seconds instead of paper-scale
   --no-csv            do not write results/*.csv (also disables the journal)
   --out DIR           CSV output directory (default results/)
 ";
+
+/// `(name, sweep cells, description)` for `--list`. Cell counts are the
+/// defaults (they do not depend on `--scale`); "direct" experiments run
+/// engines without the sweep executor.
+const LISTING: [(&str, &str, &str); 18] = [
+    ("table2", "direct", "framework capability matrix"),
+    ("table3", "direct", "dataset inventory and scaled stand-ins"),
+    ("table4", "8", "native algorithm throughput at paper scale"),
+    (
+        "fig3",
+        "84",
+        "per-dataset runtimes vs native, single node (also table5)",
+    ),
+    ("table5", "from fig3", "geomean single-node slowdowns"),
+    (
+        "fig4",
+        "140",
+        "weak scaling across node counts (also table6)",
+    ),
+    ("table6", "from fig4", "geomean multi-node slowdowns"),
+    ("fig5", "20", "large real-world graphs, multi-node"),
+    ("fig6", "20", "resource utilization: CPU, network, memory"),
+    ("fig7", "direct", "BFS direction-optimization ablation"),
+    ("table7", "4", "SociaLite network-stack fix before/after"),
+    (
+        "netestimate",
+        "5",
+        "network traffic model vs measured bytes",
+    ),
+    ("sgdvsgd", "direct", "SGD vs GD convergence for CF"),
+    (
+        "giraphsplit",
+        "direct",
+        "Giraph superstep-split memory relief",
+    ),
+    ("ablations", "direct", "native optimization ablations"),
+    ("strongscaling", "28", "strong scaling across node counts"),
+    ("roadmap", "direct", "framework-choice decision table"),
+    (
+        "relatedwork",
+        "direct",
+        "related-framework qualitative table",
+    ),
+];
+
+fn print_listing() {
+    println!("{:<14} {:>9}  description", "experiment", "cells");
+    for (name, cells, desc) in LISTING {
+        println!("{name:<14} {cells:>9}  {desc}");
+    }
+    println!("\n`all` runs everything above in order, deduplicating fig3/table5 and fig4/table6.");
+}
 
 /// Every dispatchable experiment name, in `all` execution order.
 const EXPERIMENTS: [&str; 18] = [
@@ -68,6 +125,7 @@ fn main() {
     }
     let mut cfg = ReproConfig::default();
     let mut experiments: Vec<String> = Vec::new();
+    let mut list = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -91,6 +149,15 @@ fn main() {
                     .unwrap_or_else(|| die("--jobs needs a positive integer"));
             }
             "--resume" => cfg.resume = true,
+            "--progress" | "-v" => cfg.progress = true,
+            "--trace" => {
+                cfg.trace_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--trace needs a directory"))
+                        .into(),
+                );
+            }
+            "--list" => list = true,
             "--no-extrapolate" => cfg.extrapolate = false,
             "--no-csv" => cfg.out_dir = None,
             "--out" => {
@@ -104,9 +171,13 @@ fn main() {
                 print!("{USAGE}");
                 return;
             }
-            other if other.starts_with('-') => die(&format!("unknown option {other}")),
+            other if other.starts_with('-') => die(&format!("unknown option `{other}`")),
             exp => experiments.push(exp.to_string()),
         }
+    }
+    if list {
+        print_listing();
+        return;
     }
     // validate every experiment name up front: a typo must fail the whole
     // invocation immediately, not hours into `repro all`

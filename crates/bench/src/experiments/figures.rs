@@ -433,11 +433,15 @@ pub fn fig5(cfg: &ReproConfig) -> String {
 }
 
 /// Figure 6 — system-level metrics for 4-node runs of each algorithm:
-/// CPU utilization, peak network bandwidth, memory footprint and network
+/// CPU utilization, network bandwidth, memory footprint and network
 /// bytes sent, normalized exactly as in the paper's caption (100 = 100%
 /// CPU / 5.5 GB/s / 64 GB/node / Giraph's bytes for that algorithm).
-/// The journal carries the full report, so resumed runs rebuild these
-/// columns — not just seconds — byte-identically.
+/// The "peak net bw" column is the **true peak** over the step timeline
+/// — the busiest single step's per-node send rate — with the
+/// duration-weighted average kept as a separate labelled column; peak ≥
+/// average by construction. The journal carries the full report
+/// (timeline included), so resumed runs rebuild these columns — not
+/// just seconds — byte-identically.
 pub fn fig6(cfg: &ReproConfig) -> String {
     let params = standard_params();
     let graph = WorkloadSpec::Rmat {
@@ -507,7 +511,8 @@ pub fn fig6(cfg: &ReproConfig) -> String {
                 Ok(r) => rows.push(vec![
                     fw.name().to_string(),
                     format!("{:.0}", r.cpu_utilization * 100.0),
-                    format!("{:.0}", r.traffic.peak_bw_bps / 5.5e9 * 100.0),
+                    format!("{:.0}", r.peak_net_bw_per_node() / 5.5e9 * 100.0),
+                    format!("{:.0}", r.achieved_net_bw_per_node() / 5.5e9 * 100.0),
                     format!(
                         "{:.0}",
                         r.peak_mem_bytes as f64 / (64u64 << 30) as f64 * 100.0
@@ -516,6 +521,7 @@ pub fn fig6(cfg: &ReproConfig) -> String {
                 ]),
                 Err(e) => rows.push(vec![
                     fw.name().into(),
+                    e.clone(),
                     e.clone(),
                     e.clone(),
                     e.clone(),
@@ -531,6 +537,7 @@ pub fn fig6(cfg: &ReproConfig) -> String {
             "framework",
             "cpu util %",
             "peak net bw %",
+            "avg net bw %",
             "memory %",
             "net bytes % of giraph",
         ];

@@ -26,6 +26,7 @@
 //! skips everything already measured.
 
 pub mod experiments;
+pub mod trace;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -71,6 +72,11 @@ pub struct ReproConfig {
     pub jobs: usize,
     /// Skip cells already recorded in the journal (`--resume`).
     pub resume: bool,
+    /// Print live per-cell progress events to stderr (`--progress`/`-v`).
+    pub progress: bool,
+    /// Write Chrome-trace JSON + per-step CSVs for every sweep under
+    /// this directory (`--trace DIR`; `None` disables).
+    pub trace_dir: Option<std::path::PathBuf>,
     /// Workloads built so far, shared by every experiment in this
     /// process.
     pub cache: Arc<WorkloadCache>,
@@ -87,6 +93,8 @@ impl Default for ReproConfig {
             out_dir: Some(std::path::PathBuf::from("results")),
             jobs: 1,
             resume: false,
+            progress: false,
+            trace_dir: None,
             cache: Arc::new(WorkloadCache::new()),
             stats: Arc::new(RunStats::default()),
         }
@@ -138,34 +146,92 @@ impl ReproConfig {
     }
 }
 
-/// Executes a sweep under `cfg`, printing live per-cell progress and a
-/// completion summary to stderr (stdout is reserved for the rendered
-/// tables and CSVs).
+/// Executes a sweep under `cfg`: live per-cell progress events go to
+/// stderr when `cfg.progress` is set (stdout is reserved for the
+/// rendered tables and CSVs), a completion summary always prints, and
+/// trace artifacts are written when `cfg.trace_dir` is set.
 pub fn run_sweep(cfg: &ReproConfig, sweep: &Sweep) -> SweepReport {
     let total = sweep.len();
     let done = AtomicUsize::new(0);
-    let report = sweep.run_with_progress(&cfg.sweep_options(), &cfg.cache, |_, cell, r| {
-        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-        let outcome = match (r.status, &r.outcome) {
-            (CellStatus::Resumed, Ok(_)) => "resumed".to_string(),
-            (CellStatus::Resumed, Err(e)) => format!("resumed ({})", e.annotation()),
-            (CellStatus::Ran, Ok(_)) => format!("ok in {:.2}s", r.wall_secs),
-            (CellStatus::Ran, Err(e)) => format!("{} in {:.2}s", e.annotation(), r.wall_secs),
+    let report = sweep.run_with_events(&cfg.sweep_options(), &cfg.cache, |ev| {
+        if !cfg.progress {
+            return;
+        }
+        let describe = |cell: &SweepCell| {
+            format!(
+                "{}×{} @ {}, {} node{}",
+                cell.algorithm.name(),
+                cell.framework.name(),
+                cell.label,
+                cell.nodes,
+                if cell.nodes == 1 { "" } else { "s" },
+            )
         };
-        eprintln!(
-            "  [{}] {n:>3}/{total} {}×{} @ {}, {} node{} — {outcome}",
-            sweep.experiment,
-            cell.algorithm.name(),
-            cell.framework.name(),
-            cell.label,
-            cell.nodes,
-            if cell.nodes == 1 { "" } else { "s" },
-        );
+        match ev {
+            SweepEvent::Started {
+                cell,
+                remaining,
+                elapsed_s,
+                ..
+            } => {
+                eprintln!(
+                    "  [{}] started {} — {remaining} cell{} to go, {elapsed_s:.1}s elapsed",
+                    sweep.experiment,
+                    describe(cell),
+                    if *remaining == 1 { "" } else { "s" },
+                );
+            }
+            SweepEvent::Finished {
+                cell,
+                result,
+                remaining,
+                elapsed_s,
+                ..
+            }
+            | SweepEvent::Failed {
+                cell,
+                result,
+                remaining,
+                elapsed_s,
+                ..
+            } => {
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                let outcome = match (result.status, &result.outcome) {
+                    (CellStatus::Resumed, Ok(_)) => "resumed".to_string(),
+                    (CellStatus::Resumed, Err(e)) => format!("resumed ({})", e.annotation()),
+                    (CellStatus::Ran, Ok(_)) => format!("ok in {:.2}s", result.wall_secs),
+                    (CellStatus::Ran, Err(e)) => {
+                        format!("{} in {:.2}s", e.annotation(), result.wall_secs)
+                    }
+                };
+                eprintln!(
+                    "  [{}] {n:>3}/{total} {} — {outcome} ({remaining} left, {elapsed_s:.1}s elapsed)",
+                    sweep.experiment,
+                    describe(cell),
+                );
+            }
+        }
     });
     eprintln!(
         "  [{}] {} cells in {:.1}s — {} run, {} resumed, {} failed",
         sweep.experiment, total, report.wall_secs, report.ran, report.resumed, report.failed
     );
+    if let Some(dir) = &cfg.trace_dir {
+        match trace::write_sweep_trace(dir, sweep, &report) {
+            Ok(traced) => eprintln!(
+                "  [{}] trace: {} cell{} -> {}",
+                sweep.experiment,
+                traced,
+                if traced == 1 { "" } else { "s" },
+                dir.join(format!("{}.trace.json", sweep.experiment))
+                    .display()
+            ),
+            Err(e) => eprintln!(
+                "warning: failed to write trace for {}: {e}",
+                sweep.experiment
+            ),
+        }
+    }
     cfg.stats.cells.fetch_add(total, Ordering::Relaxed);
     cfg.stats.ran.fetch_add(report.ran, Ordering::Relaxed);
     cfg.stats

@@ -1,0 +1,198 @@
+//! Step-trace export: Chrome trace-event JSON + per-step CSVs.
+//!
+//! With `repro --trace DIR`, every sweep writes two artifact kinds under
+//! `DIR`:
+//!
+//! * `{experiment}.trace.json` — one Chrome trace-event file for the
+//!   whole sweep, loadable in Perfetto (<https://ui.perfetto.dev>) or
+//!   `chrome://tracing`. Each successful cell is a *process* (named
+//!   `alg×fw @ label, N nodes`) with three *thread* lanes — `compute`,
+//!   `comm`, `barrier` — and one complete ("X") event per step per
+//!   non-empty lane, laid out on the simulated clock. Phases labelled
+//!   via `Sim::phase` become the event names, so BFS direction switches
+//!   or Giraph superstep splits are visible as lane colour changes.
+//! * `{experiment}/{NNN}_{alg}_{fw}_{label}_{N}n.csv` — the raw
+//!   [`StepRecord`] series for each successful cell, for ad-hoc
+//!   analysis.
+//!
+//! Both artifacts are rendered from the ordered [`SweepReport`] after
+//! the sweep completes, and contain only simulated quantities (no
+//! wall-clock), so their bytes are identical whatever `--jobs` was.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use graphmaze_core::metrics::{StepRecord, Timeline};
+use graphmaze_core::prelude::*;
+
+/// Lane names, in tid order (tid = index + 1).
+const LANES: [&str; 3] = ["compute", "comm", "barrier"];
+
+/// Writes the sweep's trace artifacts under `dir` (see module docs).
+/// Failed cells have no timeline and are skipped. Returns the number of
+/// cells that produced trace data.
+pub fn write_sweep_trace(
+    dir: &Path,
+    sweep: &Sweep,
+    report: &SweepReport,
+) -> std::io::Result<usize> {
+    let cell_dir = dir.join(&sweep.experiment);
+    std::fs::create_dir_all(&cell_dir)?;
+
+    let mut events = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut traced = 0usize;
+    for (i, (cell, result)) in sweep.cells.iter().zip(&report.results).enumerate() {
+        let Ok(outcome) = &result.outcome else {
+            continue;
+        };
+        let tl = &outcome.report.timeline;
+        if tl.is_empty() {
+            continue;
+        }
+        traced += 1;
+        let pid = i + 1;
+        let process = format!(
+            "{}\u{d7}{} @ {}, {} node{}",
+            cell.algorithm.name(),
+            cell.framework.name(),
+            cell.label,
+            cell.nodes,
+            if cell.nodes == 1 { "" } else { "s" },
+        );
+        push_event(
+            &mut events,
+            &mut first,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+                esc(&process)
+            ),
+        );
+        for (t, lane) in LANES.iter().enumerate() {
+            push_event(
+                &mut events,
+                &mut first,
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"args\":{{\"name\":\"{lane}\"}}}}",
+                    t + 1
+                ),
+            );
+        }
+        // lay the steps out on the simulated clock, in microseconds
+        let mut cursor = 0.0f64;
+        for rec in &tl.steps {
+            let spans = [
+                (rec.compute_s, String::new()),
+                (rec.comm_s, format!(",\"bytes_sent\":{}", rec.bytes_sent)),
+                (rec.barrier_s, String::new()),
+            ];
+            for (tid0, (dur_s, extra)) in spans.iter().enumerate() {
+                if *dur_s > 0.0 {
+                    push_event(
+                        &mut events,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"step\":{}{extra}}}}}",
+                            esc(&rec.phase),
+                            tid0 + 1,
+                            us(cursor),
+                            us(*dur_s),
+                            rec.step,
+                        ),
+                    );
+                }
+                cursor += dur_s;
+            }
+        }
+        write_cell_csv(&cell_dir, i, cell, tl)?;
+    }
+    events.push_str("\n]}\n");
+    let path = dir.join(format!("{}.trace.json", sweep.experiment));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(events.as_bytes())?;
+    Ok(traced)
+}
+
+fn push_event(out: &mut String, first: &mut bool, ev: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(ev);
+}
+
+/// Microseconds with shortest-round-trip formatting (Perfetto accepts
+/// fractional timestamps). Purely a function of simulated values, so the
+/// output is scheduling-independent.
+fn us(seconds: f64) -> String {
+    format!("{:?}", seconds * 1e6)
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `a/b c` → `a-b-c`: keep filenames portable.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+fn write_cell_csv(
+    cell_dir: &Path,
+    index: usize,
+    cell: &SweepCell,
+    tl: &Timeline,
+) -> std::io::Result<()> {
+    let name = format!(
+        "{index:03}_{}_{}_{}_{}n.csv",
+        sanitize(cell.algorithm.name()),
+        sanitize(cell.framework.name()),
+        sanitize(&cell.label),
+        cell.nodes,
+    );
+    let headers = [
+        "step",
+        "phase",
+        "compute_s",
+        "comm_s",
+        "barrier_s",
+        "bytes_sent",
+        "messages",
+        "max_node_bytes",
+        "mem_peak_bytes",
+    ];
+    let rows: Vec<Vec<String>> = tl.steps.iter().map(csv_row).collect();
+    let body = graphmaze_core::report::format_csv(&headers, &rows);
+    std::fs::write(cell_dir.join(name), body)
+}
+
+fn csv_row(rec: &StepRecord) -> Vec<String> {
+    vec![
+        rec.step.to_string(),
+        rec.phase.clone(),
+        format!("{:?}", rec.compute_s),
+        format!("{:?}", rec.comm_s),
+        format!("{:?}", rec.barrier_s),
+        rec.bytes_sent.to_string(),
+        rec.messages.to_string(),
+        rec.max_node_bytes.to_string(),
+        rec.mem_peak_bytes.to_string(),
+    ]
+}

@@ -1,0 +1,118 @@
+//! The trace artifacts (`--trace DIR`) must be **byte-identical**
+//! whatever `--jobs` was: they are rendered from the ordered sweep
+//! results after the barrier and contain only simulated quantities, so
+//! worker scheduling must not leak into the output.
+
+use std::path::{Path, PathBuf};
+
+use graphmaze_bench::{run_sweep, ReproConfig};
+use graphmaze_core::prelude::*;
+
+fn small_sweep() -> Sweep {
+    let mut sweep = Sweep::new("tracecheck");
+    for fw in [
+        Framework::Native,
+        Framework::CombBlas,
+        Framework::GraphLab,
+        Framework::SociaLite,
+        Framework::Giraph,
+    ] {
+        for alg in [Algorithm::PageRank, Algorithm::Bfs] {
+            sweep.push(SweepCell {
+                label: alg.name().to_string(),
+                algorithm: alg,
+                framework: fw,
+                spec: WorkloadSpec::Rmat {
+                    scale: 8,
+                    edge_factor: 8,
+                    seed: 7,
+                },
+                nodes: 2,
+                factor: 1.0,
+                params: BenchParams::default(),
+            });
+        }
+    }
+    sweep
+}
+
+fn run_traced(base: &Path, sub: &str, jobs: usize) -> PathBuf {
+    let dir = base.join(sub);
+    let cfg = ReproConfig {
+        jobs,
+        out_dir: None,
+        trace_dir: Some(dir.clone()),
+        ..ReproConfig::default()
+    };
+    let report = run_sweep(&cfg, &small_sweep());
+    assert_eq!(report.failed, 0, "all trace cells must succeed");
+    dir
+}
+
+/// Every file under `dir`, as sorted `relative path → bytes`.
+fn snapshot(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path
+                    .strip_prefix(dir)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.push((rel, std::fs::read(&path).unwrap()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn trace_output_is_byte_identical_serial_vs_parallel() {
+    let base = std::env::temp_dir().join(format!("gm-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let d1 = run_traced(&base, "j1", 1);
+    let d8 = run_traced(&base, "j8", 8);
+
+    let (s1, s8) = (snapshot(&d1), snapshot(&d8));
+    assert!(!s1.is_empty(), "trace directory must not be empty");
+    assert_eq!(
+        s1.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        s8.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "same artifact set"
+    );
+    for ((name, b1), (_, b8)) in s1.iter().zip(&s8) {
+        assert_eq!(b1, b8, "{name} differs between --jobs 1 and --jobs 8");
+    }
+
+    // structural sanity of the Chrome trace file: one JSON object with a
+    // traceEvents array, one process per cell, per-step CSVs alongside
+    let json = std::str::from_utf8(
+        &s1.iter()
+            .find(|(n, _)| n == "tracecheck.trace.json")
+            .expect("trace json present")
+            .1,
+    )
+    .unwrap()
+    .to_string();
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"));
+    assert!(json.trim_end().ends_with("]}"));
+    assert_eq!(
+        json.matches("\"process_name\"").count(),
+        10,
+        "one named process per cell"
+    );
+    assert!(json.contains("\"ph\":\"X\""), "complete events present");
+    let csvs = s1
+        .iter()
+        .filter(|(n, _)| n.starts_with("tracecheck/") && n.ends_with(".csv"))
+        .count();
+    assert_eq!(csvs, 10, "one per-step CSV per successful cell");
+
+    let _ = std::fs::remove_dir_all(&base);
+}

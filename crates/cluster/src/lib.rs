@@ -32,5 +32,5 @@ pub use comm::CommLayer;
 pub use hardware::{ClusterSpec, HardwareSpec};
 pub use partition::{Partition1D, Partition2D};
 pub use profile::ExecProfile;
-pub use sim::{Sim, SimError};
+pub use sim::{Sim, SimError, DEFAULT_PHASE};
 pub use work_scale::{current_work_scale, with_work_scale};

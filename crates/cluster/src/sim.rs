@@ -12,7 +12,9 @@
 //! The final [`RunReport`] carries the simulated runtime plus exactly the
 //! system-level metrics of the paper's Figure 6.
 
-use graphmaze_metrics::{MemTracker, OutOfMemory, RunReport, TrafficStats, Work};
+use graphmaze_metrics::{
+    MemTracker, OutOfMemory, RunReport, StepRecord, Timeline, TrafficStats, Work,
+};
 
 use crate::hardware::ClusterSpec;
 use crate::profile::ExecProfile;
@@ -68,7 +70,13 @@ pub struct Sim {
     iterations: u32,
     work_scale: f64,
     total_work: Work,
+    /// Phase label applied to steps folded from now on (see [`Sim::phase`]).
+    phase: String,
+    timeline: Timeline,
 }
+
+/// Phase label steps carry before the engine's first [`Sim::phase`] call.
+pub const DEFAULT_PHASE: &str = "step";
 
 impl Sim {
     /// A fresh simulator for `cluster` running under `profile`.
@@ -102,6 +110,8 @@ impl Sim {
             comm_seconds: 0.0,
             steps: 0,
             iterations: 0,
+            phase: DEFAULT_PHASE.to_string(),
+            timeline: Timeline::new(n),
         }
     }
 
@@ -208,7 +218,31 @@ impl Sim {
         self.mem[node].in_use()
     }
 
-    /// The BSP barrier: folds the current step into the clock.
+    /// Labels the steps folded from now on (until the next call) — the
+    /// engine's way of tagging algorithm phases in the timeline, e.g.
+    /// BFS top-down vs bottom-up, SGD vs GD passes, or Giraph superstep
+    /// splits. Call it *before* the [`Sim::end_step`] that closes the
+    /// work belonging to the phase.
+    pub fn phase(&mut self, label: &str) {
+        if self.phase != label {
+            self.phase.clear();
+            self.phase.push_str(label);
+        }
+    }
+
+    /// The phase label currently in effect.
+    pub fn current_phase(&self) -> &str {
+        &self.phase
+    }
+
+    /// The BSP barrier: folds the current step into the clock and
+    /// appends a [`StepRecord`] to the timeline.
+    ///
+    /// The clock advances by `compute + exposed_comm + barrier`, where
+    /// exposed comm is what overlap failed to hide — algebraically the
+    /// same `max(compute, comm)` body as before, but built from the
+    /// components the step record carries, so the timeline's per-step
+    /// sums reconcile with `sim_seconds` *bit-exactly*.
     pub fn end_step(&mut self) {
         let p = &self.profile;
         let compute_t = self.step_compute.iter().copied().fold(0.0, f64::max);
@@ -218,12 +252,13 @@ impl Sim {
                     .transfer_seconds(self.step_bytes[i], self.step_msgs[i])
             })
             .fold(0.0, f64::max);
-        let body = if p.overlap {
-            compute_t.max(comm_t)
+        let exposed_comm = if p.overlap {
+            (comm_t - compute_t).max(0.0)
         } else {
-            compute_t + comm_t
+            comm_t
         };
-        let step_t = body + p.per_step_overhead_s;
+        let barrier_t = p.per_step_overhead_s;
+        let step_t = compute_t + exposed_comm + barrier_t;
         self.clock += step_t;
         self.compute_seconds += compute_t;
         self.comm_seconds += comm_t;
@@ -243,6 +278,18 @@ impl Sim {
             self.traffic
                 .record_step(total_bytes, total_msgs, total_raw, max_node_bytes, comm_t);
         }
+
+        self.timeline.steps.push(StepRecord {
+            step: self.steps,
+            phase: self.phase.clone(),
+            compute_s: compute_t,
+            comm_s: exposed_comm,
+            barrier_s: barrier_t,
+            bytes_sent: total_bytes,
+            messages: total_msgs,
+            max_node_bytes,
+            mem_peak_bytes: self.mem.iter().map(MemTracker::peak).max().unwrap_or(0),
+        });
 
         self.step_compute.fill(0.0);
         self.step_bytes.fill(0);
@@ -289,6 +336,7 @@ impl Sim {
             comm_seconds: self.comm_seconds,
             traffic: self.traffic,
             total_work: self.total_work,
+            timeline: self.timeline,
         }
     }
 }
@@ -466,6 +514,79 @@ mod tests {
         let r = sim.finish();
         assert_eq!(r.steps, 6);
         assert_eq!(r.iterations, 3);
+    }
+
+    #[test]
+    fn timeline_reconciles_bit_exactly_with_and_without_overlap() {
+        for overlap in [true, false] {
+            let mut p = ExecProfile::native();
+            p.overlap = overlap;
+            p.per_step_overhead_s = 0.002;
+            let mut sim = Sim::new(ClusterSpec::paper(4), p);
+            for i in 0..7u64 {
+                sim.charge(0, Work::stream(1_000_000_000 + i * 333_333_333));
+                sim.charge(1, Work::random(10_000_000 * (i + 1)));
+                sim.send(0, 50_000_000 * (i + 1), 90_000_000, 7);
+                sim.send(2, 11_111_111, 11_111_111, 3);
+                sim.end_step();
+            }
+            let r = sim.finish();
+            assert_eq!(r.timeline.len(), 7);
+            assert_eq!(
+                r.timeline.total_seconds(),
+                r.sim_seconds,
+                "per-step sums must equal sim_seconds bit-exactly (overlap={overlap})"
+            );
+            assert_eq!(r.timeline.total_bytes(), r.traffic.bytes_sent);
+            assert_eq!(r.timeline.nodes, r.nodes);
+        }
+    }
+
+    #[test]
+    fn overlap_exposes_only_uncovered_comm_in_timeline() {
+        let mut sim = Sim::new(ClusterSpec::paper(2), ExecProfile::native());
+        sim.charge(0, Work::stream(85_000_000_000)); // 1 s compute
+        sim.send(0, 11_000_000_000, 11_000_000_000, 1); // 2 s comm
+        sim.end_step();
+        let r = sim.finish();
+        let step = &r.timeline.steps[0];
+        assert!((step.compute_s - 1.0).abs() < 1e-3, "{}", step.compute_s);
+        // overlap hides 1 s of the 2 s transfer: ~1 s exposed
+        assert!((step.comm_s - 1.0).abs() < 1e-2, "{}", step.comm_s);
+        // report keeps the *raw* comm seconds
+        assert!((r.comm_seconds - 2.0).abs() < 1e-2, "{}", r.comm_seconds);
+    }
+
+    #[test]
+    fn phase_labels_steps_until_changed() {
+        let mut sim = sim4();
+        sim.end_step(); // before any phase() call
+        sim.phase("build");
+        sim.end_step();
+        sim.phase("iterate");
+        sim.end_step();
+        sim.end_step();
+        let r = sim.finish();
+        let phases: Vec<&str> = r.timeline.steps.iter().map(|s| s.phase.as_str()).collect();
+        assert_eq!(phases, [DEFAULT_PHASE, "build", "iterate", "iterate"]);
+        let breakdown = r.timeline.phase_breakdown();
+        assert_eq!(breakdown.len(), 3);
+        assert_eq!(breakdown[2].steps, 2);
+    }
+
+    #[test]
+    fn timeline_records_memory_watermark() {
+        let mut sim = sim4();
+        sim.alloc(0, 1000, "a").unwrap();
+        sim.end_step();
+        sim.alloc(1, 5000, "b").unwrap();
+        sim.end_step();
+        sim.free(1, 5000);
+        sim.end_step();
+        let r = sim.finish();
+        let marks: Vec<u64> = r.timeline.steps.iter().map(|s| s.mem_peak_bytes).collect();
+        assert_eq!(marks, [1000, 5000, 5000], "watermark is monotone");
+        assert_eq!(r.timeline.peak_mem_bytes(), r.peak_mem_bytes);
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub use graphmaze_native as native;
 pub use engine::Engine;
 pub use runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
 pub use sweep::{
-    CellStatus, Sweep, SweepCell, SweepOptions, SweepReport, WorkloadCache, WorkloadSpec,
+    CellStatus, Sweep, SweepCell, SweepEvent, SweepOptions, SweepReport, WorkloadCache,
+    WorkloadSpec, JOURNAL_SCHEMA_VERSION,
 };
 pub use workload::Workload;
 
@@ -52,7 +53,8 @@ pub mod prelude {
     pub use crate::report::{format_table, geomean};
     pub use crate::runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
     pub use crate::sweep::{
-        CellStatus, Sweep, SweepCell, SweepOptions, SweepReport, WorkloadCache, WorkloadSpec,
+        CellStatus, Sweep, SweepCell, SweepEvent, SweepOptions, SweepReport, WorkloadCache,
+        WorkloadSpec,
     };
     pub use crate::workload::Workload;
     pub use graphmaze_cluster::{ClusterSpec, ExecProfile, SimError};

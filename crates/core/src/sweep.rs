@@ -36,7 +36,7 @@ use std::time::Instant;
 
 use graphmaze_cluster::{with_work_scale, SimError};
 use graphmaze_datagen::Dataset;
-use graphmaze_metrics::{RunReport, TrafficStats, Work};
+use graphmaze_metrics::{RunReport, StepRecord, Timeline, TrafficStats, Work};
 
 use crate::runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
 use crate::workload::Workload;
@@ -316,6 +316,54 @@ pub struct CellResult {
     pub wall_secs: f64,
 }
 
+/// A structured progress event from [`Sweep::run_with_events`].
+///
+/// Events fire from worker threads as the sweep makes progress. Every
+/// cell produces exactly one terminal event ([`SweepEvent::Finished`] or
+/// [`SweepEvent::Failed`]); cells executed in-process additionally
+/// produce a [`SweepEvent::Started`] first, while resumed cells go
+/// straight to their terminal event during the upfront journal scan.
+#[derive(Debug)]
+pub enum SweepEvent<'a> {
+    /// A worker picked up `cell` and is about to execute it.
+    Started {
+        /// Cell index in [`Sweep::cells`] order.
+        index: usize,
+        /// The cell being executed.
+        cell: &'a SweepCell,
+        /// Cells without a terminal event yet (including this one).
+        remaining: usize,
+        /// Wall-clock seconds since the sweep started.
+        elapsed_s: f64,
+    },
+    /// `cell` completed with a successful outcome (ran or resumed).
+    Finished {
+        /// Cell index in [`Sweep::cells`] order.
+        index: usize,
+        /// The completed cell.
+        cell: &'a SweepCell,
+        /// Its result (`outcome` is `Ok`).
+        result: &'a CellResult,
+        /// Cells still without a terminal event after this one.
+        remaining: usize,
+        /// Wall-clock seconds since the sweep started.
+        elapsed_s: f64,
+    },
+    /// `cell` completed with an error outcome (ran or resumed).
+    Failed {
+        /// Cell index in [`Sweep::cells`] order.
+        index: usize,
+        /// The failed cell.
+        cell: &'a SweepCell,
+        /// Its result (`outcome` is `Err`).
+        result: &'a CellResult,
+        /// Cells still without a terminal event after this one.
+        remaining: usize,
+        /// Wall-clock seconds since the sweep started.
+        elapsed_s: f64,
+    },
+}
+
 /// Executor configuration.
 #[derive(Clone, Debug, Default)]
 pub struct SweepOptions {
@@ -376,25 +424,80 @@ impl Sweep {
         self.cells.is_empty()
     }
 
-    /// Runs the sweep (see [`Sweep::run_with_progress`]).
+    /// Runs the sweep (see [`Sweep::run_with_events`]).
     pub fn run(&self, opts: &SweepOptions, cache: &WorkloadCache) -> SweepReport {
-        self.run_with_progress(opts, cache, |_, _, _| {})
+        self.run_with_events(opts, cache, |_| {})
     }
 
     /// Runs every cell across `opts.jobs` worker threads, journaling and
-    /// resuming per `opts`, invoking `progress(index, cell, result)` as
-    /// each cell completes (from worker threads, unordered). Results come
-    /// back in cell order regardless of scheduling.
+    /// resuming per `opts`, invoking `progress(index, cell, result)`
+    /// exactly once per cell as it completes (from worker threads,
+    /// unordered). Results come back in cell order regardless of
+    /// scheduling. Thin wrapper over [`Sweep::run_with_events`] for
+    /// callers that only care about terminal events.
     pub fn run_with_progress(
         &self,
         opts: &SweepOptions,
         cache: &WorkloadCache,
         progress: impl Fn(usize, &SweepCell, &CellResult) + Sync,
     ) -> SweepReport {
+        self.run_with_events(opts, cache, |ev| match ev {
+            SweepEvent::Started { .. } => {}
+            SweepEvent::Finished {
+                index,
+                cell,
+                result,
+                ..
+            }
+            | SweepEvent::Failed {
+                index,
+                cell,
+                result,
+                ..
+            } => progress(*index, cell, result),
+        })
+    }
+
+    /// Runs every cell across `opts.jobs` worker threads, journaling and
+    /// resuming per `opts`, invoking `events` with a [`SweepEvent`] as
+    /// the sweep makes progress (from worker threads, unordered). Every
+    /// cell gets exactly one terminal event; resumed cells skip
+    /// [`SweepEvent::Started`]. Results come back in cell order
+    /// regardless of scheduling.
+    pub fn run_with_events(
+        &self,
+        opts: &SweepOptions,
+        cache: &WorkloadCache,
+        events: impl Fn(&SweepEvent<'_>) + Sync,
+    ) -> SweepReport {
         let t0 = Instant::now();
         let journaled = match (&opts.journal, opts.resume) {
             (Some(path), true) => load_journal(path),
             _ => HashMap::new(),
+        };
+
+        let done = AtomicUsize::new(0);
+        let total = self.cells.len();
+        let terminal = |i: usize, cell: &SweepCell, r: &CellResult| {
+            let remaining = total - 1 - done.fetch_add(1, Ordering::Relaxed);
+            let elapsed_s = t0.elapsed().as_secs_f64();
+            let ev = match &r.outcome {
+                Ok(_) => SweepEvent::Finished {
+                    index: i,
+                    cell,
+                    result: r,
+                    remaining,
+                    elapsed_s,
+                },
+                Err(_) => SweepEvent::Failed {
+                    index: i,
+                    cell,
+                    result: r,
+                    remaining,
+                    elapsed_s,
+                },
+            };
+            events(&ev);
         };
 
         let mut results: Vec<Option<CellResult>> = vec![None; self.cells.len()];
@@ -407,7 +510,7 @@ impl Sweep {
                         outcome: outcome.clone(),
                         wall_secs: 0.0,
                     };
-                    progress(i, cell, &r);
+                    terminal(i, cell, &r);
                     results[i] = Some(r);
                 }
                 None => pending.push(i),
@@ -435,13 +538,20 @@ impl Sweep {
         if !pending.is_empty() {
             let cursor = AtomicUsize::new(0);
             let workers = opts.jobs.max(1).min(pending.len());
-            let (pending, progress, results, writer) = (&pending, &progress, &results, &writer);
+            let (pending, events, terminal, results, writer, done) =
+                (&pending, &events, &terminal, &results, &writer, &done);
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|| loop {
                         let n = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&i) = pending.get(n) else { break };
                         let cell = &self.cells[i];
+                        events(&SweepEvent::Started {
+                            index: i,
+                            cell,
+                            remaining: total - done.load(Ordering::Relaxed),
+                            elapsed_s: t0.elapsed().as_secs_f64(),
+                        });
                         let t = Instant::now();
                         let outcome = execute_cell(cell, cache);
                         let r = CellResult {
@@ -456,7 +566,7 @@ impl Sweep {
                             // killed run loses at most the in-flight cell
                             let _ = f.write_all(line.as_bytes()).and_then(|_| f.flush());
                         }
-                        progress(i, cell, &r);
+                        terminal(i, cell, &r);
                         results.lock().unwrap()[i] = Some(r);
                     });
                 }
@@ -528,12 +638,22 @@ fn fnv1a64(s: &str) -> u64 {
 // ---------------------------------------------------------------------
 // JSONL journal
 //
-// One flat JSON object per line. Successful cells carry the digest and
-// the *complete* RunReport (fig6 consumes utilization/traffic/memory,
-// not just seconds), with f64s in shortest-round-trip form so resumed
-// CSVs are byte-identical. Failed cells carry kind + message so resumed
+// One flat JSON object per line, tagged with the schema version `v`
+// (currently 2; v2 added the step timeline). Successful cells carry the
+// digest and the *complete* RunReport (fig6 consumes utilization/
+// traffic/memory/timeline, not just seconds), with f64s in shortest-
+// round-trip form so resumed CSVs are byte-identical. The timeline is
+// encoded as one delimited string value (`|` between fields, `;`
+// between steps, phases percent-escaped) because the parser only
+// handles flat objects. Failed cells carry kind + message so resumed
 // runs reproduce the paper's OOM / n/a annotations without re-failing.
+// Lines whose `v` is missing or different are skipped with a warning —
+// those cells simply re-run.
 // ---------------------------------------------------------------------
+
+/// Journal line schema version. Bump when the line format changes
+/// incompatibly; `load_journal` skips lines from other versions.
+pub const JOURNAL_SCHEMA_VERSION: u32 = 2;
 
 fn esc_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -561,9 +681,91 @@ fn f64_json(v: f64) -> String {
     }
 }
 
+/// Percent-escapes the timeline delimiters (`%`, `|`, `;`) in a phase
+/// label so records stay splittable.
+fn esc_phase(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '|' => out.push_str("%7C"),
+            ';' => out.push_str("%3B"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc_phase(s: &str) -> String {
+    // safe in this order: escaping turns a literal "%7C" into "%257C",
+    // which contains no "%7C" substring
+    s.replace("%7C", "|")
+        .replace("%3B", ";")
+        .replace("%25", "%")
+}
+
+/// Encodes a [`Timeline`]'s steps as one string value:
+/// `step|phase|compute|comm|barrier|bytes|msgs|max_node_bytes|mem_peak`
+/// records joined by `;`. `{:?}` keeps f64s shortest-round-trip
+/// ("inf"/"NaN" for non-finite, which `f64::from_str` parses back).
+fn timeline_string(tl: &Timeline) -> String {
+    tl.steps
+        .iter()
+        .map(|r| {
+            format!(
+                "{}|{}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
+                r.step,
+                esc_phase(&r.phase),
+                r.compute_s,
+                r.comm_s,
+                r.barrier_s,
+                r.bytes_sent,
+                r.messages,
+                r.max_node_bytes,
+                r.mem_peak_bytes,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn timeline_from_string(nodes: usize, s: &str) -> Option<Timeline> {
+    let mut tl = Timeline::new(nodes);
+    if s.is_empty() {
+        return Some(tl);
+    }
+    for rec in s.split(';') {
+        let mut it = rec.split('|');
+        let step = it.next()?.parse().ok()?;
+        let phase = unesc_phase(it.next()?);
+        let compute_s = it.next()?.parse().ok()?;
+        let comm_s = it.next()?.parse().ok()?;
+        let barrier_s = it.next()?.parse().ok()?;
+        let bytes_sent = it.next()?.parse().ok()?;
+        let messages = it.next()?.parse().ok()?;
+        let max_node_bytes = it.next()?.parse().ok()?;
+        let mem_peak_bytes = it.next()?.parse().ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        tl.steps.push(StepRecord {
+            step,
+            phase,
+            compute_s,
+            comm_s,
+            barrier_s,
+            bytes_sent,
+            messages,
+            max_node_bytes,
+            mem_peak_bytes,
+        });
+    }
+    Some(tl)
+}
+
 fn journal_line(experiment: &str, cell: &SweepCell, result: &CellResult) -> String {
     let mut s = format!(
-        "{{\"key\":\"{:016x}\",\"experiment\":\"{}\",\"label\":\"{}\",\"algorithm\":\"{}\",\"framework\":\"{}\",\"spec\":\"{}\",\"nodes\":{},\"factor\":{}",
+        "{{\"v\":{JOURNAL_SCHEMA_VERSION},\"key\":\"{:016x}\",\"experiment\":\"{}\",\"label\":\"{}\",\"algorithm\":\"{}\",\"framework\":\"{}\",\"spec\":\"{}\",\"nodes\":{},\"factor\":{}",
         cell.key(experiment),
         esc_json(experiment),
         esc_json(&cell.label),
@@ -595,6 +797,11 @@ fn journal_line(experiment: &str, cell: &SweepCell, result: &CellResult) -> Stri
                 r.total_work.seq_bytes,
                 r.total_work.rand_accesses,
                 r.total_work.flops,
+            ));
+            s.push_str(&format!(
+                ",\"tl_nodes\":{},\"timeline\":\"{}\"",
+                r.timeline.nodes,
+                esc_json(&timeline_string(&r.timeline)),
             ));
         }
         Err(e) => {
@@ -737,6 +944,7 @@ fn entry_outcome(m: &HashMap<String, String>) -> Option<Result<RunOutcome, CellE
                     rand_accesses: u("rand_accesses")?,
                     flops: u("flops")?,
                 },
+                timeline: timeline_from_string(u("tl_nodes")? as usize, m.get("timeline")?)?,
             };
             Some(Ok(RunOutcome {
                 digest: f("digest")?,
@@ -752,13 +960,15 @@ fn entry_outcome(m: &HashMap<String, String>) -> Option<Result<RunOutcome, CellE
 }
 
 /// Loads a journal into `key → outcome`, silently skipping malformed
-/// lines (e.g. the torn last line of a killed run). A missing file is an
-/// empty journal.
+/// lines (e.g. the torn last line of a killed run) and, with a counted
+/// warning, lines from a different schema version (those cells re-run).
+/// A missing file is an empty journal.
 fn load_journal(path: &Path) -> HashMap<u64, Result<RunOutcome, CellError>> {
     let mut out = HashMap::new();
     let Ok(body) = std::fs::read_to_string(path) else {
         return out;
     };
+    let mut version_skipped = 0usize;
     for line in body.lines() {
         if line.trim().is_empty() {
             continue;
@@ -766,12 +976,23 @@ fn load_journal(path: &Path) -> HashMap<u64, Result<RunOutcome, CellError>> {
         let Some(m) = parse_flat_json(line) else {
             continue;
         };
+        if m.get("v").and_then(|v| v.parse::<u32>().ok()) != Some(JOURNAL_SCHEMA_VERSION) {
+            version_skipped += 1;
+            continue;
+        }
         let Some(key) = m.get("key").and_then(|k| u64::from_str_radix(k, 16).ok()) else {
             continue;
         };
         if let Some(outcome) = entry_outcome(&m) {
             out.insert(key, outcome);
         }
+    }
+    if version_skipped > 0 {
+        eprintln!(
+            "warning: {}: skipped {version_skipped} journal line(s) not at schema version \
+             {JOURNAL_SCHEMA_VERSION}; those cells will re-run",
+            path.display()
+        );
     }
     out
 }
@@ -858,6 +1079,34 @@ mod tests {
                     rand_accesses: 2,
                     flops: 3,
                 },
+                timeline: {
+                    let mut tl = Timeline::new(2);
+                    tl.steps.push(StepRecord {
+                        step: 0,
+                        phase: "bfs:top-down".into(),
+                        compute_s: 0.0625,
+                        comm_s: 0.0078125,
+                        barrier_s: 0.001,
+                        bytes_sent: 999,
+                        messages: 55,
+                        max_node_bytes: 600,
+                        mem_peak_bytes: 123_456_789,
+                    });
+                    tl.steps.push(StepRecord {
+                        step: 1,
+                        // delimiter-hostile label: all three escapes plus
+                        // JSON-relevant characters
+                        phase: "a|b;c%d\"e\\f".into(),
+                        compute_s: 0.1234567890123456,
+                        comm_s: 0.0,
+                        barrier_s: 0.001,
+                        bytes_sent: 0,
+                        messages: 0,
+                        max_node_bytes: 0,
+                        mem_peak_bytes: 123_456_789,
+                    });
+                    tl
+                },
             },
         };
         let r = CellResult {
@@ -868,12 +1117,43 @@ mod tests {
         let line = journal_line("fig9", &cell, &r);
         let m = parse_flat_json(&line).expect("parses");
         assert_eq!(m["framework"], "native");
+        assert_eq!(m["v"], JOURNAL_SCHEMA_VERSION.to_string());
         let back = entry_outcome(&m).expect("entry").expect("success");
         assert_eq!(back.digest, outcome.digest);
         assert_eq!(
             back.report, outcome.report,
             "full report round-trips bit-exactly"
         );
+    }
+
+    #[test]
+    fn phase_escaping_round_trips() {
+        for s in ["", "plain", "%", "%%", "|;%", "a%7Cb", "%25", "x|y;z"] {
+            assert_eq!(unesc_phase(&esc_phase(s)), s, "label {s:?}");
+        }
+    }
+
+    #[test]
+    fn journal_lines_from_other_schema_versions_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("gm-sweep-v-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("versioned.jsonl");
+        let cell = small_cell(Framework::Native, 1);
+        let good = CellResult {
+            status: CellStatus::Ran,
+            outcome: Err(CellError::InvalidConfig("x".into())),
+            wall_secs: 0.0,
+        };
+        let mut body = journal_line("e", &cell, &good);
+        // a v1-era line (no `v` field) and a future version: both skipped
+        let old = small_cell(Framework::Giraph, 2);
+        body.push_str(&journal_line("e", &old, &good).replacen("{\"v\":2,", "{", 1));
+        body.push_str(&journal_line("e", &old, &good).replacen("\"v\":2", "\"v\":99", 1));
+        std::fs::write(&path, body).unwrap();
+        let loaded = load_journal(&path);
+        assert_eq!(loaded.len(), 1, "only the current-version line survives");
+        assert!(loaded.contains_key(&cell.key("e")));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

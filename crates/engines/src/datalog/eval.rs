@@ -58,6 +58,12 @@ impl SocialiteRuntime {
         &mut self.sim
     }
 
+    /// Labels the rounds evaluated from now on in the trace timeline
+    /// (typically the rule being applied).
+    pub fn phase(&mut self, label: &str) {
+        self.sim.phase(label);
+    }
+
     /// Evaluates one rule application: `contribs` are the locally joined
     /// `(head_vertex, value)` tuples *per producing shard*; they are
     /// shipped to the head vertex's shard (batched, one message per shard

@@ -42,6 +42,7 @@ pub fn pagerank(
     let n = g.num_vertices();
     let shards = outedge.shards().clone();
     let mut rank = VertexTable::from_values(vec![1.0f64; n], shards.clone());
+    rt.phase("rule:pagerank");
     for _ in 0..iterations {
         // body join, evaluated per shard of s
         let contribs: Vec<Vec<(VertexId, f64)>> = (0..nodes)
@@ -102,6 +103,7 @@ pub fn bfs(
     let mut dist = VertexTable::from_values(vec![f64::INFINITY; n], shards.clone());
     *dist.get_mut(source) = 0.0;
     let mut delta: Vec<VertexId> = vec![source];
+    rt.phase("rule:bfs-delta");
     while !delta.is_empty() {
         // join the delta with EDGE, grouped by producing shard
         let mut contribs: Vec<Vec<(VertexId, f64)>> = vec![Vec::new(); nodes];
@@ -147,6 +149,7 @@ pub fn triangles(
             .alloc(node, edge.shard_bytes(node), "socialite:tables")?;
     }
     let shards = edge.shards().clone();
+    rt.phase("rule:tc-join");
     // ship EDGE[y] lists needed by each shard (dedup per shard)
     for node in 0..nodes {
         let range = shards.range(node);
@@ -270,6 +273,7 @@ pub fn cf_gd(
         q_needed_bytes[node] = items.len() as u64 * (4 + k as u64 * 8);
     }
 
+    rt.phase("gd:rules");
     for _ in 0..iterations {
         // beginning-of-iteration table transfer: Q rows to user shards
         for node in 0..nodes {

@@ -35,6 +35,7 @@ pub fn pagerank(
     let n = g.num_vertices();
     let mut pr = vec![1.0f64; n];
     let mut scaled = vec![0.0f64; n];
+    sim.phase("spmv:pagerank");
     for _ in 0..iterations {
         for i in 0..n {
             let d = g.out.degree(i as VertexId);
@@ -89,6 +90,7 @@ fn bfs_with_compression(
     dist[source as usize] = 0;
     let mut frontier: Vec<(VertexId, u32)> = vec![(source, 0)];
     let mut level = 0u32;
+    sim.phase("spmspv:frontier");
     while !frontier.is_empty() {
         level += 1;
         let product = m.spmspv_transpose_opt(
@@ -135,6 +137,7 @@ pub fn triangles_on(
     let m = DistMatrix::new_nearly_square(oriented, nodes);
     let mut sim = Sim::new(spec, ExecProfile::combblas());
     alloc_matrix(&mut sim, &m, "combblas:A")?;
+    sim.phase("spgemm:A2-mask");
     let (count, _nnz_a2) = m.spgemm_masked_count(&mut sim)?;
     sim.end_step();
     sim.end_iteration();
@@ -148,6 +151,7 @@ pub fn triangles_improved(oriented: &Csr, nodes: usize) -> Result<(u64, RunRepor
     let m = DistMatrix::new_nearly_square(oriented, nodes);
     let mut sim = new_sim(nodes);
     alloc_matrix(&mut sim, &m, "combblas:A")?;
+    sim.phase("spgemm:fused-mask");
     let count = m.spgemm_masked_count_fused(&mut sim);
     sim.end_step();
     sim.end_iteration();
@@ -200,6 +204,7 @@ pub fn cf_gd(
     for _ in 0..iterations {
         // q-side update (eq. 12), then p-side (eq. 11) — each side costs
         // K passes over the nonzeros plus the SpMV communication pattern.
+        sim.phase("gd:q-side");
         let mut grad_q = vec![0.0f64; nv * k];
         for &(u, v, r) in &triples {
             let pu = &p[u as usize * k..(u as usize + 1) * k];
@@ -215,6 +220,7 @@ pub fn cf_gd(
         charge_k_spmv_passes(&mut sim, &m, k, nnz, nodes);
         sim.end_step();
 
+        sim.phase("gd:p-side");
         let mut grad_p = vec![0.0f64; nu * k];
         for &(u, v, r) in &triples {
             let pu = &p[u as usize * k..(u as usize + 1) * k];

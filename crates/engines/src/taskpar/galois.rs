@@ -34,6 +34,7 @@ pub fn pagerank(
     sim.alloc(0, g.inn.byte_size() + n as u64 * 24, "galois:graph+ranks")?;
     let mut ranks = vec![1.0f64; n];
     let mut scaled = vec![0.0f64; n];
+    sim.phase("task:pr");
     for _ in 0..iterations {
         for i in 0..n {
             let d = g.out.degree(i as VertexId);
@@ -105,6 +106,7 @@ pub fn bfs(
             per_level.push((scanned_edges.replace(0), items));
         },
     );
+    sim.phase("task:bfs-level");
     for (edges, items) in per_level {
         sim.charge(
             0,
@@ -166,6 +168,7 @@ pub fn triangles(oriented: &Csr, nodes: usize) -> Result<(u64, RunReport), SimEr
             stream += (du + oriented.degree(m) as u64) * 4;
         }
     }
+    sim.phase("task:tc");
     sim.charge(
         0,
         Work {
@@ -205,6 +208,7 @@ pub fn cf_sgd(
     let mut history = Vec::with_capacity(epochs as usize);
     let mut gamma = cfg.gamma0;
     let k = cfg.k as u64;
+    sim.phase("sgd:epoch");
     for _ in 0..epochs {
         for s in 0..p_blocks {
             // tasks of this sub-step touch disjoint (user, item) blocks;

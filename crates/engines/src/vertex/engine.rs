@@ -253,6 +253,11 @@ pub fn run<P: VertexProgram>(
 
         // process each split slice as its own barrier
         for split in 0..splits {
+            if splits == 1 {
+                sim.phase(&format!("superstep:{superstep}"));
+            } else {
+                sim.phase(&format!("superstep:{superstep}/split:{split}"));
+            }
             let mut split_alloc: Vec<u64> = vec![0; nodes];
             for node in 0..nodes {
                 let range = part.range(node);

@@ -14,10 +14,12 @@
 
 pub mod memory;
 pub mod report;
+pub mod timeline;
 pub mod traffic;
 pub mod work;
 
 pub use memory::{MemTracker, OutOfMemory};
 pub use report::RunReport;
+pub use timeline::{PhaseStat, StepRecord, Timeline};
 pub use traffic::TrafficStats;
 pub use work::Work;

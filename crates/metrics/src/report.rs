@@ -1,5 +1,6 @@
 //! Run reports — the simulator's answer to the paper's measurements.
 
+use crate::timeline::Timeline;
 use crate::traffic::TrafficStats;
 use crate::work::Work;
 
@@ -30,6 +31,11 @@ pub struct RunReport {
     /// Total metered work, summed over nodes (Table 4's achieved
     /// bandwidths divide this by runtime).
     pub total_work: Work,
+    /// The step-level trace: one record per BSP step, with phase labels.
+    /// Its sums reconcile exactly with the aggregates above
+    /// (`timeline.total_seconds() == sim_seconds`,
+    /// `timeline.total_bytes() == traffic.bytes_sent`).
+    pub timeline: Timeline,
 }
 
 impl RunReport {
@@ -64,12 +70,27 @@ impl RunReport {
         }
     }
 
-    /// Achieved network bandwidth per node, bytes/sec.
+    /// Achieved network bandwidth per node, bytes/sec — a run-wide
+    /// **average** (total bytes over total time). Figure 6(d) wants the
+    /// peak; see [`RunReport::peak_net_bw_per_node`].
     pub fn achieved_net_bw_per_node(&self) -> f64 {
         if self.sim_seconds == 0.0 || self.nodes == 0 {
             0.0
         } else {
             self.traffic.bytes_sent as f64 / self.sim_seconds / self.nodes as f64
+        }
+    }
+
+    /// **Peak** network bandwidth per node, bytes/sec, from the per-step
+    /// timeline: the busiest step's `bytes / nodes / duration`. Always ≥
+    /// [`RunReport::achieved_net_bw_per_node`] (a max dominates the
+    /// duration-weighted mean of the same series). Falls back to the
+    /// average when the run recorded no timeline.
+    pub fn peak_net_bw_per_node(&self) -> f64 {
+        if self.timeline.is_empty() {
+            self.achieved_net_bw_per_node()
+        } else {
+            self.timeline.peak_net_bw_per_node()
         }
     }
 
@@ -143,6 +164,37 @@ mod tests {
         };
         r.traffic.bytes_sent = 400;
         assert!((r.net_bytes_per_node() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_bw_dominates_average() {
+        use crate::timeline::StepRecord;
+        let mut r = RunReport {
+            nodes: 2,
+            sim_seconds: 2.0,
+            ..Default::default()
+        };
+        r.traffic.bytes_sent = 1000;
+        // no timeline: peak degrades to the average
+        assert_eq!(r.peak_net_bw_per_node(), r.achieved_net_bw_per_node());
+        r.timeline.nodes = 2;
+        r.timeline.steps = vec![
+            StepRecord {
+                step: 0,
+                compute_s: 1.0,
+                bytes_sent: 900,
+                ..Default::default()
+            },
+            StepRecord {
+                step: 1,
+                compute_s: 1.0,
+                bytes_sent: 100,
+                ..Default::default()
+            },
+        ];
+        let peak = r.peak_net_bw_per_node();
+        assert!((peak - 450.0).abs() < 1e-9, "peak {peak}");
+        assert!(peak >= r.achieved_net_bw_per_node());
     }
 
     #[test]

@@ -270,6 +270,7 @@ pub fn bfs_cluster(
     frontiers[part.owner(source)].push(source);
     let mut level = 0u32;
 
+    sim.phase("bfs:top-down");
     loop {
         let active: u64 = frontiers.iter().map(|f| f.len() as u64).sum();
         if active == 0 {

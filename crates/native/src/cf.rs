@@ -342,6 +342,7 @@ pub fn sgd_cluster(
 
     let mut history = Vec::with_capacity(epochs as usize);
     let mut gamma = cfg.gamma0;
+    sim.phase("sgd:diag-block");
     for _ in 0..epochs {
         for s in 0..p_blocks {
             for w in 0..p_blocks {

@@ -177,6 +177,7 @@ pub fn pagerank_cluster(
     let mut ranks = vec![1.0f64; n];
     let mut scaled = vec![0.0f64; n];
     let mut next = vec![0.0f64; n];
+    sim.phase("pr:iterate");
     for _ in 0..iterations {
         for i in 0..n {
             let d = g.out.degree(i as VertexId);

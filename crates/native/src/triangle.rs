@@ -198,6 +198,7 @@ pub fn triangles_cluster(
     }
 
     // Local counting (the real computation, charged per owner node).
+    sim.phase("tc:exchange+count");
     let mut total = 0u64;
     for node in 0..nodes {
         let r = part.range(node);

@@ -1,0 +1,126 @@
+//! Step-timeline integration: for every engine and algorithm, the
+//! per-step trace must *reconcile exactly* with the aggregate report —
+//! `Σ(compute + comm + barrier)` is bit-identical to `sim_seconds` and
+//! `Σ bytes_sent` equals the traffic total — and every engine must label
+//! its algorithm phases. These invariants are what make the Chrome-trace
+//! export and the Fig 6 peak-bandwidth column trustworthy.
+
+use graphmaze_core::cluster::DEFAULT_PHASE;
+use graphmaze_core::prelude::*;
+
+const MULTI_NODE_FRAMEWORKS: [Framework; 5] = [
+    Framework::CombBlas,
+    Framework::GraphLab,
+    Framework::SociaLite,
+    Framework::SociaLiteUnopt,
+    Framework::Giraph,
+];
+
+/// `(algorithm, workload)` pairs covering all four paper algorithms.
+fn algorithm_workloads() -> Vec<(Algorithm, Workload)> {
+    vec![
+        (Algorithm::PageRank, Workload::rmat(9, 8, 201)),
+        (Algorithm::Bfs, Workload::rmat(9, 8, 201)),
+        (Algorithm::TriangleCount, Workload::rmat_triangle(9, 8, 202)),
+        (
+            Algorithm::CollaborativeFiltering,
+            Workload::rmat_ratings(8, 32, 203),
+        ),
+    ]
+}
+
+fn check_reconciliation(outcome: &RunOutcome, what: &str) {
+    let r = &outcome.report;
+    let tl = &r.timeline;
+    assert!(!tl.is_empty(), "{what}: timeline has no steps");
+    assert_eq!(
+        tl.len(),
+        r.steps as usize,
+        "{what}: one record per BSP step"
+    );
+    assert_eq!(
+        tl.total_seconds(),
+        r.sim_seconds,
+        "{what}: timeline seconds must reconcile bit-exactly"
+    );
+    assert_eq!(
+        tl.total_bytes(),
+        r.traffic.bytes_sent,
+        "{what}: timeline bytes must reconcile exactly"
+    );
+    assert_eq!(
+        tl.peak_mem_bytes(),
+        r.peak_mem_bytes,
+        "{what}: memory watermark must reconcile"
+    );
+    // mathematically peak ≥ duration-weighted mean; allow a rounding ulp
+    let (peak, mean) = (r.peak_net_bw_per_node(), r.achieved_net_bw_per_node());
+    assert!(
+        peak >= mean * (1.0 - 1e-12),
+        "{what}: peak bw {peak} < mean bw {mean}"
+    );
+}
+
+#[test]
+fn every_engine_reconciles_timeline_with_report() {
+    let params = BenchParams::default();
+    for (alg, wl) in algorithm_workloads() {
+        for fw in MULTI_NODE_FRAMEWORKS {
+            for nodes in [2usize, 4] {
+                let out = run_benchmark(alg, fw, &wl, nodes, &params)
+                    .unwrap_or_else(|e| panic!("{fw:?} {alg:?} x{nodes}: {e}"));
+                check_reconciliation(&out, &format!("{fw:?} {alg:?} x{nodes}"));
+            }
+        }
+        for (fw, nodes) in [(Framework::Native, 4), (Framework::Galois, 1)] {
+            let out = run_benchmark(alg, fw, &wl, nodes, &params)
+                .unwrap_or_else(|e| panic!("{fw:?} {alg:?} x{nodes}: {e}"));
+            check_reconciliation(&out, &format!("{fw:?} {alg:?} x{nodes}"));
+        }
+    }
+}
+
+#[test]
+fn every_engine_labels_its_phases() {
+    let params = BenchParams::default();
+    for (alg, wl) in algorithm_workloads() {
+        let mut runs: Vec<(Framework, usize)> = MULTI_NODE_FRAMEWORKS
+            .iter()
+            .map(|&fw| (fw, 4usize))
+            .collect();
+        runs.push((Framework::Native, 4));
+        runs.push((Framework::Galois, 1));
+        for (fw, nodes) in runs {
+            let out = run_benchmark(alg, fw, &wl, nodes, &params)
+                .unwrap_or_else(|e| panic!("{fw:?} {alg:?}: {e}"));
+            let tl = &out.report.timeline;
+            assert!(
+                tl.steps.iter().any(|s| s.phase != DEFAULT_PHASE),
+                "{fw:?} {alg:?}: no step carries an engine phase label (got {:?})",
+                tl.phase_breakdown()
+                    .iter()
+                    .map(|p| p.phase.clone())
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn overlap_engines_report_only_exposed_comm() {
+    // native PageRank overlaps compute with communication: the timeline's
+    // comm lane holds only the *exposed* (uncovered) part, so per-step
+    // durations still sum to the clock, while the aggregate
+    // `comm_seconds` keeps the raw communication time.
+    let wl = Workload::rmat(10, 8, 204);
+    let params = BenchParams::default();
+    let out = run_benchmark(Algorithm::PageRank, Framework::Native, &wl, 4, &params)
+        .expect("native pagerank");
+    let r = &out.report;
+    let lane_comm: f64 = r.timeline.steps.iter().map(|s| s.comm_s).sum();
+    assert!(
+        lane_comm <= r.comm_seconds,
+        "exposed comm {lane_comm} must not exceed raw comm {}",
+        r.comm_seconds
+    );
+}
