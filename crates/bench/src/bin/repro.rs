@@ -21,7 +21,7 @@ const USAGE: &str = "\
 usage: repro <experiment>... [options]
 
 experiments:
-  table2 table3 table4 table5 table6 table7
+  table2 table3 table4 table5 table6 table7 tabler
   fig3 fig4 fig5 fig6 fig7
   netestimate sgdvsgd giraphsplit ablations strongscaling roadmap relatedwork
   all         (everything above)
@@ -37,6 +37,9 @@ options:
                       failed, cells remaining, elapsed) to stderr
   --trace DIR         write a Chrome trace-event JSON (Perfetto-loadable) and
                       per-step CSVs for every sweep under DIR
+  --faults SPEC       run every sweep cell under a fault-injection plan, e.g.
+                      seed=1,straggler=0.05x4,drop=0.001,mempress=0.01:64M,
+                      kill=0@3,ckpt=2 (see DESIGN.md \"Resilience\")
   --list              list every experiment with its sweep-cell count and exit
   --no-extrapolate    report raw scaled-down seconds instead of paper-scale
   --no-csv            do not write results/*.csv (also disables the journal)
@@ -46,7 +49,7 @@ options:
 /// `(name, sweep cells, description)` for `--list`. Cell counts are the
 /// defaults (they do not depend on `--scale`); "direct" experiments run
 /// engines without the sweep executor.
-const LISTING: [(&str, &str, &str); 18] = [
+const LISTING: [(&str, &str, &str); 19] = [
     ("table2", "direct", "framework capability matrix"),
     ("table3", "direct", "dataset inventory and scaled stand-ins"),
     ("table4", "8", "native algorithm throughput at paper scale"),
@@ -66,6 +69,11 @@ const LISTING: [(&str, &str, &str); 18] = [
     ("fig6", "20", "resource utilization: CPU, network, memory"),
     ("fig7", "direct", "BFS direction-optimization ablation"),
     ("table7", "4", "SociaLite network-stack fix before/after"),
+    (
+        "tabler",
+        "18",
+        "resilience under injected faults (extension)",
+    ),
     (
         "netestimate",
         "5",
@@ -96,7 +104,7 @@ fn print_listing() {
 }
 
 /// Every dispatchable experiment name, in `all` execution order.
-const EXPERIMENTS: [&str; 18] = [
+const EXPERIMENTS: [&str; 19] = [
     "table2",
     "table3",
     "table4",
@@ -108,6 +116,7 @@ const EXPERIMENTS: [&str; 18] = [
     "fig6",
     "fig7",
     "table7",
+    "tabler",
     "netestimate",
     "sgdvsgd",
     "giraphsplit",
@@ -156,6 +165,11 @@ fn main() {
                         .unwrap_or_else(|| die("--trace needs a directory"))
                         .into(),
                 );
+            }
+            "--faults" => {
+                let spec = it.next().unwrap_or_else(|| die("--faults needs a spec"));
+                cfg.faults = graphmaze_core::cluster::FaultPlan::parse(&spec)
+                    .unwrap_or_else(|e| die(&format!("bad --faults spec: {e}")));
             }
             "--list" => list = true,
             "--no-extrapolate" => cfg.extrapolate = false,
@@ -212,6 +226,9 @@ fn main() {
             ""
         },
     );
+    if cfg.faults.is_active() {
+        println!("fault injection: {}\n", cfg.faults.key());
+    }
     // fig3/fig4 also produce table5/table6; avoid running them twice
     let mut done_fig3 = false;
     let mut done_fig4 = false;
@@ -238,6 +255,7 @@ fn main() {
             "fig6" => figures::fig6(&cfg),
             "fig7" => figures::fig7(&cfg),
             "table7" => tables::table7(&cfg),
+            "tabler" => tables::table_r(&cfg),
             "netestimate" => extras::net_estimate(&cfg),
             "sgdvsgd" => extras::sgd_vs_gd(&cfg),
             "giraphsplit" => extras::giraph_split(&cfg),

@@ -42,6 +42,7 @@ pub fn net_estimate(cfg: &ReproConfig) -> String {
             nodes: 4,
             factor,
             params,
+            faults: cfg.faults,
         });
     }
     let report = crate::run_sweep(cfg, &sweep);
@@ -420,6 +421,7 @@ pub fn strong_scaling(cfg: &ReproConfig) -> String {
                 nodes,
                 factor,
                 params,
+                faults: cfg.faults,
             });
         }
     }

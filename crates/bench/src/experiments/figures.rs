@@ -54,6 +54,7 @@ pub fn fig3_and_table5(cfg: &ReproConfig) -> String {
                     nodes: 1,
                     factor: *factor,
                     params,
+                    faults: cfg.faults,
                 });
             }
         }
@@ -241,6 +242,7 @@ pub fn fig4_and_table6(cfg: &ReproConfig) -> String {
                     nodes,
                     factor,
                     params,
+                    faults: cfg.faults,
                 });
             }
         }
@@ -398,6 +400,7 @@ pub fn fig5(cfg: &ReproConfig) -> String {
                 nodes,
                 factor,
                 params,
+                faults: cfg.faults,
             });
         }
     }
@@ -482,6 +485,7 @@ pub fn fig6(cfg: &ReproConfig) -> String {
                 nodes: 4,
                 factor,
                 params,
+                faults: cfg.faults,
             });
         }
     }

@@ -130,6 +130,7 @@ pub fn run_cell(
             .map_err(|e| match e {
                 SimError::OutOfMemory(_) => "OOM".to_string(),
                 SimError::InvalidConfig(_) => "n/a".to_string(),
+                SimError::NodeFailed { .. } => "failed".to_string(),
             })
     })
 }

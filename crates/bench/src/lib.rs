@@ -77,6 +77,9 @@ pub struct ReproConfig {
     /// Write Chrome-trace JSON + per-step CSVs for every sweep under
     /// this directory (`--trace DIR`; `None` disables).
     pub trace_dir: Option<std::path::PathBuf>,
+    /// Fault-injection plan applied to every sweep cell (`--faults SPEC`;
+    /// [`FaultPlan::none`] runs the fault-free crossbar).
+    pub faults: FaultPlan,
     /// Workloads built so far, shared by every experiment in this
     /// process.
     pub cache: Arc<WorkloadCache>,
@@ -95,6 +98,7 @@ impl Default for ReproConfig {
             resume: false,
             progress: false,
             trace_dir: None,
+            faults: FaultPlan::none(),
             cache: Arc::new(WorkloadCache::new()),
             stats: Arc::new(RunStats::default()),
         }

@@ -6,11 +6,13 @@
 //! * `{experiment}.trace.json` — one Chrome trace-event file for the
 //!   whole sweep, loadable in Perfetto (<https://ui.perfetto.dev>) or
 //!   `chrome://tracing`. Each successful cell is a *process* (named
-//!   `alg×fw @ label, N nodes`) with three *thread* lanes — `compute`,
-//!   `comm`, `barrier` — and one complete ("X") event per step per
-//!   non-empty lane, laid out on the simulated clock. Phases labelled
-//!   via `Sim::phase` become the event names, so BFS direction switches
-//!   or Giraph superstep splits are visible as lane colour changes.
+//!   `alg×fw @ label, N nodes`) with four *thread* lanes — `compute`,
+//!   `comm`, `barrier`, `recovery` — and one complete ("X") event per
+//!   step per non-empty lane, laid out on the simulated clock. Phases
+//!   labelled via `Sim::phase` become the event names, so BFS direction
+//!   switches or Giraph superstep splits are visible as lane colour
+//!   changes; checkpoint writes and rollback/replay show up on the
+//!   `recovery` lane.
 //! * `{experiment}/{NNN}_{alg}_{fw}_{label}_{N}n.csv` — the raw
 //!   [`StepRecord`] series for each successful cell, for ad-hoc
 //!   analysis.
@@ -26,7 +28,7 @@ use graphmaze_core::metrics::{StepRecord, Timeline};
 use graphmaze_core::prelude::*;
 
 /// Lane names, in tid order (tid = index + 1).
-const LANES: [&str; 3] = ["compute", "comm", "barrier"];
+const LANES: [&str; 4] = ["compute", "comm", "barrier", "recovery"];
 
 /// Writes the sweep's trace artifacts under `dir` (see module docs).
 /// Failed cells have no timeline and are skipped. Returns the number of
@@ -85,6 +87,7 @@ pub fn write_sweep_trace(
                 (rec.compute_s, String::new()),
                 (rec.comm_s, format!(",\"bytes_sent\":{}", rec.bytes_sent)),
                 (rec.barrier_s, String::new()),
+                (rec.recovery_s, String::new()),
             ];
             for (tid0, (dur_s, extra)) in spans.iter().enumerate() {
                 if *dur_s > 0.0 {
@@ -173,6 +176,7 @@ fn write_cell_csv(
         "compute_s",
         "comm_s",
         "barrier_s",
+        "recovery_s",
         "bytes_sent",
         "messages",
         "max_node_bytes",
@@ -190,6 +194,7 @@ fn csv_row(rec: &StepRecord) -> Vec<String> {
         format!("{:?}", rec.compute_s),
         format!("{:?}", rec.comm_s),
         format!("{:?}", rec.barrier_s),
+        format!("{:?}", rec.recovery_s),
         rec.bytes_sent.to_string(),
         rec.messages.to_string(),
         rec.max_node_bytes.to_string(),

@@ -30,9 +30,25 @@ fn small_sweep() -> Sweep {
                 nodes: 2,
                 factor: 1.0,
                 params: BenchParams::default(),
+                faults: FaultPlan::none(),
             });
         }
     }
+    // one recovered-kill cell so the recovery lane carries real spans
+    sweep.push(SweepCell {
+        label: "giraph-kill".into(),
+        algorithm: Algorithm::PageRank,
+        framework: Framework::Giraph,
+        spec: WorkloadSpec::Rmat {
+            scale: 8,
+            edge_factor: 8,
+            seed: 7,
+        },
+        nodes: 2,
+        factor: 1.0,
+        params: BenchParams::default(),
+        faults: FaultPlan::parse("seed=9,kill=1@2,ckpt=2").unwrap(),
+    });
     sweep
 }
 
@@ -104,15 +120,21 @@ fn trace_output_is_byte_identical_serial_vs_parallel() {
     assert!(json.trim_end().ends_with("]}"));
     assert_eq!(
         json.matches("\"process_name\"").count(),
-        10,
+        11,
         "one named process per cell"
     );
     assert!(json.contains("\"ph\":\"X\""), "complete events present");
+    // the faulted Giraph cell must emit spans on the recovery lane
+    // (tid 4) — metadata rows carry no "ts", so this matches X events only
+    assert!(
+        json.contains("\"tid\":4,\"ts\":"),
+        "recovery-lane spans present for the kill cell"
+    );
     let csvs = s1
         .iter()
         .filter(|(n, _)| n.starts_with("tracecheck/") && n.ends_with(".csv"))
         .count();
-    assert_eq!(csvs, 10, "one per-step CSV per successful cell");
+    assert_eq!(csvs, 11, "one per-step CSV per successful cell");
 
     let _ = std::fs::remove_dir_all(&base);
 }

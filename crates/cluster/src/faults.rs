@@ -1,0 +1,423 @@
+//! Seeded, deterministic fault injection for the simulator.
+//!
+//! The paper's multi-node analysis (Tables 6–7, Fig 5–6) repeatedly turns
+//! on how frameworks behave when the cluster *misbehaves*: Giraph's
+//! superstep checkpointing exists because nodes die mid-job, SociaLite's
+//! network layer was rebuilt because stragglers and buffering stalls
+//! dominated at 64 nodes, and two of the headline results are OOM kills.
+//! A [`FaultPlan`] injects exactly those degradations — per-(node, step)
+//! straggler slowdown, message drop with retransmit cost, transient
+//! memory pressure, and whole-node failure at a chosen step — as *pure
+//! functions of the plan seed*, so a faulted run is bit-reproducible:
+//! same plan ⇒ same decisions ⇒ same simulated timeline, on any thread
+//! count and in any execution order.
+//!
+//! Like the work scale (see [`crate::work_scale`]), the active plan is
+//! communicated to [`Sim::new`] through a **thread-local** override
+//! ([`with_faults`]), so sweep cells running concurrently each see only
+//! their own plan. The `GRAPHMAZE_FAULTS` environment variable (same
+//! `--faults` grammar) provides a process-wide default.
+//!
+//! [`Sim::new`]: crate::Sim::new
+
+use std::cell::Cell;
+
+/// A whole-node failure scheduled at a specific BSP step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeFailure {
+    /// The node that dies.
+    pub node: usize,
+    /// Zero-based step index during which it dies (the failure fires
+    /// while that step executes, *before* any checkpoint the step would
+    /// have written).
+    pub step: u32,
+}
+
+/// A deterministic fault-injection plan, consulted by the simulator in
+/// `charge`/`send`/`alloc`/`end_step`. Every decision is a hash of
+/// `(seed, kind, node, sequence)` — no mutable RNG state — so decisions
+/// are independent of call interleaving across threads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed feeding every per-event decision hash.
+    pub seed: u64,
+    /// Probability that a given (node, step) runs slow.
+    pub straggler_prob: f64,
+    /// Compute-time multiplier (≥ 1) applied on straggler (node, step)s.
+    pub straggler_slowdown: f64,
+    /// Probability that a `send` is dropped and must be retransmitted
+    /// (doubling its wire/raw bytes and messages).
+    pub drop_prob: f64,
+    /// Probability that an `alloc` lands during transient memory pressure.
+    pub mem_pressure_prob: f64,
+    /// Phantom bytes (page cache, GC floor, neighbour process) competing
+    /// with the allocation under pressure.
+    pub mem_pressure_bytes: u64,
+    /// Optional whole-node failure.
+    pub fail: Option<NodeFailure>,
+    /// Superstep checkpoint interval K (every K steps) for engines with
+    /// checkpoint/restart; 0 disables checkpointing.
+    pub checkpoint_interval: u32,
+}
+
+const KIND_STRAGGLER: u64 = 0x51;
+const KIND_DROP: u64 = 0xD0;
+const KIND_MEMPRESS: u64 = 0x3E;
+
+/// SplitMix64 finalizer — a full-avalanche 64-bit mix.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// The fault-free plan (the default everywhere).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            straggler_prob: 0.0,
+            straggler_slowdown: 1.0,
+            drop_prob: 0.0,
+            mem_pressure_prob: 0.0,
+            mem_pressure_bytes: 0,
+            fail: None,
+            checkpoint_interval: 0,
+        }
+    }
+
+    /// Whether any fault (or checkpointing, which has a cost even without
+    /// failures) is configured.
+    pub fn is_active(&self) -> bool {
+        self.straggler_prob > 0.0
+            || self.drop_prob > 0.0
+            || self.mem_pressure_prob > 0.0
+            || self.fail.is_some()
+            || self.checkpoint_interval > 0
+    }
+
+    /// Uniform value in `[0, 1)` for one decision, a pure function of the
+    /// plan seed and the event coordinates.
+    #[inline]
+    fn unit(&self, kind: u64, a: u64, b: u64) -> f64 {
+        let h = mix64(mix64(mix64(self.seed ^ kind) ^ a) ^ b);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The compute-time multiplier for `(node, step)`: `Some(slowdown)`
+    /// when the slot runs slow, `None` otherwise.
+    #[inline]
+    pub fn straggler_multiplier(&self, node: usize, step: u32) -> Option<f64> {
+        if self.straggler_prob > 0.0
+            && self.unit(KIND_STRAGGLER, node as u64, u64::from(step)) < self.straggler_prob
+        {
+            Some(self.straggler_slowdown.max(1.0))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `node`'s `seq`-th send is dropped (and retransmitted).
+    #[inline]
+    pub fn drops_send(&self, node: usize, seq: u64) -> bool {
+        self.drop_prob > 0.0 && self.unit(KIND_DROP, node as u64, seq) < self.drop_prob
+    }
+
+    /// Whether `node`'s `seq`-th allocation lands under memory pressure.
+    #[inline]
+    pub fn mem_pressure_hits(&self, node: usize, seq: u64) -> bool {
+        self.mem_pressure_prob > 0.0
+            && self.unit(KIND_MEMPRESS, node as u64, seq) < self.mem_pressure_prob
+    }
+
+    /// Canonical spec string: `"none"` for the inactive plan, else the
+    /// same `key=value` grammar [`FaultPlan::parse`] accepts, so
+    /// `parse(&plan.key()) == plan`. Used in journal lines and as the
+    /// faults component of the sweep cell params hash.
+    pub fn key(&self) -> String {
+        if !self.is_active() {
+            return "none".to_string();
+        }
+        let mut s = format!("seed={}", self.seed);
+        if self.straggler_prob > 0.0 {
+            s.push_str(&format!(
+                ",straggler={:?}x{:?}",
+                self.straggler_prob, self.straggler_slowdown
+            ));
+        }
+        if self.drop_prob > 0.0 {
+            s.push_str(&format!(",drop={:?}", self.drop_prob));
+        }
+        if self.mem_pressure_prob > 0.0 {
+            s.push_str(&format!(
+                ",mempress={:?}:{}",
+                self.mem_pressure_prob, self.mem_pressure_bytes
+            ));
+        }
+        if let Some(f) = self.fail {
+            s.push_str(&format!(",kill={}@{}", f.node, f.step));
+        }
+        if self.checkpoint_interval > 0 {
+            s.push_str(&format!(",ckpt={}", self.checkpoint_interval));
+        }
+        s
+    }
+
+    /// Parses a `--faults` spec: comma-separated `key=value` clauses.
+    ///
+    /// ```text
+    /// seed=7,straggler=0.1x4,drop=0.01,mempress=0.05:256M,kill=0@5,ckpt=4
+    /// ```
+    ///
+    /// * `seed=N` — decision seed (default 0);
+    /// * `straggler=PxM` — each (node, step) runs `M`× slower with
+    ///   probability `P`;
+    /// * `drop=P` — each send is dropped and retransmitted with
+    ///   probability `P`;
+    /// * `mempress=P:BYTES` — each allocation contends with `BYTES`
+    ///   phantom bytes with probability `P` (suffixes `K`/`M`/`G`);
+    /// * `kill=NODE@STEP` — node `NODE` dies during step `STEP`;
+    /// * `ckpt=K` — checkpoint every `K` steps (checkpoint/restart
+    ///   engines only).
+    ///
+    /// `"none"` or the empty string yield [`FaultPlan::none`].
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let spec = spec.trim();
+        let mut plan = FaultPlan::none();
+        if spec.is_empty() || spec == "none" {
+            return Ok(plan);
+        }
+        for clause in spec.split(',') {
+            let (k, v) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause `{clause}` is not key=value"))?;
+            match k.trim() {
+                "seed" => {
+                    plan.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+                }
+                "straggler" => {
+                    let (p, m) = v
+                        .split_once('x')
+                        .ok_or_else(|| format!("straggler `{v}` is not PROBxMULT"))?;
+                    plan.straggler_prob = parse_prob(p)?;
+                    plan.straggler_slowdown = m
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|&m| m.is_finite() && m >= 1.0)
+                        .ok_or_else(|| format!("straggler multiplier `{m}` must be ≥ 1"))?;
+                }
+                "drop" => plan.drop_prob = parse_prob(v)?,
+                "mempress" => {
+                    let (p, b) = v
+                        .split_once(':')
+                        .ok_or_else(|| format!("mempress `{v}` is not PROB:BYTES"))?;
+                    plan.mem_pressure_prob = parse_prob(p)?;
+                    plan.mem_pressure_bytes = parse_bytes(b)?;
+                }
+                "kill" => {
+                    let (n, s) = v
+                        .split_once('@')
+                        .ok_or_else(|| format!("kill `{v}` is not NODE@STEP"))?;
+                    plan.fail = Some(NodeFailure {
+                        node: n.parse().map_err(|_| format!("bad kill node `{n}`"))?,
+                        step: s.parse().map_err(|_| format!("bad kill step `{s}`"))?,
+                    });
+                }
+                "ckpt" => {
+                    plan.checkpoint_interval =
+                        v.parse().map_err(|_| format!("bad ckpt interval `{v}`"))?;
+                }
+                other => return Err(format!("unknown fault clause `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_prob(s: &str) -> Result<f64, String> {
+    s.parse::<f64>()
+        .ok()
+        .filter(|p| p.is_finite() && (0.0..=1.0).contains(p))
+        .ok_or_else(|| format!("probability `{s}` must be in [0, 1]"))
+}
+
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'K' | b'k') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'M' | b'm') => (&s[..s.len() - 1], 1u64 << 20),
+        Some(b'G' | b'g') => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|n| n.saturating_mul(mult))
+        .map_err(|_| format!("bad byte count `{s}`"))
+}
+
+thread_local! {
+    static OVERRIDE: Cell<Option<FaultPlan>> = const { Cell::new(None) };
+}
+
+/// The fault plan in effect on this thread: the innermost [`with_faults`]
+/// override if any, else the `GRAPHMAZE_FAULTS` environment variable
+/// (ignored if unparsable), else [`FaultPlan::none`].
+pub fn current_faults() -> FaultPlan {
+    match OVERRIDE.with(Cell::get) {
+        Some(p) => p,
+        None => std::env::var("GRAPHMAZE_FAULTS")
+            .ok()
+            .and_then(|s| FaultPlan::parse(&s).ok())
+            .unwrap_or_else(FaultPlan::none),
+    }
+}
+
+/// Restores the previous thread-local plan when dropped — including
+/// during unwinding, so a panicking sweep cell cannot leak its faults
+/// into the next cell run on the same worker thread.
+pub struct FaultGuard {
+    prev: Option<FaultPlan>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Installs a thread-local fault-plan override and returns the guard
+/// that undoes it.
+pub fn set_faults(plan: FaultPlan) -> FaultGuard {
+    let prev = OVERRIDE.with(|c| c.replace(Some(plan)));
+    FaultGuard { prev }
+}
+
+/// Runs `f` under fault plan `plan`, restoring the previous plan
+/// afterwards (even if `f` panics). Overrides nest.
+pub fn with_faults<T>(plan: FaultPlan, f: impl FnOnce() -> T) -> T {
+    let _guard = set_faults(plan);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_keys_as_none() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        assert_eq!(p.key(), "none");
+        assert!(p.straggler_multiplier(0, 0).is_none());
+        assert!(!p.drops_send(0, 0));
+        assert!(!p.mem_pressure_hits(0, 0));
+    }
+
+    #[test]
+    fn parse_full_spec_round_trips_through_key() {
+        let spec = "seed=7,straggler=0.1x4.0,drop=0.01,mempress=0.05:268435456,kill=0@5,ckpt=4";
+        let p = FaultPlan::parse(spec).unwrap();
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.straggler_prob, 0.1);
+        assert_eq!(p.straggler_slowdown, 4.0);
+        assert_eq!(p.drop_prob, 0.01);
+        assert_eq!(p.mem_pressure_bytes, 256 << 20);
+        assert_eq!(p.fail, Some(NodeFailure { node: 0, step: 5 }));
+        assert_eq!(p.checkpoint_interval, 4);
+        assert_eq!(FaultPlan::parse(&p.key()).unwrap(), p);
+    }
+
+    #[test]
+    fn parse_byte_suffixes() {
+        let p = FaultPlan::parse("mempress=1:256M").unwrap();
+        assert_eq!(p.mem_pressure_bytes, 256 << 20);
+        assert_eq!(
+            FaultPlan::parse("mempress=1:4G")
+                .unwrap()
+                .mem_pressure_bytes,
+            4 << 30
+        );
+        assert_eq!(
+            FaultPlan::parse("mempress=1:16K")
+                .unwrap()
+                .mem_pressure_bytes,
+            16 << 10
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("straggler=0.1").is_err());
+        assert!(FaultPlan::parse("straggler=2x4").is_err(), "prob > 1");
+        assert!(FaultPlan::parse("straggler=0.1x0.5").is_err(), "mult < 1");
+        assert!(FaultPlan::parse("kill=3").is_err());
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("mempress=0.5").is_err());
+    }
+
+    #[test]
+    fn empty_and_none_parse_to_inactive() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+        assert_eq!(FaultPlan::parse("none").unwrap(), FaultPlan::none());
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_coordinates() {
+        let p = FaultPlan::parse("seed=9,straggler=0.3x2,drop=0.3").unwrap();
+        for node in 0..8usize {
+            for step in 0..32u32 {
+                assert_eq!(
+                    p.straggler_multiplier(node, step),
+                    p.straggler_multiplier(node, step)
+                );
+            }
+        }
+        // different seeds give different decision patterns
+        let q = FaultPlan { seed: 10, ..p };
+        let agree = (0..1000u64)
+            .filter(|&i| p.drops_send(0, i) == q.drops_send(0, i))
+            .count();
+        assert!(agree < 1000, "seeds must matter");
+    }
+
+    #[test]
+    fn decision_rates_track_probabilities() {
+        let p = FaultPlan::parse("seed=1,drop=0.1").unwrap();
+        let hits = (0..20_000u64).filter(|&i| p.drops_send(3, i)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn override_nests_restores_and_stays_thread_local() {
+        let plan = FaultPlan::parse("seed=5,drop=0.5").unwrap();
+        assert_eq!(current_faults(), FaultPlan::none());
+        with_faults(plan, || {
+            assert_eq!(current_faults(), plan);
+            let inner = FaultPlan::parse("seed=6,ckpt=2").unwrap();
+            assert_eq!(with_faults(inner, current_faults), inner);
+            assert_eq!(current_faults(), plan);
+            let other = std::thread::spawn(current_faults).join().unwrap();
+            assert_eq!(other, FaultPlan::none(), "override must stay thread-local");
+        });
+        assert_eq!(current_faults(), FaultPlan::none());
+    }
+
+    #[test]
+    fn panic_does_not_leak_override() {
+        let plan = FaultPlan::parse("seed=5,drop=0.5").unwrap();
+        let r = std::panic::catch_unwind(|| with_faults(plan, || panic!("cell failed")));
+        assert!(r.is_err());
+        assert_eq!(current_faults(), FaultPlan::none());
+    }
+
+    #[test]
+    fn checkpoint_only_plans_are_active() {
+        let p = FaultPlan::parse("ckpt=4").unwrap();
+        assert!(p.is_active(), "checkpointing has a cost even without kills");
+        assert_eq!(p.key(), "seed=0,ckpt=4");
+    }
+}

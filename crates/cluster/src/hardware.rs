@@ -30,6 +30,10 @@ pub struct HardwareSpec {
     pub mlp_prefetch: f64,
     /// DRAM capacity, bytes.
     pub mem_capacity_bytes: u64,
+    /// Sustained local-disk/HDFS bandwidth, bytes/sec — the rate at which
+    /// superstep checkpoints are written and restored (Giraph-style
+    /// checkpoint/restart; see `graphmaze_cluster::faults`).
+    pub disk_bw_bps: f64,
 }
 
 impl HardwareSpec {
@@ -45,6 +49,7 @@ impl HardwareSpec {
             mlp_base: 2.0,
             mlp_prefetch: 16.0,
             mem_capacity_bytes: 64 << 30,
+            disk_bw_bps: 200.0e6, // spinning-disk HDFS replica write
         }
     }
 

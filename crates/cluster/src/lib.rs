@@ -18,10 +18,15 @@
 //!   per-superstep coordination cost) is captured by [`ExecProfile`];
 //! * partitioning schemes match §6.1.1: 1-D balanced-by-edges
 //!   ([`Partition1D`]), 2-D grid ([`Partition2D`]), and high-degree
-//!   replication ([`partition::hubs_to_replicate`]).
+//!   replication ([`partition::hubs_to_replicate`]);
+//! * seeded deterministic fault injection — stragglers, message drops,
+//!   transient memory pressure, whole-node failure — with Giraph-style
+//!   checkpoint/restart recovery is configured by a [`FaultPlan`]
+//!   ([`faults`]).
 
 pub mod comm;
 pub mod compress;
+pub mod faults;
 pub mod hardware;
 pub mod partition;
 pub mod profile;
@@ -29,6 +34,7 @@ pub mod sim;
 pub mod work_scale;
 
 pub use comm::CommLayer;
+pub use faults::{current_faults, with_faults, FaultPlan, NodeFailure};
 pub use hardware::{ClusterSpec, HardwareSpec};
 pub use partition::{Partition1D, Partition2D};
 pub use profile::ExecProfile;

@@ -36,6 +36,10 @@ pub struct ExecProfile {
     pub work_multiplier: f64,
     /// Fixed coordination cost per BSP step, seconds.
     pub per_step_overhead_s: f64,
+    /// Whether the runtime writes superstep checkpoints and survives a
+    /// node failure by rollback-and-replay (Giraph inherits this from
+    /// Hadoop); engines without it fail-stop when a node dies.
+    pub checkpoint_restart: bool,
 }
 
 impl ExecProfile {
@@ -49,6 +53,7 @@ impl ExecProfile {
             overlap: true,
             work_multiplier: 1.0,
             per_step_overhead_s: 50e-6,
+            checkpoint_restart: false,
         }
     }
 
@@ -63,6 +68,7 @@ impl ExecProfile {
             overlap: false,
             work_multiplier: 1.6,
             per_step_overhead_s: 200e-6,
+            checkpoint_restart: false,
         }
     }
 
@@ -77,6 +83,7 @@ impl ExecProfile {
             overlap: true,
             work_multiplier: 2.8,
             per_step_overhead_s: 500e-6,
+            checkpoint_restart: false,
         }
     }
 
@@ -92,6 +99,7 @@ impl ExecProfile {
             overlap: false,
             work_multiplier: 3.2, // Datalog join evaluation on the JVM
             per_step_overhead_s: 1e-3,
+            checkpoint_restart: false,
         }
     }
 
@@ -116,6 +124,7 @@ impl ExecProfile {
             overlap: false,
             work_multiplier: 6.0, // boxed vertex/message objects, per-edge dispatch
             per_step_overhead_s: 0.9, // Hadoop superstep barrier + scheduling
+            checkpoint_restart: true, // superstep checkpointing via HDFS
         }
     }
 
@@ -179,6 +188,7 @@ impl ExecProfile {
             overlap: false,
             work_multiplier: 5.0, // JVM vertex dispatch, lighter than Giraph's
             per_step_overhead_s: 80e-3, // own master, no Hadoop superstep setup
+            checkpoint_restart: false,
         }
     }
 
@@ -194,6 +204,7 @@ impl ExecProfile {
             overlap: false,
             work_multiplier: 2.8 * 7.0, // GraphLab's cost × Spark RDD overhead
             per_step_overhead_s: 120e-3, // Spark stage scheduling
+            checkpoint_restart: false,
         }
     }
 
@@ -208,6 +219,7 @@ impl ExecProfile {
             overlap: true,
             work_multiplier: 1.15,
             per_step_overhead_s: 100e-6,
+            checkpoint_restart: false,
         }
     }
 }
@@ -249,6 +261,24 @@ mod tests {
         assert!(gi.1.per_step_overhead_s < gi.0.per_step_overhead_s);
         // the JVM's per-operation cost is NOT wished away
         assert_eq!(gi.1.work_multiplier, gi.0.work_multiplier);
+    }
+
+    #[test]
+    fn only_the_giraph_family_checkpoints() {
+        assert!(ExecProfile::giraph().checkpoint_restart);
+        assert!(ExecProfile::giraph_improved().checkpoint_restart);
+        for p in [
+            ExecProfile::native(),
+            ExecProfile::combblas(),
+            ExecProfile::graphlab(),
+            ExecProfile::socialite(),
+            ExecProfile::socialite_unoptimized(),
+            ExecProfile::gps(),
+            ExecProfile::graphx(),
+            ExecProfile::galois(),
+        ] {
+            assert!(!p.checkpoint_restart, "{} must fail-stop", p.name);
+        }
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //! system-level metrics of the paper's Figure 6.
 
 use graphmaze_metrics::{
-    MemTracker, OutOfMemory, RunReport, StepRecord, Timeline, TrafficStats, Work,
+    MemTracker, OutOfMemory, RecoveryStats, RunReport, StepRecord, Timeline, TrafficStats, Work,
 };
 
+use crate::faults::FaultPlan;
 use crate::hardware::ClusterSpec;
 use crate::profile::ExecProfile;
 
@@ -28,6 +29,14 @@ pub enum SimError {
     /// The engine asked for an impossible configuration (e.g. CombBLAS on
     /// a non-square node count).
     InvalidConfig(String),
+    /// A whole node died (injected by the fault plan) under an engine
+    /// without checkpoint/restart — the run cannot complete (fail-stop).
+    NodeFailed {
+        /// The node that died.
+        node: usize,
+        /// The step during which it died.
+        step: u32,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -35,6 +44,10 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::OutOfMemory(e) => write!(f, "{e}"),
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::NodeFailed { node, step } => write!(
+                f,
+                "node {node} failed during step {step} and the engine cannot recover (fail-stop)"
+            ),
         }
     }
 }
@@ -73,6 +86,22 @@ pub struct Sim {
     /// Phase label applied to steps folded from now on (see [`Sim::phase`]).
     phase: String,
     timeline: Timeline,
+    /// Fault plan in effect (from [`crate::faults::current_faults`]).
+    faults: FaultPlan,
+    /// Per-node send sequence numbers (drop decisions hash these).
+    send_seq: Vec<u64>,
+    /// Per-node allocation sequence numbers (pressure decisions hash these).
+    alloc_seq: Vec<u64>,
+    /// Per-node "straggler already counted this step" markers.
+    straggler_hit: Vec<bool>,
+    /// Fault/recovery counters for the report.
+    recovery: RecoveryStats,
+    /// Whether the plan's node failure already fired (it fires once).
+    failure_fired: bool,
+    /// Number of leading steps covered by the last checkpoint.
+    checkpointed_steps: u32,
+    /// Bytes of the last checkpoint (restore cost on failure).
+    last_checkpoint_bytes: u64,
 }
 
 /// Phase label steps carry before the engine's first [`Sim::phase`] call.
@@ -88,11 +117,25 @@ impl Sim {
     /// extrapolating a structurally identical graph `scale`× larger. The
     /// repro harness uses this to report paper-scale runtimes (and
     /// paper-scale OOM behaviour) from scaled-down inputs; see DESIGN.md §2.
+    /// The **fault plan** likewise comes from
+    /// [`crate::faults::current_faults`] (thread-local override, else the
+    /// `GRAPHMAZE_FAULTS` environment variable, else no faults); see
+    /// `cluster::faults` for the model. With no active plan the
+    /// simulation is bit-identical to one built before faults existed.
     pub fn new(cluster: ClusterSpec, profile: ExecProfile) -> Self {
         let work_scale = crate::work_scale::current_work_scale();
+        let faults = crate::faults::current_faults();
         let n = cluster.nodes;
         Sim {
             work_scale,
+            faults,
+            send_seq: vec![0; n],
+            alloc_seq: vec![0; n],
+            straggler_hit: vec![false; n],
+            recovery: RecoveryStats::default(),
+            failure_fired: false,
+            checkpointed_steps: 0,
+            last_checkpoint_bytes: 0,
             total_work: Work::ZERO,
             cluster,
             profile,
@@ -158,11 +201,22 @@ impl Sim {
         stream_t.max(rand_t).max(flop_t)
     }
 
-    /// Meters `work` done on behalf of `node` in the current step.
+    /// Meters `work` done on behalf of `node` in the current step. If the
+    /// fault plan marks this (node, step) a straggler, the time (not the
+    /// counted work) is multiplied by the plan's slowdown — the node does
+    /// the same work, slower.
     pub fn charge(&mut self, node: usize, work: Work) {
         let work = work.scaled(self.work_scale);
         self.total_work.accumulate(work);
-        self.step_compute[node] += self.compute_seconds_for(work);
+        let mut secs = self.compute_seconds_for(work);
+        if let Some(m) = self.faults.straggler_multiplier(node, self.steps) {
+            secs *= m;
+            if !self.straggler_hit[node] {
+                self.straggler_hit[node] = true;
+                self.recovery.straggler_events += 1;
+            }
+        }
+        self.step_compute[node] += secs;
     }
 
     /// Meters a message of `wire_bytes` (post-compression) sent by `node`.
@@ -173,8 +227,23 @@ impl Sim {
         // scale×-larger graph ships scale×-bigger bulk transfers over the
         // same communication pattern.
         let scale = self.work_scale;
-        let wire_bytes = (wire_bytes as f64 * scale) as u64;
-        let raw_bytes = (raw_bytes as f64 * scale) as u64;
+        let mut wire_bytes = (wire_bytes as f64 * scale) as u64;
+        let mut raw_bytes = (raw_bytes as f64 * scale) as u64;
+        let mut msgs = msgs;
+        if self.faults.drop_prob > 0.0 {
+            let seq = self.send_seq[node];
+            self.send_seq[node] += 1;
+            if self.faults.drops_send(node, seq) {
+                // The transfer is lost in flight and resent whole: twice
+                // the wire/raw bytes and messages hit the network and the
+                // comm-layer CPU below.
+                self.recovery.dropped_sends += 1;
+                self.recovery.retransmitted_bytes += wire_bytes;
+                wire_bytes *= 2;
+                raw_bytes *= 2;
+                msgs *= 2;
+            }
+        }
         self.step_bytes[node] += wire_bytes;
         self.step_raw_bytes[node] += raw_bytes;
         self.step_msgs[node] += msgs;
@@ -188,8 +257,30 @@ impl Sim {
     }
 
     /// Accounts an allocation on `node`; fails when capacity is exceeded.
+    /// Under the fault plan's transient memory pressure, phantom bytes
+    /// (page cache, GC floor, a neighbouring process) temporarily compete
+    /// for the same capacity: an allocation that would fit on a quiet
+    /// node can OOM on a pressured one.
     pub fn alloc(&mut self, node: usize, bytes: u64, label: &str) -> Result<(), SimError> {
         let bytes = (bytes as f64 * self.work_scale) as u64;
+        if self.faults.mem_pressure_prob > 0.0 {
+            let seq = self.alloc_seq[node];
+            self.alloc_seq[node] += 1;
+            if self.faults.mem_pressure_hits(node, seq) {
+                self.recovery.mem_pressure_events += 1;
+                let m = &self.mem[node];
+                let pressured = m.in_use().saturating_add(self.faults.mem_pressure_bytes);
+                if pressured.saturating_add(bytes) > m.capacity() {
+                    return Err(SimError::OutOfMemory(OutOfMemory {
+                        node,
+                        in_use: pressured,
+                        requested: bytes,
+                        capacity: m.capacity(),
+                        label: format!("{label}+mem-pressure"),
+                    }));
+                }
+            }
+        }
         self.mem[node].alloc(bytes, label).map_err(SimError::from)
     }
 
@@ -238,12 +329,23 @@ impl Sim {
     /// The BSP barrier: folds the current step into the clock and
     /// appends a [`StepRecord`] to the timeline.
     ///
-    /// The clock advances by `compute + exposed_comm + barrier`, where
-    /// exposed comm is what overlap failed to hide — algebraically the
-    /// same `max(compute, comm)` body as before, but built from the
-    /// components the step record carries, so the timeline's per-step
-    /// sums reconcile with `sim_seconds` *bit-exactly*.
-    pub fn end_step(&mut self) {
+    /// The clock advances by `compute + exposed_comm + barrier +
+    /// recovery`, where exposed comm is what overlap failed to hide —
+    /// algebraically the same `max(compute, comm)` body as before, but
+    /// built from the components the step record carries, so the
+    /// timeline's per-step sums reconcile with `sim_seconds`
+    /// *bit-exactly* (`recovery` is exactly `0.0` without faults).
+    ///
+    /// Under an active fault plan this is also where resilience happens:
+    ///
+    /// * if the plan kills a node during this step, an engine profile
+    ///   with `checkpoint_restart` pays restore + rollback-and-replay
+    ///   (folded into the step's `recovery_s`) and carries on; any other
+    ///   profile **fail-stops** with [`SimError::NodeFailed`];
+    /// * checkpoint/restart profiles write a checkpoint every
+    ///   `checkpoint_interval` steps: max-node state over disk bandwidth,
+    ///   plus an OOM check for the serialization staging buffer.
+    pub fn end_step(&mut self) -> Result<(), SimError> {
         let p = &self.profile;
         let compute_t = self.step_compute.iter().copied().fold(0.0, f64::max);
         let comm_t = (0..self.nodes())
@@ -258,7 +360,71 @@ impl Sim {
             comm_t
         };
         let barrier_t = p.per_step_overhead_s;
-        let step_t = compute_t + exposed_comm + barrier_t;
+        let base_t = compute_t + exposed_comm + barrier_t;
+
+        let mut recovery_t = 0.0;
+        if self.faults.is_active() {
+            // Whole-node failure fires while this step executes — before
+            // any checkpoint this step would write.
+            if let Some(f) = self.faults.fail {
+                if !self.failure_fired && f.step == self.steps && f.node < self.nodes() {
+                    self.failure_fired = true;
+                    if !p.checkpoint_restart {
+                        return Err(SimError::NodeFailed {
+                            node: f.node,
+                            step: self.steps,
+                        });
+                    }
+                    // Rollback-and-replay: read the last checkpoint back,
+                    // re-execute every step it does not cover (their
+                    // recorded durations, left to right), then re-execute
+                    // the failed step itself at its base cost.
+                    let disk_bw = self.cluster.hw.disk_bw_bps.max(1.0);
+                    let restore_s = self.last_checkpoint_bytes as f64 / disk_bw;
+                    let mut replay_s = 0.0;
+                    for rec in &self.timeline.steps[self.checkpointed_steps as usize..] {
+                        replay_s += rec.duration_s();
+                    }
+                    replay_s += base_t;
+                    self.recovery.failures += 1;
+                    self.recovery.steps_replayed += self.steps - self.checkpointed_steps + 1;
+                    self.recovery.restore_seconds += restore_s;
+                    self.recovery.replay_seconds += replay_s;
+                    recovery_t += restore_s + replay_s;
+                }
+            }
+            // Periodic checkpoint write once the step (and any recovery)
+            // completes: every node serializes its state to disk; the
+            // largest write binds the barrier.
+            if p.checkpoint_restart
+                && self.faults.checkpoint_interval > 0
+                && (self.steps + 1).is_multiple_of(self.faults.checkpoint_interval)
+            {
+                for m in &self.mem {
+                    // Serializing needs a staging buffer ~1/4 of state.
+                    let staging = m.in_use() / 4;
+                    if m.in_use().saturating_add(staging) > m.capacity() {
+                        return Err(SimError::OutOfMemory(OutOfMemory {
+                            node: m.node(),
+                            in_use: m.in_use(),
+                            requested: staging,
+                            capacity: m.capacity(),
+                            label: "checkpoint:staging".into(),
+                        }));
+                    }
+                }
+                let bytes = self.mem.iter().map(MemTracker::in_use).max().unwrap_or(0);
+                let ckpt_s = bytes as f64 / self.cluster.hw.disk_bw_bps.max(1.0);
+                self.recovery.checkpoints += 1;
+                self.recovery.checkpoint_bytes += bytes;
+                self.recovery.checkpoint_seconds += ckpt_s;
+                recovery_t += ckpt_s;
+                self.checkpointed_steps = self.steps + 1;
+                self.last_checkpoint_bytes = bytes;
+            }
+        }
+
+        let step_t = base_t + recovery_t;
         self.clock += step_t;
         self.compute_seconds += compute_t;
         self.comm_seconds += comm_t;
@@ -285,6 +451,7 @@ impl Sim {
             compute_s: compute_t,
             comm_s: exposed_comm,
             barrier_s: barrier_t,
+            recovery_s: recovery_t,
             bytes_sent: total_bytes,
             messages: total_msgs,
             max_node_bytes,
@@ -295,7 +462,9 @@ impl Sim {
         self.step_bytes.fill(0);
         self.step_msgs.fill(0);
         self.step_raw_bytes.fill(0);
+        self.straggler_hit.fill(false);
         self.steps += 1;
+        Ok(())
     }
 
     /// Marks the end of one *algorithm* iteration (may span several BSP
@@ -310,13 +479,16 @@ impl Sim {
     }
 
     /// Finalizes the run into a report. Any metering not yet folded by an
-    /// [`Sim::end_step`] is flushed as a final step first.
+    /// [`Sim::end_step`] is flushed as a final step first. A fault firing
+    /// during that flush is ignored: the algorithm's results already
+    /// exist at this point, so a failure "during" the flush happens after
+    /// completion (documented corner case of the fault model).
     pub fn finish(mut self) -> RunReport {
         let pending = self.step_compute.iter().any(|&c| c > 0.0)
             || self.step_bytes.iter().any(|&b| b > 0)
             || self.step_msgs.iter().any(|&m| m > 0);
         if pending {
-            self.end_step();
+            let _ = self.end_step();
         }
         let total_core_seconds =
             self.clock * self.cluster.nodes as f64 * f64::from(self.cluster.hw.cores);
@@ -337,6 +509,7 @@ impl Sim {
             traffic: self.traffic,
             total_work: self.total_work,
             timeline: self.timeline,
+            recovery: self.recovery,
         }
     }
 }
@@ -407,7 +580,7 @@ mod tests {
         let mut sim = sim4();
         sim.charge(0, Work::stream(85_000_000_000)); // 1 s
         sim.charge(1, Work::stream(8_500_000_000)); // 0.1 s
-        sim.end_step();
+        sim.end_step().unwrap();
         let c = sim.clock();
         assert!((c - 1.0).abs() < 1e-3, "clock {c}");
     }
@@ -421,7 +594,7 @@ mod tests {
         for sim in [&mut with, &mut without] {
             sim.charge(0, Work::stream(85_000_000_000)); // 1 s compute
             sim.send(0, 5_500_000_000, 5_500_000_000, 1); // 1 s comm
-            sim.end_step();
+            sim.end_step().unwrap();
         }
         assert!(
             (with.clock() - 1.0).abs() < 1e-3,
@@ -441,7 +614,7 @@ mod tests {
         p.per_step_overhead_s = 0.5;
         let mut sim = Sim::new(ClusterSpec::single(), p);
         for _ in 0..4 {
-            sim.end_step();
+            sim.end_step().unwrap();
         }
         assert!((sim.clock() - 2.0).abs() < 1e-9);
     }
@@ -451,7 +624,7 @@ mod tests {
         // full compute with all cores → utilization ≈ 1
         let mut sim = Sim::new(ClusterSpec::single(), ExecProfile::native());
         sim.charge(0, Work::stream(85_000_000_000));
-        sim.end_step();
+        sim.end_step().unwrap();
         let r = sim.finish();
         assert!(r.cpu_utilization > 0.9, "util {}", r.cpu_utilization);
 
@@ -460,7 +633,7 @@ mod tests {
         p.per_step_overhead_s = 0.0;
         let mut sim = Sim::new(ClusterSpec::single(), p);
         sim.charge(0, Work::flops(1 << 34));
-        sim.end_step();
+        sim.end_step().unwrap();
         let r = sim.finish();
         assert!(
             r.cpu_utilization <= 4.0 / 24.0 + 1e-9,
@@ -474,7 +647,7 @@ mod tests {
         let mut sim = sim4();
         sim.send(0, 5_500_000_000, 11_000_000_000, 10);
         sim.send(1, 1_000, 1_000, 1);
-        sim.end_step();
+        sim.end_step().unwrap();
         let r = sim.finish();
         assert_eq!(r.traffic.bytes_sent, 5_500_001_000);
         assert_eq!(r.traffic.messages, 11);
@@ -506,7 +679,7 @@ mod tests {
     fn iterations_tracked_independently_of_steps() {
         let mut sim = sim4();
         for i in 0..6 {
-            sim.end_step();
+            sim.end_step().unwrap();
             if i % 2 == 1 {
                 sim.end_iteration();
             }
@@ -528,7 +701,7 @@ mod tests {
                 sim.charge(1, Work::random(10_000_000 * (i + 1)));
                 sim.send(0, 50_000_000 * (i + 1), 90_000_000, 7);
                 sim.send(2, 11_111_111, 11_111_111, 3);
-                sim.end_step();
+                sim.end_step().unwrap();
             }
             let r = sim.finish();
             assert_eq!(r.timeline.len(), 7);
@@ -547,7 +720,7 @@ mod tests {
         let mut sim = Sim::new(ClusterSpec::paper(2), ExecProfile::native());
         sim.charge(0, Work::stream(85_000_000_000)); // 1 s compute
         sim.send(0, 11_000_000_000, 11_000_000_000, 1); // 2 s comm
-        sim.end_step();
+        sim.end_step().unwrap();
         let r = sim.finish();
         let step = &r.timeline.steps[0];
         assert!((step.compute_s - 1.0).abs() < 1e-3, "{}", step.compute_s);
@@ -560,12 +733,12 @@ mod tests {
     #[test]
     fn phase_labels_steps_until_changed() {
         let mut sim = sim4();
-        sim.end_step(); // before any phase() call
+        sim.end_step().unwrap(); // before any phase() call
         sim.phase("build");
-        sim.end_step();
+        sim.end_step().unwrap();
         sim.phase("iterate");
-        sim.end_step();
-        sim.end_step();
+        sim.end_step().unwrap();
+        sim.end_step().unwrap();
         let r = sim.finish();
         let phases: Vec<&str> = r.timeline.steps.iter().map(|s| s.phase.as_str()).collect();
         assert_eq!(phases, [DEFAULT_PHASE, "build", "iterate", "iterate"]);
@@ -578,15 +751,198 @@ mod tests {
     fn timeline_records_memory_watermark() {
         let mut sim = sim4();
         sim.alloc(0, 1000, "a").unwrap();
-        sim.end_step();
+        sim.end_step().unwrap();
         sim.alloc(1, 5000, "b").unwrap();
-        sim.end_step();
+        sim.end_step().unwrap();
         sim.free(1, 5000);
-        sim.end_step();
+        sim.end_step().unwrap();
         let r = sim.finish();
         let marks: Vec<u64> = r.timeline.steps.iter().map(|s| s.mem_peak_bytes).collect();
         assert_eq!(marks, [1000, 5000, 5000], "watermark is monotone");
         assert_eq!(r.timeline.peak_mem_bytes(), r.peak_mem_bytes);
+    }
+
+    #[test]
+    fn straggler_slows_the_step_and_is_counted() {
+        use crate::faults::{with_faults, FaultPlan};
+        let charges = |sim: &mut Sim| {
+            sim.charge(0, Work::stream(8_500_000_000)); // 0.1 s
+            sim.charge(0, Work::stream(8_500_000_000)); // again: one event
+            sim.end_step().unwrap();
+        };
+        let mut p = ExecProfile::native();
+        p.per_step_overhead_s = 0.0;
+        let mut base = Sim::new(ClusterSpec::paper(2), p);
+        charges(&mut base);
+        // probability 1 ⇒ every (node, step) is a straggler
+        let plan = FaultPlan::parse("seed=1,straggler=1x4").unwrap();
+        let mut slow = with_faults(plan, || Sim::new(ClusterSpec::paper(2), p));
+        charges(&mut slow);
+        assert!(
+            (slow.clock() / base.clock() - 4.0).abs() < 1e-6,
+            "slowdown {} vs base {}",
+            slow.clock(),
+            base.clock()
+        );
+        let r = slow.finish();
+        assert_eq!(r.recovery.straggler_events, 1, "one slot, counted once");
+        assert!(!r.recovery.is_zero());
+    }
+
+    #[test]
+    fn dropped_sends_retransmit_and_double_traffic() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,drop=1").unwrap();
+        let mut sim = with_faults(plan, || {
+            Sim::new(ClusterSpec::paper(2), ExecProfile::native())
+        });
+        sim.send(0, 1000, 2000, 3);
+        sim.end_step().unwrap();
+        let r = sim.finish();
+        assert_eq!(r.traffic.bytes_sent, 2000, "wire bytes doubled");
+        assert_eq!(r.traffic.messages, 6);
+        assert_eq!(r.recovery.dropped_sends, 1);
+        assert_eq!(r.recovery.retransmitted_bytes, 1000);
+    }
+
+    #[test]
+    fn mem_pressure_makes_a_fitting_alloc_oom() {
+        use crate::faults::{with_faults, FaultPlan};
+        let cap = ClusterSpec::paper(1).hw.mem_capacity_bytes;
+        // pressure bytes equal to capacity guarantee the OOM
+        let plan = FaultPlan::parse(&format!("seed=1,mempress=1:{cap}")).unwrap();
+        let mut sim = with_faults(plan, || {
+            Sim::new(ClusterSpec::single(), ExecProfile::native())
+        });
+        let err = sim.alloc(0, 1024, "ranks").unwrap_err();
+        match err {
+            SimError::OutOfMemory(o) => {
+                assert_eq!(o.node, 0);
+                assert!(o.label.ends_with("+mem-pressure"), "label {}", o.label);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoints_cost_disk_writes_every_k_steps() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,ckpt=2").unwrap();
+        let mut p = ExecProfile::giraph();
+        p.per_step_overhead_s = 0.0;
+        let mut sim = with_faults(plan, || Sim::new(ClusterSpec::paper(2), p));
+        let disk_bw = sim.cluster().hw.disk_bw_bps;
+        sim.alloc(0, 2_000_000_000, "state").unwrap();
+        for _ in 0..4 {
+            sim.end_step().unwrap();
+        }
+        let r = sim.finish();
+        assert_eq!(r.recovery.checkpoints, 2, "steps 2 and 4 checkpoint");
+        assert_eq!(r.recovery.checkpoint_bytes, 4_000_000_000);
+        let per_ckpt = 2_000_000_000.0 / disk_bw;
+        assert!((r.recovery.checkpoint_seconds - 2.0 * per_ckpt).abs() < 1e-9);
+        let marks: Vec<f64> = r.timeline.steps.iter().map(|s| s.recovery_s).collect();
+        assert_eq!(marks.len(), 4);
+        assert_eq!(marks[0], 0.0);
+        assert!(marks[1] > 0.0 && marks[3] > 0.0 && marks[2] == 0.0);
+        assert_eq!(
+            r.timeline.total_seconds(),
+            r.sim_seconds,
+            "recovery lane must reconcile bit-exactly"
+        );
+    }
+
+    #[test]
+    fn node_failure_rolls_back_to_the_last_checkpoint() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,ckpt=2,kill=0@3").unwrap();
+        let mut sim = with_faults(plan, || {
+            Sim::new(ClusterSpec::paper(2), ExecProfile::giraph())
+        });
+        sim.alloc(0, 1_000_000_000, "state").unwrap();
+        for i in 0..5u64 {
+            sim.charge(0, Work::stream(1_000_000_000 * (i + 1)));
+            sim.end_step().unwrap();
+        }
+        let r = sim.finish();
+        assert_eq!(r.recovery.failures, 1);
+        // checkpoint covers steps 0..2; failed step 3 replays step 2 + itself
+        assert_eq!(r.recovery.steps_replayed, 2);
+        let disk_bw = ClusterSpec::paper(2).hw.disk_bw_bps;
+        assert_eq!(r.recovery.restore_seconds, 1_000_000_000.0 / disk_bw);
+        // replayed seconds reconcile bit-exactly with the timeline
+        let failed = &r.timeline.steps[3];
+        let base3 = failed.compute_s + failed.comm_s + failed.barrier_s;
+        let expected_replay = r.timeline.steps[2].duration_s() + base3;
+        assert_eq!(r.recovery.replay_seconds, expected_replay);
+        assert_eq!(r.timeline.total_seconds(), r.sim_seconds);
+        let lane_sum: f64 = r.timeline.steps.iter().map(|s| s.recovery_s).sum();
+        assert!((lane_sum - r.recovery.recovery_seconds()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_before_any_checkpoint_replays_from_scratch() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,ckpt=10,kill=1@2").unwrap();
+        let mut sim = with_faults(plan, || {
+            Sim::new(ClusterSpec::paper(2), ExecProfile::giraph())
+        });
+        for _ in 0..3 {
+            sim.charge(1, Work::stream(1_000_000_000));
+            sim.end_step().unwrap();
+        }
+        let r = sim.finish();
+        assert_eq!(r.recovery.failures, 1);
+        assert_eq!(r.recovery.restore_seconds, 0.0, "no checkpoint to read");
+        assert_eq!(r.recovery.steps_replayed, 3, "steps 0 and 1 plus step 2");
+    }
+
+    #[test]
+    fn fail_stop_profile_surfaces_node_failure() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,kill=0@1").unwrap();
+        let mut sim = with_faults(plan, || {
+            Sim::new(ClusterSpec::paper(2), ExecProfile::native())
+        });
+        sim.end_step().unwrap();
+        let err = sim.end_step().unwrap_err();
+        assert_eq!(err, SimError::NodeFailed { node: 0, step: 1 });
+        assert!(err.to_string().contains("fail-stop"));
+    }
+
+    #[test]
+    fn checkpoint_staging_buffer_can_oom() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,ckpt=1").unwrap();
+        let mut sim = with_faults(plan, || {
+            Sim::new(ClusterSpec::single(), ExecProfile::giraph())
+        });
+        // fill memory beyond 4/5 of capacity: in_use + in_use/4 > capacity
+        let cap = sim.cluster().hw.mem_capacity_bytes;
+        sim.alloc(0, cap - cap / 8, "state").unwrap();
+        let err = sim.end_step().unwrap_err();
+        match err {
+            SimError::OutOfMemory(o) => assert_eq!(o.label, "checkpoint:staging"),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inactive_plan_leaves_reports_bit_identical() {
+        use crate::faults::{with_faults, FaultPlan};
+        let run = || {
+            let mut sim = Sim::new(ClusterSpec::paper(2), ExecProfile::giraph());
+            for i in 0..3u64 {
+                sim.charge(0, Work::stream(1_000_000_000 + i));
+                sim.send(1, 10_000 + i, 20_000, 5);
+                sim.end_step().unwrap();
+            }
+            sim.finish()
+        };
+        let plain = run();
+        let gated = with_faults(FaultPlan::none(), run);
+        assert_eq!(plain, gated);
+        assert!(plain.recovery.is_zero());
     }
 
     #[test]
@@ -596,7 +952,7 @@ mod tests {
         p.overlap = false;
         let mut sim = Sim::new(ClusterSpec::paper(2), p);
         sim.send(0, 85_000_000_000, 85_000_000_000, 1);
-        sim.end_step();
+        sim.end_step().unwrap();
         // socket layer charges 1 stream byte per wire byte → 1 s compute
         let r = sim.finish();
         assert!(

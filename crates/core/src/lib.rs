@@ -42,7 +42,7 @@ pub use graphmaze_native as native;
 pub use engine::Engine;
 pub use runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
 pub use sweep::{
-    CellStatus, Sweep, SweepCell, SweepEvent, SweepOptions, SweepReport, WorkloadCache,
+    CellError, CellStatus, Sweep, SweepCell, SweepEvent, SweepOptions, SweepReport, WorkloadCache,
     WorkloadSpec, JOURNAL_SCHEMA_VERSION,
 };
 pub use workload::Workload;
@@ -53,14 +53,14 @@ pub mod prelude {
     pub use crate::report::{format_table, geomean};
     pub use crate::runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
     pub use crate::sweep::{
-        CellStatus, Sweep, SweepCell, SweepEvent, SweepOptions, SweepReport, WorkloadCache,
-        WorkloadSpec,
+        CellError, CellStatus, Sweep, SweepCell, SweepEvent, SweepOptions, SweepReport,
+        WorkloadCache, WorkloadSpec,
     };
     pub use crate::workload::Workload;
-    pub use graphmaze_cluster::{ClusterSpec, ExecProfile, SimError};
+    pub use graphmaze_cluster::{ClusterSpec, ExecProfile, FaultPlan, NodeFailure, SimError};
     pub use graphmaze_datagen::{Dataset, RatingsGenConfig, RmatConfig, RmatParams};
     pub use graphmaze_graph::{DirectedGraph, EdgeList, RatingsGraph, UndirectedGraph};
-    pub use graphmaze_metrics::RunReport;
+    pub use graphmaze_metrics::{RecoveryStats, RunReport};
     pub use graphmaze_native::cf::CfConfig;
     pub use graphmaze_native::{NativeOptions, PAGERANK_R};
 }

@@ -34,9 +34,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use graphmaze_cluster::{with_work_scale, SimError};
+use graphmaze_cluster::{with_faults, with_work_scale, FaultPlan, SimError};
 use graphmaze_datagen::Dataset;
-use graphmaze_metrics::{RunReport, StepRecord, Timeline, TrafficStats, Work};
+use graphmaze_metrics::{RecoveryStats, RunReport, StepRecord, Timeline, TrafficStats, Work};
 
 use crate::runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
 use crate::workload::Workload;
@@ -210,6 +210,9 @@ pub struct SweepCell {
     pub factor: f64,
     /// Benchmark parameters.
     pub params: BenchParams,
+    /// Fault-injection plan the cell runs under ([`FaultPlan::none`] for
+    /// the fault-free crossbar).
+    pub faults: FaultPlan,
 }
 
 impl SweepCell {
@@ -218,7 +221,7 @@ impl SweepCell {
     pub fn key(&self, experiment: &str) -> u64 {
         let p = &self.params;
         let canonical = format!(
-            "{experiment}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{:016x}\x1f{}\x1f{}\x1f{}\x1f{:016x}\x1f{:016x}\x1f{:016x}\x1f{}\x1f{}\x1f{}",
+            "{experiment}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{:016x}\x1f{}\x1f{}\x1f{}\x1f{:016x}\x1f{:016x}\x1f{:016x}\x1f{}\x1f{}\x1f{}\x1f{}",
             self.label,
             self.algorithm.name(),
             self.framework.name(),
@@ -234,6 +237,7 @@ impl SweepCell {
             p.cf.seed,
             p.cf_iterations,
             p.giraph_splits,
+            self.faults.key(),
         );
         fnv1a64(&canonical)
     }
@@ -250,6 +254,9 @@ pub enum CellError {
     /// The engine panicked; the cell is marked failed instead of taking
     /// down the run.
     Panicked(String),
+    /// The fault plan killed a node and the framework fail-stops (no
+    /// checkpoint/restart) — the paper's "job lost" cells.
+    NodeFailed(String),
 }
 
 impl CellError {
@@ -259,13 +266,17 @@ impl CellError {
             CellError::OutOfMemory(_) => "oom",
             CellError::InvalidConfig(_) => "invalid",
             CellError::Panicked(_) => "panic",
+            CellError::NodeFailed(_) => "failed",
         }
     }
 
     /// Human-readable message.
     pub fn message(&self) -> &str {
         match self {
-            CellError::OutOfMemory(m) | CellError::InvalidConfig(m) | CellError::Panicked(m) => m,
+            CellError::OutOfMemory(m)
+            | CellError::InvalidConfig(m)
+            | CellError::Panicked(m)
+            | CellError::NodeFailed(m) => m,
         }
     }
 
@@ -275,6 +286,7 @@ impl CellError {
             CellError::OutOfMemory(_) => "OOM",
             CellError::InvalidConfig(_) => "n/a",
             CellError::Panicked(_) => "fail",
+            CellError::NodeFailed(_) => "failed",
         }
     }
 
@@ -282,6 +294,7 @@ impl CellError {
         match kind {
             "oom" => CellError::OutOfMemory(message),
             "invalid" => CellError::InvalidConfig(message),
+            "failed" => CellError::NodeFailed(message),
             _ => CellError::Panicked(message),
         }
     }
@@ -292,6 +305,7 @@ impl From<SimError> for CellError {
         match e {
             SimError::OutOfMemory(oom) => CellError::OutOfMemory(oom.to_string()),
             SimError::InvalidConfig(m) => CellError::InvalidConfig(m),
+            SimError::NodeFailed { .. } => CellError::NodeFailed(e.to_string()),
         }
     }
 }
@@ -595,18 +609,22 @@ impl Sweep {
     }
 }
 
-/// Runs one cell with panic isolation and the cell's work scale.
+/// Runs one cell with panic isolation, the cell's work scale and the
+/// cell's fault plan (both thread-local, so `--jobs N` workers never
+/// leak either into each other's cells).
 fn execute_cell(cell: &SweepCell, cache: &WorkloadCache) -> Result<RunOutcome, CellError> {
     let caught = catch_unwind(AssertUnwindSafe(|| {
         let wl = cache.get(&cell.spec);
-        with_work_scale(cell.factor, || {
-            run_benchmark(
-                cell.algorithm,
-                cell.framework,
-                &wl,
-                cell.nodes,
-                &cell.params,
-            )
+        with_faults(cell.faults, || {
+            with_work_scale(cell.factor, || {
+                run_benchmark(
+                    cell.algorithm,
+                    cell.framework,
+                    &wl,
+                    cell.nodes,
+                    &cell.params,
+                )
+            })
         })
     }));
     match caught {
@@ -647,8 +665,11 @@ fn fnv1a64(s: &str) -> u64 {
 // between steps, phases percent-escaped) because the parser only
 // handles flat objects. Failed cells carry kind + message so resumed
 // runs reproduce the paper's OOM / n/a annotations without re-failing.
-// Lines whose `v` is missing or different are skipped with a warning —
-// those cells simply re-run.
+// Every line carries the cell's canonical fault spec (`"faults"`, "none"
+// for the fault-free crossbar); successful lines additionally carry the
+// `rec_*` RecoveryStats fields. Lines whose `v` is missing or different
+// are skipped with a warning, as are v2 lines predating fault injection
+// (no `"faults"` field) — those cells simply re-run.
 // ---------------------------------------------------------------------
 
 /// Journal line schema version. Bump when the line format changes
@@ -705,7 +726,7 @@ fn unesc_phase(s: &str) -> String {
 }
 
 /// Encodes a [`Timeline`]'s steps as one string value:
-/// `step|phase|compute|comm|barrier|bytes|msgs|max_node_bytes|mem_peak`
+/// `step|phase|compute|comm|barrier|recovery|bytes|msgs|max_node_bytes|mem_peak`
 /// records joined by `;`. `{:?}` keeps f64s shortest-round-trip
 /// ("inf"/"NaN" for non-finite, which `f64::from_str` parses back).
 fn timeline_string(tl: &Timeline) -> String {
@@ -713,12 +734,13 @@ fn timeline_string(tl: &Timeline) -> String {
         .iter()
         .map(|r| {
             format!(
-                "{}|{}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
+                "{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
                 r.step,
                 esc_phase(&r.phase),
                 r.compute_s,
                 r.comm_s,
                 r.barrier_s,
+                r.recovery_s,
                 r.bytes_sent,
                 r.messages,
                 r.max_node_bytes,
@@ -741,6 +763,7 @@ fn timeline_from_string(nodes: usize, s: &str) -> Option<Timeline> {
         let compute_s = it.next()?.parse().ok()?;
         let comm_s = it.next()?.parse().ok()?;
         let barrier_s = it.next()?.parse().ok()?;
+        let recovery_s = it.next()?.parse().ok()?;
         let bytes_sent = it.next()?.parse().ok()?;
         let messages = it.next()?.parse().ok()?;
         let max_node_bytes = it.next()?.parse().ok()?;
@@ -754,6 +777,7 @@ fn timeline_from_string(nodes: usize, s: &str) -> Option<Timeline> {
             compute_s,
             comm_s,
             barrier_s,
+            recovery_s,
             bytes_sent,
             messages,
             max_node_bytes,
@@ -765,7 +789,7 @@ fn timeline_from_string(nodes: usize, s: &str) -> Option<Timeline> {
 
 fn journal_line(experiment: &str, cell: &SweepCell, result: &CellResult) -> String {
     let mut s = format!(
-        "{{\"v\":{JOURNAL_SCHEMA_VERSION},\"key\":\"{:016x}\",\"experiment\":\"{}\",\"label\":\"{}\",\"algorithm\":\"{}\",\"framework\":\"{}\",\"spec\":\"{}\",\"nodes\":{},\"factor\":{}",
+        "{{\"v\":{JOURNAL_SCHEMA_VERSION},\"key\":\"{:016x}\",\"experiment\":\"{}\",\"label\":\"{}\",\"algorithm\":\"{}\",\"framework\":\"{}\",\"spec\":\"{}\",\"nodes\":{},\"factor\":{},\"faults\":\"{}\"",
         cell.key(experiment),
         esc_json(experiment),
         esc_json(&cell.label),
@@ -774,6 +798,7 @@ fn journal_line(experiment: &str, cell: &SweepCell, result: &CellResult) -> Stri
         esc_json(&cell.spec.key()),
         cell.nodes,
         f64_json(cell.factor),
+        esc_json(&cell.faults.key()),
     );
     match &result.outcome {
         Ok(out) => {
@@ -797,6 +822,21 @@ fn journal_line(experiment: &str, cell: &SweepCell, result: &CellResult) -> Stri
                 r.total_work.seq_bytes,
                 r.total_work.rand_accesses,
                 r.total_work.flops,
+            ));
+            let rec = &r.recovery;
+            s.push_str(&format!(
+                ",\"rec_checkpoints\":{},\"rec_checkpoint_bytes\":{},\"rec_checkpoint_seconds\":{},\"rec_failures\":{},\"rec_steps_replayed\":{},\"rec_restore_seconds\":{},\"rec_replay_seconds\":{},\"rec_stragglers\":{},\"rec_dropped_sends\":{},\"rec_retransmitted_bytes\":{},\"rec_mem_pressure\":{}",
+                rec.checkpoints,
+                rec.checkpoint_bytes,
+                f64_json(rec.checkpoint_seconds),
+                rec.failures,
+                rec.steps_replayed,
+                f64_json(rec.restore_seconds),
+                f64_json(rec.replay_seconds),
+                rec.straggler_events,
+                rec.dropped_sends,
+                rec.retransmitted_bytes,
+                rec.mem_pressure_events,
             ));
             s.push_str(&format!(
                 ",\"tl_nodes\":{},\"timeline\":\"{}\"",
@@ -945,6 +985,19 @@ fn entry_outcome(m: &HashMap<String, String>) -> Option<Result<RunOutcome, CellE
                     flops: u("flops")?,
                 },
                 timeline: timeline_from_string(u("tl_nodes")? as usize, m.get("timeline")?)?,
+                recovery: RecoveryStats {
+                    checkpoints: u("rec_checkpoints")? as u32,
+                    checkpoint_bytes: u("rec_checkpoint_bytes")?,
+                    checkpoint_seconds: f("rec_checkpoint_seconds")?,
+                    failures: u("rec_failures")? as u32,
+                    steps_replayed: u("rec_steps_replayed")? as u32,
+                    restore_seconds: f("rec_restore_seconds")?,
+                    replay_seconds: f("rec_replay_seconds")?,
+                    straggler_events: u("rec_stragglers")?,
+                    dropped_sends: u("rec_dropped_sends")?,
+                    retransmitted_bytes: u("rec_retransmitted_bytes")?,
+                    mem_pressure_events: u("rec_mem_pressure")?,
+                },
             };
             Some(Ok(RunOutcome {
                 digest: f("digest")?,
@@ -969,6 +1022,7 @@ fn load_journal(path: &Path) -> HashMap<u64, Result<RunOutcome, CellError>> {
         return out;
     };
     let mut version_skipped = 0usize;
+    let mut faults_skipped = 0usize;
     for line in body.lines() {
         if line.trim().is_empty() {
             continue;
@@ -978,6 +1032,14 @@ fn load_journal(path: &Path) -> HashMap<u64, Result<RunOutcome, CellError>> {
         };
         if m.get("v").and_then(|v| v.parse::<u32>().ok()) != Some(JOURNAL_SCHEMA_VERSION) {
             version_skipped += 1;
+            continue;
+        }
+        // Lines written before fault injection existed carry no "faults"
+        // field; their cell keys were hashed without the fault spec, so
+        // they can never match a current key — skip them (counted) rather
+        // than let them silently shadow re-runs.
+        if !m.contains_key("faults") {
+            faults_skipped += 1;
             continue;
         }
         let Some(key) = m.get("key").and_then(|k| u64::from_str_radix(k, 16).ok()) else {
@@ -991,6 +1053,13 @@ fn load_journal(path: &Path) -> HashMap<u64, Result<RunOutcome, CellError>> {
         eprintln!(
             "warning: {}: skipped {version_skipped} journal line(s) not at schema version \
              {JOURNAL_SCHEMA_VERSION}; those cells will re-run",
+            path.display()
+        );
+    }
+    if faults_skipped > 0 {
+        eprintln!(
+            "warning: {}: skipped {faults_skipped} pre-fault-injection journal line(s) \
+             (no \"faults\" field); those cells will re-run",
             path.display()
         );
     }
@@ -1014,6 +1083,7 @@ mod tests {
             nodes,
             factor: 1.0,
             params: BenchParams::default(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -1051,6 +1121,57 @@ mod tests {
         let mut c4 = c.clone();
         c4.factor = 2.0;
         assert_ne!(c.key("fig3"), c4.key("fig3"));
+        let mut c5 = c.clone();
+        c5.faults = FaultPlan::parse("seed=1,straggler=0.1x4").unwrap();
+        assert_ne!(
+            c.key("fig3"),
+            c5.key("fig3"),
+            "fault plan is part of the cell identity"
+        );
+    }
+
+    #[test]
+    fn node_failed_cells_round_trip_and_annotate() {
+        let err = CellError::NodeFailed(
+            "node 0 failed during step 3 and the engine cannot recover (fail-stop)".into(),
+        );
+        assert_eq!(err.kind(), "failed");
+        assert_eq!(err.annotation(), "failed");
+        assert_eq!(
+            CellError::from_kind("failed", err.message().to_string()),
+            err
+        );
+        let cell = small_cell(Framework::GraphLab, 8);
+        let r = CellResult {
+            status: CellStatus::Ran,
+            outcome: Err(err.clone()),
+            wall_secs: 0.2,
+        };
+        let m = parse_flat_json(&journal_line("tabler", &cell, &r)).expect("parses");
+        let back = entry_outcome(&m).expect("entry").expect_err("failure");
+        assert_eq!(back, err);
+    }
+
+    #[test]
+    fn journal_lines_without_a_faults_field_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("gm-sweep-f-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("prefaults.jsonl");
+        let cell = small_cell(Framework::Native, 1);
+        let good = CellResult {
+            status: CellStatus::Ran,
+            outcome: Err(CellError::InvalidConfig("x".into())),
+            wall_secs: 0.0,
+        };
+        let mut body = journal_line("e", &cell, &good);
+        // a pre-fault-injection v2 line: same version, no "faults" field
+        let old = small_cell(Framework::Giraph, 2);
+        body.push_str(&journal_line("e", &old, &good).replacen(",\"faults\":\"none\"", "", 1));
+        std::fs::write(&path, body).unwrap();
+        let loaded = load_journal(&path);
+        assert_eq!(loaded.len(), 1, "only the faults-carrying line survives");
+        assert!(loaded.contains_key(&cell.key("e")));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -1087,6 +1208,7 @@ mod tests {
                         compute_s: 0.0625,
                         comm_s: 0.0078125,
                         barrier_s: 0.001,
+                        recovery_s: 0.03125,
                         bytes_sent: 999,
                         messages: 55,
                         max_node_bytes: 600,
@@ -1100,12 +1222,26 @@ mod tests {
                         compute_s: 0.1234567890123456,
                         comm_s: 0.0,
                         barrier_s: 0.001,
+                        recovery_s: 0.0,
                         bytes_sent: 0,
                         messages: 0,
                         max_node_bytes: 0,
                         mem_peak_bytes: 123_456_789,
                     });
                     tl
+                },
+                recovery: RecoveryStats {
+                    checkpoints: 3,
+                    checkpoint_bytes: 1 << 30,
+                    checkpoint_seconds: 5.368709119999999,
+                    failures: 1,
+                    steps_replayed: 4,
+                    restore_seconds: 5.36870912,
+                    replay_seconds: 0.1234567890123456,
+                    straggler_events: 7,
+                    dropped_sends: 11,
+                    retransmitted_bytes: 4096,
+                    mem_pressure_events: 2,
                 },
             },
         };

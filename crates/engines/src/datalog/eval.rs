@@ -8,7 +8,7 @@
 //! batched per destination (a §6.1.3 optimization); the receiving shard
 //! folds them into the head table with the aggregation operator.
 
-use graphmaze_cluster::{ClusterSpec, ExecProfile, Sim};
+use graphmaze_cluster::{ClusterSpec, ExecProfile, Sim, SimError};
 use graphmaze_graph::VertexId;
 use graphmaze_metrics::{RunReport, Work};
 
@@ -128,9 +128,10 @@ impl SocialiteRuntime {
         delta
     }
 
-    /// Ends one evaluation round (BSP barrier).
-    pub fn end_round(&mut self) {
-        self.sim.end_step();
+    /// Ends one evaluation round (BSP barrier). Fails when the fault
+    /// plan kills a node during the round (SociaLite fail-stops).
+    pub fn end_round(&mut self) -> Result<(), SimError> {
+        self.sim.end_step()
     }
 
     /// Marks an algorithm iteration.
@@ -166,7 +167,7 @@ mod tests {
         let delta = rt.apply_rule_f64(contribs, &mut head, Agg::Sum, 12);
         assert_eq!(delta, vec![0, 7]);
         assert_eq!(*head.get(7), 5.0);
-        rt.end_round();
+        rt.end_round().unwrap();
         let rep = rt.finish();
         assert!(rep.traffic.bytes_sent > 0, "cross-shard tuples must ship");
     }
@@ -203,7 +204,7 @@ mod tests {
             let mut head = VertexTable::new(4, 0.0, shards.clone());
             let tuples: Vec<(u32, f64)> = (0..100_000).map(|_| (3u32, 1.0)).collect();
             rt.apply_rule_f64(vec![tuples, vec![]], &mut head, Agg::Sum, 12);
-            rt.end_round();
+            rt.end_round().unwrap();
             rt.finish().traffic.peak_bw_bps
         };
         let fast = run(true);

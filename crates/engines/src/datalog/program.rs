@@ -15,6 +15,7 @@
 //! [`SocialiteRuntime`] (shard-local joins, batched head transfer,
 //! aggregation). Semi-naive recursion is [`eval_recursive`].
 
+use graphmaze_cluster::SimError;
 use graphmaze_graph::VertexId;
 
 use super::eval::{Agg, SocialiteRuntime};
@@ -105,7 +106,7 @@ pub fn eval_recursive(
     edges: &EdgeTable,
     head: &mut VertexTable<f64>,
     mut delta: Vec<VertexId>,
-) -> u32 {
+) -> Result<u32, SimError> {
     let shards = edges.shards().clone();
     let nodes = rt.nodes();
     let mut rounds = 0;
@@ -124,9 +125,9 @@ pub fn eval_recursive(
             }
         }
         delta = rt.apply_rule_f64(contribs, head, rule.agg, rule.tuple_bytes);
-        rt.end_round();
+        rt.end_round()?;
     }
-    rounds
+    Ok(rounds)
 }
 
 #[cfg(test)]
@@ -166,7 +167,7 @@ mod tests {
             tuple_bytes: 12,
         };
         eval_rule(&mut rt, &rule, &src, &edges, &mut head);
-        rt.end_round();
+        rt.end_round().unwrap();
         let got = head.into_values();
         let want = [0.3, 0.65, 1.0, 1.35];
         for (a, b) in got.iter().zip(&want) {
@@ -193,7 +194,7 @@ mod tests {
             expr: ValueExpr::SrcPlus(1.0),
             tuple_bytes: 12,
         };
-        let rounds = eval_recursive(&mut rt, &rule, &edges, &mut head, vec![0]);
+        let rounds = eval_recursive(&mut rt, &rule, &edges, &mut head, vec![0]).unwrap();
         assert_eq!(rounds, 4, "3 propagation rounds + 1 empty check round");
         assert_eq!(head.values(), &[0.0, 1.0, 2.0, 3.0, f64::INFINITY]);
     }
@@ -212,7 +213,7 @@ mod tests {
             expr: ValueExpr::SrcPlus(1.0),
             tuple_bytes: 12,
         };
-        let rounds = eval_recursive(&mut rt, &rule, &edges, &mut head, vec![0]);
+        let rounds = eval_recursive(&mut rt, &rule, &edges, &mut head, vec![0]).unwrap();
         assert!(rounds <= 4);
         assert_eq!(head.values(), &[0.0, 1.0, 2.0]);
     }

@@ -71,7 +71,7 @@ pub fn pagerank(
         }
         rt.apply_rule_f64(contribs, &mut next, Agg::Sum, 12);
         rank = next;
-        rt.end_round();
+        rt.end_round()?;
         rt.end_iteration();
     }
     Ok((rank.into_values(), rt.finish()))
@@ -115,7 +115,7 @@ pub fn bfs(
             }
         }
         delta = rt.apply_rule_f64(contribs, &mut dist, Agg::Min, 12);
-        rt.end_round();
+        rt.end_round()?;
     }
     rt.end_iteration();
     let out = dist
@@ -212,7 +212,7 @@ pub fn triangles(
             rt.sim().send(node, 8, 8, 1);
         }
     }
-    rt.end_round();
+    rt.end_round()?;
     rt.end_iteration();
     Ok((count, rt.finish()))
 }
@@ -327,7 +327,7 @@ pub fn cf_gd(
         for (pi, gi) in p.iter_mut().zip(&grad_p) {
             *pi += gamma * gi;
         }
-        rt.end_round();
+        rt.end_round()?;
         rt.end_iteration();
     }
     Ok((p, q, rt.finish()))

@@ -49,7 +49,7 @@ pub fn pagerank(
         for p in 0..nodes {
             sim.charge(p, Work::stream((n as u64 * 24) / nodes as u64));
         }
-        sim.end_step();
+        sim.end_step()?;
         sim.end_iteration();
     }
     Ok((pr, sim.finish()))
@@ -112,7 +112,7 @@ fn bfs_with_compression(
         for p in 0..nodes {
             sim.charge(p, Work::random(frontier.len() as u64 / nodes as u64 + 1));
         }
-        sim.end_step();
+        sim.end_step()?;
     }
     sim.end_iteration();
     Ok((dist, sim.finish()))
@@ -139,7 +139,7 @@ pub fn triangles_on(
     alloc_matrix(&mut sim, &m, "combblas:A")?;
     sim.phase("spgemm:A2-mask");
     let (count, _nnz_a2) = m.spgemm_masked_count(&mut sim)?;
-    sim.end_step();
+    sim.end_step()?;
     sim.end_iteration();
     Ok((count, sim.finish()))
 }
@@ -153,7 +153,7 @@ pub fn triangles_improved(oriented: &Csr, nodes: usize) -> Result<(u64, RunRepor
     alloc_matrix(&mut sim, &m, "combblas:A")?;
     sim.phase("spgemm:fused-mask");
     let count = m.spgemm_masked_count_fused(&mut sim);
-    sim.end_step();
+    sim.end_step()?;
     sim.end_iteration();
     Ok((count, sim.finish()))
 }
@@ -218,7 +218,7 @@ pub fn cf_gd(
             *qi += gamma * gi;
         }
         charge_k_spmv_passes(&mut sim, &m, k, nnz, nodes);
-        sim.end_step();
+        sim.end_step()?;
 
         sim.phase("gd:p-side");
         let mut grad_p = vec![0.0f64; nu * k];
@@ -234,7 +234,7 @@ pub fn cf_gd(
             *pi += gamma * gi;
         }
         charge_k_spmv_passes(&mut sim, &m, k, nnz, nodes);
-        sim.end_step();
+        sim.end_step()?;
         sim.end_iteration();
     }
     Ok((p, q, sim.finish()))

@@ -61,7 +61,7 @@ pub fn pagerank(
         // per-task scheduling overhead: one enqueue/dequeue per vertex
         w.accumulate(Work::random(n as u64 / 4));
         sim.charge(0, w);
-        sim.end_step();
+        sim.end_step()?;
         sim.end_iteration();
     }
     Ok((ranks, sim.finish()))
@@ -116,7 +116,7 @@ pub fn bfs(
                 flops: edges,
             },
         );
-        sim.end_step();
+        sim.end_step()?;
     }
     sim.end_iteration();
     Ok((level, sim.finish()))
@@ -177,7 +177,7 @@ pub fn triangles(oriented: &Csr, nodes: usize) -> Result<(u64, RunReport), SimEr
             flops: stream / 4,
         },
     );
-    sim.end_step();
+    sim.end_step()?;
     sim.end_iteration();
     Ok((count, sim.finish()))
 }
@@ -233,7 +233,7 @@ pub fn cf_sgd(
                 flops: g.num_ratings() * 8 * k,
             },
         );
-        sim.end_step();
+        sim.end_step()?;
         sim.end_iteration();
     }
     Ok((factors, history, sim.finish()))

@@ -398,7 +398,7 @@ pub fn run<P: VertexProgram>(
             for (node, b) in split_alloc.iter().enumerate() {
                 sim.free(node, *b);
             }
-            sim.end_step();
+            sim.end_step()?;
         }
 
         // aggregator allreduce: each node contributes 8 bytes

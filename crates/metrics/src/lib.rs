@@ -13,12 +13,14 @@
 //! constants.
 
 pub mod memory;
+pub mod recovery;
 pub mod report;
 pub mod timeline;
 pub mod traffic;
 pub mod work;
 
 pub use memory::{MemTracker, OutOfMemory};
+pub use recovery::RecoveryStats;
 pub use report::RunReport;
 pub use timeline::{PhaseStat, StepRecord, Timeline};
 pub use traffic::TrafficStats;

@@ -75,6 +75,11 @@ impl MemTracker {
         self.in_use = self.in_use.saturating_sub(bytes);
     }
 
+    /// The node this tracker accounts for.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
     /// Bytes currently in use.
     pub fn in_use(&self) -> u64 {
         self.in_use

@@ -1,0 +1,76 @@
+//! Fault-recovery accounting: what injected faults cost a run.
+//!
+//! The simulator (in `graphmaze-cluster`) accumulates one
+//! [`RecoveryStats`] per run while consulting its fault plan: checkpoint
+//! writes, rollback/replay after a node failure, straggler slots,
+//! dropped-and-retransmitted sends, and transient memory-pressure events.
+//! The block rides on [`crate::RunReport`] and is zero for fault-free
+//! runs.
+
+/// Per-run fault and recovery counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Superstep checkpoints written.
+    pub checkpoints: u32,
+    /// Bytes written across all checkpoints (max-node state per
+    /// checkpoint — nodes write in parallel, the largest binds).
+    pub checkpoint_bytes: u64,
+    /// Simulated seconds spent writing checkpoints.
+    pub checkpoint_seconds: f64,
+    /// Whole-node failures recovered from (checkpoint/restart engines).
+    pub failures: u32,
+    /// BSP steps re-executed during rollback-and-replay, counting the
+    /// failed step itself.
+    pub steps_replayed: u32,
+    /// Simulated seconds reading the last checkpoint back.
+    pub restore_seconds: f64,
+    /// Simulated seconds re-executing steps since the last checkpoint.
+    pub replay_seconds: f64,
+    /// (node, step) slots that ran slowed-down compute.
+    pub straggler_events: u64,
+    /// Sends dropped by the network and retransmitted.
+    pub dropped_sends: u64,
+    /// Wire bytes retransmitted for dropped sends.
+    pub retransmitted_bytes: u64,
+    /// Allocations that landed during transient memory pressure.
+    pub mem_pressure_events: u64,
+}
+
+impl RecoveryStats {
+    /// Whether nothing fault-related happened (always true for runs
+    /// without an active fault plan).
+    pub fn is_zero(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+
+    /// Total simulated seconds attributable to resilience: checkpoint
+    /// writes plus restore plus replay. Equals the sum of the timeline's
+    /// `recovery_s` column by construction.
+    pub fn recovery_seconds(&self) -> f64 {
+        self.checkpoint_seconds + self.restore_seconds + self.replay_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let r = RecoveryStats::default();
+        assert!(r.is_zero());
+        assert_eq!(r.recovery_seconds(), 0.0);
+    }
+
+    #[test]
+    fn recovery_seconds_sums_components() {
+        let r = RecoveryStats {
+            checkpoint_seconds: 1.5,
+            restore_seconds: 0.25,
+            replay_seconds: 2.0,
+            ..Default::default()
+        };
+        assert!(!r.is_zero());
+        assert!((r.recovery_seconds() - 3.75).abs() < 1e-12);
+    }
+}

@@ -1,5 +1,6 @@
 //! Run reports — the simulator's answer to the paper's measurements.
 
+use crate::recovery::RecoveryStats;
 use crate::timeline::Timeline;
 use crate::traffic::TrafficStats;
 use crate::work::Work;
@@ -36,6 +37,10 @@ pub struct RunReport {
     /// (`timeline.total_seconds() == sim_seconds`,
     /// `timeline.total_bytes() == traffic.bytes_sent`).
     pub timeline: Timeline,
+    /// Fault-injection and recovery counters (all zero for fault-free
+    /// runs); `recovery.recovery_seconds()` equals the timeline's
+    /// `recovery_s` column sum.
+    pub recovery: RecoveryStats,
 }
 
 impl RunReport {

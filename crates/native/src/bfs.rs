@@ -335,7 +335,7 @@ pub fn bfs_cluster(
             }
             frontiers[node] = next;
         }
-        sim.end_step();
+        sim.end_step()?;
     }
     sim.end_iteration();
     Ok((dist, sim.finish()))

@@ -370,7 +370,7 @@ pub fn sgd_cluster(
                     sim.send(w, bytes, bytes, 1);
                 }
             }
-            sim.end_step();
+            sim.end_step()?;
         }
         gamma *= cfg.step_decay;
         sim.end_iteration();

@@ -217,7 +217,7 @@ pub fn pagerank_cluster(
             }
         }
         std::mem::swap(&mut ranks, &mut next);
-        sim.end_step();
+        sim.end_step()?;
         sim.end_iteration();
     }
     Ok((ranks, sim.finish()))

@@ -241,7 +241,7 @@ pub fn triangles_cluster(
         w.accumulate(Work::random(probes * probe_factor));
         sim.charge(node, w);
     }
-    sim.end_step();
+    sim.end_step()?;
     sim.end_iteration();
     Ok((total, sim.finish()))
 }

@@ -1,10 +1,23 @@
 //! Cross-engine equivalence: every framework must compute the same
 //! answers as the hand-optimized native code, on multiple graphs and
 //! node counts — the correctness backbone of the whole study. (The paper
-//! compares *performance*; these tests pin down that our five engines
-//! really run the same algorithms.)
+//! compares *performance*; these tests pin down that our engines really
+//! run the same algorithms.)
+//!
+//! The centerpiece is the **conformance matrix**: every
+//! `algorithm × framework` cell checked against the native golden digest
+//! on two graph scales. When a per-vertex algorithm diverges, the
+//! failure message names the *first diverging vertex* with both values,
+//! computed by re-running the concrete engine functions — not just "the
+//! digests differ".
 
 use graphmaze_core::prelude::*;
+use graphmaze_engines::datalog::socialite;
+use graphmaze_engines::spmv::combblas;
+use graphmaze_engines::taskpar::galois;
+use graphmaze_engines::vertex::{giraph, graphlab};
+use graphmaze_graph::{DirectedGraph, RatingsGraph, UndirectedGraph};
+use graphmaze_native::{NativeOptions, PAGERANK_R};
 
 const MULTI_NODE_FRAMEWORKS: [Framework; 5] = [
     Framework::CombBlas,
@@ -123,6 +136,302 @@ fn cf_training_error_drops_under_every_engine() {
             out.digest
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Conformance matrix
+// ---------------------------------------------------------------------
+
+/// Relative tolerance for floating-point digests (PageRank): the engines
+/// reorder the same additions, nothing more.
+const REL_TOL: f64 = 1e-9;
+
+/// The per-vertex PageRank vector from each framework's concrete engine
+/// function (the same call the [`Engine`] impls make), for divergence
+/// reporting.
+fn pagerank_vector(
+    fw: Framework,
+    g: &DirectedGraph,
+    nodes: usize,
+    params: &BenchParams,
+) -> Vec<f64> {
+    let iters = params.pr_iterations;
+    let ranks = match fw {
+        Framework::Native => graphmaze_native::pagerank::pagerank_cluster(
+            g,
+            PAGERANK_R,
+            iters,
+            NativeOptions::all(),
+            nodes,
+        )
+        .map(|(r, _)| r),
+        Framework::CombBlas => combblas::pagerank(g, PAGERANK_R, iters, nodes).map(|(r, _)| r),
+        Framework::GraphLab => graphlab::pagerank(g, PAGERANK_R, iters, nodes).map(|(r, _)| r),
+        Framework::SociaLite => {
+            socialite::pagerank(g, PAGERANK_R, iters, nodes, true).map(|(r, _)| r)
+        }
+        Framework::SociaLiteUnopt => {
+            socialite::pagerank(g, PAGERANK_R, iters, nodes, false).map(|(r, _)| r)
+        }
+        Framework::Giraph => giraph::pagerank(g, PAGERANK_R, iters, nodes).map(|(r, _)| r),
+        Framework::Galois => galois::pagerank(g, PAGERANK_R, iters, nodes).map(|(r, _)| r),
+    };
+    ranks.unwrap_or_else(|e| panic!("{fw:?} pagerank vector: {e}"))
+}
+
+/// The per-vertex BFS distance vector from each framework's concrete
+/// engine function.
+fn bfs_vector(fw: Framework, g: &UndirectedGraph, source: u32, nodes: usize) -> Vec<u32> {
+    let dist = match fw {
+        Framework::Native => {
+            graphmaze_native::bfs::bfs_cluster(g, source, NativeOptions::all(), nodes)
+                .map(|(d, _)| d)
+        }
+        Framework::CombBlas => combblas::bfs(g, source, nodes).map(|(d, _)| d),
+        Framework::GraphLab => graphlab::bfs(g, source, nodes).map(|(d, _)| d),
+        Framework::SociaLite => socialite::bfs(g, source, nodes, true).map(|(d, _)| d),
+        Framework::SociaLiteUnopt => socialite::bfs(g, source, nodes, false).map(|(d, _)| d),
+        Framework::Giraph => giraph::bfs(g, source, nodes).map(|(d, _)| d),
+        Framework::Galois => galois::bfs(g, source, nodes).map(|(d, _)| d),
+    };
+    dist.unwrap_or_else(|e| panic!("{fw:?} bfs vector: {e}"))
+}
+
+/// The BFS source `run_benchmark` picks for `bfs_source == u32::MAX`:
+/// the highest-degree vertex.
+fn default_bfs_source(g: &UndirectedGraph) -> u32 {
+    (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.adj.degree(v))
+        .unwrap_or(0)
+}
+
+/// First index where `got` diverges from `reference` beyond `rel_tol`,
+/// with both values. A length mismatch diverges at the shorter length.
+fn first_divergence_f64(reference: &[f64], got: &[f64], rel_tol: f64) -> Option<(usize, f64, f64)> {
+    if reference.len() != got.len() {
+        let n = reference.len().min(got.len());
+        return Some((
+            n,
+            *reference.get(n).unwrap_or(&f64::NAN),
+            *got.get(n).unwrap_or(&f64::NAN),
+        ));
+    }
+    reference
+        .iter()
+        .zip(got)
+        .enumerate()
+        .find_map(|(i, (&a, &b))| {
+            let rel = (a - b).abs() / a.abs().max(1e-300);
+            (rel > rel_tol).then_some((i, a, b))
+        })
+}
+
+/// First index where two exact (integer) vectors differ.
+fn first_divergence_u32(reference: &[u32], got: &[u32]) -> Option<(usize, u32, u32)> {
+    if reference.len() != got.len() {
+        let n = reference.len().min(got.len());
+        return Some((
+            n,
+            *reference.get(n).unwrap_or(&u32::MAX),
+            *got.get(n).unwrap_or(&u32::MAX),
+        ));
+    }
+    reference
+        .iter()
+        .zip(got)
+        .enumerate()
+        .find_map(|(i, (&a, &b))| (a != b).then_some((i, a, b)))
+}
+
+/// Readable one-line diff for a PageRank divergence: which vertex first
+/// disagrees, both values, and how far in the vectors still agreed.
+fn pagerank_diff(fw: Framework, g: &DirectedGraph, nodes: usize, params: &BenchParams) -> String {
+    let reference = pagerank_vector(Framework::Native, g, 1, params);
+    let got = pagerank_vector(fw, g, nodes, params);
+    match first_divergence_f64(&reference, &got, REL_TOL) {
+        Some((v, want, have)) => format!(
+            "first diverging vertex: v={v} — native {want:.17e} vs {} {have:.17e} \
+             (rel err {:.3e}); first {v} vertices agree",
+            fw.name(),
+            (want - have).abs() / want.abs().max(1e-300),
+        ),
+        None => "per-vertex ranks agree; digest-only divergence (summation order?)".to_string(),
+    }
+}
+
+/// Readable one-line diff for a BFS divergence.
+fn bfs_diff(fw: Framework, g: &UndirectedGraph, source: u32, nodes: usize) -> String {
+    let reference = bfs_vector(Framework::Native, g, source, 1);
+    let got = bfs_vector(fw, g, source, nodes);
+    match first_divergence_u32(&reference, &got) {
+        Some((v, want, have)) => {
+            let show = |d: u32| {
+                if d == u32::MAX {
+                    "unreached".to_string()
+                } else {
+                    d.to_string()
+                }
+            };
+            format!(
+                "first diverging vertex: v={v} — native dist {} vs {} dist {}; \
+                 first {v} vertices agree",
+                show(want),
+                fw.name(),
+                show(have),
+            )
+        }
+        None => "per-vertex distances agree; digest-only divergence".to_string(),
+    }
+}
+
+fn untrained_rmse(g: &RatingsGraph) -> f64 {
+    let mut sse = 0.0;
+    for (_, _, r) in g.triples() {
+        sse += f64::from(r) * f64::from(r);
+    }
+    (sse / g.num_ratings().max(1) as f64).sqrt()
+}
+
+/// The full conformance matrix: every `algorithm × framework` cell of
+/// [`Framework::ALL`] (24 cells) against the native golden, on **two**
+/// graph scales. Exact digest equality for BFS and triangle counting,
+/// `1e-9` relative for PageRank, convergence-below-untrained for CF
+/// (whose engines legitimately differ — SGD vs GD). Failures for the
+/// per-vertex algorithms report the first diverging vertex.
+#[test]
+fn conformance_matrix_covers_every_algorithm_and_framework_on_two_scales() {
+    let params = BenchParams::default();
+    for scale in [8u32, 10] {
+        let graph = Workload::rmat(scale, 8, 200 + u64::from(scale));
+        let ratings = Workload::rmat_ratings(scale, 64, 210 + u64::from(scale));
+        let untrained = untrained_rmse(ratings.ratings().unwrap());
+        let mut cells = 0usize;
+        for alg in Algorithm::ALL {
+            let wl = if alg == Algorithm::CollaborativeFiltering {
+                &ratings
+            } else {
+                &graph
+            };
+            let golden = run_benchmark(alg, Framework::Native, wl, 1, &params)
+                .unwrap_or_else(|e| panic!("native golden {alg:?} on {}: {e}", wl.name));
+            for fw in Framework::ALL {
+                let nodes = if fw.multi_node() { 4 } else { 1 };
+                let out = run_benchmark(alg, fw, wl, nodes, &params)
+                    .unwrap_or_else(|e| panic!("{fw:?}/{alg:?} on {} x{nodes}: {e}", wl.name));
+                match alg {
+                    Algorithm::PageRank => {
+                        let rel =
+                            (out.digest - golden.digest).abs() / golden.digest.abs().max(1e-300);
+                        assert!(
+                            rel < REL_TOL,
+                            "{fw:?} pagerank on {} x{nodes}: digest {} vs native {} \
+                             (rel err {rel:.3e})\n{}",
+                            wl.name,
+                            out.digest,
+                            golden.digest,
+                            pagerank_diff(fw, graph.directed().unwrap(), nodes, &params),
+                        );
+                    }
+                    Algorithm::Bfs => {
+                        let g = graph.undirected().unwrap();
+                        assert!(
+                            out.digest == golden.digest,
+                            "{fw:?} bfs on {} x{nodes}: digest {} vs native {}\n{}",
+                            wl.name,
+                            out.digest,
+                            golden.digest,
+                            bfs_diff(fw, g, default_bfs_source(g), nodes),
+                        );
+                    }
+                    Algorithm::TriangleCount => {
+                        assert!(
+                            out.digest == golden.digest,
+                            "{fw:?} triangle count on {} x{nodes}: {} vs native {}",
+                            wl.name,
+                            out.digest,
+                            golden.digest,
+                        );
+                    }
+                    Algorithm::CollaborativeFiltering => {
+                        assert!(
+                            out.digest.is_finite() && out.digest > 0.0 && out.digest < untrained,
+                            "{fw:?} cf on {} x{nodes}: trained rmse {} !< untrained {untrained} \
+                             (native golden {})",
+                            wl.name,
+                            out.digest,
+                            golden.digest,
+                        );
+                    }
+                }
+                cells += 1;
+            }
+        }
+        assert_eq!(cells, 24, "4 algorithms x 6 frameworks at scale {scale}");
+    }
+}
+
+/// Stronger than the digest matrix: the *per-vertex* PageRank and BFS
+/// vectors agree elementwise across all seven engine variants (including
+/// the unoptimized SociaLite). This is the same machinery the diff
+/// reporting uses, exercised on the success path.
+#[test]
+fn per_vertex_vectors_agree_across_all_engines() {
+    let params = BenchParams::default();
+    let wl = Workload::rmat(9, 8, 106);
+    let g = wl.directed().unwrap();
+    let u = wl.undirected().unwrap();
+    let source = default_bfs_source(u);
+    let ranks = pagerank_vector(Framework::Native, g, 1, &params);
+    let dist = bfs_vector(Framework::Native, u, source, 1);
+    let all = [
+        Framework::CombBlas,
+        Framework::GraphLab,
+        Framework::SociaLite,
+        Framework::SociaLiteUnopt,
+        Framework::Giraph,
+        Framework::Galois,
+    ];
+    for fw in all {
+        let nodes = if fw.multi_node() { 4 } else { 1 };
+        let got = pagerank_vector(fw, g, nodes, &params);
+        if let Some((v, want, have)) = first_divergence_f64(&ranks, &got, REL_TOL) {
+            panic!("{fw:?} pagerank v={v}: native {want:.17e} vs {have:.17e}");
+        }
+        let gd = bfs_vector(fw, u, source, nodes);
+        if let Some((v, want, have)) = first_divergence_u32(&dist, &gd) {
+            panic!("{fw:?} bfs v={v}: native dist {want} vs {have}");
+        }
+    }
+}
+
+/// The divergence reporters must localize a *planted* divergence at the
+/// right vertex — otherwise a real conformance failure would point at
+/// the wrong place.
+#[test]
+fn divergence_reporters_localize_planted_divergences() {
+    let reference = vec![1.0, 2.0, 3.0, 4.0];
+    assert_eq!(first_divergence_f64(&reference, &reference, REL_TOL), None);
+    let mut bad = reference.clone();
+    bad[2] = 3.5;
+    assert_eq!(
+        first_divergence_f64(&reference, &bad, REL_TOL),
+        Some((2, 3.0, 3.5))
+    );
+    // sub-tolerance wiggle is not a divergence
+    let mut wiggle = reference.clone();
+    wiggle[1] = 2.0 * (1.0 + 1e-12);
+    assert_eq!(first_divergence_f64(&reference, &wiggle, REL_TOL), None);
+    // length mismatch diverges at the shorter length
+    assert_eq!(
+        first_divergence_f64(&reference, &reference[..3], REL_TOL).map(|(i, ..)| i),
+        Some(3)
+    );
+
+    let d = vec![0u32, 1, 2, u32::MAX];
+    assert_eq!(first_divergence_u32(&d, &d), None);
+    let mut bd = d.clone();
+    bd[3] = 3;
+    assert_eq!(first_divergence_u32(&d, &bd), Some((3, u32::MAX, 3)));
 }
 
 #[test]

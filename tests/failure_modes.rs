@@ -1,7 +1,10 @@
 //! Failure injection: the paper's out-of-memory and expressibility
-//! failure modes must reproduce as *typed errors*, not crashes.
+//! failure modes must reproduce as *typed errors*, not crashes — and
+//! injected cluster faults ([`FaultPlan`]) must either fail-stop with a
+//! typed [`SimError::NodeFailed`] or, for Giraph's checkpoint/restart,
+//! roll back and replay in a way that reconciles with the timeline.
 
-use graphmaze_core::cluster::{ClusterSpec, HardwareSpec, SimError};
+use graphmaze_core::cluster::{with_faults, ClusterSpec, HardwareSpec, Sim, SimError};
 use graphmaze_core::engines::spmv::combblas;
 use graphmaze_core::engines::vertex::giraph;
 use graphmaze_core::prelude::*;
@@ -138,6 +141,224 @@ fn missing_workload_views_are_invalid_config() {
         ),
         Err(SimError::InvalidConfig(_))
     ));
+}
+
+// ---------------------------------------------------------------------
+// Injected cluster faults
+// ---------------------------------------------------------------------
+
+/// Every engine without checkpoint/restart fail-stops on an injected
+/// node kill: a typed [`SimError::NodeFailed`] naming the node and step,
+/// not a panic, not a wrong answer.
+#[test]
+fn fail_stop_engines_abort_with_node_failed() {
+    let wl = Workload::rmat(8, 8, 306);
+    let params = BenchParams::default();
+    let plan = FaultPlan::parse("seed=1,kill=0@1").unwrap();
+    for fw in [
+        Framework::Native,
+        Framework::CombBlas,
+        Framework::GraphLab,
+        Framework::SociaLite,
+        Framework::Galois,
+    ] {
+        let nodes = if fw.multi_node() { 4 } else { 1 };
+        let err = with_faults(plan, || {
+            run_benchmark(Algorithm::PageRank, fw, &wl, nodes, &params)
+        })
+        .expect_err("fail-stop engine must not survive a node kill");
+        match err {
+            SimError::NodeFailed { node, step } => {
+                assert_eq!((node, step), (0, 1), "{fw:?}");
+            }
+            other => panic!("{fw:?}: expected NodeFailed, got {other:?}"),
+        }
+    }
+    // Giraph's profile has checkpoint_restart: the same kill is survived
+    let out = with_faults(plan, || {
+        run_benchmark(Algorithm::PageRank, Framework::Giraph, &wl, 4, &params)
+    })
+    .expect("giraph must recover");
+    assert_eq!(out.report.recovery.failures, 1);
+}
+
+/// A failure *before* the first checkpoint restores nothing from disk
+/// but replays everything; a failure *after* a checkpoint pays a restore
+/// and replays only the uncovered suffix.
+#[test]
+fn node_failure_before_vs_after_checkpoint() {
+    let wl = Workload::rmat(8, 8, 307);
+    let params = BenchParams::default();
+    let run = |spec: &str| {
+        with_faults(FaultPlan::parse(spec).unwrap(), || {
+            run_benchmark(Algorithm::PageRank, Framework::Giraph, &wl, 4, &params).unwrap()
+        })
+    };
+    // ckpt=3 would first fire at the end of step 2 — the kill lands
+    // during step 2, before that write, so nothing is on disk yet
+    let before = run("seed=2,kill=1@2,ckpt=3");
+    let rb = &before.report.recovery;
+    assert_eq!(rb.failures, 1);
+    assert_eq!(rb.restore_seconds, 0.0, "no checkpoint to restore from");
+    assert_eq!(rb.steps_replayed, 3, "steps 0..=2 all replay");
+    // ckpt=1 checkpoints after every step: steps 0..=1 are covered
+    let after = run("seed=2,kill=1@2,ckpt=1");
+    let ra = &after.report.recovery;
+    assert_eq!(ra.failures, 1);
+    assert!(ra.restore_seconds > 0.0, "restore must read the checkpoint");
+    assert_eq!(ra.steps_replayed, 1, "only the failed step replays");
+    assert!(ra.checkpoints > rb.checkpoints);
+    assert!(ra.checkpoint_seconds > rb.checkpoint_seconds);
+    // either way the answer matches the fault-free run
+    let clean = run_benchmark(Algorithm::PageRank, Framework::Giraph, &wl, 4, &params).unwrap();
+    assert_eq!(before.digest, clean.digest);
+    assert_eq!(after.digest, clean.digest);
+}
+
+/// Checkpoint serialization needs a staging buffer (~state/4); when that
+/// buffer does not fit, the run OOMs with the `checkpoint:staging` label
+/// instead of silently under-costing the write.
+#[test]
+fn checkpoint_write_oom_reports_staging_label() {
+    use graphmaze_core::metrics::Work;
+    with_faults(FaultPlan::parse("ckpt=1").unwrap(), || {
+        let mut sim = Sim::new(tiny_memory_spec(2, 1000), ExecProfile::giraph());
+        sim.alloc_all(900, "vertex-state").unwrap();
+        sim.charge(0, Work::flops(1000));
+        let err = sim.end_step().expect_err("900 + 225 staging > 1000");
+        match err {
+            SimError::OutOfMemory(o) => {
+                assert_eq!(o.label, "checkpoint:staging");
+                assert_eq!(o.in_use, 900);
+                assert_eq!(o.requested, 900 / 4);
+                assert_eq!(o.capacity, 1000);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        // with headroom the same checkpoint succeeds and is costed
+        let mut sim = Sim::new(tiny_memory_spec(2, 4000), ExecProfile::giraph());
+        sim.alloc_all(900, "vertex-state").unwrap();
+        sim.charge(0, Work::flops(1000));
+        sim.end_step().expect("staging fits");
+        let report = sim.finish();
+        assert_eq!(report.recovery.checkpoints, 1);
+        assert!(report.recovery.checkpoint_seconds > 0.0);
+    });
+}
+
+/// A fail-stop engine's kill surfaces through the sweep executor as a
+/// `failed` cell — journaled, annotated, and resumed without a retry.
+#[test]
+fn fail_stop_cell_flows_through_the_sweep_as_failed() {
+    use graphmaze_core::sweep::CellError;
+    let journal =
+        std::env::temp_dir().join(format!("graphmaze-failcell-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    let mut sweep = Sweep::new("failcell");
+    sweep.push(SweepCell {
+        label: "combblas-kill".into(),
+        algorithm: Algorithm::PageRank,
+        framework: Framework::CombBlas,
+        spec: WorkloadSpec::Rmat {
+            scale: 8,
+            edge_factor: 8,
+            seed: 308,
+        },
+        nodes: 4,
+        factor: 1.0,
+        params: BenchParams::default(),
+        faults: FaultPlan::parse("seed=3,kill=2@1").unwrap(),
+    });
+    let opts = |resume| SweepOptions {
+        jobs: 1,
+        journal: Some(journal.clone()),
+        resume,
+    };
+    let first = sweep.run(&opts(false), &WorkloadCache::new());
+    assert_eq!(first.failed, 1);
+    let err = first.results[0].outcome.as_ref().unwrap_err();
+    assert!(
+        matches!(err, CellError::NodeFailed(_)),
+        "expected NodeFailed, got {err:?}"
+    );
+    assert_eq!(err.annotation(), "failed");
+    assert!(
+        err.message().contains("node 2"),
+        "message: {}",
+        err.message()
+    );
+
+    let second = sweep.run(&opts(true), &WorkloadCache::new());
+    assert_eq!(second.resumed, 1, "deterministic kill is not retried");
+    assert_eq!(first.results[0].outcome, second.results[0].outcome);
+    let _ = std::fs::remove_file(&journal);
+}
+
+/// The tentpole acceptance check: a fixed-seed node kill on Giraph
+/// produces a rollback whose replayed steps reconcile **bit-exactly**
+/// with the recorded timeline, and the recovered run still computes the
+/// fault-free digest.
+#[test]
+fn giraph_rollback_reconciles_bit_exactly_with_the_timeline() {
+    let wl = Workload::rmat(9, 8, 309);
+    let params = BenchParams::default();
+    let plan = FaultPlan::parse("seed=42,kill=1@3,ckpt=2").unwrap();
+    let faulted = with_faults(plan, || {
+        run_benchmark(Algorithm::PageRank, Framework::Giraph, &wl, 4, &params).unwrap()
+    });
+    let clean = run_benchmark(Algorithm::PageRank, Framework::Giraph, &wl, 4, &params).unwrap();
+
+    assert_eq!(
+        faulted.digest, clean.digest,
+        "recovery must not change the answer"
+    );
+    let rec = &faulted.report.recovery;
+    assert_eq!(rec.failures, 1);
+    assert_eq!(
+        rec.steps_replayed, 2,
+        "ckpt=2 covers steps 0..=1; steps 2 and the failed step 3 replay"
+    );
+
+    let tl = &faulted.report.timeline;
+    // the timeline reconciles with the simulated clock bit-exactly
+    assert_eq!(tl.total_seconds(), faulted.report.sim_seconds);
+    // step indices are dense, so the kill step is at its own index
+    assert!(tl
+        .steps
+        .iter()
+        .enumerate()
+        .all(|(i, r)| r.step as usize == i));
+
+    // reconstruct the replay cost from the timeline exactly as the
+    // simulator computed it: recorded durations of the steps after the
+    // last checkpoint (step 2), plus the failed step's own base cost
+    let failed_step = 3usize;
+    let covered = 2usize;
+    let mut replay = 0.0f64;
+    for r in &tl.steps[covered..failed_step] {
+        replay += r.duration_s();
+    }
+    let f = &tl.steps[failed_step];
+    replay += f.compute_s + f.comm_s + f.barrier_s;
+    assert_eq!(
+        rec.replay_seconds, replay,
+        "replay must reconcile bit-exactly with the recorded timeline"
+    );
+
+    // the recovery lane of the timeline carries exactly the stats total
+    let lane: f64 = tl.steps.iter().map(|r| r.recovery_s).sum();
+    let total = rec.recovery_seconds();
+    assert!(
+        (lane - total).abs() <= 1e-12 * total.max(1.0),
+        "recovery lane {lane} vs stats {total}"
+    );
+
+    // and the whole slowdown is attributable to recovery
+    let slowdown = faulted.report.sim_seconds - clean.report.sim_seconds;
+    assert!(
+        (slowdown - total).abs() <= 1e-9 * faulted.report.sim_seconds,
+        "slowdown {slowdown} vs recovery {total}"
+    );
 }
 
 #[test]

@@ -343,6 +343,207 @@ fn bfs_parents_always_validate() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Fault-injection properties
+// ---------------------------------------------------------------------
+
+use graphmaze_core::cluster::with_faults;
+
+/// Drops the scheduling-dependent `wall_secs` field (always the last
+/// field of a journal line) so journal bytes can be compared across
+/// `--jobs` settings.
+fn strip_wall_secs(line: &str) -> String {
+    match line.find(",\"wall_secs\":") {
+        Some(i) => format!("{}}}", &line[..i]),
+        None => line.to_string(),
+    }
+}
+
+/// Journal file → sorted, wall-clock-free lines (parallel workers append
+/// in completion order, so ordering is the one legitimate difference).
+fn normalized_journal(path: &std::path::Path) -> Vec<String> {
+    let body = std::fs::read_to_string(path).unwrap();
+    let mut lines: Vec<String> = body.lines().map(strip_wall_secs).collect();
+    lines.sort();
+    lines
+}
+
+fn faulted_sweep(faults: FaultPlan) -> Sweep {
+    let params = BenchParams::default();
+    let spec = WorkloadSpec::Rmat {
+        scale: 8,
+        edge_factor: 8,
+        seed: 61,
+    };
+    let mut sweep = Sweep::new("faultprop");
+    for fw in [Framework::Native, Framework::CombBlas, Framework::Giraph] {
+        for alg in [Algorithm::PageRank, Algorithm::Bfs] {
+            sweep.push(SweepCell {
+                label: format!("{}-{}", alg.name(), fw.name()),
+                algorithm: alg,
+                framework: fw,
+                spec: spec.clone(),
+                nodes: 4,
+                factor: 1.0,
+                params,
+                faults,
+            });
+        }
+    }
+    // one checkpoint/restart cell: Giraph survives the injected kill
+    sweep.push(SweepCell {
+        label: "giraph-kill".into(),
+        algorithm: Algorithm::PageRank,
+        framework: Framework::Giraph,
+        spec: spec.clone(),
+        nodes: 4,
+        factor: 1.0,
+        params,
+        faults: FaultPlan::parse("seed=7,kill=1@2,ckpt=2").unwrap(),
+    });
+    sweep
+}
+
+/// Same fault plan ⇒ bit-identical `RunReport` and digest, run to run:
+/// every decision is a pure function of the plan seed, never of wall
+/// clock or thread interleaving.
+#[test]
+fn same_fault_seed_reproduces_bit_identical_reports() {
+    let params = BenchParams::default();
+    let wl = Workload::rmat(8, 8, 62);
+    let plan = FaultPlan::parse("seed=3,straggler=0.3x4,drop=0.05,mempress=0.1:64M").unwrap();
+    for fw in [Framework::CombBlas, Framework::GraphLab, Framework::Giraph] {
+        let a = with_faults(plan, || {
+            run_benchmark(Algorithm::PageRank, fw, &wl, 4, &params).unwrap()
+        });
+        let b = with_faults(plan, || {
+            run_benchmark(Algorithm::PageRank, fw, &wl, 4, &params).unwrap()
+        });
+        assert_eq!(a.report, b.report, "{fw:?} report must be bit-identical");
+        assert_eq!(a.digest, b.digest, "{fw:?}");
+        assert!(
+            a.report.recovery.straggler_events > 0,
+            "{fw:?}: plan with straggler=0.3 must actually fire"
+        );
+        // the faults degrade the run but never the answer
+        let clean = run_benchmark(Algorithm::PageRank, fw, &wl, 4, &params).unwrap();
+        assert_eq!(
+            a.digest, clean.digest,
+            "{fw:?} faults must not change results"
+        );
+        assert!(
+            a.report.sim_seconds > clean.report.sim_seconds,
+            "{fw:?} faulted run must be slower"
+        );
+    }
+}
+
+/// A fault-injected sweep is deterministic across `--jobs`: per-cell
+/// reports are bit-identical and the journals byte-identical once the
+/// scheduling-dependent `wall_secs` is stripped.
+#[test]
+fn faulted_sweep_is_bit_identical_across_jobs() {
+    let dir = std::env::temp_dir().join(format!("graphmaze-faultprop-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let (j1, j4) = (dir.join("jobs1.jsonl"), dir.join("jobs4.jsonl"));
+    let _ = std::fs::remove_file(&j1);
+    let _ = std::fs::remove_file(&j4);
+
+    let plan = FaultPlan::parse("seed=11,straggler=0.2x3,drop=0.02").unwrap();
+    let sweep = faulted_sweep(plan);
+    let serial = sweep.run(
+        &SweepOptions {
+            jobs: 1,
+            journal: Some(j1.clone()),
+            resume: false,
+        },
+        &WorkloadCache::new(),
+    );
+    let parallel = sweep.run(
+        &SweepOptions {
+            jobs: 4,
+            journal: Some(j4.clone()),
+            resume: false,
+        },
+        &WorkloadCache::new(),
+    );
+    for (i, (s, p)) in serial.results.iter().zip(&parallel.results).enumerate() {
+        let (s, p) = (s.outcome.as_ref().unwrap(), p.outcome.as_ref().unwrap());
+        assert_eq!(s.report, p.report, "cell {i} report depends on --jobs");
+        assert_eq!(s.digest, p.digest, "cell {i}");
+    }
+    // the kill cell must actually have recovered
+    let kill = serial.results.last().unwrap().outcome.as_ref().unwrap();
+    assert_eq!(kill.report.recovery.failures, 1, "injected kill must fire");
+    assert!(kill.report.recovery.steps_replayed > 0);
+
+    let (l1, l4) = (normalized_journal(&j1), normalized_journal(&j4));
+    assert_eq!(l1.len(), sweep.len());
+    assert_eq!(l1, l4, "journal content must not depend on --jobs");
+    let _ = std::fs::remove_file(&j1);
+    let _ = std::fs::remove_file(&j4);
+}
+
+/// Straggler severity is monotone: decisions are threshold tests on one
+/// hash, so raising the probability only *adds* slow (node, step) slots,
+/// and raising the multiplier only slows the same slots further. The
+/// simulated time can never decrease.
+#[test]
+fn straggler_severity_is_monotone_in_probability_and_slowdown() {
+    let params = BenchParams::default();
+    let wl = Workload::rmat(8, 8, 63);
+    let run = |plan: FaultPlan| {
+        with_faults(plan, || {
+            run_benchmark(Algorithm::PageRank, Framework::Giraph, &wl, 4, &params).unwrap()
+        })
+    };
+
+    // probability ladder, fixed slowdown
+    let mut last_secs = 0.0f64;
+    let mut last_events = 0u64;
+    for prob in [0.0, 0.1, 0.3, 0.6, 1.0] {
+        let plan = FaultPlan {
+            seed: 5,
+            straggler_prob: prob,
+            straggler_slowdown: 3.0,
+            ..FaultPlan::none()
+        };
+        let out = run(plan);
+        assert!(
+            out.report.sim_seconds >= last_secs,
+            "p={prob}: {} < {last_secs}",
+            out.report.sim_seconds
+        );
+        assert!(
+            out.report.recovery.straggler_events >= last_events,
+            "p={prob}: lower probability fired more events"
+        );
+        last_secs = out.report.sim_seconds;
+        last_events = out.report.recovery.straggler_events;
+    }
+
+    // slowdown ladder, fixed probability: same event set, scaled deeper
+    let mut last_secs = 0.0f64;
+    let mut events = None;
+    for slowdown in [1.0, 2.0, 4.0, 8.0] {
+        let plan = FaultPlan {
+            seed: 5,
+            straggler_prob: 0.3,
+            straggler_slowdown: slowdown,
+            ..FaultPlan::none()
+        };
+        let out = run(plan);
+        assert!(out.report.sim_seconds >= last_secs, "x{slowdown}");
+        let e = out.report.recovery.straggler_events;
+        assert_eq!(
+            *events.get_or_insert(e),
+            e,
+            "event set must not depend on slowdown"
+        );
+        last_secs = out.report.sim_seconds;
+    }
+}
+
 #[test]
 fn pagerank_engine_agreement_on_random_graphs() {
     // a deterministic mini-fuzz across engines (full-crossbar fuzzing is

@@ -43,6 +43,7 @@ fn small_sweep() -> Sweep {
                 nodes: 2,
                 factor: 1.5,
                 params,
+                faults: FaultPlan::none(),
             });
         }
     }
@@ -184,6 +185,7 @@ fn panicking_cell_fails_alone() {
         nodes: 2,
         factor: 1.0,
         params,
+        faults: FaultPlan::none(),
     };
     let mut sweep = Sweep::new("isolation");
     sweep.push(cell(Framework::Native, Algorithm::PageRank, params));
@@ -244,6 +246,7 @@ fn failed_cells_resume_from_the_journal_too() {
         nodes: 2,
         factor: 1.0,
         params,
+        faults: FaultPlan::none(),
     });
     let opts = SweepOptions {
         jobs: 1,
