@@ -23,7 +23,8 @@ usage: repro <experiment>... [options]
 experiments:
   table2 table3 table4 table5 table6 table7 tabler
   fig3 fig4 fig5 fig6 fig7
-  netestimate sgdvsgd giraphsplit ablations strongscaling roadmap relatedwork
+  netestimate commmatrix sgdvsgd giraphsplit ablations strongscaling roadmap
+  relatedwork
   all         (everything above)
 
 options:
@@ -49,7 +50,7 @@ options:
 /// `(name, sweep cells, description)` for `--list`. Cell counts are the
 /// defaults (they do not depend on `--scale`); "direct" experiments run
 /// engines without the sweep executor.
-const LISTING: [(&str, &str, &str); 19] = [
+const LISTING: [(&str, &str, &str); 20] = [
     ("table2", "direct", "framework capability matrix"),
     ("table3", "direct", "dataset inventory and scaled stand-ins"),
     ("table4", "8", "native algorithm throughput at paper scale"),
@@ -79,6 +80,11 @@ const LISTING: [(&str, &str, &str); 19] = [
         "5",
         "network traffic model vs measured bytes",
     ),
+    (
+        "commmatrix",
+        "5",
+        "per-(src,dst) wire-byte communication matrix",
+    ),
     ("sgdvsgd", "direct", "SGD vs GD convergence for CF"),
     (
         "giraphsplit",
@@ -104,7 +110,7 @@ fn print_listing() {
 }
 
 /// Every dispatchable experiment name, in `all` execution order.
-const EXPERIMENTS: [&str; 19] = [
+const EXPERIMENTS: [&str; 20] = [
     "table2",
     "table3",
     "table4",
@@ -118,6 +124,7 @@ const EXPERIMENTS: [&str; 19] = [
     "table7",
     "tabler",
     "netestimate",
+    "commmatrix",
     "sgdvsgd",
     "giraphsplit",
     "ablations",
@@ -257,6 +264,7 @@ fn main() {
             "table7" => tables::table7(&cfg),
             "tabler" => tables::table_r(&cfg),
             "netestimate" => extras::net_estimate(&cfg),
+            "commmatrix" => extras::comm_matrix(&cfg),
             "sgdvsgd" => extras::sgd_vs_gd(&cfg),
             "giraphsplit" => extras::giraph_split(&cfg),
             "ablations" => extras::ablations(&cfg),

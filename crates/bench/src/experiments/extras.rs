@@ -656,3 +656,98 @@ pub fn ablations(cfg: &ReproConfig) -> String {
     }
     out
 }
+
+/// Communication matrix — the message plane's per-(src, dst) traffic
+/// accounting, surfaced as an artifact. Runs PageRank on 4 nodes under
+/// each studied framework and prints who sent how many wire bytes to
+/// whom; `comm_matrix.csv` carries the full `framework × src × dst`
+/// crossbar. Row sums reconcile with the per-node sent bytes the
+/// simulator meters independently — the invariant the conformance tests
+/// pin — so the matrix is a lossless decomposition of Fig 6's "network
+/// bytes sent" bars.
+pub fn comm_matrix(cfg: &ReproConfig) -> String {
+    let params = standard_params();
+    let spec = WorkloadSpec::Rmat {
+        scale: cfg.target_scale,
+        edge_factor: 16,
+        seed: cfg.seed,
+    };
+    let factor = cfg.scale_factor(
+        128u64 << 20,
+        cfg.workload(&spec).directed().expect("graph").num_edges(),
+    );
+    let frameworks = [
+        Framework::Native,
+        Framework::CombBlas,
+        Framework::GraphLab,
+        Framework::SociaLite,
+        Framework::Giraph,
+    ];
+    let nodes = 4;
+    let mut sweep = Sweep::new("commmatrix");
+    for fw in frameworks {
+        sweep.push(SweepCell {
+            label: "synthetic".into(),
+            algorithm: Algorithm::PageRank,
+            framework: fw,
+            spec: spec.clone(),
+            nodes,
+            factor,
+            params,
+            faults: cfg.faults,
+        });
+    }
+    let report = crate::run_sweep(cfg, &sweep);
+
+    let mut out = String::from(
+        "Communication matrix — pagerank wire bytes from src (row) to dst (column), 4 nodes\n\n",
+    );
+    let mut csv_rows = Vec::new();
+    for (fw, result) in frameworks.iter().zip(&report.results) {
+        let r = match cell_report(result) {
+            Ok(r) => r,
+            Err(e) => {
+                out.push_str(&format!("{}: {e}\n\n", fw.name()));
+                continue;
+            }
+        };
+        let m = &r.matrix;
+        let mut rows = Vec::new();
+        for src in 0..nodes {
+            let mut row = vec![format!("node {src}")];
+            for dst in 0..nodes {
+                row.push(fmt_bytes(m.bytes(src, dst) as f64));
+                csv_rows.push(vec![
+                    fw.name().to_string(),
+                    "pagerank".to_string(),
+                    src.to_string(),
+                    dst.to_string(),
+                    m.bytes(src, dst).to_string(),
+                    m.messages(src, dst).to_string(),
+                ]);
+            }
+            row.push(fmt_bytes(m.row_bytes(src) as f64));
+            rows.push(row);
+        }
+        let headers: Vec<String> = std::iter::once("src \\ dst".to_string())
+            .chain((0..nodes).map(|d| format!("node {d}")))
+            .chain(std::iter::once("sent".to_string()))
+            .collect();
+        let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+        out.push_str(&format!(
+            "{} — total {} in {} packets (row sums reconcile: {})\n",
+            fw.name(),
+            fmt_bytes(m.total_bytes() as f64),
+            m.total_messages(),
+            (0..nodes).all(|n| m.row_bytes(n) == r.node_sent_bytes[n]),
+        ));
+        out.push_str(&format_table(&headers, &rows));
+        out.push('\n');
+    }
+    cfg.write_csv(
+        "comm_matrix",
+        &["framework", "algorithm", "src", "dst", "bytes", "messages"],
+        &csv_rows,
+    );
+    out
+}

@@ -292,6 +292,93 @@ mod tests {
         assert!(decode(&truncated).is_none());
     }
 
+    /// Deterministic xorshift64* generator — property tests stay
+    /// reproducible without pulling in an RNG crate.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+
+    /// Draws a sorted, deduplicated id set of roughly `target` ids
+    /// uniformly from `[0, universe)`.
+    fn random_id_set(rng: &mut XorShift, universe: u64, target: usize) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..target)
+            .map(|_| (rng.next() % universe) as u32)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Property: every codec round-trips every generated id set, and the
+    /// encoded size respects the codec's documented wire layout bound
+    /// (`tag 1B + count varint ≤10B + universe varint ≤10B + payload`).
+    /// Note the header means `encode_with(Raw).len()` slightly *exceeds*
+    /// the `raw_size(n) = 4n` baseline the paper measures against.
+    #[test]
+    fn prop_all_encodings_round_trip_with_size_bound() {
+        let mut rng = XorShift(0x9e37_79b9_97f4_a7c5);
+        for universe in [1u64, 64, 1000, 1 << 16, 1 << 22] {
+            for target in [0usize, 1, 5, 100, 2000] {
+                let ids = random_id_set(&mut rng, universe, target);
+                let header_max = 1 + 10 + 10;
+                for enc in [Encoding::Raw, Encoding::DeltaVarint, Encoding::Bitmap] {
+                    let b = encode_with(&ids, universe, enc);
+                    assert_eq!(
+                        decode(&b).expect("decodes"),
+                        ids,
+                        "{enc:?} u={universe} n={}",
+                        ids.len()
+                    );
+                    let payload_max = match enc {
+                        Encoding::Raw => ids.len() * 4,
+                        // each delta varint is at most 5 bytes for u32 gaps
+                        Encoding::DeltaVarint => ids.len() * 5,
+                        Encoding::Bitmap => (universe.div_ceil(64) * 8) as usize,
+                    };
+                    assert!(
+                        b.len() <= header_max + payload_max,
+                        "{enc:?} size {} exceeds bound {}",
+                        b.len(),
+                        header_max + payload_max
+                    );
+                }
+            }
+        }
+    }
+
+    /// Property: `encode_best` always round-trips and never produces a
+    /// buffer larger than the worst explicit codec by more than the
+    /// estimation slack (it compares cheap upper-bound estimates, so it
+    /// must at least beat the raw estimate `1 + 10 + 10 + 4n`).
+    #[test]
+    fn prop_encode_best_round_trips_and_is_bounded() {
+        let mut rng = XorShift(0xdead_beef_cafe_f00d);
+        for universe in [16u64, 512, 100_000, 1 << 20] {
+            for target in [0usize, 3, 50, 1000, 5000] {
+                let ids = random_id_set(&mut rng, universe, target);
+                let best = encode_best(&ids, universe);
+                assert_eq!(decode(&best).expect("decodes"), ids);
+                let raw_estimate = 1 + 10 + 10 + ids.len() * 4;
+                assert!(
+                    best.len() <= raw_estimate,
+                    "best {} vs raw estimate {} (u={universe} n={})",
+                    best.len(),
+                    raw_estimate,
+                    ids.len()
+                );
+            }
+        }
+    }
+
     #[test]
     fn compression_factor_on_bfs_like_traffic() {
         // A BFS frontier: clustered ascending ids — the paper reports ~3.2x

@@ -16,6 +16,10 @@
 //!   [`CommLayer::netty`] — §3, §5.4, §6.1.3);
 //! * per-framework execution behaviour (core usage, buffering, overlap,
 //!   per-superstep coordination cost) is captured by [`ExecProfile`];
+//! * all cross-node traffic flows through one message plane
+//!   ([`router::Router`]/[`router::Mailbox`]): per-destination buffering,
+//!   flush policies, combiners, id compression and a single packetization
+//!   rule, recording the per-(src, dst) traffic matrix of every run;
 //! * partitioning schemes match §6.1.1: 1-D balanced-by-edges
 //!   ([`Partition1D`]), 2-D grid ([`Partition2D`]), and high-degree
 //!   replication ([`partition::hubs_to_replicate`]);
@@ -30,6 +34,7 @@ pub mod faults;
 pub mod hardware;
 pub mod partition;
 pub mod profile;
+pub mod router;
 pub mod sim;
 pub mod work_scale;
 
@@ -38,5 +43,6 @@ pub use faults::{current_faults, with_faults, FaultPlan, NodeFailure};
 pub use hardware::{ClusterSpec, HardwareSpec};
 pub use partition::{Partition1D, Partition2D};
 pub use profile::ExecProfile;
+pub use router::{packets_for, Combiner, FlushPolicy, Mailbox, Router, RouterConfig, PACKET_BYTES};
 pub use sim::{Sim, SimError, DEFAULT_PHASE};
 pub use work_scale::{current_work_scale, with_work_scale};

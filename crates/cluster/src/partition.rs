@@ -172,6 +172,14 @@ impl Partition2D {
         (p / self.pc, p % self.pc)
     }
 
+    /// Process at grid coordinates `(r, c)` — the inverse of
+    /// [`Partition2D::coords`].
+    #[inline]
+    pub fn node_at(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.pr && c < self.pc);
+        r * self.pc + c
+    }
+
     /// Total processes.
     pub fn nodes(&self) -> usize {
         self.pr * self.pc

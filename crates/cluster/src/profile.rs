@@ -18,6 +18,7 @@
 //!   barrier + worker scheduling for Giraph, master barrier for the rest.
 
 use crate::comm::CommLayer;
+use crate::router::{RouterConfig, PACKET_BYTES};
 
 /// How an engine executes on a node and communicates across nodes.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -40,6 +41,10 @@ pub struct ExecProfile {
     /// node failure by rollback-and-replay (Giraph inherits this from
     /// Hadoop); engines without it fail-stop when a node dies.
     pub checkpoint_restart: bool,
+    /// Message-plane behaviour (flush policy, per-message overhead, id
+    /// compression) — consumed by [`crate::router::Router`], through
+    /// which all cross-node traffic flows.
+    pub router: RouterConfig,
 }
 
 impl ExecProfile {
@@ -54,6 +59,7 @@ impl ExecProfile {
             work_multiplier: 1.0,
             per_step_overhead_s: 50e-6,
             checkpoint_restart: false,
+            router: RouterConfig::eager(),
         }
     }
 
@@ -69,6 +75,7 @@ impl ExecProfile {
             work_multiplier: 1.6,
             per_step_overhead_s: 200e-6,
             checkpoint_restart: false,
+            router: RouterConfig::eager(),
         }
     }
 
@@ -84,6 +91,7 @@ impl ExecProfile {
             work_multiplier: 2.8,
             per_step_overhead_s: 500e-6,
             checkpoint_restart: false,
+            router: RouterConfig::streaming(PACKET_BYTES),
         }
     }
 
@@ -100,14 +108,18 @@ impl ExecProfile {
             work_multiplier: 3.2, // Datalog join evaluation on the JVM
             per_step_overhead_s: 1e-3,
             checkpoint_restart: false,
+            router: RouterConfig::barrier(),
         }
     }
 
-    /// SociaLite *before* the network optimization (Table 7 "Before").
+    /// SociaLite *before* the network optimization (Table 7 "Before"):
+    /// the slower transport **and** per-message eager sends instead of
+    /// per-round batching — §6.1.3's fix is exactly this pair of knobs.
     pub fn socialite_unoptimized() -> Self {
         ExecProfile {
             comm: CommLayer::single_socket_unoptimized(),
             name: "socialite-unopt",
+            router: RouterConfig::eager(),
             ..ExecProfile::socialite()
         }
     }
@@ -125,6 +137,9 @@ impl ExecProfile {
             work_multiplier: 6.0, // boxed vertex/message objects, per-edge dispatch
             per_step_overhead_s: 0.9, // Hadoop superstep barrier + scheduling
             checkpoint_restart: true, // superstep checkpointing via HDFS
+            // whole-superstep buffering with 48B of object header per
+            // buffered message (vertex/giraph.rs MESSAGE_OBJECT_OVERHEAD)
+            router: RouterConfig::barrier().with_overhead(48),
         }
     }
 
@@ -136,6 +151,9 @@ impl ExecProfile {
             name: "graphlab+roadmap",
             comm: CommLayer::mpi(),
             sw_prefetch: true,
+            // §6.2: "techniques like data compression (bitvectors) ...
+            // should also help"
+            router: RouterConfig::streaming(PACKET_BYTES).with_compression(),
             ..ExecProfile::graphlab()
         }
     }
@@ -155,6 +173,11 @@ impl ExecProfile {
             },
             core_fraction: 1.0,       // 24 workers once buffers shrink
             per_step_overhead_s: 0.1, // barrier without per-superstep Hadoop setup
+            // streaming instead of whole-superstep buffering, plus id
+            // compression; JVM object headers remain
+            router: RouterConfig::streaming(PACKET_BYTES)
+                .with_overhead(48)
+                .with_compression(),
             ..ExecProfile::giraph()
         }
     }
@@ -165,6 +188,7 @@ impl ExecProfile {
     pub fn socialite_improved() -> Self {
         ExecProfile {
             name: "socialite+roadmap",
+            router: RouterConfig::barrier().with_compression(),
             ..ExecProfile::socialite()
         }
     }
@@ -189,6 +213,9 @@ impl ExecProfile {
             work_multiplier: 5.0, // JVM vertex dispatch, lighter than Giraph's
             per_step_overhead_s: 80e-3, // own master, no Hadoop superstep setup
             checkpoint_restart: false,
+            // leaner JVM runtime: streams message batches, smaller
+            // per-message object overhead than Giraph's
+            router: RouterConfig::streaming(PACKET_BYTES).with_overhead(24),
         }
     }
 
@@ -205,6 +232,8 @@ impl ExecProfile {
             work_multiplier: 2.8 * 7.0, // GraphLab's cost × Spark RDD overhead
             per_step_overhead_s: 120e-3, // Spark stage scheduling
             checkpoint_restart: false,
+            // RDD shuffle: streamed blocks, boxed Scala message objects
+            router: RouterConfig::streaming(PACKET_BYTES).with_overhead(32),
         }
     }
 
@@ -220,6 +249,7 @@ impl ExecProfile {
             work_multiplier: 1.15,
             per_step_overhead_s: 100e-6,
             checkpoint_restart: false,
+            router: RouterConfig::eager(), // unused: single-node only
         }
     }
 }
@@ -243,11 +273,40 @@ mod tests {
     }
 
     #[test]
-    fn socialite_optimization_only_touches_comm() {
+    fn socialite_optimization_only_touches_the_message_plane() {
         let before = ExecProfile::socialite_unoptimized();
         let after = ExecProfile::socialite();
         assert_eq!(before.work_multiplier, after.work_multiplier);
         assert!(before.comm.peak_bw_bps < after.comm.peak_bw_bps);
+        // Table 7's fix is a pure profile swap: transport + flush policy
+        assert_eq!(before.router.flush, crate::router::FlushPolicy::Eager);
+        assert_eq!(after.router.flush, crate::router::FlushPolicy::Barrier);
+    }
+
+    #[test]
+    fn router_configs_follow_the_paper_narrative() {
+        use crate::router::FlushPolicy;
+        // C++/MPI runtimes send eagerly with no object overhead
+        for p in [
+            ExecProfile::native(),
+            ExecProfile::combblas(),
+            ExecProfile::galois(),
+        ] {
+            assert_eq!(p.router, RouterConfig::eager(), "{}", p.name);
+        }
+        // Giraph buffers whole supersteps, 48B object header per message
+        let g = ExecProfile::giraph();
+        assert_eq!(g.router.flush, FlushPolicy::Barrier);
+        assert_eq!(g.router.per_message_overhead_bytes, 48);
+        // roadmap variants add streaming and/or compression but never
+        // wish away the JVM overhead
+        let gi = ExecProfile::giraph_improved();
+        assert!(matches!(gi.router.flush, FlushPolicy::Stream { .. }));
+        assert_eq!(gi.router.per_message_overhead_bytes, 48);
+        assert!(gi.router.compress_ids);
+        assert!(ExecProfile::graphlab_improved().router.compress_ids);
+        assert!(ExecProfile::socialite_improved().router.compress_ids);
+        assert!(!ExecProfile::graphlab().router.compress_ids);
     }
 
     #[test]

@@ -1,0 +1,614 @@
+//! The message plane: every cross-node transfer flows through a
+//! [`Router`].
+//!
+//! The paper attributes most framework slowdowns to the communication
+//! layer — buffering discipline, serialization overhead, batching
+//! (Fig 6, Table 7, §6.1.3). Rather than let each engine hand-roll that
+//! layer, graphmaze models it once, here, and the engines differ only in
+//! the declarative [`RouterConfig`] their [`ExecProfile`] carries:
+//!
+//! * **flush policy** — when buffered bytes actually hit the wire:
+//!   eagerly per send ([`FlushPolicy::Eager`], SociaLite before its
+//!   network optimization), at the superstep barrier
+//!   ([`FlushPolicy::Barrier`], Giraph and batched SociaLite), or when a
+//!   per-destination buffer crosses a size threshold
+//!   ([`FlushPolicy::Stream`], GraphLab-style streaming);
+//! * **per-message overhead bytes** — heap cost of each buffered message
+//!   (JVM object headers for Giraph/GPS/GraphX, 0 for C++ runtimes);
+//! * **id compression** — delta/bitmap-encode destination-id payloads
+//!   (the §6.1.1/§6.2 bitvector recommendation, [`crate::compress`]).
+//!
+//! # The packetization rule
+//!
+//! Historically each engine invented its own message-count heuristic
+//! (`1 + bytes / (1 << 20)` here, `1.max(count / 1024)` there). The
+//! router defines **one** rule, used everywhere: a flushed transfer of
+//! `w` wire bytes costs `max(1, ceil(w / PACKET_BYTES))` messages — one
+//! per started [`PACKET_BYTES`] packet, and at least one, because even
+//! an empty control message pays a latency. See [`packets_for`].
+//!
+//! Flush policies never change *how many bytes* cross the wire — only
+//! how they are batched into packets (and therefore how many per-message
+//! latencies are paid). Byte totals are invariant under policy swaps;
+//! that is what makes Table 7's before/after a pure profile change.
+//!
+//! Every transfer is charged to [`Sim`] with an explicit destination
+//! ([`Sim::send_to`]), which records the per-(src, dst) communication
+//! matrix reported in `RunReport::matrix`.
+
+use graphmaze_graph::VertexId;
+use graphmaze_metrics::Work;
+
+use crate::compress::encode_best;
+use crate::profile::ExecProfile;
+use crate::sim::Sim;
+
+/// Wire packet capacity, bytes (1 MiB — the transfer granularity all
+/// engines' old heuristics gestured at).
+pub const PACKET_BYTES: u64 = 1 << 20;
+
+/// The packetization rule: a transfer of `wire_bytes` costs one message
+/// per *started* packet of [`PACKET_BYTES`], and never fewer than one.
+///
+/// Applied to **unscaled** wire bytes: under `with_work_scale`
+/// extrapolation the simulator grows transfer *sizes*, not counts, so
+/// packet counts are computed before scaling (inside [`Sim::send_to`]
+/// the scale then multiplies both).
+#[inline]
+pub fn packets_for(wire_bytes: u64) -> u64 {
+    wire_bytes.div_ceil(PACKET_BYTES).max(1)
+}
+
+/// When buffered traffic actually hits the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Every [`Router::send`] goes straight to the wire as its own
+    /// transfer (SociaLite before the §6.1.3 batching fix).
+    Eager,
+    /// Per-destination buffers accumulate until [`Router::flush`] at the
+    /// superstep barrier (Giraph's whole-superstep buffering; batched
+    /// SociaLite).
+    Barrier,
+    /// Like `Barrier`, but a (src, dst) buffer that crosses
+    /// `threshold_bytes` is flushed immediately (GraphLab-style
+    /// streaming in bounded chunks).
+    Stream {
+        /// Per-(src, dst) buffered wire bytes that trigger a flush.
+        threshold_bytes: u64,
+    },
+}
+
+/// Declarative communication behaviour of one framework, carried by
+/// [`ExecProfile::router`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Batching discipline.
+    pub flush: FlushPolicy,
+    /// Heap overhead per buffered message, bytes (JVM object headers).
+    pub per_message_overhead_bytes: u64,
+    /// Delta/bitmap-compress destination-id payloads ([`crate::compress`]).
+    pub compress_ids: bool,
+}
+
+impl RouterConfig {
+    /// Send-per-message, no overhead, no compression.
+    pub const fn eager() -> Self {
+        RouterConfig {
+            flush: FlushPolicy::Eager,
+            per_message_overhead_bytes: 0,
+            compress_ids: false,
+        }
+    }
+
+    /// Buffer until the barrier.
+    pub const fn barrier() -> Self {
+        RouterConfig {
+            flush: FlushPolicy::Barrier,
+            ..RouterConfig::eager()
+        }
+    }
+
+    /// Stream in chunks of `threshold_bytes`.
+    pub const fn streaming(threshold_bytes: u64) -> Self {
+        RouterConfig {
+            flush: FlushPolicy::Stream { threshold_bytes },
+            ..RouterConfig::eager()
+        }
+    }
+
+    /// Sets the per-buffered-message heap overhead.
+    pub const fn with_overhead(mut self, bytes: u64) -> Self {
+        self.per_message_overhead_bytes = bytes;
+        self
+    }
+
+    /// Enables destination-id compression.
+    pub const fn with_compression(mut self) -> Self {
+        self.compress_ids = true;
+        self
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig::eager()
+    }
+}
+
+/// The message plane of one simulated run: owns per-(src, dst) pending
+/// buffers and charges [`Sim`] (always via [`Sim::send_to`], so the
+/// traffic matrix sees every byte) according to the flush policy.
+///
+/// The router is deliberately *not* stored inside [`Sim`]: engines own
+/// one `Router` per run and pass the sim to each call, keeping `Sim` a
+/// pure cost meter.
+#[derive(Clone, Debug)]
+pub struct Router {
+    nodes: usize,
+    cfg: RouterConfig,
+    /// Pending (wire, raw) chunks per (src, dst), row-major. Buffered
+    /// sends are kept as individual chunks — not pre-summed — so that on
+    /// flush each chunk is charged to [`Sim`] separately and work-scale
+    /// extrapolation rounds exactly as it would for unbuffered sends;
+    /// only the *packet count* is computed on the merged total. This
+    /// keeps byte totals bit-identical across flush policies.
+    pending: Vec<Vec<(u64, u64)>>,
+}
+
+impl Router {
+    /// A router configured from `profile.router`.
+    pub fn new(nodes: usize, profile: &ExecProfile) -> Self {
+        Router::with_config(nodes, profile.router)
+    }
+
+    /// A router with an explicit configuration (engines that let tests
+    /// override individual knobs build the config themselves).
+    pub fn with_config(nodes: usize, cfg: RouterConfig) -> Self {
+        Router {
+            nodes,
+            cfg,
+            pending: vec![Vec::new(); nodes * nodes],
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> RouterConfig {
+        self.cfg
+    }
+
+    /// Node count this router serves.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Routes `wire_bytes`/`raw_bytes` from `src` to `dst` under the
+    /// flush policy. Local traffic (`src == dst`) and empty transfers
+    /// never touch the wire.
+    pub fn send(&mut self, sim: &mut Sim, src: usize, dst: usize, wire_bytes: u64, raw_bytes: u64) {
+        if src == dst || (wire_bytes == 0 && raw_bytes == 0) {
+            return;
+        }
+        match self.cfg.flush {
+            FlushPolicy::Eager => self.transfer(sim, src, dst, wire_bytes, raw_bytes),
+            FlushPolicy::Barrier => {
+                self.pending[src * self.nodes + dst].push((wire_bytes, raw_bytes));
+            }
+            FlushPolicy::Stream { threshold_bytes } => {
+                let p = &mut self.pending[src * self.nodes + dst];
+                p.push((wire_bytes, raw_bytes));
+                if p.iter().map(|c| c.0).sum::<u64>() >= threshold_bytes {
+                    self.drain(sim, src, dst);
+                }
+            }
+        }
+    }
+
+    /// Immediate transfer bypassing the flush policy — for control-plane
+    /// traffic (aggregators, counters, convergence votes) that must not
+    /// wait in a buffer.
+    pub fn send_now(
+        &mut self,
+        sim: &mut Sim,
+        src: usize,
+        dst: usize,
+        wire_bytes: u64,
+        raw_bytes: u64,
+    ) {
+        if src == dst || (wire_bytes == 0 && raw_bytes == 0) {
+            return;
+        }
+        self.transfer(sim, src, dst, wire_bytes, raw_bytes);
+    }
+
+    /// Splits `wire_total`/`raw_total` evenly across `dsts` (remainder
+    /// bytes go to the first destination), preserving exact byte totals.
+    /// Models one bulk operation fanned out to a peer group (a 2-D grid
+    /// row/column broadcast, a gather's return path).
+    pub fn scatter(
+        &mut self,
+        sim: &mut Sim,
+        src: usize,
+        dsts: &[usize],
+        wire_total: u64,
+        raw_total: u64,
+    ) {
+        debug_assert!(!dsts.contains(&src), "scatter peers must exclude src");
+        if dsts.is_empty() {
+            return;
+        }
+        let k = dsts.len() as u64;
+        let (w_share, w_rem) = (wire_total / k, wire_total % k);
+        let (r_share, r_rem) = (raw_total / k, raw_total % k);
+        for (i, &dst) in dsts.iter().enumerate() {
+            let extra = if i == 0 { (w_rem, r_rem) } else { (0, 0) };
+            self.send(sim, src, dst, w_share + extra.0, r_share + extra.1);
+        }
+    }
+
+    /// Ring allreduce: every node sends `bytes_per_node` to its
+    /// successor (the Pregel aggregator / global counter pattern). A
+    /// no-op on a single node.
+    pub fn allreduce(&mut self, sim: &mut Sim, bytes_per_node: u64) {
+        if self.nodes > 1 {
+            for node in 0..self.nodes {
+                self.send_now(
+                    sim,
+                    node,
+                    (node + 1) % self.nodes,
+                    bytes_per_node,
+                    bytes_per_node,
+                );
+            }
+        }
+    }
+
+    /// Flushes every pending (src, dst) buffer to the wire. Engines call
+    /// this before each `Sim::end_step` so buffered bytes are charged to
+    /// the step that produced them.
+    pub fn flush(&mut self, sim: &mut Sim) {
+        for src in 0..self.nodes {
+            for dst in 0..self.nodes {
+                self.drain(sim, src, dst);
+            }
+        }
+    }
+
+    /// True if any (src, dst) buffer holds unflushed bytes.
+    pub fn has_pending(&self) -> bool {
+        self.pending.iter().any(|p| !p.is_empty())
+    }
+
+    fn transfer(&mut self, sim: &mut Sim, src: usize, dst: usize, wire: u64, raw: u64) {
+        sim.send_to(src, dst, wire, raw, packets_for(wire));
+    }
+
+    /// Puts one (src, dst) buffer on the wire: the packet count comes
+    /// from the merged wire total (that is the batching win), but each
+    /// chunk is charged separately so byte scaling rounds identically to
+    /// eager per-send charging.
+    fn drain(&mut self, sim: &mut Sim, src: usize, dst: usize) {
+        let chunks = std::mem::take(&mut self.pending[src * self.nodes + dst]);
+        if chunks.is_empty() {
+            return;
+        }
+        let total_wire: u64 = chunks.iter().map(|c| c.0).sum();
+        let mut msgs = packets_for(total_wire);
+        for (w, r) in chunks {
+            sim.send_to(src, dst, w, r, msgs);
+            msgs = 0;
+        }
+    }
+}
+
+/// A vertex-message combiner: folds two messages for the same
+/// destination vertex into one, or returns `None` to keep both
+/// (non-combinable message kinds).
+pub type Combiner<'a, M> = Option<&'a dyn Fn(&M, &M) -> Option<M>>;
+
+/// Per-destination message buffering for vertex engines: collects
+/// `(destination vertex, message)` pairs per destination *node*, then on
+/// [`Mailbox::flush`] applies the combiner (local reduction), id
+/// compression and per-message overhead accounting, routes the wire
+/// bytes through the [`Router`], and delivers the surviving messages.
+///
+/// This absorbs what `vertex/engine.rs` used to do inline; the flush
+/// sequence (emission charge → combine → compress → route → deliver) is
+/// the GraphLab/Giraph send path of §3.1/§6.1.3.
+#[derive(Debug)]
+pub struct Mailbox<M> {
+    node: usize,
+    bufs: Vec<Vec<(VertexId, M)>>,
+}
+
+impl<M> Mailbox<M> {
+    /// An empty mailbox on `node` of a `nodes`-node cluster.
+    pub fn new(node: usize, nodes: usize) -> Self {
+        Mailbox {
+            node,
+            bufs: (0..nodes).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Buffers `msg` for vertex `to`, owned by `dest_node`.
+    #[inline]
+    pub fn post(&mut self, dest_node: usize, to: VertexId, msg: M) {
+        self.bufs[dest_node].push((to, msg));
+    }
+
+    /// True if no message is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.iter().all(|b| b.is_empty())
+    }
+
+    /// Flushes all buffers: per destination node, charges the emission
+    /// cost (`Work::random` per original message — the combiner streams
+    /// and hashes everything it folds), applies `combine` when given,
+    /// computes wire bytes (id-compressing remote payloads when the
+    /// router is configured to), routes remote transfers, accounts
+    /// per-message heap overhead, and hands every surviving message to
+    /// `deliver`.
+    ///
+    /// Returns the bytes this node's vertex programs emitted (pre-combine
+    /// payload plus buffering overhead) — the engine's `seq_bytes` share.
+    pub fn flush(
+        &mut self,
+        router: &mut Router,
+        sim: &mut Sim,
+        universe: u64,
+        message_bytes: impl Fn(&M) -> u64,
+        combine: Combiner<'_, M>,
+        mut deliver: impl FnMut(VertexId, M),
+    ) -> u64 {
+        let mut emitted = 0u64;
+        for dest_node in 0..self.bufs.len() {
+            let buf = &mut self.bufs[dest_node];
+            if buf.is_empty() {
+                continue;
+            }
+            // emission cost is paid per *original* message
+            let pre_bytes: u64 = buf.iter().map(|(_, m)| message_bytes(m)).sum();
+            let pre_count = buf.len() as u64;
+            emitted += pre_bytes;
+            sim.charge(self.node, Work::random(pre_count));
+            if let Some(combine) = combine {
+                buf.sort_by_key(|(d, _)| *d);
+                let mut combined: Vec<(VertexId, M)> = Vec::with_capacity(buf.len());
+                for (d, m) in buf.drain(..) {
+                    match combined.last_mut() {
+                        Some((ld, lm)) if *ld == d => {
+                            if let Some(c) = combine(lm, &m) {
+                                *lm = c;
+                            } else {
+                                combined.push((d, m));
+                            }
+                        }
+                        _ => combined.push((d, m)),
+                    }
+                }
+                *buf = combined;
+            }
+            let payload: u64 = buf.iter().map(|(_, m)| message_bytes(m)).sum();
+            let count = buf.len() as u64;
+            let raw = payload + count * 4;
+            let wire = if router.config().compress_ids && dest_node != self.node {
+                // really encode the destination ids (delta or bitmap,
+                // whichever is smaller)
+                let mut ids: Vec<VertexId> = buf.iter().map(|(d, _)| *d).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                let encoded = encode_best(&ids, universe);
+                // duplicate dst ids (no combiner) still need a 1-byte
+                // run marker each
+                payload + encoded.len() as u64 + (count - ids.len() as u64)
+            } else {
+                raw
+            };
+            router.send(sim, self.node, dest_node, wire, raw);
+            emitted += count * router.config().per_message_overhead_bytes;
+            for (d, m) in buf.drain(..) {
+                deliver(d, m);
+            }
+        }
+        emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::ClusterSpec;
+
+    fn sim(nodes: usize) -> Sim {
+        Sim::new(ClusterSpec::paper(nodes), ExecProfile::native())
+    }
+
+    #[test]
+    fn packetization_rule() {
+        assert_eq!(packets_for(0), 1);
+        assert_eq!(packets_for(1), 1);
+        assert_eq!(packets_for(PACKET_BYTES), 1);
+        assert_eq!(packets_for(PACKET_BYTES + 1), 2);
+        assert_eq!(packets_for(10 * PACKET_BYTES), 10);
+    }
+
+    #[test]
+    fn eager_and_barrier_agree_on_bytes_not_packets() {
+        let mut s1 = sim(2);
+        let mut eager = Router::with_config(2, RouterConfig::eager());
+        for _ in 0..3 {
+            eager.send(&mut s1, 0, 1, 600_000, 600_000);
+        }
+        eager.flush(&mut s1);
+        s1.end_step().unwrap();
+        let r1 = s1.finish();
+
+        let mut s2 = sim(2);
+        let mut barrier = Router::with_config(2, RouterConfig::barrier());
+        for _ in 0..3 {
+            barrier.send(&mut s2, 0, 1, 600_000, 600_000);
+        }
+        assert!(barrier.has_pending());
+        barrier.flush(&mut s2);
+        assert!(!barrier.has_pending());
+        s2.end_step().unwrap();
+        let r2 = s2.finish();
+
+        // byte totals are policy-invariant ...
+        assert_eq!(r1.traffic.bytes_sent, r2.traffic.bytes_sent);
+        assert_eq!(r1.matrix.bytes(0, 1), r2.matrix.bytes(0, 1));
+        // ... but batching granularity is not: 3 sub-MiB transfers vs
+        // one 1.8 MB transfer (2 packets)
+        assert_eq!(r1.traffic.messages, 3);
+        assert_eq!(r2.traffic.messages, 2);
+    }
+
+    #[test]
+    fn stream_policy_flushes_at_threshold() {
+        let mut s = sim(2);
+        let mut router = Router::with_config(2, RouterConfig::streaming(1000));
+        router.send(&mut s, 0, 1, 400, 400);
+        assert!(router.has_pending());
+        router.send(&mut s, 0, 1, 700, 700); // crosses 1000 → flushes 1100
+        assert!(!router.has_pending());
+        router.send(&mut s, 0, 1, 10, 10);
+        router.flush(&mut s);
+        s.end_step().unwrap();
+        let r = s.finish();
+        assert_eq!(r.traffic.bytes_sent, 1110);
+        assert_eq!(r.traffic.messages, 2);
+    }
+
+    #[test]
+    fn local_and_empty_sends_are_free() {
+        let mut s = sim(2);
+        let mut router = Router::with_config(2, RouterConfig::eager());
+        router.send(&mut s, 0, 0, 1_000_000, 1_000_000); // local
+        router.send(&mut s, 0, 1, 0, 0); // empty
+        router.send_now(&mut s, 1, 1, 55, 55); // local control
+        router.flush(&mut s);
+        s.end_step().unwrap();
+        let r = s.finish();
+        assert_eq!(r.traffic.bytes_sent, 0);
+        assert_eq!(r.traffic.messages, 0);
+        assert!(r.matrix.is_empty());
+    }
+
+    #[test]
+    fn scatter_preserves_exact_totals() {
+        let mut s = sim(4);
+        let mut router = Router::with_config(4, RouterConfig::eager());
+        router.scatter(&mut s, 1, &[0, 2, 3], 1001, 902);
+        s.end_step().unwrap();
+        let r = s.finish();
+        assert_eq!(r.matrix.row_bytes(1), 1001);
+        assert_eq!(r.traffic.bytes_sent, 1001);
+        // remainder lands on the first peer
+        assert_eq!(r.matrix.bytes(1, 0), 333 + 2);
+        assert_eq!(r.matrix.bytes(1, 2), 333);
+        assert_eq!(r.matrix.bytes(1, 3), 333);
+    }
+
+    #[test]
+    fn allreduce_is_a_ring() {
+        let mut s = sim(3);
+        let mut router = Router::with_config(3, RouterConfig::barrier());
+        // control traffic bypasses the barrier buffers
+        router.allreduce(&mut s, 8);
+        assert!(!router.has_pending());
+        s.end_step().unwrap();
+        let r = s.finish();
+        assert_eq!(r.traffic.bytes_sent, 24);
+        assert_eq!(r.traffic.messages, 3);
+        for n in 0..3 {
+            assert_eq!(r.matrix.bytes(n, (n + 1) % 3), 8);
+        }
+    }
+
+    #[test]
+    fn mailbox_combines_compresses_and_routes() {
+        // 10 messages for the same remote vertex: a sum-combiner folds
+        // them into one 8-byte payload + one 4-byte id
+        let mut s = sim(2);
+        let mut router = Router::with_config(2, RouterConfig::eager());
+        let mut mbox: Mailbox<u64> = Mailbox::new(0, 2);
+        assert!(mbox.is_empty());
+        for i in 0..10u64 {
+            mbox.post(1, 7, i);
+        }
+        let combine = |a: &u64, b: &u64| Some(a + b);
+        let mut delivered: Vec<(VertexId, u64)> = Vec::new();
+        let emitted = mbox.flush(
+            &mut router,
+            &mut s,
+            100,
+            |_| 8,
+            Some(&combine),
+            |d, m| delivered.push((d, m)),
+        );
+        assert_eq!(delivered, vec![(7, (0..10).sum::<u64>())]);
+        assert_eq!(emitted, 80, "emission cost counts pre-combine bytes");
+        s.end_step().unwrap();
+        let r = s.finish();
+        assert_eq!(r.traffic.bytes_sent, 12, "8B payload + 4B id");
+        assert_eq!(r.matrix.bytes(0, 1), 12);
+    }
+
+    #[test]
+    fn mailbox_local_delivery_never_touches_the_wire() {
+        let mut s = sim(2);
+        let mut router = Router::with_config(2, RouterConfig::eager());
+        let mut mbox: Mailbox<u32> = Mailbox::new(1, 2);
+        mbox.post(1, 3, 42);
+        let mut got = Vec::new();
+        mbox.flush(
+            &mut router,
+            &mut s,
+            10,
+            |_| 4,
+            None,
+            |d, m| got.push((d, m)),
+        );
+        assert_eq!(got, vec![(3, 42)]);
+        s.end_step().unwrap();
+        assert_eq!(s.finish().traffic.bytes_sent, 0);
+    }
+
+    #[test]
+    fn mailbox_id_compression_shrinks_dense_remote_payloads() {
+        let mut s = sim(2);
+        let mut router = Router::with_config(2, RouterConfig::eager().with_compression());
+        let mut mbox: Mailbox<u32> = Mailbox::new(0, 2);
+        for v in 0..1000u32 {
+            mbox.post(1, v, 1);
+        }
+        mbox.flush(&mut router, &mut s, 1000, |_| 4, None, |_, _| {});
+        s.end_step().unwrap();
+        let r = s.finish();
+        // raw would be 1000×(4B payload + 4B id); delta-coded ids are ~1B
+        assert_eq!(r.traffic.bytes_uncompressed, 8000);
+        assert!(
+            r.traffic.bytes_sent < 5200,
+            "ids should compress: {}",
+            r.traffic.bytes_sent
+        );
+    }
+
+    #[test]
+    fn per_message_overhead_counts_into_emitted_bytes() {
+        let mut s = sim(2);
+        let mut router = Router::with_config(2, RouterConfig::barrier().with_overhead(48));
+        let mut mbox: Mailbox<u32> = Mailbox::new(0, 2);
+        mbox.post(1, 0, 9);
+        mbox.post(1, 1, 9);
+        let emitted = mbox.flush(&mut router, &mut s, 10, |_| 4, None, |_, _| {});
+        assert_eq!(emitted, 2 * 4 + 2 * 48);
+    }
+
+    #[test]
+    fn profile_construction_uses_the_profile_config() {
+        let p = ExecProfile::giraph();
+        let r = Router::new(4, &p);
+        assert_eq!(r.config(), p.router);
+        assert_eq!(r.nodes(), 4);
+    }
+}

@@ -13,7 +13,8 @@
 //! system-level metrics of the paper's Figure 6.
 
 use graphmaze_metrics::{
-    MemTracker, OutOfMemory, RecoveryStats, RunReport, StepRecord, Timeline, TrafficStats, Work,
+    MemTracker, OutOfMemory, RecoveryStats, RunReport, StepRecord, Timeline, TrafficMatrix,
+    TrafficStats, Work,
 };
 
 use crate::faults::FaultPlan;
@@ -76,6 +77,10 @@ pub struct Sim {
     step_raw_bytes: Vec<u64>,
     mem: Vec<MemTracker>,
     traffic: TrafficStats,
+    /// Per-(src, dst) wire bytes/messages of routed transfers.
+    matrix: TrafficMatrix,
+    /// Cumulative wire bytes sent per node, any send path.
+    node_sent_bytes: Vec<u64>,
     busy_core_seconds: f64,
     compute_seconds: f64,
     comm_seconds: f64,
@@ -148,6 +153,8 @@ impl Sim {
                 .map(|i| MemTracker::new(i, cluster.hw.mem_capacity_bytes))
                 .collect(),
             traffic: TrafficStats::default(),
+            matrix: TrafficMatrix::new(n),
+            node_sent_bytes: vec![0; n],
             busy_core_seconds: 0.0,
             compute_seconds: 0.0,
             comm_seconds: 0.0,
@@ -222,7 +229,33 @@ impl Sim {
     /// Meters a message of `wire_bytes` (post-compression) sent by `node`.
     /// `raw_bytes` is the pre-compression payload size; CPU-side message
     /// handling (serialization/boxing) is charged per the comm layer.
+    ///
+    /// This destination-blind entry point is for cost-model unit tests;
+    /// engines route every transfer through `cluster::router`, which
+    /// calls [`Sim::send_to`] so the per-(src, dst) traffic matrix stays
+    /// complete.
     pub fn send(&mut self, node: usize, wire_bytes: u64, raw_bytes: u64, msgs: u64) {
+        self.send_inner(node, wire_bytes, raw_bytes, msgs);
+    }
+
+    /// [`Sim::send`] with an explicit destination: additionally records
+    /// the transfer (post-scaling, post-retransmission) into the
+    /// per-(src, dst) traffic matrix of the run report.
+    pub fn send_to(&mut self, src: usize, dst: usize, wire_bytes: u64, raw_bytes: u64, msgs: u64) {
+        debug_assert_ne!(src, dst, "local delivery never touches the wire");
+        let (wire_sent, msgs_sent) = self.send_inner(src, wire_bytes, raw_bytes, msgs);
+        self.matrix.record(src, dst, wire_sent, msgs_sent);
+    }
+
+    /// Shared metering body; returns the (wire bytes, messages) that
+    /// actually hit the network after extrapolation and fault doubling.
+    fn send_inner(
+        &mut self,
+        node: usize,
+        wire_bytes: u64,
+        raw_bytes: u64,
+        msgs: u64,
+    ) -> (u64, u64) {
         // Extrapolation grows message *sizes*, not message counts: a
         // scale×-larger graph ships scale×-bigger bulk transfers over the
         // same communication pattern.
@@ -247,6 +280,7 @@ impl Sim {
         self.step_bytes[node] += wire_bytes;
         self.step_raw_bytes[node] += raw_bytes;
         self.step_msgs[node] += msgs;
+        self.node_sent_bytes[node] += wire_bytes;
         let cpu_bytes = (wire_bytes as f64 * self.profile.comm.cpu_bytes_per_wire_byte) as u64;
         if cpu_bytes > 0 {
             // already scaled: charge unscaled through step_compute directly
@@ -254,6 +288,7 @@ impl Sim {
             self.total_work.accumulate(w);
             self.step_compute[node] += self.compute_seconds_for(w);
         }
+        (wire_bytes, msgs)
     }
 
     /// Accounts an allocation on `node`; fails when capacity is exceeded.
@@ -507,6 +542,8 @@ impl Sim {
             compute_seconds: self.compute_seconds,
             comm_seconds: self.comm_seconds,
             traffic: self.traffic,
+            matrix: self.matrix,
+            node_sent_bytes: self.node_sent_bytes,
             total_work: self.total_work,
             timeline: self.timeline,
             recovery: self.recovery,
@@ -658,6 +695,39 @@ mod tests {
             "peak {}",
             r.traffic.peak_bw_bps
         );
+    }
+
+    #[test]
+    fn send_to_records_the_traffic_matrix() {
+        let mut sim = sim4();
+        sim.send_to(0, 1, 1000, 1000, 2);
+        sim.send_to(0, 2, 500, 500, 1);
+        sim.send_to(3, 0, 8, 8, 1);
+        sim.send(1, 64, 64, 1); // destination-blind: metered but matrix-blind
+        sim.end_step().unwrap();
+        let r = sim.finish();
+        assert_eq!(r.matrix.bytes(0, 1), 1000);
+        assert_eq!(r.matrix.messages(0, 1), 2);
+        assert_eq!(r.matrix.row_bytes(0), 1500);
+        assert_eq!(r.matrix.total_bytes(), 1508);
+        assert_eq!(r.traffic.bytes_sent, 1572);
+        assert_eq!(r.node_sent_bytes, vec![1500, 64, 0, 8]);
+    }
+
+    #[test]
+    fn matrix_reflects_fault_retransmission() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,drop=1").unwrap();
+        let mut sim = with_faults(plan, || {
+            Sim::new(ClusterSpec::paper(2), ExecProfile::native())
+        });
+        sim.send_to(0, 1, 1000, 1000, 1);
+        sim.end_step().unwrap();
+        let r = sim.finish();
+        assert_eq!(r.traffic.bytes_sent, 2000, "retransmission doubles");
+        assert_eq!(r.matrix.bytes(0, 1), 2000, "matrix sees the doubling");
+        assert_eq!(r.node_sent_bytes[0], 2000);
+        assert_eq!(r.matrix.row_bytes(0), r.node_sent_bytes[0]);
     }
 
     #[test]

@@ -36,7 +36,9 @@ use std::time::Instant;
 
 use graphmaze_cluster::{with_faults, with_work_scale, FaultPlan, SimError};
 use graphmaze_datagen::Dataset;
-use graphmaze_metrics::{RecoveryStats, RunReport, StepRecord, Timeline, TrafficStats, Work};
+use graphmaze_metrics::{
+    RecoveryStats, RunReport, StepRecord, Timeline, TrafficMatrix, TrafficStats, Work,
+};
 
 use crate::runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
 use crate::workload::Workload;
@@ -657,7 +659,8 @@ fn fnv1a64(s: &str) -> u64 {
 // JSONL journal
 //
 // One flat JSON object per line, tagged with the schema version `v`
-// (currently 2; v2 added the step timeline). Successful cells carry the
+// (currently 3; v2 added the step timeline, v3 the per-destination
+// communication matrix and per-node sent bytes). Successful cells carry the
 // digest and the *complete* RunReport (fig6 consumes utilization/
 // traffic/memory/timeline, not just seconds), with f64s in shortest-
 // round-trip form so resumed CSVs are byte-identical. The timeline is
@@ -667,14 +670,17 @@ fn fnv1a64(s: &str) -> u64 {
 // runs reproduce the paper's OOM / n/a annotations without re-failing.
 // Every line carries the cell's canonical fault spec (`"faults"`, "none"
 // for the fault-free crossbar); successful lines additionally carry the
-// `rec_*` RecoveryStats fields. Lines whose `v` is missing or different
-// are skipped with a warning, as are v2 lines predating fault injection
-// (no `"faults"` field) — those cells simply re-run.
+// `rec_*` RecoveryStats fields, plus (v3) `node_sent` — comma-joined
+// per-node wire bytes — and `mtx_bytes`/`mtx_msgs` — the row-major
+// `run_nodes × run_nodes` communication matrix as comma-joined u64s.
+// Lines whose `v` is missing or different are skipped with a warning,
+// as are lines predating fault injection (no `"faults"` field) — those
+// cells simply re-run.
 // ---------------------------------------------------------------------
 
 /// Journal line schema version. Bump when the line format changes
 /// incompatibly; `load_journal` skips lines from other versions.
-pub const JOURNAL_SCHEMA_VERSION: u32 = 2;
+pub const JOURNAL_SCHEMA_VERSION: u32 = 3;
 
 fn esc_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -749,6 +755,38 @@ fn timeline_string(tl: &Timeline) -> String {
         })
         .collect::<Vec<_>>()
         .join(";")
+}
+
+/// Comma-joins u64s; empty slice encodes as the empty string.
+fn u64_list_string(vals: impl Iterator<Item = u64>) -> String {
+    vals.map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn u64_list_from_string(s: &str) -> Option<Vec<u64>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(|v| v.parse().ok()).collect()
+}
+
+/// Rebuilds a `nodes × nodes` [`TrafficMatrix`] from its comma-joined
+/// row-major byte and message lists.
+fn matrix_from_strings(nodes: usize, bytes: &str, msgs: &str) -> Option<TrafficMatrix> {
+    let bytes = u64_list_from_string(bytes)?;
+    let msgs = u64_list_from_string(msgs)?;
+    if bytes.len() != nodes * nodes || msgs.len() != nodes * nodes {
+        return None;
+    }
+    let mut m = TrafficMatrix::new(nodes);
+    for src in 0..nodes {
+        for dst in 0..nodes {
+            let i = src * nodes + dst;
+            if bytes[i] > 0 || msgs[i] > 0 {
+                m.record(src, dst, bytes[i], msgs[i]);
+            }
+        }
+    }
+    Some(m)
 }
 
 fn timeline_from_string(nodes: usize, s: &str) -> Option<Timeline> {
@@ -842,6 +880,14 @@ fn journal_line(experiment: &str, cell: &SweepCell, result: &CellResult) -> Stri
                 ",\"tl_nodes\":{},\"timeline\":\"{}\"",
                 r.timeline.nodes,
                 esc_json(&timeline_string(&r.timeline)),
+            ));
+            let mn = r.matrix.nodes;
+            let m = &r.matrix;
+            s.push_str(&format!(
+                ",\"node_sent\":\"{}\",\"mtx_bytes\":\"{}\",\"mtx_msgs\":\"{}\"",
+                u64_list_string(r.node_sent_bytes.iter().copied()),
+                u64_list_string((0..mn).flat_map(|s| (0..mn).map(move |d| m.bytes(s, d)))),
+                u64_list_string((0..mn).flat_map(|s| (0..mn).map(move |d| m.messages(s, d)))),
             ));
         }
         Err(e) => {
@@ -985,6 +1031,12 @@ fn entry_outcome(m: &HashMap<String, String>) -> Option<Result<RunOutcome, CellE
                     flops: u("flops")?,
                 },
                 timeline: timeline_from_string(u("tl_nodes")? as usize, m.get("timeline")?)?,
+                node_sent_bytes: u64_list_from_string(m.get("node_sent")?)?,
+                matrix: matrix_from_strings(
+                    u("run_nodes")? as usize,
+                    m.get("mtx_bytes")?,
+                    m.get("mtx_msgs")?,
+                )?,
                 recovery: RecoveryStats {
                     checkpoints: u("rec_checkpoints")? as u32,
                     checkpoint_bytes: u("rec_checkpoint_bytes")?,
@@ -1243,6 +1295,13 @@ mod tests {
                     retransmitted_bytes: 4096,
                     mem_pressure_events: 2,
                 },
+                node_sent_bytes: vec![700, 299],
+                matrix: {
+                    let mut m = TrafficMatrix::new(2);
+                    m.record(0, 1, 700, 30);
+                    m.record(1, 0, 299, 25);
+                    m
+                },
             },
         };
         let r = CellResult {
@@ -1283,8 +1342,8 @@ mod tests {
         let mut body = journal_line("e", &cell, &good);
         // a v1-era line (no `v` field) and a future version: both skipped
         let old = small_cell(Framework::Giraph, 2);
-        body.push_str(&journal_line("e", &old, &good).replacen("{\"v\":2,", "{", 1));
-        body.push_str(&journal_line("e", &old, &good).replacen("\"v\":2", "\"v\":99", 1));
+        body.push_str(&journal_line("e", &old, &good).replacen("{\"v\":3,", "{", 1));
+        body.push_str(&journal_line("e", &old, &good).replacen("\"v\":3", "\"v\":99", 1));
         std::fs::write(&path, body).unwrap();
         let loaded = load_journal(&path);
         assert_eq!(loaded.len(), 1, "only the current-version line survives");

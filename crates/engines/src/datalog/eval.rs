@@ -8,7 +8,7 @@
 //! batched per destination (a §6.1.3 optimization); the receiving shard
 //! folds them into the head table with the aggregation operator.
 
-use graphmaze_cluster::{ClusterSpec, ExecProfile, Sim, SimError};
+use graphmaze_cluster::{ClusterSpec, ExecProfile, Router, Sim, SimError};
 use graphmaze_graph::VertexId;
 use graphmaze_metrics::{RunReport, Work};
 
@@ -26,16 +26,21 @@ pub enum Agg {
 }
 
 /// The SociaLite runtime: shards map 1:1 onto simulated cluster nodes.
+/// All cross-shard traffic flows through the runtime's [`Router`], whose
+/// flush policy comes from the profile: per-message eager sends before
+/// the §6.1.3 network optimization, per-round batching after — Table 7's
+/// before/after is exactly this profile swap.
 pub struct SocialiteRuntime {
     sim: Sim,
+    router: Router,
     nodes: usize,
 }
 
 impl SocialiteRuntime {
     /// Creates a runtime on `nodes` nodes. `optimized` selects the
-    /// post-§6.1.3 network stack (multiple sockets + batching); `false`
-    /// reproduces the published code's single ~0.5 GB/s socket
-    /// (Table 7's "Before" column).
+    /// post-§6.1.3 network stack (multiple sockets + batched sends);
+    /// `false` reproduces the published code's single ~0.5 GB/s socket
+    /// with a send per message (Table 7's "Before" column).
     pub fn new(nodes: usize, optimized: bool) -> Self {
         let profile = if optimized {
             ExecProfile::socialite()
@@ -44,6 +49,7 @@ impl SocialiteRuntime {
         };
         SocialiteRuntime {
             sim: Sim::new(ClusterSpec::paper(nodes), profile),
+            router: Router::new(nodes, &profile),
             nodes,
         }
     }
@@ -56,6 +62,26 @@ impl SocialiteRuntime {
     /// Direct simulator access for table allocations.
     pub fn sim(&mut self) -> &mut Sim {
         &mut self.sim
+    }
+
+    /// Routes `wire`/`raw` bytes from shard `src` to shard `dst` under
+    /// the profile's flush policy.
+    pub fn send(&mut self, src: usize, dst: usize, wire_bytes: u64, raw_bytes: u64) {
+        self.router
+            .send(&mut self.sim, src, dst, wire_bytes, raw_bytes);
+    }
+
+    /// Immediate control-plane transfer (counters, convergence votes).
+    pub fn send_now(&mut self, src: usize, dst: usize, wire_bytes: u64, raw_bytes: u64) {
+        self.router
+            .send_now(&mut self.sim, src, dst, wire_bytes, raw_bytes);
+    }
+
+    /// Splits a bulk transfer from `src` across `dsts`, preserving exact
+    /// byte totals.
+    pub fn scatter(&mut self, src: usize, dsts: &[usize], wire_total: u64, raw_total: u64) {
+        self.router
+            .scatter(&mut self.sim, src, dsts, wire_total, raw_total);
     }
 
     /// Labels the rounds evaluated from now on in the trace timeline
@@ -93,7 +119,7 @@ impl SocialiteRuntime {
             for (dst, &count) in per_dst.iter().enumerate() {
                 if dst != src && count > 0 {
                     let bytes = count * tuple_bytes;
-                    self.sim.send(src, bytes, bytes, 1);
+                    self.router.send(&mut self.sim, src, dst, bytes, bytes);
                 }
             }
             // the join + head update cost: stream tuples, one hash probe
@@ -128,9 +154,11 @@ impl SocialiteRuntime {
         delta
     }
 
-    /// Ends one evaluation round (BSP barrier). Fails when the fault
+    /// Ends one evaluation round (BSP barrier): batched traffic is
+    /// flushed to the wire, then the step closes. Fails when the fault
     /// plan kills a node during the round (SociaLite fail-stops).
     pub fn end_round(&mut self) -> Result<(), SimError> {
+        self.router.flush(&mut self.sim);
         self.sim.end_step()
     }
 

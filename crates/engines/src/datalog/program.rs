@@ -136,10 +136,7 @@ mod tests {
     use graphmaze_graph::csr::Csr;
 
     fn fig2_edges(nodes: usize) -> EdgeTable {
-        EdgeTable::new(
-            Csr::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]),
-            nodes,
-        )
+        EdgeTable::new(graphmaze_graph::fixtures::fig2_csr(), nodes)
     }
 
     #[test]

@@ -166,7 +166,7 @@ pub fn triangles(
         }
         for (owner, &bytes) in per_owner.iter().enumerate() {
             if bytes > 0 {
-                rt.sim().send(owner, bytes, bytes, 1 + bytes / (1 << 20));
+                rt.send(owner, node, bytes, bytes);
                 inbound += bytes;
             }
         }
@@ -209,7 +209,7 @@ pub fn triangles(
         );
         // TRIANGLE(0, $INC(1)) head updates reduce to one counter per shard
         if node != 0 {
-            rt.sim().send(node, 8, 8, 1);
+            rt.send_now(node, 0, 8, 8);
         }
     }
     rt.end_round()?;
@@ -282,7 +282,7 @@ pub fn cf_gd(
                 let per = q_needed_bytes[node] / (nodes as u64 - 1).max(1);
                 for src in 0..nodes {
                     if src != node {
-                        rt.sim().send(src, per, per, 1);
+                        rt.send(src, node, per, per);
                     }
                 }
             }
@@ -317,8 +317,8 @@ pub fn cf_gd(
         // ship aggregated Q-gradients back to item shards
         for node in 0..nodes {
             if q_needed_bytes[node] > 0 {
-                rt.sim()
-                    .send(node, q_needed_bytes[node], q_needed_bytes[node], 1);
+                let peers: Vec<usize> = (0..nodes).filter(|&p| p != node).collect();
+                rt.scatter(node, &peers, q_needed_bytes[node], q_needed_bytes[node]);
             }
         }
         for (qi, gi) in q.iter_mut().zip(&grad_q) {

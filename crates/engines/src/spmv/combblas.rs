@@ -1,6 +1,6 @@
 //! The four algorithms in the CombBLAS model (paper §3.1–3.2).
 
-use graphmaze_cluster::{ClusterSpec, ExecProfile, Sim, SimError};
+use graphmaze_cluster::{ClusterSpec, ExecProfile, Router, Sim, SimError};
 use graphmaze_graph::csr::{Csr, DirectedGraph, UndirectedGraph};
 use graphmaze_graph::{RatingsGraph, VertexId};
 use graphmaze_metrics::{RunReport, Work};
@@ -260,25 +260,26 @@ fn charge_k_spmv_passes(sim: &mut Sim, m: &DistMatrix<'_>, k: usize, nnz: u64, n
     let _ = nnz;
     if nodes > 1 {
         let grid = m.grid();
+        let mut router = Router::new(sim.nodes(), sim.profile());
         let x_seg = grid.cols_per_block() * 8 * k as u64;
+        let y_seg = grid.rows_per_block() * 8 * k as u64;
         for p in 0..nodes {
             let (r, c) = grid.coords(p);
             if r == c {
-                sim.send(
+                // factor-segment broadcast down the process column
+                router.scatter(
+                    sim,
                     p,
+                    &m.column_peers(r, c),
                     x_seg * (grid.pr as u64 - 1),
                     x_seg * (grid.pr as u64 - 1),
-                    k as u64,
                 );
             } else {
-                sim.send(
-                    p,
-                    grid.rows_per_block() * 8 * k as u64,
-                    grid.rows_per_block() * 8 * k as u64,
-                    k as u64,
-                );
+                // partial-gradient reduction to the row's diagonal
+                router.send(sim, p, grid.node_at(r, r), y_seg, y_seg);
             }
         }
+        router.flush(sim);
     }
 }
 

@@ -6,7 +6,7 @@
 //! and for the column-broadcast / row-reduce communication pattern of
 //! 2-D SpMV.
 
-use graphmaze_cluster::{Partition2D, Sim, SimError};
+use graphmaze_cluster::{Partition2D, Router, Sim, SimError};
 use graphmaze_graph::csr::Csr;
 use graphmaze_graph::VertexId;
 use graphmaze_metrics::Work;
@@ -72,6 +72,24 @@ impl<'a> DistMatrix<'a> {
         self.block_nnz[p]
     }
 
+    /// Processes in grid column `c` other than row `r` — the peer group
+    /// of a column broadcast originating at `(r, c)`.
+    pub(crate) fn column_peers(&self, r: usize, c: usize) -> Vec<usize> {
+        (0..self.grid.pr)
+            .filter(|&rr| rr != r)
+            .map(|rr| self.grid.node_at(rr, c))
+            .collect()
+    }
+
+    /// Processes in grid row `r` other than column `c` — the peer group
+    /// of a SUMMA block circulation from `(r, c)`.
+    pub(crate) fn row_peers(&self, r: usize, c: usize) -> Vec<usize> {
+        (0..self.grid.pc)
+            .filter(|&cc| cc != c)
+            .map(|cc| self.grid.node_at(r, cc))
+            .collect()
+    }
+
     /// Charges every process for streaming its block plus per-entry
     /// arithmetic (`flops_per_nnz`).
     fn charge_blocks(&self, sim: &mut Sim, flops_per_nnz: u64, elem_bytes: u64) {
@@ -95,24 +113,29 @@ impl<'a> DistMatrix<'a> {
         if pr * pc <= 1 {
             return;
         }
+        let mut router = Router::new(sim.nodes(), sim.profile());
         let x_seg = self.grid.cols_per_block() * elem_bytes;
         let y_seg = self.grid.rows_per_block() * elem_bytes;
         for p in 0..pr * pc {
             let (r, c) = self.grid.coords(p);
-            // column broadcast originates at the diagonal process
+            // column broadcast originates at the diagonal process: one
+            // x-segment to each other process in the column
             if r == c {
-                sim.send(
+                router.scatter(
+                    sim,
                     p,
+                    &self.column_peers(r, c),
                     x_seg * (pr as u64 - 1),
                     x_seg * (pr as u64 - 1),
-                    (pr - 1) as u64,
                 );
             }
-            // row reduction: off-diagonal processes send partial y
+            // row reduction: off-diagonal processes send partial y to
+            // their row's diagonal
             if r != c {
-                sim.send(p, y_seg, y_seg, 1);
+                router.send(sim, p, self.grid.node_at(r, r), y_seg, y_seg);
             }
         }
+        router.flush(sim);
     }
 
     /// `y = Aᵀ x` over `semiring` with all matrix entries equal to
@@ -215,15 +238,31 @@ impl<'a> DistMatrix<'a> {
             let in_raw = x.len() as u64 * (4 + elem_bytes);
             let out_bytes = index_bytes(&out_ids) + out.len() as u64 * elem_bytes;
             let out_raw = out.len() as u64 * (4 + elem_bytes);
+            let mut router = Router::new(sim.nodes(), sim.profile());
             for p in 0..self.grid.nodes() {
                 let (r, c) = self.grid.coords(p);
+                // frontier broadcast down the process column
                 if r == c {
-                    sim.send(p, in_bytes / pr * (pr - 1) + 1, in_raw, pr - 1);
+                    router.scatter(
+                        sim,
+                        p,
+                        &self.column_peers(r, c),
+                        in_bytes / pr * (pr - 1) + 1,
+                        in_raw,
+                    );
                 }
+                // sparse partial results gathered at the row's diagonal
                 if r != c {
-                    sim.send(p, out_bytes / (pr * pr) + 1, out_raw / (pr * pr) + 1, 1);
+                    router.send(
+                        sim,
+                        p,
+                        self.grid.node_at(r, r),
+                        out_bytes / (pr * pr) + 1,
+                        out_raw / (pr * pr) + 1,
+                    );
                 }
             }
+            router.flush(sim);
         }
         out
     }
@@ -258,6 +297,7 @@ impl<'a> DistMatrix<'a> {
                 }
             }
         }
+        let mut router = Router::new(sim.nodes(), sim.profile());
         for (p, &stream) in per_block_stream.iter().enumerate() {
             sim.charge(
                 p,
@@ -271,9 +311,11 @@ impl<'a> DistMatrix<'a> {
             // intersection work (charged as traffic only)
             if self.grid.nodes() > 1 {
                 let bytes = self.block_nnz[p] * 8 * self.grid.pr as u64;
-                sim.send(p, bytes, bytes, self.grid.pr as u64);
+                let (r, c) = self.grid.coords(p);
+                router.scatter(sim, p, &self.row_peers(r, c), bytes, bytes);
             }
         }
+        router.flush(sim);
         masked_sum
     }
 
@@ -308,6 +350,7 @@ impl<'a> DistMatrix<'a> {
                 }
             }
         }
+        let mut router = Router::new(sim.nodes(), sim.profile());
         for p in 0..self.grid.nodes() {
             sim.alloc(p, block_a2_bytes[p], "spgemm:A2")?;
             sim.charge(
@@ -319,12 +362,14 @@ impl<'a> DistMatrix<'a> {
                 },
             );
             // SpGEMM on 2-D grids circulates blocks of A: each process
-            // ships its block √P times (SUMMA).
+            // ships its block √P times (SUMMA) around its grid row.
             if self.grid.nodes() > 1 {
                 let bytes = self.block_nnz[p] * 8 * self.grid.pr as u64;
-                sim.send(p, bytes, bytes, self.grid.pr as u64);
+                let (r, c) = self.grid.coords(p);
+                router.scatter(sim, p, &self.row_peers(r, c), bytes, bytes);
             }
         }
+        router.flush(sim);
         for p in 0..self.grid.nodes() {
             sim.free(p, block_a2_bytes[p]);
         }
@@ -344,12 +389,7 @@ mod tests {
     use crate::spmv::semiring::{MIN_PLUS, PLUS_TIMES};
     use graphmaze_cluster::{ClusterSpec, ExecProfile};
 
-    /// Figure 2's graph.
-    fn fig2() -> Csr {
-        let mut c = Csr::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
-        c.sort_neighbors();
-        c
-    }
+    use graphmaze_graph::fixtures::fig2_csr as fig2;
 
     fn sim(nodes: usize) -> Sim {
         Sim::new(ClusterSpec::paper(nodes), ExecProfile::combblas())

@@ -8,7 +8,9 @@
 //! (combiners/local reduction, sockets, overlap, replication-aware
 //! routing), which [`EngineConfig`] captures.
 
-use graphmaze_cluster::{ClusterSpec, Partition1D, Sim, SimError};
+use graphmaze_cluster::{
+    ClusterSpec, Combiner, FlushPolicy, Mailbox, Partition1D, Router, RouterConfig, Sim, SimError,
+};
 use graphmaze_graph::csr::Csr;
 use graphmaze_graph::VertexId;
 use graphmaze_metrics::{RunReport, Work};
@@ -204,6 +206,21 @@ pub fn run<P: VertexProgram>(
         assert_eq!(w.len(), out_csr.targets().len(), "one weight per edge");
     }
     let mut sim = Sim::new(ClusterSpec::paper(nodes), cfg.profile);
+    // the message plane, configured from the engine knobs (tests override
+    // individual EngineConfig fields, so derive from those rather than
+    // using the profile's RouterConfig verbatim)
+    let mut router = Router::with_config(
+        nodes,
+        RouterConfig {
+            flush: if cfg.buffer_whole_superstep {
+                FlushPolicy::Barrier
+            } else {
+                cfg.profile.router.flush
+            },
+            per_message_overhead_bytes: cfg.per_message_overhead_bytes,
+            compress_ids: cfg.compress_ids,
+        },
+    );
     let part = Partition1D::balanced_by_edges(out_csr, nodes);
     let view = VertexGraphView {
         out: out_csr,
@@ -268,8 +285,7 @@ pub fn run<P: VertexProgram>(
                 let mut recv_msgs = 0u64;
                 let mut sent_bytes_local = 0u64;
                 // per-destination-node outgoing buffers for this slice
-                let mut out_msgs: Vec<Vec<(VertexId, P::Msg)>> =
-                    (0..nodes).map(|_| Vec::new()).collect();
+                let mut mbox: Mailbox<P::Msg> = Mailbox::new(node, nodes);
                 // hub mirror syncs, batched into one bulk transfer per
                 // destination node at slice end
                 let mut hub_wire: Vec<u64> = vec![0; nodes];
@@ -313,71 +329,32 @@ pub fn run<P: VertexProgram>(
                         }
                     } else {
                         for (dst, m) in ctx.outgoing {
-                            out_msgs[part.owner(dst)].push((dst, m));
+                            mbox.post(part.owner(dst), dst, m);
                         }
                     }
                 }
-                // combine per destination vertex (local reduction)
-                for dest_node in 0..nodes {
-                    let buf = &mut out_msgs[dest_node];
-                    if buf.is_empty() {
-                        continue;
-                    }
-                    // emission cost is paid per *original* message — the
-                    // combiner itself streams and hashes every message it
-                    // folds (local reduction is work, not magic)
-                    let pre_bytes: u64 = buf.iter().map(|(_, m)| program.message_bytes(m)).sum();
-                    let pre_count = buf.len() as u64;
-                    sent_bytes_local += pre_bytes;
-                    sim.charge(node, Work::random(pre_count));
-                    if cfg.use_combiner {
-                        buf.sort_by_key(|(d, _)| *d);
-                        let mut combined: Vec<(VertexId, P::Msg)> = Vec::with_capacity(buf.len());
-                        for (d, m) in buf.drain(..) {
-                            match combined.last_mut() {
-                                Some((ld, lm)) if *ld == d => {
-                                    if let Some(c) = program.combine(lm, &m) {
-                                        *lm = c;
-                                    } else {
-                                        combined.push((d, m));
-                                    }
-                                }
-                                _ => combined.push((d, m)),
-                            }
-                        }
-                        *buf = combined;
-                    }
-                    let payload: u64 = buf.iter().map(|(_, m)| program.message_bytes(m)).sum();
-                    let count = buf.len() as u64;
-                    let raw = payload + count * 4;
-                    let bytes = if cfg.compress_ids && dest_node != node {
-                        // really encode the destination ids (delta or
-                        // bitmap, whichever is smaller)
-                        let mut ids: Vec<VertexId> = buf.iter().map(|(d, _)| *d).collect();
-                        ids.sort_unstable();
-                        ids.dedup();
-                        let encoded = graphmaze_cluster::compress::encode_best(&ids, n as u64);
-                        // duplicate dst ids (no combiner) still need a
-                        // 1-byte run marker each
-                        payload + encoded.len() as u64 + (count - ids.len() as u64)
-                    } else {
-                        raw
-                    };
-                    if dest_node != node {
-                        // one bulk transfer per (src,dst) node pair per slice
-                        sim.send(node, bytes, raw, 1.max(count / 1024));
-                    }
-                    sent_bytes_local += count * cfg.per_message_overhead_bytes;
-                    for (d, m) in buf.drain(..) {
+                // local reduction, id compression, per-message overhead
+                // and wire routing all happen in the message plane
+                let combine_fn = |a: &P::Msg, b: &P::Msg| program.combine(a, b);
+                let combine: Combiner<'_, P::Msg> = if cfg.use_combiner {
+                    Some(&combine_fn)
+                } else {
+                    None
+                };
+                sent_bytes_local += mbox.flush(
+                    &mut router,
+                    &mut sim,
+                    n as u64,
+                    |m| program.message_bytes(m),
+                    combine,
+                    |d, m| {
                         any_message = true;
                         next_inbox[d as usize].push(m);
-                    }
-                }
-                // flush batched hub mirror syncs, one message per dest
+                    },
+                );
+                // route batched hub mirror syncs
                 for (dest, &bytes) in hub_wire.iter().enumerate() {
-                    if bytes > 0 && dest != node {
-                        sim.send(node, bytes, bytes, 1);
-                    }
+                    router.send(&mut sim, node, dest, bytes, bytes);
                 }
                 // compute cost for this node's slice
                 let w = Work {
@@ -398,15 +375,13 @@ pub fn run<P: VertexProgram>(
             for (node, b) in split_alloc.iter().enumerate() {
                 sim.free(node, *b);
             }
+            // buffered traffic is charged to the step that produced it
+            router.flush(&mut sim);
             sim.end_step()?;
         }
 
         // aggregator allreduce: each node contributes 8 bytes
-        if nodes > 1 {
-            for node in 0..nodes {
-                sim.send(node, 8, 8, 1);
-            }
-        }
+        router.allreduce(&mut sim, 8);
         prev_aggregate = aggregate_acc;
         inbox = next_inbox;
         // wake vertices that received messages

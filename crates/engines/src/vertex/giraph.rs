@@ -19,21 +19,25 @@ use super::programs::{
     pack_bipartite, BfsProgram, CfGdProgram, PageRankProgram, TriangleProgram, BFS_UNREACHED,
 };
 
-/// JVM heap overhead charged per buffered message object.
+/// JVM heap overhead charged per buffered message object (the value
+/// `ExecProfile::giraph().router` declares).
 pub const MESSAGE_OBJECT_OVERHEAD: u64 = 48;
 
 /// Giraph's engine configuration. `splits` is the superstep-splitting
-/// factor (1 = the stock runtime; the paper's fix uses 100).
+/// factor (1 = the stock runtime; the paper's fix uses 100). Message-
+/// plane knobs (overhead, compression) come from the profile's
+/// [`graphmaze_cluster::RouterConfig`].
 pub fn config(max_supersteps: u32, splits: u32) -> EngineConfig {
+    let profile = ExecProfile::giraph();
     EngineConfig {
-        profile: ExecProfile::giraph(),
+        profile,
         use_combiner: false,
         buffer_whole_superstep: true,
         superstep_splits: splits,
-        per_message_overhead_bytes: MESSAGE_OBJECT_OVERHEAD,
+        per_message_overhead_bytes: profile.router.per_message_overhead_bytes,
         max_supersteps,
         replicate_hubs_factor: None,
-        compress_ids: false, // plain 1-D vertex partitioning
+        compress_ids: profile.router.compress_ids, // plain 1-D vertex partitioning
     }
 }
 
@@ -43,10 +47,11 @@ pub fn config(max_supersteps: u32, splits: u32) -> EngineConfig {
 /// bandwidth by 10x should make Giraph very competitive with other
 /// frameworks."
 pub fn config_improved(max_supersteps: u32, splits: u32) -> EngineConfig {
+    let profile = ExecProfile::giraph_improved();
     EngineConfig {
-        profile: ExecProfile::giraph_improved(),
+        profile,
         buffer_whole_superstep: false,
-        compress_ids: true,
+        compress_ids: profile.router.compress_ids,
         ..config(max_supersteps, splits)
     }
 }

@@ -18,18 +18,20 @@ use super::programs::{
     pack_bipartite, BfsProgram, CfGdProgram, PageRankProgram, TriangleProgram, BFS_UNREACHED,
 };
 
-/// GraphLab's engine configuration.
+/// GraphLab's engine configuration. Message-plane knobs come from the
+/// profile's [`graphmaze_cluster::RouterConfig`].
 pub fn config(max_supersteps: u32) -> EngineConfig {
+    let profile = ExecProfile::graphlab();
     EngineConfig {
-        profile: ExecProfile::graphlab(),
+        profile,
         use_combiner: true,
         buffer_whole_superstep: false,
         superstep_splits: 1,
-        per_message_overhead_bytes: 0,
+        per_message_overhead_bytes: profile.router.per_message_overhead_bytes,
         max_supersteps,
         // replicate vertices with ≥8x the average degree (§6.1.1)
         replicate_hubs_factor: Some(8.0),
-        compress_ids: false,
+        compress_ids: profile.router.compress_ids,
     }
 }
 
@@ -37,9 +39,10 @@ pub fn config(max_supersteps: u32) -> EngineConfig {
 /// software prefetch, id compression). The paper: "incorporating these
 /// changes should allow GraphLab to be within 5x of native performance."
 pub fn config_improved(max_supersteps: u32) -> EngineConfig {
+    let profile = ExecProfile::graphlab_improved();
     EngineConfig {
-        profile: ExecProfile::graphlab_improved(),
-        compress_ids: true,
+        profile,
+        compress_ids: profile.router.compress_ids,
         ..config(max_supersteps)
     }
 }

@@ -20,29 +20,31 @@ use super::programs::{BfsProgram, PageRankProgram, BFS_UNREACHED};
 /// GPS engine configuration: LALP hub splitting, combiners, a leaner
 /// JVM runtime than Hadoop-hosted Giraph.
 pub fn gps_config(max_supersteps: u32) -> EngineConfig {
+    let profile = ExecProfile::gps();
     EngineConfig {
-        profile: ExecProfile::gps(),
+        profile,
         use_combiner: true,
         buffer_whole_superstep: false,
         superstep_splits: 1,
-        per_message_overhead_bytes: 24,
+        per_message_overhead_bytes: profile.router.per_message_overhead_bytes,
         max_supersteps,
         replicate_hubs_factor: Some(8.0), // LALP
-        compress_ids: false,
+        compress_ids: profile.router.compress_ids,
     }
 }
 
 /// GraphX engine configuration: plain 1-D vertex partitioning on Spark.
 pub fn graphx_config(max_supersteps: u32) -> EngineConfig {
+    let profile = ExecProfile::graphx();
     EngineConfig {
-        profile: ExecProfile::graphx(),
+        profile,
         use_combiner: true,
         buffer_whole_superstep: false,
         superstep_splits: 1,
-        per_message_overhead_bytes: 32,
+        per_message_overhead_bytes: profile.router.per_message_overhead_bytes,
         max_supersteps,
         replicate_hubs_factor: None,
-        compress_ids: false,
+        compress_ids: profile.router.compress_ids,
     }
 }
 

@@ -342,11 +342,7 @@ impl UndirectedGraph {
 mod tests {
     use super::*;
 
-    /// The 4-vertex example graph of the paper's Figure 2:
-    /// 0→1, 0→2, 1→2, 1→3, 2→3.
-    fn fig2() -> Vec<(VertexId, VertexId)> {
-        vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]
-    }
+    use crate::fixtures::fig2_edges as fig2;
 
     #[test]
     fn csr_matches_fig2_adjacency() {

@@ -1,0 +1,44 @@
+//! Shared test fixtures: the paper's worked example graphs.
+//!
+//! Figure 2 of the paper walks every framework through the same 4-vertex
+//! example; its edge list used to be copy-pasted into each crate's test
+//! module. Constructing it here keeps every test suite (CSR layout,
+//! SpMV, Datalog, native PageRank) pinned to the *same* graph.
+
+use crate::csr::{Csr, DirectedGraph};
+use crate::VertexId;
+
+/// Vertex count of Figure 2's example graph.
+pub const FIG2_VERTICES: u64 = 4;
+
+/// Figure 2's edges: 0→1, 0→2, 1→2, 1→3, 2→3.
+pub fn fig2_edges() -> Vec<(VertexId, VertexId)> {
+    vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]
+}
+
+/// Figure 2 as a CSR with sorted adjacency lists.
+pub fn fig2_csr() -> Csr {
+    let mut c = Csr::from_edges(FIG2_VERTICES, &fig2_edges());
+    c.sort_neighbors();
+    c
+}
+
+/// Figure 2 as a directed graph (out- and in-CSR).
+pub fn fig2_directed() -> DirectedGraph {
+    DirectedGraph::from_edges(FIG2_VERTICES, &fig2_edges())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shape() {
+        let g = fig2_csr();
+        assert_eq!(g.num_vertices() as u64, FIG2_VERTICES);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.neighbors(1), &[2, 3]);
+        let d = fig2_directed();
+        assert_eq!(d.inn.neighbors(3), &[1, 2]);
+    }
+}

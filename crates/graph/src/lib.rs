@@ -28,6 +28,7 @@ pub mod cc;
 pub mod csr;
 pub mod degree;
 pub mod edgelist;
+pub mod fixtures;
 pub mod frontier;
 pub mod io;
 pub mod par;

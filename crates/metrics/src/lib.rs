@@ -23,5 +23,5 @@ pub use memory::{MemTracker, OutOfMemory};
 pub use recovery::RecoveryStats;
 pub use report::RunReport;
 pub use timeline::{PhaseStat, StepRecord, Timeline};
-pub use traffic::TrafficStats;
+pub use traffic::{TrafficMatrix, TrafficStats};
 pub use work::Work;

@@ -2,7 +2,7 @@
 
 use crate::recovery::RecoveryStats;
 use crate::timeline::Timeline;
-use crate::traffic::TrafficStats;
+use crate::traffic::{TrafficMatrix, TrafficStats};
 use crate::work::Work;
 
 /// Everything measured about one benchmark run. Field-for-field, this is
@@ -29,6 +29,14 @@ pub struct RunReport {
     pub comm_seconds: f64,
     /// Network traffic statistics.
     pub traffic: TrafficStats,
+    /// Per-(src, dst) communication matrix of all routed transfers.
+    /// When every send goes through `cluster::router` (all engines),
+    /// `matrix.row_bytes(i) == node_sent_bytes[i]` and
+    /// `matrix.total_bytes() == traffic.bytes_sent`.
+    pub matrix: TrafficMatrix,
+    /// Cumulative wire bytes sent per node (any send path, post
+    /// fault-retransmission), length `nodes`.
+    pub node_sent_bytes: Vec<u64>,
     /// Total metered work, summed over nodes (Table 4's achieved
     /// bandwidths divide this by runtime).
     pub total_work: Work,

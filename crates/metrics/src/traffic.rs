@@ -54,6 +54,74 @@ impl TrafficStats {
     }
 }
 
+/// Per-(source, destination) communication matrix of a run: who sent how
+/// many wire bytes (and packets) to whom. Recorded by the simulator for
+/// every routed transfer; row sums reconcile with the per-node sent
+/// bytes in the run report, and the total with
+/// [`TrafficStats::bytes_sent`] when all traffic is routed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrafficMatrix {
+    /// Number of nodes (the matrix is `nodes × nodes`, row-major).
+    pub nodes: usize,
+    bytes: Vec<u64>,
+    messages: Vec<u64>,
+}
+
+impl TrafficMatrix {
+    /// An all-zero `nodes × nodes` matrix.
+    pub fn new(nodes: usize) -> Self {
+        TrafficMatrix {
+            nodes,
+            bytes: vec![0; nodes * nodes],
+            messages: vec![0; nodes * nodes],
+        }
+    }
+
+    /// Accumulates one transfer from `src` to `dst`.
+    pub fn record(&mut self, src: usize, dst: usize, bytes: u64, messages: u64) {
+        let i = src * self.nodes + dst;
+        self.bytes[i] += bytes;
+        self.messages[i] += messages;
+    }
+
+    /// Wire bytes sent from `src` to `dst`.
+    pub fn bytes(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.nodes + dst]
+    }
+
+    /// Messages sent from `src` to `dst`.
+    pub fn messages(&self, src: usize, dst: usize) -> u64 {
+        self.messages[src * self.nodes + dst]
+    }
+
+    /// Total wire bytes sent by `src` (row sum).
+    pub fn row_bytes(&self, src: usize) -> u64 {
+        self.bytes[src * self.nodes..(src + 1) * self.nodes]
+            .iter()
+            .sum()
+    }
+
+    /// Total wire bytes received by `dst` (column sum).
+    pub fn col_bytes(&self, dst: usize) -> u64 {
+        (0..self.nodes).map(|src| self.bytes(src, dst)).sum()
+    }
+
+    /// Total wire bytes across all pairs.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total messages across all pairs.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+
+    /// True when no transfer has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0) && self.messages.iter().all(|&m| m == 0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +148,24 @@ mod tests {
     #[test]
     fn empty_compression_ratio_is_one() {
         assert_eq!(TrafficStats::default().compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn matrix_sums_reconcile() {
+        let mut m = TrafficMatrix::new(3);
+        assert!(m.is_empty());
+        m.record(0, 1, 100, 2);
+        m.record(0, 2, 50, 1);
+        m.record(2, 0, 7, 1);
+        m.record(0, 1, 10, 1);
+        assert!(!m.is_empty());
+        assert_eq!(m.bytes(0, 1), 110);
+        assert_eq!(m.messages(0, 1), 3);
+        assert_eq!(m.row_bytes(0), 160);
+        assert_eq!(m.row_bytes(1), 0);
+        assert_eq!(m.col_bytes(0), 7);
+        assert_eq!(m.total_bytes(), 167);
+        assert_eq!(m.total_messages(), 5);
+        assert_eq!((0..3).map(|n| m.row_bytes(n)).sum::<u64>(), m.total_bytes());
     }
 }

@@ -8,7 +8,7 @@
 //! automatically).
 
 use graphmaze_cluster::compress::encode_best;
-use graphmaze_cluster::{ClusterSpec, Partition1D, Sim, SimError};
+use graphmaze_cluster::{ClusterSpec, Partition1D, Router, Sim, SimError};
 use graphmaze_graph::bitvec::AtomicBitVec;
 use graphmaze_graph::csr::UndirectedGraph;
 use graphmaze_graph::par::par_tasks;
@@ -241,6 +241,7 @@ pub fn bfs_cluster(
     nodes: usize,
 ) -> Result<(Vec<u32>, RunReport), SimError> {
     let mut sim = Sim::new(ClusterSpec::paper(nodes), opts.profile());
+    let mut router = Router::new(nodes, sim.profile());
     let n = g.num_vertices();
     let part = Partition1D::balanced_by_edges(&g.adj, nodes);
 
@@ -316,10 +317,11 @@ pub fn bfs_cluster(
                 } else {
                     raw
                 };
-                sim.send(from, wire, raw, 1);
+                router.send(&mut sim, from, to, wire, raw);
                 inbox[to].extend(ids.iter().copied());
             }
         }
+        router.flush(&mut sim);
         // claim and build next frontiers
         for node in 0..nodes {
             let mut next = Vec::new();

@@ -11,7 +11,7 @@
 //! programming models of the frameworks can express, and the paper's
 //! SGD-vs-GD convergence comparison (≈40× on Netflix) needs both.
 
-use graphmaze_cluster::{ClusterSpec, Sim, SimError};
+use graphmaze_cluster::{ClusterSpec, Router, Sim, SimError};
 use graphmaze_graph::par::par_tasks;
 use graphmaze_graph::{RatingsGraph, VertexId};
 use graphmaze_metrics::{RunReport, Work};
@@ -320,6 +320,7 @@ pub fn sgd_cluster(
     nodes: usize,
 ) -> Result<(Factors, Vec<f64>, RunReport), SimError> {
     let mut sim = Sim::new(ClusterSpec::paper(nodes), opts.profile());
+    let mut router = Router::new(nodes, sim.profile());
     let p_blocks = nodes.max(1);
     let blocks = DiagonalBlocks::build(g, p_blocks);
     let mut f = Factors::init(g.num_users(), g.num_items(), cfg);
@@ -367,9 +368,10 @@ pub fn sgd_cluster(
                 // factor state does not tolerate narrowing).
                 if nodes > 1 {
                     let bytes = items_per * k * 8;
-                    sim.send(w, bytes, bytes, 1);
+                    router.send(&mut sim, w, (w + nodes - 1) % nodes, bytes, bytes);
                 }
             }
+            router.flush(&mut sim);
             sim.end_step()?;
         }
         gamma *= cfg.step_decay;

@@ -1,7 +1,7 @@
 //! Shared helpers: optimization toggles and message metering.
 
 use graphmaze_cluster::compress::{encode_best, raw_size};
-use graphmaze_cluster::{ExecProfile, Sim};
+use graphmaze_cluster::{ExecProfile, Router, Sim};
 use graphmaze_graph::VertexId;
 use graphmaze_metrics::Work;
 
@@ -57,12 +57,16 @@ impl Default for NativeOptions {
 }
 
 /// Meters a message of sorted unique `ids` plus `value_bytes` of payload
-/// per id, sent by `from`. When `compress` is set, ids are actually
-/// encoded (delta-varint or bitmap, whichever is smaller) and values are
-/// narrowed to 4 bytes where `narrow_values` allows. Returns wire bytes.
+/// per id, routed from `from` to `to`. When `compress` is set, ids are
+/// actually encoded (delta-varint or bitmap, whichever is smaller) and
+/// values are narrowed to 4 bytes where `narrow_values` allows. Returns
+/// wire bytes.
+#[allow(clippy::too_many_arguments)]
 pub fn send_ids_with_values(
+    router: &mut Router,
     sim: &mut Sim,
     from: usize,
+    to: usize,
     ids: &[VertexId],
     universe: u64,
     value_bytes: u64,
@@ -84,7 +88,7 @@ pub fn send_ids_with_values(
     } else {
         raw
     };
-    sim.send(from, wire, raw, 1);
+    router.send(sim, from, to, wire, raw);
     wire
 }
 
@@ -127,19 +131,29 @@ mod tests {
     fn compressed_send_is_smaller() {
         let ids: Vec<u32> = (0..10_000).collect();
         let mut sim = Sim::new(ClusterSpec::paper(2), ExecProfile::native());
-        let wire_plain = send_ids_with_values(&mut sim, 0, &ids, 1 << 20, 8, false, true);
-        let wire_comp = send_ids_with_values(&mut sim, 0, &ids, 1 << 20, 8, true, true);
+        let mut router = Router::new(2, sim.profile());
+        let wire_plain =
+            send_ids_with_values(&mut router, &mut sim, 0, 1, &ids, 1 << 20, 8, false, true);
+        let wire_comp =
+            send_ids_with_values(&mut router, &mut sim, 0, 1, &ids, 1 << 20, 8, true, true);
         assert!(wire_comp < wire_plain, "{wire_comp} !< {wire_plain}");
         // dense ascending ids: ids shrink 4→~1, values 8→4 ⇒ ≥2x
         assert!(wire_plain as f64 / wire_comp as f64 > 2.0);
+        router.flush(&mut sim);
         let r = sim.finish();
         assert_eq!(r.traffic.messages, 2);
+        assert_eq!(r.matrix.bytes(0, 1), wire_plain + wire_comp);
     }
 
     #[test]
     fn empty_send_is_free() {
         let mut sim = Sim::new(ClusterSpec::paper(2), ExecProfile::native());
-        assert_eq!(send_ids_with_values(&mut sim, 0, &[], 10, 8, true, true), 0);
+        let mut router = Router::new(2, sim.profile());
+        assert_eq!(
+            send_ids_with_values(&mut router, &mut sim, 0, 1, &[], 10, 8, true, true),
+            0
+        );
+        router.flush(&mut sim);
         let r = sim.finish();
         assert_eq!(r.traffic.messages, 0);
     }

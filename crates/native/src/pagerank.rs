@@ -8,7 +8,7 @@
 //! nodes" — one value per boundary vertex per consumer node, with ids
 //! delta/bitmap-compressed when the compression lever is on.
 
-use graphmaze_cluster::{ClusterSpec, Partition1D, Sim, SimError};
+use graphmaze_cluster::{ClusterSpec, Partition1D, Router, Sim, SimError};
 use graphmaze_graph::csr::DirectedGraph;
 use graphmaze_graph::par::par_tasks;
 use graphmaze_graph::VertexId;
@@ -157,6 +157,7 @@ pub fn pagerank_cluster(
     nodes: usize,
 ) -> Result<(Vec<f64>, RunReport), SimError> {
     let mut sim = Sim::new(ClusterSpec::paper(nodes), opts.profile());
+    let mut router = Router::new(nodes, sim.profile());
     let n = g.num_vertices();
     let part = Partition1D::balanced_by_edges(&g.inn, nodes);
     let boundary = boundary_sets(g, &part);
@@ -205,8 +206,10 @@ pub fn pagerank_cluster(
             for consumer in 0..nodes {
                 if consumer != node && !boundary[node][consumer].is_empty() {
                     send_ids_with_values(
+                        &mut router,
                         &mut sim,
                         node,
+                        consumer,
                         &boundary[node][consumer],
                         n as u64,
                         8,
@@ -217,6 +220,7 @@ pub fn pagerank_cluster(
             }
         }
         std::mem::swap(&mut ranks, &mut next);
+        router.flush(&mut sim);
         sim.end_step()?;
         sim.end_iteration();
     }
@@ -228,10 +232,7 @@ mod tests {
     use super::*;
     use crate::PAGERANK_R;
 
-    /// Figure 2's example graph.
-    fn fig2() -> DirectedGraph {
-        DirectedGraph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
-    }
+    use graphmaze_graph::fixtures::fig2_directed as fig2;
 
     /// Sequential oracle, straight from eq. (1).
     fn oracle(g: &DirectedGraph, r: f64, iterations: u32) -> Vec<f64> {

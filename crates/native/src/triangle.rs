@@ -9,7 +9,7 @@
 //! membership probes.
 
 use graphmaze_cluster::compress::encode_best;
-use graphmaze_cluster::{ClusterSpec, Partition1D, Sim, SimError};
+use graphmaze_cluster::{ClusterSpec, Partition1D, Router, Sim, SimError};
 use graphmaze_graph::csr::Csr;
 use graphmaze_graph::par::par_reduce;
 use graphmaze_graph::{BitVec, EdgeList, VertexId};
@@ -184,11 +184,13 @@ pub fn triangles_cluster(
             per_owner[owner].1 += raw;
             inbound_bytes += raw;
         }
+        let mut router = Router::new(nodes, sim.profile());
         for (owner, &(wire, raw)) in per_owner.iter().enumerate() {
             if wire > 0 {
-                sim.send(owner, wire, raw, 1 + wire / (1 << 20));
+                router.send(&mut sim, owner, consumer, wire, raw);
             }
         }
+        router.flush(&mut sim);
         let buffer = if opts.overlap {
             inbound_bytes / EXCHANGE_PHASES as u64 + 1
         } else {

@@ -1,0 +1,204 @@
+//! Traffic-matrix invariants: the per-(src,dst) communication matrix the
+//! router records must reconcile with every other byte counter in a run
+//! report, stay byte-identical across `--jobs` settings, and survive the
+//! fault-injection / recovery path untouched.
+//!
+//! These are the accounting guarantees behind the `commmatrix`
+//! experiment: a matrix row is *exactly* what that node sent, summed
+//! over destinations, and the whole matrix sums to the run's aggregate
+//! wire traffic.
+
+use graphmaze_core::prelude::*;
+use graphmaze_metrics::RunReport;
+
+/// Row sums, column sums, and the grand total of `report.matrix` must
+/// reconcile with `node_sent_bytes` and `traffic.bytes_sent`.
+fn assert_reconciles(report: &RunReport, ctx: &str) {
+    let m = &report.matrix;
+    assert_eq!(
+        m.nodes,
+        report.node_sent_bytes.len(),
+        "{ctx}: matrix dimension vs per-node vector"
+    );
+    for src in 0..m.nodes {
+        assert_eq!(
+            m.row_bytes(src),
+            report.node_sent_bytes[src],
+            "{ctx}: row {src} sum vs node_sent_bytes"
+        );
+    }
+    assert_eq!(
+        m.total_bytes(),
+        report.traffic.bytes_sent,
+        "{ctx}: matrix total vs aggregate wire bytes"
+    );
+    // column sums partition the same total by receiver
+    let col_total: u64 = (0..m.nodes).map(|d| m.col_bytes(d)).sum();
+    assert_eq!(col_total, m.total_bytes(), "{ctx}: column sums");
+}
+
+#[test]
+fn matrix_row_sums_equal_node_sent_bytes_across_engines() {
+    let params = BenchParams::default();
+    let graph = Workload::rmat(9, 8, 301);
+    let tc = Workload::rmat_triangle(9, 8, 302);
+    let ratings = Workload::rmat_ratings(8, 64, 303);
+    for fw in Framework::ALL {
+        let nodes = if fw.multi_node() { 4 } else { 1 };
+        for alg in Algorithm::ALL {
+            let wl = match alg {
+                Algorithm::TriangleCount => &tc,
+                Algorithm::CollaborativeFiltering => &ratings,
+                _ => &graph,
+            };
+            let out = run_benchmark(alg, fw, wl, nodes, &params)
+                .unwrap_or_else(|e| panic!("{fw:?}/{alg:?}: {e}"));
+            let ctx = format!("{fw:?}/{alg:?} x{nodes}");
+            assert_reconciles(&out.report, &ctx);
+            if fw.multi_node() {
+                assert!(
+                    !out.report.matrix.is_empty(),
+                    "{ctx}: a distributed run must ship bytes"
+                );
+            }
+        }
+    }
+}
+
+/// A small crossbar exercising the matrix across frameworks.
+fn matrix_sweep() -> Sweep {
+    let params = BenchParams::default();
+    let spec = WorkloadSpec::Rmat {
+        scale: 8,
+        edge_factor: 8,
+        seed: 304,
+    };
+    let mut sweep = Sweep::new("matrixjobs");
+    for fw in [
+        Framework::Native,
+        Framework::CombBlas,
+        Framework::GraphLab,
+        Framework::SociaLite,
+        Framework::Giraph,
+    ] {
+        for alg in [Algorithm::PageRank, Algorithm::Bfs] {
+            sweep.push(SweepCell {
+                label: format!("{}-{}", alg.name(), fw.name()),
+                algorithm: alg,
+                framework: fw,
+                spec: spec.clone(),
+                nodes: 4,
+                factor: 1.5,
+                params,
+                faults: FaultPlan::none(),
+            });
+        }
+    }
+    sweep
+}
+
+#[test]
+fn matrix_is_byte_identical_across_jobs_settings() {
+    let sweep = matrix_sweep();
+    let run = |jobs: usize| {
+        sweep.run(
+            &SweepOptions {
+                jobs,
+                journal: None,
+                resume: false,
+            },
+            &WorkloadCache::new(),
+        )
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    for ((cell, s), p) in sweep
+        .cells
+        .iter()
+        .zip(&serial.results)
+        .zip(&parallel.results)
+    {
+        let s = &s.outcome.as_ref().expect("serial cell").report;
+        let p = &p.outcome.as_ref().expect("parallel cell").report;
+        assert_eq!(
+            s.matrix, p.matrix,
+            "{}: matrix depends on --jobs",
+            cell.label
+        );
+        assert_eq!(
+            s.node_sent_bytes, p.node_sent_bytes,
+            "{}: node_sent_bytes depends on --jobs",
+            cell.label
+        );
+        assert_reconciles(s, &cell.label);
+    }
+}
+
+/// The Table R fault path: injected stragglers, drops, and a node kill
+/// with checkpoint/restart must leave the traffic accounting reconciled
+/// — recovery replays *time*, it never forges or discards wire bytes.
+#[test]
+fn fault_and_recovery_paths_keep_the_matrix_reconciled() {
+    let params = BenchParams::default();
+    let spec = WorkloadSpec::Rmat {
+        scale: 8,
+        edge_factor: 8,
+        seed: 305,
+    };
+    let degraded = FaultPlan::parse("seed=7,straggler=0.2x3,drop=0.01").expect("valid spec");
+    let nodefail = FaultPlan::parse("seed=7,kill=0@2,ckpt=2").expect("valid spec");
+    let mut sweep = Sweep::new("matrixfaults");
+    for (name, faults) in [
+        ("baseline", FaultPlan::none()),
+        ("degraded", degraded),
+        ("nodefail", nodefail),
+    ] {
+        sweep.push(SweepCell {
+            label: format!("giraph/{name}"),
+            algorithm: Algorithm::PageRank,
+            framework: Framework::Giraph,
+            spec: spec.clone(),
+            nodes: 4,
+            factor: 1.0,
+            params,
+            faults,
+        });
+    }
+    let report = sweep.run(
+        &SweepOptions {
+            jobs: 1,
+            journal: None,
+            resume: false,
+        },
+        &WorkloadCache::new(),
+    );
+    let reports: Vec<&RunReport> = report
+        .results
+        .iter()
+        .zip(&sweep.cells)
+        .map(|(r, c)| {
+            &r.outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}: {e:?}", c.label))
+                .report
+        })
+        .collect();
+    for (r, cell) in reports.iter().zip(&sweep.cells) {
+        assert_reconciles(r, &cell.label);
+    }
+    let nodefail = reports[2];
+    assert!(
+        nodefail.recovery.failures > 0,
+        "the kill plan must actually fail a node"
+    );
+    assert!(
+        nodefail.recovery.steps_replayed > 0,
+        "giraph must replay from its checkpoint"
+    );
+    // replay charges recovery *time*; the wire bytes stay those of the
+    // logical computation, so the matrix matches the fault-free run
+    assert_eq!(
+        nodefail.matrix, reports[0].matrix,
+        "recovery must not forge or drop traffic"
+    );
+}
