@@ -24,7 +24,7 @@ experiments:
   table2 table3 table4 table5 table6 table7 tabler
   fig3 fig4 fig5 fig6 fig7
   netestimate commmatrix sgdvsgd giraphsplit ablations strongscaling roadmap
-  relatedwork
+  relatedwork resilience
   all         (everything above)
 
 options:
@@ -39,8 +39,12 @@ options:
   --trace DIR         write a Chrome trace-event JSON (Perfetto-loadable) and
                       per-step CSVs for every sweep under DIR
   --faults SPEC       run every sweep cell under a fault-injection plan, e.g.
-                      seed=1,straggler=0.05x4,drop=0.001,mempress=0.01:64M,
-                      kill=0@3,ckpt=2 (see DESIGN.md \"Resilience\")
+                      seed=1,straggler=0.05x4,drop=0.001,linkdrop=0.01,
+                      dup=0.001,slowlink=0-1:4,mempress=0.01:64M,kill=0@3,
+                      ckpt=2 (see DESIGN.md \"Resilience\")
+  --cell-timeout SECS abandon any sweep cell that exceeds SECS wall-clock
+                      seconds, recording a `timeout` outcome in the journal
+                      (quarantined by --resume, not retried)
   --list              list every experiment with its sweep-cell count and exit
   --no-extrapolate    report raw scaled-down seconds instead of paper-scale
   --no-csv            do not write results/*.csv (also disables the journal)
@@ -50,7 +54,7 @@ options:
 /// `(name, sweep cells, description)` for `--list`. Cell counts are the
 /// defaults (they do not depend on `--scale`); "direct" experiments run
 /// engines without the sweep executor.
-const LISTING: [(&str, &str, &str); 20] = [
+const LISTING: [(&str, &str, &str); 21] = [
     ("table2", "direct", "framework capability matrix"),
     ("table3", "direct", "dataset inventory and scaled stand-ins"),
     ("table4", "8", "native algorithm throughput at paper scale"),
@@ -99,6 +103,11 @@ const LISTING: [(&str, &str, &str); 20] = [
         "direct",
         "related-framework qualitative table",
     ),
+    (
+        "resilience",
+        "22",
+        "retransmission overhead vs link-drop probability (extension)",
+    ),
 ];
 
 fn print_listing() {
@@ -110,7 +119,7 @@ fn print_listing() {
 }
 
 /// Every dispatchable experiment name, in `all` execution order.
-const EXPERIMENTS: [&str; 20] = [
+const EXPERIMENTS: [&str; 21] = [
     "table2",
     "table3",
     "table4",
@@ -131,6 +140,7 @@ const EXPERIMENTS: [&str; 20] = [
     "strongscaling",
     "roadmap",
     "relatedwork",
+    "resilience",
 ];
 
 fn main() {
@@ -177,6 +187,16 @@ fn main() {
                 let spec = it.next().unwrap_or_else(|| die("--faults needs a spec"));
                 cfg.faults = graphmaze_core::cluster::FaultPlan::parse(&spec)
                     .unwrap_or_else(|e| die(&format!("bad --faults spec: {e}")));
+            }
+            "--cell-timeout" => {
+                let secs: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                    .unwrap_or_else(|| {
+                        die("--cell-timeout needs a non-negative number of seconds")
+                    });
+                cfg.cell_timeout = Some(std::time::Duration::from_secs_f64(secs));
             }
             "--list" => list = true,
             "--no-extrapolate" => cfg.extrapolate = false,
@@ -271,6 +291,7 @@ fn main() {
             "strongscaling" => extras::strong_scaling(&cfg),
             "roadmap" => extras::roadmap(&cfg),
             "relatedwork" => extras::related_work(&cfg),
+            "resilience" => extras::resilience(&cfg),
             other => unreachable!("`{other}` passed validation"),
         };
         println!("{text}");

@@ -80,6 +80,10 @@ pub struct ReproConfig {
     /// Fault-injection plan applied to every sweep cell (`--faults SPEC`;
     /// [`FaultPlan::none`] runs the fault-free crossbar).
     pub faults: FaultPlan,
+    /// Per-cell wall-clock budget (`--cell-timeout SECS`; `None`
+    /// disables). Cells over budget record a `timeout` outcome in the
+    /// journal and are quarantined by `--resume` instead of re-running.
+    pub cell_timeout: Option<std::time::Duration>,
     /// Workloads built so far, shared by every experiment in this
     /// process.
     pub cache: Arc<WorkloadCache>,
@@ -99,6 +103,7 @@ impl Default for ReproConfig {
             progress: false,
             trace_dir: None,
             faults: FaultPlan::none(),
+            cell_timeout: None,
             cache: Arc::new(WorkloadCache::new()),
             stats: Arc::new(RunStats::default()),
         }
@@ -134,6 +139,7 @@ impl ReproConfig {
             jobs: self.jobs,
             journal: self.journal_path(),
             resume: self.resume,
+            cell_timeout: self.cell_timeout,
         }
     }
 

@@ -6,13 +6,14 @@
 //! * `{experiment}.trace.json` — one Chrome trace-event file for the
 //!   whole sweep, loadable in Perfetto (<https://ui.perfetto.dev>) or
 //!   `chrome://tracing`. Each successful cell is a *process* (named
-//!   `alg×fw @ label, N nodes`) with four *thread* lanes — `compute`,
-//!   `comm`, `barrier`, `recovery` — and one complete ("X") event per
-//!   step per non-empty lane, laid out on the simulated clock. Phases
-//!   labelled via `Sim::phase` become the event names, so BFS direction
-//!   switches or Giraph superstep splits are visible as lane colour
-//!   changes; checkpoint writes and rollback/replay show up on the
-//!   `recovery` lane.
+//!   `alg×fw @ label, N nodes`) with five *thread* lanes — `compute`,
+//!   `comm`, `barrier`, `recovery`, `resilience` — and one complete
+//!   ("X") event per step per non-empty lane, laid out on the simulated
+//!   clock. Phases labelled via `Sim::phase` become the event names, so
+//!   BFS direction switches or Giraph superstep splits are visible as
+//!   lane colour changes; checkpoint writes and rollback/replay show up
+//!   on the `recovery` lane, and retransmission timeout/backoff stalls
+//!   under a lossy-link fault plan on the `resilience` lane.
 //! * `{experiment}/{NNN}_{alg}_{fw}_{label}_{N}n.csv` — the raw
 //!   [`StepRecord`] series for each successful cell, for ad-hoc
 //!   analysis.
@@ -28,7 +29,7 @@ use graphmaze_core::metrics::{StepRecord, Timeline};
 use graphmaze_core::prelude::*;
 
 /// Lane names, in tid order (tid = index + 1).
-const LANES: [&str; 4] = ["compute", "comm", "barrier", "recovery"];
+const LANES: [&str; 5] = ["compute", "comm", "barrier", "recovery", "resilience"];
 
 /// Writes the sweep's trace artifacts under `dir` (see module docs).
 /// Failed cells have no timeline and are skipped. Returns the number of
@@ -88,6 +89,7 @@ pub fn write_sweep_trace(
                 (rec.comm_s, format!(",\"bytes_sent\":{}", rec.bytes_sent)),
                 (rec.barrier_s, String::new()),
                 (rec.recovery_s, String::new()),
+                (rec.resilience_s, String::new()),
             ];
             for (tid0, (dur_s, extra)) in spans.iter().enumerate() {
                 if *dur_s > 0.0 {
@@ -177,6 +179,7 @@ fn write_cell_csv(
         "comm_s",
         "barrier_s",
         "recovery_s",
+        "resilience_s",
         "bytes_sent",
         "messages",
         "max_node_bytes",
@@ -195,6 +198,7 @@ fn csv_row(rec: &StepRecord) -> Vec<String> {
         format!("{:?}", rec.comm_s),
         format!("{:?}", rec.barrier_s),
         format!("{:?}", rec.recovery_s),
+        format!("{:?}", rec.resilience_s),
         rec.bytes_sent.to_string(),
         rec.messages.to_string(),
         rec.max_node_bytes.to_string(),

@@ -33,6 +33,23 @@ pub struct NodeFailure {
     pub step: u32,
 }
 
+/// One degraded point-to-point link: every transfer from `src` to `dst`
+/// takes `factor`× the healthy wire time (the excess shows up in the
+/// timeline's `resilience` lane).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlowLink {
+    /// Sending node of the degraded link.
+    pub src: usize,
+    /// Receiving node of the degraded link.
+    pub dst: usize,
+    /// Wire-time multiplier (≥ 1).
+    pub factor: f64,
+}
+
+/// Hard cap on transmissions per lane transfer (1 original + up to 15
+/// retransmits), so even `linkdrop=1` terminates deterministically.
+pub const MAX_SEND_ATTEMPTS: u32 = 16;
+
 /// A deterministic fault-injection plan, consulted by the simulator in
 /// `charge`/`send`/`alloc`/`end_step`. Every decision is a hash of
 /// `(seed, kind, node, sequence)` — no mutable RNG state — so decisions
@@ -53,6 +70,16 @@ pub struct FaultPlan {
     /// Phantom bytes (page cache, GC floor, neighbour process) competing
     /// with the allocation under pressure.
     pub mem_pressure_bytes: u64,
+    /// Probability that one transmission attempt of a lane transfer is
+    /// lost on the link and must be retransmitted after a timeout
+    /// (ack/retransmit with exponential backoff; see `Sim::send_to`).
+    pub link_drop_prob: f64,
+    /// Probability that a delivered lane transfer is duplicated in
+    /// flight (the duplicate's bytes are charged; duplicate *results*
+    /// are suppressed by the Mailbox combiner).
+    pub dup_prob: f64,
+    /// Optional persistently degraded point-to-point link.
+    pub slow_link: Option<SlowLink>,
     /// Optional whole-node failure.
     pub fail: Option<NodeFailure>,
     /// Superstep checkpoint interval K (every K steps) for engines with
@@ -63,6 +90,8 @@ pub struct FaultPlan {
 const KIND_STRAGGLER: u64 = 0x51;
 const KIND_DROP: u64 = 0xD0;
 const KIND_MEMPRESS: u64 = 0x3E;
+const KIND_LINKDROP: u64 = 0x1D;
+const KIND_DUP: u64 = 0xD2;
 
 /// SplitMix64 finalizer — a full-avalanche 64-bit mix.
 #[inline]
@@ -83,6 +112,9 @@ impl FaultPlan {
             drop_prob: 0.0,
             mem_pressure_prob: 0.0,
             mem_pressure_bytes: 0,
+            link_drop_prob: 0.0,
+            dup_prob: 0.0,
+            slow_link: None,
             fail: None,
             checkpoint_interval: 0,
         }
@@ -94,8 +126,18 @@ impl FaultPlan {
         self.straggler_prob > 0.0
             || self.drop_prob > 0.0
             || self.mem_pressure_prob > 0.0
+            || self.has_link_faults()
             || self.fail.is_some()
             || self.checkpoint_interval > 0
+    }
+
+    /// Whether any link-level fault term is configured. This is the gate
+    /// for the whole lossy-link machinery — ack/retransmit lanes, the
+    /// heartbeat failure detector and speculative straggler re-execution
+    /// only engage when it returns true, so plans without link terms keep
+    /// bit-identical timelines with earlier schema versions.
+    pub fn has_link_faults(&self) -> bool {
+        self.link_drop_prob > 0.0 || self.dup_prob > 0.0 || self.slow_link.is_some()
     }
 
     /// Uniform value in `[0, 1)` for one decision, a pure function of the
@@ -132,6 +174,46 @@ impl FaultPlan {
             && self.unit(KIND_MEMPRESS, node as u64, seq) < self.mem_pressure_prob
     }
 
+    /// Packs a directed link into one decision coordinate.
+    #[inline]
+    fn link_coord(src: usize, dst: usize) -> u64 {
+        ((src as u64) << 32) | dst as u64
+    }
+
+    /// Whether `attempt` (0 = original transmission, 1.. = retransmits)
+    /// of the `seq`-th transfer on link `src → dst` is lost in flight.
+    ///
+    /// Each attempt gets its own threshold test against one fixed hash,
+    /// so raising `link_drop_prob` only turns more attempts into losses:
+    /// the set of retransmission events grows monotonically and is
+    /// identical at any `--jobs`.
+    #[inline]
+    pub fn link_drop_hits(&self, src: usize, dst: usize, seq: u64, attempt: u32) -> bool {
+        debug_assert!(attempt < MAX_SEND_ATTEMPTS);
+        self.link_drop_prob > 0.0
+            && self.unit(
+                KIND_LINKDROP,
+                Self::link_coord(src, dst),
+                (seq << 5) | u64::from(attempt),
+            ) < self.link_drop_prob
+    }
+
+    /// Whether the `seq`-th transfer on link `src → dst` is duplicated in
+    /// flight once it finally gets through.
+    #[inline]
+    pub fn duplicates_delivery(&self, src: usize, dst: usize, seq: u64) -> bool {
+        self.dup_prob > 0.0 && self.unit(KIND_DUP, Self::link_coord(src, dst), seq) < self.dup_prob
+    }
+
+    /// The wire-time multiplier for link `src → dst` when it is the
+    /// configured slow link, `None` otherwise.
+    #[inline]
+    pub fn slow_link_factor(&self, src: usize, dst: usize) -> Option<f64> {
+        self.slow_link
+            .filter(|l| l.src == src && l.dst == dst)
+            .map(|l| l.factor.max(1.0))
+    }
+
     /// Canonical spec string: `"none"` for the inactive plan, else the
     /// same `key=value` grammar [`FaultPlan::parse`] accepts, so
     /// `parse(&plan.key()) == plan`. Used in journal lines and as the
@@ -149,6 +231,15 @@ impl FaultPlan {
         }
         if self.drop_prob > 0.0 {
             s.push_str(&format!(",drop={:?}", self.drop_prob));
+        }
+        if self.link_drop_prob > 0.0 {
+            s.push_str(&format!(",linkdrop={:?}", self.link_drop_prob));
+        }
+        if self.dup_prob > 0.0 {
+            s.push_str(&format!(",dup={:?}", self.dup_prob));
+        }
+        if let Some(l) = self.slow_link {
+            s.push_str(&format!(",slowlink={}-{}:{:?}", l.src, l.dst, l.factor));
         }
         if self.mem_pressure_prob > 0.0 {
             s.push_str(&format!(
@@ -168,7 +259,7 @@ impl FaultPlan {
     /// Parses a `--faults` spec: comma-separated `key=value` clauses.
     ///
     /// ```text
-    /// seed=7,straggler=0.1x4,drop=0.01,mempress=0.05:256M,kill=0@5,ckpt=4
+    /// seed=7,straggler=0.1x4,drop=0.01,linkdrop=0.02,dup=0.01,slowlink=0-1:4,mempress=0.05:256M,kill=0@5,ckpt=4
     /// ```
     ///
     /// * `seed=N` — decision seed (default 0);
@@ -176,6 +267,13 @@ impl FaultPlan {
     ///   probability `P`;
     /// * `drop=P` — each send is dropped and retransmitted with
     ///   probability `P`;
+    /// * `linkdrop=P` — each transmission attempt of a lane transfer is
+    ///   lost with probability `P` and retransmitted after a
+    ///   deterministic exponential-backoff timeout;
+    /// * `dup=P` — each delivered lane transfer is duplicated in flight
+    ///   with probability `P`;
+    /// * `slowlink=SRC-DST:X` — transfers on the `SRC → DST` link take
+    ///   `X`× (≥ 1) the healthy wire time;
     /// * `mempress=P:BYTES` — each allocation contends with `BYTES`
     ///   phantom bytes with probability `P` (suffixes `K`/`M`/`G`);
     /// * `kill=NODE@STEP` — node `NODE` dies during step `STEP`;
@@ -183,64 +281,170 @@ impl FaultPlan {
     ///   engines only).
     ///
     /// `"none"` or the empty string yield [`FaultPlan::none`].
+    ///
+    /// Out-of-range values and duplicate keys are rejected with an error
+    /// whose caret line points at the offending span:
+    ///
+    /// ```text
+    /// probability `1.5` must be in [0, 1]
+    ///   seed=1,drop=1.5
+    ///               ^^^
+    /// ```
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let spec = spec.trim();
         let mut plan = FaultPlan::none();
         if spec.is_empty() || spec == "none" {
             return Ok(plan);
         }
+        let mut seen: Vec<&str> = Vec::new();
+        let mut offset = 0usize;
         for clause in spec.split(',') {
-            let (k, v) = clause
-                .split_once('=')
-                .ok_or_else(|| format!("fault clause `{clause}` is not key=value"))?;
-            match k.trim() {
+            let clause_at = offset;
+            offset += clause.len() + 1;
+            let (k, v) = clause.split_once('=').ok_or_else(|| {
+                span_err(
+                    spec,
+                    clause_at,
+                    clause.len(),
+                    format!("fault clause `{clause}` is not key=value"),
+                )
+            })?;
+            let key = k.trim();
+            let v_at = clause_at + k.len() + 1;
+            if seen.contains(&key) {
+                return Err(span_err(
+                    spec,
+                    clause_at,
+                    clause.len(),
+                    format!("duplicate fault clause `{key}`"),
+                ));
+            }
+            seen.push(key);
+            match key {
                 "seed" => {
-                    plan.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+                    plan.seed = v
+                        .parse()
+                        .map_err(|_| span_err(spec, v_at, v.len(), format!("bad seed `{v}`")))?;
                 }
                 "straggler" => {
-                    let (p, m) = v
-                        .split_once('x')
-                        .ok_or_else(|| format!("straggler `{v}` is not PROBxMULT"))?;
-                    plan.straggler_prob = parse_prob(p)?;
+                    let (p, m) = v.split_once('x').ok_or_else(|| {
+                        span_err(
+                            spec,
+                            v_at,
+                            v.len(),
+                            format!("straggler `{v}` is not PROBxMULT"),
+                        )
+                    })?;
+                    plan.straggler_prob = parse_prob(spec, v_at, p)?;
                     plan.straggler_slowdown = m
                         .parse::<f64>()
                         .ok()
                         .filter(|&m| m.is_finite() && m >= 1.0)
-                        .ok_or_else(|| format!("straggler multiplier `{m}` must be ≥ 1"))?;
+                        .ok_or_else(|| {
+                            span_err(
+                                spec,
+                                v_at + p.len() + 1,
+                                m.len(),
+                                format!("straggler multiplier `{m}` must be ≥ 1"),
+                            )
+                        })?;
                 }
-                "drop" => plan.drop_prob = parse_prob(v)?,
+                "drop" => plan.drop_prob = parse_prob(spec, v_at, v)?,
+                "linkdrop" => plan.link_drop_prob = parse_prob(spec, v_at, v)?,
+                "dup" => plan.dup_prob = parse_prob(spec, v_at, v)?,
+                "slowlink" => {
+                    let parsed = v.split_once(':').and_then(|(link, x)| {
+                        let (s, d) = link.split_once('-')?;
+                        Some(SlowLink {
+                            src: s.parse().ok()?,
+                            dst: d.parse().ok()?,
+                            factor: x
+                                .parse::<f64>()
+                                .ok()
+                                .filter(|&f| f.is_finite() && f >= 1.0)?,
+                        })
+                    });
+                    plan.slow_link = Some(parsed.filter(|l| l.src != l.dst).ok_or_else(|| {
+                        span_err(
+                            spec,
+                            v_at,
+                            v.len(),
+                            format!("slowlink `{v}` is not SRC-DST:X with SRC ≠ DST and X ≥ 1"),
+                        )
+                    })?);
+                }
                 "mempress" => {
-                    let (p, b) = v
-                        .split_once(':')
-                        .ok_or_else(|| format!("mempress `{v}` is not PROB:BYTES"))?;
-                    plan.mem_pressure_prob = parse_prob(p)?;
-                    plan.mem_pressure_bytes = parse_bytes(b)?;
+                    let (p, b) = v.split_once(':').ok_or_else(|| {
+                        span_err(
+                            spec,
+                            v_at,
+                            v.len(),
+                            format!("mempress `{v}` is not PROB:BYTES"),
+                        )
+                    })?;
+                    plan.mem_pressure_prob = parse_prob(spec, v_at, p)?;
+                    plan.mem_pressure_bytes = parse_bytes(b)
+                        .map_err(|e| span_err(spec, v_at + p.len() + 1, b.len(), e))?;
                 }
                 "kill" => {
-                    let (n, s) = v
-                        .split_once('@')
-                        .ok_or_else(|| format!("kill `{v}` is not NODE@STEP"))?;
+                    let (n, s) = v.split_once('@').ok_or_else(|| {
+                        span_err(spec, v_at, v.len(), format!("kill `{v}` is not NODE@STEP"))
+                    })?;
                     plan.fail = Some(NodeFailure {
-                        node: n.parse().map_err(|_| format!("bad kill node `{n}`"))?,
-                        step: s.parse().map_err(|_| format!("bad kill step `{s}`"))?,
+                        node: n.parse().map_err(|_| {
+                            span_err(spec, v_at, n.len(), format!("bad kill node `{n}`"))
+                        })?,
+                        step: s.parse().map_err(|_| {
+                            span_err(
+                                spec,
+                                v_at + n.len() + 1,
+                                s.len(),
+                                format!("bad kill step `{s}`"),
+                            )
+                        })?,
                     });
                 }
                 "ckpt" => {
-                    plan.checkpoint_interval =
-                        v.parse().map_err(|_| format!("bad ckpt interval `{v}`"))?;
+                    plan.checkpoint_interval = v.parse().map_err(|_| {
+                        span_err(spec, v_at, v.len(), format!("bad ckpt interval `{v}`"))
+                    })?;
                 }
-                other => return Err(format!("unknown fault clause `{other}`")),
+                other => {
+                    return Err(span_err(
+                        spec,
+                        clause_at,
+                        k.len(),
+                        format!("unknown fault clause `{other}`"),
+                    ))
+                }
             }
         }
         Ok(plan)
     }
 }
 
-fn parse_prob(s: &str) -> Result<f64, String> {
+/// Formats a parse error with a caret line pointing at the offending
+/// span of the spec.
+fn span_err(spec: &str, at: usize, len: usize, msg: String) -> String {
+    format!(
+        "{msg}\n  {spec}\n  {}{}",
+        " ".repeat(at),
+        "^".repeat(len.max(1))
+    )
+}
+
+fn parse_prob(spec: &str, at: usize, s: &str) -> Result<f64, String> {
     s.parse::<f64>()
         .ok()
         .filter(|p| p.is_finite() && (0.0..=1.0).contains(p))
-        .ok_or_else(|| format!("probability `{s}` must be in [0, 1]"))
+        .ok_or_else(|| {
+            span_err(
+                spec,
+                at,
+                s.len(),
+                format!("probability `{s}` must be in [0, 1]"),
+            )
+        })
 }
 
 fn parse_bytes(s: &str) -> Result<u64, String> {
@@ -412,6 +616,78 @@ mod tests {
         let r = std::panic::catch_unwind(|| with_faults(plan, || panic!("cell failed")));
         assert!(r.is_err());
         assert_eq!(current_faults(), FaultPlan::none());
+    }
+
+    #[test]
+    fn parse_link_terms_round_trip_through_key() {
+        let spec = "seed=3,linkdrop=0.02,dup=0.01,slowlink=0-1:4.0";
+        let p = FaultPlan::parse(spec).unwrap();
+        assert_eq!(p.link_drop_prob, 0.02);
+        assert_eq!(p.dup_prob, 0.01);
+        assert_eq!(
+            p.slow_link,
+            Some(SlowLink {
+                src: 0,
+                dst: 1,
+                factor: 4.0
+            })
+        );
+        assert!(p.has_link_faults() && p.is_active());
+        assert_eq!(FaultPlan::parse(&p.key()).unwrap(), p);
+    }
+
+    #[test]
+    fn duplicate_clauses_are_rejected_with_span() {
+        let err = FaultPlan::parse("seed=1,drop=0.1,drop=0.2").unwrap_err();
+        assert!(err.contains("duplicate fault clause `drop`"), "{err}");
+        let caret = err.lines().last().unwrap();
+        // the caret line underlines the *second* `drop=0.2` clause
+        assert_eq!(caret.find('^'), Some(2 + 16), "{err}");
+        assert_eq!(caret.matches('^').count(), "drop=0.2".len(), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_probability_points_at_value() {
+        let err = FaultPlan::parse("seed=1,drop=1.5").unwrap_err();
+        assert!(err.contains("probability `1.5` must be in [0, 1]"), "{err}");
+        let caret = err.lines().last().unwrap();
+        assert_eq!(caret.find('^'), Some(2 + 12), "{err}");
+        assert_eq!(caret.matches('^').count(), 3, "{err}");
+    }
+
+    #[test]
+    fn link_drop_events_grow_monotonically_with_probability() {
+        let lo = FaultPlan::parse("seed=11,linkdrop=0.05").unwrap();
+        let hi = FaultPlan::parse("seed=11,linkdrop=0.3").unwrap();
+        let mut lo_events = 0u32;
+        for seq in 0..2000u64 {
+            for attempt in 0..4u32 {
+                if lo.link_drop_hits(0, 1, seq, attempt) {
+                    lo_events += 1;
+                    assert!(
+                        hi.link_drop_hits(0, 1, seq, attempt),
+                        "raising linkdrop removed a retransmission event"
+                    );
+                }
+            }
+        }
+        assert!(lo_events > 0);
+    }
+
+    #[test]
+    fn slow_link_only_matches_its_directed_pair() {
+        let p = FaultPlan::parse("slowlink=2-5:3").unwrap();
+        assert_eq!(p.slow_link_factor(2, 5), Some(3.0));
+        assert_eq!(p.slow_link_factor(5, 2), None);
+        assert_eq!(p.slow_link_factor(2, 4), None);
+        assert!(p.has_link_faults());
+    }
+
+    #[test]
+    fn slowlink_rejects_self_loops_and_sublinear_factors() {
+        assert!(FaultPlan::parse("slowlink=1-1:2").is_err());
+        assert!(FaultPlan::parse("slowlink=0-1:0.5").is_err());
+        assert!(FaultPlan::parse("slowlink=0-1").is_err());
     }
 
     #[test]

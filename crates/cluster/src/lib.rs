@@ -39,10 +39,10 @@ pub mod sim;
 pub mod work_scale;
 
 pub use comm::CommLayer;
-pub use faults::{current_faults, with_faults, FaultPlan, NodeFailure};
+pub use faults::{current_faults, with_faults, FaultPlan, NodeFailure, SlowLink};
 pub use hardware::{ClusterSpec, HardwareSpec};
 pub use partition::{Partition1D, Partition2D};
 pub use profile::ExecProfile;
 pub use router::{packets_for, Combiner, FlushPolicy, Mailbox, Router, RouterConfig, PACKET_BYTES};
-pub use sim::{Sim, SimError, DEFAULT_PHASE};
+pub use sim::{Sim, SimError, DEFAULT_PHASE, HEARTBEAT_WIRE_BYTES};
 pub use work_scale::{current_work_scale, with_work_scale};

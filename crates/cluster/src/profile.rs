@@ -45,6 +45,21 @@ pub struct ExecProfile {
     /// compression) — consumed by [`crate::router::Router`], through
     /// which all cross-node traffic flows.
     pub router: RouterConfig,
+    /// Base retransmission timeout: how long the transport waits for an
+    /// ack before resending a lane transfer (doubles per retry —
+    /// exponential backoff). Only exercised when the fault plan has
+    /// link-level terms.
+    pub retransmit_timeout_s: f64,
+    /// Heartbeat period of the failure detector, seconds.
+    pub heartbeat_period_s: f64,
+    /// Consecutive missed beats before a silent peer is suspected dead
+    /// (detection latency = `heartbeat_miss_beats × heartbeat_period_s`).
+    pub heartbeat_miss_beats: u32,
+    /// Whether the runtime speculatively re-executes straggler
+    /// partitions on a buddy node, suppressing the duplicate result
+    /// messages in the Mailbox combiner (Giraph's speculative execution
+    /// inherited from Hadoop; GraphLab's dynamic rescheduling).
+    pub speculative_reexec: bool,
 }
 
 impl ExecProfile {
@@ -60,6 +75,11 @@ impl ExecProfile {
             per_step_overhead_s: 50e-6,
             checkpoint_restart: false,
             router: RouterConfig::eager(),
+            // MPI eager protocol: microsecond-scale ack turnaround
+            retransmit_timeout_s: 200e-6,
+            heartbeat_period_s: 1.0,
+            heartbeat_miss_beats: 3,
+            speculative_reexec: false,
         }
     }
 
@@ -76,6 +96,10 @@ impl ExecProfile {
             per_step_overhead_s: 200e-6,
             checkpoint_restart: false,
             router: RouterConfig::eager(),
+            retransmit_timeout_s: 200e-6,
+            heartbeat_period_s: 1.0,
+            heartbeat_miss_beats: 3,
+            speculative_reexec: false,
         }
     }
 
@@ -92,6 +116,12 @@ impl ExecProfile {
             per_step_overhead_s: 500e-6,
             checkpoint_restart: false,
             router: RouterConfig::streaming(PACKET_BYTES),
+            // socket transport: millisecond RTO, async engine reschedules
+            // slow partitions on another node
+            retransmit_timeout_s: 1e-3,
+            heartbeat_period_s: 1.0,
+            heartbeat_miss_beats: 3,
+            speculative_reexec: true,
         }
     }
 
@@ -109,6 +139,10 @@ impl ExecProfile {
             per_step_overhead_s: 1e-3,
             checkpoint_restart: false,
             router: RouterConfig::barrier(),
+            retransmit_timeout_s: 2e-3,
+            heartbeat_period_s: 2.0,
+            heartbeat_miss_beats: 3,
+            speculative_reexec: false,
         }
     }
 
@@ -140,6 +174,12 @@ impl ExecProfile {
             // whole-superstep buffering with 48B of object header per
             // buffered message (vertex/giraph.rs MESSAGE_OBJECT_OVERHEAD)
             router: RouterConfig::barrier().with_overhead(48),
+            // Netty channel timeouts and Hadoop-style heartbeating: slow
+            // to detect loss, but speculative execution of stragglers
+            retransmit_timeout_s: 50e-3,
+            heartbeat_period_s: 5.0,
+            heartbeat_miss_beats: 3,
+            speculative_reexec: true,
         }
     }
 
@@ -216,6 +256,10 @@ impl ExecProfile {
             // leaner JVM runtime: streams message batches, smaller
             // per-message object overhead than Giraph's
             router: RouterConfig::streaming(PACKET_BYTES).with_overhead(24),
+            retransmit_timeout_s: 10e-3,
+            heartbeat_period_s: 2.0,
+            heartbeat_miss_beats: 3,
+            speculative_reexec: false,
         }
     }
 
@@ -234,6 +278,12 @@ impl ExecProfile {
             checkpoint_restart: false,
             // RDD shuffle: streamed blocks, boxed Scala message objects
             router: RouterConfig::streaming(PACKET_BYTES).with_overhead(32),
+            // Spark: stage-level retry and speculation exist but operate
+            // at task granularity; block retransmit is TCP-level
+            retransmit_timeout_s: 100e-3,
+            heartbeat_period_s: 5.0,
+            heartbeat_miss_beats: 3,
+            speculative_reexec: false,
         }
     }
 
@@ -250,6 +300,10 @@ impl ExecProfile {
             per_step_overhead_s: 100e-6,
             checkpoint_restart: false,
             router: RouterConfig::eager(), // unused: single-node only
+            retransmit_timeout_s: 100e-6,
+            heartbeat_period_s: 1.0,
+            heartbeat_miss_beats: 3,
+            speculative_reexec: false,
         }
     }
 }
@@ -338,6 +392,41 @@ mod tests {
         ] {
             assert!(!p.checkpoint_restart, "{} must fail-stop", p.name);
         }
+    }
+
+    #[test]
+    fn resilience_knobs_are_sane_and_speculation_is_vertex_runtime_only() {
+        let all = [
+            ExecProfile::native(),
+            ExecProfile::combblas(),
+            ExecProfile::graphlab(),
+            ExecProfile::socialite(),
+            ExecProfile::socialite_unoptimized(),
+            ExecProfile::giraph(),
+            ExecProfile::graphlab_improved(),
+            ExecProfile::giraph_improved(),
+            ExecProfile::socialite_improved(),
+            ExecProfile::gps(),
+            ExecProfile::graphx(),
+            ExecProfile::galois(),
+        ];
+        for p in all {
+            assert!(p.retransmit_timeout_s > 0.0, "{}", p.name);
+            assert!(p.heartbeat_period_s > 0.0, "{}", p.name);
+            assert!(p.heartbeat_miss_beats >= 1, "{}", p.name);
+        }
+        // speculative re-execution is a Giraph/GraphLab mechanism
+        assert!(ExecProfile::giraph().speculative_reexec);
+        assert!(ExecProfile::giraph_improved().speculative_reexec);
+        assert!(ExecProfile::graphlab().speculative_reexec);
+        assert!(ExecProfile::graphlab_improved().speculative_reexec);
+        assert!(!ExecProfile::native().speculative_reexec);
+        assert!(!ExecProfile::socialite().speculative_reexec);
+        assert!(!ExecProfile::graphx().speculative_reexec);
+        // a transport that detects loss slowly also beats slowly
+        assert!(
+            ExecProfile::giraph().retransmit_timeout_s > ExecProfile::native().retransmit_timeout_s
+        );
     }
 
     #[test]

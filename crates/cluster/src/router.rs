@@ -611,4 +611,96 @@ mod tests {
         assert_eq!(r.config(), p.router);
         assert_eq!(r.nodes(), 4);
     }
+
+    #[test]
+    fn empty_lanes_flush_cleanly_under_link_faults() {
+        use crate::faults::{with_faults, FaultPlan};
+        use crate::sim::HEARTBEAT_WIRE_BYTES;
+        let plan = FaultPlan::parse("seed=3,linkdrop=0.5").unwrap();
+        let mut s = with_faults(plan, || sim(3));
+        let mut router = Router::with_config(3, RouterConfig::barrier());
+        assert!(!router.has_pending());
+        router.flush(&mut s); // every lane empty: nothing reaches the wire
+        s.end_step().unwrap();
+        let r = s.finish();
+        assert_eq!(r.retransmit.retransmits, 0);
+        assert_eq!(r.retransmit.retransmitted_bytes, 0);
+        // the only traffic is the two workers' heartbeats to node 0
+        assert_eq!(r.traffic.bytes_sent, 2 * HEARTBEAT_WIRE_BYTES);
+        assert_eq!(r.matrix.row_bytes(0), 0);
+    }
+
+    #[test]
+    fn zero_byte_messages_stay_free_under_link_faults() {
+        use crate::faults::{with_faults, FaultPlan};
+        use crate::sim::HEARTBEAT_WIRE_BYTES;
+        let plan = FaultPlan::parse("seed=3,linkdrop=1").unwrap();
+        let mut s = with_faults(plan, || sim(2));
+        let mut router = Router::with_config(2, RouterConfig::eager());
+        router.send(&mut s, 0, 1, 0, 0);
+        router.send_now(&mut s, 0, 1, 0, 0);
+        router.flush(&mut s);
+        s.end_step().unwrap();
+        let r = s.finish();
+        // empty transfers never enter the retransmit protocol, even at
+        // drop probability 1
+        assert_eq!(r.retransmit.retransmits, 0);
+        assert_eq!(r.matrix.bytes(0, 1), 0);
+        assert_eq!(r.traffic.bytes_sent, HEARTBEAT_WIRE_BYTES);
+        assert!((r.retransmit.timeout_seconds - 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stream_policy_exactly_at_threshold_flushes_once_under_faults() {
+        use crate::faults::{with_faults, FaultPlan, MAX_SEND_ATTEMPTS};
+        use crate::sim::HEARTBEAT_WIRE_BYTES;
+        let plan = FaultPlan::parse("seed=3,linkdrop=1").unwrap();
+        let mut s = with_faults(plan, || sim(2));
+        let mut router = Router::with_config(2, RouterConfig::streaming(1000));
+        router.send(&mut s, 0, 1, 1000, 1000); // == threshold: immediate
+        assert!(!router.has_pending());
+        s.end_step().unwrap();
+        let r = s.finish();
+        // one transfer, retransmitted up to the attempt cap
+        let resends = u64::from(MAX_SEND_ATTEMPTS - 1);
+        assert_eq!(r.retransmit.retransmits, resends);
+        assert_eq!(r.retransmit.retransmitted_bytes, resends * 1000);
+        assert_eq!(
+            r.traffic.bytes_sent,
+            (resends + 1) * 1000 + HEARTBEAT_WIRE_BYTES
+        );
+        assert_eq!(r.matrix.bytes(0, 1), (resends + 1) * 1000);
+    }
+
+    #[test]
+    fn combined_message_retransmits_as_one_transfer() {
+        use crate::faults::{with_faults, FaultPlan, MAX_SEND_ATTEMPTS};
+        let plan = FaultPlan::parse("seed=3,linkdrop=1").unwrap();
+        let mut s = with_faults(plan, || sim(2));
+        let mut router = Router::with_config(2, RouterConfig::eager());
+        let mut mbox: Mailbox<u64> = Mailbox::new(0, 2);
+        for i in 0..10u64 {
+            mbox.post(1, 7, i);
+        }
+        let combine = |a: &u64, b: &u64| Some(a + b);
+        let mut delivered: Vec<(VertexId, u64)> = Vec::new();
+        mbox.flush(
+            &mut router,
+            &mut s,
+            100,
+            |_| 8,
+            Some(&combine),
+            |d, m| delivered.push((d, m)),
+        );
+        s.end_step().unwrap();
+        let r = s.finish();
+        // the combiner folded 10 messages into one 12-byte transfer; the
+        // lossy link retransmits that *combined* message, not the 10
+        // originals, and delivery still sees exactly one copy
+        assert_eq!(delivered, vec![(7, (0..10).sum::<u64>())]);
+        let resends = u64::from(MAX_SEND_ATTEMPTS - 1);
+        assert_eq!(r.retransmit.retransmits, resends);
+        assert_eq!(r.retransmit.retransmitted_bytes, resends * 12);
+        assert_eq!(r.matrix.bytes(0, 1), (resends + 1) * 12);
+    }
 }

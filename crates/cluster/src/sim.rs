@@ -13,13 +13,18 @@
 //! system-level metrics of the paper's Figure 6.
 
 use graphmaze_metrics::{
-    MemTracker, OutOfMemory, RecoveryStats, RunReport, StepRecord, Timeline, TrafficMatrix,
-    TrafficStats, Work,
+    MemTracker, OutOfMemory, RecoveryStats, RetransmitStats, RunReport, StepRecord, Timeline,
+    TrafficMatrix, TrafficStats, Work,
 };
 
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, MAX_SEND_ATTEMPTS};
 use crate::hardware::ClusterSpec;
 use crate::profile::ExecProfile;
+
+/// Wire bytes of one failure-detector heartbeat (sequence number + term,
+/// sent by every worker to the master at each barrier when the fault
+/// plan has link-level terms).
+pub const HEARTBEAT_WIRE_BYTES: u64 = 16;
 
 /// Errors surfaced by the simulator.
 #[derive(Clone, Debug, PartialEq)]
@@ -95,12 +100,22 @@ pub struct Sim {
     faults: FaultPlan,
     /// Per-node send sequence numbers (drop decisions hash these).
     send_seq: Vec<u64>,
+    /// Per-(src, dst) lane transfer sequence numbers (link-fault
+    /// decisions hash these); only advanced when the plan has link
+    /// faults, so inactive plans stay bit-identical.
+    link_seq: Vec<u64>,
     /// Per-node allocation sequence numbers (pressure decisions hash these).
     alloc_seq: Vec<u64>,
+    /// Per-node resilience-protocol seconds accumulated in the current
+    /// step: retransmission timeouts (exponential backoff) and slow-link
+    /// excess wire time.
+    step_wait: Vec<f64>,
     /// Per-node "straggler already counted this step" markers.
     straggler_hit: Vec<bool>,
     /// Fault/recovery counters for the report.
     recovery: RecoveryStats,
+    /// Lossy-link resilience counters for the report.
+    retransmit: RetransmitStats,
     /// Whether the plan's node failure already fired (it fires once).
     failure_fired: bool,
     /// Number of leading steps covered by the last checkpoint.
@@ -135,9 +150,12 @@ impl Sim {
             work_scale,
             faults,
             send_seq: vec![0; n],
+            link_seq: vec![0; n * n],
             alloc_seq: vec![0; n],
+            step_wait: vec![0.0; n],
             straggler_hit: vec![false; n],
             recovery: RecoveryStats::default(),
+            retransmit: RetransmitStats::default(),
             failure_fired: false,
             checkpointed_steps: 0,
             last_checkpoint_bytes: 0,
@@ -226,6 +244,46 @@ impl Sim {
         self.step_compute[node] += secs;
     }
 
+    /// Whether speculative straggler re-execution is in effect: the
+    /// profile opts in (Giraph/GraphLab family) *and* the fault plan has
+    /// link-level terms — the same gate as the rest of the lossy-link
+    /// machinery, so plans without link terms keep bit-identical
+    /// timelines.
+    pub fn speculation_active(&self) -> bool {
+        self.profile.speculative_reexec && self.faults.has_link_faults()
+    }
+
+    /// The straggler multiplier the fault plan assigns `node` for the
+    /// *current* step, if any — lets an engine decide to speculate
+    /// before charging the partition's work.
+    pub fn straggler_at(&self, node: usize) -> Option<f64> {
+        self.faults.straggler_multiplier(node, self.steps)
+    }
+
+    /// Meters `work` for a straggler partition of `node` that a `buddy`
+    /// node speculatively re-executed. Both nodes pay the *un-slowed*
+    /// compute time (the primary is preempted as soon as the buddy's
+    /// copy finishes), the work is counted twice (it really ran twice),
+    /// and the buddy's `dup_msgs` duplicate result messages — suppressed
+    /// by the caller's Mailbox combiner before reaching the wire — are
+    /// tallied in [`RetransmitStats::suppressed_duplicates`].
+    pub fn charge_speculated(&mut self, node: usize, buddy: usize, work: Work, dup_msgs: u64) {
+        debug_assert_ne!(node, buddy, "speculation needs a second node");
+        let work = work.scaled(self.work_scale);
+        self.total_work.accumulate(work);
+        self.total_work.accumulate(work);
+        let secs = self.compute_seconds_for(work);
+        self.step_compute[node] += secs;
+        self.step_compute[buddy] += secs;
+        if !self.straggler_hit[node] {
+            self.straggler_hit[node] = true;
+            self.recovery.straggler_events += 1;
+        }
+        self.retransmit.speculative_reexecs += 1;
+        self.retransmit.speculative_seconds += secs;
+        self.retransmit.suppressed_duplicates += dup_msgs;
+    }
+
     /// Meters a message of `wire_bytes` (post-compression) sent by `node`.
     /// `raw_bytes` is the pre-compression payload size; CPU-side message
     /// handling (serialization/boxing) is charged per the comm layer.
@@ -240,22 +298,85 @@ impl Sim {
 
     /// [`Sim::send`] with an explicit destination: additionally records
     /// the transfer (post-scaling, post-retransmission) into the
-    /// per-(src, dst) traffic matrix of the run report.
+    /// per-(src, dst) traffic matrix of the run report, and — when the
+    /// fault plan has link-level terms — runs the lane through the
+    /// ack/retransmit protocol (timeout + exponential backoff; see
+    /// DESIGN.md §7c "Lossy-link message plane").
     pub fn send_to(&mut self, src: usize, dst: usize, wire_bytes: u64, raw_bytes: u64, msgs: u64) {
         debug_assert_ne!(src, dst, "local delivery never touches the wire");
-        let (wire_sent, msgs_sent) = self.send_inner(src, wire_bytes, raw_bytes, msgs);
+        let (wire_sent, raw_sent, msgs_sent) = self.send_inner(src, wire_bytes, raw_bytes, msgs);
         self.matrix.record(src, dst, wire_sent, msgs_sent);
+        if self.faults.has_link_faults() {
+            self.link_protocol(src, dst, wire_sent, raw_sent, msgs_sent);
+        }
     }
 
-    /// Shared metering body; returns the (wire bytes, messages) that
-    /// actually hit the network after extrapolation and fault doubling.
+    /// The ack/retransmit protocol for one lane transfer on a lossy
+    /// link. Attempt `k` of transfer `seq` is lost iff one fixed hash of
+    /// `(seed, src, dst, seq, k)` falls under `linkdrop` — a threshold
+    /// test, so raising the probability only *adds* losses and the event
+    /// set is identical at any `--jobs`. Every loss costs the sender one
+    /// retransmission (full wire bytes, re-charged to the step, the
+    /// traffic matrix and the comm-layer CPU) plus a timeout of
+    /// `retransmit_timeout_s × 2^k` (exponential backoff) accounted in
+    /// the step's `resilience` lane. A delivered transfer may then be
+    /// duplicated in flight (`dup`), and a configured `slowlink` charges
+    /// the excess wire time of every transmission on that link.
+    fn link_protocol(&mut self, src: usize, dst: usize, wire: u64, raw: u64, msgs: u64) {
+        let n = self.nodes();
+        let seq = self.link_seq[src * n + dst];
+        self.link_seq[src * n + dst] += 1;
+        let rto = self.profile.retransmit_timeout_s;
+        let mut attempt = 0u32;
+        while attempt + 1 < MAX_SEND_ATTEMPTS && self.faults.link_drop_hits(src, dst, seq, attempt)
+        {
+            self.retransmit.retransmits += 1;
+            self.retransmit.retransmitted_bytes += wire;
+            self.meter_extra(src, dst, wire, raw, msgs);
+            self.step_wait[src] += rto * f64::from(1u32 << attempt.min(20));
+            attempt += 1;
+        }
+        if self.faults.duplicates_delivery(src, dst, seq) {
+            self.retransmit.duplicates += 1;
+            self.retransmit.duplicate_bytes += wire;
+            self.meter_extra(src, dst, wire, raw, msgs);
+        }
+        if let Some(x) = self.faults.slow_link_factor(src, dst) {
+            let txs = f64::from(attempt + 1);
+            let excess = (x - 1.0) * self.profile.comm.transfer_seconds(wire, msgs) * txs;
+            self.step_wait[src] += excess;
+        }
+    }
+
+    /// Meters protocol-level extra traffic (retransmissions, duplicate
+    /// deliveries, heartbeats): the same accounting as [`Sim::send_inner`]
+    /// — step counters, cumulative per-node bytes, comm-layer CPU and the
+    /// traffic matrix — but without consulting fault decisions (values
+    /// are already final).
+    fn meter_extra(&mut self, src: usize, dst: usize, wire: u64, raw: u64, msgs: u64) {
+        self.step_bytes[src] += wire;
+        self.step_raw_bytes[src] += raw;
+        self.step_msgs[src] += msgs;
+        self.node_sent_bytes[src] += wire;
+        let cpu_bytes = (wire as f64 * self.profile.comm.cpu_bytes_per_wire_byte) as u64;
+        if cpu_bytes > 0 {
+            let w = Work::stream(cpu_bytes);
+            self.total_work.accumulate(w);
+            self.step_compute[src] += self.compute_seconds_for(w);
+        }
+        self.matrix.record(src, dst, wire, msgs);
+    }
+
+    /// Shared metering body; returns the (wire bytes, raw bytes,
+    /// messages) that actually hit the network after extrapolation and
+    /// fault doubling.
     fn send_inner(
         &mut self,
         node: usize,
         wire_bytes: u64,
         raw_bytes: u64,
         msgs: u64,
-    ) -> (u64, u64) {
+    ) -> (u64, u64, u64) {
         // Extrapolation grows message *sizes*, not message counts: a
         // scale×-larger graph ships scale×-bigger bulk transfers over the
         // same communication pattern.
@@ -288,7 +409,7 @@ impl Sim {
             self.total_work.accumulate(w);
             self.step_compute[node] += self.compute_seconds_for(w);
         }
-        (wire_bytes, msgs)
+        (wire_bytes, raw_bytes, msgs)
     }
 
     /// Accounts an allocation on `node`; fails when capacity is exceeded.
@@ -365,22 +486,38 @@ impl Sim {
     /// appends a [`StepRecord`] to the timeline.
     ///
     /// The clock advances by `compute + exposed_comm + barrier +
-    /// recovery`, where exposed comm is what overlap failed to hide —
-    /// algebraically the same `max(compute, comm)` body as before, but
-    /// built from the components the step record carries, so the
-    /// timeline's per-step sums reconcile with `sim_seconds`
-    /// *bit-exactly* (`recovery` is exactly `0.0` without faults).
+    /// recovery + resilience`, where exposed comm is what overlap failed
+    /// to hide — algebraically the same `max(compute, comm)` body as
+    /// before, but built from the components the step record carries, so
+    /// the timeline's per-step sums reconcile with `sim_seconds`
+    /// *bit-exactly* (`recovery` and `resilience` are exactly `0.0`
+    /// without the corresponding fault terms).
     ///
     /// Under an active fault plan this is also where resilience happens:
     ///
+    /// * with link-level fault terms, every worker heartbeats the master
+    ///   (metered traffic), and the step's `resilience_s` lane carries
+    ///   the slowest node's retransmission-timeout / slow-link seconds;
     /// * if the plan kills a node during this step, an engine profile
     ///   with `checkpoint_restart` pays restore + rollback-and-replay
-    ///   (folded into the step's `recovery_s`) and carries on; any other
-    ///   profile **fail-stops** with [`SimError::NodeFailed`];
+    ///   (folded into the step's `recovery_s`) and carries on — under
+    ///   link faults only after K missed heartbeats' worth of detection
+    ///   latency; any other profile **fail-stops** with
+    ///   [`SimError::NodeFailed`];
     /// * checkpoint/restart profiles write a checkpoint every
     ///   `checkpoint_interval` steps: max-node state over disk bandwidth,
     ///   plus an OOM check for the serialization staging buffer.
     pub fn end_step(&mut self) -> Result<(), SimError> {
+        // Under the lossy-link plane every worker heartbeats the master
+        // at the barrier — the failure detector's probe traffic, metered
+        // like any other transfer (charged before the comm time below).
+        if self.faults.has_link_faults() && self.nodes() > 1 {
+            for node in 1..self.nodes() {
+                self.retransmit.heartbeats += 1;
+                self.retransmit.heartbeat_bytes += HEARTBEAT_WIRE_BYTES;
+                self.meter_extra(node, 0, HEARTBEAT_WIRE_BYTES, HEARTBEAT_WIRE_BYTES, 1);
+            }
+        }
         let p = &self.profile;
         let compute_t = self.step_compute.iter().copied().fold(0.0, f64::max);
         let comm_t = (0..self.nodes())
@@ -409,6 +546,18 @@ impl Sim {
                             node: f.node,
                             step: self.steps,
                         });
+                    }
+                    // Under the lossy-link plane the failure is not
+                    // known instantly: the master suspects the worker
+                    // only after K consecutive missed heartbeats, and
+                    // that detection latency is paid before recovery
+                    // can begin.
+                    if self.faults.has_link_faults() {
+                        let detect_s = f64::from(p.heartbeat_miss_beats) * p.heartbeat_period_s;
+                        self.retransmit.suspicions += 1;
+                        self.retransmit.missed_beats += u64::from(p.heartbeat_miss_beats);
+                        self.retransmit.detection_seconds += detect_s;
+                        recovery_t += detect_s;
                     }
                     // Rollback-and-replay: read the last checkpoint back,
                     // re-execute every step it does not cover (their
@@ -459,7 +608,16 @@ impl Sim {
             }
         }
 
-        let step_t = base_t + recovery_t;
+        // Resilience-protocol time: the barrier waits for the node that
+        // spent longest in retransmission timeouts / slow-link excess.
+        // Exactly 0.0 unless the plan has link faults, so the clock sum
+        // below is bit-identical to the pre-lossy-link model.
+        let resilience_t = self.step_wait.iter().copied().fold(0.0, f64::max);
+        if resilience_t > 0.0 {
+            self.retransmit.timeout_seconds += resilience_t;
+        }
+
+        let step_t = base_t + recovery_t + resilience_t;
         self.clock += step_t;
         self.compute_seconds += compute_t;
         self.comm_seconds += comm_t;
@@ -487,6 +645,7 @@ impl Sim {
             comm_s: exposed_comm,
             barrier_s: barrier_t,
             recovery_s: recovery_t,
+            resilience_s: resilience_t,
             bytes_sent: total_bytes,
             messages: total_msgs,
             max_node_bytes,
@@ -497,6 +656,7 @@ impl Sim {
         self.step_bytes.fill(0);
         self.step_msgs.fill(0);
         self.step_raw_bytes.fill(0);
+        self.step_wait.fill(0.0);
         self.straggler_hit.fill(false);
         self.steps += 1;
         Ok(())
@@ -521,7 +681,8 @@ impl Sim {
     pub fn finish(mut self) -> RunReport {
         let pending = self.step_compute.iter().any(|&c| c > 0.0)
             || self.step_bytes.iter().any(|&b| b > 0)
-            || self.step_msgs.iter().any(|&m| m > 0);
+            || self.step_msgs.iter().any(|&m| m > 0)
+            || self.step_wait.iter().any(|&w| w > 0.0);
         if pending {
             let _ = self.end_step();
         }
@@ -547,6 +708,7 @@ impl Sim {
             total_work: self.total_work,
             timeline: self.timeline,
             recovery: self.recovery,
+            retransmit: self.retransmit,
         }
     }
 }
@@ -1013,6 +1175,242 @@ mod tests {
         let gated = with_faults(FaultPlan::none(), run);
         assert_eq!(plain, gated);
         assert!(plain.recovery.is_zero());
+    }
+
+    #[test]
+    fn link_drop_retransmits_with_exponential_backoff() {
+        use crate::faults::{with_faults, FaultPlan};
+        // linkdrop=1: every attempt short of the cap is lost
+        let plan = FaultPlan::parse("seed=1,linkdrop=1").unwrap();
+        let mut p = ExecProfile::native();
+        p.per_step_overhead_s = 0.0;
+        let mut sim = with_faults(plan, || Sim::new(ClusterSpec::paper(2), p));
+        sim.send_to(0, 1, 1000, 1000, 1);
+        sim.end_step().unwrap();
+        let r = sim.finish();
+        let retries = u64::from(MAX_SEND_ATTEMPTS - 1);
+        assert_eq!(r.retransmit.retransmits, retries);
+        assert_eq!(r.retransmit.retransmitted_bytes, 1000 * retries);
+        // 1 heartbeat + original + 15 retransmissions hit the wire
+        assert_eq!(
+            r.traffic.bytes_sent,
+            1000 * (retries + 1) + HEARTBEAT_WIRE_BYTES
+        );
+        assert_eq!(r.matrix.bytes(0, 1), 1000 * (retries + 1));
+        assert_eq!(r.matrix.row_bytes(0), r.node_sent_bytes[0]);
+        // backoff: rto × (2^0 + 2^1 + ... + 2^14)
+        let rto = p.retransmit_timeout_s;
+        let expected_wait = rto * f64::from((1u32 << (MAX_SEND_ATTEMPTS - 1)) - 1);
+        assert!(
+            (r.retransmit.timeout_seconds - expected_wait).abs() < 1e-12,
+            "waited {} expected {expected_wait}",
+            r.retransmit.timeout_seconds
+        );
+        let lane: f64 = r.timeline.steps.iter().map(|s| s.resilience_s).sum();
+        assert_eq!(lane, r.retransmit.timeout_seconds, "resilience lane sum");
+        assert_eq!(r.timeline.total_seconds(), r.sim_seconds, "bit-exact clock");
+    }
+
+    #[test]
+    fn duplicated_deliveries_double_the_transfer() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,dup=1").unwrap();
+        let mut sim = with_faults(plan, || {
+            Sim::new(ClusterSpec::paper(2), ExecProfile::native())
+        });
+        sim.send_to(0, 1, 500, 500, 2);
+        sim.end_step().unwrap();
+        let r = sim.finish();
+        assert_eq!(r.retransmit.duplicates, 1);
+        assert_eq!(r.retransmit.duplicate_bytes, 500);
+        assert_eq!(r.matrix.bytes(0, 1), 1000);
+        assert_eq!(r.matrix.messages(0, 1), 4);
+        assert_eq!(
+            r.retransmit.timeout_seconds, 0.0,
+            "dups cost bytes, not time"
+        );
+    }
+
+    #[test]
+    fn slow_link_charges_excess_wire_time_on_its_direction_only() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("slowlink=0-1:3").unwrap();
+        let mut p = ExecProfile::native();
+        p.per_step_overhead_s = 0.0;
+        p.overlap = false;
+        let run = |src: usize, dst: usize| {
+            let mut sim = with_faults(plan, || Sim::new(ClusterSpec::paper(2), p));
+            sim.send_to(src, dst, 1_000_000_000, 1_000_000_000, 1);
+            sim.end_step().unwrap();
+            sim.finish()
+        };
+        let slowed = run(0, 1);
+        let healthy = run(1, 0);
+        let wire_s = p.comm.transfer_seconds(1_000_000_000, 1);
+        let lane: f64 = slowed.timeline.steps.iter().map(|s| s.resilience_s).sum();
+        assert!(
+            (lane - 2.0 * wire_s).abs() < 1e-12,
+            "3× link ⇒ 2× excess, got {lane} vs {}",
+            2.0 * wire_s
+        );
+        let lane_rev: f64 = healthy.timeline.steps.iter().map(|s| s.resilience_s).sum();
+        assert_eq!(lane_rev, 0.0, "reverse direction is healthy");
+        assert!(slowed.sim_seconds > healthy.sim_seconds);
+    }
+
+    #[test]
+    fn heartbeats_flow_only_under_link_faults() {
+        use crate::faults::{with_faults, FaultPlan};
+        // factor-1 slow link: enables the lossy-link plane at zero cost
+        let plan = FaultPlan::parse("slowlink=0-1:1").unwrap();
+        let mut sim = with_faults(plan, || {
+            Sim::new(ClusterSpec::paper(4), ExecProfile::native())
+        });
+        sim.end_step().unwrap();
+        sim.end_step().unwrap();
+        let r = sim.finish();
+        assert_eq!(r.retransmit.heartbeats, 6, "3 workers × 2 steps");
+        assert_eq!(r.retransmit.heartbeat_bytes, 6 * HEARTBEAT_WIRE_BYTES);
+        assert_eq!(r.traffic.bytes_sent, 6 * HEARTBEAT_WIRE_BYTES);
+        assert_eq!(r.matrix.bytes(1, 0), 2 * HEARTBEAT_WIRE_BYTES);
+
+        // no link terms ⇒ no heartbeats, even with other faults active
+        let plain = FaultPlan::parse("seed=1,straggler=0.5x2,ckpt=2").unwrap();
+        let mut sim = with_faults(plain, || {
+            Sim::new(ClusterSpec::paper(4), ExecProfile::native())
+        });
+        sim.end_step().unwrap();
+        let r = sim.finish();
+        assert!(r.retransmit.is_zero());
+    }
+
+    #[test]
+    fn failure_detection_latency_precedes_rollback() {
+        use crate::faults::{with_faults, FaultPlan};
+        let lossy = FaultPlan::parse("seed=1,ckpt=2,kill=0@3,slowlink=0-1:1").unwrap();
+        let instant = FaultPlan::parse("seed=1,ckpt=2,kill=0@3").unwrap();
+        let run = |plan: FaultPlan| {
+            let mut sim = with_faults(plan, || {
+                Sim::new(ClusterSpec::paper(2), ExecProfile::giraph())
+            });
+            sim.alloc(0, 1_000_000_000, "state").unwrap();
+            for i in 0..5u64 {
+                sim.charge(0, Work::stream(1_000_000_000 * (i + 1)));
+                sim.end_step().unwrap();
+            }
+            sim.finish()
+        };
+        let detected = run(lossy);
+        let legacy = run(instant);
+        let p = ExecProfile::giraph();
+        let expect = f64::from(p.heartbeat_miss_beats) * p.heartbeat_period_s;
+        assert_eq!(detected.retransmit.suspicions, 1);
+        assert_eq!(
+            detected.retransmit.missed_beats,
+            u64::from(p.heartbeat_miss_beats)
+        );
+        assert_eq!(detected.retransmit.detection_seconds, expect);
+        assert_eq!(
+            legacy.retransmit.detection_seconds, 0.0,
+            "instant fail-stop path"
+        );
+        // the recovery lane carries detection + restore + replay
+        let lane: f64 = detected.timeline.steps.iter().map(|s| s.recovery_s).sum();
+        assert!(
+            (lane - (detected.recovery.recovery_seconds() + detected.retransmit.detection_seconds))
+                .abs()
+                < 1e-9,
+            "lane {lane}"
+        );
+        assert_eq!(detected.timeline.total_seconds(), detected.sim_seconds);
+    }
+
+    #[test]
+    fn fail_stop_still_applies_under_link_faults() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,kill=0@0,slowlink=0-1:1").unwrap();
+        let mut sim = with_faults(plan, || {
+            Sim::new(ClusterSpec::paper(2), ExecProfile::native())
+        });
+        let err = sim.end_step().unwrap_err();
+        assert_eq!(err, SimError::NodeFailed { node: 0, step: 0 });
+    }
+
+    #[test]
+    fn explicit_zero_linkdrop_is_bit_identical_to_no_clause() {
+        use crate::faults::{with_faults, FaultPlan};
+        let with_zero = FaultPlan::parse("seed=1,straggler=0.3x2,linkdrop=0").unwrap();
+        let without = FaultPlan::parse("seed=1,straggler=0.3x2").unwrap();
+        assert_eq!(with_zero, without);
+        assert_eq!(with_zero.key(), without.key());
+        let run = |plan: FaultPlan| {
+            let mut sim = with_faults(plan, || {
+                Sim::new(ClusterSpec::paper(2), ExecProfile::giraph())
+            });
+            for i in 0..3u64 {
+                sim.charge(0, Work::stream(1_000_000_000 + i));
+                sim.send_to(0, 1, 10_000 + i, 20_000, 5);
+                sim.end_step().unwrap();
+            }
+            sim.finish()
+        };
+        let a = run(with_zero);
+        let b = run(without);
+        assert_eq!(a, b);
+        assert!(a.retransmit.is_zero());
+    }
+
+    #[test]
+    fn raising_link_drop_never_removes_retransmissions() {
+        use crate::faults::{with_faults, FaultPlan};
+        let run = |prob: &str| {
+            let plan = FaultPlan::parse(&format!("seed=9,linkdrop={prob}")).unwrap();
+            let mut sim = with_faults(plan, || {
+                Sim::new(ClusterSpec::paper(4), ExecProfile::native())
+            });
+            for i in 0..200u64 {
+                sim.send_to((i % 3) as usize, 3, 100, 100, 1);
+                sim.end_step().unwrap();
+            }
+            sim.finish()
+        };
+        let lo = run("0.05");
+        let hi = run("0.4");
+        assert!(lo.retransmit.retransmits > 0);
+        assert!(hi.retransmit.retransmits > lo.retransmit.retransmits);
+        assert!(hi.retransmit.retransmitted_bytes > lo.retransmit.retransmitted_bytes);
+    }
+
+    #[test]
+    fn speculative_reexecution_charges_buddy_not_slowdown() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,straggler=1x8,slowlink=0-1:1").unwrap();
+        let p = {
+            let mut p = ExecProfile::graphlab();
+            p.per_step_overhead_s = 0.0;
+            p
+        };
+        let mut sim = with_faults(plan, || Sim::new(ClusterSpec::paper(2), p));
+        assert!(sim.speculation_active());
+        assert!(sim.straggler_at(0).is_some(), "prob 1 ⇒ always a straggler");
+        let w = Work::stream(8_500_000_000); // 0.1 s un-slowed
+        sim.charge_speculated(0, 1, w, 42);
+        sim.end_step().unwrap();
+        let r = sim.finish();
+        // both nodes paid the un-slowed time; the step is ~0.1 s, not 0.8 s
+        let base = Sim::new(ClusterSpec::paper(2), p).compute_seconds_for(w);
+        let step = &r.timeline.steps[0];
+        assert!((step.compute_s - base).abs() < 1e-9, "{}", step.compute_s);
+        assert_eq!(r.retransmit.speculative_reexecs, 1);
+        assert_eq!(r.retransmit.suppressed_duplicates, 42);
+        assert!((r.retransmit.speculative_seconds - base).abs() < 1e-12);
+        assert_eq!(r.recovery.straggler_events, 1);
+        // the work itself was executed twice (plus node 1's heartbeat,
+        // which the socket layer meters as streamed bytes)
+        assert_eq!(
+            r.total_work.seq_bytes,
+            2 * 8_500_000_000 + HEARTBEAT_WIRE_BYTES
+        );
     }
 
     #[test]

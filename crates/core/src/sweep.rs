@@ -37,7 +37,8 @@ use std::time::Instant;
 use graphmaze_cluster::{with_faults, with_work_scale, FaultPlan, SimError};
 use graphmaze_datagen::Dataset;
 use graphmaze_metrics::{
-    RecoveryStats, RunReport, StepRecord, Timeline, TrafficMatrix, TrafficStats, Work,
+    RecoveryStats, RetransmitStats, RunReport, StepRecord, Timeline, TrafficMatrix, TrafficStats,
+    Work,
 };
 
 use crate::runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
@@ -259,6 +260,10 @@ pub enum CellError {
     /// The fault plan killed a node and the framework fail-stops (no
     /// checkpoint/restart) — the paper's "job lost" cells.
     NodeFailed(String),
+    /// The cell exceeded the per-cell wall-clock budget
+    /// ([`SweepOptions::cell_timeout`]). Journaled, so a `resume`
+    /// quarantines the cell instead of re-running it forever.
+    TimedOut(String),
 }
 
 impl CellError {
@@ -269,6 +274,7 @@ impl CellError {
             CellError::InvalidConfig(_) => "invalid",
             CellError::Panicked(_) => "panic",
             CellError::NodeFailed(_) => "failed",
+            CellError::TimedOut(_) => "timeout",
         }
     }
 
@@ -278,7 +284,8 @@ impl CellError {
             CellError::OutOfMemory(m)
             | CellError::InvalidConfig(m)
             | CellError::Panicked(m)
-            | CellError::NodeFailed(m) => m,
+            | CellError::NodeFailed(m)
+            | CellError::TimedOut(m) => m,
         }
     }
 
@@ -289,6 +296,7 @@ impl CellError {
             CellError::InvalidConfig(_) => "n/a",
             CellError::Panicked(_) => "fail",
             CellError::NodeFailed(_) => "failed",
+            CellError::TimedOut(_) => "timeout",
         }
     }
 
@@ -297,6 +305,7 @@ impl CellError {
             "oom" => CellError::OutOfMemory(message),
             "invalid" => CellError::InvalidConfig(message),
             "failed" => CellError::NodeFailed(message),
+            "timeout" => CellError::TimedOut(message),
             _ => CellError::Panicked(message),
         }
     }
@@ -390,6 +399,13 @@ pub struct SweepOptions {
     pub journal: Option<PathBuf>,
     /// Skip cells already present in the journal.
     pub resume: bool,
+    /// Per-cell wall-clock budget for the benchmark run (workload
+    /// construction is excluded — it is cached and shared). A cell that
+    /// exceeds it records [`CellError::TimedOut`] and its runaway engine
+    /// thread is detached (the eventual result discarded); because the
+    /// outcome is journaled, a `resume` quarantines the cell instead of
+    /// re-running it forever. `None` disables the budget.
+    pub cell_timeout: Option<std::time::Duration>,
 }
 
 /// Aggregate result of a sweep.
@@ -569,7 +585,7 @@ impl Sweep {
                             elapsed_s: t0.elapsed().as_secs_f64(),
                         });
                         let t = Instant::now();
-                        let outcome = execute_cell(cell, cache);
+                        let outcome = execute_cell(cell, cache, opts.cell_timeout);
                         let r = CellResult {
                             status: CellStatus::Ran,
                             outcome,
@@ -611,21 +627,56 @@ impl Sweep {
     }
 }
 
-/// Runs one cell with panic isolation, the cell's work scale and the
-/// cell's fault plan (both thread-local, so `--jobs N` workers never
+/// Runs one cell with panic isolation and, when `timeout` is set, a
+/// wall-clock budget on the benchmark run. The workload is resolved
+/// through the cache on the calling worker first so the budget never
+/// charges (shared, one-off) construction time to an unlucky cell.
+fn execute_cell(
+    cell: &SweepCell,
+    cache: &WorkloadCache,
+    timeout: Option<std::time::Duration>,
+) -> Result<RunOutcome, CellError> {
+    let wl = match catch_unwind(AssertUnwindSafe(|| cache.get(&cell.spec))) {
+        Ok(wl) => wl,
+        Err(payload) => return Err(CellError::Panicked(panic_message(&payload))),
+    };
+    match timeout {
+        None => run_cell(cell, &wl),
+        // a zero budget forfeits every cell up front; skipping the spawn
+        // keeps the outcome deterministic instead of racing a fast cell
+        // against an already-expired deadline
+        Some(limit) if limit.is_zero() => Err(CellError::TimedOut(
+            "cell exceeded its 0.000 s wall-clock budget".to_string(),
+        )),
+        Some(limit) => {
+            // the benchmark runs on a detached thread so a runaway cell
+            // can be abandoned: Rust threads cannot be killed, but the
+            // receiver gives up at the deadline and the orphan's eventual
+            // send goes nowhere
+            let (tx, rx) = std::sync::mpsc::channel();
+            let cell = cell.clone();
+            std::thread::spawn(move || {
+                let _ = tx.send(run_cell(&cell, &wl));
+            });
+            match rx.recv_timeout(limit) {
+                Ok(outcome) => outcome,
+                Err(_) => Err(CellError::TimedOut(format!(
+                    "cell exceeded its {:.3} s wall-clock budget",
+                    limit.as_secs_f64()
+                ))),
+            }
+        }
+    }
+}
+
+/// The benchmark body of one cell: panic isolation plus the cell's work
+/// scale and fault plan (both thread-local, so `--jobs N` workers never
 /// leak either into each other's cells).
-fn execute_cell(cell: &SweepCell, cache: &WorkloadCache) -> Result<RunOutcome, CellError> {
+fn run_cell(cell: &SweepCell, wl: &Workload) -> Result<RunOutcome, CellError> {
     let caught = catch_unwind(AssertUnwindSafe(|| {
-        let wl = cache.get(&cell.spec);
         with_faults(cell.faults, || {
             with_work_scale(cell.factor, || {
-                run_benchmark(
-                    cell.algorithm,
-                    cell.framework,
-                    &wl,
-                    cell.nodes,
-                    &cell.params,
-                )
+                run_benchmark(cell.algorithm, cell.framework, wl, cell.nodes, &cell.params)
             })
         })
     }));
@@ -659,8 +710,10 @@ fn fnv1a64(s: &str) -> u64 {
 // JSONL journal
 //
 // One flat JSON object per line, tagged with the schema version `v`
-// (currently 3; v2 added the step timeline, v3 the per-destination
-// communication matrix and per-node sent bytes). Successful cells carry the
+// (currently 4; v2 added the step timeline, v3 the per-destination
+// communication matrix and per-node sent bytes, v4 the `resilience`
+// timeline column, the `ret_*` lossy-link counters and the `timeout`
+// error kind). Successful cells carry the
 // digest and the *complete* RunReport (fig6 consumes utilization/
 // traffic/memory/timeline, not just seconds), with f64s in shortest-
 // round-trip form so resumed CSVs are byte-identical. The timeline is
@@ -675,12 +728,14 @@ fn fnv1a64(s: &str) -> u64 {
 // `run_nodes × run_nodes` communication matrix as comma-joined u64s.
 // Lines whose `v` is missing or different are skipped with a warning,
 // as are lines predating fault injection (no `"faults"` field) — those
-// cells simply re-run.
+// cells simply re-run. Successful v4 lines additionally carry the
+// `ret_*` RetransmitStats fields (ack/retransmit, heartbeat and
+// speculation counters — all zero unless the fault plan has link terms).
 // ---------------------------------------------------------------------
 
 /// Journal line schema version. Bump when the line format changes
 /// incompatibly; `load_journal` skips lines from other versions.
-pub const JOURNAL_SCHEMA_VERSION: u32 = 3;
+pub const JOURNAL_SCHEMA_VERSION: u32 = 4;
 
 fn esc_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -732,7 +787,7 @@ fn unesc_phase(s: &str) -> String {
 }
 
 /// Encodes a [`Timeline`]'s steps as one string value:
-/// `step|phase|compute|comm|barrier|recovery|bytes|msgs|max_node_bytes|mem_peak`
+/// `step|phase|compute|comm|barrier|recovery|resilience|bytes|msgs|max_node_bytes|mem_peak`
 /// records joined by `;`. `{:?}` keeps f64s shortest-round-trip
 /// ("inf"/"NaN" for non-finite, which `f64::from_str` parses back).
 fn timeline_string(tl: &Timeline) -> String {
@@ -740,13 +795,14 @@ fn timeline_string(tl: &Timeline) -> String {
         .iter()
         .map(|r| {
             format!(
-                "{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
+                "{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
                 r.step,
                 esc_phase(&r.phase),
                 r.compute_s,
                 r.comm_s,
                 r.barrier_s,
                 r.recovery_s,
+                r.resilience_s,
                 r.bytes_sent,
                 r.messages,
                 r.max_node_bytes,
@@ -802,6 +858,7 @@ fn timeline_from_string(nodes: usize, s: &str) -> Option<Timeline> {
         let comm_s = it.next()?.parse().ok()?;
         let barrier_s = it.next()?.parse().ok()?;
         let recovery_s = it.next()?.parse().ok()?;
+        let resilience_s = it.next()?.parse().ok()?;
         let bytes_sent = it.next()?.parse().ok()?;
         let messages = it.next()?.parse().ok()?;
         let max_node_bytes = it.next()?.parse().ok()?;
@@ -816,6 +873,7 @@ fn timeline_from_string(nodes: usize, s: &str) -> Option<Timeline> {
             comm_s,
             barrier_s,
             recovery_s,
+            resilience_s,
             bytes_sent,
             messages,
             max_node_bytes,
@@ -875,6 +933,23 @@ fn journal_line(experiment: &str, cell: &SweepCell, result: &CellResult) -> Stri
                 rec.dropped_sends,
                 rec.retransmitted_bytes,
                 rec.mem_pressure_events,
+            ));
+            let ret = &r.retransmit;
+            s.push_str(&format!(
+                ",\"ret_retransmits\":{},\"ret_retransmitted_bytes\":{},\"ret_duplicates\":{},\"ret_duplicate_bytes\":{},\"ret_timeout_seconds\":{},\"ret_heartbeats\":{},\"ret_heartbeat_bytes\":{},\"ret_missed_beats\":{},\"ret_suspicions\":{},\"ret_detection_seconds\":{},\"ret_spec_reexecs\":{},\"ret_spec_seconds\":{},\"ret_suppressed\":{}",
+                ret.retransmits,
+                ret.retransmitted_bytes,
+                ret.duplicates,
+                ret.duplicate_bytes,
+                f64_json(ret.timeout_seconds),
+                ret.heartbeats,
+                ret.heartbeat_bytes,
+                ret.missed_beats,
+                ret.suspicions,
+                f64_json(ret.detection_seconds),
+                ret.speculative_reexecs,
+                f64_json(ret.speculative_seconds),
+                ret.suppressed_duplicates,
             ));
             s.push_str(&format!(
                 ",\"tl_nodes\":{},\"timeline\":\"{}\"",
@@ -1049,6 +1124,21 @@ fn entry_outcome(m: &HashMap<String, String>) -> Option<Result<RunOutcome, CellE
                     dropped_sends: u("rec_dropped_sends")?,
                     retransmitted_bytes: u("rec_retransmitted_bytes")?,
                     mem_pressure_events: u("rec_mem_pressure")?,
+                },
+                retransmit: RetransmitStats {
+                    retransmits: u("ret_retransmits")?,
+                    retransmitted_bytes: u("ret_retransmitted_bytes")?,
+                    duplicates: u("ret_duplicates")?,
+                    duplicate_bytes: u("ret_duplicate_bytes")?,
+                    timeout_seconds: f("ret_timeout_seconds")?,
+                    heartbeats: u("ret_heartbeats")?,
+                    heartbeat_bytes: u("ret_heartbeat_bytes")?,
+                    missed_beats: u("ret_missed_beats")?,
+                    suspicions: u("ret_suspicions")? as u32,
+                    detection_seconds: f("ret_detection_seconds")?,
+                    speculative_reexecs: u("ret_spec_reexecs")?,
+                    speculative_seconds: f("ret_spec_seconds")?,
+                    suppressed_duplicates: u("ret_suppressed")?,
                 },
             };
             Some(Ok(RunOutcome {
@@ -1261,6 +1351,7 @@ mod tests {
                         comm_s: 0.0078125,
                         barrier_s: 0.001,
                         recovery_s: 0.03125,
+                        resilience_s: 0.0009765625,
                         bytes_sent: 999,
                         messages: 55,
                         max_node_bytes: 600,
@@ -1275,6 +1366,7 @@ mod tests {
                         comm_s: 0.0,
                         barrier_s: 0.001,
                         recovery_s: 0.0,
+                        resilience_s: 0.0,
                         bytes_sent: 0,
                         messages: 0,
                         max_node_bytes: 0,
@@ -1301,6 +1393,21 @@ mod tests {
                     m.record(0, 1, 700, 30);
                     m.record(1, 0, 299, 25);
                     m
+                },
+                retransmit: RetransmitStats {
+                    retransmits: 9,
+                    retransmitted_bytes: 4321,
+                    duplicates: 2,
+                    duplicate_bytes: 128,
+                    timeout_seconds: 0.0009765625,
+                    heartbeats: 14,
+                    heartbeat_bytes: 224,
+                    missed_beats: 3,
+                    suspicions: 1,
+                    detection_seconds: 3.0000000000000004,
+                    speculative_reexecs: 5,
+                    speculative_seconds: 0.1234567890123456,
+                    suppressed_duplicates: 77,
                 },
             },
         };
@@ -1342,8 +1449,9 @@ mod tests {
         let mut body = journal_line("e", &cell, &good);
         // a v1-era line (no `v` field) and a future version: both skipped
         let old = small_cell(Framework::Giraph, 2);
-        body.push_str(&journal_line("e", &old, &good).replacen("{\"v\":3,", "{", 1));
-        body.push_str(&journal_line("e", &old, &good).replacen("\"v\":3", "\"v\":99", 1));
+        let v = format!("\"v\":{JOURNAL_SCHEMA_VERSION}");
+        body.push_str(&journal_line("e", &old, &good).replacen(&format!("{{{v},"), "{", 1));
+        body.push_str(&journal_line("e", &old, &good).replacen(&v, "\"v\":99", 1));
         std::fs::write(&path, body).unwrap();
         let loaded = load_journal(&path);
         assert_eq!(loaded.len(), 1, "only the current-version line survives");
@@ -1402,6 +1510,63 @@ mod tests {
         let loaded = load_journal(&path);
         assert_eq!(loaded.len(), 1);
         assert!(loaded.contains_key(&cell.key("e")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn timed_out_cells_round_trip_through_the_journal() {
+        let err = CellError::TimedOut("cell exceeded its 30.000 s wall-clock budget".into());
+        assert_eq!(err.kind(), "timeout");
+        assert_eq!(err.annotation(), "timeout");
+        let cell = small_cell(Framework::Giraph, 8);
+        let r = CellResult {
+            status: CellStatus::Ran,
+            outcome: Err(err.clone()),
+            wall_secs: 30.0,
+        };
+        let m = parse_flat_json(&journal_line("resilience", &cell, &r)).expect("parses");
+        let back = entry_outcome(&m).expect("entry").expect_err("failure");
+        assert_eq!(back, err);
+    }
+
+    #[test]
+    fn cell_timeout_records_timed_out_and_resume_quarantines() {
+        let dir = std::env::temp_dir().join(format!("gm-sweep-t-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("timeout.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut sweep = Sweep::new("tmo");
+        sweep.push(small_cell(Framework::Native, 2));
+        let cache = WorkloadCache::new();
+        // a zero budget times out before any benchmark can finish
+        let opts = SweepOptions {
+            jobs: 1,
+            journal: Some(path.clone()),
+            resume: false,
+            cell_timeout: Some(std::time::Duration::ZERO),
+        };
+        let rep = sweep.run(&opts, &cache);
+        assert_eq!(rep.ran, 1);
+        assert!(
+            matches!(rep.results[0].outcome, Err(CellError::TimedOut(_))),
+            "{:?}",
+            rep.results[0].outcome
+        );
+        // resume must quarantine the journaled timeout, not retry it —
+        // even with the budget lifted
+        let opts2 = SweepOptions {
+            jobs: 1,
+            journal: Some(path.clone()),
+            resume: true,
+            cell_timeout: None,
+        };
+        let rep2 = sweep.run(&opts2, &cache);
+        assert_eq!((rep2.ran, rep2.resumed), (0, 1));
+        assert_eq!(rep2.results[0].status, CellStatus::Resumed);
+        assert!(matches!(
+            rep2.results[0].outcome,
+            Err(CellError::TimedOut(_))
+        ));
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -177,6 +177,12 @@ pub struct EngineConfig {
     /// compression (bitvectors) ... should also help") applied to the
     /// vertex runtimes. Stock GraphLab/Giraph do not do this.
     pub compress_ids: bool,
+    /// Speculatively re-execute straggler slices on a buddy node
+    /// (Hadoop/Giraph-style speculative execution). Only takes effect
+    /// when the active fault plan carries link-level terms; the buddy's
+    /// duplicate result messages are suppressed by the Mailbox combiner
+    /// and never reach the wire.
+    pub speculative_reexec: bool,
 }
 
 /// Number of streaming phases assumed when messages are *not* buffered
@@ -284,6 +290,7 @@ pub fn run<P: VertexProgram>(
                 let mut recv_bytes = 0u64;
                 let mut recv_msgs = 0u64;
                 let mut sent_bytes_local = 0u64;
+                let mut sent_msgs_local = 0u64;
                 // per-destination-node outgoing buffers for this slice
                 let mut mbox: Mailbox<P::Msg> = Mailbox::new(node, nodes);
                 // hub mirror syncs, batched into one bulk transfer per
@@ -320,6 +327,7 @@ pub fn run<P: VertexProgram>(
                             let dest = part.owner(dst);
                             let bytes = program.message_bytes(&m);
                             sent_bytes_local += bytes;
+                            sent_msgs_local += 1;
                             if dest != node && !sent_to[dest] {
                                 sent_to[dest] = true;
                                 hub_wire[dest] += 4 + bytes;
@@ -329,6 +337,7 @@ pub fn run<P: VertexProgram>(
                         }
                     } else {
                         for (dst, m) in ctx.outgoing {
+                            sent_msgs_local += 1;
                             mbox.post(part.owner(dst), dst, m);
                         }
                     }
@@ -362,7 +371,20 @@ pub fn run<P: VertexProgram>(
                     rand_accesses: recv_msgs,
                     flops: recv_msgs * program.flops_per_msg(),
                 };
-                sim.charge(node, w);
+                // speculative re-execution: a straggling slice is re-run
+                // on a buddy node in parallel; the faster copy wins, so
+                // the slowdown is masked and the buddy's duplicate result
+                // messages are suppressed by the combiner (never wired)
+                if cfg.speculative_reexec
+                    && nodes > 1
+                    && sim.speculation_active()
+                    && sim.straggler_at(node).is_some()
+                {
+                    let buddy = (node + 1) % nodes;
+                    sim.charge_speculated(node, buddy, w, sent_msgs_local);
+                } else {
+                    sim.charge(node, w);
+                }
                 // buffering memory
                 let buffered = if cfg.buffer_whole_superstep {
                     recv_bytes + sent_bytes_local + recv_msgs * cfg.per_message_overhead_bytes
@@ -453,6 +475,7 @@ mod tests {
             max_supersteps: 10,
             replicate_hubs_factor: None,
             compress_ids: false,
+            speculative_reexec: false,
         }
     }
 

@@ -38,6 +38,7 @@ pub fn config(max_supersteps: u32, splits: u32) -> EngineConfig {
         max_supersteps,
         replicate_hubs_factor: None,
         compress_ids: profile.router.compress_ids, // plain 1-D vertex partitioning
+        speculative_reexec: profile.speculative_reexec,
     }
 }
 

@@ -32,6 +32,7 @@ pub fn config(max_supersteps: u32) -> EngineConfig {
         // replicate vertices with ≥8x the average degree (§6.1.1)
         replicate_hubs_factor: Some(8.0),
         compress_ids: profile.router.compress_ids,
+        speculative_reexec: profile.speculative_reexec,
     }
 }
 

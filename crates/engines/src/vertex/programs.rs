@@ -387,6 +387,7 @@ mod tests {
             max_supersteps: max,
             replicate_hubs_factor: None,
             compress_ids: false,
+            speculative_reexec: false,
         }
     }
 

@@ -30,6 +30,7 @@ pub fn gps_config(max_supersteps: u32) -> EngineConfig {
         max_supersteps,
         replicate_hubs_factor: Some(8.0), // LALP
         compress_ids: profile.router.compress_ids,
+        speculative_reexec: profile.speculative_reexec,
     }
 }
 
@@ -45,6 +46,7 @@ pub fn graphx_config(max_supersteps: u32) -> EngineConfig {
         max_supersteps,
         replicate_hubs_factor: None,
         compress_ids: profile.router.compress_ids,
+        speculative_reexec: profile.speculative_reexec,
     }
 }
 

@@ -15,6 +15,7 @@
 pub mod memory;
 pub mod recovery;
 pub mod report;
+pub mod retransmit;
 pub mod timeline;
 pub mod traffic;
 pub mod work;
@@ -22,6 +23,7 @@ pub mod work;
 pub use memory::{MemTracker, OutOfMemory};
 pub use recovery::RecoveryStats;
 pub use report::RunReport;
+pub use retransmit::RetransmitStats;
 pub use timeline::{PhaseStat, StepRecord, Timeline};
 pub use traffic::{TrafficMatrix, TrafficStats};
 pub use work::Work;

@@ -1,6 +1,7 @@
 //! Run reports — the simulator's answer to the paper's measurements.
 
 use crate::recovery::RecoveryStats;
+use crate::retransmit::RetransmitStats;
 use crate::timeline::Timeline;
 use crate::traffic::{TrafficMatrix, TrafficStats};
 use crate::work::Work;
@@ -46,9 +47,13 @@ pub struct RunReport {
     /// `timeline.total_bytes() == traffic.bytes_sent`).
     pub timeline: Timeline,
     /// Fault-injection and recovery counters (all zero for fault-free
-    /// runs); `recovery.recovery_seconds()` equals the timeline's
-    /// `recovery_s` column sum.
+    /// runs); `recovery.recovery_seconds() + retransmit.detection_seconds`
+    /// equals the timeline's `recovery_s` column sum.
     pub recovery: RecoveryStats,
+    /// Lossy-link resilience counters (all zero unless the fault plan
+    /// has link-level terms); `retransmit.timeout_seconds` equals the
+    /// timeline's `resilience_s` column sum.
+    pub retransmit: RetransmitStats,
 }
 
 impl RunReport {

@@ -1,0 +1,101 @@
+//! Lossy-link resilience counters — the cost of keeping the message
+//! plane reliable when the network is not.
+//!
+//! [`RetransmitStats`] records what the ack/retransmit protocol, the
+//! heartbeat failure detector and speculative straggler re-execution
+//! *spent* to mask link faults: retransmitted bytes, exponential-backoff
+//! timeout seconds, heartbeat traffic, failure-detection latency and
+//! duplicated work. All counters are zero unless the active
+//! [`FaultPlan`] carries link-level terms (`linkdrop`/`dup`/`slowlink`),
+//! so fault-free reports stay bit-identical with earlier journal
+//! versions.
+//!
+//! [`FaultPlan`]: https://docs.rs/graphmaze-cluster (cluster::faults)
+
+/// Counters for the resilience machinery of one run. Carried in
+/// [`crate::RunReport`] and journal schema v4.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RetransmitStats {
+    /// Retransmissions performed: one per transmission attempt lost on a
+    /// lossy link (`linkdrop`), capped per transfer by the attempt limit.
+    pub retransmits: u64,
+    /// Wire bytes of those retransmissions (charged to the sender and
+    /// the traffic matrix like any other transfer).
+    pub retransmitted_bytes: u64,
+    /// Transfers duplicated in flight (`dup`).
+    pub duplicates: u64,
+    /// Wire bytes of the duplicate deliveries.
+    pub duplicate_bytes: u64,
+    /// Simulated seconds spent in retransmission timeouts (exponential
+    /// backoff) and slow-link excess wire time — the timeline's
+    /// `resilience_s` column sum.
+    pub timeout_seconds: f64,
+    /// Heartbeats exchanged by the failure detector.
+    pub heartbeats: u64,
+    /// Wire bytes of those heartbeats.
+    pub heartbeat_bytes: u64,
+    /// Beats the detector waited for a dead peer before suspecting it.
+    pub missed_beats: u64,
+    /// Peers declared suspect after K missed beats.
+    pub suspicions: u32,
+    /// Failure-detection latency (K × heartbeat period per suspicion),
+    /// charged to the recovery lane before restore/replay begins.
+    pub detection_seconds: f64,
+    /// Straggler partitions speculatively re-executed on a buddy node.
+    pub speculative_reexecs: u64,
+    /// Compute seconds the buddies spent on that speculation.
+    pub speculative_seconds: f64,
+    /// Duplicate result messages suppressed by the Mailbox combiner
+    /// (the speculating buddy's copies never reach the wire).
+    pub suppressed_duplicates: u64,
+}
+
+impl RetransmitStats {
+    /// Whether nothing resilience-related happened (fault-free runs and
+    /// plans without link-level terms).
+    pub fn is_zero(&self) -> bool {
+        *self == RetransmitStats::default()
+    }
+
+    /// Total extra wire bytes the lossy link cost this run.
+    pub fn overhead_bytes(&self) -> u64 {
+        self.retransmitted_bytes + self.duplicate_bytes + self.heartbeat_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let s = RetransmitStats::default();
+        assert!(s.is_zero());
+        assert_eq!(s.overhead_bytes(), 0);
+    }
+
+    #[test]
+    fn any_counter_breaks_is_zero() {
+        let s = RetransmitStats {
+            retransmits: 1,
+            ..Default::default()
+        };
+        assert!(!s.is_zero());
+        let t = RetransmitStats {
+            timeout_seconds: 0.5,
+            ..Default::default()
+        };
+        assert!(!t.is_zero());
+    }
+
+    #[test]
+    fn overhead_sums_all_extra_traffic() {
+        let s = RetransmitStats {
+            retransmitted_bytes: 100,
+            duplicate_bytes: 30,
+            heartbeat_bytes: 7,
+            ..Default::default()
+        };
+        assert_eq!(s.overhead_bytes(), 137);
+    }
+}

@@ -9,8 +9,9 @@
 //! Chrome-trace/CSV exporters in the bench harness.
 //!
 //! Reconciliation is exact by construction: the simulator's clock is
-//! advanced by `compute_s + comm_s + barrier_s + recovery_s` of the
-//! record it pushes (same additions, same association), so
+//! advanced by `compute_s + comm_s + barrier_s + recovery_s +
+//! resilience_s` of the record it pushes (same additions, same
+//! association), so
 //! `timeline.total_seconds() == report.sim_seconds` holds bit-for-bit,
 //! and `timeline.total_bytes() == report.traffic.bytes_sent` likewise.
 
@@ -28,9 +29,14 @@ pub struct StepRecord {
     pub comm_s: f64,
     /// Barrier/coordination seconds (the profile's per-step overhead).
     pub barrier_s: f64,
-    /// Resilience seconds folded into the step: checkpoint writes plus
-    /// any restore/replay after a node failure (zero without faults).
+    /// Recovery seconds folded into the step: checkpoint writes plus
+    /// any failure-detection latency and restore/replay after a node
+    /// failure (zero without faults).
     pub recovery_s: f64,
+    /// Resilience-protocol seconds folded into the step: retransmission
+    /// timeouts with exponential backoff plus slow-link excess wire time
+    /// (zero unless the fault plan has link-level terms).
+    pub resilience_s: f64,
     /// Wire bytes sent by all nodes during the step.
     pub bytes_sent: u64,
     /// Messages sent by all nodes during the step.
@@ -48,7 +54,7 @@ impl StepRecord {
     /// operations in identical order).
     #[inline]
     pub fn duration_s(&self) -> f64 {
-        self.compute_s + self.comm_s + self.barrier_s + self.recovery_s
+        self.compute_s + self.comm_s + self.barrier_s + self.recovery_s + self.resilience_s
     }
 }
 
@@ -186,6 +192,7 @@ mod tests {
             comm_s: m,
             barrier_s: b,
             recovery_s: 0.0,
+            resilience_s: 0.0,
             bytes_sent: bytes,
             messages: bytes / 100,
             max_node_bytes: bytes / 2,

@@ -77,6 +77,7 @@ fn giraph_tc_with_memory(
         max_supersteps: 4,
         replicate_hubs_factor: None,
         compress_ids: false,
+        speculative_reexec: false,
     };
     let n = oriented.num_vertices();
     let (values, report) = run(
@@ -273,6 +274,7 @@ fn fail_stop_cell_flows_through_the_sweep_as_failed() {
         jobs: 1,
         journal: Some(journal.clone()),
         resume,
+        cell_timeout: None,
     };
     let first = sweep.run(&opts(false), &WorkloadCache::new());
     assert_eq!(first.failed, 1);

@@ -456,6 +456,7 @@ fn faulted_sweep_is_bit_identical_across_jobs() {
             jobs: 1,
             journal: Some(j1.clone()),
             resume: false,
+            cell_timeout: None,
         },
         &WorkloadCache::new(),
     );
@@ -464,6 +465,7 @@ fn faulted_sweep_is_bit_identical_across_jobs() {
             jobs: 4,
             journal: Some(j4.clone()),
             resume: false,
+            cell_timeout: None,
         },
         &WorkloadCache::new(),
     );

@@ -66,6 +66,7 @@ fn parallel_run_matches_serial_run_exactly() {
             jobs: 1,
             journal: None,
             resume: false,
+            cell_timeout: None,
         },
         &WorkloadCache::new(),
     );
@@ -74,6 +75,7 @@ fn parallel_run_matches_serial_run_exactly() {
             jobs: 4,
             journal: None,
             resume: false,
+            cell_timeout: None,
         },
         &WorkloadCache::new(),
     );
@@ -98,6 +100,7 @@ fn cache_is_shared_across_cells() {
             jobs: 4,
             journal: None,
             resume: false,
+            cell_timeout: None,
         },
         &cache,
     );
@@ -115,6 +118,7 @@ fn resume_skips_journaled_cells_and_reproduces_results() {
         jobs: 2,
         journal: Some(journal.clone()),
         resume: false,
+        cell_timeout: None,
     };
     let first = sweep.run(&opts, &WorkloadCache::new());
     assert_eq!(first.ran, sweep.len());
@@ -125,6 +129,7 @@ fn resume_skips_journaled_cells_and_reproduces_results() {
         jobs: 2,
         journal: Some(journal.clone()),
         resume: true,
+        cell_timeout: None,
     };
     let second = sweep.run(&opts, &WorkloadCache::new());
     assert_eq!(second.ran, 0, "every cell must come from the journal");
@@ -154,6 +159,7 @@ fn resume_runs_only_the_missing_cells() {
         jobs: 1,
         journal: Some(journal.clone()),
         resume: false,
+        cell_timeout: None,
     };
     prefix.run(&opts, &WorkloadCache::new());
 
@@ -161,6 +167,7 @@ fn resume_runs_only_the_missing_cells() {
         jobs: 2,
         journal: Some(journal.clone()),
         resume: true,
+        cell_timeout: None,
     };
     let resumed = sweep.run(&opts, &WorkloadCache::new());
     assert_eq!(resumed.resumed, 4);
@@ -204,6 +211,7 @@ fn panicking_cell_fails_alone() {
             jobs: 2,
             journal: None,
             resume: false,
+            cell_timeout: None,
         },
         &WorkloadCache::new(),
     );
@@ -252,6 +260,7 @@ fn failed_cells_resume_from_the_journal_too() {
         jobs: 1,
         journal: Some(journal.clone()),
         resume: false,
+        cell_timeout: None,
     };
     let first = sweep.run(&opts, &WorkloadCache::new());
     assert!(matches!(
@@ -263,6 +272,7 @@ fn failed_cells_resume_from_the_journal_too() {
         jobs: 1,
         journal: Some(journal.clone()),
         resume: true,
+        cell_timeout: None,
     };
     let second = sweep.run(&opts, &WorkloadCache::new());
     assert_eq!(second.resumed, 1, "deterministic failures are not retried");
@@ -279,6 +289,7 @@ fn progress_callback_sees_every_cell() {
             jobs: 3,
             journal: None,
             resume: false,
+            cell_timeout: None,
         },
         &WorkloadCache::new(),
         |i, cell, result| {

@@ -106,6 +106,7 @@ fn matrix_is_byte_identical_across_jobs_settings() {
                 jobs,
                 journal: None,
                 resume: false,
+                cell_timeout: None,
             },
             &WorkloadCache::new(),
         )
@@ -169,6 +170,7 @@ fn fault_and_recovery_paths_keep_the_matrix_reconciled() {
             jobs: 1,
             journal: None,
             resume: false,
+            cell_timeout: None,
         },
         &WorkloadCache::new(),
     );
