@@ -14,10 +14,78 @@
 
 use std::sync::atomic::Ordering;
 
+use graphmaze_bench::cli::{Opt, OptionTable};
 use graphmaze_bench::experiments::{extras, figures, tables};
 use graphmaze_bench::ReproConfig;
 
-const USAGE: &str = "\
+/// The option table: drives both parsing and the rendered `usage:`
+/// block, so help and parser can never drift (see
+/// `graphmaze_bench::cli`).
+const OPTIONS: OptionTable = OptionTable {
+    opts: &[
+        Opt::value(
+            "--scale",
+            "N",
+            "target log2 vertex count for generated graphs (default 13)",
+        ),
+        Opt::value("--seed", "N", "generator seed (default 20140622)"),
+        Opt::value(
+            "--jobs",
+            "N",
+            "sweep worker threads (default 1; results are\nbyte-identical to a serial run)",
+        ),
+        Opt::flag(
+            "--resume",
+            "skip cells already recorded in the sweep journal\n\
+             (results/journal.jsonl) from an interrupted run",
+        ),
+        Opt::flag(
+            "--progress",
+            "print live per-cell progress events (started/finished/\n\
+             failed, cells remaining, elapsed) to stderr",
+        )
+        .with_alias("-v"),
+        Opt::value(
+            "--trace",
+            "DIR",
+            "write a Chrome trace-event JSON (Perfetto-loadable) and\n\
+             per-step CSVs for every sweep under DIR",
+        ),
+        Opt::value(
+            "--faults",
+            "SPEC",
+            "run every sweep cell under a fault-injection plan, e.g.\n\
+             seed=1,straggler=0.05x4,drop=0.001,linkdrop=0.01,\n\
+             dup=0.001,slowlink=0-1:4,mempress=0.01:64M,kill=0@3,\n\
+             ckpt=2 (see DESIGN.md \"Resilience\")",
+        ),
+        Opt::value(
+            "--cell-timeout",
+            "SECS",
+            "abandon any sweep cell that exceeds SECS wall-clock\n\
+             seconds, recording a `timeout` outcome in the journal\n\
+             (quarantined by --resume, not retried)",
+        ),
+        Opt::flag(
+            "--list",
+            "list every experiment with its sweep-cell count and exit",
+        ),
+        Opt::flag(
+            "--no-extrapolate",
+            "report raw scaled-down seconds instead of paper-scale",
+        ),
+        Opt::flag(
+            "--no-csv",
+            "do not write results/*.csv (also disables the journal)",
+        ),
+        Opt::value("--out", "DIR", "CSV output directory (default results/)"),
+        Opt::flag("--help", "print this help and exit").with_alias("-h"),
+    ],
+};
+
+fn usage() -> String {
+    format!(
+        "\
 usage: repro <experiment>... [options]
 
 experiments:
@@ -28,28 +96,10 @@ experiments:
   all         (everything above)
 
 options:
-  --scale N           target log2 vertex count for generated graphs (default 13)
-  --seed N            generator seed (default 20140622)
-  --jobs N            sweep worker threads (default 1; results are
-                      byte-identical to a serial run)
-  --resume            skip cells already recorded in the sweep journal
-                      (results/journal.jsonl) from an interrupted run
-  --progress, -v      print live per-cell progress events (started/finished/
-                      failed, cells remaining, elapsed) to stderr
-  --trace DIR         write a Chrome trace-event JSON (Perfetto-loadable) and
-                      per-step CSVs for every sweep under DIR
-  --faults SPEC       run every sweep cell under a fault-injection plan, e.g.
-                      seed=1,straggler=0.05x4,drop=0.001,linkdrop=0.01,
-                      dup=0.001,slowlink=0-1:4,mempress=0.01:64M,kill=0@3,
-                      ckpt=2 (see DESIGN.md \"Resilience\")
-  --cell-timeout SECS abandon any sweep cell that exceeds SECS wall-clock
-                      seconds, recording a `timeout` outcome in the journal
-                      (quarantined by --resume, not retried)
-  --list              list every experiment with its sweep-cell count and exit
-  --no-extrapolate    report raw scaled-down seconds instead of paper-scale
-  --no-csv            do not write results/*.csv (also disables the journal)
-  --out DIR           CSV output directory (default results/)
-";
+{}",
+        OPTIONS.render_options()
+    )
+}
 
 /// `(name, sweep cells, description)` for `--list`. Cell counts are the
 /// defaults (they do not depend on `--scale`); "direct" experiments run
@@ -146,80 +196,57 @@ const EXPERIMENTS: [&str; 21] = [
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprint!("{USAGE}");
+        eprint!("{}", usage());
         std::process::exit(2);
     }
-    let mut cfg = ReproConfig::default();
-    let mut experiments: Vec<String> = Vec::new();
-    let mut list = false;
-    let mut it = args.into_iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--scale" => {
-                cfg.target_scale = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--scale needs an integer"));
-            }
-            "--seed" => {
-                cfg.seed = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--seed needs an integer"));
-            }
-            "--jobs" => {
-                cfg.jobs = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n: &usize| n >= 1)
-                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
-            }
-            "--resume" => cfg.resume = true,
-            "--progress" | "-v" => cfg.progress = true,
-            "--trace" => {
-                cfg.trace_dir = Some(
-                    it.next()
-                        .unwrap_or_else(|| die("--trace needs a directory"))
-                        .into(),
-                );
-            }
-            "--faults" => {
-                let spec = it.next().unwrap_or_else(|| die("--faults needs a spec"));
-                cfg.faults = graphmaze_core::cluster::FaultPlan::parse(&spec)
-                    .unwrap_or_else(|e| die(&format!("bad --faults spec: {e}")));
-            }
-            "--cell-timeout" => {
-                let secs: f64 = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|s: &f64| s.is_finite() && *s >= 0.0)
-                    .unwrap_or_else(|| {
-                        die("--cell-timeout needs a non-negative number of seconds")
-                    });
-                cfg.cell_timeout = Some(std::time::Duration::from_secs_f64(secs));
-            }
-            "--list" => list = true,
-            "--no-extrapolate" => cfg.extrapolate = false,
-            "--no-csv" => cfg.out_dir = None,
-            "--out" => {
-                cfg.out_dir = Some(
-                    it.next()
-                        .unwrap_or_else(|| die("--out needs a directory"))
-                        .into(),
-                );
-            }
-            "-h" | "--help" => {
-                print!("{USAGE}");
-                return;
-            }
-            other if other.starts_with('-') => die(&format!("unknown option `{other}`")),
-            exp => experiments.push(exp.to_string()),
-        }
+    let parsed = OPTIONS.parse(args).unwrap_or_else(|e| die(&e));
+    if parsed.flag("--help") {
+        print!("{}", usage());
+        return;
     }
-    if list {
+    let mut cfg = ReproConfig::default();
+    fn or_die<T>(r: Result<T, String>) -> T {
+        r.unwrap_or_else(|e| die(&e))
+    }
+    if let Some(v) = or_die(parsed.int("--scale")) {
+        cfg.target_scale = v;
+    }
+    if let Some(v) = or_die(parsed.int("--seed")) {
+        cfg.seed = v;
+    }
+    if let Some(n) = or_die(parsed.int::<usize>("--jobs")) {
+        if n < 1 {
+            die("--jobs needs a positive integer");
+        }
+        cfg.jobs = n;
+    }
+    cfg.resume = parsed.flag("--resume");
+    cfg.progress = parsed.flag("--progress");
+    cfg.trace_dir = parsed.raw("--trace").map(Into::into);
+    if let Some(spec) = parsed.raw("--faults") {
+        cfg.faults = graphmaze_core::cluster::FaultPlan::parse(spec)
+            .unwrap_or_else(|e| die(&format!("bad --faults spec: {e}")));
+    }
+    if let Some(secs) = or_die(parsed.num("--cell-timeout")) {
+        if !secs.is_finite() || secs < 0.0 {
+            die("--cell-timeout needs a non-negative number of seconds");
+        }
+        cfg.cell_timeout = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    if parsed.flag("--no-extrapolate") {
+        cfg.extrapolate = false;
+    }
+    if parsed.flag("--no-csv") {
+        cfg.out_dir = None;
+    }
+    if let Some(dir) = parsed.raw("--out") {
+        cfg.out_dir = Some(dir.into());
+    }
+    if parsed.flag("--list") {
         print_listing();
         return;
     }
+    let mut experiments: Vec<String> = parsed.positional;
     // validate every experiment name up front: a typo must fail the whole
     // invocation immediately, not hours into `repro all`
     for exp in &experiments {
@@ -321,6 +348,6 @@ fn main() {
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("error: {msg}\n{USAGE}");
+    eprintln!("error: {msg}\n{}", usage());
     std::process::exit(2)
 }

@@ -25,6 +25,7 @@
 //! `results/journal.jsonl` so a killed run restarted with `--resume`
 //! skips everything already measured.
 
+pub mod cli;
 pub mod experiments;
 pub mod trace;
 
@@ -163,7 +164,7 @@ impl ReproConfig {
 pub fn run_sweep(cfg: &ReproConfig, sweep: &Sweep) -> SweepReport {
     let total = sweep.len();
     let done = AtomicUsize::new(0);
-    let report = sweep.run_with_events(&cfg.sweep_options(), &cfg.cache, |ev| {
+    let report = sweep.execute(&cfg.sweep_options(), &cfg.cache, &|ev: &SweepEvent<'_>| {
         if !cfg.progress {
             return;
         }

@@ -1,0 +1,230 @@
+//! Minimal flat-JSON encode/decode shared by the sweep journal and the
+//! serving wire protocol.
+//!
+//! Both formats are **one flat JSON object per line** — string values,
+//! bare numbers and booleans, no nesting. Keeping the codec this small
+//! (and dependency-free) is deliberate: the journal parser must tolerate
+//! a torn final line from a killed run, and the serving daemon must
+//! never trust a client enough to need a full JSON tree. Anything
+//! structured (timelines, matrices) is encoded as one delimited string
+//! value by its owner.
+
+use std::collections::HashMap;
+
+/// Escapes a string for use inside a JSON string literal.
+pub fn esc_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `{:?}` on finite f64 is shortest-round-trip; non-finite values are
+/// quoted so every line stays valid JSON.
+pub fn f64_json(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        format!("\"{v:?}\"")
+    }
+}
+
+/// Parses one flat JSON object into raw key → value strings (string
+/// values unescaped, numbers/barewords verbatim). Returns `None` on any
+/// malformed input — a torn journal line from a killed run, or a
+/// garbage request line from a misbehaving client, is skipped, not
+/// fatal.
+pub fn parse_flat_json(line: &str) -> Option<HashMap<String, String>> {
+    let b = line.trim().as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |b: &[u8], i: &mut usize| {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let parse_string = |b: &[u8], i: &mut usize| -> Option<String> {
+        if b.get(*i) != Some(&b'"') {
+            return None;
+        }
+        *i += 1;
+        let mut out = String::new();
+        while *i < b.len() {
+            match b[*i] {
+                b'"' => {
+                    *i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    *i += 1;
+                    match b.get(*i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(b.get(*i + 1..*i + 5)?).ok()?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            *i += 4;
+                        }
+                        _ => return None,
+                    }
+                    *i += 1;
+                }
+                c if c < 0x80 => {
+                    out.push(c as char);
+                    *i += 1;
+                }
+                _ => {
+                    // multi-byte UTF-8: copy the full scalar
+                    let s = std::str::from_utf8(&b[*i..]).ok()?;
+                    let ch = s.chars().next()?;
+                    out.push(ch);
+                    *i += ch.len_utf8();
+                }
+            }
+        }
+        None
+    };
+    let parse_bare = |b: &[u8], i: &mut usize| -> String {
+        let start = *i;
+        while *i < b.len() && !matches!(b[*i], b',' | b'}') && !b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+        String::from_utf8_lossy(&b[start..*i]).into_owned()
+    };
+
+    skip_ws(b, &mut i);
+    if b.get(i) != Some(&b'{') {
+        return None;
+    }
+    i += 1;
+    let mut map = HashMap::new();
+    loop {
+        skip_ws(b, &mut i);
+        if b.get(i) == Some(&b'}') {
+            return Some(map);
+        }
+        let key = parse_string(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if b.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        skip_ws(b, &mut i);
+        let value = if b.get(i) == Some(&b'"') {
+            parse_string(b, &mut i)?
+        } else {
+            parse_bare(b, &mut i)
+        };
+        map.insert(key, value);
+        skip_ws(b, &mut i);
+        match b.get(i) {
+            Some(&b',') => i += 1,
+            Some(&b'}') => return Some(map),
+            _ => return None,
+        }
+    }
+}
+
+/// Incrementally builds one flat JSON object line. Purely syntactic —
+/// callers own field order (the journal relies on it for byte-stable
+/// lines).
+#[derive(Debug, Default)]
+pub struct FlatJsonBuilder {
+    buf: String,
+}
+
+impl FlatJsonBuilder {
+    /// An empty object.
+    pub fn new() -> Self {
+        FlatJsonBuilder { buf: String::new() }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.buf.push(if self.buf.is_empty() { '{' } else { ',' });
+        self.buf.push('"');
+        self.buf.push_str(&esc_json(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Appends a string field (escaped).
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&esc_json(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Appends an f64 field in shortest-round-trip form (non-finite
+    /// values quoted).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&f64_json(value));
+        self
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    pub fn finish(&mut self) -> String {
+        if self.buf.is_empty() {
+            return "{}".to_string();
+        }
+        let mut out = std::mem::take(&mut self.buf);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_through_parser() {
+        let line = FlatJsonBuilder::new()
+            .str("op", "run")
+            .str("quote", "a\"b\\c\nd")
+            .u64("n", 42)
+            .f64("x", 0.1234567890123456)
+            .f64("inf", f64::INFINITY)
+            .finish();
+        let m = parse_flat_json(&line).expect("parses");
+        assert_eq!(m["op"], "run");
+        assert_eq!(m["quote"], "a\"b\\c\nd");
+        assert_eq!(m["n"], "42");
+        assert_eq!(m["x"].parse::<f64>().unwrap(), 0.1234567890123456);
+        assert_eq!(m["inf"], "inf");
+    }
+
+    #[test]
+    fn empty_builder_is_an_empty_object() {
+        assert_eq!(FlatJsonBuilder::new().finish(), "{}");
+        assert!(parse_flat_json("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_parse_to_none() {
+        for bad in ["", "{", "{\"a\":1", "[1]", "{\"a\"}", "{\"a\":\"b"] {
+            assert!(parse_flat_json(bad).is_none(), "{bad:?}");
+        }
+    }
+}

@@ -26,8 +26,11 @@
 //! }
 //! ```
 
+pub mod cache;
 pub mod engine;
+pub mod flatjson;
 pub mod report;
+pub mod request;
 pub mod runner;
 pub mod sweep;
 pub mod workload;
@@ -39,22 +42,26 @@ pub use graphmaze_graph as graph;
 pub use graphmaze_metrics as metrics;
 pub use graphmaze_native as native;
 
+pub use cache::{CacheStats, CachedOutcome, ResultCache};
 pub use engine::Engine;
+pub use request::{Provenance, RunRequest, RunResponse};
 pub use runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
 pub use sweep::{
-    CellError, CellStatus, Sweep, SweepCell, SweepEvent, SweepOptions, SweepReport, WorkloadCache,
-    WorkloadSpec, JOURNAL_SCHEMA_VERSION,
+    CellError, CellStatus, SilentObserver, Sweep, SweepCell, SweepEvent, SweepObserver,
+    SweepOptions, SweepReport, WorkloadCache, WorkloadSpec, JOURNAL_SCHEMA_VERSION,
 };
 pub use workload::Workload;
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
+    pub use crate::cache::{CacheStats, ResultCache};
     pub use crate::engine::Engine;
     pub use crate::report::{format_table, geomean};
+    pub use crate::request::{Provenance, RunRequest, RunResponse};
     pub use crate::runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
     pub use crate::sweep::{
-        CellError, CellStatus, Sweep, SweepCell, SweepEvent, SweepOptions, SweepReport,
-        WorkloadCache, WorkloadSpec,
+        CellError, CellStatus, SilentObserver, Sweep, SweepCell, SweepEvent, SweepObserver,
+        SweepOptions, SweepReport, WorkloadCache, WorkloadSpec,
     };
     pub use crate::workload::Workload;
     pub use graphmaze_cluster::{ClusterSpec, ExecProfile, FaultPlan, NodeFailure, SimError};

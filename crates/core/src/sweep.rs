@@ -28,20 +28,21 @@
 
 use std::collections::HashMap;
 use std::io::Write as _;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use graphmaze_cluster::{with_faults, with_work_scale, FaultPlan, SimError};
+use graphmaze_cluster::{FaultPlan, SimError};
 use graphmaze_datagen::Dataset;
 use graphmaze_metrics::{
     RecoveryStats, RetransmitStats, RunReport, StepRecord, Timeline, TrafficMatrix, TrafficStats,
     Work,
 };
 
-use crate::runner::{run_benchmark, Algorithm, BenchParams, Framework, RunOutcome};
+use crate::flatjson::{esc_json, f64_json, parse_flat_json};
+use crate::request::RunRequest;
+use crate::runner::{Algorithm, BenchParams, Framework, RunOutcome};
 use crate::workload::Workload;
 
 /// Canonical description of how to construct a [`Workload`] — the cache
@@ -135,6 +136,89 @@ impl WorkloadSpec {
             }
         }
     }
+
+    /// Parses the canonical string form back into a spec — the exact
+    /// inverse of [`WorkloadSpec::key`], used by the serving wire
+    /// protocol so a client names a workload by the same string the
+    /// journal records. Returns a descriptive error for anything that
+    /// does not round-trip.
+    pub fn parse_key(s: &str) -> Result<WorkloadSpec, String> {
+        fn field<T: std::str::FromStr>(part: &str, prefix: char) -> Result<T, String> {
+            let rest = part
+                .strip_prefix(prefix)
+                .ok_or_else(|| format!("expected `{prefix}<N>`, got `{part}`"))?;
+            rest.parse()
+                .map_err(|_| format!("invalid integer `{rest}` in `{part}`"))
+        }
+        let parts: Vec<&str> = s.split('/').collect();
+        match parts.as_slice() {
+            [kind @ ("rmat" | "rmat-tc"), sc, ef, seed] => {
+                let (scale, edge_factor, seed) =
+                    (field(sc, 's')?, field(ef, 'e')?, field(seed, 'x')?);
+                Ok(if *kind == "rmat" {
+                    WorkloadSpec::Rmat {
+                        scale,
+                        edge_factor,
+                        seed,
+                    }
+                } else {
+                    WorkloadSpec::RmatTriangle {
+                        scale,
+                        edge_factor,
+                        seed,
+                    }
+                })
+            }
+            ["cf", sc, items, seed] => Ok(WorkloadSpec::RmatRatings {
+                scale: field(sc, 's')?,
+                num_items: field(items, 'i')?,
+                seed: field(seed, 'x')?,
+            }),
+            ["ds", ds, down, seed] => Ok(WorkloadSpec::Dataset {
+                ds: parse_dataset_debug(ds)?,
+                scale_down: field(down, 'd')?,
+                seed: field(seed, 'x')?,
+            }),
+            _ => Err(format!(
+                "unrecognized workload spec `{s}` (expected e.g. `rmat/s13/e16/x42`, \
+                 `rmat-tc/s13/e16/x42`, `cf/s13/i64/x42` or `ds/LiveJournalLike/d4/x42`)"
+            )),
+        }
+    }
+}
+
+/// Parses a [`Dataset`]'s `{:?}` form (the spelling [`WorkloadSpec::key`]
+/// embeds), including the parameterized `Graph500 { scale: N }` /
+/// `CfSynthetic { scale: N }` variants.
+fn parse_dataset_debug(s: &str) -> Result<Dataset, String> {
+    match s {
+        "FacebookLike" => return Ok(Dataset::FacebookLike),
+        "WikipediaLike" => return Ok(Dataset::WikipediaLike),
+        "LiveJournalLike" => return Ok(Dataset::LiveJournalLike),
+        "TwitterLike" => return Ok(Dataset::TwitterLike),
+        "NetflixLike" => return Ok(Dataset::NetflixLike),
+        "YahooMusicLike" => return Ok(Dataset::YahooMusicLike),
+        _ => {}
+    }
+    for (name, mk) in [
+        (
+            "Graph500",
+            &(|scale| Dataset::Graph500 { scale }) as &dyn Fn(u32) -> Dataset,
+        ),
+        ("CfSynthetic", &(|scale| Dataset::CfSynthetic { scale })),
+    ] {
+        if let Some(rest) = s
+            .strip_prefix(name)
+            .and_then(|r| r.strip_prefix(" { scale: "))
+            .and_then(|r| r.strip_suffix(" }"))
+        {
+            return rest
+                .parse()
+                .map(mk)
+                .map_err(|_| format!("invalid integer `{rest}` in dataset `{s}`"));
+        }
+    }
+    Err(format!("unknown dataset `{s}`"))
 }
 
 /// Process-wide cache of built workloads, keyed by [`WorkloadSpec`].
@@ -389,6 +473,35 @@ pub enum SweepEvent<'a> {
     },
 }
 
+/// Observer of sweep progress: receives every [`SweepEvent`] as the
+/// executor makes progress (from worker threads, unordered).
+///
+/// This is the single extension point of [`Sweep::execute`]. Any
+/// `Fn(&SweepEvent<'_>) + Sync` closure is an observer, so ad-hoc
+/// callers need no impl block; long-lived consumers (progress printers,
+/// trace recorders, serving metrics) implement the trait on a struct.
+pub trait SweepObserver: Sync {
+    /// Called for every event. Invoked from worker threads; must be
+    /// cheap or internally buffered — the executor does not decouple
+    /// observation from execution.
+    fn on_event(&self, event: &SweepEvent<'_>);
+}
+
+impl<F: Fn(&SweepEvent<'_>) + Sync> SweepObserver for F {
+    fn on_event(&self, event: &SweepEvent<'_>) {
+        self(event)
+    }
+}
+
+/// The do-nothing observer, for callers that only want the
+/// [`SweepReport`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SilentObserver;
+
+impl SweepObserver for SilentObserver {
+    fn on_event(&self, _event: &SweepEvent<'_>) {}
+}
+
 /// Executor configuration.
 #[derive(Clone, Debug, Default)]
 pub struct SweepOptions {
@@ -456,24 +569,28 @@ impl Sweep {
         self.cells.is_empty()
     }
 
-    /// Runs the sweep (see [`Sweep::run_with_events`]).
+    /// Runs the sweep silently.
+    ///
+    /// **Deprecated** in favour of the single observer-based entry point
+    /// [`Sweep::execute`] (with [`SilentObserver`]); kept as a thin
+    /// wrapper so existing call sites migrate mechanically.
     pub fn run(&self, opts: &SweepOptions, cache: &WorkloadCache) -> SweepReport {
-        self.run_with_events(opts, cache, |_| {})
+        self.execute(opts, cache, &SilentObserver)
     }
 
-    /// Runs every cell across `opts.jobs` worker threads, journaling and
-    /// resuming per `opts`, invoking `progress(index, cell, result)`
-    /// exactly once per cell as it completes (from worker threads,
-    /// unordered). Results come back in cell order regardless of
-    /// scheduling. Thin wrapper over [`Sweep::run_with_events`] for
-    /// callers that only care about terminal events.
+    /// Runs the sweep, invoking `progress(index, cell, result)` exactly
+    /// once per cell as it completes (from worker threads, unordered).
+    ///
+    /// **Deprecated** in favour of [`Sweep::execute`] with an observer
+    /// that matches on terminal events; kept as a thin wrapper so
+    /// existing call sites migrate mechanically.
     pub fn run_with_progress(
         &self,
         opts: &SweepOptions,
         cache: &WorkloadCache,
         progress: impl Fn(usize, &SweepCell, &CellResult) + Sync,
     ) -> SweepReport {
-        self.run_with_events(opts, cache, |ev| match ev {
+        self.execute(opts, cache, &|ev: &SweepEvent<'_>| match ev {
             SweepEvent::Started { .. } => {}
             SweepEvent::Finished {
                 index,
@@ -490,17 +607,39 @@ impl Sweep {
         })
     }
 
-    /// Runs every cell across `opts.jobs` worker threads, journaling and
-    /// resuming per `opts`, invoking `events` with a [`SweepEvent`] as
-    /// the sweep makes progress (from worker threads, unordered). Every
-    /// cell gets exactly one terminal event; resumed cells skip
-    /// [`SweepEvent::Started`]. Results come back in cell order
-    /// regardless of scheduling.
+    /// Runs the sweep, invoking `events` with every [`SweepEvent`].
+    ///
+    /// **Deprecated** in favour of [`Sweep::execute`] — closures are
+    /// observers, so the migration is `run_with_events(o, c, f)` →
+    /// `execute(o, c, &f)`; kept as a thin wrapper so existing call
+    /// sites migrate mechanically.
     pub fn run_with_events(
         &self,
         opts: &SweepOptions,
         cache: &WorkloadCache,
         events: impl Fn(&SweepEvent<'_>) + Sync,
+    ) -> SweepReport {
+        self.execute(opts, cache, &events)
+    }
+
+    /// Runs every cell across `opts.jobs` worker threads, journaling and
+    /// resuming per `opts`, notifying `observer` with a [`SweepEvent`]
+    /// as the sweep makes progress (from worker threads, unordered).
+    /// Every cell gets exactly one terminal event; resumed cells skip
+    /// [`SweepEvent::Started`]. Results come back in cell order
+    /// regardless of scheduling.
+    ///
+    /// This is the one entry point of the executor — `run`,
+    /// `run_with_progress` and `run_with_events` are thin wrappers.
+    /// Each pending cell executes through [`RunRequest`], the same code
+    /// path the serving daemon and the integration tests use, so
+    /// digests and identity hashes are bit-identical between online and
+    /// offline runs.
+    pub fn execute(
+        &self,
+        opts: &SweepOptions,
+        cache: &WorkloadCache,
+        observer: &(impl SweepObserver + ?Sized),
     ) -> SweepReport {
         let t0 = Instant::now();
         let journaled = match (&opts.journal, opts.resume) {
@@ -529,7 +668,7 @@ impl Sweep {
                     elapsed_s,
                 },
             };
-            events(&ev);
+            observer.on_event(&ev);
         };
 
         let mut results: Vec<Option<CellResult>> = vec![None; self.cells.len()];
@@ -570,26 +709,27 @@ impl Sweep {
         if !pending.is_empty() {
             let cursor = AtomicUsize::new(0);
             let workers = opts.jobs.max(1).min(pending.len());
-            let (pending, events, terminal, results, writer, done) =
-                (&pending, &events, &terminal, &results, &writer, &done);
+            let (pending, terminal, results, writer, done) =
+                (&pending, &terminal, &results, &writer, &done);
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|| loop {
                         let n = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&i) = pending.get(n) else { break };
                         let cell = &self.cells[i];
-                        events(&SweepEvent::Started {
+                        observer.on_event(&SweepEvent::Started {
                             index: i,
                             cell,
                             remaining: total - done.load(Ordering::Relaxed),
                             elapsed_s: t0.elapsed().as_secs_f64(),
                         });
-                        let t = Instant::now();
-                        let outcome = execute_cell(cell, cache, opts.cell_timeout);
+                        let resp = RunRequest::new(self.experiment.clone(), cell.clone())
+                            .with_timeout(opts.cell_timeout)
+                            .execute(cache);
                         let r = CellResult {
                             status: CellStatus::Ran,
-                            outcome,
-                            wall_secs: t.elapsed().as_secs_f64(),
+                            outcome: resp.outcome,
+                            wall_secs: resp.wall_secs,
                         };
                         if let Some(w) = writer {
                             let line = journal_line(&self.experiment, cell, &r);
@@ -624,76 +764,6 @@ impl Sweep {
             failed,
             wall_secs: t0.elapsed().as_secs_f64(),
         }
-    }
-}
-
-/// Runs one cell with panic isolation and, when `timeout` is set, a
-/// wall-clock budget on the benchmark run. The workload is resolved
-/// through the cache on the calling worker first so the budget never
-/// charges (shared, one-off) construction time to an unlucky cell.
-fn execute_cell(
-    cell: &SweepCell,
-    cache: &WorkloadCache,
-    timeout: Option<std::time::Duration>,
-) -> Result<RunOutcome, CellError> {
-    let wl = match catch_unwind(AssertUnwindSafe(|| cache.get(&cell.spec))) {
-        Ok(wl) => wl,
-        Err(payload) => return Err(CellError::Panicked(panic_message(&payload))),
-    };
-    match timeout {
-        None => run_cell(cell, &wl),
-        // a zero budget forfeits every cell up front; skipping the spawn
-        // keeps the outcome deterministic instead of racing a fast cell
-        // against an already-expired deadline
-        Some(limit) if limit.is_zero() => Err(CellError::TimedOut(
-            "cell exceeded its 0.000 s wall-clock budget".to_string(),
-        )),
-        Some(limit) => {
-            // the benchmark runs on a detached thread so a runaway cell
-            // can be abandoned: Rust threads cannot be killed, but the
-            // receiver gives up at the deadline and the orphan's eventual
-            // send goes nowhere
-            let (tx, rx) = std::sync::mpsc::channel();
-            let cell = cell.clone();
-            std::thread::spawn(move || {
-                let _ = tx.send(run_cell(&cell, &wl));
-            });
-            match rx.recv_timeout(limit) {
-                Ok(outcome) => outcome,
-                Err(_) => Err(CellError::TimedOut(format!(
-                    "cell exceeded its {:.3} s wall-clock budget",
-                    limit.as_secs_f64()
-                ))),
-            }
-        }
-    }
-}
-
-/// The benchmark body of one cell: panic isolation plus the cell's work
-/// scale and fault plan (both thread-local, so `--jobs N` workers never
-/// leak either into each other's cells).
-fn run_cell(cell: &SweepCell, wl: &Workload) -> Result<RunOutcome, CellError> {
-    let caught = catch_unwind(AssertUnwindSafe(|| {
-        with_faults(cell.faults, || {
-            with_work_scale(cell.factor, || {
-                run_benchmark(cell.algorithm, cell.framework, wl, cell.nodes, &cell.params)
-            })
-        })
-    }));
-    match caught {
-        Ok(Ok(outcome)) => Ok(outcome),
-        Ok(Err(sim_err)) => Err(sim_err.into()),
-        Err(payload) => Err(CellError::Panicked(panic_message(&payload))),
-    }
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "engine panicked".to_string()
     }
 }
 
@@ -736,32 +806,6 @@ fn fnv1a64(s: &str) -> u64 {
 /// Journal line schema version. Bump when the line format changes
 /// incompatibly; `load_journal` skips lines from other versions.
 pub const JOURNAL_SCHEMA_VERSION: u32 = 4;
-
-fn esc_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// `{:?}` on finite f64 is shortest-round-trip; non-finite values are
-/// quoted so every line stays valid JSON.
-fn f64_json(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:?}")
-    } else {
-        format!("\"{v:?}\"")
-    }
-}
 
 /// Percent-escapes the timeline delimiters (`%`, `|`, `;`) in a phase
 /// label so records stay splittable.
@@ -980,105 +1024,6 @@ fn journal_line(experiment: &str, cell: &SweepCell, result: &CellResult) -> Stri
     s
 }
 
-/// Parses one flat JSON object into raw key → value strings (string
-/// values unescaped, numbers/barewords verbatim). Returns `None` on any
-/// malformed input — a torn final line from a killed run is skipped, not
-/// fatal.
-fn parse_flat_json(line: &str) -> Option<HashMap<String, String>> {
-    let b = line.trim().as_bytes();
-    let mut i = 0usize;
-    let skip_ws = |b: &[u8], i: &mut usize| {
-        while *i < b.len() && b[*i].is_ascii_whitespace() {
-            *i += 1;
-        }
-    };
-    let parse_string = |b: &[u8], i: &mut usize| -> Option<String> {
-        if b.get(*i) != Some(&b'"') {
-            return None;
-        }
-        *i += 1;
-        let mut out = String::new();
-        while *i < b.len() {
-            match b[*i] {
-                b'"' => {
-                    *i += 1;
-                    return Some(out);
-                }
-                b'\\' => {
-                    *i += 1;
-                    match b.get(*i)? {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'u' => {
-                            let hex = std::str::from_utf8(b.get(*i + 1..*i + 5)?).ok()?;
-                            let code = u32::from_str_radix(hex, 16).ok()?;
-                            out.push(char::from_u32(code)?);
-                            *i += 4;
-                        }
-                        _ => return None,
-                    }
-                    *i += 1;
-                }
-                c if c < 0x80 => {
-                    out.push(c as char);
-                    *i += 1;
-                }
-                _ => {
-                    // multi-byte UTF-8: copy the full scalar
-                    let s = std::str::from_utf8(&b[*i..]).ok()?;
-                    let ch = s.chars().next()?;
-                    out.push(ch);
-                    *i += ch.len_utf8();
-                }
-            }
-        }
-        None
-    };
-    let parse_bare = |b: &[u8], i: &mut usize| -> String {
-        let start = *i;
-        while *i < b.len() && !matches!(b[*i], b',' | b'}') && !b[*i].is_ascii_whitespace() {
-            *i += 1;
-        }
-        String::from_utf8_lossy(&b[start..*i]).into_owned()
-    };
-
-    skip_ws(b, &mut i);
-    if b.get(i) != Some(&b'{') {
-        return None;
-    }
-    i += 1;
-    let mut map = HashMap::new();
-    loop {
-        skip_ws(b, &mut i);
-        if b.get(i) == Some(&b'}') {
-            return Some(map);
-        }
-        let key = parse_string(b, &mut i)?;
-        skip_ws(b, &mut i);
-        if b.get(i) != Some(&b':') {
-            return None;
-        }
-        i += 1;
-        skip_ws(b, &mut i);
-        let value = if b.get(i) == Some(&b'"') {
-            parse_string(b, &mut i)?
-        } else {
-            parse_bare(b, &mut i)
-        };
-        map.insert(key, value);
-        skip_ws(b, &mut i);
-        match b.get(i) {
-            Some(&b',') => i += 1,
-            Some(&b'}') => return Some(map),
-            _ => return None,
-        }
-    }
-}
-
 fn entry_outcome(m: &HashMap<String, String>) -> Option<Result<RunOutcome, CellError>> {
     let f = |k: &str| -> Option<f64> { m.get(k)?.parse::<f64>().ok() };
     let u = |k: &str| -> Option<u64> { m.get(k)?.parse::<u64>().ok() };
@@ -1158,7 +1103,7 @@ fn entry_outcome(m: &HashMap<String, String>) -> Option<Result<RunOutcome, CellE
 /// lines (e.g. the torn last line of a killed run) and, with a counted
 /// warning, lines from a different schema version (those cells re-run).
 /// A missing file is an empty journal.
-fn load_journal(path: &Path) -> HashMap<u64, Result<RunOutcome, CellError>> {
+pub(crate) fn load_journal(path: &Path) -> HashMap<u64, Result<RunOutcome, CellError>> {
     let mut out = HashMap::new();
     let Ok(body) = std::fs::read_to_string(path) else {
         return out;
@@ -1247,6 +1192,51 @@ mod tests {
             seed: 2,
         });
         assert_eq!(cache.misses(), 2, "different seed is a different workload");
+    }
+
+    #[test]
+    fn workload_spec_keys_round_trip_through_parse_key() {
+        let specs = [
+            WorkloadSpec::Rmat {
+                scale: 13,
+                edge_factor: 16,
+                seed: 42,
+            },
+            WorkloadSpec::RmatTriangle {
+                scale: 10,
+                edge_factor: 8,
+                seed: 7,
+            },
+            WorkloadSpec::RmatRatings {
+                scale: 12,
+                num_items: 64,
+                seed: 9,
+            },
+            WorkloadSpec::Dataset {
+                ds: Dataset::LiveJournalLike,
+                scale_down: 4,
+                seed: 42,
+            },
+            WorkloadSpec::Dataset {
+                ds: Dataset::Graph500 { scale: 29 },
+                scale_down: 16,
+                seed: 1,
+            },
+            WorkloadSpec::Dataset {
+                ds: Dataset::CfSynthetic { scale: 26 },
+                scale_down: 12,
+                seed: 3,
+            },
+        ];
+        for spec in specs {
+            assert_eq!(WorkloadSpec::parse_key(&spec.key()), Ok(spec.clone()));
+        }
+        for bad in ["", "rmat/s13/e16", "rmat/sx/e16/x42", "ds/NoSuch/d4/x1"] {
+            assert!(WorkloadSpec::parse_key(bad).is_err(), "{bad:?}");
+        }
+        assert!(WorkloadSpec::parse_key("rmat/s2x/e16/x42")
+            .unwrap_err()
+            .contains("invalid integer `2x`"));
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! `serve` — the graphmaze serving daemon and its load generator.
+//!
+//! ```sh
+//! # start the daemon (prints the bound address, serves until shutdown)
+//! cargo run --release -p graphmaze-serve --bin serve -- --listen 127.0.0.1:4891
+//!
+//! # drive it with a Zipf-skewed closed loop and write the latency CSV
+//! cargo run --release -p graphmaze-serve --bin serve -- --loadgen \
+//!     --connect 127.0.0.1:4891 --requests 200 --concurrency 4 \
+//!     --zipf 1.0 --csv results/loadgen.csv --shutdown
+//! ```
+//!
+//! Both modes share one option table; `--loadgen` selects the client.
+
+use graphmaze_bench::cli::{Opt, OptionTable};
+use graphmaze_serve::loadgen::{self, LoadgenConfig};
+use graphmaze_serve::{grid, ServeConfig, Server};
+
+const OPTIONS: OptionTable = OptionTable {
+    opts: &[
+        // daemon mode
+        Opt::value(
+            "--listen",
+            "ADDR",
+            "daemon: listen address (default 127.0.0.1:4891;\nport 0 picks an ephemeral port)",
+        ),
+        Opt::value(
+            "--jobs",
+            "N",
+            "daemon: max queries executing concurrently (default 2)",
+        ),
+        Opt::value(
+            "--cache-capacity",
+            "N",
+            "daemon: result-cache entries before LRU eviction\n(default 1024; 0 disables caching)",
+        ),
+        Opt::value(
+            "--warm-journal",
+            "FILE",
+            "daemon: pre-populate the result cache from an offline\nsweep journal (results/journal.jsonl)",
+        ),
+        // loadgen mode
+        Opt::flag(
+            "--loadgen",
+            "run the load generator instead of the daemon",
+        ),
+        Opt::value(
+            "--connect",
+            "ADDR",
+            "loadgen: daemon address (default 127.0.0.1:4891)",
+        ),
+        Opt::value(
+            "--requests",
+            "N",
+            "loadgen: total requests to issue (default 100)",
+        ),
+        Opt::value(
+            "--concurrency",
+            "N",
+            "loadgen: closed-loop workers, one connection each\n(default 4)",
+        ),
+        Opt::value(
+            "--zipf",
+            "S",
+            "loadgen: Zipf skew exponent over the query grid\n(default 1.0; 0 = uniform)",
+        ),
+        Opt::value(
+            "--rate",
+            "RPS",
+            "loadgen: cap aggregate arrival rate, requests/second\n(default: unlimited)",
+        ),
+        Opt::value("--seed", "N", "loadgen: sampling seed (default 1)"),
+        Opt::value(
+            "--scale",
+            "N",
+            "loadgen: log2 vertex count of the query grid's graphs\n(default 8)",
+        ),
+        Opt::value(
+            "--nodes",
+            "N",
+            "loadgen: simulated node count per query (default 4)",
+        ),
+        Opt::value(
+            "--csv",
+            "FILE",
+            "loadgen: write the summary CSV (p50/p99 latency,\nthroughput, cache hit rate) to FILE",
+        ),
+        Opt::flag(
+            "--shutdown",
+            "loadgen: send a shutdown request when done, stopping\nthe daemon",
+        ),
+        Opt::flag("--help", "print this help and exit").with_alias("-h"),
+    ],
+};
+
+fn usage() -> String {
+    format!(
+        "\
+usage: serve [options]                 start the daemon
+       serve --loadgen [options]      drive a daemon and report latency
+
+options:
+{}",
+        OPTIONS.render_options()
+    )
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{}", usage());
+    std::process::exit(2)
+}
+
+fn or_die<T>(r: Result<T, String>) -> T {
+    r.unwrap_or_else(|e| die(&e))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = OPTIONS.parse(args).unwrap_or_else(|e| die(&e));
+    if parsed.flag("--help") {
+        print!("{}", usage());
+        return;
+    }
+    if let Some(stray) = parsed.positional.first() {
+        die(&format!("unexpected argument `{stray}`"));
+    }
+    if parsed.flag("--loadgen") {
+        run_loadgen(&parsed);
+    } else {
+        run_daemon(&parsed);
+    }
+}
+
+fn run_daemon(parsed: &graphmaze_bench::cli::ParsedArgs) {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:4891".to_string(),
+        ..ServeConfig::default()
+    };
+    if let Some(addr) = parsed.raw("--listen") {
+        cfg.addr = addr.to_string();
+    }
+    if let Some(n) = or_die(parsed.int::<usize>("--jobs")) {
+        if n < 1 {
+            die("--jobs needs a positive integer");
+        }
+        cfg.jobs = n;
+    }
+    if let Some(n) = or_die(parsed.int("--cache-capacity")) {
+        cfg.cache_capacity = n;
+    }
+    cfg.warm_journal = parsed.raw("--warm-journal").map(Into::into);
+    let server = Server::bind(&cfg).unwrap_or_else(|e| die(&format!("bind {}: {e}", cfg.addr)));
+    let addr = server
+        .local_addr()
+        .unwrap_or_else(|e| die(&format!("local_addr: {e}")));
+    let warmed = server.state().results.stats().len;
+    println!(
+        "graphmaze serve — listening on {addr}, {} job{}, cache capacity {}{}",
+        cfg.jobs,
+        if cfg.jobs == 1 { "" } else { "s" },
+        cfg.cache_capacity,
+        if warmed > 0 {
+            format!(" ({warmed} entries warmed from journal)")
+        } else {
+            String::new()
+        },
+    );
+    if let Err(e) = server.run() {
+        die(&format!("serve loop: {e}"));
+    }
+    let stats = server.state().results.stats();
+    println!(
+        "graphmaze serve — shut down after {} request{}: {} hit{}, {} miss{} ({:.0}% hit rate)",
+        server.state().requests(),
+        if server.state().requests() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        stats.hits,
+        if stats.hits == 1 { "" } else { "s" },
+        stats.misses,
+        if stats.misses == 1 { "" } else { "es" },
+        stats.hit_rate() * 100.0,
+    );
+}
+
+fn run_loadgen(parsed: &graphmaze_bench::cli::ParsedArgs) {
+    let mut cfg = LoadgenConfig::default();
+    if let Some(addr) = parsed.raw("--connect") {
+        cfg.addr = addr.to_string();
+    }
+    if let Some(n) = or_die(parsed.int("--requests")) {
+        cfg.requests = n;
+    }
+    if let Some(n) = or_die(parsed.int::<usize>("--concurrency")) {
+        if n < 1 {
+            die("--concurrency needs a positive integer");
+        }
+        cfg.concurrency = n;
+    }
+    if let Some(s) = or_die(parsed.num("--zipf")) {
+        if !s.is_finite() || s < 0.0 {
+            die("--zipf needs a non-negative exponent");
+        }
+        cfg.zipf_s = s;
+    }
+    if let Some(r) = or_die(parsed.num("--rate")) {
+        if !r.is_finite() || r <= 0.0 {
+            die("--rate needs a positive requests/second");
+        }
+        cfg.rate = Some(r);
+    }
+    if let Some(n) = or_die(parsed.int("--seed")) {
+        cfg.seed = n;
+    }
+    let scale: u32 = or_die(parsed.int("--scale")).unwrap_or(8);
+    let nodes: usize = or_die(parsed.int("--nodes")).unwrap_or(4);
+    if nodes < 1 {
+        die("--nodes needs a positive integer");
+    }
+    let population = grid::default_grid(scale, 42, nodes);
+    println!(
+        "graphmaze loadgen — {} requests, {} workers, Zipf({}) over {} queries (scale 2^{scale}, {nodes} nodes) against {}",
+        cfg.requests, cfg.concurrency, cfg.zipf_s, population.len(), cfg.addr,
+    );
+    let report = loadgen::run(&cfg, &population)
+        .unwrap_or_else(|e| die(&format!("loadgen against {}: {e}", cfg.addr)));
+    println!(
+        "  {} completed, {} failed in {:.2}s — {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms, hit rate {:.0}%",
+        report.completed,
+        report.failures,
+        report.wall_secs,
+        report.throughput_rps(),
+        report.percentile_ms(50.0),
+        report.percentile_ms(99.0),
+        report.hit_rate() * 100.0,
+    );
+    if let Some(path) = parsed.raw("--csv") {
+        let path = std::path::Path::new(path);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, report.to_csv(&cfg)) {
+            Ok(()) => println!("  summary CSV written to {}", path.display()),
+            Err(e) => die(&format!("write {}: {e}", path.display())),
+        }
+    }
+    if parsed.flag("--shutdown") {
+        match send_shutdown(&cfg.addr) {
+            Ok(()) => println!("  daemon at {} told to shut down", cfg.addr),
+            Err(e) => eprintln!("warning: shutdown of {} failed: {e}", cfg.addr),
+        }
+    }
+    if report.completed == 0 {
+        std::process::exit(1);
+    }
+}
+
+fn send_shutdown(addr: &str) -> std::io::Result<()> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.write_all(b"{\"op\":\"shutdown\"}\n")?;
+    stream.flush()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply)?;
+    Ok(())
+}

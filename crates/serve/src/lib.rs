@@ -1,0 +1,364 @@
+//! # graphmaze-serve
+//!
+//! The online serving layer (DESIGN.md "Serving layer"): a long-lived
+//! daemon that loads workloads **once** into the shared
+//! [`WorkloadCache`], accepts concurrent analytics queries — algorithm ×
+//! framework × scale × faults — over a line-delimited-JSON TCP protocol
+//! ([`protocol`]), executes them through the same [`RunRequest`] API the
+//! offline `repro` harness uses, and answers repeats straight from a
+//! bounded [`ResultCache`].
+//!
+//! Because both entry points share one code path
+//! (`RunRequest::execute*` → `run_benchmark` with thread-local fault
+//! plan and work scale), a query answered online is **bit-identical** —
+//! same digest, same 64-bit identity hash — to the same cell measured
+//! by `repro`; the round-trip test in `tests/serve_roundtrip.rs` pins
+//! this.
+//!
+//! The closed-loop load generator lives in [`loadgen`]; [`grid`] builds
+//! the default query population it samples from.
+
+pub mod grid;
+pub mod loadgen;
+pub mod protocol;
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use graphmaze_core::flatjson::{parse_flat_json, FlatJsonBuilder};
+use graphmaze_core::{ResultCache, RunRequest, WorkloadCache};
+
+use protocol::{decode_run_request, encode_error, encode_run_response, PROTOCOL_VERSION};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Maximum queries *executing* concurrently. Connections beyond this
+    /// queue on an internal semaphore — cache hits still have to take a
+    /// permit, keeping admission order fair.
+    pub jobs: usize,
+    /// Result-cache capacity in entries (0 disables caching: every
+    /// query recomputes).
+    pub cache_capacity: usize,
+    /// Optionally pre-populate the result cache from an offline sweep
+    /// journal (`results/journal.jsonl`) so the daemon starts warm.
+    pub warm_journal: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 2,
+            cache_capacity: 1024,
+            warm_journal: None,
+        }
+    }
+}
+
+/// A counting semaphore bounding concurrently-executing queries.
+/// `std::sync` has no semaphore; a `Mutex<usize>` + `Condvar` pair is
+/// the canonical construction.
+struct Semaphore {
+    free: Mutex<usize>,
+    available: Condvar,
+}
+
+struct Permit<'a>(&'a Semaphore);
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Semaphore {
+            free: Mutex::new(permits),
+            available: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> Permit<'_> {
+        let mut free = self.free.lock().unwrap();
+        while *free == 0 {
+            free = self.available.wait(free).unwrap();
+        }
+        *free -= 1;
+        Permit(self)
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        *self.0.free.lock().unwrap() += 1;
+        self.0.available.notify_one();
+    }
+}
+
+/// Shared daemon state: the two caches, the execution semaphore and the
+/// request counters. Lives behind an `Arc` so connection threads and
+/// embedding tests share one instance.
+pub struct ServeState {
+    /// Workloads, built once per daemon lifetime and shared by every
+    /// query (the whole point of serving vs. one-shot CLI runs).
+    pub workloads: WorkloadCache,
+    /// Completed results keyed by [`RunRequest::key`].
+    pub results: ResultCache,
+    permits: Semaphore,
+    jobs: usize,
+    requests: AtomicU64,
+    shutdown: AtomicBool,
+    addr: Mutex<Option<SocketAddr>>,
+    started: Instant,
+}
+
+impl ServeState {
+    fn new(cfg: &ServeConfig) -> Self {
+        let results = ResultCache::new(cfg.cache_capacity);
+        if let Some(journal) = &cfg.warm_journal {
+            results.warm_from_journal(journal);
+        }
+        ServeState {
+            workloads: WorkloadCache::new(),
+            results,
+            permits: Semaphore::new(cfg.jobs.max(1)),
+            jobs: cfg.jobs.max(1),
+            requests: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            addr: Mutex::new(None),
+            started: Instant::now(),
+        }
+    }
+
+    /// Total `run` requests accepted so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Whether a `shutdown` request has been processed.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Executes one [`RunRequest`] under the daemon's caches and
+    /// concurrency limit — the programmatic equivalent of sending a
+    /// `run` line over the wire.
+    pub fn execute(&self, req: &RunRequest) -> graphmaze_core::RunResponse {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let _permit = self.permits.acquire();
+        req.execute_cached(&self.workloads, &self.results)
+    }
+
+    /// Handles one request line, returning `(response_line, stop)`;
+    /// `stop` is set by a `shutdown` request after its `bye` goes out.
+    /// Exposed so tests can drive the protocol without a socket.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        let Some(m) = parse_flat_json(line) else {
+            return (
+                encode_error(
+                    "",
+                    "malformed request (expected one flat JSON object per line)",
+                ),
+                false,
+            );
+        };
+        let id = m.get("id").cloned().unwrap_or_default();
+        match m.get("op").map(String::as_str) {
+            Some("run") => match decode_run_request(&m) {
+                Ok(req) => (encode_run_response(&id, &self.execute(&req)), false),
+                Err(e) => (encode_error(&id, &e), false),
+            },
+            Some("stats") => (self.encode_stats(&id), false),
+            Some("ping") => (
+                FlatJsonBuilder::new()
+                    .u64("proto", u64::from(PROTOCOL_VERSION))
+                    .str("id", &id)
+                    .str("status", "pong")
+                    .finish(),
+                false,
+            ),
+            Some("shutdown") => (
+                FlatJsonBuilder::new()
+                    .u64("proto", u64::from(PROTOCOL_VERSION))
+                    .str("id", &id)
+                    .str("status", "bye")
+                    .finish(),
+                true,
+            ),
+            Some(other) => (encode_error(&id, &format!("unknown op `{other}`")), false),
+            None => (encode_error(&id, "missing required field `op`"), false),
+        }
+    }
+
+    fn encode_stats(&self, id: &str) -> String {
+        let cache = self.results.stats();
+        FlatJsonBuilder::new()
+            .u64("proto", u64::from(PROTOCOL_VERSION))
+            .str("id", id)
+            .str("status", "stats")
+            .u64("requests", self.requests())
+            .u64("jobs", self.jobs as u64)
+            .u64("cache_hits", cache.hits)
+            .u64("cache_misses", cache.misses)
+            .u64("cache_admissions", cache.admissions)
+            .u64("cache_rejections", cache.rejections)
+            .u64("cache_evictions", cache.evictions)
+            .u64("cache_len", cache.len)
+            .u64("cache_capacity", self.results.capacity() as u64)
+            .f64("cache_hit_rate", cache.hit_rate())
+            .u64("workloads_built", self.workloads.misses())
+            .u64("workloads_reused", self.workloads.hits())
+            .f64("uptime_secs", self.started.elapsed().as_secs_f64())
+            .finish()
+    }
+
+    /// Flags shutdown and pokes the accept loop awake with a throwaway
+    /// connection so [`Server::run`] returns promptly.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(addr) = *self.addr.lock().unwrap() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// The serving daemon: a bound listener plus its [`ServeState`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the daemon state (including
+    /// journal warm-up). Does not accept yet — call [`Server::run`].
+    pub fn bind(cfg: &ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let state = Arc::new(ServeState::new(cfg));
+        *state.addr.lock().unwrap() = Some(listener.local_addr()?);
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared daemon state, for embedding (tests, in-process use).
+    pub fn state(&self) -> Arc<ServeState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Accepts connections until a `shutdown` request arrives, one
+    /// thread per connection (execution parallelism is bounded by the
+    /// permit semaphore, not the connection count). Joins every
+    /// connection thread before returning so in-flight responses flush.
+    pub fn run(&self) -> io::Result<()> {
+        let mut handles = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.state.shutting_down() {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                // transient accept errors (e.g. ECONNABORTED) are not fatal
+                Err(_) => continue,
+            };
+            let state = Arc::clone(&self.state);
+            handles.push(thread::spawn(move || handle_connection(stream, &state)));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServeState) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, stop) = state.handle_line(&line);
+        if writeln!(writer, "{reply}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if stop {
+            state.begin_shutdown();
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_state() -> ServeState {
+        ServeState::new(&ServeConfig {
+            cache_capacity: 8,
+            ..ServeConfig::default()
+        })
+    }
+
+    #[test]
+    fn ping_stats_and_errors_over_handle_line() {
+        let state = quiet_state();
+        let (pong, stop) = state.handle_line(r#"{"op":"ping","id":"a"}"#);
+        assert!(pong.contains(r#""status":"pong""#) && pong.contains(r#""id":"a""#));
+        assert!(!stop);
+        let (stats, _) = state.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains(r#""status":"stats""#));
+        assert!(stats.contains(r#""cache_capacity":8"#));
+        let (err, _) = state.handle_line("not json");
+        assert!(err.contains(r#""status":"error""#));
+        let (err, _) = state.handle_line(r#"{"op":"teleport"}"#);
+        assert!(err.contains("unknown op `teleport`"));
+        let (bye, stop) = state.handle_line(r#"{"op":"shutdown"}"#);
+        assert!(bye.contains(r#""status":"bye""#));
+        assert!(stop);
+    }
+
+    #[test]
+    fn run_line_executes_and_second_query_hits_cache() {
+        let state = quiet_state();
+        let line = r#"{"op":"run","id":"q","algorithm":"pagerank","spec":"rmat/s7/e4/x1"}"#;
+        let (first, _) = state.handle_line(line);
+        assert!(first.contains(r#""status":"done""#), "{first}");
+        assert!(first.contains(r#""cache":"miss""#), "{first}");
+        let (second, _) = state.handle_line(line);
+        assert!(second.contains(r#""cache":"hit""#), "{second}");
+        assert_eq!(state.requests(), 2);
+        assert_eq!(state.results.stats().hits, 1);
+        // identical identity hash and digest on both paths
+        let key = |s: &str| {
+            let m = parse_flat_json(s).unwrap();
+            (m["key"].clone(), m["digest"].clone())
+        };
+        assert_eq!(key(&first), key(&second));
+    }
+
+    #[test]
+    fn semaphore_bounds_and_releases() {
+        let sem = Semaphore::new(2);
+        let a = sem.acquire();
+        let _b = sem.acquire();
+        assert_eq!(*sem.free.lock().unwrap(), 0);
+        drop(a);
+        assert_eq!(*sem.free.lock().unwrap(), 1);
+        let _c = sem.acquire();
+        assert_eq!(*sem.free.lock().unwrap(), 0);
+    }
+}

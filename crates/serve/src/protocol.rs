@@ -1,0 +1,325 @@
+//! The serving wire protocol: line-delimited flat JSON over TCP.
+//!
+//! One request per line, one response line per request, in order. The
+//! codec round-trips a full [`RunRequest`] — every field of the cell
+//! identity (experiment, label, algorithm, framework, workload spec,
+//! nodes, factor, params, fault plan) plus the optional wall-clock
+//! budget — so a query submitted over the wire is *the same run* the
+//! offline `repro` harness would execute: same [`RunRequest::key`]
+//! identity hash, same digest.
+//!
+//! Workload specs travel as their canonical journal string
+//! (`rmat/s13/e16/x42`, parsed by `WorkloadSpec::parse_key`), and fault
+//! plans as their canonical `FaultPlan` spec — the same spellings every
+//! other artifact of the repo uses.
+//!
+//! Request ops:
+//!
+//! | op         | effect                                              |
+//! |------------|-----------------------------------------------------|
+//! | `run`      | execute (or answer from cache) a benchmark cell     |
+//! | `stats`    | report cache/workload/request counters              |
+//! | `ping`     | liveness probe, answers `pong`                      |
+//! | `shutdown` | acknowledge with `bye`, then stop the daemon        |
+//!
+//! Every response carries `"status"`: `done` / `failed` (a cell-level
+//! failure such as OOM — still an *answer*, and cached as one) /
+//! `stats` / `pong` / `bye` / `error` (malformed request; nothing ran).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use graphmaze_core::cluster::FaultPlan;
+use graphmaze_core::flatjson::FlatJsonBuilder;
+use graphmaze_core::{
+    Algorithm, BenchParams, Framework, Provenance, RunRequest, RunResponse, SweepCell, WorkloadSpec,
+};
+
+/// Current protocol version, carried in every response as `"proto"`.
+/// Bump on incompatible changes; clients should reject mismatches.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Parses an algorithm by its stable short name (`Algorithm::name`).
+pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    Algorithm::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown algorithm `{name}` (expected one of: {})",
+                Algorithm::ALL.map(|a| a.name()).join(", ")
+            )
+        })
+}
+
+/// Parses a framework by its stable short name (`Framework::name`),
+/// including the Table 7-only `socialite-unopt`.
+pub fn parse_framework(name: &str) -> Result<Framework, String> {
+    const ALL: [Framework; 7] = [
+        Framework::Native,
+        Framework::CombBlas,
+        Framework::GraphLab,
+        Framework::SociaLite,
+        Framework::SociaLiteUnopt,
+        Framework::Giraph,
+        Framework::Galois,
+    ];
+    ALL.into_iter().find(|f| f.name() == name).ok_or_else(|| {
+        format!(
+            "unknown framework `{name}` (expected one of: {})",
+            ALL.map(|f| f.name()).join(", ")
+        )
+    })
+}
+
+/// Encodes a `run` request as one wire line (no trailing newline).
+/// Every identity field is written explicitly — the decoder's defaults
+/// never participate, so an encoded request round-trips bit-exactly.
+pub fn encode_run_request(id: &str, req: &RunRequest) -> String {
+    let c = &req.cell;
+    let p = &c.params;
+    let mut b = FlatJsonBuilder::new();
+    b.str("op", "run")
+        .str("id", id)
+        .str("experiment", &req.experiment)
+        .str("label", &c.label)
+        .str("algorithm", c.algorithm.name())
+        .str("framework", c.framework.name())
+        .str("spec", &c.spec.key())
+        .u64("nodes", c.nodes as u64)
+        .f64("factor", c.factor)
+        .str("faults", &c.faults.key())
+        .u64("pr_iterations", u64::from(p.pr_iterations))
+        .u64("bfs_source", u64::from(p.bfs_source))
+        .u64("cf_k", p.cf.k as u64)
+        .f64("cf_lambda", p.cf.lambda)
+        .f64("cf_gamma0", p.cf.gamma0)
+        .f64("cf_step_decay", p.cf.step_decay)
+        .u64("cf_seed", p.cf.seed)
+        .u64("cf_iterations", u64::from(p.cf_iterations))
+        .u64("giraph_splits", u64::from(p.giraph_splits));
+    if let Some(t) = req.timeout {
+        b.f64("timeout_s", t.as_secs_f64());
+    }
+    b.finish()
+}
+
+/// Decodes a parsed `run` request line into a [`RunRequest`]. Only
+/// `algorithm` and `spec` are required; everything else falls back to
+/// the documented defaults (experiment `serve`, framework `native`,
+/// 1 node, factor 1, no faults, `BenchParams::default()`).
+pub fn decode_run_request(m: &HashMap<String, String>) -> Result<RunRequest, String> {
+    fn get_num<T: std::str::FromStr>(
+        m: &HashMap<String, String>,
+        key: &str,
+        default: T,
+    ) -> Result<T, String> {
+        match m.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid number `{raw}` for `{key}`")),
+        }
+    }
+    let algorithm = parse_algorithm(
+        m.get("algorithm")
+            .ok_or("missing required field `algorithm`")?,
+    )?;
+    let spec = WorkloadSpec::parse_key(m.get("spec").ok_or("missing required field `spec`")?)?;
+    let framework = match m.get("framework") {
+        Some(name) => parse_framework(name)?,
+        None => Framework::Native,
+    };
+    let faults = match m.get("faults") {
+        Some(spec) if spec != "none" => FaultPlan::parse(spec)?,
+        _ => FaultPlan::none(),
+    };
+    let defaults = BenchParams::default();
+    let params = BenchParams {
+        pr_iterations: get_num(m, "pr_iterations", defaults.pr_iterations)?,
+        bfs_source: get_num(m, "bfs_source", defaults.bfs_source)?,
+        cf: graphmaze_core::native::cf::CfConfig {
+            k: get_num(m, "cf_k", defaults.cf.k)?,
+            lambda: get_num(m, "cf_lambda", defaults.cf.lambda)?,
+            gamma0: get_num(m, "cf_gamma0", defaults.cf.gamma0)?,
+            step_decay: get_num(m, "cf_step_decay", defaults.cf.step_decay)?,
+            seed: get_num(m, "cf_seed", defaults.cf.seed)?,
+        },
+        cf_iterations: get_num(m, "cf_iterations", defaults.cf_iterations)?,
+        giraph_splits: get_num(m, "giraph_splits", defaults.giraph_splits)?,
+    };
+    let timeout = match m.get("timeout_s") {
+        None => None,
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .map_err(|_| format!("invalid number `{raw}` for `timeout_s`"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(format!("`timeout_s` must be non-negative, got `{raw}`"));
+            }
+            Some(Duration::from_secs_f64(secs))
+        }
+    };
+    let cell = SweepCell {
+        label: m.get("label").cloned().unwrap_or_default(),
+        algorithm,
+        framework,
+        spec,
+        nodes: get_num(m, "nodes", 1usize)?,
+        factor: get_num(m, "factor", 1.0f64)?,
+        params,
+        faults,
+    };
+    Ok(RunRequest {
+        experiment: m
+            .get("experiment")
+            .cloned()
+            .unwrap_or_else(|| "serve".to_string()),
+        cell,
+        timeout,
+    })
+}
+
+/// Encodes the response to a `run` request (no trailing newline). Both
+/// success and cell-level failure lines carry the identity hash
+/// (`key`, 16 hex digits) and the cache provenance (`cache`:
+/// `hit`/`miss`).
+pub fn encode_run_response(id: &str, resp: &RunResponse) -> String {
+    let mut b = FlatJsonBuilder::new();
+    b.u64("proto", u64::from(PROTOCOL_VERSION)).str("id", id);
+    b.str("key", &format!("{:016x}", resp.key));
+    b.str("cache", resp.provenance.wire_tag());
+    match &resp.outcome {
+        Ok(out) => {
+            b.str("status", "done")
+                .f64("digest", out.digest)
+                .f64("sim_seconds", out.report.sim_seconds)
+                .u64("steps", u64::from(out.report.steps))
+                .u64("iterations", u64::from(out.report.iterations))
+                .u64("run_nodes", out.report.nodes as u64)
+                .u64("bytes_sent", out.report.traffic.bytes_sent);
+        }
+        Err(e) => {
+            b.str("status", "failed")
+                .str("error_kind", e.kind())
+                .str("error", e.message())
+                .str("annotation", e.annotation());
+        }
+    }
+    b.f64("wall_secs", resp.wall_secs);
+    b.finish()
+}
+
+/// Encodes a protocol-level error (nothing ran).
+pub fn encode_error(id: &str, error: &str) -> String {
+    FlatJsonBuilder::new()
+        .u64("proto", u64::from(PROTOCOL_VERSION))
+        .str("id", id)
+        .str("status", "error")
+        .str("error", error)
+        .finish()
+}
+
+/// Whether a response line says the run was served from cache
+/// (`"cache":"hit"`).
+pub fn is_cache_hit(m: &HashMap<String, String>) -> bool {
+    m.get("cache").map(String::as_str) == Some(Provenance::Cached.wire_tag())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmaze_core::flatjson::parse_flat_json;
+
+    fn sample_request() -> RunRequest {
+        RunRequest::new(
+            "serve",
+            SweepCell {
+                label: "pagerank@rmat".into(),
+                algorithm: Algorithm::PageRank,
+                framework: Framework::Giraph,
+                spec: WorkloadSpec::Rmat {
+                    scale: 10,
+                    edge_factor: 16,
+                    seed: 42,
+                },
+                nodes: 4,
+                factor: 2.5,
+                params: BenchParams::default(),
+                faults: FaultPlan::parse("seed=7,linkdrop=0.01").unwrap(),
+            },
+        )
+        .with_timeout(Some(Duration::from_secs_f64(1.5)))
+    }
+
+    #[test]
+    fn run_request_round_trips_with_identical_identity_hash() {
+        let req = sample_request();
+        let line = encode_run_request("q1", &req);
+        let m = parse_flat_json(&line).expect("parses");
+        assert_eq!(m["op"], "run");
+        assert_eq!(m["id"], "q1");
+        let back = decode_run_request(&m).expect("decodes");
+        assert_eq!(back.key(), req.key(), "identity hash survives the wire");
+        assert_eq!(back.timeout, req.timeout);
+        assert_eq!(back.cell.faults.key(), req.cell.faults.key());
+    }
+
+    #[test]
+    fn minimal_request_uses_documented_defaults() {
+        let m =
+            parse_flat_json(r#"{"op":"run","algorithm":"bfs","spec":"rmat/s8/e4/x1"}"#).unwrap();
+        let req = decode_run_request(&m).unwrap();
+        assert_eq!(req.experiment, "serve");
+        assert_eq!(req.cell.framework, Framework::Native);
+        assert_eq!(req.cell.nodes, 1);
+        assert_eq!(req.cell.factor, 1.0);
+        assert!(!req.cell.faults.is_active());
+        assert_eq!(req.timeout, None);
+    }
+
+    #[test]
+    fn bad_requests_name_the_offending_field() {
+        let cases = [
+            (r#"{"op":"run","spec":"rmat/s8/e4/x1"}"#, "algorithm"),
+            (r#"{"op":"run","algorithm":"pagerank"}"#, "spec"),
+            (
+                r#"{"op":"run","algorithm":"pagerank","spec":"rmat/s8/e4/x1","nodes":"two"}"#,
+                "`two`",
+            ),
+            (
+                r#"{"op":"run","algorithm":"dijkstra","spec":"rmat/s8/e4/x1"}"#,
+                "dijkstra",
+            ),
+            (
+                r#"{"op":"run","algorithm":"bfs","spec":"rmat/s8/e4/x1","timeout_s":"-1"}"#,
+                "timeout_s",
+            ),
+        ];
+        for (line, needle) in cases {
+            let err = decode_run_request(&parse_flat_json(line).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn responses_encode_provenance_and_outcome() {
+        let resp = RunResponse {
+            key: 0xdead_beef,
+            outcome: Err(graphmaze_core::CellError::OutOfMemory(
+                "node 2: 5 GB".into(),
+            )),
+            provenance: Provenance::Cached,
+            wall_secs: 0.001,
+        };
+        let m = parse_flat_json(&encode_run_response("x", &resp)).unwrap();
+        assert_eq!(m["status"], "failed");
+        assert_eq!(m["key"], "00000000deadbeef");
+        assert_eq!(m["error_kind"], "oom");
+        assert_eq!(m["annotation"], "OOM");
+        assert!(is_cache_hit(&m));
+        let err = parse_flat_json(&encode_error("x", "nope")).unwrap();
+        assert_eq!(err["status"], "error");
+        assert!(!is_cache_hit(&err));
+    }
+}

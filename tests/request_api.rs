@@ -1,0 +1,168 @@
+//! The programmatic request API and the cell-identity contract.
+//!
+//! The 64-bit [`SweepCell::key`] identity hash is load-bearing
+//! infrastructure: it keys the sweep journal (`--resume`), the serving
+//! daemon's result cache, and the wire protocol's `key` field. The
+//! golden values pinned here make any change to the hash — a new cell
+//! field, a reordered canonical string, a different mixing constant — a
+//! *visible, deliberate* decision that invalidates every journal and
+//! warm cache, instead of a silent one.
+
+use std::time::Duration;
+
+use graphmaze_core::prelude::*;
+
+fn base_cell() -> SweepCell {
+    SweepCell {
+        label: "golden".to_string(),
+        algorithm: Algorithm::PageRank,
+        framework: Framework::Native,
+        spec: WorkloadSpec::Rmat {
+            scale: 8,
+            edge_factor: 4,
+            seed: 1,
+        },
+        nodes: 1,
+        factor: 1.0,
+        params: BenchParams::default(),
+        faults: FaultPlan::none(),
+    }
+}
+
+/// Golden identity hashes. If this test fails because you *meant* to
+/// change the cell identity (new field, new canonical order), update
+/// the constants AND bump `JOURNAL_SCHEMA_VERSION` — old journals and
+/// warm caches no longer describe the same runs.
+#[test]
+fn golden_cell_identity_hashes_are_pinned() {
+    let base = base_cell();
+    let multi_node = SweepCell {
+        nodes: 4,
+        ..base_cell()
+    };
+    let giraph_tc = SweepCell {
+        algorithm: Algorithm::TriangleCount,
+        framework: Framework::Giraph,
+        spec: WorkloadSpec::RmatTriangle {
+            scale: 8,
+            edge_factor: 4,
+            seed: 1,
+        },
+        ..base_cell()
+    };
+    let faulty = SweepCell {
+        faults: FaultPlan::parse("seed=1,linkdrop=0.01").expect("valid plan"),
+        ..base_cell()
+    };
+    let golden: [(&str, &SweepCell, u64); 4] = [
+        ("base", &base, 0x18349fcc9929f322),
+        ("multi_node", &multi_node, 0x32a4f165d86460c7),
+        ("giraph_tc", &giraph_tc, 0xff161e4a1af9eaf7),
+        ("faulty", &faulty, 0xb1070b45c4e4f1a6),
+    ];
+    for (name, cell, expected) in golden {
+        assert_eq!(
+            cell.key("golden-exp"),
+            expected,
+            "identity hash drifted for `{name}` — journals/caches written \
+             by older builds are now unreadable; if intentional, repin and \
+             bump JOURNAL_SCHEMA_VERSION"
+        );
+    }
+    // the experiment name participates in the identity
+    assert_ne!(base.key("golden-exp"), base.key("other-exp"));
+}
+
+#[test]
+fn every_cell_field_perturbs_the_identity_hash() {
+    let base = base_cell().key("e");
+    let variants = [
+        SweepCell {
+            label: "other".into(),
+            ..base_cell()
+        },
+        SweepCell {
+            algorithm: Algorithm::Bfs,
+            ..base_cell()
+        },
+        SweepCell {
+            framework: Framework::CombBlas,
+            ..base_cell()
+        },
+        SweepCell {
+            spec: WorkloadSpec::Rmat {
+                scale: 9,
+                edge_factor: 4,
+                seed: 1,
+            },
+            ..base_cell()
+        },
+        SweepCell {
+            nodes: 2,
+            ..base_cell()
+        },
+        SweepCell {
+            factor: 2.0,
+            ..base_cell()
+        },
+        SweepCell {
+            params: BenchParams {
+                pr_iterations: 7,
+                ..BenchParams::default()
+            },
+            ..base_cell()
+        },
+        SweepCell {
+            faults: FaultPlan::parse("seed=9,drop=0.001").unwrap(),
+            ..base_cell()
+        },
+    ];
+    for (i, v) in variants.iter().enumerate() {
+        assert_ne!(v.key("e"), base, "variant {i} should change the hash");
+    }
+}
+
+#[test]
+fn request_key_matches_cell_key_and_survives_spec_round_trip() {
+    let cell = base_cell();
+    let req = RunRequest::new("golden-exp", cell.clone());
+    assert_eq!(req.key(), cell.key("golden-exp"));
+    // the canonical spec string round-trips through parse_key without
+    // perturbing the identity
+    let reparsed = WorkloadSpec::parse_key(&cell.spec.key()).expect("round-trips");
+    let cell2 = SweepCell {
+        spec: reparsed,
+        ..cell.clone()
+    };
+    assert_eq!(cell2.key("golden-exp"), cell.key("golden-exp"));
+}
+
+#[test]
+fn online_and_offline_paths_agree_bit_exactly() {
+    let workloads = WorkloadCache::new();
+    let results = ResultCache::new(16);
+    let req = RunRequest::new("golden-exp", base_cell());
+    // offline path: plain execute (what Sweep::execute workers do)
+    let offline = req.execute(&workloads);
+    // online path: execute_cached (what the daemon does), twice
+    let online = req.execute_cached(&workloads, &results);
+    let cached = req.execute_cached(&workloads, &results);
+    assert_eq!(offline.key, online.key);
+    assert_eq!(online.provenance, Provenance::Computed);
+    assert_eq!(cached.provenance, Provenance::Cached);
+    let digest = |r: &RunResponse| r.outcome.as_ref().expect("runs").digest;
+    assert_eq!(digest(&offline), digest(&online));
+    assert_eq!(digest(&online), digest(&cached));
+}
+
+#[test]
+fn timeouts_produce_uncached_failures() {
+    let workloads = WorkloadCache::new();
+    let results = ResultCache::new(16);
+    let req = RunRequest::new("golden-exp", base_cell()).with_timeout(Some(Duration::from_secs(0)));
+    let resp = req.execute_cached(&workloads, &results);
+    assert!(matches!(resp.outcome, Err(CellError::TimedOut(_))));
+    // a timed-out attempt must never be pinned in the cache
+    assert_eq!(results.stats().admissions, 0);
+    assert_eq!(results.get(req.key()), None);
+}
