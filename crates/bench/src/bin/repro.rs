@@ -67,6 +67,12 @@ const OPTIONS: OptionTable = OptionTable {
              (quarantined by --resume, not retried)",
         ),
         Opt::flag(
+            "--telemetry",
+            "record sweep counters and simulated-time histograms into\n\
+             a metrics registry, rendered to results/metrics.prom\n\
+             (Prometheus text) at exit",
+        ),
+        Opt::flag(
             "--list",
             "list every experiment with its sweep-cell count and exit",
         ),
@@ -242,6 +248,9 @@ fn main() {
     if let Some(dir) = parsed.raw("--out") {
         cfg.out_dir = Some(dir.into());
     }
+    if parsed.flag("--telemetry") {
+        cfg.telemetry = Some(std::sync::Arc::new(graphmaze_core::metrics::Registry::new()));
+    }
     if parsed.flag("--list") {
         print_listing();
         return;
@@ -335,6 +344,21 @@ fn main() {
             cfg.cache.misses(),
             cfg.cache.hits(),
         );
+    }
+    if let Some(registry) = &cfg.telemetry {
+        let text = graphmaze_core::metrics::render_exposition(registry);
+        match &cfg.out_dir {
+            Some(dir) => {
+                let _ = std::fs::create_dir_all(dir);
+                let path = dir.join("metrics.prom");
+                match std::fs::write(&path, &text) {
+                    Ok(()) => println!("telemetry exposition written to {}", path.display()),
+                    Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+                }
+            }
+            // --no-csv: nowhere to put the artifact, print it instead
+            None => print!("{text}"),
+        }
     }
     if let Some(dir) = &cfg.out_dir {
         println!("CSV artifacts written to {}/", dir.display());

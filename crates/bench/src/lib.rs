@@ -90,6 +90,10 @@ pub struct ReproConfig {
     pub cache: Arc<WorkloadCache>,
     /// Cross-sweep cell counters for the final summary.
     pub stats: Arc<RunStats>,
+    /// Telemetry registry the sweep workers record into (`--telemetry`;
+    /// `None` disables). One registry spans every sweep of the
+    /// invocation; `repro` renders it to `results/metrics.prom` at exit.
+    pub telemetry: Option<Arc<graphmaze_core::metrics::Registry>>,
 }
 
 impl Default for ReproConfig {
@@ -107,6 +111,7 @@ impl Default for ReproConfig {
             cell_timeout: None,
             cache: Arc::new(WorkloadCache::new()),
             stats: Arc::new(RunStats::default()),
+            telemetry: None,
         }
     }
 }
@@ -141,6 +146,7 @@ impl ReproConfig {
             journal: self.journal_path(),
             resume: self.resume,
             cell_timeout: self.cell_timeout,
+            telemetry: self.telemetry.clone(),
         }
     }
 

@@ -25,7 +25,7 @@
 use std::io::Write as _;
 use std::path::Path;
 
-use graphmaze_core::metrics::{StepRecord, Timeline};
+use graphmaze_core::metrics::{SpanRecord, StepRecord, Timeline, SPAN_STAGES};
 use graphmaze_core::prelude::*;
 
 /// Lane names, in tid order (tid = index + 1).
@@ -118,6 +118,66 @@ pub fn write_sweep_trace(
     Ok(traced)
 }
 
+/// Writes the serving daemon's request spans as a Chrome trace-event
+/// file (`serve --trace FILE`). One *process* named `serve` carries four
+/// *thread* lanes — the [`SPAN_STAGES`] in order — and each completed
+/// request contributes one complete ("X") event per non-zero stage, laid
+/// end to end on the daemon's wall clock starting at the span's
+/// `start_s`. Event names are the request's cell label; `args` carry the
+/// request id and outcome so cache hits (zero-width `execute` events are
+/// simply absent) are distinguishable at a glance. Returns the number of
+/// spans rendered.
+pub fn write_serve_trace(path: &Path, spans: &[SpanRecord]) -> std::io::Result<usize> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut events = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    push_event(
+        &mut events,
+        &mut first,
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"serve\"}}",
+    );
+    for (t, lane) in SPAN_STAGES.iter().enumerate() {
+        push_event(
+            &mut events,
+            &mut first,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{lane}\"}}}}",
+                t + 1
+            ),
+        );
+    }
+    for span in spans {
+        let mut cursor = span.start_s;
+        for (tid0, dur_ns) in span.stages_ns().iter().enumerate() {
+            let dur_s = *dur_ns as f64 * 1e-9;
+            if *dur_ns > 0 {
+                push_event(
+                    &mut events,
+                    &mut first,
+                    &format!(
+                        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"id\":\"{}\",\"outcome\":\"{}\"}}}}",
+                        esc(&span.label),
+                        tid0 + 1,
+                        us(cursor),
+                        us(dur_s),
+                        esc(&span.id),
+                        esc(&span.outcome),
+                    ),
+                );
+            }
+            cursor += dur_s;
+        }
+    }
+    events.push_str("\n]}\n");
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(events.as_bytes())?;
+    Ok(spans.len())
+}
+
 fn push_event(out: &mut String, first: &mut bool, ev: &str) {
     if !*first {
         out.push_str(",\n");
@@ -204,4 +264,56 @@ fn csv_row(rec: &StepRecord) -> Vec<String> {
         rec.max_node_bytes.to_string(),
         rec.mem_peak_bytes.to_string(),
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_trace_renders_one_event_per_nonzero_stage() {
+        let spans = vec![
+            SpanRecord {
+                id: "q1".into(),
+                label: "bfs/native".into(),
+                outcome: "miss".into(),
+                start_s: 0.5,
+                queue_ns: 1_000,
+                lookup_ns: 2_000,
+                execute_ns: 3_000,
+                respond_ns: 4_000,
+                total_ns: 10_000,
+            },
+            SpanRecord {
+                id: "q2".into(),
+                label: "bfs/native".into(),
+                outcome: "hit".into(),
+                start_s: 0.6,
+                queue_ns: 1_000,
+                lookup_ns: 2_000,
+                execute_ns: 0, // cache hit: no execute event at all
+                respond_ns: 4_000,
+                total_ns: 7_000,
+            },
+        ];
+        let dir = std::env::temp_dir().join(format!("gm-serve-trace-{}", std::process::id()));
+        let path = dir.join("serve.trace.json");
+        let n = write_serve_trace(&path, &spans).expect("trace written");
+        assert_eq!(n, 2);
+        let body = std::fs::read_to_string(&path).expect("readable");
+        std::fs::remove_dir_all(&dir).ok();
+        // 1 process_name + 4 thread_name + 4 + 3 X events
+        assert_eq!(body.matches("\"ph\":\"X\"").count(), 7);
+        assert_eq!(body.matches("\"outcome\":\"hit\"").count(), 3);
+        for lane in SPAN_STAGES {
+            assert!(
+                body.contains(&format!("\"name\":\"{lane}\"")),
+                "{lane} lane"
+            );
+        }
+        // stages telescope on the wall clock: q2's queue starts at 0.6 s
+        assert!(body.contains("\"ts\":600000.0"), "start_s laid out in us");
+        // hit's respond starts after queue+lookup (0.6s + 3 us)
+        assert!(body.contains("\"ts\":600003.0"), "stage telescoping");
+    }
 }

@@ -203,6 +203,51 @@ impl ResultCache {
         admitted
     }
 
+    /// Mirrors the cache counters into `registry` as
+    /// `graphmaze_cache_*` metrics. The cache keeps its own atomics —
+    /// one `ResultCache` can be scraped by many registries without any
+    /// shared mutable state — so this is collect-on-scrape: call it
+    /// right before rendering the exposition.
+    pub fn export_into(&self, registry: &graphmaze_metrics::Registry) {
+        let s = self.stats();
+        for (name, help, value) in [
+            (
+                "graphmaze_cache_hits_total",
+                "result-cache lookup hits",
+                s.hits,
+            ),
+            (
+                "graphmaze_cache_misses_total",
+                "result-cache lookup misses",
+                s.misses,
+            ),
+            (
+                "graphmaze_cache_admissions_total",
+                "outcomes admitted to the result cache",
+                s.admissions,
+            ),
+            (
+                "graphmaze_cache_rejections_total",
+                "outcomes refused admission (non-deterministic)",
+                s.rejections,
+            ),
+            (
+                "graphmaze_cache_evictions_total",
+                "entries displaced by LRU eviction",
+                s.evictions,
+            ),
+        ] {
+            registry.counter(name, help, &[]).store(value);
+        }
+        registry
+            .gauge(
+                "graphmaze_cache_resident_entries",
+                "entries currently resident",
+                &[],
+            )
+            .set(s.len as i64);
+    }
+
     /// Point-in-time counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -281,6 +326,33 @@ mod tests {
         assert!(cache.get(1).is_none());
         let s = cache.stats();
         assert_eq!((s.admissions, s.rejections, s.len), (0, 1, 0));
+    }
+
+    #[test]
+    fn export_mirrors_stats_into_a_registry() {
+        let cache = ResultCache::new(2);
+        cache.admit(1, &ok(1.0));
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(9).is_none());
+        let registry = graphmaze_metrics::Registry::new();
+        cache.export_into(&registry);
+        let text = graphmaze_metrics::render_exposition(&registry);
+        let samples = graphmaze_metrics::parse_exposition(&text).expect("parses");
+        let value = |name: &str| graphmaze_metrics::expose::sample_value(&samples, name, &[]);
+        assert_eq!(value("graphmaze_cache_hits_total"), Some(1.0));
+        assert_eq!(value("graphmaze_cache_misses_total"), Some(1.0));
+        assert_eq!(value("graphmaze_cache_admissions_total"), Some(1.0));
+        assert_eq!(value("graphmaze_cache_resident_entries"), Some(1.0));
+        // a later scrape re-mirrors the counters instead of double-counting
+        assert!(cache.get(1).is_some());
+        cache.export_into(&registry);
+        let samples =
+            graphmaze_metrics::parse_exposition(&graphmaze_metrics::render_exposition(&registry))
+                .expect("parses");
+        assert_eq!(
+            graphmaze_metrics::expose::sample_value(&samples, "graphmaze_cache_hits_total", &[]),
+            Some(2.0)
+        );
     }
 
     #[test]

@@ -72,6 +72,13 @@ pub struct RunResponse {
     /// Real wall-clock spent answering, seconds (cache hits still pay
     /// the lookup, so this is never exactly zero for them — just small).
     pub wall_secs: f64,
+    /// Wall-clock spent resolving the result cache (zero for the
+    /// uncached [`RunRequest::execute`] path, which never looks).
+    pub cache_lookup: Duration,
+    /// Wall-clock spent actually running the cell, admission included.
+    /// Exactly [`Duration::ZERO`] for cache hits — nothing ran — which
+    /// is what lets span accounting assert `execute == 0` on hits.
+    pub execute: Duration,
 }
 
 impl RunRequest {
@@ -101,11 +108,14 @@ impl RunRequest {
     pub fn execute(&self, workloads: &WorkloadCache) -> RunResponse {
         let t = Instant::now();
         let outcome = execute_cell(&self.cell, workloads, self.timeout);
+        let execute = t.elapsed();
         RunResponse {
             key: self.key(),
             outcome,
             provenance: Provenance::Computed,
-            wall_secs: t.elapsed().as_secs_f64(),
+            wall_secs: execute.as_secs_f64(),
+            cache_lookup: Duration::ZERO,
+            execute,
         }
     }
 
@@ -115,14 +125,19 @@ impl RunRequest {
     pub fn execute_cached(&self, workloads: &WorkloadCache, results: &ResultCache) -> RunResponse {
         let t = Instant::now();
         let key = self.key();
-        if let Some(outcome) = results.get(key) {
+        let looked_up = results.get(key);
+        let cache_lookup = t.elapsed();
+        if let Some(outcome) = looked_up {
             return RunResponse {
                 key,
                 outcome,
                 provenance: Provenance::Cached,
                 wall_secs: t.elapsed().as_secs_f64(),
+                cache_lookup,
+                execute: Duration::ZERO,
             };
         }
+        let run_start = Instant::now();
         let outcome = execute_cell(&self.cell, workloads, self.timeout);
         results.admit(key, &outcome);
         RunResponse {
@@ -130,6 +145,10 @@ impl RunRequest {
             outcome,
             provenance: Provenance::Computed,
             wall_secs: t.elapsed().as_secs_f64(),
+            cache_lookup,
+            // admission is charged to the run, not the lookup: it only
+            // happens when something actually ran
+            execute: run_start.elapsed(),
         }
     }
 }
@@ -268,6 +287,19 @@ mod tests {
         let retry = request().execute_cached(&workloads, &results);
         assert_eq!(retry.provenance, Provenance::Computed);
         assert!(retry.outcome.is_ok());
+    }
+
+    #[test]
+    fn stage_durations_distinguish_hits_from_misses() {
+        let workloads = WorkloadCache::new();
+        let results = ResultCache::new(8);
+        let miss = request().execute_cached(&workloads, &results);
+        let hit = request().execute_cached(&workloads, &results);
+        assert!(miss.execute > Duration::ZERO, "a miss actually ran");
+        assert_eq!(hit.execute, Duration::ZERO, "nothing ran on a hit");
+        let direct = request().execute(&workloads);
+        assert_eq!(direct.cache_lookup, Duration::ZERO, "no cache, no lookup");
+        assert!(direct.execute > Duration::ZERO);
     }
 
     #[test]

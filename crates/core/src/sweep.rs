@@ -36,8 +36,8 @@ use std::time::Instant;
 use graphmaze_cluster::{FaultPlan, SimError};
 use graphmaze_datagen::Dataset;
 use graphmaze_metrics::{
-    RecoveryStats, RetransmitStats, RunReport, StepRecord, Timeline, TrafficMatrix, TrafficStats,
-    Work,
+    RecoveryStats, Registry, RetransmitStats, RunReport, StepRecord, Timeline, TrafficMatrix,
+    TrafficStats, Work,
 };
 
 use crate::flatjson::{esc_json, f64_json, parse_flat_json};
@@ -519,6 +519,14 @@ pub struct SweepOptions {
     /// outcome is journaled, a `resume` quarantines the cell instead of
     /// re-running it forever. `None` disables the budget.
     pub cell_timeout: Option<std::time::Duration>,
+    /// Telemetry registry the workers record into (`None` disables).
+    /// Offline sweeps share the serving daemon's instrumentation: each
+    /// executed cell increments `graphmaze_sweep_cells_total{outcome}`
+    /// and observes `graphmaze_sweep_cell_seconds{algorithm,framework}`
+    /// (real wall-clock) plus the jobs-invariant
+    /// `graphmaze_sim_seconds{algorithm,framework}` (simulated time, a
+    /// pure function of the cell).
+    pub telemetry: Option<Arc<Registry>>,
 }
 
 /// Aggregate result of a sweep.
@@ -726,6 +734,9 @@ impl Sweep {
                         let resp = RunRequest::new(self.experiment.clone(), cell.clone())
                             .with_timeout(opts.cell_timeout)
                             .execute(cache);
+                        if let Some(registry) = &opts.telemetry {
+                            record_cell_telemetry(registry, cell, &resp);
+                        }
                         let r = CellResult {
                             status: CellStatus::Ran,
                             outcome: resp.outcome,
@@ -764,6 +775,46 @@ impl Sweep {
             failed,
             wall_secs: t0.elapsed().as_secs_f64(),
         }
+    }
+}
+
+/// Records one executed cell into the sweep telemetry registry: an
+/// outcome-labelled counter, the real per-cell wall-clock histogram,
+/// and the *simulated* seconds histogram. The last one is the
+/// determinism anchor: simulated time is a pure function of the cell,
+/// so its bucket counts are bit-identical across `--jobs 1` and
+/// `--jobs N` even though wall-clock histograms never are.
+fn record_cell_telemetry(registry: &Registry, cell: &SweepCell, resp: &crate::RunResponse) {
+    let outcome = match &resp.outcome {
+        Ok(_) => "ok",
+        Err(e) => e.kind(),
+    };
+    registry
+        .counter(
+            "graphmaze_sweep_cells_total",
+            "cells executed by the sweep workers, by outcome",
+            &[("outcome", outcome)],
+        )
+        .inc();
+    let labels = [
+        ("algorithm", cell.algorithm.name()),
+        ("framework", cell.framework.name()),
+    ];
+    registry
+        .histogram(
+            "graphmaze_sweep_cell_seconds",
+            "real wall-clock per executed cell",
+            &labels,
+        )
+        .observe_duration(resp.execute);
+    if let Ok(out) = &resp.outcome {
+        registry
+            .histogram(
+                "graphmaze_sim_seconds",
+                "simulated seconds per successful cell (jobs-invariant)",
+                &labels,
+            )
+            .observe(out.report.sim_seconds);
     }
 }
 
@@ -1263,6 +1314,68 @@ mod tests {
     }
 
     #[test]
+    fn sweep_telemetry_is_jobs_invariant_on_simulated_time() {
+        let mut sweep = Sweep::new("telemetry");
+        for fw in [Framework::Native, Framework::GraphLab, Framework::Galois] {
+            for nodes in [1, 2] {
+                sweep.push(small_cell(fw, nodes));
+            }
+        }
+        let run = |jobs: usize| {
+            let registry = Arc::new(Registry::new());
+            let opts = SweepOptions {
+                jobs,
+                telemetry: Some(Arc::clone(&registry)),
+                ..SweepOptions::default()
+            };
+            let report = sweep.run(&opts, &WorkloadCache::new());
+            (registry, report)
+        };
+        let (serial, report) = run(1);
+        let (parallel, _) = run(4);
+        // every cell produced exactly one outcome-labelled count
+        let samples =
+            graphmaze_metrics::parse_exposition(&graphmaze_metrics::render_exposition(&serial))
+                .expect("exposition parses");
+        let cells: f64 = samples
+            .iter()
+            .filter(|s| s.name == "graphmaze_sweep_cells_total")
+            .map(|s| s.value)
+            .sum();
+        assert_eq!(cells as usize, sweep.len());
+        assert_eq!(
+            graphmaze_metrics::expose::sample_value(
+                &samples,
+                "graphmaze_sweep_cells_total",
+                &[("outcome", "invalid")]
+            ),
+            Some(1.0),
+            "Galois×2-nodes fails deterministically"
+        );
+        assert_eq!(
+            graphmaze_metrics::expose::sample_value(
+                &samples,
+                "graphmaze_sweep_cell_seconds_count",
+                &[("algorithm", "pagerank"), ("framework", "native")]
+            ),
+            Some(2.0)
+        );
+        // simulated time is a pure function of the cell: the rendered
+        // sim-seconds section is byte-identical across --jobs 1 and 4
+        let sim_section = |reg: &Registry| {
+            graphmaze_metrics::render_exposition(reg)
+                .lines()
+                .filter(|l| l.starts_with("graphmaze_sim_seconds"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let section = sim_section(&serial);
+        assert!(!section.is_empty());
+        assert_eq!(section, sim_section(&parallel), "jobs-invariant buckets");
+        assert_eq!(report.failed, 1);
+    }
+
+    #[test]
     fn node_failed_cells_round_trip_and_annotate() {
         let err = CellError::NodeFailed(
             "node 0 failed during step 3 and the engine cannot recover (fail-stop)".into(),
@@ -1534,6 +1647,7 @@ mod tests {
             journal: Some(path.clone()),
             resume: false,
             cell_timeout: Some(std::time::Duration::ZERO),
+            telemetry: None,
         };
         let rep = sweep.run(&opts, &cache);
         assert_eq!(rep.ran, 1);
@@ -1549,6 +1663,7 @@ mod tests {
             journal: Some(path.clone()),
             resume: true,
             cell_timeout: None,
+            telemetry: None,
         };
         let rep2 = sweep.run(&opts2, &cache);
         assert_eq!((rep2.ran, rep2.resumed), (0, 1));

@@ -1,0 +1,290 @@
+//! Prometheus text-exposition rendering for a [`Registry`], plus the
+//! minimal parser the tests and CI smokes use to assert on scrapes.
+//!
+//! No HTTP anywhere: the daemon ships this text over its existing
+//! line-delimited TCP protocol (the `metrics` verb), terminated by a
+//! literal `# EOF` line in the OpenMetrics tradition so a line-oriented
+//! client knows where the multi-line payload ends.
+//!
+//! Rendering is deterministic by construction: families and series
+//! iterate in `BTreeMap` order, label sets are canonicalized at
+//! registration, bucket bounds are code constants, and floats print via
+//! `{:?}` (shortest round-trip). Two registries holding the same values
+//! render byte-identical text.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::telemetry::{Histogram, Registry, Series};
+
+/// Terminator line for the multi-line `metrics` payload.
+pub const EXPOSITION_EOF: &str = "# EOF";
+
+/// Renders the registry in Prometheus text-exposition format,
+/// terminated by [`EXPOSITION_EOF`].
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, (help, kind, series)) in registry.snapshot() {
+        writeln!(out, "# HELP {name} {help}").expect("string write");
+        writeln!(out, "# TYPE {name} {}", kind.as_str()).expect("string write");
+        for (labels, s) in series {
+            match s {
+                Series::Counter(c) => {
+                    writeln!(out, "{name}{labels} {}", c.get()).expect("string write");
+                }
+                Series::Gauge(g) => {
+                    writeln!(out, "{name}{labels} {}", g.get()).expect("string write");
+                }
+                Series::Histogram(h) => render_histogram(&mut out, &name, &labels, &h),
+            }
+        }
+    }
+    out.push_str(EXPOSITION_EOF);
+    out.push('\n');
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let cumulative = h.cumulative();
+    for (i, c) in cumulative.iter().enumerate() {
+        let le = if i < h.bounds().len() {
+            format!("{:?}", h.bounds()[i])
+        } else {
+            "+Inf".to_string()
+        };
+        let with_le = merge_label(labels, &format!("le=\"{le}\""));
+        writeln!(out, "{name}_bucket{with_le} {c}").expect("string write");
+    }
+    writeln!(out, "{name}_sum{labels} {:?}", h.sum_seconds()).expect("string write");
+    writeln!(out, "{name}_count{labels} {}", h.count()).expect("string write");
+}
+
+/// Splices one extra `k="v"` pair into a rendered label string.
+fn merge_label(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{},{extra}}}", &labels[..labels.len() - 1])
+    }
+}
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: BTreeMap<String, String>,
+    pub value: f64,
+}
+
+impl Sample {
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.get(key).map(|s| s.as_str())
+    }
+}
+
+/// Parses exposition text back into samples. Comment (`#`) and blank
+/// lines are skipped; any malformed sample line is an error. This is a
+/// deliberate subset of the format — just enough for round-trip tests
+/// and smoke assertions, not a general scraper.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample(line)?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("no value separator in `{line}`"))?;
+    let value = if value == "+Inf" {
+        f64::INFINITY
+    } else {
+        value
+            .parse::<f64>()
+            .map_err(|e| format!("bad value `{value}`: {e}"))?
+    };
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), BTreeMap::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set in `{line}`"))?;
+            (name.to_string(), parse_labels(body)?)
+        }
+    };
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(format!("bad metric name `{name}`"));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut labels = BTreeMap::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let (key, after_key) = rest
+            .split_once("=\"")
+            .ok_or_else(|| format!("bad label pair in `{body}`"))?;
+        // scan for the closing quote, honouring backslash escapes
+        let mut value = String::new();
+        let mut chars = after_key.char_indices();
+        let mut close = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e)) => value.push(e),
+                    None => return Err(format!("dangling escape in `{body}`")),
+                },
+                '"' => {
+                    close = Some(i);
+                    break;
+                }
+                _ => value.push(c),
+            }
+        }
+        let close = close.ok_or_else(|| format!("unterminated label value in `{body}`"))?;
+        labels.insert(key.to_string(), value);
+        rest = &after_key[close + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    Ok(labels)
+}
+
+/// Convenience for assertions: the value of the first sample matching
+/// `name` and all of `labels`.
+pub fn sample_value(samples: &[Sample], name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| {
+            s.name == name
+                && labels
+                    .iter()
+                    .all(|(k, v)| s.labels.get(*k).map(|x| x.as_str()) == Some(*v))
+        })
+        .map(|s| s.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> Registry {
+        let reg = Registry::new();
+        reg.counter("srv_requests_total", "total requests", &[])
+            .add(7);
+        reg.counter(
+            "srv_cell_total",
+            "per-cell requests",
+            &[("algorithm", "bfs"), ("framework", "native")],
+        )
+        .add(3);
+        reg.gauge("srv_in_flight", "in flight", &[]).set(2);
+        let h = reg.histogram(
+            "srv_stage_seconds",
+            "stage time",
+            &[("stage", "queue_wait")],
+        );
+        h.observe(0.0009);
+        h.observe(0.2);
+        h.observe(0.2);
+        reg
+    }
+
+    #[test]
+    fn render_is_deterministic_and_parses_back() {
+        let a = render(&populated());
+        let b = render(&populated());
+        assert_eq!(a, b, "two identical registries render identical text");
+        assert!(a.ends_with("# EOF\n"));
+
+        let samples = parse(&a).expect("parse own output");
+        assert_eq!(sample_value(&samples, "srv_requests_total", &[]), Some(7.0));
+        assert_eq!(
+            sample_value(
+                &samples,
+                "srv_cell_total",
+                &[("algorithm", "bfs"), ("framework", "native")]
+            ),
+            Some(3.0)
+        );
+        assert_eq!(sample_value(&samples, "srv_in_flight", &[]), Some(2.0));
+        assert_eq!(
+            sample_value(
+                &samples,
+                "srv_stage_seconds_count",
+                &[("stage", "queue_wait")]
+            ),
+            Some(3.0)
+        );
+        // cumulative buckets: the 0.0009 sample lands at le=0.0009765625,
+        // the two 0.2 samples at le=0.25, and +Inf sees all three
+        assert_eq!(
+            sample_value(
+                &samples,
+                "srv_stage_seconds_bucket",
+                &[("stage", "queue_wait"), ("le", "0.0009765625")]
+            ),
+            Some(1.0)
+        );
+        assert_eq!(
+            sample_value(
+                &samples,
+                "srv_stage_seconds_bucket",
+                &[("stage", "queue_wait"), ("le", "0.25")]
+            ),
+            Some(3.0)
+        );
+        assert_eq!(
+            sample_value(
+                &samples,
+                "srv_stage_seconds_bucket",
+                &[("stage", "queue_wait"), ("le", "+Inf")]
+            ),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn histogram_sections_carry_sum_and_help_lines() {
+        let text = render(&populated());
+        assert!(text.contains("# HELP srv_stage_seconds stage time"));
+        assert!(text.contains("# TYPE srv_stage_seconds histogram"));
+        assert!(text.contains("srv_stage_seconds_sum{stage=\"queue_wait\"} 0.4009"));
+        let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE")).collect();
+        assert_eq!(
+            type_lines.len(),
+            4,
+            "one TYPE line per family: {type_lines:?}"
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse("no_value_here").is_err());
+        assert!(parse("name{unterminated 1").is_err());
+        assert!(parse("name{a=\"b} 1").is_err());
+        assert!(parse("bad-name 1").is_err());
+        assert!(parse("# just a comment\n\n")
+            .expect("comments ok")
+            .is_empty());
+    }
+
+    #[test]
+    fn escaped_labels_round_trip() {
+        let reg = Registry::new();
+        reg.counter("c", "c", &[("msg", "a\"b\\c\nd")]).inc();
+        let samples = parse(&render(&reg)).expect("parse");
+        assert_eq!(samples[0].label("msg"), Some("a\"b\\c\nd"));
+    }
+}

@@ -12,18 +12,24 @@
 //! to seconds (done in `graphmaze-cluster`) uses the paper's hardware
 //! constants.
 
+pub mod expose;
 pub mod memory;
 pub mod recovery;
 pub mod report;
 pub mod retransmit;
+pub mod telemetry;
 pub mod timeline;
 pub mod traffic;
 pub mod work;
 
+pub use expose::{parse as parse_exposition, render as render_exposition, Sample, EXPOSITION_EOF};
 pub use memory::{MemTracker, OutOfMemory};
 pub use recovery::RecoveryStats;
 pub use report::RunReport;
 pub use retransmit::RetransmitStats;
+pub use telemetry::{
+    Counter, Gauge, Histogram, MetricKind, Registry, SpanRecord, SPAN_STAGES, TIME_BUCKETS_S,
+};
 pub use timeline::{PhaseStat, StepRecord, Timeline};
 pub use traffic::{TrafficMatrix, TrafficStats};
 pub use work::Work;

@@ -39,6 +39,16 @@ const OPTIONS: OptionTable = OptionTable {
             "FILE",
             "daemon: pre-populate the result cache from an offline\nsweep journal (results/journal.jsonl)",
         ),
+        Opt::value(
+            "--access-log",
+            "FILE",
+            "daemon: append one JSONL line per completed request\nto FILE (flushed on drain)",
+        ),
+        Opt::value(
+            "--trace",
+            "FILE",
+            "daemon: write a Chrome-trace JSON of request spans\nto FILE at shutdown",
+        ),
         // loadgen mode
         Opt::flag(
             "--loadgen",
@@ -149,6 +159,8 @@ fn run_daemon(parsed: &graphmaze_bench::cli::ParsedArgs) {
         cfg.cache_capacity = n;
     }
     cfg.warm_journal = parsed.raw("--warm-journal").map(Into::into);
+    cfg.access_log = parsed.raw("--access-log").map(Into::into);
+    let trace_path = parsed.raw("--trace").map(std::path::PathBuf::from);
     let server = Server::bind(&cfg).unwrap_or_else(|e| die(&format!("bind {}: {e}", cfg.addr)));
     let addr = server
         .local_addr()
@@ -167,6 +179,17 @@ fn run_daemon(parsed: &graphmaze_bench::cli::ParsedArgs) {
     );
     if let Err(e) = server.run() {
         die(&format!("serve loop: {e}"));
+    }
+    if let Some(path) = &trace_path {
+        let spans = server.state().spans();
+        match graphmaze_bench::trace::write_serve_trace(path, &spans) {
+            Ok(n) => println!(
+                "graphmaze serve — {n} request span{} traced to {}",
+                if n == 1 { "" } else { "s" },
+                path.display()
+            ),
+            Err(e) => eprintln!("warning: failed to write trace {}: {e}", path.display()),
+        }
     }
     let stats = server.state().results.stats();
     println!(

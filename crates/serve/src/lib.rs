@@ -15,6 +15,19 @@
 //! by `repro`; the round-trip test in `tests/serve_roundtrip.rs` pins
 //! this.
 //!
+//! ## Observability (DESIGN.md "Serving observability")
+//!
+//! Every `run` request is traced as a **span** of four consecutive
+//! stages — `queue_wait` (enqueue → permit), `cache_lookup`, `execute`
+//! (zero for cache hits), `respond` (result → flushed to the socket) —
+//! whose integer-nanosecond durations telescope to the span total
+//! *exactly*. Spans feed per-stage histograms in a process-wide
+//! [`Registry`], an optional JSONL access log, and the Chrome-trace
+//! exporter. Two protocol verbs expose the state live: `metrics`
+//! (Prometheus text exposition over the same line protocol, terminated
+//! by `# EOF`) and an enriched `stats` (per-stage percentiles, in-flight
+//! and draining gauges, per-cell request counts).
+//!
 //! The closed-loop load generator lives in [`loadgen`]; [`grid`] builds
 //! the default query population it samples from.
 
@@ -22,18 +35,30 @@ pub mod grid;
 pub mod loadgen;
 pub mod protocol;
 
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use graphmaze_core::flatjson::{parse_flat_json, FlatJsonBuilder};
-use graphmaze_core::{ResultCache, RunRequest, WorkloadCache};
+use graphmaze_core::metrics::{
+    expose, Counter, Gauge, Histogram, Registry, SpanRecord, SPAN_STAGES,
+};
+use graphmaze_core::{Provenance, ResultCache, RunRequest, WorkloadCache};
 
 use protocol::{decode_run_request, encode_error, encode_run_response, PROTOCOL_VERSION};
+
+/// Spans retained in memory for trace export. Beyond this the daemon
+/// keeps counting (histograms and the access log never drop) but stops
+/// accumulating per-request records, so a long-lived daemon is bounded.
+const SPAN_CAPACITY: usize = 65_536;
+
+/// How often a connection thread wakes from a blocking read to check
+/// whether the daemon is draining.
+const DRAIN_POLL: Duration = Duration::from_millis(100);
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -51,6 +76,9 @@ pub struct ServeConfig {
     /// Optionally pre-populate the result cache from an offline sweep
     /// journal (`results/journal.jsonl`) so the daemon starts warm.
     pub warm_journal: Option<PathBuf>,
+    /// Per-request JSONL access log (`--access-log PATH`; `None`
+    /// disables). One line per completed `run` span, flushed on drain.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +88,7 @@ impl Default for ServeConfig {
             jobs: 2,
             cache_capacity: 1024,
             warm_journal: None,
+            access_log: None,
         }
     }
 }
@@ -99,9 +128,80 @@ impl Drop for Permit<'_> {
     }
 }
 
-/// Shared daemon state: the two caches, the execution semaphore and the
-/// request counters. Lives behind an `Arc` so connection threads and
-/// embedding tests share one instance.
+/// The fixed instrument handles of the serving path, registered once at
+/// startup so the hot path records through pre-resolved atomics instead
+/// of taking the registry lock per request.
+struct ServeMetrics {
+    requests: Counter,
+    in_flight: Gauge,
+    draining: Gauge,
+    /// One histogram per [`SPAN_STAGES`] entry, same order.
+    stages: [Histogram; 4],
+    total: Histogram,
+}
+
+impl ServeMetrics {
+    fn new(registry: &Registry) -> Self {
+        let stage = |name: &'static str| {
+            registry.histogram(
+                "graphmaze_serve_stage_seconds",
+                "request span stage durations",
+                &[("stage", name)],
+            )
+        };
+        ServeMetrics {
+            requests: registry.counter(
+                "graphmaze_serve_requests_total",
+                "run requests accepted",
+                &[],
+            ),
+            in_flight: registry.gauge(
+                "graphmaze_serve_in_flight",
+                "run requests currently between enqueue and response",
+                &[],
+            ),
+            draining: registry.gauge(
+                "graphmaze_serve_draining",
+                "1 while the daemon is refusing new connections and finishing in-flight work",
+                &[],
+            ),
+            stages: [
+                stage(SPAN_STAGES[0]),
+                stage(SPAN_STAGES[1]),
+                stage(SPAN_STAGES[2]),
+                stage(SPAN_STAGES[3]),
+            ],
+            total: registry.histogram(
+                "graphmaze_serve_request_seconds",
+                "end-to-end request span durations",
+                &[],
+            ),
+        }
+    }
+}
+
+/// A span whose first three stages are measured but whose `respond`
+/// stage is still open: the response line exists but has not been
+/// written to the socket yet. [`ServeState::finish_span`] closes it
+/// after the flush, so socket time lands in the `respond` histogram.
+pub struct PendingSpan {
+    id: String,
+    label: String,
+    outcome: &'static str,
+    algorithm: &'static str,
+    framework: &'static str,
+    sim_seconds: Option<f64>,
+    start_s: f64,
+    queue_ns: u64,
+    lookup_ns: u64,
+    execute_ns: u64,
+    /// When the execute stage closed; `respond` runs from here.
+    executed_at: Instant,
+}
+
+/// Shared daemon state: the two caches, the execution semaphore, the
+/// telemetry registry and the request counters. Lives behind an `Arc`
+/// so connection threads and embedding tests share one instance.
 pub struct ServeState {
     /// Workloads, built once per daemon lifetime and shared by every
     /// query (the whole point of serving vs. one-shot CLI runs).
@@ -114,6 +214,11 @@ pub struct ServeState {
     shutdown: AtomicBool,
     addr: Mutex<Option<SocketAddr>>,
     started: Instant,
+    telemetry: Arc<Registry>,
+    metrics: ServeMetrics,
+    spans: Mutex<Vec<SpanRecord>>,
+    spans_dropped: AtomicU64,
+    access_log: Mutex<Option<BufWriter<std::fs::File>>>,
 }
 
 impl ServeState {
@@ -122,6 +227,20 @@ impl ServeState {
         if let Some(journal) = &cfg.warm_journal {
             results.warm_from_journal(journal);
         }
+        let access_log = cfg.access_log.as_ref().and_then(|path| {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::File::create(path) {
+                Ok(f) => Some(BufWriter::new(f)),
+                Err(e) => {
+                    eprintln!("warning: cannot open access log {}: {e}", path.display());
+                    None
+                }
+            }
+        });
+        let telemetry = Arc::new(Registry::new());
+        let metrics = ServeMetrics::new(&telemetry);
         ServeState {
             workloads: WorkloadCache::new(),
             results,
@@ -131,6 +250,11 @@ impl ServeState {
             shutdown: AtomicBool::new(false),
             addr: Mutex::new(None),
             started: Instant::now(),
+            telemetry,
+            metrics,
+            spans: Mutex::new(Vec::new()),
+            spans_dropped: AtomicU64::new(0),
+            access_log: Mutex::new(access_log),
         }
     }
 
@@ -144,19 +268,46 @@ impl ServeState {
         self.shutdown.load(Ordering::SeqCst)
     }
 
+    /// The daemon's telemetry registry, for embedding and scraping.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// Snapshot of the retained request spans (bounded by an internal
+    /// capacity; histograms and the access log are never bounded).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap().clone()
+    }
+
     /// Executes one [`RunRequest`] under the daemon's caches and
     /// concurrency limit — the programmatic equivalent of sending a
     /// `run` line over the wire.
     pub fn execute(&self, req: &RunRequest) -> graphmaze_core::RunResponse {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.requests.inc();
         let _permit = self.permits.acquire();
         req.execute_cached(&self.workloads, &self.results)
     }
 
     /// Handles one request line, returning `(response_line, stop)`;
     /// `stop` is set by a `shutdown` request after its `bye` goes out.
-    /// Exposed so tests can drive the protocol without a socket.
+    /// Exposed so tests can drive the protocol without a socket. The
+    /// span closes before the line is returned, so its `respond` stage
+    /// only covers response encoding — the socket loop uses
+    /// [`ServeState::handle_line_spanned`] to charge the actual write.
     pub fn handle_line(&self, line: &str) -> (String, bool) {
+        let (reply, stop, pending) = self.handle_line_spanned(line);
+        if let Some(span) = pending {
+            self.finish_span(span);
+        }
+        (reply, stop)
+    }
+
+    /// [`ServeState::handle_line`] with the span left open: the caller
+    /// must pass the returned [`PendingSpan`] to
+    /// [`ServeState::finish_span`] *after* flushing the reply, so the
+    /// `respond` stage includes the socket write.
+    pub fn handle_line_spanned(&self, line: &str) -> (String, bool, Option<PendingSpan>) {
         let Some(m) = parse_flat_json(line) else {
             return (
                 encode_error(
@@ -164,15 +315,23 @@ impl ServeState {
                     "malformed request (expected one flat JSON object per line)",
                 ),
                 false,
+                None,
             );
         };
         let id = m.get("id").cloned().unwrap_or_default();
         match m.get("op").map(String::as_str) {
             Some("run") => match decode_run_request(&m) {
-                Ok(req) => (encode_run_response(&id, &self.execute(&req)), false),
-                Err(e) => (encode_error(&id, &e), false),
+                Ok(req) => {
+                    let (resp, span) = self.execute_spanned(&id, &req);
+                    (encode_run_response(&id, &resp), false, Some(span))
+                }
+                Err(e) => {
+                    self.count_outcome("error");
+                    (encode_error(&id, &e), false, None)
+                }
             },
-            Some("stats") => (self.encode_stats(&id), false),
+            Some("stats") => (self.encode_stats(&id), false, None),
+            Some("metrics") => (self.render_metrics(), false, None),
             Some("ping") => (
                 FlatJsonBuilder::new()
                     .u64("proto", u64::from(PROTOCOL_VERSION))
@@ -180,6 +339,7 @@ impl ServeState {
                     .str("status", "pong")
                     .finish(),
                 false,
+                None,
             ),
             Some("shutdown") => (
                 FlatJsonBuilder::new()
@@ -188,20 +348,183 @@ impl ServeState {
                     .str("status", "bye")
                     .finish(),
                 true,
+                None,
             ),
-            Some(other) => (encode_error(&id, &format!("unknown op `{other}`")), false),
-            None => (encode_error(&id, "missing required field `op`"), false),
+            Some(other) => (
+                encode_error(&id, &format!("unknown op `{other}`")),
+                false,
+                None,
+            ),
+            None => (
+                encode_error(&id, "missing required field `op`"),
+                false,
+                None,
+            ),
         }
+    }
+
+    /// Runs one request with its span's first three stages measured.
+    ///
+    /// Stage accounting is exact by construction: `queue_wait` is the
+    /// permit wait, and the permit→result interval is split so the
+    /// stages telescope — on a hit the whole interval *is* the cache
+    /// lookup (`execute == 0` by definition); on a miss the lookup
+    /// duration comes from the core measurement and `execute` absorbs
+    /// the remainder (engine time plus admission).
+    fn execute_spanned(
+        &self,
+        id: &str,
+        req: &RunRequest,
+    ) -> (graphmaze_core::RunResponse, PendingSpan) {
+        let t0 = Instant::now();
+        let start_s = self.started.elapsed().as_secs_f64();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.requests.inc();
+        self.metrics.in_flight.inc();
+        let algorithm = req.cell.algorithm.name();
+        let framework = req.cell.framework.name();
+        self.telemetry
+            .counter(
+                "graphmaze_serve_cell_requests_total",
+                "run requests by cell coordinates",
+                &[("algorithm", algorithm), ("framework", framework)],
+            )
+            .inc();
+        let permit = self.permits.acquire();
+        let t1 = Instant::now();
+        let resp = req.execute_cached(&self.workloads, &self.results);
+        drop(permit);
+        let executed_at = Instant::now();
+        let permit_to_result = executed_at.duration_since(t1).as_nanos() as u64;
+        let (lookup_ns, execute_ns) = if resp.provenance == Provenance::Cached {
+            (permit_to_result, 0)
+        } else {
+            let lookup = (resp.cache_lookup.as_nanos() as u64).min(permit_to_result);
+            (lookup, permit_to_result - lookup)
+        };
+        let outcome = match (&resp.provenance, &resp.outcome) {
+            (Provenance::Cached, _) => "hit",
+            (Provenance::Computed, Ok(_)) => "miss",
+            (Provenance::Computed, Err(e)) if e.kind() == "timeout" => "timeout",
+            (Provenance::Computed, Err(_)) => "failed",
+        };
+        let sim_seconds = resp.outcome.as_ref().ok().map(|o| o.report.sim_seconds);
+        let span = PendingSpan {
+            id: id.to_string(),
+            label: format!("{algorithm}/{framework}"),
+            outcome,
+            algorithm,
+            framework,
+            sim_seconds,
+            start_s,
+            queue_ns: t1.duration_since(t0).as_nanos() as u64,
+            lookup_ns,
+            execute_ns,
+            executed_at,
+        };
+        (resp, span)
+    }
+
+    /// Closes a span: measures the `respond` stage, records every stage
+    /// histogram, the outcome counter and the jobs-invariant simulated
+    /// seconds, appends the access-log line, and retains the record for
+    /// trace export.
+    pub fn finish_span(&self, span: PendingSpan) {
+        let respond_ns = span.executed_at.elapsed().as_nanos() as u64;
+        let record = SpanRecord {
+            id: span.id,
+            label: span.label,
+            outcome: span.outcome.to_string(),
+            start_s: span.start_s,
+            queue_ns: span.queue_ns,
+            lookup_ns: span.lookup_ns,
+            execute_ns: span.execute_ns,
+            respond_ns,
+            total_ns: span.queue_ns + span.lookup_ns + span.execute_ns + respond_ns,
+        };
+        for (hist, ns) in self.metrics.stages.iter().zip(record.stages_ns()) {
+            hist.observe_duration(Duration::from_nanos(ns));
+        }
+        self.metrics
+            .total
+            .observe_duration(Duration::from_nanos(record.total_ns));
+        self.count_outcome(span.outcome);
+        if let Some(sim) = span.sim_seconds {
+            // simulated time is a pure function of the request (hits
+            // return the bit-exact cached outcome), so this histogram is
+            // identical across daemon --jobs settings — the determinism
+            // anchor the CI smoke compares
+            self.telemetry
+                .histogram(
+                    "graphmaze_serve_sim_seconds",
+                    "simulated seconds per successful request (jobs-invariant)",
+                    &[("algorithm", span.algorithm), ("framework", span.framework)],
+                )
+                .observe(sim);
+        }
+        self.metrics.in_flight.dec();
+        if let Some(log) = self.access_log.lock().unwrap().as_mut() {
+            let _ = writeln!(log, "{}", access_log_line(&record));
+        }
+        let mut spans = self.spans.lock().unwrap();
+        if spans.len() < SPAN_CAPACITY {
+            spans.push(record);
+        } else {
+            self.spans_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn count_outcome(&self, outcome: &str) {
+        self.telemetry
+            .counter(
+                "graphmaze_serve_outcomes_total",
+                "completed requests by outcome",
+                &[("outcome", outcome)],
+            )
+            .inc();
+    }
+
+    /// Renders the live Prometheus exposition, mirroring the cache and
+    /// workload counters in first (collect-on-scrape). The payload is
+    /// multi-line; the final line is `# EOF` so line-oriented clients
+    /// know where it ends.
+    pub fn render_metrics(&self) -> String {
+        self.results.export_into(&self.telemetry);
+        self.telemetry
+            .counter(
+                "graphmaze_workloads_built_total",
+                "workloads constructed by the shared cache",
+                &[],
+            )
+            .store(self.workloads.misses());
+        self.telemetry
+            .counter(
+                "graphmaze_workloads_reused_total",
+                "workload cache hits",
+                &[],
+            )
+            .store(self.workloads.hits());
+        self.telemetry
+            .counter(
+                "graphmaze_serve_spans_dropped_total",
+                "span records dropped after the retention cap",
+                &[],
+            )
+            .store(self.spans_dropped.load(Ordering::Relaxed));
+        let text = expose::render(&self.telemetry);
+        text.trim_end().to_string()
     }
 
     fn encode_stats(&self, id: &str) -> String {
         let cache = self.results.stats();
-        FlatJsonBuilder::new()
-            .u64("proto", u64::from(PROTOCOL_VERSION))
+        let mut b = FlatJsonBuilder::new();
+        b.u64("proto", u64::from(PROTOCOL_VERSION))
             .str("id", id)
             .str("status", "stats")
             .u64("requests", self.requests())
             .u64("jobs", self.jobs as u64)
+            .u64("in_flight", self.metrics.in_flight.get().max(0) as u64)
+            .u64("draining", self.metrics.draining.get().max(0) as u64)
             .u64("cache_hits", cache.hits)
             .u64("cache_misses", cache.misses)
             .u64("cache_admissions", cache.admissions)
@@ -212,18 +535,67 @@ impl ServeState {
             .f64("cache_hit_rate", cache.hit_rate())
             .u64("workloads_built", self.workloads.misses())
             .u64("workloads_reused", self.workloads.hits())
-            .f64("uptime_secs", self.started.elapsed().as_secs_f64())
-            .finish()
+            .f64("uptime_secs", self.started.elapsed().as_secs_f64());
+        // per-stage and end-to-end latency percentiles (histogram
+        // bucket upper bounds — within one power-of-two of exact)
+        for (name, hist) in SPAN_STAGES
+            .iter()
+            .zip(&self.metrics.stages)
+            .chain(std::iter::once((&"total", &self.metrics.total)))
+        {
+            for (tag, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                b.f64(&format!("{name}_{tag}_ms"), hist.quantile(q) * 1e3);
+            }
+        }
+        b.f64("permit_wait_total_s", self.metrics.stages[0].sum_seconds());
+        // per-(algorithm, framework) request counts, read back from the
+        // registry's own exposition so stats and metrics cannot diverge
+        if let Ok(samples) = expose::parse(&expose::render(&self.telemetry)) {
+            for s in &samples {
+                if s.name != "graphmaze_serve_cell_requests_total" {
+                    continue;
+                }
+                if let (Some(alg), Some(fw)) = (s.label("algorithm"), s.label("framework")) {
+                    b.u64(&format!("count_{alg}_{fw}"), s.value as u64);
+                }
+            }
+        }
+        b.finish()
     }
 
-    /// Flags shutdown and pokes the accept loop awake with a throwaway
-    /// connection so [`Server::run`] returns promptly.
+    /// Flags shutdown (and the `draining` gauge) and pokes the accept
+    /// loop awake with a throwaway connection so [`Server::run`] returns
+    /// promptly. Connection threads notice the flag within one
+    /// [`DRAIN_POLL`] and close once their buffered requests are served.
     fn begin_shutdown(&self) {
+        self.metrics.draining.set(1);
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(addr) = *self.addr.lock().unwrap() {
             let _ = TcpStream::connect(addr);
         }
     }
+
+    /// Flushes the access log (drain step; also safe to call anytime).
+    pub fn flush_access_log(&self) {
+        if let Some(log) = self.access_log.lock().unwrap().as_mut() {
+            let _ = log.flush();
+        }
+    }
+}
+
+/// One access-log JSONL line for a completed span.
+fn access_log_line(r: &SpanRecord) -> String {
+    FlatJsonBuilder::new()
+        .f64("ts_s", r.start_s)
+        .str("id", &r.id)
+        .str("cell", &r.label)
+        .str("outcome", &r.outcome)
+        .u64("queue_ns", r.queue_ns)
+        .u64("cache_lookup_ns", r.lookup_ns)
+        .u64("execute_ns", r.execute_ns)
+        .u64("respond_ns", r.respond_ns)
+        .u64("total_ns", r.total_ns)
+        .finish()
 }
 
 /// The serving daemon: a bound listener plus its [`ServeState`].
@@ -254,8 +626,10 @@ impl Server {
 
     /// Accepts connections until a `shutdown` request arrives, one
     /// thread per connection (execution parallelism is bounded by the
-    /// permit semaphore, not the connection count). Joins every
-    /// connection thread before returning so in-flight responses flush.
+    /// permit semaphore, not the connection count). Shutdown is a
+    /// graceful drain: the accept loop stops, every connection thread
+    /// finishes the requests it has already read and then closes, and
+    /// the access log is flushed before this returns.
     pub fn run(&self) -> io::Result<()> {
         let mut handles = Vec::new();
         for conn in self.listener.incoming() {
@@ -273,31 +647,58 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
+        self.state.flush_access_log();
         Ok(())
     }
 }
 
+/// Serves one connection. Reads are chunked with a short timeout
+/// instead of blocking forever so an idle keep-alive connection cannot
+/// stall a drain: once the daemon is draining, a connection with no
+/// buffered input closes, while buffered requests are still answered.
 fn handle_connection(stream: TcpStream, state: &ServeState) {
-    let Ok(read_half) = stream.try_clone() else {
+    let _ = stream.set_read_timeout(Some(DRAIN_POLL));
+    let Ok(mut read_half) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
-        if line.trim().is_empty() {
-            continue;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let raw: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&raw[..raw.len() - 1]);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (reply, stop, pending) = state.handle_line_spanned(line);
+            let sent = writeln!(writer, "{reply}").and_then(|()| writer.flush());
+            // the span closes after the flush so the respond stage
+            // charges the real socket write
+            if let Some(span) = pending {
+                state.finish_span(span);
+            }
+            if sent.is_err() {
+                return;
+            }
+            if stop {
+                state.begin_shutdown();
+                return;
+            }
         }
-        let (reply, stop) = state.handle_line(&line);
-        if writeln!(writer, "{reply}")
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            return;
-        }
-        if stop {
-            state.begin_shutdown();
-            return;
+        match read_half.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if state.shutting_down() {
+                    return; // draining and nothing buffered: close
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
         }
     }
 }
@@ -322,6 +723,9 @@ mod tests {
         let (stats, _) = state.handle_line(r#"{"op":"stats"}"#);
         assert!(stats.contains(r#""status":"stats""#));
         assert!(stats.contains(r#""cache_capacity":8"#));
+        assert!(stats.contains(r#""in_flight":0"#));
+        assert!(stats.contains(r#""draining":0"#));
+        assert!(stats.contains("queue_wait_p50_ms"));
         let (err, _) = state.handle_line("not json");
         assert!(err.contains(r#""status":"error""#));
         let (err, _) = state.handle_line(r#"{"op":"teleport"}"#);
@@ -360,5 +764,68 @@ mod tests {
         assert_eq!(*sem.free.lock().unwrap(), 1);
         let _c = sem.acquire();
         assert_eq!(*sem.free.lock().unwrap(), 0);
+    }
+
+    #[test]
+    fn spans_reconcile_and_feed_the_registry() {
+        let state = quiet_state();
+        let line = r#"{"op":"run","id":"s1","algorithm":"bfs","spec":"rmat/s7/e4/x2"}"#;
+        state.handle_line(line);
+        state.handle_line(line);
+        let spans = state.spans();
+        assert_eq!(spans.len(), 2);
+        for span in &spans {
+            assert_eq!(span.stage_sum_ns(), span.total_ns, "exact telescoping");
+        }
+        assert_eq!(spans[0].outcome, "miss");
+        assert_eq!(spans[1].outcome, "hit");
+        assert_eq!(spans[1].execute_ns, 0, "nothing runs on a hit");
+        // the metrics verb exposes matching counters, EOF-terminated
+        let (text, stop) = state.handle_line(r#"{"op":"metrics"}"#);
+        assert!(!stop);
+        assert!(text.ends_with(expose::EXPOSITION_EOF));
+        let samples = expose::parse(&text).expect("exposition parses");
+        let value =
+            |name: &str, labels: &[(&str, &str)]| expose::sample_value(&samples, name, labels);
+        assert_eq!(value("graphmaze_serve_requests_total", &[]), Some(2.0));
+        assert_eq!(
+            value(
+                "graphmaze_serve_cell_requests_total",
+                &[("algorithm", "bfs"), ("framework", "native")]
+            ),
+            Some(2.0)
+        );
+        assert_eq!(
+            value("graphmaze_serve_outcomes_total", &[("outcome", "hit")]),
+            Some(1.0)
+        );
+        assert_eq!(
+            value("graphmaze_serve_outcomes_total", &[("outcome", "miss")]),
+            Some(1.0)
+        );
+        assert_eq!(value("graphmaze_serve_in_flight", &[]), Some(0.0));
+        assert_eq!(
+            value(
+                "graphmaze_serve_stage_seconds_count",
+                &[("stage", "execute")]
+            ),
+            Some(2.0)
+        );
+        assert_eq!(
+            value("graphmaze_serve_request_seconds_count", &[]),
+            Some(2.0)
+        );
+        assert_eq!(
+            value(
+                "graphmaze_serve_sim_seconds_count",
+                &[("algorithm", "bfs"), ("framework", "native")]
+            ),
+            Some(2.0),
+            "hits observe the same simulated time as the miss"
+        );
+        assert_eq!(value("graphmaze_cache_hits_total", &[]), Some(1.0));
+        // stats mirrors the same per-cell count
+        let (stats, _) = state.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains(r#""count_bfs_native":2"#), "{stats}");
     }
 }

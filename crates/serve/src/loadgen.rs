@@ -4,9 +4,11 @@
 //! requests back-to-back (closed loop), sampling queries from a fixed
 //! population under a Zipf(s) distribution — rank 0 is hottest — so
 //! repeated queries exercise the daemon's result cache the way a real
-//! skewed workload would. An optional open-loop pacing cap
-//! (`rate` requests/second across all workers) throttles issue times to
-//! a deterministic schedule.
+//! skewed workload would. Sampling is keyed by the *global request
+//! index*, so the query multiset of a fixed-seed burst is identical
+//! whatever the concurrency or daemon scheduling. An optional open-loop
+//! pacing cap (`rate` requests/second across all workers) throttles
+//! issue times to a deterministic schedule.
 //!
 //! The report carries every per-request latency (sorted, milliseconds)
 //! plus hit/miss counts parsed from the response lines, and renders the
@@ -104,6 +106,26 @@ impl Zipf {
     }
 }
 
+/// Daemon-side latency summary scraped from the enriched `stats` verb
+/// after the burst, so client-vs-server skew is visible in one file.
+/// All latencies are histogram-bucket upper bounds in milliseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    pub queue_p50_ms: f64,
+    pub queue_p99_ms: f64,
+    pub lookup_p50_ms: f64,
+    pub lookup_p99_ms: f64,
+    pub execute_p50_ms: f64,
+    pub execute_p99_ms: f64,
+    pub respond_p50_ms: f64,
+    pub respond_p99_ms: f64,
+    pub total_p50_ms: f64,
+    pub total_p99_ms: f64,
+    /// The daemon's own cache hit rate over its whole lifetime (may
+    /// exceed the client-observed rate if the cache started warm).
+    pub hit_rate: f64,
+}
+
 /// What one loadgen run observed.
 #[derive(Clone, Debug, Default)]
 pub struct LoadgenReport {
@@ -120,6 +142,9 @@ pub struct LoadgenReport {
     pub wall_secs: f64,
     /// Per-request latencies, milliseconds, sorted ascending.
     pub latencies_ms: Vec<f64>,
+    /// Daemon-reported latency summary (`None` if the post-burst
+    /// `stats` scrape failed).
+    pub server: Option<ServerStats>,
 }
 
 impl LoadgenReport {
@@ -153,12 +178,32 @@ impl LoadgenReport {
     }
 
     /// Renders the summary CSV (header + one data row) the CI smoke job
-    /// parses.
+    /// parses. Client-side columns come first; the `srv_*` columns are
+    /// the daemon's own numbers for the same burst (`nan` if the
+    /// post-burst `stats` scrape failed), so client-vs-server latency
+    /// skew is visible in one file.
     pub fn to_csv(&self, cfg: &LoadgenConfig) -> String {
+        let s = self.server.unwrap_or(ServerStats {
+            queue_p50_ms: f64::NAN,
+            queue_p99_ms: f64::NAN,
+            lookup_p50_ms: f64::NAN,
+            lookup_p99_ms: f64::NAN,
+            execute_p50_ms: f64::NAN,
+            execute_p99_ms: f64::NAN,
+            respond_p50_ms: f64::NAN,
+            respond_p99_ms: f64::NAN,
+            total_p50_ms: f64::NAN,
+            total_p99_ms: f64::NAN,
+            hit_rate: f64::NAN,
+        });
         format!(
             "requests,concurrency,zipf_s,rate_rps,wall_secs,throughput_rps,\
-             p50_ms,p99_ms,cache_hits,cache_misses,hit_rate,failures\n\
-             {},{},{},{},{:.6},{:.3},{:.3},{:.3},{},{},{:.4},{}\n",
+             p50_ms,p99_ms,cache_hits,cache_misses,hit_rate,failures,\
+             srv_queue_p50_ms,srv_queue_p99_ms,srv_lookup_p50_ms,srv_lookup_p99_ms,\
+             srv_execute_p50_ms,srv_execute_p99_ms,srv_respond_p50_ms,srv_respond_p99_ms,\
+             srv_total_p50_ms,srv_total_p99_ms,srv_hit_rate\n\
+             {},{},{},{},{:.6},{:.3},{:.3},{:.3},{},{},{:.4},{},\
+             {:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.4}\n",
             self.completed + self.failures,
             cfg.concurrency,
             cfg.zipf_s,
@@ -172,8 +217,48 @@ impl LoadgenReport {
             self.misses,
             self.hit_rate(),
             self.failures,
+            s.queue_p50_ms,
+            s.queue_p99_ms,
+            s.lookup_p50_ms,
+            s.lookup_p99_ms,
+            s.execute_p50_ms,
+            s.execute_p99_ms,
+            s.respond_p50_ms,
+            s.respond_p99_ms,
+            s.total_p50_ms,
+            s.total_p99_ms,
+            s.hit_rate,
         )
     }
+}
+
+/// Scrapes the daemon's enriched `stats` into a [`ServerStats`].
+/// Returns `None` on any connection or parse failure — the loadgen
+/// report is still useful without the server side.
+pub fn scrape_server_stats(addr: &str) -> Option<ServerStats> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let read_half = stream.try_clone().ok()?;
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, r#"{{"op":"stats","id":"loadgen"}}"#).ok()?;
+    writer.flush().ok()?;
+    let mut reply = String::new();
+    reader.read_line(&mut reply).ok()?;
+    let m = parse_flat_json(reply.trim_end())?;
+    let num = |key: &str| m.get(key).and_then(|v| v.parse::<f64>().ok());
+    Some(ServerStats {
+        queue_p50_ms: num("queue_wait_p50_ms")?,
+        queue_p99_ms: num("queue_wait_p99_ms")?,
+        lookup_p50_ms: num("cache_lookup_p50_ms")?,
+        lookup_p99_ms: num("cache_lookup_p99_ms")?,
+        execute_p50_ms: num("execute_p50_ms")?,
+        execute_p99_ms: num("execute_p99_ms")?,
+        respond_p50_ms: num("respond_p50_ms")?,
+        respond_p99_ms: num("respond_p99_ms")?,
+        total_p50_ms: num("total_p50_ms")?,
+        total_p99_ms: num("total_p99_ms")?,
+        hit_rate: num("cache_hit_rate")?,
+    })
 }
 
 /// Runs the closed loop: samples `cfg.requests` queries from
@@ -199,8 +284,7 @@ pub fn run(cfg: &LoadgenConfig, population: &[RunRequest]) -> std::io::Result<Lo
     let latencies_us: Vec<AtomicU64> = (0..cfg.requests).map(|_| AtomicU64::new(0)).collect();
     let start = Instant::now();
     thread::scope(|scope| {
-        for worker in 0..cfg.concurrency.max(1) {
-            let mut rng = SplitMix64(cfg.seed.wrapping_add(0x9e37 * worker as u64 + 1));
+        for _worker in 0..cfg.concurrency.max(1) {
             let (zipf, encoded) = (&zipf, &encoded);
             let (issued, completed, failures) = (&issued, &completed, &failures);
             let (hits, misses, latencies_us) = (&hits, &misses, &latencies_us);
@@ -221,7 +305,6 @@ pub fn run(cfg: &LoadgenConfig, population: &[RunRequest]) -> std::io::Result<Lo
                 };
                 let mut reader = BufReader::new(read_half);
                 let mut writer = BufWriter::new(stream);
-                let mut draw = || rng.next_f64();
                 loop {
                     let idx = issued.fetch_add(1, Ordering::Relaxed);
                     if idx >= cfg.requests {
@@ -236,6 +319,16 @@ pub fn run(cfg: &LoadgenConfig, population: &[RunRequest]) -> std::io::Result<Lo
                             thread::sleep(due - now);
                         }
                     }
+                    // sample by global request index, not by a per-worker
+                    // RNG stream: the query multiset is then a pure
+                    // function of (seed, requests, population), identical
+                    // whatever the worker scheduling or daemon --jobs —
+                    // the invariant the telemetry determinism tests pin
+                    let mut rng = SplitMix64(
+                        cfg.seed
+                            .wrapping_add((idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                    );
+                    let mut draw = || rng.next_f64();
                     let line = &encoded[zipf.sample(&mut draw)];
                     let sent = Instant::now();
                     let ok = writeln!(writer, "{line}")
@@ -280,13 +373,17 @@ pub fn run(cfg: &LoadgenConfig, population: &[RunRequest]) -> std::io::Result<Lo
         .map(|us| us as f64 / 1000.0)
         .collect();
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let wall_secs = start.elapsed().as_secs_f64();
+    // the burst is over; ask the daemon for its side of the story
+    let server = scrape_server_stats(&cfg.addr);
     Ok(LoadgenReport {
         completed: completed.load(Ordering::Relaxed),
         failures: failures.load(Ordering::Relaxed),
         hits: hits.load(Ordering::Relaxed),
         misses: misses.load(Ordering::Relaxed),
-        wall_secs: start.elapsed().as_secs_f64(),
+        wall_secs,
         latencies_ms,
+        server,
     })
 }
 
@@ -336,6 +433,7 @@ mod tests {
             misses: 1,
             wall_secs: 2.0,
             latencies_ms: vec![1.0, 2.0, 3.0, 100.0],
+            server: None,
         };
         assert_eq!(report.percentile_ms(50.0), 2.0);
         assert_eq!(report.percentile_ms(99.0), 100.0);
@@ -351,6 +449,20 @@ mod tests {
             "header and row have the same arity"
         );
         assert!(lines[0].contains("p50_ms") && lines[0].contains("hit_rate"));
+        // a missing server scrape shows up as NaN, not a ragged row
+        assert!(lines[0].contains("srv_total_p99_ms"));
+        assert!(lines[1].contains("NaN"));
+        // with a scrape, the server columns carry its numbers
+        let with_server = LoadgenReport {
+            server: Some(ServerStats {
+                total_p99_ms: 128.0,
+                hit_rate: 0.5,
+                ..ServerStats::default()
+            }),
+            ..report
+        };
+        let row = with_server.to_csv(&LoadgenConfig::default());
+        assert!(row.lines().nth(1).unwrap().contains("128.000000"));
     }
 
     #[test]

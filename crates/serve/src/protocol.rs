@@ -15,16 +15,23 @@
 //!
 //! Request ops:
 //!
-//! | op         | effect                                              |
-//! |------------|-----------------------------------------------------|
-//! | `run`      | execute (or answer from cache) a benchmark cell     |
-//! | `stats`    | report cache/workload/request counters              |
-//! | `ping`     | liveness probe, answers `pong`                      |
-//! | `shutdown` | acknowledge with `bye`, then stop the daemon        |
+//! | op         | effect                                                |
+//! |------------|-------------------------------------------------------|
+//! | `run`      | execute (or answer from cache) a benchmark cell       |
+//! | `stats`    | report counters, gauges and per-stage percentiles     |
+//! | `metrics`  | Prometheus text exposition, terminated by `# EOF`     |
+//! | `ping`     | liveness probe, answers `pong`                        |
+//! | `shutdown` | acknowledge with `bye`, then drain and stop           |
 //!
 //! Every response carries `"status"`: `done` / `failed` (a cell-level
 //! failure such as OOM — still an *answer*, and cached as one) /
 //! `stats` / `pong` / `bye` / `error` (malformed request; nothing ran).
+//!
+//! `metrics` is the one deliberate exception to "one response line per
+//! request": its payload is the multi-line Prometheus text-exposition
+//! format (rendered by `graphmaze_metrics::expose`), so clients read
+//! until the literal `# EOF` line instead of stopping at the first
+//! newline. Every other op stays strictly line-delimited.
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -311,6 +318,8 @@ mod tests {
             )),
             provenance: Provenance::Cached,
             wall_secs: 0.001,
+            cache_lookup: Duration::ZERO,
+            execute: Duration::ZERO,
         };
         let m = parse_flat_json(&encode_run_response("x", &resp)).unwrap();
         assert_eq!(m["status"], "failed");

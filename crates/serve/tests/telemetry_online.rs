@@ -1,0 +1,283 @@
+//! Online telemetry over a real TCP socket: span accounting must
+//! reconcile exactly (the stage sum telescopes to the measured total,
+//! cache hits report a zero-length `execute` stage), the live `metrics`
+//! exposition must parse and agree with the load generator's request
+//! count, the simulated-seconds histogram must be bit-identical across
+//! daemon `--jobs` settings, and a drain must flush the JSONL access
+//! log before the serve loop returns.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+
+use graphmaze_core::flatjson::parse_flat_json;
+use graphmaze_core::metrics::{parse_exposition, EXPOSITION_EOF};
+use graphmaze_core::prelude::*;
+use graphmaze_serve::loadgen::{self, LoadgenConfig};
+use graphmaze_serve::protocol::encode_run_request;
+use graphmaze_serve::{grid, ServeConfig, ServeState, Server};
+
+/// Binds a daemon on an ephemeral port and runs it on a background
+/// thread; returns its address, its shared state (for post-drain
+/// inspection), and the join handle.
+fn spawn_daemon(cfg: ServeConfig) -> (String, Arc<ServeState>, thread::JoinHandle<()>) {
+    let server = Server::bind(&cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let state = server.state();
+    let handle = thread::spawn(move || server.run().expect("serve loop"));
+    (addr, state, handle)
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn send_line(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    writeln!(stream, "{line}").expect("send");
+    stream.flush().expect("flush");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("reply");
+    reply.trim_end().to_string()
+}
+
+/// Issues a `metrics` request and reads the multi-line exposition until
+/// the `# EOF` terminator — the protocol's one exception to one-line
+/// responses.
+fn scrape_metrics(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>) -> String {
+    writeln!(stream, r#"{{"op":"metrics"}}"#).expect("send");
+    stream.flush().expect("flush");
+    let mut text = String::new();
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("exposition line") > 0,
+            "connection closed before {EXPOSITION_EOF}"
+        );
+        let done = line.trim_end() == EXPOSITION_EOF;
+        text.push_str(&line);
+        if done {
+            return text;
+        }
+    }
+}
+
+/// A sample's value by metric name + exact label subset match.
+fn sample_value(text: &str, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+    parse_exposition(text)
+        .expect("exposition parses")
+        .into_iter()
+        .find(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(*v)))
+        .map(|s| s.value)
+}
+
+fn bfs_request(seed: u64) -> RunRequest {
+    RunRequest::new(
+        "serve",
+        SweepCell {
+            label: "telemetry".to_string(),
+            algorithm: Algorithm::Bfs,
+            framework: Framework::Native,
+            spec: WorkloadSpec::Rmat {
+                scale: 6,
+                edge_factor: 4,
+                seed,
+            },
+            nodes: 2,
+            factor: 1.0,
+            params: graphmaze_bench::standard_params(),
+            faults: FaultPlan::none(),
+        },
+    )
+}
+
+#[test]
+fn spans_reconcile_exactly_over_tcp() {
+    let (addr, state, daemon) = spawn_daemon(ServeConfig::default());
+    let (mut stream, mut reader) = connect(&addr);
+
+    let line = encode_run_request("q", &bfs_request(5));
+    let first = parse_flat_json(&send_line(&mut stream, &mut reader, &line)).expect("json");
+    let second = parse_flat_json(&send_line(&mut stream, &mut reader, &line)).expect("json");
+    assert_eq!(first["status"], "done");
+    assert_eq!(second["cache"], "hit");
+
+    // live scrape: counters agree with what this connection sent
+    let text = scrape_metrics(&mut stream, &mut reader);
+    assert_eq!(
+        sample_value(&text, "graphmaze_serve_requests_total", &[]),
+        Some(2.0)
+    );
+    assert_eq!(
+        sample_value(&text, "graphmaze_serve_in_flight", &[]),
+        Some(0.0),
+        "both requests answered before the scrape"
+    );
+    assert_eq!(
+        sample_value(
+            &text,
+            "graphmaze_serve_outcomes_total",
+            &[("outcome", "hit")]
+        ),
+        Some(1.0)
+    );
+    assert_eq!(
+        sample_value(
+            &text,
+            "graphmaze_serve_outcomes_total",
+            &[("outcome", "miss")]
+        ),
+        Some(1.0)
+    );
+    // stage histogram counts: every stage saw both spans
+    for stage in graphmaze_core::metrics::SPAN_STAGES {
+        assert_eq!(
+            sample_value(
+                &text,
+                "graphmaze_serve_stage_seconds_count",
+                &[("stage", stage)]
+            ),
+            Some(2.0),
+            "stage {stage}"
+        );
+    }
+
+    send_line(&mut stream, &mut reader, r#"{"op":"shutdown"}"#);
+    daemon.join().expect("daemon exits cleanly");
+
+    // exact reconciliation: integer nanoseconds, telescoped sum
+    let spans = state.spans();
+    assert_eq!(spans.len(), 2, "stats/metrics ops do not open spans");
+    for span in &spans {
+        assert_eq!(
+            span.stage_sum_ns(),
+            span.total_ns,
+            "stage sum must reconcile with the total exactly, not approximately"
+        );
+        assert!(span.total_ns > 0);
+    }
+    assert_eq!(spans[0].outcome, "miss");
+    assert!(spans[0].execute_ns > 0, "a computed answer has engine time");
+    assert_eq!(spans[1].outcome, "hit");
+    assert_eq!(
+        spans[1].execute_ns, 0,
+        "cache hits report a zero-length execute stage by definition"
+    );
+}
+
+#[test]
+fn loadgen_burst_scrape_and_access_log_drain() {
+    let log_path = std::env::temp_dir().join(format!("gm-access-{}.jsonl", std::process::id()));
+    let (addr, state, daemon) = spawn_daemon(ServeConfig {
+        jobs: 4,
+        access_log: Some(log_path.clone()),
+        ..ServeConfig::default()
+    });
+    let population = grid::default_grid(6, 1, 2);
+    let cfg = LoadgenConfig {
+        addr: addr.clone(),
+        requests: 40,
+        concurrency: 4,
+        zipf_s: 1.0,
+        rate: None,
+        seed: 11,
+    };
+    let report = loadgen::run(&cfg, &population).expect("loadgen runs");
+    assert_eq!(report.completed, 40, "failures: {}", report.failures);
+    let server = report.server.expect("server-side stats scraped");
+    assert!(server.total_p50_ms <= server.total_p99_ms);
+    assert!(server.hit_rate >= 0.0 && server.hit_rate <= 1.0);
+
+    // scrape while live: the request counter matches the loadgen count
+    let (mut stream, mut reader) = connect(&addr);
+    let text = scrape_metrics(&mut stream, &mut reader);
+    assert_eq!(
+        sample_value(&text, "graphmaze_serve_requests_total", &[]),
+        Some(40.0),
+        "total-request counter must equal the loadgen request count"
+    );
+    assert_eq!(
+        sample_value(&text, "graphmaze_serve_in_flight", &[]),
+        Some(0.0),
+        "in-flight gauge returns to zero after the burst"
+    );
+    assert_eq!(
+        sample_value(&text, "graphmaze_serve_draining", &[]),
+        Some(0.0)
+    );
+    // cache mirror: hits + misses == requests
+    let hits = sample_value(&text, "graphmaze_cache_hits_total", &[]).expect("hits");
+    let misses = sample_value(&text, "graphmaze_cache_misses_total", &[]).expect("misses");
+    assert_eq!(hits + misses, 40.0);
+    assert_eq!(hits as u64, report.hits as u64, "daemon and client agree");
+
+    send_line(&mut stream, &mut reader, r#"{"op":"shutdown"}"#);
+    daemon.join().expect("daemon exits cleanly");
+    assert!(state.shutting_down());
+
+    // drain flushed the access log: one well-formed JSONL line per
+    // request, stage fields telescoping to the total
+    let log = std::fs::read_to_string(&log_path).expect("access log exists");
+    std::fs::remove_file(&log_path).ok();
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 40, "one access-log line per run request");
+    for line in lines {
+        let m = parse_flat_json(line).expect("access-log line parses");
+        let ns = |k: &str| m[k].parse::<u64>().expect(k);
+        assert_eq!(
+            ns("queue_ns") + ns("cache_lookup_ns") + ns("execute_ns") + ns("respond_ns"),
+            ns("total_ns"),
+            "logged stages reconcile: {line}"
+        );
+        assert!(matches!(
+            m["outcome"].as_str(),
+            "hit" | "miss" | "failed" | "timeout"
+        ));
+    }
+}
+
+#[test]
+fn sim_seconds_exposition_is_jobs_invariant() {
+    // the same fixed-seed burst against a serial and a 4-way daemon
+    // must produce bit-identical simulated-seconds histogram sections:
+    // simulated time is a pure function of the request, and cache hits
+    // return the bit-exact computed outcome
+    let population = grid::default_grid(6, 1, 2);
+    let mut sections = Vec::new();
+    for jobs in [1usize, 4] {
+        let (addr, _state, daemon) = spawn_daemon(ServeConfig {
+            jobs,
+            ..ServeConfig::default()
+        });
+        let cfg = LoadgenConfig {
+            addr: addr.clone(),
+            requests: 30,
+            concurrency: 3,
+            zipf_s: 1.0,
+            rate: None,
+            seed: 7,
+        };
+        let report = loadgen::run(&cfg, &population).expect("loadgen runs");
+        assert_eq!(report.completed, 30);
+        let (mut stream, mut reader) = connect(&addr);
+        let text = scrape_metrics(&mut stream, &mut reader);
+        send_line(&mut stream, &mut reader, r#"{"op":"shutdown"}"#);
+        daemon.join().expect("daemon exits cleanly");
+        let section: String = text
+            .lines()
+            .filter(|l| l.contains("graphmaze_serve_sim_seconds"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(
+            section.contains("graphmaze_serve_sim_seconds_bucket"),
+            "successful requests must populate the histogram"
+        );
+        sections.push(section);
+    }
+    assert_eq!(
+        sections[0], sections[1],
+        "simulated-seconds exposition must be bit-identical across --jobs 1 and --jobs 4"
+    );
+}

@@ -275,6 +275,7 @@ fn fail_stop_cell_flows_through_the_sweep_as_failed() {
         journal: Some(journal.clone()),
         resume,
         cell_timeout: None,
+        telemetry: None,
     };
     let first = sweep.run(&opts(false), &WorkloadCache::new());
     assert_eq!(first.failed, 1);

@@ -457,6 +457,7 @@ fn faulted_sweep_is_bit_identical_across_jobs() {
             journal: Some(j1.clone()),
             resume: false,
             cell_timeout: None,
+            telemetry: None,
         },
         &WorkloadCache::new(),
     );
@@ -466,6 +467,7 @@ fn faulted_sweep_is_bit_identical_across_jobs() {
             journal: Some(j4.clone()),
             resume: false,
             cell_timeout: None,
+            telemetry: None,
         },
         &WorkloadCache::new(),
     );

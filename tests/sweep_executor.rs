@@ -67,6 +67,7 @@ fn parallel_run_matches_serial_run_exactly() {
             journal: None,
             resume: false,
             cell_timeout: None,
+            telemetry: None,
         },
         &WorkloadCache::new(),
     );
@@ -76,6 +77,7 @@ fn parallel_run_matches_serial_run_exactly() {
             journal: None,
             resume: false,
             cell_timeout: None,
+            telemetry: None,
         },
         &WorkloadCache::new(),
     );
@@ -101,6 +103,7 @@ fn cache_is_shared_across_cells() {
             journal: None,
             resume: false,
             cell_timeout: None,
+            telemetry: None,
         },
         &cache,
     );
@@ -119,6 +122,7 @@ fn resume_skips_journaled_cells_and_reproduces_results() {
         journal: Some(journal.clone()),
         resume: false,
         cell_timeout: None,
+        telemetry: None,
     };
     let first = sweep.run(&opts, &WorkloadCache::new());
     assert_eq!(first.ran, sweep.len());
@@ -130,6 +134,7 @@ fn resume_skips_journaled_cells_and_reproduces_results() {
         journal: Some(journal.clone()),
         resume: true,
         cell_timeout: None,
+        telemetry: None,
     };
     let second = sweep.run(&opts, &WorkloadCache::new());
     assert_eq!(second.ran, 0, "every cell must come from the journal");
@@ -160,6 +165,7 @@ fn resume_runs_only_the_missing_cells() {
         journal: Some(journal.clone()),
         resume: false,
         cell_timeout: None,
+        telemetry: None,
     };
     prefix.run(&opts, &WorkloadCache::new());
 
@@ -168,6 +174,7 @@ fn resume_runs_only_the_missing_cells() {
         journal: Some(journal.clone()),
         resume: true,
         cell_timeout: None,
+        telemetry: None,
     };
     let resumed = sweep.run(&opts, &WorkloadCache::new());
     assert_eq!(resumed.resumed, 4);
@@ -212,6 +219,7 @@ fn panicking_cell_fails_alone() {
             journal: None,
             resume: false,
             cell_timeout: None,
+            telemetry: None,
         },
         &WorkloadCache::new(),
     );
@@ -261,6 +269,7 @@ fn failed_cells_resume_from_the_journal_too() {
         journal: Some(journal.clone()),
         resume: false,
         cell_timeout: None,
+        telemetry: None,
     };
     let first = sweep.run(&opts, &WorkloadCache::new());
     assert!(matches!(
@@ -273,6 +282,7 @@ fn failed_cells_resume_from_the_journal_too() {
         journal: Some(journal.clone()),
         resume: true,
         cell_timeout: None,
+        telemetry: None,
     };
     let second = sweep.run(&opts, &WorkloadCache::new());
     assert_eq!(second.resumed, 1, "deterministic failures are not retried");
@@ -290,6 +300,7 @@ fn progress_callback_sees_every_cell() {
             journal: None,
             resume: false,
             cell_timeout: None,
+            telemetry: None,
         },
         &WorkloadCache::new(),
         |i, cell, result| {

@@ -107,6 +107,7 @@ fn matrix_is_byte_identical_across_jobs_settings() {
                 journal: None,
                 resume: false,
                 cell_timeout: None,
+                telemetry: None,
             },
             &WorkloadCache::new(),
         )
@@ -171,6 +172,7 @@ fn fault_and_recovery_paths_keep_the_matrix_reconciled() {
             journal: None,
             resume: false,
             cell_timeout: None,
+            telemetry: None,
         },
         &WorkloadCache::new(),
     );
