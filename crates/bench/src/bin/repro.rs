@@ -98,7 +98,7 @@ experiments:
   table2 table3 table4 table5 table6 table7 tabler
   fig3 fig4 fig5 fig6 fig7
   netestimate commmatrix sgdvsgd giraphsplit ablations strongscaling roadmap
-  relatedwork resilience
+  relatedwork resilience msbfs
   all         (everything above)
 
 options:
@@ -110,7 +110,7 @@ options:
 /// `(name, sweep cells, description)` for `--list`. Cell counts are the
 /// defaults (they do not depend on `--scale`); "direct" experiments run
 /// engines without the sweep executor.
-const LISTING: [(&str, &str, &str); 21] = [
+const LISTING: [(&str, &str, &str); 22] = [
     ("table2", "direct", "framework capability matrix"),
     ("table3", "direct", "dataset inventory and scaled stand-ins"),
     ("table4", "8", "native algorithm throughput at paper scale"),
@@ -164,6 +164,11 @@ const LISTING: [(&str, &str, &str); 21] = [
         "22",
         "retransmission overhead vs link-drop probability (extension)",
     ),
+    (
+        "msbfs",
+        "8",
+        "bit-parallel multi-source BFS: engine sweep + wall-clock race (extension)",
+    ),
 ];
 
 fn print_listing() {
@@ -175,7 +180,7 @@ fn print_listing() {
 }
 
 /// Every dispatchable experiment name, in `all` execution order.
-const EXPERIMENTS: [&str; 21] = [
+const EXPERIMENTS: [&str; 22] = [
     "table2",
     "table3",
     "table4",
@@ -197,6 +202,7 @@ const EXPERIMENTS: [&str; 21] = [
     "roadmap",
     "relatedwork",
     "resilience",
+    "msbfs",
 ];
 
 fn main() {
@@ -328,6 +334,7 @@ fn main() {
             "roadmap" => extras::roadmap(&cfg),
             "relatedwork" => extras::related_work(&cfg),
             "resilience" => extras::resilience(&cfg),
+            "msbfs" => extras::msbfs(&cfg),
             other => unreachable!("`{other}` passed validation"),
         };
         println!("{text}");

@@ -948,3 +948,143 @@ pub fn resilience(cfg: &ReproConfig) -> String {
     );
     out
 }
+
+/// Extension — the **bit-parallel multi-source BFS** column (ROADMAP
+/// item: widen Table 5 beyond the paper's four algorithms). Two acts:
+///
+/// 1. A two-scale engine sweep over every framework with an msbfs port
+///    (native, CombBLAS, GraphLab, Giraph — SociaLite and Galois are
+///    honest "n/a" cells), 4 simulated nodes, digests journaled so
+///    `--resume` and the serving daemon agree bit-exactly.
+/// 2. A real wall-clock race on a scale-20 RMAT graph: one batched
+///    64-source word pass of `graph::msbfs` against 64 independent
+///    scalar `native::bfs` runs, both at the same thread count. The
+///    batched kernel amortizes the edge stream across all 64 sources
+///    (one `u64` frontier mask per vertex), so it must win by ≥2×; the
+///    measured speedup lands in `msbfs_race.csv`.
+pub fn msbfs(cfg: &ReproConfig) -> String {
+    let params = standard_params();
+    let frameworks = [
+        Framework::Native,
+        Framework::CombBlas,
+        Framework::GraphLab,
+        Framework::Giraph,
+    ];
+    let scales = [cfg.target_scale.saturating_sub(2).max(6), cfg.target_scale];
+    let mut sweep = Sweep::new("msbfs");
+    for scale in scales {
+        let spec = WorkloadSpec::Rmat {
+            scale,
+            edge_factor: 16,
+            seed: cfg.seed,
+        };
+        let factor = cfg.scale_factor(
+            128u64 << 20,
+            cfg.workload(&spec).directed().expect("graph").num_edges(),
+        );
+        for fw in frameworks {
+            sweep.push(SweepCell {
+                label: format!("s{scale}"),
+                algorithm: Algorithm::MsBfs,
+                framework: fw,
+                spec: spec.clone(),
+                nodes: 4,
+                factor,
+                params,
+                faults: cfg.faults,
+            });
+        }
+    }
+    let report = crate::run_sweep(cfg, &sweep);
+    let mut results = report.results.iter();
+    let mut out = String::from(
+        "Extension — bit-parallel multi-source BFS (64 sources/word), 4 nodes\n\
+         overall seconds per framework; digests are bit-exact across engines\n\n",
+    );
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for scale in scales {
+        let mut row = vec![format!("rmat s{scale}")];
+        for fw in frameworks {
+            match cell_report(results.next().expect("one result per cell")) {
+                Ok(r) => {
+                    row.push(fmt_secs(r.sim_seconds));
+                    csv_rows.push(vec![
+                        format!("{scale}"),
+                        fw.name().to_string(),
+                        format!("{:.9e}", r.sim_seconds),
+                        r.traffic.bytes_sent.to_string(),
+                    ]);
+                }
+                Err(e) => {
+                    row.push(e.clone());
+                    csv_rows.push(vec![
+                        format!("{scale}"),
+                        fw.name().to_string(),
+                        e,
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+        rows.push(row);
+    }
+    let headers = ["dataset", "native", "combblas", "graphlab", "giraph"];
+    out.push_str(&format_table(&headers, &rows));
+    cfg.write_csv(
+        "msbfs",
+        &["scale", "framework", "sim_seconds", "bytes_sent"],
+        &csv_rows,
+    );
+
+    // act 2: the wall-clock race the batching exists for
+    let race_scale = 20u32;
+    let spec = WorkloadSpec::Rmat {
+        scale: race_scale,
+        edge_factor: 16,
+        seed: cfg.seed,
+    };
+    let wl = cfg.workload(&spec);
+    let g = wl.undirected().expect("graph");
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let sources =
+        graphmaze_core::runner::msbfs_sources(g.num_vertices() as u32, 64, params.msbfs_seed);
+    let t0 = std::time::Instant::now();
+    let batched = graphmaze_core::native::msbfs::msbfs(g, &sources, threads);
+    let batched_secs = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    for (i, &s) in sources.iter().enumerate() {
+        let row = graphmaze_core::native::bfs::bfs(g, s, threads);
+        assert_eq!(row, batched[i], "scalar BFS diverged from the batch");
+    }
+    let scalar_secs = t1.elapsed().as_secs_f64();
+    let speedup = scalar_secs / batched_secs.max(1e-12);
+    out.push_str(&format!(
+        "\nwall-clock race on rmat s{race_scale} (ef 16), {} sources, {threads} threads:\n\
+         batched word pass {:.3}s vs {} scalar BFS runs {:.3}s — {speedup:.1}x\n",
+        sources.len(),
+        batched_secs,
+        sources.len(),
+        scalar_secs,
+    ));
+    cfg.write_csv(
+        "msbfs_race",
+        &[
+            "scale",
+            "sources",
+            "threads",
+            "batched_wall_secs",
+            "scalar_wall_secs",
+            "speedup",
+        ],
+        &[vec![
+            format!("{race_scale}"),
+            sources.len().to_string(),
+            threads.to_string(),
+            format!("{batched_secs:.6}"),
+            format!("{scalar_secs:.6}"),
+            format!("{speedup:.3}"),
+        ]],
+    );
+    out
+}

@@ -107,6 +107,7 @@ pub fn fig3_and_table5(cfg: &ReproConfig) -> String {
             Algorithm::TriangleCount => {
                 "Figure 3(d) Triangle Counting — overall seconds, single node"
             }
+            Algorithm::MsBfs => "Multi-source BFS — overall seconds, single node",
         };
         out.push_str(title);
         out.push_str("\n\n");
@@ -174,6 +175,7 @@ fn fig4_series(alg: Algorithm) -> (&'static str, u64) {
             "Figure 4(d) Triangle Counting weak scaling (overall s)",
             32 << 20,
         ),
+        Algorithm::MsBfs => ("Multi-source BFS weak scaling (overall s)", 128 << 20),
     }
 }
 

@@ -272,6 +272,8 @@ pub fn standard_params() -> BenchParams {
         },
         cf_iterations: 2,
         giraph_splits: 16,
+        msbfs_sources: 64,
+        msbfs_seed: 0x6d73_6266_7331,
     }
 }
 

@@ -19,7 +19,7 @@ use graphmaze_engines::vertex::{giraph, graphlab};
 use graphmaze_graph::csr::Csr;
 use graphmaze_graph::{DirectedGraph, RatingsGraph, UndirectedGraph};
 use graphmaze_metrics::RunReport;
-use graphmaze_native::{bfs, cf, pagerank, triangle, NativeOptions, PAGERANK_R};
+use graphmaze_native::{bfs, cf, msbfs, pagerank, triangle, NativeOptions, PAGERANK_R};
 
 use crate::runner::{BenchParams, Framework};
 
@@ -63,6 +63,24 @@ pub trait Engine: Sync {
         nodes: usize,
         params: &BenchParams,
     ) -> Result<(f64, RunReport), SimError>;
+
+    /// Bit-parallel multi-source BFS from `sources` on the symmetrized
+    /// view; digest = Σ finite distances over all source rows. The
+    /// default says the framework has no port — the word-level kernel
+    /// does not fit every programming model (GraphMat, PAPERS.md) — so
+    /// the extended Table 5 renders those cells "n/a".
+    fn msbfs(
+        &self,
+        _g: &UndirectedGraph,
+        _sources: &[u32],
+        _nodes: usize,
+        _params: &BenchParams,
+    ) -> Result<(f64, RunReport), SimError> {
+        Err(SimError::InvalidConfig(format!(
+            "{} has no multi-source BFS port",
+            self.name()
+        )))
+    }
 }
 
 fn bfs_digest(dist: &[u32]) -> f64 {
@@ -70,6 +88,10 @@ fn bfs_digest(dist: &[u32]) -> f64 {
         .filter(|&&d| d != u32::MAX)
         .map(|&d| f64::from(d))
         .sum()
+}
+
+fn msbfs_digest(rows: &[Vec<u32>]) -> f64 {
+    rows.iter().map(|row| bfs_digest(row)).sum()
 }
 
 fn cf_rmse_flat(g: &RatingsGraph, p: &[f64], q: &[f64], k: usize) -> f64 {
@@ -157,6 +179,17 @@ impl Engine for NativeEngine {
         )?;
         Ok((*hist.last().unwrap_or(&f64::NAN), report))
     }
+
+    fn msbfs(
+        &self,
+        g: &UndirectedGraph,
+        sources: &[u32],
+        nodes: usize,
+        _params: &BenchParams,
+    ) -> Result<(f64, RunReport), SimError> {
+        let (rows, report) = msbfs::msbfs_cluster(g, sources, NativeOptions::all(), nodes)?;
+        Ok((msbfs_digest(&rows), report))
+    }
 }
 
 /// CombBLAS — sparse-matrix semirings, 2-D partitioning, MPI.
@@ -215,6 +248,17 @@ impl Engine for CombBlasEngine {
         )?;
         Ok((cf_rmse_flat(g, &p, &q, k), report))
     }
+
+    fn msbfs(
+        &self,
+        g: &UndirectedGraph,
+        sources: &[u32],
+        nodes: usize,
+        _params: &BenchParams,
+    ) -> Result<(f64, RunReport), SimError> {
+        let (rows, report) = combblas::msbfs(g, sources, nodes)?;
+        Ok((msbfs_digest(&rows), report))
+    }
 }
 
 /// GraphLab — vertex programs, sockets.
@@ -271,6 +315,17 @@ impl Engine for GraphLabEngine {
             nodes,
         )?;
         Ok((cf_rmse_rows(g, &vals), report))
+    }
+
+    fn msbfs(
+        &self,
+        g: &UndirectedGraph,
+        sources: &[u32],
+        nodes: usize,
+        _params: &BenchParams,
+    ) -> Result<(f64, RunReport), SimError> {
+        let (rows, report) = graphlab::msbfs(g, sources, nodes)?;
+        Ok((msbfs_digest(&rows), report))
     }
 }
 
@@ -396,6 +451,17 @@ impl Engine for GiraphEngine {
             params.giraph_splits,
         )?;
         Ok((cf_rmse_rows(g, &vals), report))
+    }
+
+    fn msbfs(
+        &self,
+        g: &UndirectedGraph,
+        sources: &[u32],
+        nodes: usize,
+        _params: &BenchParams,
+    ) -> Result<(f64, RunReport), SimError> {
+        let (rows, report) = giraph::msbfs(g, sources, nodes)?;
+        Ok((msbfs_digest(&rows), report))
     }
 }
 

@@ -308,7 +308,7 @@ impl SweepCell {
     pub fn key(&self, experiment: &str) -> u64 {
         let p = &self.params;
         let canonical = format!(
-            "{experiment}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{:016x}\x1f{}\x1f{}\x1f{}\x1f{:016x}\x1f{:016x}\x1f{:016x}\x1f{}\x1f{}\x1f{}\x1f{}",
+            "{experiment}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{:016x}\x1f{}\x1f{}\x1f{}\x1f{:016x}\x1f{:016x}\x1f{:016x}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{:016x}\x1f{}",
             self.label,
             self.algorithm.name(),
             self.framework.name(),
@@ -324,6 +324,8 @@ impl SweepCell {
             p.cf.seed,
             p.cf_iterations,
             p.giraph_splits,
+            p.msbfs_sources,
+            p.msbfs_seed,
             self.faults.key(),
         );
         fnv1a64(&canonical)
@@ -425,7 +427,7 @@ pub struct CellResult {
     pub wall_secs: f64,
 }
 
-/// A structured progress event from [`Sweep::run_with_events`].
+/// A structured progress event from [`Sweep::execute`].
 ///
 /// Events fire from worker threads as the sweep makes progress. Every
 /// cell produces exactly one terminal event ([`SweepEvent::Finished`] or
@@ -577,59 +579,6 @@ impl Sweep {
         self.cells.is_empty()
     }
 
-    /// Runs the sweep silently.
-    ///
-    /// **Deprecated** in favour of the single observer-based entry point
-    /// [`Sweep::execute`] (with [`SilentObserver`]); kept as a thin
-    /// wrapper so existing call sites migrate mechanically.
-    pub fn run(&self, opts: &SweepOptions, cache: &WorkloadCache) -> SweepReport {
-        self.execute(opts, cache, &SilentObserver)
-    }
-
-    /// Runs the sweep, invoking `progress(index, cell, result)` exactly
-    /// once per cell as it completes (from worker threads, unordered).
-    ///
-    /// **Deprecated** in favour of [`Sweep::execute`] with an observer
-    /// that matches on terminal events; kept as a thin wrapper so
-    /// existing call sites migrate mechanically.
-    pub fn run_with_progress(
-        &self,
-        opts: &SweepOptions,
-        cache: &WorkloadCache,
-        progress: impl Fn(usize, &SweepCell, &CellResult) + Sync,
-    ) -> SweepReport {
-        self.execute(opts, cache, &|ev: &SweepEvent<'_>| match ev {
-            SweepEvent::Started { .. } => {}
-            SweepEvent::Finished {
-                index,
-                cell,
-                result,
-                ..
-            }
-            | SweepEvent::Failed {
-                index,
-                cell,
-                result,
-                ..
-            } => progress(*index, cell, result),
-        })
-    }
-
-    /// Runs the sweep, invoking `events` with every [`SweepEvent`].
-    ///
-    /// **Deprecated** in favour of [`Sweep::execute`] — closures are
-    /// observers, so the migration is `run_with_events(o, c, f)` →
-    /// `execute(o, c, &f)`; kept as a thin wrapper so existing call
-    /// sites migrate mechanically.
-    pub fn run_with_events(
-        &self,
-        opts: &SweepOptions,
-        cache: &WorkloadCache,
-        events: impl Fn(&SweepEvent<'_>) + Sync,
-    ) -> SweepReport {
-        self.execute(opts, cache, &events)
-    }
-
     /// Runs every cell across `opts.jobs` worker threads, journaling and
     /// resuming per `opts`, notifying `observer` with a [`SweepEvent`]
     /// as the sweep makes progress (from worker threads, unordered).
@@ -637,8 +586,8 @@ impl Sweep {
     /// [`SweepEvent::Started`]. Results come back in cell order
     /// regardless of scheduling.
     ///
-    /// This is the one entry point of the executor — `run`,
-    /// `run_with_progress` and `run_with_events` are thin wrappers.
+    /// This is the one entry point of the executor — run silently with
+    /// [`SilentObserver`], or pass a closure (closures are observers).
     /// Each pending cell executes through [`RunRequest`], the same code
     /// path the serving daemon and the integration tests use, so
     /// digests and identity hashes are bit-identical between online and
@@ -831,10 +780,11 @@ fn fnv1a64(s: &str) -> u64 {
 // JSONL journal
 //
 // One flat JSON object per line, tagged with the schema version `v`
-// (currently 4; v2 added the step timeline, v3 the per-destination
+// (currently 5; v2 added the step timeline, v3 the per-destination
 // communication matrix and per-node sent bytes, v4 the `resilience`
 // timeline column, the `ret_*` lossy-link counters and the `timeout`
-// error kind). Successful cells carry the
+// error kind, v5 folded the msbfs params — source count and seed —
+// into the cell identity hash). Successful cells carry the
 // digest and the *complete* RunReport (fig6 consumes utilization/
 // traffic/memory/timeline, not just seconds), with f64s in shortest-
 // round-trip form so resumed CSVs are byte-identical. The timeline is
@@ -856,7 +806,7 @@ fn fnv1a64(s: &str) -> u64 {
 
 /// Journal line schema version. Bump when the line format changes
 /// incompatibly; `load_journal` skips lines from other versions.
-pub const JOURNAL_SCHEMA_VERSION: u32 = 4;
+pub const JOURNAL_SCHEMA_VERSION: u32 = 5;
 
 /// Percent-escapes the timeline delimiters (`%`, `|`, `;`) in a phase
 /// label so records stay splittable.
@@ -1328,7 +1278,7 @@ mod tests {
                 telemetry: Some(Arc::clone(&registry)),
                 ..SweepOptions::default()
             };
-            let report = sweep.run(&opts, &WorkloadCache::new());
+            let report = sweep.execute(&opts, &WorkloadCache::new(), &SilentObserver);
             (registry, report)
         };
         let (serial, report) = run(1);
@@ -1649,7 +1599,7 @@ mod tests {
             cell_timeout: Some(std::time::Duration::ZERO),
             telemetry: None,
         };
-        let rep = sweep.run(&opts, &cache);
+        let rep = sweep.execute(&opts, &cache, &SilentObserver);
         assert_eq!(rep.ran, 1);
         assert!(
             matches!(rep.results[0].outcome, Err(CellError::TimedOut(_))),
@@ -1665,7 +1615,7 @@ mod tests {
             cell_timeout: None,
             telemetry: None,
         };
-        let rep2 = sweep.run(&opts2, &cache);
+        let rep2 = sweep.execute(&opts2, &cache, &SilentObserver);
         assert_eq!((rep2.ran, rep2.resumed), (0, 1));
         assert_eq!(rep2.results[0].status, CellStatus::Resumed);
         assert!(matches!(

@@ -118,6 +118,99 @@ fn bfs_with_compression(
     Ok((dist, sim.finish()))
 }
 
+/// Bit-parallel multi-source BFS as iterated SpMSpV over the
+/// [`super::semiring::OR_PASS`] mask semiring: the frontier is a sparse
+/// vector of `u64` source masks, one matrix product OR-gossips every
+/// mask over the edges, and newly arrived bits settle at the current
+/// level. Sources beyond 64 run as consecutive word passes in the same
+/// simulation. Returns one distance row per source, identical to
+/// `graphmaze_native::msbfs::msbfs`.
+pub fn msbfs(
+    g: &UndirectedGraph,
+    sources: &[VertexId],
+    nodes: usize,
+) -> Result<(Vec<Vec<u32>>, RunReport), SimError> {
+    let m = DistMatrix::new_nearly_square(&g.adj, nodes);
+    let mut sim = new_sim(nodes);
+    alloc_matrix(&mut sim, &m, "combblas:A")?;
+    let n = g.num_vertices();
+    // per-vertex seen word + per-pass packed distances
+    sim.alloc_all(
+        (n * (8 + 4 * sources.len().clamp(1, 64))) as u64 / nodes as u64 + 1,
+        "combblas:msbfs-state",
+    )?;
+    let mut rows: Vec<Vec<u32>> = Vec::with_capacity(sources.len());
+    sim.phase("spmspv:mask-frontier");
+    for group in sources.chunks(64) {
+        let k = group.len();
+        let mut seen = vec![0u64; n];
+        let mut dist = vec![u32::MAX; n * 64];
+        let mut frontier: Vec<(VertexId, u64)> = {
+            let mut seeds: Vec<(VertexId, u64)> = group
+                .iter()
+                .enumerate()
+                .map(|(b, &s)| (s, 1u64 << b))
+                .collect();
+            seeds.sort_unstable_by_key(|&(v, _)| v);
+            let mut merged: Vec<(VertexId, u64)> = Vec::new();
+            for (v, mask) in seeds {
+                match merged.last_mut() {
+                    Some((lv, lm)) if *lv == v => *lm |= mask,
+                    _ => merged.push((v, mask)),
+                }
+            }
+            merged
+        };
+        for &(v, mask) in &frontier {
+            seen[v as usize] = mask;
+            settle_mask(&mut dist, v, mask, 0);
+        }
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            level += 1;
+            let product = m.spmspv_transpose_opt(
+                &mut sim,
+                &frontier,
+                0, // matrix entries are boolean; ⊗ passes the mask through
+                &super::semiring::OR_PASS,
+                8,
+                false,
+            );
+            frontier = product
+                .into_iter()
+                .filter_map(|(v, mask)| {
+                    let newly = mask & !seen[v as usize];
+                    (newly != 0).then_some((v, newly))
+                })
+                .collect();
+            for &(v, newly) in &frontier {
+                seen[v as usize] |= newly;
+                settle_mask(&mut dist, v, newly, level);
+            }
+            for p in 0..nodes {
+                sim.charge(p, Work::random(frontier.len() as u64 / nodes as u64 + 1));
+            }
+            sim.end_step()?;
+        }
+        for b in 0..k {
+            rows.push((0..n).map(|v| dist[v * 64 + b]).collect());
+        }
+    }
+    sim.end_iteration();
+    Ok((rows, sim.finish()))
+}
+
+/// Records `level` for every set bit of `mask` at vertex `v` in the
+/// packed `dist[v * 64 + bit]` layout.
+fn settle_mask(dist: &mut [u32], v: VertexId, mask: u64, level: u32) {
+    let mut bits = mask;
+    while bits != 0 {
+        let b = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        dist[v as usize * 64 + b] = level;
+    }
+}
+
 /// Triangle counting as `Σ nnz-values of A ∩ A²` (§3.2) — limited by the
 /// programming abstraction: A² is materialized, which exhausts memory on
 /// large inputs ("it ran out of memory for real-world inputs while

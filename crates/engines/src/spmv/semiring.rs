@@ -37,6 +37,16 @@ pub const MIN_PLUS: Semiring<u32> = Semiring {
     mul: |a, b| a.saturating_add(b),
 };
 
+/// The `(|, pass)` semiring over `u64` source masks: ⊕ is bitwise OR,
+/// ⊗ passes the vector entry through (matrix entries are boolean).
+/// Drives bit-parallel multi-source BFS — one SpMSpV advances all 64
+/// sources of a word at once.
+pub const OR_PASS: Semiring<u64> = Semiring {
+    zero: 0,
+    add: |a, b| a | b,
+    mul: |_, x| x,
+};
+
 /// The counting semiring over `u64` (path counting / SpGEMM for TC).
 pub const PLUS_TIMES_U64: Semiring<u64> = Semiring {
     zero: 0,

@@ -16,7 +16,8 @@ use graphmaze_metrics::RunReport;
 
 use super::engine::{run, EngineConfig};
 use super::programs::{
-    pack_bipartite, BfsProgram, CfGdProgram, PageRankProgram, TriangleProgram, BFS_UNREACHED,
+    msbfs_rows, msbfs_seed_msgs, pack_bipartite, BfsProgram, CfGdProgram, MsBfsProgram,
+    PageRankProgram, TriangleProgram, BFS_UNREACHED,
 };
 
 /// JVM heap overhead charged per buffered message object (the value
@@ -121,6 +122,34 @@ pub fn bfs(
         nodes,
         1,
     )
+}
+
+/// Bit-parallel multi-source BFS on Giraph: the word-level kernel forced
+/// into the per-vertex model, mask vectors shipped as whole-superstep
+/// buffered JVM message objects. Returns one distance row per source
+/// (identical to `graphmaze_native::msbfs::msbfs`) and the report.
+pub fn msbfs(
+    g: &UndirectedGraph,
+    sources: &[VertexId],
+    nodes: usize,
+) -> Result<(Vec<Vec<u32>>, RunReport), SimError> {
+    let prog = MsBfsProgram {
+        num_sources: sources.len(),
+    };
+    let init = vec![prog.initial_state(); g.num_vertices()];
+    let max = g.num_vertices() as u32 + 2;
+    let (values, report) = run(
+        &g.adj,
+        None,
+        &prog,
+        init,
+        msbfs_seed_msgs(sources),
+        false,
+        &config(max, 1),
+        nodes,
+        1,
+    )?;
+    Ok((msbfs_rows(&values, sources.len()), report))
 }
 
 /// Triangle counting on Giraph with superstep splitting. `splits = 1`

@@ -15,7 +15,8 @@ use graphmaze_metrics::RunReport;
 
 use super::engine::{run, EngineConfig};
 use super::programs::{
-    pack_bipartite, BfsProgram, CfGdProgram, PageRankProgram, TriangleProgram, BFS_UNREACHED,
+    msbfs_rows, msbfs_seed_msgs, pack_bipartite, BfsProgram, CfGdProgram, MsBfsProgram,
+    PageRankProgram, TriangleProgram, BFS_UNREACHED,
 };
 
 /// GraphLab's engine configuration. Message-plane knobs come from the
@@ -113,6 +114,33 @@ pub fn bfs(
         nodes,
         1,
     )
+}
+
+/// Bit-parallel multi-source BFS as a GraphLab vertex program. Mask
+/// words are OR-merged by the combiner before hitting the socket
+/// transport; distances match `graphmaze_native::msbfs::msbfs` exactly.
+pub fn msbfs(
+    g: &UndirectedGraph,
+    sources: &[VertexId],
+    nodes: usize,
+) -> Result<(Vec<Vec<u32>>, RunReport), SimError> {
+    let prog = MsBfsProgram {
+        num_sources: sources.len(),
+    };
+    let init = vec![prog.initial_state(); g.num_vertices()];
+    let max = g.num_vertices() as u32 + 2;
+    let (values, report) = run(
+        &g.adj,
+        None,
+        &prog,
+        init,
+        msbfs_seed_msgs(sources),
+        false,
+        &config(max),
+        nodes,
+        1,
+    )?;
+    Ok((msbfs_rows(&values, sources.len()), report))
 }
 
 /// Triangle counting as a GraphLab vertex program over a DAG-oriented,

@@ -184,6 +184,111 @@ impl VertexProgram for BfsProgram {
     }
 }
 
+/// Bit-parallel multi-source BFS as a vertex program — the word-level
+/// kernel forced into the per-vertex model (ROADMAP item 2). Each vertex
+/// value carries one `u64` mask word per 64 sources ("which sources
+/// reached me") plus per-source distances; messages are the newly
+/// settled mask words, OR-combined. Every rule is uniform: bit `b`
+/// arriving at superstep `s` means source `b` is `s` hops away (seeds
+/// get their own mask as an initial message, settling at superstep 0).
+///
+/// The structural mismatch the paper's framework critique predicts is
+/// visible in the message plane: where the native kernel gossips one
+/// word per edge with `fetch_or`, the vertex model re-materializes the
+/// whole mask vector as a heap message per edge per level.
+pub struct MsBfsProgram {
+    /// Total number of sources in the batch (bits `i*64+b` with
+    /// `i*64+b >= num_sources` are never set).
+    pub num_sources: usize,
+}
+
+/// Per-vertex msbfs state: settled source masks + per-source distances.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsBfsState {
+    /// One mask word per 64 sources; bit `b` of word `i` set means
+    /// source `i*64+b` has reached this vertex.
+    pub seen: Vec<u64>,
+    /// Hop distance per source ([`BFS_UNREACHED`] until settled).
+    pub dist: Vec<u32>,
+}
+
+impl MsBfsProgram {
+    /// Mask words per message/value for this batch size.
+    pub fn width(&self) -> usize {
+        self.num_sources.div_ceil(64)
+    }
+
+    /// The all-unreached initial state.
+    pub fn initial_state(&self) -> MsBfsState {
+        MsBfsState {
+            seen: vec![0u64; self.width()],
+            dist: vec![BFS_UNREACHED; self.num_sources],
+        }
+    }
+}
+
+impl VertexProgram for MsBfsProgram {
+    type Value = MsBfsState;
+    type Msg = Vec<u64>;
+
+    fn compute(
+        &self,
+        superstep: u32,
+        v: VertexId,
+        value: &mut MsBfsState,
+        msgs: &[Vec<u64>],
+        g: &VertexGraphView<'_>,
+        ctx: &mut VertexContext<Vec<u64>>,
+    ) {
+        let width = self.width();
+        let mut newly = vec![0u64; width];
+        let mut any = false;
+        for m in msgs {
+            for (i, &w) in m.iter().enumerate() {
+                let nw = w & !value.seen[i];
+                if nw != 0 {
+                    newly[i] |= nw;
+                    any = true;
+                }
+            }
+        }
+        if any {
+            for (i, &nw) in newly.iter().enumerate() {
+                if nw == 0 {
+                    continue;
+                }
+                value.seen[i] |= nw;
+                let mut bits = nw;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    value.dist[i * 64 + b] = superstep;
+                }
+            }
+            for &dst in g.neighbors(v) {
+                ctx.send(dst, newly.clone());
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn message_bytes(&self, msg: &Vec<u64>) -> u64 {
+        msg.len() as u64 * 8 // one mask word per 64 sources
+    }
+
+    fn value_bytes(&self) -> u64 {
+        (self.width() * 8 + self.num_sources * 4) as u64
+    }
+
+    fn combine(&self, a: &Vec<u64>, b: &Vec<u64>) -> Option<Vec<u64>> {
+        Some(a.iter().zip(b).map(|(x, y)| x | y).collect())
+    }
+
+    fn flops_per_msg(&self) -> u64 {
+        self.width() as u64 // one OR per mask word
+    }
+}
+
 /// Triangle counting on a DAG-oriented graph (§3.2): superstep 0, every
 /// vertex sends its out-neighbor list to each out-neighbor; superstep 1,
 /// every vertex intersects received lists with its own out-neighbors.
@@ -342,6 +447,29 @@ impl VertexProgram for CfGdProgram {
     fn flops_per_msg(&self) -> u64 {
         (self.k * 6) as u64 // dot + gradient accumulate per message
     }
+}
+
+/// Seed messages for [`MsBfsProgram`]: source `i` wakes its vertex with
+/// a mask vector carrying only bit `i`, settling it at superstep 0.
+pub fn msbfs_seed_msgs(sources: &[VertexId]) -> Vec<(VertexId, Vec<u64>)> {
+    let width = sources.len().div_ceil(64).max(1);
+    sources
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let mut mask = vec![0u64; width];
+            mask[i / 64] = 1u64 << (i % 64);
+            (s, mask)
+        })
+        .collect()
+}
+
+/// Transposes per-vertex [`MsBfsState`] values into one distance row per
+/// source — the layout the native kernel returns.
+pub fn msbfs_rows(values: &[MsBfsState], num_sources: usize) -> Vec<Vec<u32>> {
+    (0..num_sources)
+        .map(|s| values.iter().map(|st| st.dist[s]).collect())
+        .collect()
 }
 
 #[inline]

@@ -243,6 +243,27 @@ impl AtomicBitVec {
             *w.get_mut() = 0;
         }
     }
+
+    /// Number of backing `u64` words.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Atomically ORs `mask` into word `w`, returning the *previous*
+    /// word value — the word-level primitive of bit-parallel multi-source
+    /// BFS, where one word carries 64 source masks and `fetch_or` gossips
+    /// them edge-parallel. Panics if `w >= num_words()`.
+    #[inline]
+    pub fn fetch_or_word(&self, w: usize, mask: u64) -> u64 {
+        self.words[w].fetch_or(mask, Ordering::Relaxed)
+    }
+
+    /// Relaxed load of word `w`. Panics if `w >= num_words()`.
+    #[inline]
+    pub fn load_word(&self, w: usize) -> u64 {
+        self.words[w].load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -371,5 +392,105 @@ mod tests {
     fn get_out_of_range_panics() {
         let bv = BitVec::new(10);
         bv.get(10);
+    }
+
+    #[test]
+    fn word_ops_round_trip() {
+        let bv = AtomicBitVec::new(130);
+        assert_eq!(bv.num_words(), 3);
+        assert_eq!(bv.fetch_or_word(0, 0b1010), 0);
+        assert_eq!(bv.fetch_or_word(0, 0b0110), 0b1010);
+        assert_eq!(bv.load_word(0), 0b1110);
+        assert!(bv.get(1) && bv.get(2) && bv.get(3) && !bv.get(0));
+        bv.fetch_or_word(2, 1 << 1); // bit 129
+        assert!(bv.get(129));
+        assert_eq!(bv.snapshot().count_ones(), 4);
+    }
+
+    /// Interleaving torture: N threads each OR a deterministic stream of
+    /// masks into random words. Whatever the interleaving, the quiescent
+    /// image must equal the sequential OR of all masks — `fetch_or` loses
+    /// nothing. Exercises lengths that are not word multiples.
+    #[test]
+    fn concurrent_fetch_or_converges_to_sequential_or_image() {
+        // SplitMix64, the workspace-standard deterministic generator
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        for len in [1usize, 63, 64, 65, 127, 1000] {
+            let words = len.div_ceil(64);
+            let threads = 8;
+            let per_thread = 2000;
+            // expected image: sequential OR of every (word, mask) op
+            let mut want = vec![0u64; words];
+            for t in 0..threads as u64 {
+                let mut st = 0x5eed_0000 + t;
+                for _ in 0..per_thread {
+                    let w = (splitmix(&mut st) as usize) % words;
+                    let mask = splitmix(&mut st);
+                    want[w] |= mask;
+                }
+            }
+            let bv = AtomicBitVec::new(len);
+            std::thread::scope(|s| {
+                for t in 0..threads as u64 {
+                    let bv = &bv;
+                    s.spawn(move || {
+                        let mut st = 0x5eed_0000 + t;
+                        for _ in 0..per_thread {
+                            let w = (splitmix(&mut st) as usize) % words;
+                            let mask = splitmix(&mut st);
+                            bv.fetch_or_word(w, mask);
+                        }
+                    });
+                }
+            });
+            let got: Vec<u64> = (0..words).map(|w| bv.load_word(w)).collect();
+            assert_eq!(got, want, "len={len}");
+        }
+    }
+
+    /// Word-boundary edge cases for the concurrent vector: empty, a
+    /// single bit, and concurrent test/claim interleaved with word ORs.
+    #[test]
+    fn atomic_word_boundary_edge_cases() {
+        let bv = AtomicBitVec::new(0);
+        assert!(bv.is_empty());
+        assert_eq!(bv.num_words(), 0);
+        assert_eq!(bv.snapshot().count_ones(), 0);
+
+        let bv = AtomicBitVec::new(1);
+        assert_eq!(bv.num_words(), 1);
+        assert!(bv.test_and_set(0));
+        assert_eq!(bv.load_word(0), 1);
+
+        // concurrent claimers + word-OR writers on the same word: every
+        // bit claimed exactly once, and the word image is the full OR
+        let bv = AtomicBitVec::new(64);
+        let claims = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (bv, claims) = (&bv, &claims);
+                s.spawn(move || {
+                    for i in 0..64 {
+                        if bv.test_and_set(i) {
+                            claims.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            let bv = &bv;
+            s.spawn(move || {
+                for i in 0..64 {
+                    bv.fetch_or_word(0, 1u64 << i);
+                }
+            });
+        });
+        assert_eq!(claims.load(Ordering::Relaxed), 64, "each bit claimed once");
+        assert_eq!(bv.load_word(0), u64::MAX);
     }
 }

@@ -31,6 +31,7 @@ pub mod edgelist;
 pub mod fixtures;
 pub mod frontier;
 pub mod io;
+pub mod msbfs;
 pub mod par;
 pub mod transform;
 

@@ -22,6 +22,7 @@
 pub mod bfs;
 pub mod cf;
 pub mod common;
+pub mod msbfs;
 pub mod pagerank;
 pub mod triangle;
 

@@ -1,0 +1,285 @@
+//! Hand-optimized bit-parallel multi-source BFS (ROADMAP item 2).
+//!
+//! Wraps [`graphmaze_graph::msbfs`] — 64 sources advanced per u64 word
+//! pass — as a native workload next to [`crate::bfs`], plus a simulated
+//! distributed port: 1-D edge-balanced partition, per-level exchange of
+//! `(vertex, mask)` pairs with compressed id payloads, masks OR-merged at
+//! the owner. Where scalar distributed BFS ships 4-byte discoveries, the
+//! multi-source version ships an 8-byte source mask per discovered
+//! vertex but amortizes the traversal over 64 sources — the word-level
+//! trick per-vertex frameworks cannot express (GraphMat, PAPERS.md).
+
+use graphmaze_cluster::{ClusterSpec, Partition1D, Router, Sim, SimError};
+use graphmaze_graph::csr::UndirectedGraph;
+use graphmaze_graph::msbfs::WORD_SOURCES;
+use graphmaze_graph::VertexId;
+use graphmaze_metrics::{RunReport, Work};
+
+use crate::common::{edge_stream_work, send_ids_with_values, NativeOptions};
+
+/// Distance value for unreached vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Single-node bit-parallel multi-source BFS. Returns one distance row
+/// per source, in source order (see [`graphmaze_graph::msbfs::msbfs`]).
+/// An [`UndirectedGraph`] stores every edge in both directions, so the
+/// direction-optimizing bottom-up gather is safe to enable.
+pub fn msbfs(g: &UndirectedGraph, sources: &[VertexId], threads: usize) -> Vec<Vec<u32>> {
+    graphmaze_graph::msbfs::msbfs_with(&g.adj, sources, threads, true)
+}
+
+/// Distributed bit-parallel multi-source BFS on the simulated cluster.
+/// Returns distances identical to [`msbfs`] plus the run report. Sources
+/// beyond 64 run as consecutive word passes inside the same simulation.
+pub fn msbfs_cluster(
+    g: &UndirectedGraph,
+    sources: &[VertexId],
+    opts: NativeOptions,
+    nodes: usize,
+) -> Result<(Vec<Vec<u32>>, RunReport), SimError> {
+    let mut sim = Sim::new(ClusterSpec::paper(nodes), opts.profile());
+    let mut router = Router::new(nodes, sim.profile());
+    let part = Partition1D::balanced_by_edges(&g.adj, nodes);
+
+    let width = sources.len().min(WORD_SOURCES) as u64;
+    for node in 0..nodes {
+        let local_edges = part.edges_of(&g.adj, node);
+        let local_vertices = part.len(node) as u64;
+        // CSR slice + per-vertex seen word + packed per-pass distances
+        sim.alloc(
+            node,
+            local_edges * 4 + local_vertices * (8 + 4 * width.max(1)),
+            "msbfs:graph+state",
+        )?;
+    }
+
+    let mut rows: Vec<Vec<u32>> = Vec::with_capacity(sources.len());
+    sim.phase("msbfs:gossip");
+    for group in sources.chunks(WORD_SOURCES) {
+        word_pass_cluster(
+            g,
+            group,
+            &part,
+            nodes,
+            opts.compression,
+            &mut sim,
+            &mut router,
+            &mut rows,
+        )?;
+    }
+    sim.end_iteration();
+    Ok((rows, sim.finish()))
+}
+
+/// One 64-wide distributed pass over `group`, appending a distance row
+/// per source. Mirrors the shared-memory kernel level for level so the
+/// distances are bit-identical to [`msbfs`].
+#[allow(clippy::too_many_arguments)]
+fn word_pass_cluster(
+    g: &UndirectedGraph,
+    group: &[VertexId],
+    part: &Partition1D,
+    nodes: usize,
+    compress: bool,
+    sim: &mut Sim,
+    router: &mut Router,
+    rows: &mut Vec<Vec<u32>>,
+) -> Result<(), SimError> {
+    let n = g.num_vertices();
+    let k = group.len();
+    if k == 0 {
+        return Ok(());
+    }
+    let mut seen = vec![0u64; n];
+    let mut dist = vec![UNREACHED; n * WORD_SOURCES];
+
+    // seed: per-node frontiers of (owned vertex, newly settled mask)
+    let mut frontiers: Vec<Vec<(VertexId, u64)>> = vec![Vec::new(); nodes];
+    {
+        let mut seeds: Vec<(VertexId, u64)> = group
+            .iter()
+            .enumerate()
+            .map(|(b, &s)| (s, 1u64 << b))
+            .collect();
+        seeds.sort_unstable_by_key(|&(v, _)| v);
+        let mut merged: Vec<(VertexId, u64)> = Vec::with_capacity(seeds.len());
+        for (v, m) in seeds {
+            match merged.last_mut() {
+                Some((lv, lm)) if *lv == v => *lm |= m,
+                _ => merged.push((v, m)),
+            }
+        }
+        for (v, m) in merged {
+            seen[v as usize] = m;
+            settle_bits(&mut dist, v, m, 0);
+            frontiers[part.owner(v)].push((v, m));
+        }
+    }
+
+    let mut level = 0u32;
+    loop {
+        let active: usize = frontiers.iter().map(|f| f.len()).sum();
+        if active == 0 {
+            break;
+        }
+        level += 1;
+        // expand: gossip frontier masks over edges into per-owner outboxes
+        let mut outbox: Vec<Vec<Vec<(VertexId, u64)>>> = vec![vec![Vec::new(); nodes]; nodes];
+        for node in 0..nodes {
+            let mut scanned_edges = 0u64;
+            for &(u, m) in &frontiers[node] {
+                let neigh = g.adj.neighbors(u);
+                scanned_edges += neigh.len() as u64;
+                for &v in neigh {
+                    if m & !seen[v as usize] != 0 {
+                        outbox[node][part.owner(v)].push((v, m));
+                    }
+                }
+            }
+            // Work: stream frontier adjacency + one 8-byte seen-word probe
+            // per scanned edge, plus the OR (1 flop per edge).
+            let mut w = edge_stream_work(scanned_edges, 1);
+            w.accumulate(Work::random(scanned_edges));
+            sim.charge(node, w);
+        }
+        // exchange: merged (id, mask) pairs; ids compressed, 8-byte masks
+        let mut inbox: Vec<Vec<(VertexId, u64)>> = vec![Vec::new(); nodes];
+        for from in 0..nodes {
+            for (to, pairs) in outbox[from].iter_mut().enumerate() {
+                let merged = merge_masks(std::mem::take(pairs));
+                if to == from {
+                    inbox[to].extend(merged);
+                    continue;
+                }
+                if merged.is_empty() {
+                    continue;
+                }
+                let ids: Vec<VertexId> = merged.iter().map(|&(v, _)| v).collect();
+                send_ids_with_values(
+                    router, sim, from, to, &ids, n as u64, 8, compress,
+                    /* masks stay 8 bytes on the wire */ false,
+                );
+                inbox[to].extend(merged);
+            }
+        }
+        router.flush(sim);
+        // settle: claim newly arrived bits at the owner, in vertex order
+        for node in 0..nodes {
+            let candidates = merge_masks(std::mem::take(&mut inbox[node]));
+            // one seen-word probe per candidate
+            sim.charge(node, Work::random(candidates.len() as u64));
+            let mut next = Vec::new();
+            for (v, m) in candidates {
+                let newly = m & !seen[v as usize];
+                if newly != 0 {
+                    seen[v as usize] |= newly;
+                    settle_bits(&mut dist, v, newly, level);
+                    next.push((v, newly));
+                }
+            }
+            frontiers[node] = next;
+        }
+        sim.end_step()?;
+    }
+
+    for b in 0..k {
+        rows.push((0..n).map(|v| dist[v * WORD_SOURCES + b]).collect());
+    }
+    Ok(())
+}
+
+/// Sorts `(vertex, mask)` pairs by vertex and ORs duplicate vertices'
+/// masks together, yielding one pair per vertex in ascending order.
+fn merge_masks(mut pairs: Vec<(VertexId, u64)>) -> Vec<(VertexId, u64)> {
+    pairs.sort_unstable_by_key(|&(v, _)| v);
+    let mut merged: Vec<(VertexId, u64)> = Vec::with_capacity(pairs.len());
+    for (v, m) in pairs {
+        match merged.last_mut() {
+            Some((lv, lm)) if *lv == v => *lm |= m,
+            _ => merged.push((v, m)),
+        }
+    }
+    merged
+}
+
+/// Records `level` for every set bit of `mask` at vertex `v` in the
+/// packed `dist[v * 64 + bit]` layout.
+fn settle_bits(dist: &mut [u32], v: VertexId, mask: u64, level: u32) {
+    let mut bits = mask;
+    while bits != 0 {
+        let b = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        dist[v as usize * WORD_SOURCES + b] = level;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use graphmaze_datagen::{rmat, RmatConfig, RmatParams};
+
+    fn rmat_undirected(scale: u32, seed: u64) -> UndirectedGraph {
+        let cfg = RmatConfig {
+            scale,
+            edge_factor: 8,
+            params: RmatParams::GRAPH500,
+            seed,
+            scramble_ids: false,
+            threads: 1,
+        };
+        let mut el = rmat::generate(&cfg);
+        el.remove_self_loops();
+        el.symmetrize();
+        UndirectedGraph::from_symmetric_edge_list(&el)
+    }
+
+    #[test]
+    fn single_node_matches_scalar_bfs() {
+        let g = rmat_undirected(9, 7);
+        let sources: Vec<u32> = (0..64).map(|i| (i * 5) % g.num_vertices() as u32).collect();
+        let rows = msbfs(&g, &sources, 4);
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(rows[i], bfs::bfs(&g, s, 2), "source {s}");
+        }
+    }
+
+    #[test]
+    fn cluster_matches_single_node() {
+        let g = rmat_undirected(9, 23);
+        let sources: Vec<u32> = (0..70)
+            .map(|i| (i * 11) % g.num_vertices() as u32)
+            .collect();
+        let single = msbfs(&g, &sources, 2);
+        for nodes in [1, 2, 4] {
+            let (rows, report) = msbfs_cluster(&g, &sources, NativeOptions::all(), nodes).unwrap();
+            assert_eq!(rows, single, "nodes={nodes}");
+            assert!(report.sim_seconds > 0.0);
+            if nodes > 1 {
+                assert!(report.traffic.bytes_sent > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_traffic_is_sublinear_in_sources() {
+        // one batched 64-source pass must ship far less than 64 scalar
+        // BFS exchanges: masks amortize the id stream across sources
+        let g = rmat_undirected(10, 31);
+        let sources: Vec<u32> = (0..64)
+            .map(|i| (i * 13) % g.num_vertices() as u32)
+            .collect();
+        let (_, batched) = msbfs_cluster(&g, &sources, NativeOptions::all(), 4).unwrap();
+        let mut scalar_total = 0u64;
+        for &s in &sources {
+            let (_, rep) = bfs::bfs_cluster(&g, s, NativeOptions::all(), 4).unwrap();
+            scalar_total += rep.traffic.bytes_sent;
+        }
+        assert!(
+            batched.traffic.bytes_sent * 2 < scalar_total,
+            "batched {} vs 64 scalar {}",
+            batched.traffic.bytes_sent,
+            scalar_total
+        );
+    }
+}

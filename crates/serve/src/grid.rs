@@ -1,7 +1,8 @@
 //! The default query population the load generator samples from: the
 //! paper's experiment grid (4 algorithms × the 5 multi-node frameworks)
-//! at a configurable scale, each cell expressed as the same
-//! [`RunRequest`] the offline harness would build.
+//! plus the `msbfs` extension × its 4 ported frameworks, at a
+//! configurable scale, each cell expressed as the same [`RunRequest`]
+//! the offline harness would build.
 
 use graphmaze_core::{Algorithm, Framework, RunRequest, SweepCell, WorkloadSpec};
 
@@ -36,33 +37,57 @@ pub fn spec_for(algorithm: Algorithm, scale: u32, seed: u64) -> WorkloadSpec {
             num_items: 64,
             seed,
         },
+        Algorithm::MsBfs => WorkloadSpec::Rmat {
+            scale,
+            edge_factor: 16,
+            seed,
+        },
     }
 }
 
-/// Builds the 20-cell default grid (algorithm × framework) at `scale`
-/// on `nodes` simulated nodes, with the harness's standard parameters.
-/// Order is deterministic — algorithm-major, paper framework order — so
-/// Zipf rank 0 is always `pagerank × native`.
+/// The frameworks with a bit-parallel multi-source BFS port (SociaLite's
+/// Datalog model has none — those cells are "n/a" in the extended
+/// Table 5, so the grid omits them rather than serving guaranteed
+/// failures).
+pub const MSBFS_FRAMEWORKS: [Framework; 4] = [
+    Framework::Native,
+    Framework::CombBlas,
+    Framework::GraphLab,
+    Framework::Giraph,
+];
+
+/// Builds the 24-cell default grid at `scale` on `nodes` simulated
+/// nodes, with the harness's standard parameters: the paper's 4
+/// algorithms × the 5 serving frameworks, plus `msbfs` × its 4 ported
+/// frameworks. Order is deterministic — algorithm-major, paper
+/// framework order — so Zipf rank 0 is always `pagerank × native`.
 pub fn default_grid(scale: u32, seed: u64, nodes: usize) -> Vec<RunRequest> {
     let params = graphmaze_bench::standard_params();
-    let mut grid = Vec::with_capacity(Algorithm::ALL.len() * SERVING_FRAMEWORKS.len());
+    let mut grid = Vec::with_capacity(
+        Algorithm::ALL.len() * SERVING_FRAMEWORKS.len() + MSBFS_FRAMEWORKS.len(),
+    );
+    let cell = |algorithm: Algorithm, framework: Framework| {
+        RunRequest::new(
+            "serve",
+            SweepCell {
+                label: format!("s{scale}"),
+                algorithm,
+                framework,
+                spec: spec_for(algorithm, scale, seed),
+                nodes,
+                factor: 1.0,
+                params,
+                faults: graphmaze_core::cluster::FaultPlan::none(),
+            },
+        )
+    };
     for algorithm in Algorithm::ALL {
         for framework in SERVING_FRAMEWORKS {
-            let spec = spec_for(algorithm, scale, seed);
-            grid.push(RunRequest::new(
-                "serve",
-                SweepCell {
-                    label: format!("s{scale}"),
-                    algorithm,
-                    framework,
-                    spec,
-                    nodes,
-                    factor: 1.0,
-                    params,
-                    faults: graphmaze_core::cluster::FaultPlan::none(),
-                },
-            ));
+            grid.push(cell(algorithm, framework));
         }
+    }
+    for framework in MSBFS_FRAMEWORKS {
+        grid.push(cell(Algorithm::MsBfs, framework));
     }
     grid
 }
@@ -75,11 +100,19 @@ mod tests {
     #[test]
     fn grid_is_complete_and_identity_hashes_are_distinct() {
         let grid = default_grid(8, 42, 4);
-        assert_eq!(grid.len(), 20);
+        assert_eq!(grid.len(), 24);
         let keys: HashSet<u64> = grid.iter().map(RunRequest::key).collect();
-        assert_eq!(keys.len(), 20, "every cell has a distinct identity hash");
+        assert_eq!(keys.len(), 24, "every cell has a distinct identity hash");
         assert_eq!(grid[0].cell.algorithm, Algorithm::PageRank);
         assert_eq!(grid[0].cell.framework, Framework::Native);
+        let msbfs: Vec<_> = grid
+            .iter()
+            .filter(|r| r.cell.algorithm == Algorithm::MsBfs)
+            .collect();
+        assert_eq!(msbfs.len(), MSBFS_FRAMEWORKS.len());
+        assert!(msbfs
+            .iter()
+            .all(|r| r.cell.framework != Framework::SociaLite));
         for req in &grid {
             assert_eq!(req.cell.nodes, 4);
             assert_eq!(req.experiment, "serve");

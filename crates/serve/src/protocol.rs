@@ -46,15 +46,17 @@ use graphmaze_core::{
 /// Bump on incompatible changes; clients should reject mismatches.
 pub const PROTOCOL_VERSION: u32 = 1;
 
-/// Parses an algorithm by its stable short name (`Algorithm::name`).
+/// Parses an algorithm by its stable short name (`Algorithm::name`),
+/// including the `msbfs` extension (the full servable set is
+/// `Algorithm::EXTENDED`).
 pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
-    Algorithm::ALL
+    Algorithm::EXTENDED
         .into_iter()
         .find(|a| a.name() == name)
         .ok_or_else(|| {
             format!(
                 "unknown algorithm `{name}` (expected one of: {})",
-                Algorithm::ALL.map(|a| a.name()).join(", ")
+                Algorithm::EXTENDED.map(|a| a.name()).join(", ")
             )
         })
 }
@@ -104,7 +106,9 @@ pub fn encode_run_request(id: &str, req: &RunRequest) -> String {
         .f64("cf_step_decay", p.cf.step_decay)
         .u64("cf_seed", p.cf.seed)
         .u64("cf_iterations", u64::from(p.cf_iterations))
-        .u64("giraph_splits", u64::from(p.giraph_splits));
+        .u64("giraph_splits", u64::from(p.giraph_splits))
+        .u64("msbfs_sources", u64::from(p.msbfs_sources))
+        .u64("msbfs_seed", p.msbfs_seed);
     if let Some(t) = req.timeout {
         b.f64("timeout_s", t.as_secs_f64());
     }
@@ -154,6 +158,8 @@ pub fn decode_run_request(m: &HashMap<String, String>) -> Result<RunRequest, Str
         },
         cf_iterations: get_num(m, "cf_iterations", defaults.cf_iterations)?,
         giraph_splits: get_num(m, "giraph_splits", defaults.giraph_splits)?,
+        msbfs_sources: get_num(m, "msbfs_sources", defaults.msbfs_sources)?,
+        msbfs_seed: get_num(m, "msbfs_seed", defaults.msbfs_seed)?,
     };
     let timeout = match m.get("timeout_s") {
         None => None,
@@ -270,6 +276,37 @@ mod tests {
         assert_eq!(back.key(), req.key(), "identity hash survives the wire");
         assert_eq!(back.timeout, req.timeout);
         assert_eq!(back.cell.faults.key(), req.cell.faults.key());
+    }
+
+    #[test]
+    fn msbfs_request_round_trips_params_and_identity_hash() {
+        let req = RunRequest::new(
+            "serve",
+            SweepCell {
+                label: "msbfs@rmat".into(),
+                algorithm: Algorithm::MsBfs,
+                framework: Framework::CombBlas,
+                spec: WorkloadSpec::Rmat {
+                    scale: 9,
+                    edge_factor: 16,
+                    seed: 42,
+                },
+                nodes: 4,
+                factor: 1.0,
+                params: BenchParams {
+                    msbfs_sources: 128,
+                    msbfs_seed: 0xfeed,
+                    ..BenchParams::default()
+                },
+                faults: FaultPlan::none(),
+            },
+        );
+        let m = parse_flat_json(&encode_run_request("q2", &req)).expect("parses");
+        assert_eq!(m["algorithm"], "msbfs");
+        let back = decode_run_request(&m).expect("decodes");
+        assert_eq!(back.cell.params.msbfs_sources, 128);
+        assert_eq!(back.cell.params.msbfs_seed, 0xfeed);
+        assert_eq!(back.key(), req.key(), "identity hash survives the wire");
     }
 
     #[test]

@@ -124,7 +124,7 @@ fn loadgen_closed_loop_reports_rising_hit_rate() {
         jobs: 4,
         ..ServeConfig::default()
     });
-    // tiny population at tiny scale: 60 requests over 20 distinct
+    // tiny population at tiny scale: 60 requests over 24 distinct
     // queries guarantees repeats, hence cache hits
     let population = grid::default_grid(6, 1, 2);
     let cfg = LoadgenConfig {

@@ -362,11 +362,125 @@ fn conformance_matrix_covers_every_algorithm_and_framework_on_two_scales() {
                             golden.digest,
                         );
                     }
+                    Algorithm::MsBfs => unreachable!("MsBfs is not in Algorithm::ALL"),
                 }
                 cells += 1;
             }
         }
         assert_eq!(cells, 24, "4 algorithms x 6 frameworks at scale {scale}");
+    }
+}
+
+/// The per-source distance rows from each framework's concrete
+/// multi-source BFS port. Only four frameworks have one (SociaLite's
+/// Datalog model and Galois' task queues have no word-parallel
+/// equivalent — their Engine impls return `InvalidConfig`).
+fn msbfs_rows_for(
+    fw: Framework,
+    g: &UndirectedGraph,
+    sources: &[u32],
+    nodes: usize,
+) -> Vec<Vec<u32>> {
+    let rows = match fw {
+        Framework::Native => {
+            graphmaze_native::msbfs::msbfs_cluster(g, sources, NativeOptions::all(), nodes)
+                .map(|(r, _)| r)
+        }
+        Framework::CombBlas => combblas::msbfs(g, sources, nodes).map(|(r, _)| r),
+        Framework::GraphLab => graphlab::msbfs(g, sources, nodes).map(|(r, _)| r),
+        Framework::Giraph => giraph::msbfs(g, sources, nodes).map(|(r, _)| r),
+        _ => panic!("{fw:?} has no msbfs port"),
+    };
+    rows.unwrap_or_else(|e| panic!("{fw:?} msbfs rows: {e}"))
+}
+
+/// Readable one-line diff for an msbfs divergence: which (source, vertex)
+/// cell first disagrees, with both distances.
+fn msbfs_diff(fw: Framework, g: &UndirectedGraph, sources: &[u32], nodes: usize) -> String {
+    let reference = msbfs_rows_for(Framework::Native, g, sources, 1);
+    let got = msbfs_rows_for(fw, g, sources, nodes);
+    if reference.len() != got.len() {
+        return format!(
+            "row count mismatch: native {} rows vs {} {} rows",
+            reference.len(),
+            fw.name(),
+            got.len()
+        );
+    }
+    for (i, (want, have)) in reference.iter().zip(&got).enumerate() {
+        if let Some((v, a, b)) = first_divergence_u32(want, have) {
+            let show = |d: u32| {
+                if d == u32::MAX {
+                    "unreached".to_string()
+                } else {
+                    d.to_string()
+                }
+            };
+            return format!(
+                "first diverging cell: source #{i} (vertex {}), v={v} — native dist {} vs {} \
+                 dist {}; first {v} vertices of that row agree",
+                sources[i],
+                show(a),
+                fw.name(),
+                show(b),
+            );
+        }
+    }
+    "per-source rows agree; digest-only divergence".to_string()
+}
+
+/// The msbfs extension column of the conformance matrix: every framework
+/// with a bit-parallel multi-source BFS port against the native golden,
+/// on two graph scales and two node counts. Distances are exact, so the
+/// digests must match bit-for-bit; failures name the first diverging
+/// (source, vertex) cell. SociaLite and Galois must report `n/a` via
+/// `InvalidConfig` rather than fabricating a result.
+#[test]
+fn msbfs_conformance_cells_match_native_on_two_scales() {
+    let params = BenchParams::default();
+    let ported = [
+        Framework::Native,
+        Framework::CombBlas,
+        Framework::GraphLab,
+        Framework::Giraph,
+    ];
+    for scale in [8u32, 10] {
+        let wl = Workload::rmat(scale, 8, 200 + u64::from(scale));
+        let g = wl.undirected().unwrap();
+        let sources = graphmaze_core::runner::msbfs_sources(
+            g.num_vertices() as u32,
+            params.msbfs_sources,
+            params.msbfs_seed,
+        );
+        let golden = run_benchmark(Algorithm::MsBfs, Framework::Native, &wl, 1, &params)
+            .unwrap_or_else(|e| panic!("native msbfs golden on {}: {e}", wl.name));
+        let mut cells = 0usize;
+        for fw in ported {
+            for nodes in [2usize, 4] {
+                let out = run_benchmark(Algorithm::MsBfs, fw, &wl, nodes, &params)
+                    .unwrap_or_else(|e| panic!("{fw:?} msbfs on {} x{nodes}: {e}", wl.name));
+                assert!(
+                    out.digest == golden.digest,
+                    "{fw:?} msbfs on {} x{nodes}: digest {} vs native {}\n{}",
+                    wl.name,
+                    out.digest,
+                    golden.digest,
+                    msbfs_diff(fw, g, &sources, nodes),
+                );
+                cells += 1;
+            }
+        }
+        assert_eq!(cells, 8, "4 ported frameworks x 2 node counts");
+        // frameworks without a port stay honest "n/a" cells
+        for fw in [Framework::SociaLite, Framework::Galois] {
+            let nodes = if fw.multi_node() { 2 } else { 1 };
+            let err = run_benchmark(Algorithm::MsBfs, fw, &wl, nodes, &params)
+                .expect_err("unported framework must refuse msbfs");
+            assert!(
+                matches!(err, SimError::InvalidConfig(_)),
+                "{fw:?}: expected InvalidConfig, got {err:?}"
+            );
+        }
     }
 }
 

@@ -277,7 +277,7 @@ fn fail_stop_cell_flows_through_the_sweep_as_failed() {
         cell_timeout: None,
         telemetry: None,
     };
-    let first = sweep.run(&opts(false), &WorkloadCache::new());
+    let first = sweep.execute(&opts(false), &WorkloadCache::new(), &SilentObserver);
     assert_eq!(first.failed, 1);
     let err = first.results[0].outcome.as_ref().unwrap_err();
     assert!(
@@ -291,7 +291,7 @@ fn fail_stop_cell_flows_through_the_sweep_as_failed() {
         err.message()
     );
 
-    let second = sweep.run(&opts(true), &WorkloadCache::new());
+    let second = sweep.execute(&opts(true), &WorkloadCache::new(), &SilentObserver);
     assert_eq!(second.resumed, 1, "deterministic kill is not retried");
     assert_eq!(first.results[0].outcome, second.results[0].outcome);
     let _ = std::fs::remove_file(&journal);

@@ -211,6 +211,57 @@ fn bfs_distances_validate() {
     }
 }
 
+/// The tentpole differential harness: a 64-source bit-parallel batch
+/// must produce exactly the same distance rows as 64 independent scalar
+/// BFS runs, on both ER-style random graphs and RMAT graphs, and the
+/// batch must be bit-identical at every thread count (the kernel's
+/// `fetch_or` gossip commutes, so settle order cannot leak in).
+#[test]
+fn msbfs_batch_matches_independent_scalar_bfs_runs() {
+    use graphmaze_core::graph::msbfs::msbfs as msbfs_kernel;
+
+    for case in 0..8u64 {
+        let mut rng = TestRng(0xB1B0 + case);
+        // alternate ER-style random edge lists and RMAT graphs
+        let g = if case % 2 == 0 {
+            let (n, edges) = arb_edges(&mut rng, 400, 2000);
+            UndirectedGraph::from_edges(u64::from(n), &edges)
+        } else {
+            let cfg = RmatConfig {
+                scale: 8,
+                edge_factor: 8,
+                params: RmatParams::GRAPH500,
+                seed: rng.next_u64(),
+                scramble_ids: false,
+                threads: 1,
+            };
+            let mut el = rmat::generate(&cfg);
+            el.remove_self_loops();
+            el.symmetrize();
+            UndirectedGraph::from_symmetric_edge_list(&el)
+        };
+        let n = g.num_vertices() as u64;
+        let sources: Vec<u32> = (0..64).map(|_| rng.below(n) as u32).collect();
+
+        let batch = msbfs_kernel(&g.adj, &sources, 4);
+        assert_eq!(batch.len(), sources.len(), "case {case}");
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(
+                batch[i],
+                bfs(&g, s, 1),
+                "case {case}: batched row for source {s} diverges from scalar BFS"
+            );
+        }
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                msbfs_kernel(&g.adj, &sources, threads),
+                batch,
+                "case {case}: rows depend on thread count {threads}"
+            );
+        }
+    }
+}
+
 #[test]
 fn pagerank_values_bounded_below_by_r() {
     for seed in 0..CASES {
@@ -451,7 +502,7 @@ fn faulted_sweep_is_bit_identical_across_jobs() {
 
     let plan = FaultPlan::parse("seed=11,straggler=0.2x3,drop=0.02").unwrap();
     let sweep = faulted_sweep(plan);
-    let serial = sweep.run(
+    let serial = sweep.execute(
         &SweepOptions {
             jobs: 1,
             journal: Some(j1.clone()),
@@ -460,8 +511,9 @@ fn faulted_sweep_is_bit_identical_across_jobs() {
             telemetry: None,
         },
         &WorkloadCache::new(),
+        &SilentObserver,
     );
-    let parallel = sweep.run(
+    let parallel = sweep.execute(
         &SweepOptions {
             jobs: 4,
             journal: Some(j4.clone()),
@@ -470,6 +522,7 @@ fn faulted_sweep_is_bit_identical_across_jobs() {
             telemetry: None,
         },
         &WorkloadCache::new(),
+        &SilentObserver,
     );
     for (i, (s, p)) in serial.results.iter().zip(&parallel.results).enumerate() {
         let (s, p) = (s.outcome.as_ref().unwrap(), p.outcome.as_ref().unwrap());

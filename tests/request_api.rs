@@ -54,11 +54,16 @@ fn golden_cell_identity_hashes_are_pinned() {
         faults: FaultPlan::parse("seed=1,linkdrop=0.01").expect("valid plan"),
         ..base_cell()
     };
-    let golden: [(&str, &SweepCell, u64); 4] = [
-        ("base", &base, 0x18349fcc9929f322),
-        ("multi_node", &multi_node, 0x32a4f165d86460c7),
-        ("giraph_tc", &giraph_tc, 0xff161e4a1af9eaf7),
-        ("faulty", &faulty, 0xb1070b45c4e4f1a6),
+    let msbfs = SweepCell {
+        algorithm: Algorithm::MsBfs,
+        ..base_cell()
+    };
+    let golden: [(&str, &SweepCell, u64); 5] = [
+        ("base", &base, 0x0fb5863d6e233c70),
+        ("multi_node", &multi_node, 0x62d0b6b7cdc96601),
+        ("giraph_tc", &giraph_tc, 0x222845d4a4652b91),
+        ("faulty", &faulty, 0x8a787f3c7e179a08),
+        ("msbfs", &msbfs, 0x0bb40d47403e8eaa),
     ];
     for (name, cell, expected) in golden {
         assert_eq!(
@@ -113,6 +118,20 @@ fn every_cell_field_perturbs_the_identity_hash() {
             ..base_cell()
         },
         SweepCell {
+            params: BenchParams {
+                msbfs_sources: 128,
+                ..BenchParams::default()
+            },
+            ..base_cell()
+        },
+        SweepCell {
+            params: BenchParams {
+                msbfs_seed: 0xDEAD_BEEF,
+                ..BenchParams::default()
+            },
+            ..base_cell()
+        },
+        SweepCell {
             faults: FaultPlan::parse("seed=9,drop=0.001").unwrap(),
             ..base_cell()
         },
@@ -153,6 +172,30 @@ fn online_and_offline_paths_agree_bit_exactly() {
     let digest = |r: &RunResponse| r.outcome.as_ref().expect("runs").digest;
     assert_eq!(digest(&offline), digest(&online));
     assert_eq!(digest(&online), digest(&cached));
+}
+
+/// The serving daemon and the offline sweep must agree on msbfs too —
+/// same identity key, same bit-exact digest, warm-cache hit on repeat.
+#[test]
+fn online_and_offline_msbfs_agree_bit_exactly() {
+    let workloads = WorkloadCache::new();
+    let results = ResultCache::new(16);
+    let req = RunRequest::new(
+        "golden-exp",
+        SweepCell {
+            algorithm: Algorithm::MsBfs,
+            ..base_cell()
+        },
+    );
+    let offline = req.execute(&workloads);
+    let online = req.execute_cached(&workloads, &results);
+    let cached = req.execute_cached(&workloads, &results);
+    assert_eq!(offline.key, online.key);
+    assert_eq!(cached.provenance, Provenance::Cached);
+    let digest = |r: &RunResponse| r.outcome.as_ref().expect("runs").digest;
+    assert_eq!(digest(&offline), digest(&online));
+    assert_eq!(digest(&online), digest(&cached));
+    assert!(digest(&offline).is_finite());
 }
 
 #[test]

@@ -61,7 +61,7 @@ fn digests(report: &SweepReport) -> Vec<Option<f64>> {
 #[test]
 fn parallel_run_matches_serial_run_exactly() {
     let sweep = small_sweep();
-    let serial = sweep.run(
+    let serial = sweep.execute(
         &SweepOptions {
             jobs: 1,
             journal: None,
@@ -70,8 +70,9 @@ fn parallel_run_matches_serial_run_exactly() {
             telemetry: None,
         },
         &WorkloadCache::new(),
+        &SilentObserver,
     );
-    let parallel = sweep.run(
+    let parallel = sweep.execute(
         &SweepOptions {
             jobs: 4,
             journal: None,
@@ -80,6 +81,7 @@ fn parallel_run_matches_serial_run_exactly() {
             telemetry: None,
         },
         &WorkloadCache::new(),
+        &SilentObserver,
     );
     assert_eq!(serial.results.len(), parallel.results.len());
     assert_eq!(
@@ -97,7 +99,7 @@ fn parallel_run_matches_serial_run_exactly() {
 fn cache_is_shared_across_cells() {
     let sweep = small_sweep();
     let cache = WorkloadCache::new();
-    sweep.run(
+    sweep.execute(
         &SweepOptions {
             jobs: 4,
             journal: None,
@@ -106,6 +108,7 @@ fn cache_is_shared_across_cells() {
             telemetry: None,
         },
         &cache,
+        &SilentObserver,
     );
     // 9 cells over 2 distinct specs
     assert_eq!(cache.misses(), 2, "each workload built exactly once");
@@ -124,7 +127,7 @@ fn resume_skips_journaled_cells_and_reproduces_results() {
         cell_timeout: None,
         telemetry: None,
     };
-    let first = sweep.run(&opts, &WorkloadCache::new());
+    let first = sweep.execute(&opts, &WorkloadCache::new(), &SilentObserver);
     assert_eq!(first.ran, sweep.len());
     assert_eq!(first.resumed, 0);
 
@@ -136,7 +139,7 @@ fn resume_skips_journaled_cells_and_reproduces_results() {
         cell_timeout: None,
         telemetry: None,
     };
-    let second = sweep.run(&opts, &WorkloadCache::new());
+    let second = sweep.execute(&opts, &WorkloadCache::new(), &SilentObserver);
     assert_eq!(second.ran, 0, "every cell must come from the journal");
     assert_eq!(second.resumed, sweep.len());
     assert_eq!(digests(&first), digests(&second));
@@ -167,7 +170,7 @@ fn resume_runs_only_the_missing_cells() {
         cell_timeout: None,
         telemetry: None,
     };
-    prefix.run(&opts, &WorkloadCache::new());
+    prefix.execute(&opts, &WorkloadCache::new(), &SilentObserver);
 
     let opts = SweepOptions {
         jobs: 2,
@@ -176,7 +179,7 @@ fn resume_runs_only_the_missing_cells() {
         cell_timeout: None,
         telemetry: None,
     };
-    let resumed = sweep.run(&opts, &WorkloadCache::new());
+    let resumed = sweep.execute(&opts, &WorkloadCache::new(), &SilentObserver);
     assert_eq!(resumed.resumed, 4);
     assert_eq!(resumed.ran, sweep.len() - 4);
     assert!(resumed.results.iter().all(|r| r.outcome.is_ok()));
@@ -213,7 +216,7 @@ fn panicking_cell_fails_alone() {
     sweep.push(cell(Framework::Galois, Algorithm::PageRank, params));
     sweep.push(cell(Framework::Giraph, Algorithm::PageRank, params));
 
-    let report = sweep.run(
+    let report = sweep.execute(
         &SweepOptions {
             jobs: 2,
             journal: None,
@@ -222,6 +225,7 @@ fn panicking_cell_fails_alone() {
             telemetry: None,
         },
         &WorkloadCache::new(),
+        &SilentObserver,
     );
     assert!(
         report.results[0].outcome.is_ok(),
@@ -271,7 +275,7 @@ fn failed_cells_resume_from_the_journal_too() {
         cell_timeout: None,
         telemetry: None,
     };
-    let first = sweep.run(&opts, &WorkloadCache::new());
+    let first = sweep.execute(&opts, &WorkloadCache::new(), &SilentObserver);
     assert!(matches!(
         first.results[0].outcome,
         Err(CellError::InvalidConfig(_))
@@ -284,17 +288,17 @@ fn failed_cells_resume_from_the_journal_too() {
         cell_timeout: None,
         telemetry: None,
     };
-    let second = sweep.run(&opts, &WorkloadCache::new());
+    let second = sweep.execute(&opts, &WorkloadCache::new(), &SilentObserver);
     assert_eq!(second.resumed, 1, "deterministic failures are not retried");
     assert_eq!(first.results[0].outcome, second.results[0].outcome);
     let _ = std::fs::remove_file(&journal);
 }
 
 #[test]
-fn progress_callback_sees_every_cell() {
+fn observer_sees_every_terminal_event() {
     let sweep = small_sweep();
     let calls = AtomicUsize::new(0);
-    sweep.run_with_progress(
+    sweep.execute(
         &SweepOptions {
             jobs: 3,
             journal: None,
@@ -303,11 +307,25 @@ fn progress_callback_sees_every_cell() {
             telemetry: None,
         },
         &WorkloadCache::new(),
-        |i, cell, result| {
-            calls.fetch_add(1, Ordering::Relaxed);
-            assert!(i < sweep.len());
-            assert!(!cell.label.is_empty());
-            assert!(result.wall_secs >= 0.0);
+        &|ev: &SweepEvent<'_>| {
+            if let SweepEvent::Finished {
+                index,
+                cell,
+                result,
+                ..
+            }
+            | SweepEvent::Failed {
+                index,
+                cell,
+                result,
+                ..
+            } = ev
+            {
+                calls.fetch_add(1, Ordering::Relaxed);
+                assert!(*index < sweep.len());
+                assert!(!cell.label.is_empty());
+                assert!(result.wall_secs >= 0.0);
+            }
         },
     );
     assert_eq!(calls.load(Ordering::Relaxed), sweep.len());

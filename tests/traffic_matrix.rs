@@ -101,7 +101,7 @@ fn matrix_sweep() -> Sweep {
 fn matrix_is_byte_identical_across_jobs_settings() {
     let sweep = matrix_sweep();
     let run = |jobs: usize| {
-        sweep.run(
+        sweep.execute(
             &SweepOptions {
                 jobs,
                 journal: None,
@@ -110,6 +110,7 @@ fn matrix_is_byte_identical_across_jobs_settings() {
                 telemetry: None,
             },
             &WorkloadCache::new(),
+            &SilentObserver,
         )
     };
     let serial = run(1);
@@ -166,7 +167,7 @@ fn fault_and_recovery_paths_keep_the_matrix_reconciled() {
             faults,
         });
     }
-    let report = sweep.run(
+    let report = sweep.execute(
         &SweepOptions {
             jobs: 1,
             journal: None,
@@ -175,6 +176,7 @@ fn fault_and_recovery_paths_keep_the_matrix_reconciled() {
             telemetry: None,
         },
         &WorkloadCache::new(),
+        &SilentObserver,
     );
     let reports: Vec<&RunReport> = report
         .results
