@@ -60,6 +60,13 @@ const OPTIONS: OptionTable = OptionTable {
              ckpt=2 (see DESIGN.md \"Resilience\")",
         ),
         Opt::value(
+            "--frameworks",
+            "LIST",
+            "comma-separated framework filter for the experiments\n\
+             that honour one (ninjagap), e.g. giraph,graphmat;\n\
+             the native baseline always runs",
+        ),
+        Opt::value(
             "--cell-timeout",
             "SECS",
             "abandon any sweep cell that exceeds SECS wall-clock\n\
@@ -98,7 +105,7 @@ experiments:
   table2 table3 table4 table5 table6 table7 tabler
   fig3 fig4 fig5 fig6 fig7
   netestimate commmatrix sgdvsgd giraphsplit ablations strongscaling roadmap
-  relatedwork resilience msbfs
+  relatedwork resilience msbfs ninjagap
   all         (everything above)
 
 options:
@@ -110,13 +117,13 @@ options:
 /// `(name, sweep cells, description)` for `--list`. Cell counts are the
 /// defaults (they do not depend on `--scale`); "direct" experiments run
 /// engines without the sweep executor.
-const LISTING: [(&str, &str, &str); 22] = [
+const LISTING: [(&str, &str, &str); 23] = [
     ("table2", "direct", "framework capability matrix"),
     ("table3", "direct", "dataset inventory and scaled stand-ins"),
     ("table4", "8", "native algorithm throughput at paper scale"),
     (
         "fig3",
-        "84",
+        "98",
         "per-dataset runtimes vs native, single node (also table5)",
     ),
     ("table5", "from fig3", "geomean single-node slowdowns"),
@@ -169,6 +176,11 @@ const LISTING: [(&str, &str, &str); 22] = [
         "8",
         "bit-parallel multi-source BFS: engine sweep + wall-clock race (extension)",
     ),
+    (
+        "ninjagap",
+        "20",
+        "GraphMat lowering vs hand-tuned frameworks vs native (extension)",
+    ),
 ];
 
 fn print_listing() {
@@ -180,7 +192,7 @@ fn print_listing() {
 }
 
 /// Every dispatchable experiment name, in `all` execution order.
-const EXPERIMENTS: [&str; 22] = [
+const EXPERIMENTS: [&str; 23] = [
     "table2",
     "table3",
     "table4",
@@ -203,6 +215,7 @@ const EXPERIMENTS: [&str; 22] = [
     "relatedwork",
     "resilience",
     "msbfs",
+    "ninjagap",
 ];
 
 fn main() {
@@ -238,6 +251,12 @@ fn main() {
     if let Some(spec) = parsed.raw("--faults") {
         cfg.faults = graphmaze_core::cluster::FaultPlan::parse(spec)
             .unwrap_or_else(|e| die(&format!("bad --faults spec: {e}")));
+    }
+    if let Some(spec) = parsed.raw("--frameworks") {
+        cfg.frameworks = Some(
+            graphmaze_bench::cli::parse_framework_filter(spec)
+                .unwrap_or_else(|e| die(&format!("bad --frameworks spec: {e}"))),
+        );
     }
     if let Some(secs) = or_die(parsed.num("--cell-timeout")) {
         if !secs.is_finite() || secs < 0.0 {
@@ -335,6 +354,7 @@ fn main() {
             "relatedwork" => extras::related_work(&cfg),
             "resilience" => extras::resilience(&cfg),
             "msbfs" => extras::msbfs(&cfg),
+            "ninjagap" => extras::ninja_gap(&cfg),
             other => unreachable!("`{other}` passed validation"),
         };
         println!("{text}");

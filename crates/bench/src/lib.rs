@@ -85,6 +85,10 @@ pub struct ReproConfig {
     /// disables). Cells over budget record a `timeout` outcome in the
     /// journal and are quarantined by `--resume` instead of re-running.
     pub cell_timeout: Option<std::time::Duration>,
+    /// Framework filter for the experiments that honour one
+    /// (`--frameworks LIST`; `None` runs each experiment's full set).
+    /// The native baseline always runs regardless.
+    pub frameworks: Option<Vec<Framework>>,
     /// Workloads built so far, shared by every experiment in this
     /// process.
     pub cache: Arc<WorkloadCache>,
@@ -109,6 +113,7 @@ impl Default for ReproConfig {
             trace_dir: None,
             faults: FaultPlan::none(),
             cell_timeout: None,
+            frameworks: None,
             cache: Arc::new(WorkloadCache::new()),
             stats: Arc::new(RunStats::default()),
             telemetry: None,

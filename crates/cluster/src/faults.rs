@@ -424,8 +424,10 @@ impl FaultPlan {
 }
 
 /// Formats a parse error with a caret line pointing at the offending
-/// span of the spec.
-fn span_err(spec: &str, at: usize, len: usize, msg: String) -> String {
+/// span of the spec. Shared by every spec-string parser in the repo
+/// (fault plans, serve requests, `--frameworks` filters) so all of
+/// them fail with the same shape of message.
+pub fn span_err(spec: &str, at: usize, len: usize, msg: String) -> String {
     format!(
         "{msg}\n  {spec}\n  {}{}",
         " ".repeat(at),

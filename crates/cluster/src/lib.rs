@@ -39,7 +39,7 @@ pub mod sim;
 pub mod work_scale;
 
 pub use comm::CommLayer;
-pub use faults::{current_faults, with_faults, FaultPlan, NodeFailure, SlowLink};
+pub use faults::{current_faults, span_err, with_faults, FaultPlan, NodeFailure, SlowLink};
 pub use hardware::{ClusterSpec, HardwareSpec};
 pub use partition::{Partition1D, Partition2D};
 pub use profile::ExecProfile;

@@ -13,6 +13,7 @@
 
 use graphmaze_cluster::SimError;
 use graphmaze_engines::datalog::socialite;
+use graphmaze_engines::graphmat;
 use graphmaze_engines::spmv::combblas;
 use graphmaze_engines::taskpar::galois;
 use graphmaze_engines::vertex::{giraph, graphlab};
@@ -67,8 +68,8 @@ pub trait Engine: Sync {
     /// Bit-parallel multi-source BFS from `sources` on the symmetrized
     /// view; digest = Σ finite distances over all source rows. The
     /// default says the framework has no port — the word-level kernel
-    /// does not fit every programming model (GraphMat, PAPERS.md) — so
-    /// the extended Table 5 renders those cells "n/a".
+    /// does not fit every programming model — so the extended Table 5
+    /// renders those cells "n/a".
     fn msbfs(
         &self,
         _g: &UndirectedGraph,
@@ -515,6 +516,76 @@ impl Engine for GaloisEngine {
     }
 }
 
+/// GraphMat — vertex programs auto-lowered onto the masked-SpMSpV
+/// backend; every algorithm below is the *same* `GasProgram` the vertex
+/// engines run, compiled rather than re-implemented.
+pub struct GraphMatEngine;
+
+impl Engine for GraphMatEngine {
+    fn name(&self) -> &'static str {
+        "graphmat"
+    }
+
+    fn pagerank(
+        &self,
+        g: &DirectedGraph,
+        nodes: usize,
+        params: &BenchParams,
+    ) -> Result<(f64, RunReport), SimError> {
+        let (ranks, report) = graphmat::pagerank(g, PAGERANK_R, params.pr_iterations, nodes)?;
+        Ok((ranks.iter().sum(), report))
+    }
+
+    fn bfs(
+        &self,
+        g: &UndirectedGraph,
+        source: u32,
+        nodes: usize,
+        _params: &BenchParams,
+    ) -> Result<(f64, RunReport), SimError> {
+        let (dist, report) = graphmat::bfs(g, source, nodes)?;
+        Ok((bfs_digest(&dist), report))
+    }
+
+    fn triangles(
+        &self,
+        g: &Csr,
+        nodes: usize,
+        _params: &BenchParams,
+    ) -> Result<(f64, RunReport), SimError> {
+        let (count, report) = graphmat::triangles(g, nodes)?;
+        Ok((count as f64, report))
+    }
+
+    fn cf(
+        &self,
+        g: &RatingsGraph,
+        nodes: usize,
+        params: &BenchParams,
+    ) -> Result<(f64, RunReport), SimError> {
+        let (vals, report) = graphmat::cf_gd(
+            g,
+            params.cf.k,
+            params.cf.lambda,
+            params.cf.gamma0,
+            params.cf_iterations,
+            nodes,
+        )?;
+        Ok((cf_rmse_rows(g, &vals), report))
+    }
+
+    fn msbfs(
+        &self,
+        g: &UndirectedGraph,
+        sources: &[u32],
+        nodes: usize,
+        _params: &BenchParams,
+    ) -> Result<(f64, RunReport), SimError> {
+        let (rows, report) = graphmat::msbfs(g, sources, nodes)?;
+        Ok((msbfs_digest(&rows), report))
+    }
+}
+
 static NATIVE: NativeEngine = NativeEngine;
 static COMBBLAS: CombBlasEngine = CombBlasEngine;
 static GRAPHLAB: GraphLabEngine = GraphLabEngine;
@@ -522,6 +593,7 @@ static SOCIALITE: SociaLiteEngine = SociaLiteEngine { optimized: true };
 static SOCIALITE_UNOPT: SociaLiteEngine = SociaLiteEngine { optimized: false };
 static GIRAPH: GiraphEngine = GiraphEngine;
 static GALOIS: GaloisEngine = GaloisEngine;
+static GRAPHMAT: GraphMatEngine = GraphMatEngine;
 
 impl Framework {
     /// The framework's [`Engine`] implementation. This is the *only*
@@ -535,6 +607,7 @@ impl Framework {
             Framework::SociaLiteUnopt => &SOCIALITE_UNOPT,
             Framework::Giraph => &GIRAPH,
             Framework::Galois => &GALOIS,
+            Framework::GraphMat => &GRAPHMAT,
         }
     }
 }
@@ -553,6 +626,7 @@ mod tests {
             Framework::SociaLiteUnopt,
             Framework::Giraph,
             Framework::Galois,
+            Framework::GraphMat,
         ] {
             assert_eq!(fw.engine().name(), fw.name());
         }

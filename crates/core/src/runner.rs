@@ -86,6 +86,10 @@ pub enum Framework {
     Giraph,
     /// Galois — task-based, single node only.
     Galois,
+    /// GraphMat — vertex programs auto-lowered onto masked SpMSpV
+    /// (closes the ninja gap; the repo's sixth engine, not part of the
+    /// paper's headline set).
+    GraphMat,
 }
 
 impl Framework {
@@ -100,6 +104,19 @@ impl Framework {
         Framework::Galois,
     ];
 
+    /// The headline six plus the repo's GraphMat extension — the full
+    /// set the serving layer, conformance matrix and ninja-gap
+    /// experiment cover (mirrors [`Algorithm::EXTENDED`]).
+    pub const EXTENDED: [Framework; 7] = [
+        Framework::Native,
+        Framework::CombBlas,
+        Framework::GraphLab,
+        Framework::SociaLite,
+        Framework::Giraph,
+        Framework::Galois,
+        Framework::GraphMat,
+    ];
+
     /// Short name for reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -110,6 +127,7 @@ impl Framework {
             Framework::SociaLiteUnopt => "socialite-unopt",
             Framework::Giraph => "giraph",
             Framework::Galois => "galois",
+            Framework::GraphMat => "graphmat",
         }
     }
 

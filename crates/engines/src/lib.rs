@@ -2,7 +2,7 @@
 
 //! # graphmaze-engines
 //!
-//! Re-implementations of the five graph-framework **programming models**
+//! Re-implementations of the six graph-framework **programming models**
 //! the paper benchmarks (§3), each running the four algorithms through
 //! its own abstraction on the simulated cluster:
 //!
@@ -13,6 +13,7 @@
 //! | [`spmv`]             | CombBLAS 1.3  | sparse-matrix semiring algebra | 2-D grid | MPI |
 //! | [`datalog`]          | SociaLite     | Datalog rules over sharded tables | 1-D shards | (multi-)sockets |
 //! | [`taskpar`]          | Galois 2.2    | work-item task parallelism | flexible, single node | — |
+//! | [`graphmat`]         | GraphMat      | vertex programs auto-lowered to masked SpMSpV | 2-D grid | MPI |
 //!
 //! Every engine executes the *real* algorithm on real data — results are
 //! tested identical to `graphmaze-native` — while the simulator meters
@@ -20,6 +21,7 @@
 //! ([`graphmaze_cluster::ExecProfile`]).
 
 pub mod datalog;
+pub mod graphmat;
 pub mod spmv;
 pub mod taskpar;
 pub mod vertex;

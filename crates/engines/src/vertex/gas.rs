@@ -1,0 +1,307 @@
+//! The gather–apply–scatter (GAS) intermediate representation of vertex
+//! programs — the declarative form every framework binding consumes.
+//!
+//! A [`GasProgram`] splits the monolithic `compute` of the classic
+//! vertex model into three lowerable parts:
+//!
+//! * **gather** — how the inbox is reduced, declared as a
+//!   [`GatherMode`]: either an associative ⊕ with identity (a
+//!   [`GatherMonoid`] from `spmv::semiring`, e.g. `(+, 0)` for PageRank,
+//!   `(min, MAX)` for BFS, word-wise OR for multi-source BFS) or
+//!   `Collect` when the program needs every message verbatim (triangle
+//!   lists, CF factor vectors).
+//! * **apply** — the per-vertex state update, consuming the gathered
+//!   inbox and optionally voting to halt / contributing to the global
+//!   aggregator through an [`ApplyContext`].
+//! * **scatter** — the message `apply` returns, broadcast by the engine
+//!   to every out-neighbor. The uniform broadcast is what makes a
+//!   program lowerable onto SpMV: the scatter frontier is exactly a
+//!   sparse input vector.
+//!
+//! The [`Gas`] newtype is the compatibility shim: it implements the
+//! imperative [`VertexProgram`] trait for any `GasProgram`, folding the
+//! inbox with the declared monoid in arrival order — bit-identical to
+//! the historical hand-written `compute` bodies — so the Giraph/GraphLab
+//! engines run unchanged while `engines::graphmat` lowers the same
+//! program onto masked SpMSpV.
+
+use graphmaze_graph::VertexId;
+
+use super::engine::{VertexContext, VertexGraphView, VertexProgram};
+use crate::spmv::semiring::GatherMonoid;
+
+/// How a program's gather step reduces the messages addressed to a
+/// vertex.
+pub enum GatherMode<M: Clone> {
+    /// Reduce with an associative ⊕ folded from its identity. Engines
+    /// may fold eagerly (CombBLAS-style sparse accumulator), at
+    /// delivery (GraphLab's combiner), or at apply time — all three
+    /// orders produce bit-identical results for an associative ⊕
+    /// applied in arrival order.
+    Fold(GatherMonoid<M>),
+    /// No algebra: apply sees every message in arrival order.
+    Collect,
+}
+
+/// The gathered inbox an apply step receives.
+pub enum Gathered<'a, M> {
+    /// The ⊕-reduction of the inbox (the monoid identity when empty —
+    /// apply always runs for active vertices, even with nothing
+    /// delivered).
+    Folded(M),
+    /// The raw inbox in arrival order (`Collect`-mode programs).
+    All(&'a [M]),
+}
+
+impl<'a, M> Gathered<'a, M> {
+    /// The folded reduction. Panics for `Collect`-mode programs.
+    pub fn folded(self) -> M {
+        match self {
+            Gathered::Folded(m) => m,
+            Gathered::All(_) => panic!("collect-mode program asked for a folded gather"),
+        }
+    }
+
+    /// The raw inbox. Panics for `Fold`-mode programs.
+    pub fn all(self) -> &'a [M] {
+        match self {
+            Gathered::All(msgs) => msgs,
+            Gathered::Folded(_) => panic!("fold-mode program asked for the raw inbox"),
+        }
+    }
+}
+
+/// Apply-step context: halting and the global aggregator. Scatter is the
+/// message `apply` returns — emission is the engine's job in the GAS
+/// model, which is what lets the matrix backend batch it as a sparse
+/// vector instead of per-edge sends.
+pub struct ApplyContext {
+    pub(crate) halt: bool,
+    pub(crate) aggregate: f64,
+    prev_aggregate: f64,
+}
+
+impl ApplyContext {
+    pub(crate) fn new(prev_aggregate: f64) -> Self {
+        ApplyContext {
+            halt: false,
+            aggregate: 0.0,
+            prev_aggregate,
+        }
+    }
+
+    /// Votes to halt: the vertex stays inactive until a message wakes it.
+    #[inline]
+    pub fn vote_to_halt(&mut self) {
+        self.halt = true;
+    }
+
+    /// Adds to this superstep's global aggregate (summed at the barrier).
+    #[inline]
+    pub fn aggregate(&mut self, value: f64) {
+        self.aggregate += value;
+    }
+
+    /// The global aggregate of the *previous* superstep (0.0 at start).
+    #[inline]
+    pub fn prev_aggregate(&self) -> f64 {
+        self.prev_aggregate
+    }
+}
+
+/// A vertex program in declarative gather–apply–scatter form.
+///
+/// Every conforming program broadcasts one message to *all* out-neighbors
+/// per scatter (or none) — the invariant the SpMV lowering relies on.
+pub trait GasProgram {
+    /// Per-vertex state.
+    type Value: Clone;
+    /// Message type.
+    type Msg: Clone;
+
+    /// The gather algebra — consulted once per superstep by lowering
+    /// engines, per vertex by the compatibility shim.
+    fn gather(&self) -> GatherMode<Self::Msg>;
+
+    /// One apply step: consume the gathered inbox, update `value`, and
+    /// return the message to broadcast to every out-neighbor (`None` =
+    /// no scatter).
+    fn apply(
+        &self,
+        superstep: u32,
+        v: VertexId,
+        value: &mut Self::Value,
+        gathered: Gathered<'_, Self::Msg>,
+        g: &VertexGraphView<'_>,
+        ctx: &mut ApplyContext,
+    ) -> Option<Self::Msg>;
+
+    /// Complement output mask for the lowered gather (GraphBLAST's
+    /// `y⟨¬m⟩ = Aᵀx`): return `false` when a delivery to a vertex in
+    /// this state can neither change the value nor cause a scatter, so
+    /// the SpMSpV may drop the entry. Must be exact — the default keeps
+    /// everything.
+    fn gather_mask(&self, _value: &Self::Value) -> bool {
+        true
+    }
+
+    /// Wire size of a message, bytes (paper Table 1's "message size").
+    fn message_bytes(&self, msg: &Self::Msg) -> u64;
+
+    /// In-memory size of a vertex value, bytes.
+    fn value_bytes(&self) -> u64;
+
+    /// Arithmetic per received message (cost model).
+    fn flops_per_msg(&self) -> u64 {
+        2
+    }
+}
+
+/// Compatibility shim: runs a declarative [`GasProgram`] on the
+/// imperative [`VertexProgram`] engines (Giraph, GraphLab, GPS, GraphX).
+/// The inbox is folded left-to-right from the monoid identity in arrival
+/// order, reproducing the historical `compute` bodies bit-for-bit; the
+/// declared ⊕ also becomes the engine-level message combiner.
+pub struct Gas<P>(pub P);
+
+impl<P: GasProgram> VertexProgram for Gas<P> {
+    type Value = P::Value;
+    type Msg = P::Msg;
+
+    fn compute(
+        &self,
+        superstep: u32,
+        v: VertexId,
+        value: &mut Self::Value,
+        msgs: &[Self::Msg],
+        g: &VertexGraphView<'_>,
+        ctx: &mut VertexContext<Self::Msg>,
+    ) {
+        let mut actx = ApplyContext::new(ctx.prev_aggregate());
+        let scatter = match self.0.gather() {
+            GatherMode::Fold(monoid) => {
+                let folded = monoid.fold(msgs.iter());
+                self.0
+                    .apply(superstep, v, value, Gathered::Folded(folded), g, &mut actx)
+            }
+            GatherMode::Collect => {
+                self.0
+                    .apply(superstep, v, value, Gathered::All(msgs), g, &mut actx)
+            }
+        };
+        ctx.aggregate(actx.aggregate);
+        if actx.halt {
+            ctx.vote_to_halt();
+        }
+        if let Some(msg) = scatter {
+            for &dst in g.neighbors(v) {
+                ctx.send(dst, msg.clone());
+            }
+        }
+    }
+
+    fn message_bytes(&self, msg: &Self::Msg) -> u64 {
+        self.0.message_bytes(msg)
+    }
+
+    fn value_bytes(&self) -> u64 {
+        self.0.value_bytes()
+    }
+
+    fn combine(&self, a: &Self::Msg, b: &Self::Msg) -> Option<Self::Msg> {
+        match self.0.gather() {
+            GatherMode::Fold(monoid) => Some((monoid.combine)(a, b)),
+            GatherMode::Collect => None,
+        }
+    }
+
+    fn flops_per_msg(&self) -> u64 {
+        self.0.flops_per_msg()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::semiring::plus_f64;
+
+    /// Fold-mode toy: value = folded sum; scatters its value once at
+    /// superstep 0, aggregates what it received.
+    struct FoldSum;
+
+    impl GasProgram for FoldSum {
+        type Value = f64;
+        type Msg = f64;
+
+        fn gather(&self) -> GatherMode<f64> {
+            GatherMode::Fold(plus_f64())
+        }
+
+        fn apply(
+            &self,
+            superstep: u32,
+            v: VertexId,
+            value: &mut f64,
+            gathered: Gathered<'_, f64>,
+            _g: &VertexGraphView<'_>,
+            ctx: &mut ApplyContext,
+        ) -> Option<f64> {
+            let sum = gathered.folded();
+            *value += sum;
+            ctx.aggregate(sum);
+            ctx.vote_to_halt();
+            if superstep == 0 {
+                Some(f64::from(v) + 1.0)
+            } else {
+                None
+            }
+        }
+
+        fn message_bytes(&self, _: &f64) -> u64 {
+            8
+        }
+
+        fn value_bytes(&self) -> u64 {
+            8
+        }
+    }
+
+    #[test]
+    fn shim_folds_from_identity_and_broadcasts_scatter() {
+        use graphmaze_graph::csr::Csr;
+        // 0 -> {1, 2}, 1 -> {2}
+        let csr = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let cfg = crate::vertex::engine::EngineConfig {
+            profile: graphmaze_cluster::ExecProfile::graphlab(),
+            use_combiner: false,
+            buffer_whole_superstep: false,
+            superstep_splits: 1,
+            per_message_overhead_bytes: 0,
+            max_supersteps: 10,
+            replicate_hubs_factor: None,
+            compress_ids: false,
+            speculative_reexec: false,
+        };
+        let (values, _) = crate::vertex::engine::run(
+            &csr,
+            None,
+            &Gas(FoldSum),
+            vec![0.0f64; 3],
+            vec![],
+            true,
+            &cfg,
+            1,
+            1,
+        )
+        .unwrap();
+        // superstep 0: everyone applies an empty (identity) gather, then
+        // floods v+1; superstep 1: 1 gets 1.0, 2 gets 1.0 + 2.0
+        assert_eq!(values, vec![0.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn shim_combiner_is_the_declared_monoid() {
+        let p = Gas(FoldSum);
+        assert_eq!(p.combine(&2.0, &3.5), Some(5.5));
+    }
+}

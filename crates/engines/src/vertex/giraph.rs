@@ -15,6 +15,7 @@ use graphmaze_graph::{RatingsGraph, VertexId};
 use graphmaze_metrics::RunReport;
 
 use super::engine::{run, EngineConfig};
+use super::gas::Gas;
 use super::programs::{
     msbfs_rows, msbfs_seed_msgs, pack_bipartite, BfsProgram, CfGdProgram, MsBfsProgram,
     PageRankProgram, TriangleProgram, BFS_UNREACHED,
@@ -70,7 +71,7 @@ pub fn pagerank_improved(
     run(
         &g.out,
         None,
-        &prog,
+        &Gas(prog),
         init,
         vec![],
         true,
@@ -92,7 +93,7 @@ pub fn pagerank(
     run(
         &g.out,
         None,
-        &prog,
+        &Gas(prog),
         init,
         vec![],
         true,
@@ -114,7 +115,7 @@ pub fn bfs(
     run(
         &g.adj,
         None,
-        &BfsProgram,
+        &Gas(BfsProgram),
         init,
         vec![(source, 0)],
         false,
@@ -141,7 +142,7 @@ pub fn msbfs(
     let (values, report) = run(
         &g.adj,
         None,
-        &prog,
+        &Gas(prog),
         init,
         msbfs_seed_msgs(sources),
         false,
@@ -163,7 +164,7 @@ pub fn triangles_split(
     let (values, report) = run(
         oriented,
         None,
-        &TriangleProgram,
+        &Gas(TriangleProgram),
         vec![0u64; oriented.num_vertices()],
         vec![],
         true,
@@ -212,7 +213,7 @@ pub fn cf_gd(
     run(
         &csr,
         Some(&weights),
-        &prog,
+        &Gas(prog),
         init,
         vec![],
         true,

@@ -14,6 +14,7 @@ use graphmaze_graph::{RatingsGraph, VertexId};
 use graphmaze_metrics::RunReport;
 
 use super::engine::{run, EngineConfig};
+use super::gas::Gas;
 use super::programs::{
     msbfs_rows, msbfs_seed_msgs, pack_bipartite, BfsProgram, CfGdProgram, MsBfsProgram,
     PageRankProgram, TriangleProgram, BFS_UNREACHED,
@@ -61,7 +62,7 @@ pub fn pagerank_improved(
     run(
         &g.out,
         None,
-        &prog,
+        &Gas(prog),
         init,
         vec![],
         true,
@@ -84,7 +85,7 @@ pub fn pagerank(
     run(
         &g.out,
         None,
-        &prog,
+        &Gas(prog),
         init,
         vec![],
         true,
@@ -106,7 +107,7 @@ pub fn bfs(
     run(
         &g.adj,
         None,
-        &BfsProgram,
+        &Gas(BfsProgram),
         init,
         vec![(source, 0)],
         false,
@@ -132,7 +133,7 @@ pub fn msbfs(
     let (values, report) = run(
         &g.adj,
         None,
-        &prog,
+        &Gas(prog),
         init,
         msbfs_seed_msgs(sources),
         false,
@@ -149,7 +150,7 @@ pub fn triangles(oriented: &Csr, nodes: usize) -> Result<(u64, RunReport), SimEr
     let (values, report) = run(
         oriented,
         None,
-        &TriangleProgram,
+        &Gas(TriangleProgram),
         vec![0u64; oriented.num_vertices()],
         vec![],
         true,
@@ -192,7 +193,7 @@ pub fn cf_gd(
     run(
         &csr,
         Some(&weights),
-        &prog,
+        &Gas(prog),
         init,
         vec![],
         true,
@@ -269,7 +270,7 @@ mod tests {
         let without = run(
             &g.out,
             None,
-            &prog,
+            &Gas(prog),
             vec![1.0f64; g.num_vertices()],
             vec![],
             true,

@@ -1,15 +1,20 @@
 //! Vertex programming — the "think like a vertex" model of GraphLab and
 //! Giraph (paper §3, Algorithms 1 and 2).
 //!
-//! [`engine`] is the generic BSP vertex-program executor; [`programs`]
-//! holds the four algorithms written against it (exactly the pseudocode
-//! of the paper); [`graphlab`] and [`giraph`] bind them to each
-//! framework's runtime behaviour.
+//! [`engine`] is the generic BSP vertex-program executor; [`gas`] is the
+//! declarative gather–apply–scatter IR (plus the [`gas::Gas`] shim that
+//! runs it on the imperative engine); [`programs`] holds the algorithms
+//! written against the IR (exactly the pseudocode of the paper);
+//! [`graphlab`] and [`giraph`] bind them to each framework's runtime
+//! behaviour. `crate::graphmat` lowers the same IR onto the SpMV
+//! backend instead.
 
 pub mod engine;
+pub mod gas;
 pub mod giraph;
 pub mod graphlab;
 pub mod programs;
 pub mod related;
 
 pub use engine::{run, EngineConfig, VertexContext, VertexGraphView, VertexProgram};
+pub use gas::{ApplyContext, Gas, GasProgram, GatherMode, Gathered};

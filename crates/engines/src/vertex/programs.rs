@@ -1,10 +1,20 @@
 //! The four algorithms as vertex programs — the paper's Algorithm 1
 //! (PageRank), Algorithm 2 (BFS), and the §3.2 descriptions of triangle
-//! counting and collaborative filtering in the vertex model.
+//! counting and collaborative filtering in the vertex model — written in
+//! the declarative gather–apply–scatter form of [`super::gas`].
+//!
+//! Each program declares its gather algebra as a `spmv::semiring`
+//! monoid: PageRank folds with `(+, 0)`, BFS with `(min, MAX)`,
+//! multi-source BFS with word-wise OR; triangle counting and CF need the
+//! raw inbox (`Collect`). Wrap a program in [`super::gas::Gas`] to run
+//! it on the imperative Giraph/GraphLab engines; `engines::graphmat`
+//! lowers the same declaration onto masked SpMSpV.
 
 use graphmaze_graph::VertexId;
 
-use super::engine::{VertexContext, VertexGraphView, VertexProgram};
+use super::engine::VertexGraphView;
+use super::gas::{ApplyContext, GasProgram, GatherMode, Gathered};
+use crate::spmv::semiring::{min_u32, or_words, plus_f64, GatherMonoid};
 
 /// Algorithm 1 — one PageRank iteration per superstep:
 ///
@@ -24,34 +34,36 @@ pub struct PageRankProgram {
     pub iterations: u32,
 }
 
-impl VertexProgram for PageRankProgram {
+impl GasProgram for PageRankProgram {
     type Value = f64;
     type Msg = f64;
 
-    fn compute(
+    fn gather(&self) -> GatherMode<f64> {
+        GatherMode::Fold(plus_f64())
+    }
+
+    fn apply(
         &self,
         superstep: u32,
         v: VertexId,
         value: &mut f64,
-        msgs: &[f64],
+        gathered: Gathered<'_, f64>,
         g: &VertexGraphView<'_>,
-        ctx: &mut VertexContext<f64>,
-    ) {
+        ctx: &mut ApplyContext,
+    ) -> Option<f64> {
         if superstep > 0 {
-            let sum: f64 = msgs.iter().sum();
+            let sum = gathered.folded();
             *value = self.r + (1.0 - self.r) * sum;
         }
         if superstep < self.iterations {
             let d = g.degree(v);
             if d > 0 {
-                let share = *value / f64::from(d);
-                for &dst in g.neighbors(v) {
-                    ctx.send(dst, share);
-                }
+                return Some(*value / f64::from(d));
             }
         } else {
             ctx.vote_to_halt();
         }
+        None
     }
 
     fn message_bytes(&self, _: &f64) -> u64 {
@@ -60,10 +72,6 @@ impl VertexProgram for PageRankProgram {
 
     fn value_bytes(&self) -> u64 {
         8
-    }
-
-    fn combine(&self, a: &f64, b: &f64) -> Option<f64> {
-        Some(a + b)
     }
 }
 
@@ -82,21 +90,25 @@ pub struct PageRankConvergentProgram {
     pub max_iterations: u32,
 }
 
-impl VertexProgram for PageRankConvergentProgram {
+impl GasProgram for PageRankConvergentProgram {
     type Value = f64;
     type Msg = f64;
 
-    fn compute(
+    fn gather(&self) -> GatherMode<f64> {
+        GatherMode::Fold(plus_f64())
+    }
+
+    fn apply(
         &self,
         superstep: u32,
         v: VertexId,
         value: &mut f64,
-        msgs: &[f64],
+        gathered: Gathered<'_, f64>,
         g: &VertexGraphView<'_>,
-        ctx: &mut VertexContext<f64>,
-    ) {
+        ctx: &mut ApplyContext,
+    ) -> Option<f64> {
         if superstep > 0 {
-            let sum: f64 = msgs.iter().sum();
+            let sum = gathered.folded();
             let new = self.r + (1.0 - self.r) * sum;
             ctx.aggregate((new - *value).abs());
             *value = new;
@@ -105,14 +117,12 @@ impl VertexProgram for PageRankConvergentProgram {
         if superstep < self.max_iterations && !converged {
             let d = g.degree(v);
             if d > 0 {
-                let share = *value / f64::from(d);
-                for &dst in g.neighbors(v) {
-                    ctx.send(dst, share);
-                }
+                return Some(*value / f64::from(d));
             }
         } else {
             ctx.vote_to_halt();
         }
+        None
     }
 
     fn message_bytes(&self, _: &f64) -> u64 {
@@ -121,10 +131,6 @@ impl VertexProgram for PageRankConvergentProgram {
 
     fn value_bytes(&self) -> u64 {
         8
-    }
-
-    fn combine(&self, a: &f64, b: &f64) -> Option<f64> {
-        Some(a + b)
     }
 }
 
@@ -139,36 +145,44 @@ pub struct BfsProgram;
 /// The unreached sentinel distance.
 pub const BFS_UNREACHED: u32 = u32::MAX;
 
-impl VertexProgram for BfsProgram {
+impl GasProgram for BfsProgram {
     type Value = u32;
     type Msg = u32;
 
-    fn compute(
+    fn gather(&self) -> GatherMode<u32> {
+        GatherMode::Fold(min_u32())
+    }
+
+    fn apply(
         &self,
         superstep: u32,
-        v: VertexId,
+        _v: VertexId,
         value: &mut u32,
-        msgs: &[u32],
-        g: &VertexGraphView<'_>,
-        ctx: &mut VertexContext<u32>,
-    ) {
-        let incoming = msgs.iter().copied().min();
-        let improved = match incoming {
-            Some(m) if m.saturating_add(1) < *value => {
-                *value = m + 1;
-                true
-            }
-            _ => false,
-        };
+        gathered: Gathered<'_, u32>,
+        _g: &VertexGraphView<'_>,
+        ctx: &mut ApplyContext,
+    ) -> Option<u32> {
+        // the empty inbox folds to MAX, whose saturated +1 never improves
+        let incoming = gathered.folded();
+        let improved = incoming.saturating_add(1) < *value;
+        if improved {
+            *value = incoming + 1;
+        }
         // The source (value 0, woken by its seed message) scatters once.
         let is_seed = superstep == 0 && *value == 0;
-        if improved || is_seed {
-            let send_val = if is_seed { 0 } else { *value };
-            for &dst in g.neighbors(v) {
-                ctx.send(dst, send_val);
-            }
-        }
         ctx.vote_to_halt();
+        if improved || is_seed {
+            Some(if is_seed { 0 } else { *value })
+        } else {
+            None
+        }
+    }
+
+    /// Unweighted BFS settles on first reach, so deliveries to an
+    /// already-reached vertex can never improve it — the lowered gather
+    /// masks them off.
+    fn gather_mask(&self, value: &u32) -> bool {
+        *value == BFS_UNREACHED
     }
 
     fn message_bytes(&self, _: &u32) -> u64 {
@@ -177,10 +191,6 @@ impl VertexProgram for BfsProgram {
 
     fn value_bytes(&self) -> u64 {
         4
-    }
-
-    fn combine(&self, a: &u32, b: &u32) -> Option<u32> {
-        Some(*a.min(b))
     }
 }
 
@@ -227,49 +237,58 @@ impl MsBfsProgram {
     }
 }
 
-impl VertexProgram for MsBfsProgram {
+impl GasProgram for MsBfsProgram {
     type Value = MsBfsState;
     type Msg = Vec<u64>;
 
-    fn compute(
+    fn gather(&self) -> GatherMode<Vec<u64>> {
+        // OR distributes over the &!seen filter, so folding the inbox
+        // first is bit-identical to filtering message by message
+        GatherMode::Fold(or_words(self.width()))
+    }
+
+    fn apply(
         &self,
         superstep: u32,
-        v: VertexId,
+        _v: VertexId,
         value: &mut MsBfsState,
-        msgs: &[Vec<u64>],
-        g: &VertexGraphView<'_>,
-        ctx: &mut VertexContext<Vec<u64>>,
-    ) {
-        let width = self.width();
-        let mut newly = vec![0u64; width];
+        gathered: Gathered<'_, Vec<u64>>,
+        _g: &VertexGraphView<'_>,
+        ctx: &mut ApplyContext,
+    ) -> Option<Vec<u64>> {
+        let folded = gathered.folded();
+        let mut newly = vec![0u64; self.width()];
         let mut any = false;
-        for m in msgs {
-            for (i, &w) in m.iter().enumerate() {
-                let nw = w & !value.seen[i];
-                if nw != 0 {
-                    newly[i] |= nw;
-                    any = true;
-                }
-            }
-        }
-        if any {
-            for (i, &nw) in newly.iter().enumerate() {
-                if nw == 0 {
-                    continue;
-                }
-                value.seen[i] |= nw;
-                let mut bits = nw;
-                while bits != 0 {
-                    let b = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    value.dist[i * 64 + b] = superstep;
-                }
-            }
-            for &dst in g.neighbors(v) {
-                ctx.send(dst, newly.clone());
+        for (i, &w) in folded.iter().enumerate() {
+            let nw = w & !value.seen[i];
+            if nw != 0 {
+                newly[i] = nw;
+                any = true;
             }
         }
         ctx.vote_to_halt();
+        if !any {
+            return None;
+        }
+        for (i, &nw) in newly.iter().enumerate() {
+            if nw == 0 {
+                continue;
+            }
+            value.seen[i] |= nw;
+            let mut bits = nw;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                value.dist[i * 64 + b] = superstep;
+            }
+        }
+        Some(newly)
+    }
+
+    /// Once every source has reached a vertex, arriving masks are fully
+    /// `seen` and can have no effect — mask those deliveries off.
+    fn gather_mask(&self, value: &MsBfsState) -> bool {
+        value.dist.contains(&BFS_UNREACHED)
     }
 
     fn message_bytes(&self, msg: &Vec<u64>) -> u64 {
@@ -278,10 +297,6 @@ impl VertexProgram for MsBfsProgram {
 
     fn value_bytes(&self) -> u64 {
         (self.width() * 8 + self.num_sources * 4) as u64
-    }
-
-    fn combine(&self, a: &Vec<u64>, b: &Vec<u64>) -> Option<Vec<u64>> {
-        Some(a.iter().zip(b).map(|(x, y)| x | y).collect())
     }
 
     fn flops_per_msg(&self) -> u64 {
@@ -295,31 +310,36 @@ impl VertexProgram for MsBfsProgram {
 /// The total count is the sum of all vertex values.
 pub struct TriangleProgram;
 
-impl VertexProgram for TriangleProgram {
+impl GasProgram for TriangleProgram {
     type Value = u64;
     type Msg = Vec<VertexId>;
 
-    fn compute(
+    fn gather(&self) -> GatherMode<Vec<VertexId>> {
+        // neighbor lists have no useful ⊕ — apply walks each one
+        GatherMode::Collect
+    }
+
+    fn apply(
         &self,
         superstep: u32,
         v: VertexId,
         value: &mut u64,
-        msgs: &[Vec<VertexId>],
+        gathered: Gathered<'_, Vec<VertexId>>,
         g: &VertexGraphView<'_>,
-        ctx: &mut VertexContext<Vec<VertexId>>,
-    ) {
+        ctx: &mut ApplyContext,
+    ) -> Option<Vec<VertexId>> {
+        ctx.vote_to_halt();
         if superstep == 0 {
             let nv = g.neighbors(v);
-            if !nv.is_empty() {
-                let list: Vec<VertexId> = nv.to_vec();
-                for &dst in nv {
-                    ctx.send(dst, list.clone());
-                }
+            if nv.is_empty() {
+                None
+            } else {
+                Some(nv.to_vec())
             }
         } else {
             // sorted-merge intersection of each received list with N+(v)
             let own = g.neighbors(v);
-            for list in msgs {
+            for list in gathered.all() {
                 let (mut i, mut j) = (0, 0);
                 while i < own.len() && j < list.len() {
                     match own[i].cmp(&list[j]) {
@@ -333,8 +353,8 @@ impl VertexProgram for TriangleProgram {
                     }
                 }
             }
+            None
         }
-        ctx.vote_to_halt();
     }
 
     fn message_bytes(&self, msg: &Vec<VertexId>) -> u64 {
@@ -381,19 +401,26 @@ pub struct FactorMsg {
     pub vec: Vec<f64>,
 }
 
-impl VertexProgram for CfGdProgram {
+impl GasProgram for CfGdProgram {
     type Value = Vec<f64>;
     type Msg = FactorMsg;
 
-    fn compute(
+    fn gather(&self) -> GatherMode<FactorMsg> {
+        // the gradient needs each sender's identity for the rating
+        // lookup, so the inbox cannot be pre-reduced
+        GatherMode::Collect
+    }
+
+    fn apply(
         &self,
         superstep: u32,
         v: VertexId,
         value: &mut Vec<f64>,
-        msgs: &[FactorMsg],
+        gathered: Gathered<'_, FactorMsg>,
         g: &VertexGraphView<'_>,
-        ctx: &mut VertexContext<FactorMsg>,
-    ) {
+        ctx: &mut ApplyContext,
+    ) -> Option<FactorMsg> {
+        let msgs = gathered.all();
         let is_user = v < self.num_users;
         let my_turn_to_update = if is_user {
             superstep.is_multiple_of(2)
@@ -414,10 +441,10 @@ impl VertexProgram for CfGdProgram {
                 value[i] += self.gamma * grad[i];
             }
         }
+        ctx.vote_to_halt();
         let last_superstep = 2 * self.iterations;
         if superstep >= last_superstep {
-            ctx.vote_to_halt();
-            return;
+            return None;
         }
         let my_turn_to_send = if is_user {
             superstep.is_multiple_of(2)
@@ -425,15 +452,13 @@ impl VertexProgram for CfGdProgram {
             superstep % 2 == 1
         };
         if my_turn_to_send {
-            let msg = FactorMsg {
+            Some(FactorMsg {
                 from: v,
                 vec: value.clone(),
-            };
-            for &dst in g.neighbors(v) {
-                ctx.send(dst, msg.clone());
-            }
+            })
+        } else {
+            None
         }
-        ctx.vote_to_halt();
     }
 
     fn message_bytes(&self, m: &FactorMsg) -> u64 {
@@ -472,6 +497,14 @@ pub fn msbfs_rows(values: &[MsBfsState], num_sources: usize) -> Vec<Vec<u32>> {
         .collect()
 }
 
+/// The gather monoid of a fold-mode program, if it declares one.
+pub fn gather_monoid<P: GasProgram>(program: &P) -> Option<GatherMonoid<P::Msg>> {
+    match program.gather() {
+        GatherMode::Fold(m) => Some(m),
+        GatherMode::Collect => None,
+    }
+}
+
 #[inline]
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
@@ -502,6 +535,7 @@ pub fn pack_bipartite(g: &graphmaze_graph::RatingsGraph) -> (graphmaze_graph::cs
 mod tests {
     use super::*;
     use crate::vertex::engine::{run, EngineConfig};
+    use crate::vertex::gas::Gas;
     use graphmaze_cluster::ExecProfile;
     use graphmaze_graph::csr::Csr;
 
@@ -539,7 +573,7 @@ mod tests {
         let (values, report) = run(
             &g.out,
             None,
-            &prog,
+            &Gas(prog),
             vec![1.0f64; g.num_vertices()],
             vec![],
             true,
@@ -572,7 +606,7 @@ mod tests {
         let (values, _) = run(
             &csr,
             None,
-            &prog,
+            &Gas(prog),
             vec![1.0f64; 4],
             vec![],
             true,
@@ -594,8 +628,18 @@ mod tests {
         let prog = BfsProgram;
         let mut init = vec![BFS_UNREACHED; 4];
         init[0] = 0;
-        let (values, _) =
-            run(&csr, None, &prog, init, vec![(0, 0)], false, &cfg(20), 2, 1).unwrap();
+        let (values, _) = run(
+            &csr,
+            None,
+            &Gas(prog),
+            init,
+            vec![(0, 0)],
+            false,
+            &cfg(20),
+            2,
+            1,
+        )
+        .unwrap();
         assert_eq!(values, vec![0, 1, 2, 3]);
     }
 
@@ -607,7 +651,7 @@ mod tests {
         let (values, _) = run(
             &csr,
             None,
-            &TriangleProgram,
+            &Gas(TriangleProgram),
             vec![0u64; 4],
             vec![],
             true,
@@ -655,7 +699,7 @@ mod tests {
         let (values, report) = run(
             &csr,
             Some(&weights),
-            &prog,
+            &Gas(prog),
             init,
             vec![],
             true,

@@ -15,6 +15,7 @@ use graphmaze_graph::VertexId;
 use graphmaze_metrics::RunReport;
 
 use super::engine::{run, EngineConfig};
+use super::gas::Gas;
 use super::programs::{BfsProgram, PageRankProgram, BFS_UNREACHED};
 
 /// GPS engine configuration: LALP hub splitting, combiners, a leaner
@@ -62,7 +63,7 @@ pub fn gps_pagerank(
     run(
         &g.out,
         None,
-        &prog,
+        &Gas(prog),
         init,
         vec![],
         true,
@@ -84,7 +85,7 @@ pub fn graphx_pagerank(
     run(
         &g.out,
         None,
-        &prog,
+        &Gas(prog),
         init,
         vec![],
         true,
@@ -106,7 +107,7 @@ pub fn gps_bfs(
     run(
         &g.adj,
         None,
-        &BfsProgram,
+        &Gas(BfsProgram),
         init,
         vec![(source, 0)],
         false,

@@ -1,20 +1,22 @@
 //! The default query population the load generator samples from: the
-//! paper's experiment grid (4 algorithms × the 5 multi-node frameworks)
-//! plus the `msbfs` extension × its 4 ported frameworks, at a
+//! paper's experiment grid (4 algorithms × the 6 multi-node frameworks)
+//! plus the `msbfs` extension × its 5 ported frameworks, at a
 //! configurable scale, each cell expressed as the same [`RunRequest`]
 //! the offline harness would build.
 
 use graphmaze_core::{Algorithm, Framework, RunRequest, SweepCell, WorkloadSpec};
 
-/// The five frameworks with multi-node implementations, in paper order
-/// (Galois is single-node only; the Table 7 `socialite-unopt` variant
-/// is excluded like everywhere outside Table 7).
-pub const SERVING_FRAMEWORKS: [Framework; 5] = [
+/// The six frameworks with multi-node implementations, in paper order
+/// with the GraphMat auto-lowering engine appended (Galois is
+/// single-node only; the Table 7 `socialite-unopt` variant is excluded
+/// like everywhere outside Table 7).
+pub const SERVING_FRAMEWORKS: [Framework; 6] = [
     Framework::Native,
     Framework::CombBlas,
     Framework::GraphLab,
     Framework::SociaLite,
     Framework::Giraph,
+    Framework::GraphMat,
 ];
 
 /// The workload each algorithm runs on at `scale`, mirroring the
@@ -49,16 +51,17 @@ pub fn spec_for(algorithm: Algorithm, scale: u32, seed: u64) -> WorkloadSpec {
 /// Datalog model has none — those cells are "n/a" in the extended
 /// Table 5, so the grid omits them rather than serving guaranteed
 /// failures).
-pub const MSBFS_FRAMEWORKS: [Framework; 4] = [
+pub const MSBFS_FRAMEWORKS: [Framework; 5] = [
     Framework::Native,
     Framework::CombBlas,
     Framework::GraphLab,
     Framework::Giraph,
+    Framework::GraphMat,
 ];
 
-/// Builds the 24-cell default grid at `scale` on `nodes` simulated
+/// Builds the 29-cell default grid at `scale` on `nodes` simulated
 /// nodes, with the harness's standard parameters: the paper's 4
-/// algorithms × the 5 serving frameworks, plus `msbfs` × its 4 ported
+/// algorithms × the 6 serving frameworks, plus `msbfs` × its 5 ported
 /// frameworks. Order is deterministic — algorithm-major, paper
 /// framework order — so Zipf rank 0 is always `pagerank × native`.
 pub fn default_grid(scale: u32, seed: u64, nodes: usize) -> Vec<RunRequest> {
@@ -100,9 +103,9 @@ mod tests {
     #[test]
     fn grid_is_complete_and_identity_hashes_are_distinct() {
         let grid = default_grid(8, 42, 4);
-        assert_eq!(grid.len(), 24);
+        assert_eq!(grid.len(), 29);
         let keys: HashSet<u64> = grid.iter().map(RunRequest::key).collect();
-        assert_eq!(keys.len(), 24, "every cell has a distinct identity hash");
+        assert_eq!(keys.len(), 29, "every cell has a distinct identity hash");
         assert_eq!(grid[0].cell.algorithm, Algorithm::PageRank);
         assert_eq!(grid[0].cell.framework, Framework::Native);
         let msbfs: Vec<_> = grid

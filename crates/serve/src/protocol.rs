@@ -48,37 +48,71 @@ pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Parses an algorithm by its stable short name (`Algorithm::name`),
 /// including the `msbfs` extension (the full servable set is
-/// `Algorithm::EXTENDED`).
-pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+/// `Algorithm::EXTENDED`). Unknown names fail with a caret pointing at
+/// the offending span of `spec` (the whole line the name came from) and
+/// the list of valid spellings, in the [`FaultPlan`] parser's style.
+pub fn parse_algorithm_at(spec: &str, at: usize, name: &str) -> Result<Algorithm, String> {
     Algorithm::EXTENDED
         .into_iter()
         .find(|a| a.name() == name)
         .ok_or_else(|| {
-            format!(
-                "unknown algorithm `{name}` (expected one of: {})",
-                Algorithm::EXTENDED.map(|a| a.name()).join(", ")
+            graphmaze_core::cluster::span_err(
+                spec,
+                at,
+                name.len(),
+                format!(
+                    "unknown algorithm `{name}` (expected one of: {})",
+                    Algorithm::EXTENDED.map(|a| a.name()).join(", ")
+                ),
             )
         })
 }
 
+/// [`parse_algorithm_at`] with the name itself as the spec — the whole
+/// name is underlined.
+pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    parse_algorithm_at(name, 0, name)
+}
+
+/// Every framework the serving layer can name: the paper's six plus the
+/// Table 7-only `socialite-unopt` variant and the GraphMat
+/// auto-lowering engine.
+pub const SERVABLE_FRAMEWORKS: [Framework; 8] = [
+    Framework::Native,
+    Framework::CombBlas,
+    Framework::GraphLab,
+    Framework::SociaLite,
+    Framework::SociaLiteUnopt,
+    Framework::Giraph,
+    Framework::Galois,
+    Framework::GraphMat,
+];
+
 /// Parses a framework by its stable short name (`Framework::name`),
-/// including the Table 7-only `socialite-unopt`.
+/// including the Table 7-only `socialite-unopt`. Unknown names fail
+/// with a caret pointing at the offending span of `spec` and the list
+/// of valid spellings, in the [`FaultPlan`] parser's style.
+pub fn parse_framework_at(spec: &str, at: usize, name: &str) -> Result<Framework, String> {
+    SERVABLE_FRAMEWORKS
+        .into_iter()
+        .find(|f| f.name() == name)
+        .ok_or_else(|| {
+            graphmaze_core::cluster::span_err(
+                spec,
+                at,
+                name.len(),
+                format!(
+                    "unknown framework `{name}` (expected one of: {})",
+                    SERVABLE_FRAMEWORKS.map(|f| f.name()).join(", ")
+                ),
+            )
+        })
+}
+
+/// [`parse_framework_at`] with the name itself as the spec — the whole
+/// name is underlined.
 pub fn parse_framework(name: &str) -> Result<Framework, String> {
-    const ALL: [Framework; 7] = [
-        Framework::Native,
-        Framework::CombBlas,
-        Framework::GraphLab,
-        Framework::SociaLite,
-        Framework::SociaLiteUnopt,
-        Framework::Giraph,
-        Framework::Galois,
-    ];
-    ALL.into_iter().find(|f| f.name() == name).ok_or_else(|| {
-        format!(
-            "unknown framework `{name}` (expected one of: {})",
-            ALL.map(|f| f.name()).join(", ")
-        )
-    })
+    parse_framework_at(name, 0, name)
 }
 
 /// Encodes a `run` request as one wire line (no trailing newline).
@@ -344,6 +378,21 @@ mod tests {
             let err = decode_run_request(&parse_flat_json(line).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{line} → {err}");
         }
+    }
+
+    #[test]
+    fn unknown_names_point_at_the_offending_span() {
+        let err = parse_framework("grahpmat").unwrap_err();
+        assert!(err.contains("unknown framework `grahpmat`"), "{err}");
+        assert!(err.contains("graphmat"), "lists valid names: {err}");
+        assert!(err.ends_with("\n  grahpmat\n  ^^^^^^^^"), "{err}");
+        let err = parse_algorithm_at("algos=pr,dijkstra", 9, "dijkstra").unwrap_err();
+        assert!(err.contains("unknown algorithm `dijkstra`"), "{err}");
+        assert!(
+            err.ends_with("\n  algos=pr,dijkstra\n           ^^^^^^^^"),
+            "caret sits under the bad segment: {err}"
+        );
+        assert!(parse_framework("graphmat").is_ok());
     }
 
     #[test]

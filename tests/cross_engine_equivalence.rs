@@ -13,18 +13,20 @@
 
 use graphmaze_core::prelude::*;
 use graphmaze_engines::datalog::socialite;
+use graphmaze_engines::graphmat;
 use graphmaze_engines::spmv::combblas;
 use graphmaze_engines::taskpar::galois;
 use graphmaze_engines::vertex::{giraph, graphlab};
 use graphmaze_graph::{DirectedGraph, RatingsGraph, UndirectedGraph};
 use graphmaze_native::{NativeOptions, PAGERANK_R};
 
-const MULTI_NODE_FRAMEWORKS: [Framework; 5] = [
+const MULTI_NODE_FRAMEWORKS: [Framework; 6] = [
     Framework::CombBlas,
     Framework::GraphLab,
     Framework::SociaLite,
     Framework::SociaLiteUnopt,
     Framework::Giraph,
+    Framework::GraphMat,
 ];
 
 fn graph_workloads() -> Vec<Workload> {
@@ -126,7 +128,7 @@ fn cf_training_error_drops_under_every_engine() {
         }
         (sse / g.num_ratings() as f64).sqrt()
     };
-    for fw in Framework::ALL {
+    for fw in Framework::EXTENDED {
         let nodes = if fw.multi_node() { 4 } else { 1 };
         let out = run_benchmark(Algorithm::CollaborativeFiltering, fw, &wl, nodes, &params)
             .unwrap_or_else(|e| panic!("{fw:?}: {e}"));
@@ -175,6 +177,7 @@ fn pagerank_vector(
         }
         Framework::Giraph => giraph::pagerank(g, PAGERANK_R, iters, nodes).map(|(r, _)| r),
         Framework::Galois => galois::pagerank(g, PAGERANK_R, iters, nodes).map(|(r, _)| r),
+        Framework::GraphMat => graphmat::pagerank(g, PAGERANK_R, iters, nodes).map(|(r, _)| r),
     };
     ranks.unwrap_or_else(|e| panic!("{fw:?} pagerank vector: {e}"))
 }
@@ -193,6 +196,7 @@ fn bfs_vector(fw: Framework, g: &UndirectedGraph, source: u32, nodes: usize) -> 
         Framework::SociaLiteUnopt => socialite::bfs(g, source, nodes, false).map(|(d, _)| d),
         Framework::Giraph => giraph::bfs(g, source, nodes).map(|(d, _)| d),
         Framework::Galois => galois::bfs(g, source, nodes).map(|(d, _)| d),
+        Framework::GraphMat => graphmat::bfs(g, source, nodes).map(|(d, _)| d),
     };
     dist.unwrap_or_else(|e| panic!("{fw:?} bfs vector: {e}"))
 }
@@ -293,7 +297,7 @@ fn untrained_rmse(g: &RatingsGraph) -> f64 {
 }
 
 /// The full conformance matrix: every `algorithm × framework` cell of
-/// [`Framework::ALL`] (24 cells) against the native golden, on **two**
+/// [`Framework::EXTENDED`] (28 cells) against the native golden, on **two**
 /// graph scales. Exact digest equality for BFS and triangle counting,
 /// `1e-9` relative for PageRank, convergence-below-untrained for CF
 /// (whose engines legitimately differ — SGD vs GD). Failures for the
@@ -314,7 +318,7 @@ fn conformance_matrix_covers_every_algorithm_and_framework_on_two_scales() {
             };
             let golden = run_benchmark(alg, Framework::Native, wl, 1, &params)
                 .unwrap_or_else(|e| panic!("native golden {alg:?} on {}: {e}", wl.name));
-            for fw in Framework::ALL {
+            for fw in Framework::EXTENDED {
                 let nodes = if fw.multi_node() { 4 } else { 1 };
                 let out = run_benchmark(alg, fw, wl, nodes, &params)
                     .unwrap_or_else(|e| panic!("{fw:?}/{alg:?} on {} x{nodes}: {e}", wl.name));
@@ -367,14 +371,16 @@ fn conformance_matrix_covers_every_algorithm_and_framework_on_two_scales() {
                 cells += 1;
             }
         }
-        assert_eq!(cells, 24, "4 algorithms x 6 frameworks at scale {scale}");
+        assert_eq!(cells, 28, "4 algorithms x 7 frameworks at scale {scale}");
     }
 }
 
 /// The per-source distance rows from each framework's concrete
-/// multi-source BFS port. Only four frameworks have one (SociaLite's
+/// multi-source BFS port. Only five frameworks have one (SociaLite's
 /// Datalog model and Galois' task queues have no word-parallel
-/// equivalent — their Engine impls return `InvalidConfig`).
+/// equivalent — their Engine impls return `InvalidConfig`). GraphMat's
+/// port is not hand-written: the word-wise OR gather lowers onto the
+/// `OR_PASS` algebra automatically.
 fn msbfs_rows_for(
     fw: Framework,
     g: &UndirectedGraph,
@@ -389,6 +395,7 @@ fn msbfs_rows_for(
         Framework::CombBlas => combblas::msbfs(g, sources, nodes).map(|(r, _)| r),
         Framework::GraphLab => graphlab::msbfs(g, sources, nodes).map(|(r, _)| r),
         Framework::Giraph => giraph::msbfs(g, sources, nodes).map(|(r, _)| r),
+        Framework::GraphMat => graphmat::msbfs(g, sources, nodes).map(|(r, _)| r),
         _ => panic!("{fw:?} has no msbfs port"),
     };
     rows.unwrap_or_else(|e| panic!("{fw:?} msbfs rows: {e}"))
@@ -443,6 +450,7 @@ fn msbfs_conformance_cells_match_native_on_two_scales() {
         Framework::CombBlas,
         Framework::GraphLab,
         Framework::Giraph,
+        Framework::GraphMat,
     ];
     for scale in [8u32, 10] {
         let wl = Workload::rmat(scale, 8, 200 + u64::from(scale));
@@ -470,7 +478,7 @@ fn msbfs_conformance_cells_match_native_on_two_scales() {
                 cells += 1;
             }
         }
-        assert_eq!(cells, 8, "4 ported frameworks x 2 node counts");
+        assert_eq!(cells, 10, "5 ported frameworks x 2 node counts");
         // frameworks without a port stay honest "n/a" cells
         for fw in [Framework::SociaLite, Framework::Galois] {
             let nodes = if fw.multi_node() { 2 } else { 1 };
@@ -485,8 +493,8 @@ fn msbfs_conformance_cells_match_native_on_two_scales() {
 }
 
 /// Stronger than the digest matrix: the *per-vertex* PageRank and BFS
-/// vectors agree elementwise across all seven engine variants (including
-/// the unoptimized SociaLite). This is the same machinery the diff
+/// vectors agree elementwise across all eight engine variants (including
+/// the unoptimized SociaLite and the lowered GraphMat). This is the same machinery the diff
 /// reporting uses, exercised on the success path.
 #[test]
 fn per_vertex_vectors_agree_across_all_engines() {
@@ -504,6 +512,7 @@ fn per_vertex_vectors_agree_across_all_engines() {
         Framework::SociaLiteUnopt,
         Framework::Giraph,
         Framework::Galois,
+        Framework::GraphMat,
     ];
     for fw in all {
         let nodes = if fw.multi_node() { 4 } else { 1 };
@@ -561,7 +570,7 @@ fn native_is_never_slower_than_any_framework() {
         };
         for nodes in [1usize, 4] {
             let native = run_benchmark(alg, Framework::Native, wl, nodes, &params).unwrap();
-            for fw in Framework::ALL {
+            for fw in Framework::EXTENDED {
                 if fw == Framework::Native || (!fw.multi_node() && nodes > 1) {
                     continue;
                 }

@@ -67,6 +67,7 @@ fn giraph_tc_with_memory(
     mem_bytes: u64,
 ) -> Result<u64, SimError> {
     use graphmaze_core::engines::vertex::engine::{run, EngineConfig};
+    use graphmaze_core::engines::vertex::gas::Gas;
     use graphmaze_core::engines::vertex::programs::TriangleProgram;
     let cfg = EngineConfig {
         profile: ExecProfile::giraph(),
@@ -83,7 +84,7 @@ fn giraph_tc_with_memory(
     let (values, report) = run(
         oriented,
         None,
-        &TriangleProgram,
+        &Gas(TriangleProgram),
         vec![0u64; n],
         vec![],
         true,
