@@ -105,7 +105,7 @@ experiments:
   table2 table3 table4 table5 table6 table7 tabler
   fig3 fig4 fig5 fig6 fig7
   netestimate commmatrix sgdvsgd giraphsplit ablations strongscaling roadmap
-  relatedwork resilience msbfs ninjagap
+  relatedwork resilience msbfs ninjagap elastic
   all         (everything above)
 
 options:
@@ -117,7 +117,7 @@ options:
 /// `(name, sweep cells, description)` for `--list`. Cell counts are the
 /// defaults (they do not depend on `--scale`); "direct" experiments run
 /// engines without the sweep executor.
-const LISTING: [(&str, &str, &str); 23] = [
+const LISTING: [(&str, &str, &str); 24] = [
     ("table2", "direct", "framework capability matrix"),
     ("table3", "direct", "dataset inventory and scaled stand-ins"),
     ("table4", "8", "native algorithm throughput at paper scale"),
@@ -181,6 +181,11 @@ const LISTING: [(&str, &str, &str); 23] = [
         "20",
         "GraphMat lowering vs hand-tuned frameworks vs native (extension)",
     ),
+    (
+        "elastic",
+        "9",
+        "elastic membership: join/leave/heterogeneous hw mid-run (extension)",
+    ),
 ];
 
 fn print_listing() {
@@ -192,7 +197,7 @@ fn print_listing() {
 }
 
 /// Every dispatchable experiment name, in `all` execution order.
-const EXPERIMENTS: [&str; 23] = [
+const EXPERIMENTS: [&str; 24] = [
     "table2",
     "table3",
     "table4",
@@ -216,6 +221,7 @@ const EXPERIMENTS: [&str; 23] = [
     "resilience",
     "msbfs",
     "ninjagap",
+    "elastic",
 ];
 
 fn main() {
@@ -355,6 +361,7 @@ fn main() {
             "resilience" => extras::resilience(&cfg),
             "msbfs" => extras::msbfs(&cfg),
             "ninjagap" => extras::ninja_gap(&cfg),
+            "elastic" => extras::elastic(&cfg),
             other => unreachable!("`{other}` passed validation"),
         };
         println!("{text}");

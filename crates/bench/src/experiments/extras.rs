@@ -950,6 +950,169 @@ pub fn resilience(cfg: &ReproConfig) -> String {
     out
 }
 
+/// Extension — **elastic cluster membership**. The paper benchmarks
+/// fixed clusters (§4.3: every sweep point is a static node count);
+/// this experiment grows and shrinks the cluster *mid-run* and verifies
+/// the answer never changes. PageRank on 4 logical nodes per framework,
+/// under three plans:
+///
+/// * `static` — the fault-free baseline;
+/// * `grow-shrink` — node 4 joins at the barrier ending step 1
+///   (warm-started from the last checkpoint), original node 1
+///   gracefully drains and leaves at step 2 — its partition *must*
+///   migrate, so rebalance traffic shows up in the communication
+///   matrix — and node 4 departs at step 3, each membership change
+///   triggering a live weighted repartitioning;
+/// * `hetero` — a heterogeneous fleet (`hw=1:oldgen,hw=3:slownic`)
+///   where the capacity-weighted repartitioner would give the slow
+///   node half the edges.
+///
+/// Engines address logical partitions, so elasticity only moves where
+/// partitions live — the digest of every elastic cell must be
+/// bit-identical to its static baseline, and the whole table is
+/// byte-identical across `--jobs` settings. Artifact: `elastic.csv`
+/// (one row per cell with the full RebalanceStats).
+pub fn elastic(cfg: &ReproConfig) -> String {
+    let params = standard_params();
+    let spec = WorkloadSpec::Rmat {
+        scale: cfg.target_scale,
+        edge_factor: 16,
+        seed: cfg.seed,
+    };
+    let factor = cfg.scale_factor(
+        128u64 << 20,
+        cfg.workload(&spec).directed().expect("graph").num_edges(),
+    );
+    let nodes = 4;
+    let plans = [
+        ("static", "none"),
+        ("grow-shrink", "seed=7,ckpt=1,join=4@1,leave=1@2,leave=4@3"),
+        ("hetero", "seed=7,hw=1:oldgen,hw=3:slownic"),
+    ];
+    let frameworks = [Framework::Native, Framework::GraphLab, Framework::Giraph];
+    let mut sweep = Sweep::new("elastic");
+    for fw in frameworks {
+        for (name, plan) in plans {
+            let faults = if plan == "none" {
+                FaultPlan::none()
+            } else {
+                FaultPlan::parse(plan).expect("valid spec")
+            };
+            sweep.push(SweepCell {
+                label: format!("{}@{name}", fw.name()),
+                algorithm: Algorithm::PageRank,
+                framework: fw,
+                spec: spec.clone(),
+                nodes,
+                factor,
+                params,
+                faults,
+            });
+        }
+    }
+    let report = crate::run_sweep(cfg, &sweep);
+    let mut results = report.results.iter();
+
+    let mut out = String::from(
+        "Elastic membership — pagerank on 4 logical nodes; joins/leaves\n\
+         repartition live, digests must stay bit-identical to static\n\n",
+    );
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for fw in frameworks {
+        let mut baseline: Option<f64> = None;
+        for (name, plan) in plans {
+            let result = results.next().expect("one result per cell");
+            match &result.outcome {
+                Ok(o) => {
+                    let r = &o.report;
+                    let base = *baseline.get_or_insert(o.digest);
+                    let bitwise = o.digest.to_bits() == base.to_bits();
+                    let reb = &r.rebalance;
+                    rows.push(vec![
+                        fw.name().to_string(),
+                        name.to_string(),
+                        fmt_secs(r.sim_seconds),
+                        if bitwise { "bit-identical" } else { "DIVERGED" }.to_string(),
+                        format!("{}+{}", reb.joins, reb.leaves),
+                        fmt_bytes(reb.migrated_bytes as f64),
+                        fmt_secs(reb.stall_seconds),
+                        if reb.is_zero() {
+                            format!("{nodes}→{nodes}")
+                        } else {
+                            format!("{}→{}", reb.peak_nodes, reb.final_nodes)
+                        },
+                    ]);
+                    csv_rows.push(vec![
+                        fw.name().to_string(),
+                        name.to_string(),
+                        plan.to_string(),
+                        format!("{:.9e}", r.sim_seconds),
+                        format!("{:.17e}", o.digest),
+                        (bitwise as u8).to_string(),
+                        reb.joins.to_string(),
+                        reb.leaves.to_string(),
+                        reb.rebalances.to_string(),
+                        reb.migrated_bytes.to_string(),
+                        reb.migrated_vertices.to_string(),
+                        format!("{:.9e}", reb.stall_seconds),
+                        format!("{:.9e}", reb.warmstart_seconds),
+                        reb.drained_messages.to_string(),
+                        reb.peak_nodes.to_string(),
+                        reb.final_nodes.to_string(),
+                    ]);
+                }
+                Err(e) => rows.push(vec![
+                    fw.name().to_string(),
+                    name.to_string(),
+                    e.annotation().to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+    }
+    out.push_str(&format_table(
+        &[
+            "framework",
+            "plan",
+            "sim seconds",
+            "digest vs static",
+            "joins+leaves",
+            "migrated",
+            "rebalance stall",
+            "peak→final nodes",
+        ],
+        &rows,
+    ));
+    cfg.write_csv(
+        "elastic",
+        &[
+            "framework",
+            "plan",
+            "faults",
+            "sim_seconds",
+            "digest",
+            "digest_match",
+            "joins",
+            "leaves",
+            "rebalances",
+            "migrated_bytes",
+            "migrated_vertices",
+            "stall_seconds",
+            "warmstart_seconds",
+            "drained_messages",
+            "peak_nodes",
+            "final_nodes",
+        ],
+        &csv_rows,
+    );
+    out
+}
+
 /// Extension — **the ninja gap, measured**. The paper's central number
 /// is the productivity frameworks' 2–30× slowdown over native ninja
 /// code; GraphMat's answer is to *compile* the same vertex programs

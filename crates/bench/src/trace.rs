@@ -6,14 +6,16 @@
 //! * `{experiment}.trace.json` — one Chrome trace-event file for the
 //!   whole sweep, loadable in Perfetto (<https://ui.perfetto.dev>) or
 //!   `chrome://tracing`. Each successful cell is a *process* (named
-//!   `alg×fw @ label, N nodes`) with five *thread* lanes — `compute`,
-//!   `comm`, `barrier`, `recovery`, `resilience` — and one complete
-//!   ("X") event per step per non-empty lane, laid out on the simulated
-//!   clock. Phases labelled via `Sim::phase` become the event names, so
-//!   BFS direction switches or Giraph superstep splits are visible as
-//!   lane colour changes; checkpoint writes and rollback/replay show up
-//!   on the `recovery` lane, and retransmission timeout/backoff stalls
-//!   under a lossy-link fault plan on the `resilience` lane.
+//!   `alg×fw @ label, N nodes`) with six *thread* lanes — `compute`,
+//!   `comm`, `barrier`, `recovery`, `resilience`, `membership` — and one
+//!   complete ("X") event per step per non-empty lane, laid out on the
+//!   simulated clock. Phases labelled via `Sim::phase` become the event
+//!   names, so BFS direction switches or Giraph superstep splits are
+//!   visible as lane colour changes; checkpoint writes and
+//!   rollback/replay show up on the `recovery` lane, retransmission
+//!   timeout/backoff stalls under a lossy-link fault plan on the
+//!   `resilience` lane, and elastic join/leave rebalances (warm-start
+//!   restores plus partition migration) on the `membership` lane.
 //! * `{experiment}/{NNN}_{alg}_{fw}_{label}_{N}n.csv` — the raw
 //!   [`StepRecord`] series for each successful cell, for ad-hoc
 //!   analysis.
@@ -29,7 +31,14 @@ use graphmaze_core::metrics::{SpanRecord, StepRecord, Timeline, SPAN_STAGES};
 use graphmaze_core::prelude::*;
 
 /// Lane names, in tid order (tid = index + 1).
-const LANES: [&str; 5] = ["compute", "comm", "barrier", "recovery", "resilience"];
+const LANES: [&str; 6] = [
+    "compute",
+    "comm",
+    "barrier",
+    "recovery",
+    "resilience",
+    "membership",
+];
 
 /// Writes the sweep's trace artifacts under `dir` (see module docs).
 /// Failed cells have no timeline and are skipped. Returns the number of
@@ -90,6 +99,7 @@ pub fn write_sweep_trace(
                 (rec.barrier_s, String::new()),
                 (rec.recovery_s, String::new()),
                 (rec.resilience_s, String::new()),
+                (rec.rebalance_s, String::new()),
             ];
             for (tid0, (dur_s, extra)) in spans.iter().enumerate() {
                 if *dur_s > 0.0 {
@@ -240,6 +250,7 @@ fn write_cell_csv(
         "barrier_s",
         "recovery_s",
         "resilience_s",
+        "rebalance_s",
         "bytes_sent",
         "messages",
         "max_node_bytes",
@@ -259,6 +270,7 @@ fn csv_row(rec: &StepRecord) -> Vec<String> {
         format!("{:?}", rec.barrier_s),
         format!("{:?}", rec.recovery_s),
         format!("{:?}", rec.resilience_s),
+        format!("{:?}", rec.rebalance_s),
         rec.bytes_sent.to_string(),
         rec.messages.to_string(),
         rec.max_node_bytes.to_string(),

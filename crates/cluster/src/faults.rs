@@ -22,6 +22,8 @@
 
 use std::cell::Cell;
 
+use crate::hardware::NodeProfile;
+
 /// A whole-node failure scheduled at a specific BSP step.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NodeFailure {
@@ -49,6 +51,39 @@ pub struct SlowLink {
 /// Hard cap on transmissions per lane transfer (1 original + up to 15
 /// retransmits), so even `linkdrop=1` terminates deterministically.
 pub const MAX_SEND_ATTEMPTS: u32 = 16;
+
+/// Hard cap on membership events of each kind (`join=`, `leave=`, `hw=`)
+/// in one plan, so [`FaultPlan`] stays a fixed-size `Copy` value that
+/// fits the thread-local override cell.
+pub const MAX_MEMBERSHIP_EVENTS: usize = 4;
+
+/// Largest node id a `join=`/`leave=`/`hw=` clause may name. Keeps the
+/// simulator's physical-node arrays bounded no matter what the spec says.
+pub const MAX_MEMBERSHIP_NODE: usize = 1024;
+
+/// A scheduled cluster-membership change: node `node` joins or
+/// gracefully leaves at the barrier *ending* step `step`. Joins
+/// warm-start from the last checkpoint; leaves drain their mailbox at
+/// the barrier (BSP guarantees it is empty there) and migrate their
+/// state off before going away — unlike a `kill=`, nothing is lost and
+/// no recovery protocol runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MembershipEvent {
+    /// The physical node joining or leaving.
+    pub node: usize,
+    /// Zero-based step whose closing barrier processes the event.
+    pub step: u32,
+}
+
+/// A heterogeneous hardware profile pinned to one physical node for the
+/// whole run (`hw=NODE:PROFILE`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HwOverride {
+    /// The node running degraded hardware.
+    pub node: usize,
+    /// Its profile.
+    pub profile: NodeProfile,
+}
 
 /// A deterministic fault-injection plan, consulted by the simulator in
 /// `charge`/`send`/`alloc`/`end_step`. Every decision is a hash of
@@ -85,6 +120,14 @@ pub struct FaultPlan {
     /// Superstep checkpoint interval K (every K steps) for engines with
     /// checkpoint/restart; 0 disables checkpointing.
     pub checkpoint_interval: u32,
+    /// Nodes scheduled to join the cluster (`join=NODE@STEP`), processed
+    /// before leaves at each barrier.
+    pub joins: [Option<MembershipEvent>; MAX_MEMBERSHIP_EVENTS],
+    /// Nodes scheduled to gracefully leave (`leave=NODE@STEP`).
+    pub leaves: [Option<MembershipEvent>; MAX_MEMBERSHIP_EVENTS],
+    /// Per-node hardware profiles (`hw=NODE:PROFILE`), in force for the
+    /// whole run.
+    pub hw: [Option<HwOverride>; MAX_MEMBERSHIP_EVENTS],
 }
 
 const KIND_STRAGGLER: u64 = 0x51;
@@ -117,6 +160,9 @@ impl FaultPlan {
             slow_link: None,
             fail: None,
             checkpoint_interval: 0,
+            joins: [None; MAX_MEMBERSHIP_EVENTS],
+            leaves: [None; MAX_MEMBERSHIP_EVENTS],
+            hw: [None; MAX_MEMBERSHIP_EVENTS],
         }
     }
 
@@ -129,6 +175,7 @@ impl FaultPlan {
             || self.has_link_faults()
             || self.fail.is_some()
             || self.checkpoint_interval > 0
+            || self.is_elastic()
     }
 
     /// Whether any link-level fault term is configured. This is the gate
@@ -138,6 +185,56 @@ impl FaultPlan {
     /// bit-identical timelines with earlier schema versions.
     pub fn has_link_faults(&self) -> bool {
         self.link_drop_prob > 0.0 || self.dup_prob > 0.0 || self.slow_link.is_some()
+    }
+
+    /// Whether the plan schedules any membership change.
+    pub fn has_membership(&self) -> bool {
+        self.joins.iter().any(Option::is_some) || self.leaves.iter().any(Option::is_some)
+    }
+
+    /// Whether the plan pins any heterogeneous hardware profile.
+    pub fn has_hw(&self) -> bool {
+        self.hw.iter().any(Option::is_some)
+    }
+
+    /// Whether the elasticity machinery engages at all. This is the gate
+    /// for logical→physical placement, weighted repartitioning and
+    /// per-node hardware factors — plans without membership or `hw=`
+    /// terms keep bit-identical timelines with earlier schema versions.
+    pub fn is_elastic(&self) -> bool {
+        self.has_membership() || self.has_hw()
+    }
+
+    /// Scheduled joins, in clause order.
+    pub fn join_events(&self) -> impl Iterator<Item = MembershipEvent> + '_ {
+        self.joins.iter().flatten().copied()
+    }
+
+    /// Scheduled graceful leaves, in clause order.
+    pub fn leave_events(&self) -> impl Iterator<Item = MembershipEvent> + '_ {
+        self.leaves.iter().flatten().copied()
+    }
+
+    /// Pinned hardware overrides, in clause order.
+    pub fn hw_overrides(&self) -> impl Iterator<Item = HwOverride> + '_ {
+        self.hw.iter().flatten().copied()
+    }
+
+    /// The hardware profile pinned to `node`, if any.
+    pub fn hw_profile(&self, node: usize) -> Option<NodeProfile> {
+        self.hw_overrides()
+            .find(|h| h.node == node)
+            .map(|h| h.profile)
+    }
+
+    /// The largest node id named by any membership or hardware clause —
+    /// the simulator sizes its physical-node arrays to cover it.
+    pub fn membership_max_node(&self) -> Option<usize> {
+        self.join_events()
+            .chain(self.leave_events())
+            .map(|e| e.node)
+            .chain(self.hw_overrides().map(|h| h.node))
+            .max()
     }
 
     /// Uniform value in `[0, 1)` for one decision, a pure function of the
@@ -250,6 +347,15 @@ impl FaultPlan {
         if let Some(f) = self.fail {
             s.push_str(&format!(",kill={}@{}", f.node, f.step));
         }
+        for e in self.joins.iter().flatten() {
+            s.push_str(&format!(",join={}@{}", e.node, e.step));
+        }
+        for e in self.leaves.iter().flatten() {
+            s.push_str(&format!(",leave={}@{}", e.node, e.step));
+        }
+        for h in self.hw.iter().flatten() {
+            s.push_str(&format!(",hw={}:{}", h.node, h.profile.name()));
+        }
         if self.checkpoint_interval > 0 {
             s.push_str(&format!(",ckpt={}", self.checkpoint_interval));
         }
@@ -277,8 +383,21 @@ impl FaultPlan {
     /// * `mempress=P:BYTES` — each allocation contends with `BYTES`
     ///   phantom bytes with probability `P` (suffixes `K`/`M`/`G`);
     /// * `kill=NODE@STEP` — node `NODE` dies during step `STEP`;
+    /// * `join=NODE@STEP` — node `NODE` joins the cluster at the barrier
+    ///   ending step `STEP`, warm-starting from the last checkpoint;
+    /// * `leave=NODE@STEP` — node `NODE` gracefully leaves at the
+    ///   barrier ending step `STEP`: mailbox drained, state migrated
+    ///   off (distinct from `kill`, which loses state and triggers
+    ///   recovery);
+    /// * `hw=NODE:PROFILE` — node `NODE` runs the named hardware profile
+    ///   (`standard`, `oldgen`, `slownic`) for the whole run;
     /// * `ckpt=K` — checkpoint every `K` steps (checkpoint/restart
     ///   engines only).
+    ///
+    /// `join`/`leave`/`hw` may repeat (up to [`MAX_MEMBERSHIP_EVENTS`]
+    /// each), but at most once per node, and conflicting plans — a
+    /// `leave` of a node that is also `kill`ed, a node leaving before it
+    /// joins, or `leave=0` (node 0 coordinates barriers) — are rejected.
     ///
     /// `"none"` or the empty string yield [`FaultPlan::none`].
     ///
@@ -297,6 +416,10 @@ impl FaultPlan {
             return Ok(plan);
         }
         let mut seen: Vec<&str> = Vec::new();
+        // Spans of `leave=` clauses, kept for cross-clause validation
+        // after the loop (the conflicting `kill=`/`join=` may parse
+        // later).
+        let mut leave_spans: Vec<(MembershipEvent, usize, usize)> = Vec::new();
         let mut offset = 0usize;
         for clause in spec.split(',') {
             let clause_at = offset;
@@ -311,7 +434,9 @@ impl FaultPlan {
             })?;
             let key = k.trim();
             let v_at = clause_at + k.len() + 1;
-            if seen.contains(&key) {
+            // join/leave/hw may repeat (per-node uniqueness is checked
+            // where they are pushed); everything else at most once.
+            if seen.contains(&key) && !matches!(key, "join" | "leave" | "hw") {
                 return Err(span_err(
                     spec,
                     clause_at,
@@ -404,6 +529,87 @@ impl FaultPlan {
                         })?,
                     });
                 }
+                "join" | "leave" => {
+                    let ev = parse_node_step(spec, v_at, v, key)?;
+                    if key == "leave" && ev.node == 0 {
+                        return Err(span_err(
+                            spec,
+                            v_at,
+                            v.len(),
+                            "node 0 coordinates barriers and cannot leave".to_string(),
+                        ));
+                    }
+                    let arr = if key == "join" {
+                        &mut plan.joins
+                    } else {
+                        &mut plan.leaves
+                    };
+                    if arr.iter().flatten().any(|e| e.node == ev.node) {
+                        return Err(span_err(
+                            spec,
+                            clause_at,
+                            clause.len(),
+                            format!("node {} already has a `{key}` event", ev.node),
+                        ));
+                    }
+                    match arr.iter_mut().find(|slot| slot.is_none()) {
+                        Some(slot) => *slot = Some(ev),
+                        None => {
+                            return Err(span_err(
+                                spec,
+                                clause_at,
+                                clause.len(),
+                                format!("at most {MAX_MEMBERSHIP_EVENTS} `{key}` events per plan"),
+                            ))
+                        }
+                    }
+                    if key == "leave" {
+                        leave_spans.push((ev, clause_at, clause.len()));
+                    }
+                }
+                "hw" => {
+                    let (n, p) = v.split_once(':').ok_or_else(|| {
+                        span_err(spec, v_at, v.len(), format!("hw `{v}` is not NODE:PROFILE"))
+                    })?;
+                    let node: usize = n
+                        .parse()
+                        .map_err(|_| span_err(spec, v_at, n.len(), format!("bad hw node `{n}`")))?;
+                    if node > MAX_MEMBERSHIP_NODE {
+                        return Err(span_err(
+                            spec,
+                            v_at,
+                            n.len(),
+                            format!("hw node `{n}` is out of range (max {MAX_MEMBERSHIP_NODE})"),
+                        ));
+                    }
+                    let profile = NodeProfile::parse(p.trim()).ok_or_else(|| {
+                        span_err(
+                            spec,
+                            v_at + n.len() + 1,
+                            p.len(),
+                            format!("unknown hardware profile `{p}` (standard, oldgen, slownic)"),
+                        )
+                    })?;
+                    if plan.hw.iter().flatten().any(|h| h.node == node) {
+                        return Err(span_err(
+                            spec,
+                            clause_at,
+                            clause.len(),
+                            format!("node {node} already has a `hw` profile"),
+                        ));
+                    }
+                    match plan.hw.iter_mut().find(|slot| slot.is_none()) {
+                        Some(slot) => *slot = Some(HwOverride { node, profile }),
+                        None => {
+                            return Err(span_err(
+                                spec,
+                                clause_at,
+                                clause.len(),
+                                format!("at most {MAX_MEMBERSHIP_EVENTS} `hw` profiles per plan"),
+                            ))
+                        }
+                    }
+                }
                 "ckpt" => {
                     plan.checkpoint_interval = v.parse().map_err(|_| {
                         span_err(spec, v_at, v.len(), format!("bad ckpt interval `{v}`"))
@@ -417,6 +623,30 @@ impl FaultPlan {
                         format!("unknown fault clause `{other}`"),
                     ))
                 }
+            }
+        }
+        // Cross-clause conflicts: a `leave` is a graceful departure and
+        // cannot coexist with a `kill` of the same node, and a node that
+        // both joins and leaves must join strictly first.
+        for (ev, at, len) in &leave_spans {
+            if plan.fail.is_some_and(|f| f.node == ev.node) {
+                return Err(span_err(
+                    spec,
+                    *at,
+                    *len,
+                    format!("node {} cannot both `leave` and be `kill`ed", ev.node),
+                ));
+            }
+            if plan
+                .join_events()
+                .any(|j| j.node == ev.node && j.step >= ev.step)
+            {
+                return Err(span_err(
+                    spec,
+                    *at,
+                    *len,
+                    format!("node {} must join strictly before it leaves", ev.node),
+                ));
             }
         }
         Ok(plan)
@@ -433,6 +663,44 @@ pub fn span_err(spec: &str, at: usize, len: usize, msg: String) -> String {
         " ".repeat(at),
         "^".repeat(len.max(1))
     )
+}
+
+/// Parses a `NODE@STEP` membership value with spans on each half and a
+/// range check on the node id.
+fn parse_node_step(
+    spec: &str,
+    v_at: usize,
+    v: &str,
+    kind: &str,
+) -> Result<MembershipEvent, String> {
+    let (n, s) = v.split_once('@').ok_or_else(|| {
+        span_err(
+            spec,
+            v_at,
+            v.len(),
+            format!("{kind} `{v}` is not NODE@STEP"),
+        )
+    })?;
+    let node: usize = n
+        .parse()
+        .map_err(|_| span_err(spec, v_at, n.len(), format!("bad {kind} node `{n}`")))?;
+    if node > MAX_MEMBERSHIP_NODE {
+        return Err(span_err(
+            spec,
+            v_at,
+            n.len(),
+            format!("{kind} node `{n}` is out of range (max {MAX_MEMBERSHIP_NODE})"),
+        ));
+    }
+    let step: u32 = s.parse().map_err(|_| {
+        span_err(
+            spec,
+            v_at + n.len() + 1,
+            s.len(),
+            format!("bad {kind} step `{s}`"),
+        )
+    })?;
+    Ok(MembershipEvent { node, step })
 }
 
 fn parse_prob(spec: &str, at: usize, s: &str) -> Result<f64, String> {
@@ -697,5 +965,110 @@ mod tests {
         let p = FaultPlan::parse("ckpt=4").unwrap();
         assert!(p.is_active(), "checkpointing has a cost even without kills");
         assert_eq!(p.key(), "seed=0,ckpt=4");
+    }
+
+    #[test]
+    fn parse_membership_round_trips_through_key() {
+        let spec = "seed=2,join=4@3,join=5@3,leave=1@7,hw=4:oldgen,hw=2:slownic,ckpt=2";
+        let p = FaultPlan::parse(spec).unwrap();
+        assert_eq!(
+            p.join_events().collect::<Vec<_>>(),
+            vec![
+                MembershipEvent { node: 4, step: 3 },
+                MembershipEvent { node: 5, step: 3 },
+            ]
+        );
+        assert_eq!(
+            p.leave_events().collect::<Vec<_>>(),
+            vec![MembershipEvent { node: 1, step: 7 }]
+        );
+        assert_eq!(p.hw_profile(4), Some(NodeProfile::OldGen));
+        assert_eq!(p.hw_profile(2), Some(NodeProfile::SlowNic));
+        assert_eq!(p.hw_profile(0), None);
+        assert_eq!(p.membership_max_node(), Some(5));
+        assert!(p.has_membership() && p.has_hw() && p.is_elastic());
+        assert!(p.is_active());
+        assert_eq!(FaultPlan::parse(&p.key()).unwrap(), p);
+    }
+
+    #[test]
+    fn hw_only_plan_is_elastic_and_active() {
+        let p = FaultPlan::parse("hw=1:oldgen").unwrap();
+        assert!(!p.has_membership());
+        assert!(p.has_hw() && p.is_elastic() && p.is_active());
+        assert_eq!(p.membership_max_node(), Some(1));
+        assert_eq!(p.key(), "seed=0,hw=1:oldgen");
+    }
+
+    #[test]
+    fn membership_clauses_may_repeat_up_to_the_cap() {
+        let p = FaultPlan::parse("join=4@1,join=5@1,join=6@1,join=7@1").unwrap();
+        assert_eq!(p.join_events().count(), 4);
+        let err = FaultPlan::parse("join=4@1,join=5@1,join=6@1,join=7@1,join=8@1").unwrap_err();
+        assert!(err.contains("at most 4 `join` events"), "{err}");
+        // the caret underlines the fifth clause
+        let caret = err.lines().last().unwrap();
+        assert_eq!(caret.find('^'), Some(2 + 4 * "join=4@1,".len()), "{err}");
+    }
+
+    #[test]
+    fn duplicate_membership_node_is_rejected() {
+        let err = FaultPlan::parse("join=4@1,join=4@2").unwrap_err();
+        assert!(err.contains("node 4 already has a `join` event"), "{err}");
+        let err = FaultPlan::parse("hw=1:oldgen,hw=1:slownic").unwrap_err();
+        assert!(err.contains("node 1 already has a `hw` profile"), "{err}");
+    }
+
+    #[test]
+    fn leave_of_master_is_rejected() {
+        let err = FaultPlan::parse("leave=0@3").unwrap_err();
+        assert!(err.contains("node 0 coordinates barriers"), "{err}");
+    }
+
+    #[test]
+    fn kill_and_leave_of_same_node_conflict() {
+        // regardless of clause order or steps: a graceful leave and a
+        // crash of the same node cannot both be scheduled
+        let err = FaultPlan::parse("leave=2@5,kill=2@3").unwrap_err();
+        assert!(err.contains("cannot both `leave` and be `kill`ed"), "{err}");
+        let err = FaultPlan::parse("kill=2@3,leave=2@5").unwrap_err();
+        assert!(err.contains("cannot both `leave` and be `kill`ed"), "{err}");
+        // different nodes are fine
+        assert!(FaultPlan::parse("kill=1@3,leave=2@5,ckpt=2").is_ok());
+    }
+
+    #[test]
+    fn leave_before_join_of_same_node_is_rejected() {
+        let err = FaultPlan::parse("join=4@5,leave=4@5").unwrap_err();
+        assert!(err.contains("must join strictly before"), "{err}");
+        let err = FaultPlan::parse("leave=4@2,join=4@5").unwrap_err();
+        assert!(err.contains("must join strictly before"), "{err}");
+        // join-then-leave is the symmetric grow-then-shrink case
+        let p = FaultPlan::parse("join=4@2,leave=4@5").unwrap();
+        assert_eq!(p.join_events().count(), 1);
+        assert_eq!(p.leave_events().count(), 1);
+    }
+
+    #[test]
+    fn membership_rejects_malformed_and_out_of_range() {
+        assert!(FaultPlan::parse("join=4").is_err());
+        assert!(FaultPlan::parse("join=x@2").is_err());
+        assert!(FaultPlan::parse("join=4@x").is_err());
+        assert!(FaultPlan::parse("hw=4").is_err());
+        assert!(FaultPlan::parse("hw=x:oldgen").is_err());
+        let err = FaultPlan::parse("join=9999@2").unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = FaultPlan::parse("hw=9999:oldgen").unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn unknown_hw_profile_points_at_profile_name() {
+        let err = FaultPlan::parse("hw=1:fastgen").unwrap_err();
+        assert!(err.contains("unknown hardware profile `fastgen`"), "{err}");
+        let caret = err.lines().last().unwrap();
+        // caret starts under `fastgen` (after "hw=1:")
+        assert_eq!(caret.find('^'), Some(2 + 5), "{err}");
+        assert_eq!(caret.matches('^').count(), "fastgen".len(), "{err}");
     }
 }

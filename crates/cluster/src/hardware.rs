@@ -66,6 +66,85 @@ impl HardwareSpec {
     }
 }
 
+/// A per-node hardware profile for heterogeneous clusters, named in the
+/// fault plan's `hw=NODE:PROFILE` clauses. Profiles derive a degraded
+/// [`HardwareSpec`] from the baseline (see [`NodeProfile::spec`]) and
+/// expose the two scalar factors the simulator folds per physical node:
+/// a compute-time multiplier and a NIC wire-time multiplier. The
+/// repartitioner weights each node's share of the graph by
+/// [`NodeProfile::capacity_weight`], so a half-speed node owns half the
+/// edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeProfile {
+    /// Baseline paper-spec node.
+    Standard,
+    /// A previous-generation node: half the memory bandwidth, so
+    /// bandwidth-bound kernels (§5.1: every kernel is limited by memory
+    /// bandwidth, latency or arithmetic) take ~2× the compute time.
+    OldGen,
+    /// A node behind a throttled NIC: wire transfers from/to it take 4×
+    /// the healthy time; compute is unaffected.
+    SlowNic,
+}
+
+impl NodeProfile {
+    /// Parses a profile name as it appears in `hw=NODE:PROFILE`.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "standard" => Some(NodeProfile::Standard),
+            "oldgen" => Some(NodeProfile::OldGen),
+            "slownic" => Some(NodeProfile::SlowNic),
+            _ => None,
+        }
+    }
+
+    /// Canonical spec-string name (`parse(p.name()) == Some(p)`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeProfile::Standard => "standard",
+            NodeProfile::OldGen => "oldgen",
+            NodeProfile::SlowNic => "slownic",
+        }
+    }
+
+    /// The node's hardware, derived from `base`.
+    pub fn spec(&self, base: &HardwareSpec) -> HardwareSpec {
+        match self {
+            NodeProfile::Standard => *base,
+            NodeProfile::OldGen => HardwareSpec {
+                mem_bw_bps: base.mem_bw_bps / 2.0,
+                freq_hz: base.freq_hz / 2.0,
+                ..*base
+            },
+            NodeProfile::SlowNic => *base,
+        }
+    }
+
+    /// Compute-time multiplier the simulator applies to the node's
+    /// folded per-step compute seconds.
+    pub fn compute_factor(&self) -> f64 {
+        match self {
+            NodeProfile::Standard | NodeProfile::SlowNic => 1.0,
+            NodeProfile::OldGen => 2.0,
+        }
+    }
+
+    /// Wire-time multiplier for transfers this node sends or receives.
+    pub fn nic_factor(&self) -> f64 {
+        match self {
+            NodeProfile::Standard | NodeProfile::OldGen => 1.0,
+            NodeProfile::SlowNic => 4.0,
+        }
+    }
+
+    /// Relative share of the graph the weighted repartitioner assigns
+    /// the node (1 / compute_factor: a node twice as slow owns half the
+    /// edges).
+    pub fn capacity_weight(&self) -> f64 {
+        1.0 / self.compute_factor()
+    }
+}
+
 /// A cluster: homogeneous nodes over one interconnect.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClusterSpec {

@@ -26,7 +26,12 @@
 //! * seeded deterministic fault injection — stragglers, message drops,
 //!   transient memory pressure, whole-node failure — with Giraph-style
 //!   checkpoint/restart recovery is configured by a [`FaultPlan`]
-//!   ([`faults`]).
+//!   ([`faults`]);
+//! * elastic cluster membership — node joins warm-started from the last
+//!   checkpoint, graceful leaves with mailbox drain, heterogeneous
+//!   hardware profiles ([`NodeProfile`]) — triggers live weighted
+//!   repartitioning with migration traffic charged into the traffic
+//!   matrix (`join=`/`leave=`/`hw=` fault-plan clauses).
 
 pub mod comm;
 pub mod compress;
@@ -39,9 +44,12 @@ pub mod sim;
 pub mod work_scale;
 
 pub use comm::CommLayer;
-pub use faults::{current_faults, span_err, with_faults, FaultPlan, NodeFailure, SlowLink};
-pub use hardware::{ClusterSpec, HardwareSpec};
-pub use partition::{Partition1D, Partition2D};
+pub use faults::{
+    current_faults, span_err, with_faults, FaultPlan, HwOverride, MembershipEvent, NodeFailure,
+    SlowLink, MAX_MEMBERSHIP_EVENTS,
+};
+pub use hardware::{ClusterSpec, HardwareSpec, NodeProfile};
+pub use partition::{weighted_bounds, Partition1D, Partition2D};
 pub use profile::ExecProfile;
 pub use router::{packets_for, Combiner, FlushPolicy, Mailbox, Router, RouterConfig, PACKET_BYTES};
 pub use sim::{Sim, SimError, DEFAULT_PHASE, HEARTBEAT_WIRE_BYTES};

@@ -26,6 +26,19 @@ impl Partition1D {
         assert!(nodes >= 1, "need at least one node");
         let n = csr.num_vertices();
         let total = csr.num_edges();
+        // Degenerate regimes used to collapse silently: with `nodes ≥ n`
+        // (or an edgeless graph) every intermediate target rounds to
+        // zero, all bounds stick at 0 and the *last* part ends up owning
+        // the whole graph while the rest idle. Distribute one vertex per
+        // part (resp. equal vertex ranges) instead, with the surplus
+        // parts explicitly empty at the end — `empty_parts` names them.
+        if nodes >= n {
+            let bounds = (0..=nodes).map(|k| k.min(n) as VertexId).collect();
+            return Partition1D { bounds };
+        }
+        if total == 0 {
+            return Self::balanced_by_vertices(n, nodes);
+        }
         let offsets = csr.offsets();
         let mut bounds = Vec::with_capacity(nodes + 1);
         bounds.push(0 as VertexId);
@@ -38,6 +51,22 @@ impl Partition1D {
             bounds.push(idx.max(last));
         }
         bounds.push(n as VertexId);
+        Partition1D { bounds }
+    }
+
+    /// Splits `0..csr.num_vertices()` into `weights.len()` contiguous
+    /// ranges whose *edge* shares are proportional to `weights` — the
+    /// elastic repartitioning rule: a node with half the capacity weight
+    /// owns half the edges. `balanced_by_edges` is the equal-weights
+    /// special case (up to rounding of the cut targets).
+    pub fn balanced_by_edges_weighted(csr: &Csr, weights: &[f64]) -> Self {
+        let n = csr.num_vertices();
+        let offsets = csr.offsets();
+        let degrees: Vec<u64> = (0..n).map(|v| offsets[v + 1] - offsets[v]).collect();
+        let bounds = weighted_bounds(&degrees, weights)
+            .into_iter()
+            .map(|b| b as VertexId)
+            .collect();
         Partition1D { bounds }
     }
 
@@ -97,6 +126,67 @@ impl Partition1D {
         let r = self.range(node);
         csr.offsets()[r.end as usize] - csr.offsets()[r.start as usize]
     }
+
+    /// Whether any part owns no vertices (guaranteed when there are more
+    /// parts than vertices).
+    pub fn has_empty_parts(&self) -> bool {
+        (0..self.nodes()).any(|k| self.is_empty(k))
+    }
+
+    /// The parts that own no vertices, in index order. Empty parts are
+    /// explicit zero-width ranges: they appear in `range`/`len`, and
+    /// [`Partition1D::owner`] never resolves a vertex to one.
+    pub fn empty_parts(&self) -> Vec<usize> {
+        (0..self.nodes()).filter(|&k| self.is_empty(k)).collect()
+    }
+}
+
+/// Splits items `0..loads.len()` into `weights.len()` contiguous parts
+/// whose *load* shares are proportional to `weights`: cut `k` lands at
+/// the first item whose load prefix reaches
+/// `total_load · (w₀+…+w_k)/Σw`. This is the shared kernel behind
+/// [`Partition1D::balanced_by_edges_weighted`] (items = vertices, loads
+/// = degrees) and the simulator's elastic placement of logical
+/// partitions onto heterogeneous physical nodes (items = logical
+/// partitions, loads = their edge counts, weights = capacity weights).
+///
+/// Negative weights count as zero (an empty part); if all weights are
+/// zero, or the total load is zero, items are split by count instead.
+/// The returned bounds vector has `weights.len() + 1` monotone entries
+/// starting at 0 and ending at `loads.len()` — parts may be empty, never
+/// overlapping. Pure arithmetic on the inputs: deterministic on any
+/// thread count.
+pub fn weighted_bounds(loads: &[u64], weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty(), "need at least one part");
+    let parts = weights.len();
+    let total_w: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    let mut prefix: Vec<u64> = Vec::with_capacity(loads.len() + 1);
+    prefix.push(0);
+    for &l in loads {
+        prefix.push(prefix.last().expect("non-empty") + l);
+    }
+    if *prefix.last().expect("non-empty") == 0 {
+        // zero total load: split by item count
+        prefix = (0..=loads.len() as u64).collect();
+    }
+    let total = *prefix.last().expect("non-empty");
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0usize);
+    let mut cum_w = 0.0;
+    for (k, w) in weights.iter().enumerate().take(parts - 1) {
+        cum_w += w.max(0.0);
+        let target = if total_w > 0.0 {
+            (total as f64 * (cum_w / total_w)).round() as u64
+        } else {
+            // all-zero weights: equal shares
+            total * (k as u64 + 1) / parts as u64
+        };
+        let idx = prefix.partition_point(|&o| o < target).min(loads.len());
+        let last = *bounds.last().expect("non-empty");
+        bounds.push(idx.max(last));
+    }
+    bounds.push(loads.len());
+    bounds
 }
 
 /// 2-D block partition over a `pr × pc` process grid (CombBLAS).
@@ -332,5 +422,110 @@ mod tests {
     fn hubs_empty_graph() {
         let g = Csr::from_edges(0, &[]);
         assert!(hubs_to_replicate(&g, 2.0).is_empty());
+    }
+
+    #[test]
+    fn one_d_by_edges_more_nodes_than_vertices_distributes() {
+        // 2 vertices, 1 edge, 5 nodes: every intermediate edge target
+        // rounds to zero — the old code put *everything* on node 4.
+        let g = path_graph(2);
+        let p = Partition1D::balanced_by_edges(&g, 5);
+        assert_eq!(p.nodes(), 5);
+        assert_eq!(p.len(0), 1);
+        assert_eq!(p.len(1), 1);
+        assert_eq!(p.empty_parts(), vec![2, 3, 4]);
+        assert!(p.has_empty_parts());
+        // every vertex still has exactly one owner
+        for v in 0..2u32 {
+            assert!(p.range(p.owner(v)).contains(&v));
+        }
+        let covered: usize = (0..5).map(|k| p.len(k)).sum();
+        assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn one_d_by_edges_nodes_equal_vertices() {
+        let g = path_graph(4);
+        let p = Partition1D::balanced_by_edges(&g, 4);
+        for k in 0..4 {
+            assert_eq!(p.len(k), 1, "part {k}");
+        }
+        assert!(!p.has_empty_parts());
+        assert!(p.empty_parts().is_empty());
+    }
+
+    #[test]
+    fn one_d_by_edges_edgeless_graph_splits_by_vertices() {
+        let g = Csr::from_edges(10, &[]);
+        let p = Partition1D::balanced_by_edges(&g, 3);
+        let covered: usize = (0..3).map(|k| p.len(k)).sum();
+        assert_eq!(covered, 10);
+        // no part holds everything
+        for k in 0..3 {
+            assert!(p.len(k) <= 4, "part {k} has {}", p.len(k));
+        }
+    }
+
+    #[test]
+    fn dense_partitions_have_no_empty_parts() {
+        let g = path_graph(100);
+        let p = Partition1D::balanced_by_edges(&g, 7);
+        assert!(!p.has_empty_parts());
+    }
+
+    #[test]
+    fn weighted_bounds_equal_weights_balances() {
+        let loads = vec![1u64; 12];
+        let b = weighted_bounds(&loads, &[1.0, 1.0, 1.0]);
+        assert_eq!(b, vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn weighted_bounds_half_weight_gets_half_load() {
+        // 3 parts, middle one at half capacity: shares 2:1:2
+        let loads = vec![1u64; 10];
+        let b = weighted_bounds(&loads, &[1.0, 0.5, 1.0]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[0], 0);
+        assert_eq!(*b.last().unwrap(), 10);
+        let shares: Vec<usize> = (0..3).map(|k| b[k + 1] - b[k]).collect();
+        assert_eq!(shares, vec![4, 2, 4]);
+    }
+
+    #[test]
+    fn weighted_bounds_zero_weight_part_is_empty() {
+        let loads = vec![5u64, 5, 5, 5];
+        let b = weighted_bounds(&loads, &[1.0, 0.0, 1.0]);
+        assert_eq!(b[1], b[2], "zero-weight part must be empty");
+        assert_eq!(b[0], 0);
+        assert_eq!(b[3], 4);
+    }
+
+    #[test]
+    fn weighted_bounds_degenerate_inputs() {
+        // all-zero weights: equal shares
+        let b = weighted_bounds(&[1, 1, 1, 1], &[0.0, 0.0]);
+        assert_eq!(b, vec![0, 2, 4]);
+        // zero total load: split by count
+        let b = weighted_bounds(&[0, 0, 0, 0], &[1.0, 1.0]);
+        assert_eq!(b, vec![0, 2, 4]);
+        // no items: all parts empty
+        let b = weighted_bounds(&[], &[1.0, 1.0, 1.0]);
+        assert_eq!(b, vec![0, 0, 0, 0]);
+        // negative weight counts as zero
+        let b = weighted_bounds(&[1, 1], &[-3.0, 1.0]);
+        assert_eq!(b, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn weighted_partition_matches_capacity_ratio() {
+        // path graph: degrees nearly uniform, so edge shares track the
+        // 2:1 capacity ratio
+        let g = path_graph(99);
+        let p = Partition1D::balanced_by_edges_weighted(&g, &[1.0, 0.5]);
+        let (e0, e1) = (p.edges_of(&g, 0), p.edges_of(&g, 1));
+        assert_eq!(e0 + e1, g.num_edges());
+        let ratio = e0 as f64 / e1 as f64;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
     }
 }

@@ -13,8 +13,8 @@
 //! system-level metrics of the paper's Figure 6.
 
 use graphmaze_metrics::{
-    MemTracker, OutOfMemory, RecoveryStats, RetransmitStats, RunReport, StepRecord, Timeline,
-    TrafficMatrix, TrafficStats, Work,
+    MemTracker, OutOfMemory, RebalanceStats, RecoveryStats, RetransmitStats, RunReport, StepRecord,
+    Timeline, TrafficMatrix, TrafficStats, Work,
 };
 
 use crate::faults::{FaultPlan, MAX_SEND_ATTEMPTS};
@@ -122,6 +122,42 @@ pub struct Sim {
     checkpointed_steps: u32,
     /// Bytes of the last checkpoint (restore cost on failure).
     last_checkpoint_bytes: u64,
+    /// Whether the elasticity machinery is engaged
+    /// ([`FaultPlan::is_elastic`]). When false, `place` is the identity,
+    /// every hardware factor is exactly 1.0 and all physical arrays have
+    /// logical length, so the run is bit-identical to pre-elastic
+    /// simulators.
+    elastic: bool,
+    /// Per-*physical*-node membership: `active[p]` iff node `p` is in
+    /// the cluster right now. Physical arrays (`step_compute`, `mem`,
+    /// `matrix`, …) cover `max(cluster.nodes, 1 + max node named by the
+    /// plan)` slots; engines only ever see the *logical* count
+    /// ([`Sim::nodes`]).
+    active: Vec<bool>,
+    /// Logical partition → physical node placement, length
+    /// `cluster.nodes`. Engines charge/send against logical ids; this
+    /// map is the single translation point. Identity until a membership
+    /// barrier repartitions.
+    place: Vec<usize>,
+    /// Per-physical-node compute-time factor from `hw=` profiles (1.0
+    /// baseline).
+    hw_compute: Vec<f64>,
+    /// Per-physical-node NIC wire-time factor (1.0 baseline).
+    hw_nic: Vec<f64>,
+    /// Per-physical-node capacity weight for the repartitioner (1.0
+    /// baseline).
+    hw_weight: Vec<f64>,
+    /// Live allocated bytes per *logical* partition — the ledger of what
+    /// a rebalance must migrate when the partition's placement changes.
+    logical_mem: Vec<u64>,
+    /// Engine-declared vertices per logical partition (see
+    /// [`Sim::declare_partition`]); feeds `migrated_vertices`.
+    logical_vertices: Vec<u64>,
+    /// Engine-declared edge loads per logical partition; weights the
+    /// repartitioner's cuts (all-zero ⇒ uniform split by count).
+    logical_loads: Vec<u64>,
+    /// Elasticity counters for the report.
+    rebalance: RebalanceStats,
 }
 
 /// Phase label steps carry before the engine's first [`Sim::phase`] call.
@@ -146,6 +182,28 @@ impl Sim {
         let work_scale = crate::work_scale::current_work_scale();
         let faults = crate::faults::current_faults();
         let n = cluster.nodes;
+        // Physical arrays cover every node the plan may ever activate or
+        // profile; without elastic terms this is exactly `n` and nothing
+        // about the layout changes.
+        let elastic = faults.is_elastic();
+        let n_total = match faults.membership_max_node() {
+            Some(m) => n.max(m + 1),
+            None => n,
+        };
+        let mut hw_compute = vec![1.0; n_total];
+        let mut hw_nic = vec![1.0; n_total];
+        let mut hw_weight = vec![1.0; n_total];
+        for h in faults.hw_overrides() {
+            if h.node < n_total {
+                hw_compute[h.node] = h.profile.compute_factor();
+                hw_nic[h.node] = h.profile.nic_factor();
+                hw_weight[h.node] = h.profile.capacity_weight();
+            }
+        }
+        let mut active = vec![false; n_total];
+        for a in active.iter_mut().take(n) {
+            *a = true;
+        }
         Sim {
             work_scale,
             faults,
@@ -159,20 +217,30 @@ impl Sim {
             failure_fired: false,
             checkpointed_steps: 0,
             last_checkpoint_bytes: 0,
+            elastic,
+            active,
+            place: (0..n).collect(),
+            hw_compute,
+            hw_nic,
+            hw_weight,
+            logical_mem: vec![0; n],
+            logical_vertices: vec![0; n],
+            logical_loads: vec![0; n],
+            rebalance: RebalanceStats::default(),
             total_work: Work::ZERO,
             cluster,
             profile,
             clock: 0.0,
-            step_compute: vec![0.0; n],
-            step_bytes: vec![0; n],
-            step_msgs: vec![0; n],
-            step_raw_bytes: vec![0; n],
-            mem: (0..n)
+            step_compute: vec![0.0; n_total],
+            step_bytes: vec![0; n_total],
+            step_msgs: vec![0; n_total],
+            step_raw_bytes: vec![0; n_total],
+            mem: (0..n_total)
                 .map(|i| MemTracker::new(i, cluster.hw.mem_capacity_bytes))
                 .collect(),
             traffic: TrafficStats::default(),
-            matrix: TrafficMatrix::new(n),
-            node_sent_bytes: vec![0; n],
+            matrix: TrafficMatrix::new(n_total),
+            node_sent_bytes: vec![0; n_total],
             busy_core_seconds: 0.0,
             compute_seconds: 0.0,
             comm_seconds: 0.0,
@@ -183,10 +251,35 @@ impl Sim {
         }
     }
 
-    /// Number of simulated nodes.
+    /// Number of simulated *logical* nodes — what engines partition
+    /// over. Fixed for the whole run: membership events change which
+    /// physical node hosts each logical partition, never this count.
     #[inline]
     pub fn nodes(&self) -> usize {
         self.cluster.nodes
+    }
+
+    /// The physical node currently hosting logical partition `node`
+    /// (identity unless an elastic plan has repartitioned).
+    #[inline]
+    pub fn placement(&self, node: usize) -> usize {
+        self.place[node]
+    }
+
+    /// Physical nodes currently in the cluster (equals [`Sim::nodes`]
+    /// unless membership events changed it).
+    pub fn active_nodes(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Declares the engine's partition layout for logical `node`:
+    /// `vertices` owned and `edges` of load. Optional — consulted only
+    /// by the elastic repartitioner, which weights its cuts by these
+    /// loads (uniform split when never declared) and counts
+    /// `migrated_vertices` from the vertex figures.
+    pub fn declare_partition(&mut self, node: usize, vertices: u64, edges: u64) {
+        self.logical_vertices[node] = vertices;
+        self.logical_loads[node] = edges;
     }
 
     /// The active execution profile.
@@ -241,7 +334,11 @@ impl Sim {
                 self.recovery.straggler_events += 1;
             }
         }
-        self.step_compute[node] += secs;
+        // Placement maps the logical partition to its physical host;
+        // the host's hardware factor is exactly 1.0 on baseline nodes,
+        // so non-elastic runs stay bit-identical.
+        let pn = self.place[node];
+        self.step_compute[pn] += secs * self.hw_compute[pn];
     }
 
     /// Whether speculative straggler re-execution is in effect: the
@@ -273,8 +370,9 @@ impl Sim {
         self.total_work.accumulate(work);
         self.total_work.accumulate(work);
         let secs = self.compute_seconds_for(work);
-        self.step_compute[node] += secs;
-        self.step_compute[buddy] += secs;
+        let (pn, pb) = (self.place[node], self.place[buddy]);
+        self.step_compute[pn] += secs * self.hw_compute[pn];
+        self.step_compute[pb] += secs * self.hw_compute[pb];
         if !self.straggler_hit[node] {
             self.straggler_hit[node] = true;
             self.recovery.straggler_events += 1;
@@ -304,8 +402,15 @@ impl Sim {
     /// DESIGN.md §7c "Lossy-link message plane").
     pub fn send_to(&mut self, src: usize, dst: usize, wire_bytes: u64, raw_bytes: u64, msgs: u64) {
         debug_assert_ne!(src, dst, "local delivery never touches the wire");
+        let (psrc, pdst) = (self.place[src], self.place[dst]);
+        if psrc == pdst {
+            // Both logical partitions live on one physical node after a
+            // shrink: the payload moves in-memory, never on the wire.
+            self.rebalance.colocated_bytes += (wire_bytes as f64 * self.work_scale) as u64;
+            return;
+        }
         let (wire_sent, raw_sent, msgs_sent) = self.send_inner(src, wire_bytes, raw_bytes, msgs);
-        self.matrix.record(src, dst, wire_sent, msgs_sent);
+        self.matrix.record(psrc, pdst, wire_sent, msgs_sent);
         if self.faults.has_link_faults() {
             self.link_protocol(src, dst, wire_sent, raw_sent, msgs_sent);
         }
@@ -354,17 +459,22 @@ impl Sim {
     /// traffic matrix — but without consulting fault decisions (values
     /// are already final).
     fn meter_extra(&mut self, src: usize, dst: usize, wire: u64, raw: u64, msgs: u64) {
-        self.step_bytes[src] += wire;
-        self.step_raw_bytes[src] += raw;
-        self.step_msgs[src] += msgs;
-        self.node_sent_bytes[src] += wire;
+        let (psrc, pdst) = (self.place[src], self.place[dst]);
+        if psrc == pdst {
+            self.rebalance.colocated_bytes += wire;
+            return;
+        }
+        self.step_bytes[psrc] += wire;
+        self.step_raw_bytes[psrc] += raw;
+        self.step_msgs[psrc] += msgs;
+        self.node_sent_bytes[psrc] += wire;
         let cpu_bytes = (wire as f64 * self.profile.comm.cpu_bytes_per_wire_byte) as u64;
         if cpu_bytes > 0 {
             let w = Work::stream(cpu_bytes);
             self.total_work.accumulate(w);
-            self.step_compute[src] += self.compute_seconds_for(w);
+            self.step_compute[psrc] += self.compute_seconds_for(w) * self.hw_compute[psrc];
         }
-        self.matrix.record(src, dst, wire, msgs);
+        self.matrix.record(psrc, pdst, wire, msgs);
     }
 
     /// Shared metering body; returns the (wire bytes, raw bytes,
@@ -398,16 +508,17 @@ impl Sim {
                 msgs *= 2;
             }
         }
-        self.step_bytes[node] += wire_bytes;
-        self.step_raw_bytes[node] += raw_bytes;
-        self.step_msgs[node] += msgs;
-        self.node_sent_bytes[node] += wire_bytes;
+        let pn = self.place[node];
+        self.step_bytes[pn] += wire_bytes;
+        self.step_raw_bytes[pn] += raw_bytes;
+        self.step_msgs[pn] += msgs;
+        self.node_sent_bytes[pn] += wire_bytes;
         let cpu_bytes = (wire_bytes as f64 * self.profile.comm.cpu_bytes_per_wire_byte) as u64;
         if cpu_bytes > 0 {
             // already scaled: charge unscaled through step_compute directly
             let w = Work::stream(cpu_bytes);
             self.total_work.accumulate(w);
-            self.step_compute[node] += self.compute_seconds_for(w);
+            self.step_compute[pn] += self.compute_seconds_for(w) * self.hw_compute[pn];
         }
         (wire_bytes, raw_bytes, msgs)
     }
@@ -419,12 +530,13 @@ impl Sim {
     /// node can OOM on a pressured one.
     pub fn alloc(&mut self, node: usize, bytes: u64, label: &str) -> Result<(), SimError> {
         let bytes = (bytes as f64 * self.work_scale) as u64;
+        let pn = self.place[node];
         if self.faults.mem_pressure_prob > 0.0 {
             let seq = self.alloc_seq[node];
             self.alloc_seq[node] += 1;
             if self.faults.mem_pressure_hits(node, seq) {
                 self.recovery.mem_pressure_events += 1;
-                let m = &self.mem[node];
+                let m = &self.mem[pn];
                 let pressured = m.in_use().saturating_add(self.faults.mem_pressure_bytes);
                 if pressured.saturating_add(bytes) > m.capacity() {
                     return Err(SimError::OutOfMemory(OutOfMemory {
@@ -437,7 +549,9 @@ impl Sim {
                 }
             }
         }
-        self.mem[node].alloc(bytes, label).map_err(SimError::from)
+        self.mem[pn].alloc(bytes, label).map_err(SimError::from)?;
+        self.logical_mem[node] += bytes;
+        Ok(())
     }
 
     /// Charges the same allocation on **every** node (replicated state).
@@ -450,7 +564,9 @@ impl Sim {
 
     /// Releases a previously charged allocation on `node`.
     pub fn free(&mut self, node: usize, bytes: u64) {
-        self.mem[node].free((bytes as f64 * self.work_scale) as u64);
+        let bytes = (bytes as f64 * self.work_scale) as u64;
+        self.mem[self.place[node]].free(bytes);
+        self.logical_mem[node] = self.logical_mem[node].saturating_sub(bytes);
     }
 
     /// Releases the same allocation on every node.
@@ -460,9 +576,9 @@ impl Sim {
         }
     }
 
-    /// Current bytes in use on `node`.
+    /// Current bytes in use on the physical node hosting logical `node`.
     pub fn mem_in_use(&self, node: usize) -> u64 {
-        self.mem[node].in_use()
+        self.mem[self.place[node]].in_use()
     }
 
     /// Labels the steps folded from now on (until the next call) — the
@@ -506,7 +622,10 @@ impl Sim {
     ///   [`SimError::NodeFailed`];
     /// * checkpoint/restart profiles write a checkpoint every
     ///   `checkpoint_interval` steps: max-node state over disk bandwidth,
-    ///   plus an OOM check for the serialization staging buffer.
+    ///   plus an OOM check for the serialization staging buffer;
+    /// * membership events (`join=`/`leave=`) scheduled for this barrier
+    ///   trigger a live weighted repartitioning with state migration;
+    ///   the stall rides the step's `rebalance_s` lane.
     pub fn end_step(&mut self) -> Result<(), SimError> {
         // Under the lossy-link plane every worker heartbeats the master
         // at the barrier — the failure detector's probe traffic, metered
@@ -520,10 +639,13 @@ impl Sim {
         }
         let p = &self.profile;
         let compute_t = self.step_compute.iter().copied().fold(0.0, f64::max);
-        let comm_t = (0..self.nodes())
+        // Per-node wire time × the node's NIC factor (exactly 1.0 on
+        // baseline hardware, so non-elastic plans fold bit-identically).
+        let comm_t = (0..self.step_bytes.len())
             .map(|i| {
                 p.comm
                     .transfer_seconds(self.step_bytes[i], self.step_msgs[i])
+                    * self.hw_nic[i]
             })
             .fold(0.0, f64::max);
         let exposed_comm = if p.overlap {
@@ -617,12 +739,29 @@ impl Sim {
             self.retransmit.timeout_seconds += resilience_t;
         }
 
-        let step_t = base_t + recovery_t + resilience_t;
+        // Membership events scheduled for the barrier ending this step:
+        // joins warm-start, leaves drain, and the cluster repartitions
+        // with the migration traffic metered into this step's byte
+        // totals and the traffic matrix. Its *time* rides the dedicated
+        // `rebalance` lane, charged after comm_t above so engine traffic
+        // and migration traffic stay separable. Exactly 0.0 (and never
+        // entered) without elastic plan terms, keeping the clock sum
+        // bit-identical to pre-elastic simulators.
+        let rebalance_t = if self.elastic {
+            let t = self.process_membership()?;
+            self.rebalance.stall_seconds += t;
+            t
+        } else {
+            0.0
+        };
+
+        let step_t = base_t + recovery_t + resilience_t + rebalance_t;
         self.clock += step_t;
         self.compute_seconds += compute_t;
         self.comm_seconds += comm_t;
 
-        let cores_used = f64::from(self.cluster.hw.cores) * p.core_fraction.clamp(0.0, 1.0);
+        let cores_used =
+            f64::from(self.cluster.hw.cores) * self.profile.core_fraction.clamp(0.0, 1.0);
         self.busy_core_seconds += self
             .step_compute
             .iter()
@@ -646,6 +785,7 @@ impl Sim {
             barrier_s: barrier_t,
             recovery_s: recovery_t,
             resilience_s: resilience_t,
+            rebalance_s: rebalance_t,
             bytes_sent: total_bytes,
             messages: total_msgs,
             max_node_bytes,
@@ -660,6 +800,114 @@ impl Sim {
         self.straggler_hit.fill(false);
         self.steps += 1;
         Ok(())
+    }
+
+    /// Processes the membership events scheduled for the barrier ending
+    /// the current step, deterministically: joins first (warm-started
+    /// from the last checkpoint), then graceful leaves (the leaver's
+    /// final-step messages are its drain — BSP guarantees the mailbox is
+    /// empty at the barrier), then one weighted repartitioning of the
+    /// logical partitions over the new active set. Partitions whose
+    /// placement changed migrate their live state: bytes packetized by
+    /// the router's rule into this step's counters and the traffic
+    /// matrix, time bounded by the slowest (src, dst) link — including
+    /// its NIC factors. Returns the barrier's stall seconds.
+    ///
+    /// Placement rule: when the active set is exactly the initial
+    /// `{0..nodes-1}`, placement is the identity — so steps before the
+    /// first event match a static run, and a symmetric join+leave
+    /// restores the initial placement exactly. Any other active set gets
+    /// a contiguous split of the logical partitions with per-node shares
+    /// proportional to capacity weights ([`crate::weighted_bounds`]).
+    fn process_membership(&mut self) -> Result<f64, SimError> {
+        use std::collections::BTreeMap;
+        let plan = self.faults;
+        let step = self.steps;
+        let mut changed = false;
+        let mut stall = 0.0f64;
+        let disk_bw = self.cluster.hw.disk_bw_bps.max(1.0);
+        for e in plan.join_events() {
+            if e.step == step && e.node < self.active.len() && !self.active[e.node] {
+                self.active[e.node] = true;
+                self.rebalance.joins += 1;
+                changed = true;
+                // Warm-start: the joiner reads the last superstep
+                // checkpoint from shared storage before taking
+                // ownership of any partition.
+                let warm = self.last_checkpoint_bytes as f64 / disk_bw;
+                self.rebalance.warmstart_seconds += warm;
+                stall = stall.max(warm);
+            }
+        }
+        for e in plan.leave_events() {
+            if e.step == step && e.node < self.active.len() && self.active[e.node] {
+                self.active[e.node] = false;
+                self.rebalance.leaves += 1;
+                changed = true;
+                self.rebalance.drained_messages += self.step_msgs[e.node];
+            }
+        }
+        if !changed {
+            return Ok(stall);
+        }
+        self.rebalance.rebalances += 1;
+        let active_list: Vec<usize> = (0..self.active.len()).filter(|&i| self.active[i]).collect();
+        self.rebalance.peak_nodes = self.rebalance.peak_nodes.max(active_list.len() as u32);
+        let n0 = self.cluster.nodes;
+        let identity =
+            active_list.len() == n0 && active_list.iter().enumerate().all(|(i, &p)| i == p);
+        let new_place: Vec<usize> = if identity {
+            (0..n0).collect()
+        } else {
+            let weights: Vec<f64> = active_list.iter().map(|&p| self.hw_weight[p]).collect();
+            let bounds = crate::partition::weighted_bounds(&self.logical_loads, &weights);
+            let mut place = vec![0usize; n0];
+            for (k, &phys) in active_list.iter().enumerate() {
+                for slot in place.iter_mut().take(bounds[k + 1]).skip(bounds[k]) {
+                    *slot = phys;
+                }
+            }
+            place
+        };
+        // Migrate every partition whose host changed; concurrent
+        // migrations overlap, so the barrier stalls for the slowest
+        // (src, dst) link, not the sum.
+        let mut moved: BTreeMap<(usize, usize), (u64, u64)> = BTreeMap::new();
+        for (l, &to) in new_place.iter().enumerate() {
+            let from = self.place[l];
+            if from == to {
+                continue;
+            }
+            self.rebalance.migrated_vertices += self.logical_vertices[l];
+            let bytes = self.logical_mem[l];
+            if bytes == 0 {
+                continue;
+            }
+            self.rebalance.migrated_bytes += bytes;
+            self.mem[from].free(bytes);
+            self.mem[to]
+                .alloc(bytes, "rebalance:migrate")
+                .map_err(SimError::from)?;
+            let entry = moved.entry((from, to)).or_insert((0, 0));
+            entry.0 += bytes;
+            entry.1 += crate::router::packets_for(bytes);
+        }
+        for (&(from, to), &(bytes, msgs)) in &moved {
+            // Bulk state transfer: wire bytes without comm-layer CPU
+            // (zero-copy shipping of already-serialized partition
+            // state), charged after this step's comm fold so migration
+            // cost lands on the rebalance lane, not the comm lane.
+            self.step_bytes[from] += bytes;
+            self.step_raw_bytes[from] += bytes;
+            self.step_msgs[from] += msgs;
+            self.node_sent_bytes[from] += bytes;
+            self.matrix.record(from, to, bytes, msgs);
+            let nic = self.hw_nic[from].max(self.hw_nic[to]);
+            let t = self.profile.comm.transfer_seconds(bytes, msgs) * nic;
+            stall = stall.max(t);
+        }
+        self.place = new_place;
+        Ok(stall)
     }
 
     /// Marks the end of one *algorithm* iteration (may span several BSP
@@ -693,6 +941,11 @@ impl Sim {
         } else {
             0.0
         };
+        if self.elastic {
+            let now = self.active_nodes() as u32;
+            self.rebalance.peak_nodes = self.rebalance.peak_nodes.max(now);
+            self.rebalance.final_nodes = now;
+        }
         RunReport {
             sim_seconds: self.clock,
             steps: self.steps,
@@ -709,6 +962,7 @@ impl Sim {
             timeline: self.timeline,
             recovery: self.recovery,
             retransmit: self.retransmit,
+            rebalance: self.rebalance,
         }
     }
 }
@@ -1428,5 +1682,207 @@ mod tests {
             "cpu handling {}",
             r.compute_seconds
         );
+    }
+
+    fn quiet_native() -> ExecProfile {
+        let mut p = ExecProfile::native();
+        p.per_step_overhead_s = 0.0;
+        p
+    }
+
+    #[test]
+    fn join_repartitions_and_meters_migration_traffic() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,join=2@1").unwrap();
+        let mut sim = with_faults(plan, || Sim::new(ClusterSpec::paper(2), quiet_native()));
+        assert_eq!(sim.nodes(), 2, "logical width is fixed");
+        // skewed loads: the weighted cut gives heavy partition 0 its own
+        // node and pushes light partition 1 onto the fresh node 2
+        sim.declare_partition(0, 100, 3000);
+        sim.declare_partition(1, 100, 1000);
+        sim.alloc(0, 3_000_000, "state").unwrap();
+        sim.alloc(1, 3_000_000, "state").unwrap();
+        sim.end_step().unwrap(); // step 0: before the join, identity
+        assert_eq!(sim.placement(0), 0);
+        assert_eq!(sim.placement(1), 1);
+        sim.end_step().unwrap(); // barrier ending step 1 admits node 2
+        assert_eq!(sim.active_nodes(), 3);
+        assert_eq!(sim.placement(0), 0);
+        assert_eq!(sim.placement(1), 2, "light partition moved to joiner");
+        let r = sim.finish();
+        assert_eq!(r.rebalance.joins, 1);
+        assert_eq!(r.rebalance.rebalances, 1);
+        assert_eq!(r.rebalance.final_nodes, 3);
+        assert_eq!(r.rebalance.peak_nodes, 3);
+        assert_eq!(r.rebalance.migrated_bytes, 3_000_000);
+        assert_eq!(r.rebalance.migrated_vertices, 100);
+        // migration bytes land in the traffic matrix and per-node totals
+        assert_eq!(r.matrix.total_bytes(), r.rebalance.migrated_bytes);
+        for from in 0..3 {
+            assert_eq!(r.matrix.row_bytes(from), r.node_sent_bytes[from]);
+        }
+        // the stall is visible on the rebalance lane, and only there
+        let lane: f64 = r.timeline.steps.iter().map(|s| s.rebalance_s).sum();
+        assert!(lane > 0.0, "migration must stall the barrier");
+        assert_eq!(lane, r.rebalance.stall_seconds);
+        assert_eq!(r.timeline.total_seconds(), r.sim_seconds);
+    }
+
+    #[test]
+    fn graceful_leave_drains_and_consolidates_state() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,leave=1@1").unwrap();
+        let mut sim = with_faults(plan, || Sim::new(ClusterSpec::paper(2), quiet_native()));
+        sim.alloc(1, 5_000_000, "state").unwrap();
+        sim.end_step().unwrap();
+        sim.send_to(1, 0, 1_000, 1_000, 7); // the leaver's final messages
+        sim.end_step().unwrap(); // barrier ending step 1: node 1 departs
+        assert_eq!(sim.active_nodes(), 1);
+        assert_eq!(sim.placement(1), 0, "partition 1 now lives on node 0");
+        // physical memory followed the partition
+        assert_eq!(sim.mem_in_use(1), sim.mem_in_use(0));
+        let r = sim.finish();
+        assert_eq!(r.rebalance.leaves, 1);
+        assert_eq!(r.rebalance.final_nodes, 1);
+        assert_eq!(r.rebalance.migrated_bytes, 5_000_000);
+        // drain = the leaver's last-step message count (1 data + 1
+        // heartbeat packet)
+        assert!(r.rebalance.drained_messages >= 7);
+        assert_eq!(r.matrix.bytes(1, 0), 1_000 + 5_000_000);
+    }
+
+    #[test]
+    fn symmetric_join_then_leave_restores_identity_placement() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,join=2@1,leave=2@3").unwrap();
+        let mut sim = with_faults(plan, || Sim::new(ClusterSpec::paper(2), quiet_native()));
+        sim.alloc(0, 1_000_000, "state").unwrap();
+        sim.alloc(1, 1_000_000, "state").unwrap();
+        for _ in 0..5 {
+            sim.charge(0, Work::stream(1_000_000));
+            sim.end_step().unwrap();
+        }
+        // grown then shrunk back: the active set is {0,1} again, and the
+        // placement rule makes that the identity — exactly the static
+        // layout, so engine state lands where a static run would put it.
+        assert_eq!(sim.active_nodes(), 2);
+        assert_eq!(sim.placement(0), 0);
+        assert_eq!(sim.placement(1), 1);
+        let r = sim.finish();
+        assert_eq!(r.rebalance.joins, 1);
+        assert_eq!(r.rebalance.leaves, 1);
+        assert_eq!(r.rebalance.rebalances, 2);
+        assert_eq!(r.rebalance.peak_nodes, 3);
+        assert_eq!(r.rebalance.final_nodes, 2);
+    }
+
+    #[test]
+    fn join_warm_starts_from_the_last_checkpoint() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,ckpt=1,join=2@2").unwrap();
+        let mut sim = with_faults(plan, || {
+            Sim::new(ClusterSpec::paper(2), ExecProfile::giraph())
+        });
+        sim.alloc(0, 1_000_000_000, "state").unwrap();
+        for _ in 0..4 {
+            sim.end_step().unwrap();
+        }
+        let r = sim.finish();
+        assert_eq!(r.rebalance.joins, 1);
+        let disk_bw = ClusterSpec::paper(2).hw.disk_bw_bps;
+        // the joiner restores the 1 GB checkpoint before serving
+        assert_eq!(r.rebalance.warmstart_seconds, 1_000_000_000.0 / disk_bw);
+        assert!(r.rebalance.stall_seconds >= r.rebalance.warmstart_seconds);
+    }
+
+    #[test]
+    fn oldgen_node_doubles_compute_and_owns_less_graph() {
+        use crate::faults::{with_faults, FaultPlan};
+        let run = |spec: &str| {
+            let plan = FaultPlan::parse(spec).unwrap();
+            let mut sim = with_faults(plan, || Sim::new(ClusterSpec::paper(2), quiet_native()));
+            sim.charge(1, Work::stream(85_000_000_000)); // 1 s on paper hw
+            sim.end_step().unwrap();
+            sim.finish()
+        };
+        let slow = run("seed=1,hw=1:oldgen");
+        let base = run("seed=1,hw=1:standard");
+        assert!((base.sim_seconds - 1.0).abs() < 1e-6);
+        assert!(
+            (slow.sim_seconds - 2.0).abs() < 1e-6,
+            "oldgen 2x: {}",
+            slow.sim_seconds
+        );
+        // and the repartitioner would give it half the edges
+        assert_eq!(crate::NodeProfile::OldGen.capacity_weight(), 0.5);
+    }
+
+    #[test]
+    fn slownic_node_quadruples_wire_time_only() {
+        use crate::faults::{with_faults, FaultPlan};
+        let run = |spec: &str| {
+            let plan = FaultPlan::parse(spec).unwrap();
+            let mut p = quiet_native();
+            p.overlap = false;
+            let mut sim = with_faults(plan, || Sim::new(ClusterSpec::paper(2), p));
+            sim.send_to(1, 0, 5_500_000_000, 5_500_000_000, 1); // 1 s healthy
+            sim.end_step().unwrap();
+            sim.finish()
+        };
+        let throttled = run("seed=1,hw=1:slownic");
+        let healthy = run("seed=1,hw=1:standard");
+        let ratio = throttled.sim_seconds / healthy.sim_seconds;
+        assert!((ratio - 4.0).abs() < 0.1, "ratio {ratio}");
+        // bytes on the wire are identical — only the time differs
+        assert_eq!(throttled.traffic.bytes_sent, healthy.traffic.bytes_sent);
+    }
+
+    #[test]
+    fn colocated_partitions_skip_the_wire() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,leave=1@0").unwrap();
+        let mut sim = with_faults(plan, || Sim::new(ClusterSpec::paper(2), quiet_native()));
+        sim.end_step().unwrap(); // node 1 departs at the first barrier
+        assert_eq!(sim.placement(1), 0);
+        sim.send_to(0, 1, 4_096, 4_096, 1); // both partitions on node 0
+        sim.end_step().unwrap();
+        let r = sim.finish();
+        assert_eq!(r.rebalance.colocated_bytes, 4_096);
+        assert_eq!(r.matrix.bytes(0, 0), 0, "loopback never hits the wire");
+        assert_eq!(r.matrix.total_bytes(), 0);
+    }
+
+    #[test]
+    fn membership_timeline_is_deterministic_across_runs() {
+        use crate::faults::{with_faults, FaultPlan};
+        let run = || {
+            let plan = FaultPlan::parse("seed=7,join=2@1,hw=2:oldgen,leave=1@3").unwrap();
+            let mut sim = with_faults(plan, || Sim::new(ClusterSpec::paper(2), quiet_native()));
+            sim.alloc(0, 2_000_000, "state").unwrap();
+            sim.alloc(1, 2_000_000, "state").unwrap();
+            for i in 0..5u64 {
+                sim.charge((i % 2) as usize, Work::stream(1_000_000 + i));
+                sim.send_to(0, 1, 1_000, 2_000, 3);
+                sim.end_step().unwrap();
+            }
+            sim.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "elastic runs replay bit-identically");
+        assert_eq!(a.rebalance.joins, 1);
+        assert_eq!(a.rebalance.leaves, 1);
+    }
+
+    #[test]
+    fn non_elastic_plan_has_zero_rebalance_stats() {
+        use crate::faults::{with_faults, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,straggler=0.5x4").unwrap();
+        let mut sim = with_faults(plan, || Sim::new(ClusterSpec::paper(2), quiet_native()));
+        sim.charge(0, Work::stream(1_000_000));
+        sim.end_step().unwrap();
+        let r = sim.finish();
+        assert!(r.rebalance.is_zero());
+        assert!(r.timeline.steps.iter().all(|s| s.rebalance_s == 0.0));
     }
 }

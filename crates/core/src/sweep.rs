@@ -36,8 +36,8 @@ use std::time::Instant;
 use graphmaze_cluster::{FaultPlan, SimError};
 use graphmaze_datagen::Dataset;
 use graphmaze_metrics::{
-    RecoveryStats, Registry, RetransmitStats, RunReport, StepRecord, Timeline, TrafficMatrix,
-    TrafficStats, Work,
+    RebalanceStats, RecoveryStats, Registry, RetransmitStats, RunReport, StepRecord, Timeline,
+    TrafficMatrix, TrafficStats, Work,
 };
 
 use crate::flatjson::{esc_json, f64_json, parse_flat_json};
@@ -764,6 +764,23 @@ fn record_cell_telemetry(registry: &Registry, cell: &SweepCell, resp: &crate::Ru
                 &labels,
             )
             .observe(out.report.sim_seconds);
+        let reb = &out.report.rebalance;
+        if !reb.is_zero() {
+            registry
+                .gauge(
+                    "graphmaze_cluster_nodes",
+                    "physical nodes active at the end of the latest elastic run",
+                    &[],
+                )
+                .set(i64::from(reb.final_nodes));
+            registry
+                .counter(
+                    "graphmaze_rebalance_bytes_total",
+                    "partition state migrated by elastic rebalances, bytes",
+                    &[],
+                )
+                .add(reb.migrated_bytes);
+        }
     }
 }
 
@@ -780,11 +797,14 @@ fn fnv1a64(s: &str) -> u64 {
 // JSONL journal
 //
 // One flat JSON object per line, tagged with the schema version `v`
-// (currently 5; v2 added the step timeline, v3 the per-destination
+// (currently 6; v2 added the step timeline, v3 the per-destination
 // communication matrix and per-node sent bytes, v4 the `resilience`
 // timeline column, the `ret_*` lossy-link counters and the `timeout`
 // error kind, v5 folded the msbfs params — source count and seed —
-// into the cell identity hash). Successful cells carry the
+// into the cell identity hash, v6 added the `rebalance` timeline
+// column, the `reb_*` elasticity counters and `mtx_nodes` — the
+// matrix dimension, which exceeds `run_nodes` when joins grew the
+// cluster past its logical width). Successful cells carry the
 // digest and the *complete* RunReport (fig6 consumes utilization/
 // traffic/memory/timeline, not just seconds), with f64s in shortest-
 // round-trip form so resumed CSVs are byte-identical. The timeline is
@@ -796,7 +816,8 @@ fn fnv1a64(s: &str) -> u64 {
 // for the fault-free crossbar); successful lines additionally carry the
 // `rec_*` RecoveryStats fields, plus (v3) `node_sent` — comma-joined
 // per-node wire bytes — and `mtx_bytes`/`mtx_msgs` — the row-major
-// `run_nodes × run_nodes` communication matrix as comma-joined u64s.
+// `mtx_nodes × mtx_nodes` communication matrix as comma-joined u64s
+// (`mtx_nodes` falls back to `run_nodes` when absent).
 // Lines whose `v` is missing or different are skipped with a warning,
 // as are lines predating fault injection (no `"faults"` field) — those
 // cells simply re-run. Successful v4 lines additionally carry the
@@ -806,7 +827,7 @@ fn fnv1a64(s: &str) -> u64 {
 
 /// Journal line schema version. Bump when the line format changes
 /// incompatibly; `load_journal` skips lines from other versions.
-pub const JOURNAL_SCHEMA_VERSION: u32 = 5;
+pub const JOURNAL_SCHEMA_VERSION: u32 = 6;
 
 /// Percent-escapes the timeline delimiters (`%`, `|`, `;`) in a phase
 /// label so records stay splittable.
@@ -832,7 +853,7 @@ fn unesc_phase(s: &str) -> String {
 }
 
 /// Encodes a [`Timeline`]'s steps as one string value:
-/// `step|phase|compute|comm|barrier|recovery|resilience|bytes|msgs|max_node_bytes|mem_peak`
+/// `step|phase|compute|comm|barrier|recovery|resilience|rebalance|bytes|msgs|max_node_bytes|mem_peak`
 /// records joined by `;`. `{:?}` keeps f64s shortest-round-trip
 /// ("inf"/"NaN" for non-finite, which `f64::from_str` parses back).
 fn timeline_string(tl: &Timeline) -> String {
@@ -840,7 +861,7 @@ fn timeline_string(tl: &Timeline) -> String {
         .iter()
         .map(|r| {
             format!(
-                "{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
+                "{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}",
                 r.step,
                 esc_phase(&r.phase),
                 r.compute_s,
@@ -848,6 +869,7 @@ fn timeline_string(tl: &Timeline) -> String {
                 r.barrier_s,
                 r.recovery_s,
                 r.resilience_s,
+                r.rebalance_s,
                 r.bytes_sent,
                 r.messages,
                 r.max_node_bytes,
@@ -904,6 +926,7 @@ fn timeline_from_string(nodes: usize, s: &str) -> Option<Timeline> {
         let barrier_s = it.next()?.parse().ok()?;
         let recovery_s = it.next()?.parse().ok()?;
         let resilience_s = it.next()?.parse().ok()?;
+        let rebalance_s = it.next()?.parse().ok()?;
         let bytes_sent = it.next()?.parse().ok()?;
         let messages = it.next()?.parse().ok()?;
         let max_node_bytes = it.next()?.parse().ok()?;
@@ -919,6 +942,7 @@ fn timeline_from_string(nodes: usize, s: &str) -> Option<Timeline> {
             barrier_s,
             recovery_s,
             resilience_s,
+            rebalance_s,
             bytes_sent,
             messages,
             max_node_bytes,
@@ -996,6 +1020,21 @@ fn journal_line(experiment: &str, cell: &SweepCell, result: &CellResult) -> Stri
                 f64_json(ret.speculative_seconds),
                 ret.suppressed_duplicates,
             ));
+            let reb = &r.rebalance;
+            s.push_str(&format!(
+                ",\"reb_joins\":{},\"reb_leaves\":{},\"reb_rebalances\":{},\"reb_migrated_bytes\":{},\"reb_migrated_vertices\":{},\"reb_stall_seconds\":{},\"reb_warmstart_seconds\":{},\"reb_drained\":{},\"reb_colocated_bytes\":{},\"reb_peak_nodes\":{},\"reb_final_nodes\":{}",
+                reb.joins,
+                reb.leaves,
+                reb.rebalances,
+                reb.migrated_bytes,
+                reb.migrated_vertices,
+                f64_json(reb.stall_seconds),
+                f64_json(reb.warmstart_seconds),
+                reb.drained_messages,
+                reb.colocated_bytes,
+                reb.peak_nodes,
+                reb.final_nodes,
+            ));
             s.push_str(&format!(
                 ",\"tl_nodes\":{},\"timeline\":\"{}\"",
                 r.timeline.nodes,
@@ -1004,7 +1043,7 @@ fn journal_line(experiment: &str, cell: &SweepCell, result: &CellResult) -> Stri
             let mn = r.matrix.nodes;
             let m = &r.matrix;
             s.push_str(&format!(
-                ",\"node_sent\":\"{}\",\"mtx_bytes\":\"{}\",\"mtx_msgs\":\"{}\"",
+                ",\"mtx_nodes\":{mn},\"node_sent\":\"{}\",\"mtx_bytes\":\"{}\",\"mtx_msgs\":\"{}\"",
                 u64_list_string(r.node_sent_bytes.iter().copied()),
                 u64_list_string((0..mn).flat_map(|s| (0..mn).map(move |d| m.bytes(s, d)))),
                 u64_list_string((0..mn).flat_map(|s| (0..mn).map(move |d| m.messages(s, d)))),
@@ -1054,7 +1093,7 @@ fn entry_outcome(m: &HashMap<String, String>) -> Option<Result<RunOutcome, CellE
                 timeline: timeline_from_string(u("tl_nodes")? as usize, m.get("timeline")?)?,
                 node_sent_bytes: u64_list_from_string(m.get("node_sent")?)?,
                 matrix: matrix_from_strings(
-                    u("run_nodes")? as usize,
+                    u("mtx_nodes").or_else(|| u("run_nodes"))? as usize,
                     m.get("mtx_bytes")?,
                     m.get("mtx_msgs")?,
                 )?,
@@ -1085,6 +1124,19 @@ fn entry_outcome(m: &HashMap<String, String>) -> Option<Result<RunOutcome, CellE
                     speculative_reexecs: u("ret_spec_reexecs")?,
                     speculative_seconds: f("ret_spec_seconds")?,
                     suppressed_duplicates: u("ret_suppressed")?,
+                },
+                rebalance: RebalanceStats {
+                    joins: u("reb_joins")? as u32,
+                    leaves: u("reb_leaves")? as u32,
+                    rebalances: u("reb_rebalances")? as u32,
+                    migrated_bytes: u("reb_migrated_bytes")?,
+                    migrated_vertices: u("reb_migrated_vertices")?,
+                    stall_seconds: f("reb_stall_seconds")?,
+                    warmstart_seconds: f("reb_warmstart_seconds")?,
+                    drained_messages: u("reb_drained")?,
+                    colocated_bytes: u("reb_colocated_bytes")?,
+                    peak_nodes: u("reb_peak_nodes")? as u32,
+                    final_nodes: u("reb_final_nodes")? as u32,
                 },
             };
             Some(Ok(RunOutcome {
@@ -1405,6 +1457,7 @@ mod tests {
                         barrier_s: 0.001,
                         recovery_s: 0.03125,
                         resilience_s: 0.0009765625,
+                        rebalance_s: 0.0078125,
                         bytes_sent: 999,
                         messages: 55,
                         max_node_bytes: 600,
@@ -1420,6 +1473,7 @@ mod tests {
                         barrier_s: 0.001,
                         recovery_s: 0.0,
                         resilience_s: 0.0,
+                        rebalance_s: 0.0,
                         bytes_sent: 0,
                         messages: 0,
                         max_node_bytes: 0,
@@ -1461,6 +1515,19 @@ mod tests {
                     speculative_reexecs: 5,
                     speculative_seconds: 0.1234567890123456,
                     suppressed_duplicates: 77,
+                },
+                rebalance: RebalanceStats {
+                    joins: 2,
+                    leaves: 1,
+                    rebalances: 3,
+                    migrated_bytes: 5_000_000,
+                    migrated_vertices: 1234,
+                    stall_seconds: 0.0087890625,
+                    warmstart_seconds: 0.00390625,
+                    drained_messages: 42,
+                    colocated_bytes: 8192,
+                    peak_nodes: 4,
+                    final_nodes: 3,
                 },
             },
         };

@@ -233,8 +233,11 @@ pub fn run<P: VertexProgram>(
         weights,
     };
 
-    // static allocations: graph slice + values
+    // static allocations: graph slice + values; the declared layout
+    // lets an elastic plan's repartitioner weight its cuts by real
+    // per-partition loads
     for node in 0..nodes {
+        sim.declare_partition(node, part.len(node) as u64, part.edges_of(out_csr, node));
         let bytes =
             part.edges_of(out_csr, node) * 4 + part.len(node) as u64 * program.value_bytes();
         sim.alloc(node, bytes, "vertex:graph+values")?;

@@ -14,6 +14,7 @@
 
 pub mod expose;
 pub mod memory;
+pub mod rebalance;
 pub mod recovery;
 pub mod report;
 pub mod retransmit;
@@ -24,6 +25,7 @@ pub mod work;
 
 pub use expose::{parse as parse_exposition, render as render_exposition, Sample, EXPOSITION_EOF};
 pub use memory::{MemTracker, OutOfMemory};
+pub use rebalance::RebalanceStats;
 pub use recovery::RecoveryStats;
 pub use report::RunReport;
 pub use retransmit::RetransmitStats;

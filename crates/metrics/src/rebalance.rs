@@ -1,0 +1,79 @@
+//! Elasticity accounting: what cluster membership changes cost a run.
+//!
+//! The simulator (in `graphmaze-cluster`) accumulates one
+//! [`RebalanceStats`] per run while processing the fault plan's
+//! membership events: node joins (warm-started from the last
+//! checkpoint), graceful leaves (mailboxes drained at the barrier, state
+//! migrated off), and the live repartitioning both trigger — logical
+//! partitions moving between physical nodes, their bytes charged through
+//! the router's packetization rule into the traffic matrix. The block
+//! rides on [`crate::RunReport`] and is zero for static-cluster runs.
+
+/// Per-run elasticity counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RebalanceStats {
+    /// Nodes that joined the cluster mid-run.
+    pub joins: u32,
+    /// Nodes that gracefully left the cluster mid-run.
+    pub leaves: u32,
+    /// Barriers at which a repartitioning executed (the issue's
+    /// "steps-to-rebalance": one rebalance per membership barrier).
+    pub rebalances: u32,
+    /// Wire bytes of vertex state and adjacency migrated between
+    /// physical nodes, charged into the traffic matrix.
+    pub migrated_bytes: u64,
+    /// Vertices whose owner changed across all rebalances (0 when the
+    /// engine never declared its partition sizes).
+    pub migrated_vertices: u64,
+    /// Simulated seconds the barrier stalled for migrations and
+    /// warm-starts. Equals the sum of the timeline's `rebalance_s`
+    /// column by construction.
+    pub stall_seconds: f64,
+    /// Subset of `stall_seconds`: joiner checkpoint-restore reads.
+    pub warmstart_seconds: f64,
+    /// Messages a leaving node flushed at its final barrier (the
+    /// graceful drain, as opposed to `kill`'s rollback).
+    pub drained_messages: u64,
+    /// Wire bytes that never touched the network because the sending
+    /// and receiving logical partitions were co-located on one physical
+    /// node after a shrink.
+    pub colocated_bytes: u64,
+    /// Largest active node count seen during the run (0 for
+    /// static-cluster runs).
+    pub peak_nodes: u32,
+    /// Active node count when the run finished (0 for static-cluster
+    /// runs).
+    pub final_nodes: u32,
+}
+
+impl RebalanceStats {
+    /// Whether no membership machinery engaged (always true for runs
+    /// without membership or hardware-profile terms in the fault plan).
+    pub fn is_zero(&self) -> bool {
+        *self == RebalanceStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let r = RebalanceStats::default();
+        assert!(r.is_zero());
+        assert_eq!(r.stall_seconds, 0.0);
+    }
+
+    #[test]
+    fn any_membership_event_breaks_zero() {
+        let r = RebalanceStats {
+            joins: 1,
+            rebalances: 1,
+            migrated_bytes: 4096,
+            stall_seconds: 0.25,
+            ..Default::default()
+        };
+        assert!(!r.is_zero());
+    }
+}

@@ -1,5 +1,6 @@
 //! Run reports — the simulator's answer to the paper's measurements.
 
+use crate::rebalance::RebalanceStats;
 use crate::recovery::RecoveryStats;
 use crate::retransmit::RetransmitStats;
 use crate::timeline::Timeline;
@@ -54,6 +55,11 @@ pub struct RunReport {
     /// has link-level terms); `retransmit.timeout_seconds` equals the
     /// timeline's `resilience_s` column sum.
     pub retransmit: RetransmitStats,
+    /// Elasticity counters (all zero unless the fault plan has
+    /// membership or hardware-profile terms);
+    /// `rebalance.stall_seconds` equals the timeline's `rebalance_s`
+    /// column sum.
+    pub rebalance: RebalanceStats,
 }
 
 impl RunReport {

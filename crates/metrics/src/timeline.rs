@@ -10,8 +10,8 @@
 //!
 //! Reconciliation is exact by construction: the simulator's clock is
 //! advanced by `compute_s + comm_s + barrier_s + recovery_s +
-//! resilience_s` of the record it pushes (same additions, same
-//! association), so
+//! resilience_s + rebalance_s` of the record it pushes (same additions,
+//! same association), so
 //! `timeline.total_seconds() == report.sim_seconds` holds bit-for-bit,
 //! and `timeline.total_bytes() == report.traffic.bytes_sent` likewise.
 
@@ -37,6 +37,11 @@ pub struct StepRecord {
     /// timeouts with exponential backoff plus slow-link excess wire time
     /// (zero unless the fault plan has link-level terms).
     pub resilience_s: f64,
+    /// Membership seconds folded into the step: state-migration
+    /// transfers and joiner warm-start restores when the cluster
+    /// rebalanced at this barrier (zero unless the fault plan has
+    /// membership events).
+    pub rebalance_s: f64,
     /// Wire bytes sent by all nodes during the step.
     pub bytes_sent: u64,
     /// Messages sent by all nodes during the step.
@@ -54,7 +59,12 @@ impl StepRecord {
     /// operations in identical order).
     #[inline]
     pub fn duration_s(&self) -> f64 {
-        self.compute_s + self.comm_s + self.barrier_s + self.recovery_s + self.resilience_s
+        self.compute_s
+            + self.comm_s
+            + self.barrier_s
+            + self.recovery_s
+            + self.resilience_s
+            + self.rebalance_s
     }
 }
 
@@ -193,6 +203,7 @@ mod tests {
             barrier_s: b,
             recovery_s: 0.0,
             resilience_s: 0.0,
+            rebalance_s: 0.0,
             bytes_sent: bytes,
             messages: bytes / 100,
             max_node_bytes: bytes / 2,

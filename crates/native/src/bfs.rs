@@ -248,6 +248,7 @@ pub fn bfs_cluster(
     for node in 0..nodes {
         let local_edges = part.edges_of(&g.adj, node);
         let local_vertices = part.len(node) as u64;
+        sim.declare_partition(node, local_vertices, local_edges);
         // CSR slice + distance array + visited bit-vector (or u32 flags
         // when the bit-vector lever is off)
         let visited_bytes = if opts.bitvector {

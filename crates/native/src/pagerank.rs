@@ -167,6 +167,7 @@ pub fn pagerank_cluster(
     for node in 0..nodes {
         let local_edges = part.edges_of(&g.inn, node);
         let local_vertices = part.len(node) as u64;
+        sim.declare_partition(node, local_vertices, local_edges);
         let ghosts: u64 = (0..nodes).map(|o| boundary[o][node].len() as u64).sum();
         sim.alloc(
             node,

@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 
 use graphmaze_core::flatjson::{parse_flat_json, FlatJsonBuilder};
 use graphmaze_core::metrics::{
-    expose, Counter, Gauge, Histogram, Registry, SpanRecord, SPAN_STAGES,
+    expose, Counter, Gauge, Histogram, RebalanceStats, Registry, SpanRecord, SPAN_STAGES,
 };
 use graphmaze_core::{Provenance, ResultCache, RunRequest, WorkloadCache};
 
@@ -191,6 +191,9 @@ pub struct PendingSpan {
     algorithm: &'static str,
     framework: &'static str,
     sim_seconds: Option<f64>,
+    /// Elasticity stats of the run, when its fault plan had membership
+    /// or hardware events (`None` for static runs and failures).
+    rebalance: Option<RebalanceStats>,
     start_s: f64,
     queue_ns: u64,
     lookup_ns: u64,
@@ -409,6 +412,12 @@ impl ServeState {
             (Provenance::Computed, Err(_)) => "failed",
         };
         let sim_seconds = resp.outcome.as_ref().ok().map(|o| o.report.sim_seconds);
+        let rebalance = resp
+            .outcome
+            .as_ref()
+            .ok()
+            .map(|o| o.report.rebalance)
+            .filter(|reb| !reb.is_zero());
         let span = PendingSpan {
             id: id.to_string(),
             label: format!("{algorithm}/{framework}"),
@@ -416,6 +425,7 @@ impl ServeState {
             algorithm,
             framework,
             sim_seconds,
+            rebalance,
             start_s,
             queue_ns: t1.duration_since(t0).as_nanos() as u64,
             lookup_ns,
@@ -461,6 +471,24 @@ impl ServeState {
                     &[("algorithm", span.algorithm), ("framework", span.framework)],
                 )
                 .observe(sim);
+        }
+        if let Some(reb) = &span.rebalance {
+            // elasticity, live: the latest elastic run's final cluster
+            // width and the cumulative bytes its rebalances migrated
+            self.telemetry
+                .gauge(
+                    "graphmaze_cluster_nodes",
+                    "physical nodes active at the end of the latest elastic run",
+                    &[],
+                )
+                .set(i64::from(reb.final_nodes));
+            self.telemetry
+                .counter(
+                    "graphmaze_rebalance_bytes_total",
+                    "partition state migrated by elastic rebalances, bytes",
+                    &[],
+                )
+                .add(reb.migrated_bytes);
         }
         self.metrics.in_flight.dec();
         if let Some(log) = self.access_log.lock().unwrap().as_mut() {
@@ -548,15 +576,26 @@ impl ServeState {
             }
         }
         b.f64("permit_wait_total_s", self.metrics.stages[0].sum_seconds());
-        // per-(algorithm, framework) request counts, read back from the
-        // registry's own exposition so stats and metrics cannot diverge
+        // per-(algorithm, framework) request counts — and the elasticity
+        // series, once an elastic run has been served — read back from
+        // the registry's own exposition so stats and metrics cannot
+        // diverge
         if let Ok(samples) = expose::parse(&expose::render(&self.telemetry)) {
             for s in &samples {
-                if s.name != "graphmaze_serve_cell_requests_total" {
-                    continue;
-                }
-                if let (Some(alg), Some(fw)) = (s.label("algorithm"), s.label("framework")) {
-                    b.u64(&format!("count_{alg}_{fw}"), s.value as u64);
+                match s.name.as_str() {
+                    "graphmaze_serve_cell_requests_total" => {
+                        if let (Some(alg), Some(fw)) = (s.label("algorithm"), s.label("framework"))
+                        {
+                            b.u64(&format!("count_{alg}_{fw}"), s.value as u64);
+                        }
+                    }
+                    "graphmaze_cluster_nodes" => {
+                        b.u64("cluster_nodes", s.value as u64);
+                    }
+                    "graphmaze_rebalance_bytes_total" => {
+                        b.u64("rebalance_bytes", s.value as u64);
+                    }
+                    _ => {}
                 }
             }
         }
@@ -752,6 +791,38 @@ mod tests {
             (m["key"].clone(), m["digest"].clone())
         };
         assert_eq!(key(&first), key(&second));
+    }
+
+    #[test]
+    fn elastic_runs_surface_cluster_metrics_live() {
+        let state = quiet_state();
+        // grow to 3 nodes, then node 1 departs: its partition must
+        // migrate onto the joiner, so the byte counter moves too
+        let line = r#"{"op":"run","id":"e1","algorithm":"pagerank","spec":"rmat/s7/e4/x1","nodes":2,"faults":"seed=1,join=2@1,leave=1@3"}"#;
+        let (resp, _) = state.handle_line(line);
+        assert!(resp.contains(r#""status":"done""#), "{resp}");
+        let (text, _) = state.handle_line(r#"{"op":"metrics"}"#);
+        let samples = expose::parse(&text).expect("exposition parses");
+        assert_eq!(
+            expose::sample_value(&samples, "graphmaze_cluster_nodes", &[]),
+            Some(2.0),
+            "grew to 3, shrank back to 2 physical nodes"
+        );
+        let migrated =
+            expose::sample_value(&samples, "graphmaze_rebalance_bytes_total", &[]).unwrap();
+        assert!(migrated > 0.0, "rebalance moved state: {migrated}");
+        let (stats, _) = state.handle_line(r#"{"op":"stats"}"#);
+        assert!(stats.contains(r#""cluster_nodes":2"#), "{stats}");
+        assert!(stats.contains(r#""rebalance_bytes":"#), "{stats}");
+        // a static run leaves the elasticity series untouched
+        let (stats_before, _) = {
+            let fresh = quiet_state();
+            fresh.handle_line(
+                r#"{"op":"run","id":"s1","algorithm":"pagerank","spec":"rmat/s7/e4/x1"}"#,
+            );
+            fresh.handle_line(r#"{"op":"stats"}"#)
+        };
+        assert!(!stats_before.contains("cluster_nodes"), "{stats_before}");
     }
 
     #[test]

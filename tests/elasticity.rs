@@ -1,0 +1,194 @@
+//! Elastic membership properties: joins, graceful leaves and
+//! heterogeneous hardware profiles may move *where* logical partitions
+//! live, but never *what* the engines compute. Grow-then-shrink runs
+//! must produce digests bit-identical to static runs, rebalance traffic
+//! must reconcile exactly with the communication matrix, and membership
+//! timelines must be `--jobs`-invariant and monotone in event count.
+
+use graphmaze_core::cluster::with_faults;
+use graphmaze_core::prelude::*;
+
+fn workload() -> Workload {
+    Workload::rmat(9, 8, 41)
+}
+
+fn run(alg: Algorithm, fw: Framework, wl: &Workload, plan: FaultPlan) -> RunOutcome {
+    let params = BenchParams::default();
+    with_faults(plan, || run_benchmark(alg, fw, wl, 2, &params)).expect("cell runs")
+}
+
+#[test]
+fn grow_then_shrink_digests_are_bit_identical_to_static() {
+    let wl = workload();
+    // node 2 joins at the barrier ending step 1 and gracefully leaves at
+    // step 3 (the shortest engine here, native BFS, runs 4 steps) — by
+    // the end the active set, and therefore the placement, is the
+    // static one
+    let plan = FaultPlan::parse("seed=3,ckpt=2,join=2@1,leave=2@3").expect("valid spec");
+    for (alg, fw) in [
+        (Algorithm::PageRank, Framework::Native),
+        (Algorithm::PageRank, Framework::GraphLab),
+        (Algorithm::Bfs, Framework::Native),
+        (Algorithm::Bfs, Framework::Giraph),
+    ] {
+        let fixed = run(alg, fw, &wl, FaultPlan::none());
+        let elastic = run(alg, fw, &wl, plan);
+        assert_eq!(
+            fixed.digest.to_bits(),
+            elastic.digest.to_bits(),
+            "{}×{}: elastic digest diverged",
+            alg.name(),
+            fw.name()
+        );
+        let reb = &elastic.report.rebalance;
+        assert_eq!(reb.joins, 1, "{}×{}", alg.name(), fw.name());
+        assert_eq!(reb.leaves, 1);
+        assert_eq!(reb.rebalances, 2);
+        assert_eq!(reb.peak_nodes, 3);
+        assert_eq!(reb.final_nodes, 2, "shrunk back to the logical width");
+        assert!(fixed.report.rebalance.is_zero(), "static runs report zero");
+    }
+}
+
+#[test]
+fn rebalance_traffic_reconciles_with_the_matrix() {
+    let wl = workload();
+    let plan = FaultPlan::parse("seed=3,join=2@1,leave=1@3").expect("valid spec");
+    let out = run(Algorithm::PageRank, Framework::Native, &wl, plan);
+    let r = &out.report;
+    let reb = &r.rebalance;
+    assert!(reb.migrated_bytes > 0, "the leave must migrate state");
+    assert!(reb.migrated_vertices > 0);
+    // the matrix covers every physical node the run ever had, and its
+    // row sums reconcile exactly with the per-node wire totals —
+    // migration bytes included
+    assert_eq!(r.matrix.nodes, 3, "2 logical + 1 joined");
+    assert_eq!(r.node_sent_bytes.len(), 3);
+    for node in 0..r.matrix.nodes {
+        assert_eq!(
+            r.matrix.row_bytes(node),
+            r.node_sent_bytes[node],
+            "node {node} row sum"
+        );
+    }
+    assert_eq!(
+        r.traffic.bytes_sent,
+        r.node_sent_bytes.iter().sum::<u64>(),
+        "traffic total is the matrix total plus nothing else"
+    );
+    // the stall the barriers paid is exactly the membership lane
+    let lane: f64 = r.timeline.steps.iter().map(|s| s.rebalance_s).sum();
+    assert_eq!(lane, reb.stall_seconds, "timeline lane reconciles");
+    assert!(lane > 0.0, "migration stalls the barrier");
+    assert_eq!(r.timeline.total_seconds(), r.sim_seconds);
+}
+
+#[test]
+fn membership_timelines_are_jobs_invariant() {
+    let params = BenchParams::default();
+    let spec = WorkloadSpec::Rmat {
+        scale: 9,
+        edge_factor: 8,
+        seed: 41,
+    };
+    let plans = [
+        "seed=3,join=2@2,leave=2@5",
+        "seed=3,hw=1:oldgen",
+        "seed=3,join=2@1,leave=1@3,hw=2:slownic",
+    ];
+    let mut sweep = Sweep::new("elasticity-test");
+    for (i, plan) in plans.iter().enumerate() {
+        for fw in [Framework::Native, Framework::GraphLab] {
+            sweep.push(SweepCell {
+                label: format!("p{i}-{}", fw.name()),
+                algorithm: Algorithm::PageRank,
+                framework: fw,
+                spec: spec.clone(),
+                nodes: 2,
+                factor: 1.0,
+                params,
+                faults: FaultPlan::parse(plan).expect("valid spec"),
+            });
+        }
+    }
+    let opts = |jobs| SweepOptions {
+        jobs,
+        journal: None,
+        resume: false,
+        cell_timeout: None,
+        telemetry: None,
+    };
+    let serial = sweep.execute(&opts(1), &WorkloadCache::new(), &SilentObserver);
+    let parallel = sweep.execute(&opts(4), &WorkloadCache::new(), &SilentObserver);
+    assert_eq!(serial.results.len(), parallel.results.len());
+    for (s, p) in serial.results.iter().zip(&parallel.results) {
+        let s = s.outcome.as_ref().expect("serial cell runs");
+        let p = p.outcome.as_ref().expect("parallel cell runs");
+        assert_eq!(s, p, "elastic outcomes are bit-identical across --jobs");
+        assert_eq!(s.report.rebalance, p.report.rebalance);
+        assert_eq!(s.report.timeline, p.report.timeline);
+    }
+}
+
+#[test]
+fn rebalance_work_is_monotone_in_event_count() {
+    let wl = workload();
+    // each successive plan adds membership events without removing any;
+    // rebalances, migrated totals and membership counters never shrink
+    let plans = [
+        "seed=3",
+        "seed=3,leave=1@2",
+        "seed=3,join=2@1,leave=1@2",
+        "seed=3,join=2@1,leave=1@2,leave=2@4",
+    ];
+    let mut prev: Option<graphmaze_core::metrics::RebalanceStats> = None;
+    for spec in plans {
+        let plan = FaultPlan::parse(spec).expect("valid spec");
+        let out = run(Algorithm::PageRank, Framework::Native, &wl, plan);
+        let reb = out.report.rebalance;
+        if let Some(prev) = &prev {
+            assert!(reb.joins >= prev.joins, "{spec}: joins shrank");
+            assert!(reb.leaves >= prev.leaves, "{spec}: leaves shrank");
+            assert!(reb.rebalances >= prev.rebalances, "{spec}: rebalances");
+            assert!(
+                reb.migrated_bytes >= prev.migrated_bytes,
+                "{spec}: migrated {} < {}",
+                reb.migrated_bytes,
+                prev.migrated_bytes
+            );
+        }
+        prev = Some(reb);
+    }
+    let last = prev.expect("ran");
+    assert_eq!(last.joins, 1);
+    assert_eq!(last.leaves, 2);
+    assert_eq!(last.final_nodes, 1, "only node 0 remains");
+}
+
+#[test]
+fn heterogeneous_profiles_slow_the_clock_but_not_the_answer() {
+    let wl = workload();
+    let fixed = run(
+        Algorithm::PageRank,
+        Framework::Native,
+        &wl,
+        FaultPlan::none(),
+    );
+    let hetero = run(
+        Algorithm::PageRank,
+        Framework::Native,
+        &wl,
+        FaultPlan::parse("seed=3,hw=1:oldgen").expect("valid spec"),
+    );
+    assert_eq!(fixed.digest.to_bits(), hetero.digest.to_bits());
+    assert!(
+        hetero.report.sim_seconds > fixed.report.sim_seconds,
+        "a half-speed node cannot make the run faster: {} vs {}",
+        hetero.report.sim_seconds,
+        fixed.report.sim_seconds
+    );
+    // hw-only plans never migrate anything: no membership change, no
+    // repartitioning
+    assert_eq!(hetero.report.rebalance.migrated_bytes, 0);
+    assert_eq!(hetero.report.rebalance.rebalances, 0);
+}
